@@ -1,0 +1,63 @@
+//! Criterion bench of the §6.4 ablation on a two-utility workload:
+//! optimized incremental search vs the non-optimized a-posteriori
+//! differencing.
+
+use achilles::{a_posteriori_diff, prepare_client, FieldMask, Optimizations};
+use achilles_fsp::{
+    extract_client_predicate, run_analysis, FspAnalysisConfig, FspServer, FspServerConfig,
+};
+use achilles_solver::{Solver, TermPool};
+use achilles_symvm::{ExploreConfig, SymMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("optimized_2cmd", |b| {
+        b.iter(|| {
+            let config = FspAnalysisConfig::accuracy().with_commands(2);
+            let result = run_analysis(&config);
+            black_box(result.trojans.len())
+        })
+    });
+
+    group.bench_function("a_posteriori_2cmd", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let config = FspAnalysisConfig::accuracy().with_commands(2);
+            let client = extract_client_predicate(
+                &mut pool,
+                &mut solver,
+                &config.commands,
+                &config.client,
+                &ExploreConfig::default(),
+            );
+            let server_msg = SymMessage::fresh(&mut pool, &achilles_fsp::layout(), "msg");
+            let prepared = prepare_client(
+                &mut pool,
+                &mut solver,
+                client,
+                server_msg,
+                FieldMask::none(),
+                Optimizations::none(),
+            );
+            let mut sc = FspServerConfig::default();
+            sc.commands.truncate(2);
+            let result = a_posteriori_diff(
+                &mut pool,
+                &mut solver,
+                &FspServer::new(sc),
+                &prepared,
+                &ExploreConfig::default(),
+            );
+            black_box(result.trojans.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

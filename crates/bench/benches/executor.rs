@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the symbolic executor: path enumeration
+//! throughput on branching programs.
+
+use achilles_solver::{Solver, TermPool, Width};
+use achilles_symvm::{ExploreConfig, Executor, PathResult, SymEnv};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("executor/branch_tree_depth6", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
+                for i in 0..6 {
+                    let b = env.sym(&format!("b{i}"), Width::BOOL);
+                    let _ = env.branch(b)?;
+                }
+                env.mark_accept();
+                Ok(())
+            });
+            black_box(result.paths.len())
+        })
+    });
+
+    c.bench_function("executor/validation_chain", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
+                let x = env.sym("x", Width::W32);
+                for i in 1..=8u64 {
+                    let c = env.constant(i * 100, Width::W32);
+                    if !env.if_ult(x, c)? {
+                        return Ok(());
+                    }
+                }
+                env.mark_accept();
+                Ok(())
+            });
+            black_box(result.paths.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench of the Figure 10 workload: incremental Trojan discovery
+//! during the server analysis (two utilities; the binary runs all eight).
+
+use achilles_fsp::{run_analysis, FspAnalysisConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("incremental_discovery_2cmd", |b| {
+        b.iter(|| {
+            let config = FspAnalysisConfig::accuracy().with_commands(2);
+            let result = run_analysis(&config);
+            // Discovery timestamps are monotone: the curve of Figure 10.
+            let mut last = std::time::Duration::ZERO;
+            for t in &result.trojans {
+                assert!(t.found_at >= last);
+                last = t.found_at;
+            }
+            black_box(result.trojans.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

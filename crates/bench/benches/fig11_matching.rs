@@ -1,0 +1,22 @@
+//! Criterion bench of the Figure 11 instrumentation: sampling matching
+//! client predicates along server paths (glob-mode client, one utility).
+
+use achilles_fsp::{run_analysis, FspAnalysisConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("matching_samples_glob_1cmd", |b| {
+        b.iter(|| {
+            let config = FspAnalysisConfig::wildcard().with_commands(1);
+            let result = run_analysis(&config);
+            assert!(!result.samples.is_empty());
+            black_box(result.samples.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench of the fuzzing baseline: raw classification throughput
+//! (the number behind the §6.2 "75,000 tests per minute" comparison).
+
+use achilles_fuzz::{run_campaign, FuzzConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_fuzz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzzing");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("campaign_100k", |b| {
+        b.iter(|| {
+            let report = run_campaign(&FuzzConfig {
+                budget_tests: 100_000,
+                ..FuzzConfig::default()
+            });
+            black_box(report.accepted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz);
+criterion_main!(benches);

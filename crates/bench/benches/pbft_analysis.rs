@@ -1,0 +1,30 @@
+//! Criterion bench of the PBFT experiment: full analysis (the paper's
+//! "a few seconds") and the cluster simulation.
+
+use achilles_pbft::{run_analysis, run_workload, ClusterConfig, PbftAnalysisConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pbft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft");
+    group.sample_size(10);
+
+    group.bench_function("full_analysis", |b| {
+        b.iter(|| {
+            let result = run_analysis(&PbftAnalysisConfig::paper());
+            assert_eq!(result.distinct_families(), 1);
+            black_box(result.trojans.len())
+        })
+    });
+
+    group.bench_function("cluster_10k_requests", |b| {
+        b.iter(|| {
+            let cluster = run_workload(ClusterConfig::default(), 10_000, 10);
+            black_box(cluster.throughput())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pbft);
+criterion_main!(benches);

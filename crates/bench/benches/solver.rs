@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the SMT-lite solver: satisfiability,
+//! model generation, negation-style disjunction splitting.
+
+use achilles_solver::{solve, SolverConfig, TermId, TermPool, Width};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Interval chain: 10 constraints over one 32-bit variable.
+fn interval_chain(pool: &mut TermPool) -> Vec<TermId> {
+    let x = pool.fresh("x", Width::W32);
+    let mut asserts = Vec::new();
+    for i in 0..10u64 {
+        let lo = pool.constant(i * 10, Width::W32);
+        let hi = pool.constant(1_000_000 - i, Width::W32);
+        asserts.push(pool.ult(lo, x));
+        asserts.push(pool.ult(x, hi));
+    }
+    asserts
+}
+
+/// A negate-style query: conjunction of disjunctions over message fields.
+fn negation_query(pool: &mut TermPool) -> Vec<TermId> {
+    let fields: Vec<TermId> =
+        (0..8).map(|i| pool.fresh(&format!("msg.f{i}"), Width::W8)).collect();
+    let mut asserts = Vec::new();
+    // Path constraints pin half the fields.
+    for (i, &f) in fields.iter().take(4).enumerate() {
+        let c = pool.constant(i as u64 + 1, Width::W8);
+        asserts.push(pool.eq(f, c));
+    }
+    // Three negated client paths: disjunctions of disequalities.
+    for j in 0..3u64 {
+        let mut clauses = Vec::new();
+        for (i, &f) in fields.iter().enumerate() {
+            let c = pool.constant((i as u64 + j) % 7, Width::W8);
+            clauses.push(pool.ne(f, c));
+        }
+        let disj = pool.or_all(clauses);
+        asserts.push(disj);
+    }
+    asserts
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/interval_chain_sat", |b| {
+        b.iter_batched(
+            || {
+                let mut pool = TermPool::new();
+                let asserts = interval_chain(&mut pool);
+                (pool, asserts)
+            },
+            |(mut pool, asserts)| {
+                let (r, _) = solve(&mut pool, &asserts, &SolverConfig::default());
+                black_box(r.is_sat())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("solver/negation_disjunctions", |b| {
+        b.iter_batched(
+            || {
+                let mut pool = TermPool::new();
+                let asserts = negation_query(&mut pool);
+                (pool, asserts)
+            },
+            |(mut pool, asserts)| {
+                let (r, _) = solve(&mut pool, &asserts, &SolverConfig::default());
+                black_box(r.is_sat())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("solver/opaque_fun_enumeration", |b| {
+        b.iter_batched(
+            || {
+                let mut pool = TermPool::new();
+                let parity = pool.register_fun("parity", Width::W8, |a| a[0] % 2);
+                let x = pool.fresh("x", Width::W8);
+                let app = pool.apply(parity, vec![x]);
+                let one = pool.constant(1, Width::W8);
+                let odd = pool.eq(app, one);
+                let c200 = pool.constant(200, Width::W8);
+                let big = pool.ult(c200, x);
+                (pool, vec![odd, big])
+            },
+            |(mut pool, asserts)| {
+                let (r, _) = solve(&mut pool, &asserts, &SolverConfig::default());
+                black_box(r.is_sat())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

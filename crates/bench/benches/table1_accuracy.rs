@@ -1,0 +1,51 @@
+//! Criterion bench of the Table 1 workload (scaled to two FSP utilities so
+//! a `cargo bench` run stays in seconds; the `table1_accuracy` *binary*
+//! regenerates the full eight-utility table).
+
+use achilles::{classic_symex, FieldMask};
+use achilles_fsp::{
+    expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig, FspServer,
+    FspServerConfig,
+};
+use achilles_solver::{Solver, TermPool};
+use achilles_symvm::{ExploreConfig, SymMessage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("achilles_2cmd", |b| {
+        b.iter(|| {
+            let config = FspAnalysisConfig::accuracy().with_commands(2);
+            let result = run_analysis(&config);
+            assert_eq!(result.trojans.len(), expected_length_mismatch_trojans(2));
+            black_box(result.trojans.len())
+        })
+    });
+
+    group.bench_function("classic_symex_2cmd", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let server_msg = SymMessage::fresh(&mut pool, &achilles_fsp::layout(), "msg");
+            let mut sc = FspServerConfig::default();
+            sc.commands.truncate(2);
+            let result = classic_symex(
+                &mut pool,
+                &mut solver,
+                &FspServer::new(sc),
+                &server_msg,
+                &ExploreConfig::default(),
+                &FieldMask::none(),
+                10,
+            );
+            black_box(result.candidates.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

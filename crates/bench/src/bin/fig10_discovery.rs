@@ -1,0 +1,55 @@
+//! Regenerates **Figure 10** (§6.2): percentage of the known FSP Trojan
+//! messages discovered as a function of server-analysis time, plus the
+//! §6.2 phase-time breakdown (client 3 min / preprocess 15 min / server
+//! 45 min on the paper's testbed — shapes, not absolutes, are the target).
+//!
+//! ```text
+//! cargo run --release -p achilles-bench --bin fig10_discovery
+//! ```
+
+use achilles_bench::{bar, fmt_secs, header, row};
+use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
+
+fn main() {
+    header("Figure 10 — Trojan discovery over server-analysis time (FSP)");
+    let config = FspAnalysisConfig::accuracy();
+    let result = run_analysis(&config);
+    let expected = expected_length_mismatch_trojans(config.commands.len()) as f64;
+
+    println!("{}", row("phase: client predicate", fmt_secs(result.client_time)));
+    println!("{}", row("phase: preprocessing", fmt_secs(result.preprocess_time)));
+    println!("{}", row("phase: server analysis", fmt_secs(result.server_time)));
+    println!("{}", row("Trojans discovered", result.trojans.len()));
+
+    // Discovery curve: found_at timestamps are relative to the server
+    // analysis start.
+    println!("\n  time_ms,percent_found");
+    let mut rows = Vec::new();
+    for (i, t) in result.trojans.iter().enumerate() {
+        let pct = (i + 1) as f64 / expected * 100.0;
+        rows.push((t.found_at.as_secs_f64() * 1000.0, pct));
+    }
+    // Downsample to at most 20 printed points to keep the figure readable.
+    let step = (rows.len() / 20).max(1);
+    for (i, (ms, pct)) in rows.iter().enumerate() {
+        if i % step == 0 || i + 1 == rows.len() {
+            println!("  {ms:.1},{pct:.1}  |{}", bar(*pct, 100.0, 40));
+        }
+    }
+
+    let first = rows.first().map(|r| r.0).unwrap_or(0.0);
+    let last = rows.last().map(|r| r.0).unwrap_or(0.0);
+    let total_ms = result.server_time.as_secs_f64() * 1000.0;
+    header("paper vs measured");
+    println!("  paper:    first Trojan at ~44% of server analysis, all by ~96% (20/43/45 min)");
+    println!(
+        "  measured: first at {:.0}% of server analysis, all by {:.0}% ({:.0}/{:.0}/{:.0} ms)",
+        first / total_ms * 100.0,
+        last / total_ms * 100.0,
+        first,
+        last,
+        total_ms
+    );
+    println!("  shape:    discovery is incremental — interrupting early still yields results");
+    assert_eq!(rows.len() as f64, expected, "all known Trojans discovered");
+}

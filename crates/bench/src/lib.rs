@@ -1,0 +1,51 @@
+//! Shared helpers for the Achilles benchmark harness.
+//!
+//! The `[[bin]]` targets of this crate regenerate every table and figure of
+//! the paper's evaluation (§6); the Criterion benches under `benches/`
+//! measure the machinery on scaled workloads. This module holds the small
+//! formatting utilities they share.
+
+use std::time::Duration;
+
+/// Formats a duration as seconds with millisecond precision.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Renders a simple aligned two-column table row.
+pub fn row(label: &str, value: impl std::fmt::Display) -> String {
+    format!("  {label:<42} {value}")
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// A tiny fixed-width histogram for terminal "figures": draws `value`
+/// against `max` as a bar of at most `width` characters.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn fmt_secs_millis() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.500s");
+    }
+}

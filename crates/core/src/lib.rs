@@ -1,0 +1,113 @@
+//! # Achilles — finding Trojan message vulnerabilities in distributed systems
+//!
+//! A reproduction of *"Finding Trojan Message Vulnerabilities in Distributed
+//! Systems"* (Banabic, Candea, Guerraoui — ASPLOS 2014).
+//!
+//! **Trojan messages** are messages a correct *server* accepts that no
+//! correct *client* can generate — `T = S \ C`. They sit outside everything
+//! regular testing exercises, make ideal targets for attackers, and
+//! propagate failures between nodes (the paper's motivating example is the
+//! 2008 Amazon S3 outage caused by a single bit-flipped — yet intelligible —
+//! gossip message).
+//!
+//! Achilles finds them in two phases:
+//!
+//! 1. symbolically execute the **client**, capturing every message it can
+//!    send together with the constraints under which it sends it (the
+//!    *client predicate* `P_C`);
+//! 2. symbolically execute the **server** on an unconstrained symbolic
+//!    message, and — incrementally, at every branch — solve
+//!    `pathS ∧ ⋀ negate(pathC_i)`, pruning server paths that provably
+//!    cannot accept a Trojan message.
+//!
+//! The [`negate`] operator under-approximates the (universally quantified)
+//! complement of a client path field-by-field; the [`diff_matrix`]
+//! pre-computation drops whole groups of similar client predicates at once.
+//!
+//! ## The paper's working example (§2)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use achilles::{Achilles, AchillesConfig};
+//! use achilles_solver::Width;
+//! use achilles_symvm::{MessageLayout, PathResult, SymEnv, SymMessage};
+//!
+//! fn layout() -> Arc<MessageLayout> {
+//!     MessageLayout::builder("msg")
+//!         .field("request", Width::W8)
+//!         .field("address", Width::W32)
+//!         .build()
+//! }
+//!
+//! // Figure 3: the client validates 0 <= address < 100 before sending.
+//! fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+//!     let addr = env.sym("address", Width::W32);
+//!     let hundred = env.constant(100, Width::W32);
+//!     let zero = env.constant(0, Width::W32);
+//!     if !env.if_slt(addr, hundred)? { return Ok(()); }
+//!     if env.if_slt(addr, zero)? { return Ok(()); }
+//!     let read = env.constant(1, Width::W8);
+//!     env.send(SymMessage::new(layout(), vec![read, addr]));
+//!     Ok(())
+//! }
+//!
+//! // Figure 2: the server forgets the address < 0 check on READ.
+//! fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+//!     let msg = env.recv(&layout())?;
+//!     let one = env.constant(1, Width::W8);
+//!     if !env.if_eq(msg.field("request"), one)? { return Ok(()); }
+//!     let hundred = env.constant(100, Width::W32);
+//!     if !env.if_slt(msg.field("address"), hundred)? { return Ok(()); }
+//!     env.mark_accept(); // security vulnerability: no address < 0 check
+//!     Ok(())
+//! }
+//!
+//! let mut achilles = Achilles::new();
+//! let report = achilles.run(&client, &server, &layout(), &AchillesConfig::verified());
+//! assert_eq!(report.trojans.len(), 1);
+//! let trojan_address = Width::W32.to_signed(report.trojans[0].witness_fields[1]);
+//! assert!(trojan_address < 0, "READ with a negative address is the Trojan");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`predicate`] | §3.1 | `P_C`, path predicates, masks, combination |
+//! | [`negate`] | §3.2, §4 | the under-approximate negate operator |
+//! | [`diff_matrix`] | §3.3 | the `differentFrom` pre-computation |
+//! | [`search`] | §3.2–3.3 | the incremental Trojan search observer |
+//! | [`pipeline`] | §3, §3.4 | the three-phase driver and local-state modes |
+//! | [`refine`] | §4.1 | CEGAR-style witness refinement (the paper's future work) |
+//! | [`sequence`] | §7 | multi-message session Trojans (beyond the paper) |
+//! | [`baseline`] | §6.2, §6.4 | classic symex and a-posteriori differencing |
+//! | [`report`] | §3.2 | symbolic + concrete Trojan reports |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod diff_matrix;
+pub mod export;
+pub mod negate;
+pub mod pipeline;
+pub mod predicate;
+pub mod refine;
+pub mod report;
+pub mod search;
+pub mod sequence;
+
+pub use baseline::{
+    a_posteriori_diff, classic_symex, APosterioriResult, CandidateMessage, ClassicSymexResult,
+};
+pub use diff_matrix::DiffMatrix;
+pub use export::{report_to_markdown, trojans_to_markdown};
+pub use negate::{negate_field, negate_path, NegateStats, NegatedPath};
+pub use pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
+pub use predicate::{combine, rename_fresh, ClientPathPredicate, ClientPredicate, FieldMask};
+pub use refine::{refine_witness, Refinement};
+pub use sequence::{analyze_sequence, SequenceObserver};
+pub use report::TrojanReport;
+pub use search::{
+    prepare_client, MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver,
+};

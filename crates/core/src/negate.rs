@@ -1,0 +1,274 @@
+//! The under-approximate `negate` operator (§3.2).
+//!
+//! `negate(pathC)` builds a predicate over the *server's* received message
+//! that is satisfied only by messages the client path cannot generate. The
+//! true negation of a client path predicate carries a universal quantifier
+//! (no assignment of the client's inputs produces this message); following
+//! the paper, we under-approximate it field by field:
+//!
+//! 1. a field whose client expression is a **concrete** value `C` negates to
+//!    `msg_S.f ≠ C`;
+//! 2. a field whose client expression is **symbolic** negates to
+//!    `msg_S.f == e'(λ') ∧ ¬Q'(λ')` where `e'`, `Q'` are the field's
+//!    expression and influencing constraints with variables renamed to fresh
+//!    existential copies;
+//! 3. a symbolic field with **no influencing constraints** cannot be negated
+//!    and is skipped (the client can already put any value there).
+//!
+//! `negate(pathC)` is the disjunction of the per-field clauses. Per §4.1,
+//! each clause is checked against the original field predicate: if a common
+//! solution exists the clause is discarded, keeping the operator *strictly*
+//! under-approximate (no false positives from negation).
+
+use std::time::{Duration, Instant};
+
+use achilles_solver::{Solver, TermId, TermPool};
+use achilles_symvm::SymMessage;
+
+use crate::predicate::{rename_fresh, ClientPathPredicate, FieldMask};
+
+/// The negation of one client path predicate against a server message.
+#[derive(Clone, Debug)]
+pub struct NegatedPath {
+    /// Index of the client path predicate this negates.
+    pub client_index: usize,
+    /// Per-field negation clauses `(field index, clause)`.
+    pub field_clauses: Vec<(usize, TermId)>,
+    /// The full disjunction of the clauses; `None` when no field could be
+    /// negated (the negation under-approximates to `false`).
+    pub disjunction: Option<TermId>,
+}
+
+/// Counters for one negation pre-computation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NegateStats {
+    /// Fields negated via the concrete-value rule.
+    pub concrete_fields: u64,
+    /// Fields negated via constraint renaming.
+    pub symbolic_fields: u64,
+    /// Fields skipped because they are unconstrained.
+    pub skipped_unconstrained: u64,
+    /// Clauses discarded by the §4.1 soundness check.
+    pub discarded_unsound: u64,
+    /// Time spent building and checking negations.
+    pub time: Duration,
+}
+
+/// Negates a single field of a client path predicate.
+///
+/// `server_field` is the server-side term the clause constrains (normally
+/// the received message's field variable). Returns `None` when the field
+/// cannot be negated (rule 3) or the clause fails the soundness check.
+pub fn negate_field(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    server_field: TermId,
+    client: &ClientPathPredicate,
+    field_idx: usize,
+    stats: &mut NegateStats,
+) -> Option<TermId> {
+    let expr = client.message.value(field_idx);
+
+    // Rule 1: concrete value.
+    if let Some(c) = pool.as_const(expr) {
+        stats.concrete_fields += 1;
+        let cc = pool.constant(c, pool.width(expr));
+        return Some(pool.ne(server_field, cc));
+    }
+
+    // Rule 2/3: symbolic expression.
+    let vars = pool.vars_of(expr);
+    let influencing = client.influencing_constraints(pool, &vars);
+    if influencing.is_empty() {
+        stats.skipped_unconstrained += 1;
+        return None;
+    }
+    let mut to_rename = Vec::with_capacity(1 + influencing.len());
+    to_rename.push(expr);
+    to_rename.extend_from_slice(&influencing);
+    let (renamed, _map) = rename_fresh(pool, &to_rename);
+    let expr_fresh = renamed[0];
+    let q_fresh = pool.and_all(renamed[1..].iter().copied());
+    let not_q = pool.not(q_fresh);
+    let eq = pool.eq(server_field, expr_fresh);
+    let clause = pool.and(eq, not_q);
+    stats.symbolic_fields += 1;
+
+    // §4.1 soundness check: discard the clause if it intersects the original
+    // field predicate (a message the client *can* generate also satisfies
+    // the clause).
+    let mut common = Vec::with_capacity(2 + client.constraints.len());
+    let orig_eq = pool.eq(server_field, expr);
+    common.push(orig_eq);
+    common.extend_from_slice(&client.constraints);
+    common.push(clause);
+    if solver.is_sat(pool, &common) {
+        stats.discarded_unsound += 1;
+        return None;
+    }
+    Some(clause)
+}
+
+/// Negates a whole client path predicate against the server message
+/// (disjunction of per-field clauses, masked fields excluded).
+pub fn negate_path(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    server_msg: &SymMessage,
+    client: &ClientPathPredicate,
+    mask: &FieldMask,
+    stats: &mut NegateStats,
+) -> NegatedPath {
+    let started = Instant::now();
+    let mut field_clauses = Vec::new();
+    for field_idx in 0..server_msg.values().len() {
+        if mask.contains(field_idx) {
+            continue;
+        }
+        let server_field = server_msg.value(field_idx);
+        if let Some(clause) = negate_field(pool, solver, server_field, client, field_idx, stats) {
+            field_clauses.push((field_idx, clause));
+        }
+    }
+    let disjunction = if field_clauses.is_empty() {
+        None
+    } else {
+        Some(pool.or_all(field_clauses.iter().map(|&(_, c)| c)))
+    };
+    stats.time += started.elapsed();
+    NegatedPath { client_index: client.index, field_clauses, disjunction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::ClientPredicate;
+    use achilles_solver::Width;
+    use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv};
+    use std::sync::Arc;
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("m")
+            .field("cmd", Width::W8)
+            .field("addr", Width::W32)
+            .field("free", Width::W16)
+            .build()
+    }
+
+    /// Client: cmd is the concrete value 7, addr validated into [0, 100),
+    /// free is sent unvalidated.
+    fn client_predicate() -> (TermPool, Solver, ClientPredicate) {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
+            let addr = env.sym("addr", Width::W32);
+            let free = env.sym("free", Width::W16);
+            let hundred = env.constant(100, Width::W32);
+            let zero = env.constant(0, Width::W32);
+            if !env.if_slt(addr, hundred)? {
+                return Ok(());
+            }
+            if env.if_slt(addr, zero)? {
+                return Ok(());
+            }
+            let cmd = env.constant(7, Width::W8);
+            env.send(achilles_symvm::SymMessage::new(layout(), vec![cmd, addr, free]));
+            Ok(())
+        });
+        let pred = ClientPredicate::from_exploration(&result);
+        (pool, solver, pred)
+    }
+
+    #[test]
+    fn concrete_field_negates_to_disequality() {
+        let (mut pool, mut solver, pred) = client_predicate();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let mut stats = NegateStats::default();
+        let clause = negate_field(&mut pool, &mut solver, server_msg.value(0), &pred.paths[0], 0, &mut stats)
+            .expect("cmd is negatable");
+        // smsg.cmd == 7 contradicts the clause; smsg.cmd == 8 satisfies it.
+        let seven = pool.constant(7, Width::W8);
+        let pin7 = pool.eq(server_msg.value(0), seven);
+        assert!(solver.is_unsat(&mut pool, &[clause, pin7]));
+        let eight = pool.constant(8, Width::W8);
+        let pin8 = pool.eq(server_msg.value(0), eight);
+        assert!(solver.is_sat(&mut pool, &[clause, pin8]));
+        assert_eq!(stats.concrete_fields, 1);
+    }
+
+    #[test]
+    fn constrained_symbolic_field_negates_to_out_of_range() {
+        let (mut pool, mut solver, pred) = client_predicate();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let mut stats = NegateStats::default();
+        let clause = negate_field(&mut pool, &mut solver, server_msg.value(1), &pred.paths[0], 1, &mut stats)
+            .expect("addr is negatable");
+        // In-range address contradicts the negation…
+        let fifty = pool.constant(50, Width::W32);
+        let pin_in = pool.eq(server_msg.value(1), fifty);
+        assert!(solver.is_unsat(&mut pool, &[clause, pin_in]));
+        // …negative and too-large addresses satisfy it.
+        for bad in [-1i64, -1000, 100, 100_000] {
+            let c = pool.constant_signed(bad, Width::W32);
+            let pin = pool.eq(server_msg.value(1), c);
+            assert!(
+                solver.is_sat(&mut pool, &[clause, pin]),
+                "address {bad} should be un-generable"
+            );
+        }
+        assert_eq!(stats.symbolic_fields, 1);
+        assert_eq!(stats.discarded_unsound, 0);
+    }
+
+    #[test]
+    fn unconstrained_field_is_skipped() {
+        let (mut pool, mut solver, pred) = client_predicate();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let mut stats = NegateStats::default();
+        let clause =
+            negate_field(&mut pool, &mut solver, server_msg.value(2), &pred.paths[0], 2, &mut stats);
+        assert!(clause.is_none(), "free field cannot be negated");
+        assert_eq!(stats.skipped_unconstrained, 1);
+    }
+
+    #[test]
+    fn negate_path_is_disjunction_of_fields() {
+        let (mut pool, mut solver, pred) = client_predicate();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let mut stats = NegateStats::default();
+        let neg = negate_path(
+            &mut pool,
+            &mut solver,
+            &server_msg,
+            &pred.paths[0],
+            &FieldMask::none(),
+            &mut stats,
+        );
+        assert_eq!(neg.field_clauses.len(), 2, "cmd and addr clauses; free skipped");
+        let disj = neg.disjunction.expect("nonempty");
+        // A message the client can send violates the disjunction…
+        let seven = pool.constant(7, Width::W8);
+        let fifty = pool.constant(50, Width::W32);
+        let pin_cmd = pool.eq(server_msg.value(0), seven);
+        let pin_addr = pool.eq(server_msg.value(1), fifty);
+        assert!(solver.is_unsat(&mut pool, &[disj, pin_cmd, pin_addr]));
+        // …but wrong cmd or out-of-range addr satisfies it.
+        let neg_addr = pool.constant_signed(-3, Width::W32);
+        let pin_bad_addr = pool.eq(server_msg.value(1), neg_addr);
+        assert!(solver.is_sat(&mut pool, &[disj, pin_cmd, pin_bad_addr]));
+    }
+
+    #[test]
+    fn mask_removes_fields_from_negation() {
+        let (mut pool, mut solver, pred) = client_predicate();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let l = layout();
+        let mask = FieldMask::by_names(&l, &["cmd"]);
+        let mut stats = NegateStats::default();
+        let neg =
+            negate_path(&mut pool, &mut solver, &server_msg, &pred.paths[0], &mask, &mut stats);
+        assert_eq!(neg.field_clauses.len(), 1, "only addr remains");
+        assert_eq!(neg.field_clauses[0].0, 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The end-to-end Achilles pipeline.
+//!
+//! [`Achilles`] owns the shared term pool and solver and drives the three
+//! phases of the paper:
+//!
+//! 1. **Client analysis** — explore the client program, capture sent
+//!    messages → [`ClientPredicate`];
+//! 2. **Pre-processing** — negate every client path predicate and compute
+//!    the `differentFrom` matrix → [`PreparedClient`];
+//! 3. **Server analysis** — explore the server with the [`TrojanObserver`]
+//!    installed, incrementally emitting [`TrojanReport`]s.
+//!
+//! Local state (§3.4) is configured through [`LocalState`]: run the server
+//! from concrete state, from state constructed by symbolic messages of a
+//! previous analysis, or from annotated over-approximate state.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use achilles_solver::{Solver, TermId, TermPool};
+use achilles_symvm::{
+    ExploreConfig, ExploreStats, Executor, MessageLayout, NodeProgram, SymMessage,
+};
+
+use crate::predicate::{ClientPredicate, FieldMask};
+use crate::report::TrojanReport;
+use crate::search::{
+    prepare_client, MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver,
+};
+
+/// How the analyzed server node obtains its local state (§3.4).
+#[derive(Clone, Debug, Default)]
+pub enum LocalState {
+    /// The program builds (or receives) fully concrete local state — the
+    /// default: run the system concretely up to the point of interest.
+    #[default]
+    Concrete,
+    /// Constructed Symbolic Local State: the constraints under which the
+    /// state-building messages were produced are seeded into every server
+    /// path, and the state itself may contain symbolic values.
+    Constructed {
+        /// Constraints carried over from the state-construction phase.
+        constraints: Vec<TermId>,
+    },
+    /// Over-approximate Symbolic Local State: the server program itself
+    /// replaces state reads with annotated symbolic values
+    /// ([`SymEnv::sym`](achilles_symvm::SymEnv::sym) /
+    /// [`SymEnv::sym_in_range`](achilles_symvm::SymEnv::sym_in_range));
+    /// nothing extra is seeded here.
+    OverApproximate,
+}
+
+/// Wall-clock time of each pipeline phase (the §6.2 breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Gathering the client predicate.
+    pub client: Duration,
+    /// Pre-processing the client predicate.
+    pub preprocess: Duration,
+    /// Analyzing the server.
+    pub server: Duration,
+}
+
+impl PhaseTimes {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.client + self.preprocess + self.server
+    }
+}
+
+/// Everything one full Achilles run produces.
+#[derive(Debug)]
+pub struct AchillesReport {
+    /// The extracted client predicate (pre-negation).
+    pub client: ClientPredicate,
+    /// The symbolic message analyzed by the server.
+    pub server_msg: SymMessage,
+    /// Discovered Trojan messages, in discovery order.
+    pub trojans: Vec<TrojanReport>,
+    /// Per-phase wall-clock times.
+    pub phase_times: PhaseTimes,
+    /// Figure 11 samples (path length vs matching predicates).
+    pub samples: Vec<MatchSample>,
+    /// Search counters.
+    pub search_stats: SearchStats,
+    /// Client exploration counters.
+    pub client_explore: ExploreStats,
+    /// Server exploration counters.
+    pub server_explore: ExploreStats,
+    /// Completed server paths.
+    pub server_paths: usize,
+}
+
+/// Configuration for a full pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct AchillesConfig {
+    /// Field mask (checksums, digests, authenticators — §5.2).
+    pub mask: FieldMask,
+    /// Optimization toggles (§6.4 ablation).
+    pub optimizations: Optimizations,
+    /// Re-verify every witness against every client path predicate.
+    pub verify_witnesses: bool,
+    /// Client exploration limits.
+    pub client_explore: ExploreConfig,
+    /// Server exploration limits.
+    pub server_explore: ExploreConfig,
+    /// Server local-state mode.
+    pub local_state: LocalState,
+}
+
+impl AchillesConfig {
+    /// A configuration with verification on and default limits.
+    pub fn verified() -> AchillesConfig {
+        AchillesConfig { verify_witnesses: true, ..AchillesConfig::default() }
+    }
+}
+
+/// The Achilles analysis engine: shared pool, solver, and pipeline drivers.
+///
+/// # Examples
+///
+/// See the crate-level docs for the full working example of the paper's §2.
+#[derive(Debug, Default)]
+pub struct Achilles {
+    /// The shared term pool (exposed for custom queries over the results).
+    pub pool: TermPool,
+    /// The shared caching solver.
+    pub solver: Solver,
+}
+
+impl Achilles {
+    /// Creates an engine with default solver configuration.
+    pub fn new() -> Achilles {
+        Achilles::default()
+    }
+
+    /// Phase 1: extracts the client predicate from a client program.
+    pub fn extract_client_predicate(
+        &mut self,
+        client: &dyn NodeProgram,
+        config: &ExploreConfig,
+    ) -> (ClientPredicate, ExploreStats) {
+        let mut exec = Executor::new(&mut self.pool, &mut self.solver, config.clone());
+        let result = exec.explore(client);
+        (ClientPredicate::from_exploration(&result), result.stats)
+    }
+
+    /// Phase 1½: pre-processes a client predicate against a fresh symbolic
+    /// server message of `layout`.
+    pub fn prepare(
+        &mut self,
+        client: ClientPredicate,
+        layout: &Arc<MessageLayout>,
+        mask: FieldMask,
+        opts: Optimizations,
+    ) -> PreparedClient {
+        let server_msg = SymMessage::fresh(&mut self.pool, layout, "msg");
+        prepare_client(&mut self.pool, &mut self.solver, client, server_msg, mask, opts)
+    }
+
+    /// Phase 2: analyzes the server with the Trojan observer installed.
+    ///
+    /// Returns the reports, Figure-11 samples, search stats, exploration
+    /// stats, and the number of completed server paths.
+    pub fn analyze_server(
+        &mut self,
+        server: &dyn NodeProgram,
+        prepared: &PreparedClient,
+        config: &AchillesConfig,
+    ) -> (Vec<TrojanReport>, Vec<MatchSample>, SearchStats, ExploreStats, usize) {
+        let mut explore = config.server_explore.clone();
+        explore.recv_script = vec![prepared.server_msg.clone()];
+        if let LocalState::Constructed { constraints } = &config.local_state {
+            explore.initial_constraints.extend_from_slice(constraints);
+        }
+        let mut observer =
+            TrojanObserver::new(prepared, config.optimizations, config.verify_witnesses);
+        let result = {
+            let mut exec = Executor::new(&mut self.pool, &mut self.solver, explore);
+            exec.explore_observed(server, &mut observer)
+        };
+        let TrojanObserver { reports, samples, stats, .. } = observer;
+        (reports, samples, stats, result.stats, result.paths.len())
+    }
+
+    /// Runs the full pipeline: client → preprocessing → server.
+    pub fn run(
+        &mut self,
+        client: &dyn NodeProgram,
+        server: &dyn NodeProgram,
+        layout: &Arc<MessageLayout>,
+        config: &AchillesConfig,
+    ) -> AchillesReport {
+        let t0 = Instant::now();
+        let (client_pred, client_explore) =
+            self.extract_client_predicate(client, &config.client_explore);
+        let t1 = Instant::now();
+        let prepared = self.prepare(
+            client_pred,
+            layout,
+            config.mask.clone(),
+            config.optimizations,
+        );
+        let t2 = Instant::now();
+        let (trojans, samples, search_stats, server_explore, server_paths) =
+            self.analyze_server(server, &prepared, config);
+        let t3 = Instant::now();
+        AchillesReport {
+            client: prepared.client.clone(),
+            server_msg: prepared.server_msg.clone(),
+            trojans,
+            phase_times: PhaseTimes {
+                client: t1 - t0,
+                preprocess: t2 - t1,
+                server: t3 - t2,
+            },
+            samples,
+            search_stats,
+            client_explore,
+            server_explore,
+            server_paths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::Width;
+    use achilles_symvm::{PathResult, SymEnv};
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("kv").field("op", Width::W8).field("key", Width::W16).build()
+    }
+
+    fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let key = env.sym("key", Width::W16);
+        let limit = env.constant(1024, Width::W16);
+        if !env.if_ult(key, limit)? {
+            return Ok(());
+        }
+        let op = env.constant(1, Width::W8);
+        env.send(SymMessage::new(layout(), vec![op, key]));
+        Ok(())
+    }
+
+    fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&layout())?;
+        let one = env.constant(1, Width::W8);
+        if !env.if_eq(msg.field("op"), one)? {
+            return Ok(());
+        }
+        // Bug: the server accepts keys up to 4096, clients only send < 1024.
+        let limit = env.constant(4096, Width::W16);
+        if !env.if_ult(msg.field("key"), limit)? {
+            return Ok(());
+        }
+        env.mark_accept();
+        Ok(())
+    }
+
+    #[test]
+    fn full_pipeline_finds_oversized_keys() {
+        let mut achilles = Achilles::new();
+        let config = AchillesConfig::verified();
+        let report = achilles.run(&client, &server, &layout(), &config);
+        assert_eq!(report.client.len(), 1);
+        assert_eq!(report.trojans.len(), 1);
+        let t = &report.trojans[0];
+        assert!(t.verified);
+        let key = t.witness_fields[1];
+        assert!((1024..4096).contains(&key), "witness key {key} in the Trojan window");
+        assert!(report.phase_times.total() > Duration::ZERO);
+        assert!(report.server_paths >= 1);
+    }
+
+    #[test]
+    fn constructed_state_constraints_are_seeded() {
+        let mut achilles = Achilles::new();
+        // Pretend a previous phase pinned the state: key space reduced so the
+        // Trojan window shrinks but survives.
+        let (client_pred, _) =
+            achilles.extract_client_predicate(&client, &ExploreConfig::default());
+        let prepared = achilles.prepare(
+            client_pred,
+            &layout(),
+            FieldMask::none(),
+            Optimizations::default(),
+        );
+        let key_field = prepared.server_msg.field("key");
+        let cap = achilles.pool.constant(2000, Width::W16);
+        let seeded = achilles.pool.ult(key_field, cap);
+        let config = AchillesConfig {
+            verify_witnesses: true,
+            local_state: LocalState::Constructed { constraints: vec![seeded] },
+            ..AchillesConfig::default()
+        };
+        let (trojans, _, _, _, _) = achilles.analyze_server(&server, &prepared, &config);
+        assert_eq!(trojans.len(), 1);
+        let key = trojans[0].witness_fields[1];
+        assert!((1024..2000).contains(&key), "seeded constraint caps the witness: {key}");
+    }
+}

@@ -1,0 +1,385 @@
+//! Client and server predicates.
+//!
+//! The client predicate `P_C` is the disjunction of *client path predicates*
+//! (§3.1): one per execution path on which the client sends a message. Each
+//! path predicate pairs the (partially symbolic) message the client built
+//! with the path constraints under which it is sent — Figure 8 of the paper.
+//!
+//! The server predicate `P_S` is the disjunction of path constraints of
+//! *accepting* server paths; Achilles never materializes it whole, it is
+//! consumed incrementally during the server exploration (§3.2).
+
+use std::collections::{HashMap, HashSet};
+
+use achilles_solver::{TermId, TermPool, VarId};
+use achilles_symvm::{ExploreResult, SymMessage};
+
+/// One client execution path that sends a message.
+#[derive(Clone, Debug)]
+pub struct ClientPathPredicate {
+    /// Index of this predicate within its [`ClientPredicate`].
+    pub index: usize,
+    /// Id of the originating exploration path.
+    pub path_id: usize,
+    /// The message sent on this path (fields may be symbolic expressions).
+    pub message: SymMessage,
+    /// Path constraints under which the message is sent.
+    pub constraints: Vec<TermId>,
+    /// Program notes from the path (labels like `cmd=rm`).
+    pub notes: Vec<String>,
+}
+
+impl ClientPathPredicate {
+    /// Variables appearing in the expression of field `field_idx`.
+    pub fn field_vars(&self, pool: &TermPool, field_idx: usize) -> Vec<VarId> {
+        pool.vars_of(self.message.value(field_idx))
+    }
+
+    /// The transitive closure of constraints that *influence* the given
+    /// variables: starting from constraints mentioning any seed variable,
+    /// pull in the variables of those constraints and iterate (§3.2's "the
+    /// set of constraints that influence the respective variables").
+    pub fn influencing_constraints(&self, pool: &TermPool, seed_vars: &[VarId]) -> Vec<TermId> {
+        let mut vars: HashSet<VarId> = seed_vars.iter().copied().collect();
+        let mut selected: Vec<TermId> = Vec::new();
+        let mut selected_set: HashSet<TermId> = HashSet::new();
+        loop {
+            let mut grew = false;
+            for &c in &self.constraints {
+                if selected_set.contains(&c) {
+                    continue;
+                }
+                let cvars = pool.vars_of(c);
+                if cvars.iter().any(|v| vars.contains(v)) {
+                    selected.push(c);
+                    selected_set.insert(c);
+                    for v in cvars {
+                        vars.insert(v);
+                    }
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        selected
+    }
+
+    /// Whether field `field_idx` is *independent*: its variables do not
+    /// appear (directly or through shared constraints) in any other field's
+    /// expression (§3.3).
+    pub fn field_independent(&self, pool: &TermPool, field_idx: usize) -> bool {
+        let seed = self.field_vars(pool, field_idx);
+        if seed.is_empty() {
+            // A concrete field is trivially independent.
+            return true;
+        }
+        let mut closure: HashSet<VarId> = seed.iter().copied().collect();
+        for c in self.influencing_constraints(pool, &seed) {
+            closure.extend(pool.vars_of(c));
+        }
+        for (i, &other) in self.message.values().iter().enumerate() {
+            if i == field_idx {
+                continue;
+            }
+            if pool.vars_of(other).iter().any(|v| closure.contains(v)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The client predicate `P_C`: every message a correct client can generate.
+#[derive(Clone, Debug, Default)]
+pub struct ClientPredicate {
+    /// The client path predicates, in discovery order.
+    pub paths: Vec<ClientPathPredicate>,
+}
+
+impl ClientPredicate {
+    /// Builds `P_C` from a client exploration: one path predicate per
+    /// *(path, sent message)* pair.
+    pub fn from_exploration(result: &ExploreResult) -> ClientPredicate {
+        let mut paths = Vec::new();
+        for record in &result.paths {
+            for msg in &record.sent {
+                paths.push(ClientPathPredicate {
+                    index: paths.len(),
+                    path_id: record.id,
+                    message: msg.clone(),
+                    constraints: record.constraints.clone(),
+                    notes: record.notes.clone(),
+                });
+            }
+        }
+        ClientPredicate { paths }
+    }
+
+    /// Merges predicates from several client programs (e.g. the eight FSP
+    /// utilities) into one `P_C`, re-indexing the paths.
+    pub fn merge(preds: impl IntoIterator<Item = ClientPredicate>) -> ClientPredicate {
+        let mut paths = Vec::new();
+        for pred in preds {
+            for mut p in pred.paths {
+                p.index = paths.len();
+                paths.push(p);
+            }
+        }
+        ClientPredicate { paths }
+    }
+
+    /// Number of client path predicates.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the client sends no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Renders every path predicate (Figure 5 style) for reports.
+    pub fn render(&self, pool: &TermPool) -> String {
+        let mut out = String::new();
+        for p in &self.paths {
+            out.push_str(&format!("path {} (from exploration path {}):\n", p.index, p.path_id));
+            out.push_str(&format!("  message: {}\n", p.message.render(pool)));
+            if p.constraints.is_empty() {
+                out.push_str("  constraints: (none)\n");
+            } else {
+                out.push_str("  constraints:\n");
+                for &c in &p.constraints {
+                    out.push_str(&format!("    {}\n", achilles_solver::render(pool, c)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The conjunction that combines a server path with a client path predicate
+/// (§3.2 "Constraint Solving"): server constraints ∧ client constraints ∧
+/// per-field equality `msg_S.f == msg_C.f` for every unmasked field.
+///
+/// `masked` lists field indices to hide from the analysis (§5.2's mask).
+pub fn combine(
+    pool: &mut TermPool,
+    server_msg: &SymMessage,
+    server_constraints: &[TermId],
+    client: &ClientPathPredicate,
+    masked: &HashSet<usize>,
+) -> Vec<TermId> {
+    assert_eq!(
+        server_msg.layout().name(),
+        client.message.layout().name(),
+        "combine: layouts must match"
+    );
+    let mut out = Vec::with_capacity(
+        server_constraints.len() + client.constraints.len() + server_msg.values().len(),
+    );
+    out.extend_from_slice(server_constraints);
+    out.extend_from_slice(&client.constraints);
+    for (i, (&sv, &cv)) in server_msg
+        .values()
+        .iter()
+        .zip(client.message.values())
+        .enumerate()
+    {
+        if masked.contains(&i) {
+            continue;
+        }
+        let eq = pool.eq(sv, cv);
+        out.push(eq);
+    }
+    out
+}
+
+/// A mask hiding message fields from the Trojan analysis (§5.2).
+///
+/// Masked fields still participate in the server's own branching, but
+/// Achilles neither equates them with client fields nor negates them — the
+/// paper uses this to skip checksums, digests, and authenticators.
+#[derive(Clone, Debug, Default)]
+pub struct FieldMask {
+    masked: HashSet<usize>,
+}
+
+impl FieldMask {
+    /// An empty mask (all fields analyzed).
+    pub fn none() -> FieldMask {
+        FieldMask::default()
+    }
+
+    /// Masks fields by name against a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name does not exist in the layout.
+    pub fn by_names(layout: &achilles_symvm::MessageLayout, names: &[&str]) -> FieldMask {
+        let masked = names
+            .iter()
+            .map(|n| {
+                layout
+                    .field_index(n)
+                    .unwrap_or_else(|| panic!("mask: no field {n:?} in layout {:?}", layout.name()))
+            })
+            .collect();
+        FieldMask { masked }
+    }
+
+    /// The masked field indices.
+    pub fn indices(&self) -> &HashSet<usize> {
+        &self.masked
+    }
+
+    /// Whether `field_idx` is masked.
+    pub fn contains(&self, field_idx: usize) -> bool {
+        self.masked.contains(&field_idx)
+    }
+}
+
+/// Renames all variables of the given terms to fresh copies (suffix `'`),
+/// returning the substitution used.
+///
+/// The fresh copies are the existentially quantified `λ'` variables of the
+/// paper's negate operator.
+pub fn rename_fresh(
+    pool: &mut TermPool,
+    terms: &[TermId],
+) -> (Vec<TermId>, HashMap<VarId, TermId>) {
+    let mut all_vars: Vec<VarId> = Vec::new();
+    for &t in terms {
+        pool.collect_vars(t, &mut all_vars);
+    }
+    let mut map: HashMap<VarId, TermId> = HashMap::new();
+    for v in all_vars {
+        let info = pool.var_info(v).clone();
+        let fresh = pool.fresh(&format!("{}'", info.name), info.width);
+        map.insert(v, fresh);
+    }
+    let renamed = terms.iter().map(|&t| pool.substitute(t, &map)).collect();
+    (renamed, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::{Solver, Width};
+    use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv};
+    use std::sync::Arc;
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("m")
+            .field("cmd", Width::W8)
+            .field("addr", Width::W32)
+            .field("crc", Width::W16)
+            .build()
+    }
+
+    /// A mini client: validates addr in [0, 100), sends cmd=1 with a
+    /// crc-like opaque function over addr.
+    fn explore_client() -> (TermPool, Solver, ClientPredicate) {
+        let mut pool = TermPool::new();
+        let crc = pool.register_fun("crc16", Width::W16, |args| args.iter().sum::<u64>() ^ 0xBEEF);
+        let mut solver = Solver::new();
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let result = exec.explore(&move |env: &mut SymEnv<'_>| -> PathResult<()> {
+            let addr = env.sym("addr", Width::W32);
+            let hundred = env.constant(100, Width::W32);
+            let zero = env.constant(0, Width::W32);
+            if !env.if_slt(addr, hundred)? {
+                return Ok(()); // validation failed: exit
+            }
+            if env.if_slt(addr, zero)? {
+                return Ok(());
+            }
+            let layout = layout();
+            let cmd = env.constant(1, Width::W8);
+            let crc_val = env.pool_mut().apply(crc, vec![addr]);
+            env.send(achilles_symvm::SymMessage::new(layout, vec![cmd, addr, crc_val]));
+            Ok(())
+        });
+        let pred = ClientPredicate::from_exploration(&result);
+        (pool, solver, pred)
+    }
+
+    #[test]
+    fn client_predicate_from_exploration() {
+        let (pool, _, pred) = explore_client();
+        assert_eq!(pred.len(), 1, "only the validated path sends");
+        let p = &pred.paths[0];
+        assert_eq!(pool.as_const(p.message.field("cmd")), Some(1));
+        assert!(pool.as_const(p.message.field("addr")).is_none());
+        assert_eq!(p.constraints.len(), 2, "two validation constraints");
+    }
+
+    #[test]
+    fn influencing_constraints_follow_vars() {
+        let (pool, _, pred) = explore_client();
+        let p = &pred.paths[0];
+        let addr_vars = p.field_vars(&pool, 1);
+        assert_eq!(addr_vars.len(), 1);
+        let infl = p.influencing_constraints(&pool, &addr_vars);
+        assert_eq!(infl.len(), 2, "both range checks influence addr");
+        // cmd is concrete: nothing influences it.
+        assert!(p.field_vars(&pool, 0).is_empty());
+    }
+
+    #[test]
+    fn field_independence() {
+        let (pool, _, pred) = explore_client();
+        let p = &pred.paths[0];
+        // cmd concrete → independent; addr shares its var with crc → dependent.
+        assert!(p.field_independent(&pool, 0));
+        assert!(!p.field_independent(&pool, 1));
+        assert!(!p.field_independent(&pool, 2));
+    }
+
+    #[test]
+    fn combine_builds_equalities() {
+        let (mut pool, mut solver, pred) = explore_client();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let masked: HashSet<usize> = HashSet::new();
+        let combined = combine(&mut pool, &server_msg, &[], &pred.paths[0], &masked);
+        // 2 client constraints + 3 field equalities.
+        assert_eq!(combined.len(), 5);
+        // The combination is satisfiable: the server can receive a client message.
+        assert!(solver.is_sat(&mut pool, &combined));
+        // Pinning the server addr to an out-of-range value contradicts it.
+        let bad = pool.constant_signed(-5, Width::W32);
+        let pin = pool.eq(server_msg.field("addr"), bad);
+        let mut q = combined;
+        q.push(pin);
+        assert!(solver.is_unsat(&mut pool, &q));
+    }
+
+    #[test]
+    fn mask_excludes_fields() {
+        let (mut pool, _, pred) = explore_client();
+        let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
+        let l = layout();
+        let mask = FieldMask::by_names(&l, &["crc"]);
+        let combined = combine(&mut pool, &server_msg, &[], &pred.paths[0], mask.indices());
+        assert_eq!(combined.len(), 4, "crc equality dropped");
+    }
+
+    #[test]
+    fn rename_fresh_separates_vars() {
+        let (mut pool, mut solver, pred) = explore_client();
+        let p = &pred.paths[0];
+        let terms: Vec<TermId> =
+            std::iter::once(p.message.field("addr")).chain(p.constraints.clone()).collect();
+        let (renamed, map) = rename_fresh(&mut pool, &terms);
+        assert_eq!(map.len(), 1);
+        // Renamed constraint set is independently satisfiable alongside a
+        // contradictory original: the copies are disjoint.
+        let orig_addr = p.message.field("addr");
+        let neg_one = pool.constant_signed(-1, Width::W32);
+        let orig_pinned = pool.eq(orig_addr, neg_one);
+        let mut q = vec![orig_pinned];
+        q.extend(&renamed[1..]); // renamed range constraints
+        assert!(solver.is_sat(&mut pool, &q));
+    }
+}

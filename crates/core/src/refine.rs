@@ -1,0 +1,273 @@
+//! Witness refinement by focused client re-execution (§4.1).
+//!
+//! The paper's false-positive discussion proposes, as future work, "using
+//! the expressions that define Trojan messages to guide a new symbolic
+//! execution of the client node; this approach is similar in spirit to the
+//! abstraction refinement in CEGAR". This module implements it: a reported
+//! witness is taken back to the **client program itself** (not the
+//! already-extracted predicate) and the client is re-explored under
+//! possibly *larger* bounds, with an observer that prunes every client path
+//! that can no longer emit the witness.
+//!
+//! This closes the §4.1 false-positive window: if the phase-1 client
+//! exploration was truncated (path or depth limits), a message may have
+//! been reported Trojan only because its generating path was never seen.
+//! Refinement either **confirms** the witness (no client path can emit it,
+//! even under the larger bounds) or **refutes** it (and names the
+//! generating path).
+
+use achilles_solver::{Solver, TermId, TermPool};
+use achilles_symvm::{
+    ExploreConfig, Executor, NodeProgram, ObserverCx, PathObserver, PathRecord, SymMessage,
+};
+
+use crate::predicate::FieldMask;
+
+/// The outcome of refining one witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Refinement {
+    /// No client path (within the refinement bounds) generates the witness:
+    /// the Trojan is confirmed.
+    ConfirmedTrojan {
+        /// Client paths explored during refinement.
+        explored_paths: usize,
+    },
+    /// A client path generates the witness — it was a false positive of the
+    /// (truncated) phase-1 exploration.
+    Refuted {
+        /// Id of the generating client path.
+        client_path_id: usize,
+        /// Its notes (which utility / input scenario emits the message).
+        notes: Vec<String>,
+    },
+}
+
+impl Refinement {
+    /// Whether the witness survived refinement.
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self, Refinement::ConfirmedTrojan { .. })
+    }
+}
+
+/// Observer that prunes client paths as soon as their constraints
+/// contradict emitting the witness — the "focused symbolic execution" of
+/// §4.1 (ESD / demand-driven style): instead of blindly re-exploring the
+/// client, whole subtrees that cannot reach the witness are cut.
+struct WitnessFocus {
+    witness: Vec<u64>,
+    masked: std::collections::HashSet<usize>,
+    generating_path: Option<(usize, Vec<String>)>,
+}
+
+impl WitnessFocus {
+    /// Can any message sent on a path with constraints `pc` equal the
+    /// witness? Conservative: if the path has not sent yet, only the path
+    /// constraints are checked (sending may still happen deeper).
+    fn can_emit(
+        &self,
+        pool: &mut TermPool,
+        solver: &mut Solver,
+        pc: &[TermId],
+        sent: Option<&SymMessage>,
+    ) -> bool {
+        let mut query = pc.to_vec();
+        if let Some(msg) = sent {
+            for (fi, (&expr, &value)) in msg.values().iter().zip(&self.witness).enumerate() {
+                if self.masked.contains(&fi) {
+                    continue;
+                }
+                let w = pool.width(expr);
+                let c = pool.constant(value, w);
+                let eq = pool.eq(expr, c);
+                query.push(eq);
+            }
+        }
+        !solver.is_unsat(pool, &query)
+    }
+}
+
+impl PathObserver for WitnessFocus {
+    fn on_constraint(&mut self, cx: &mut ObserverCx<'_>) -> bool {
+        // Prune subtrees whose path condition is already incompatible with
+        // *any* message value — cheap guided pruning. Message-level checks
+        // happen at path end (messages are known then).
+        let pc = cx.pc.to_vec();
+        self.can_emit(cx.pool, cx.solver, &pc, None)
+    }
+
+    fn on_path_end(&mut self, cx: &mut ObserverCx<'_>, record: &PathRecord) {
+        if self.generating_path.is_some() {
+            return;
+        }
+        for msg in &record.sent {
+            let pc = record.constraints.clone();
+            if self.can_emit(cx.pool, cx.solver, &pc, Some(msg)) {
+                self.generating_path = Some((record.id, record.notes.clone()));
+                return;
+            }
+        }
+    }
+}
+
+/// Refines a witness against the client program under `bounds`.
+///
+/// Typically `bounds` is *larger* than the phase-1 exploration config
+/// (deeper paths, more of them), so refinement can refute witnesses the
+/// truncated first pass missed.
+pub fn refine_witness(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    client: &dyn NodeProgram,
+    witness_fields: &[u64],
+    mask: &FieldMask,
+    bounds: &ExploreConfig,
+) -> Refinement {
+    let mut focus = WitnessFocus {
+        witness: witness_fields.to_vec(),
+        masked: mask.indices().clone(),
+        generating_path: None,
+    };
+    let result = {
+        let mut exec = Executor::new(pool, solver, bounds.clone());
+        exec.explore_observed(client, &mut focus)
+    };
+    match focus.generating_path {
+        Some((client_path_id, notes)) => Refinement::Refuted { client_path_id, notes },
+        None => Refinement::ConfirmedTrojan { explored_paths: result.paths.len() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::Width;
+    use achilles_symvm::{MessageLayout, PathResult, SymEnv};
+    use std::sync::Arc;
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("m").field("op", Width::W8).field("key", Width::W16).build()
+    }
+
+    /// Client with a rare deep path: op 2 is only sent after a long chain
+    /// of guards, so shallow explorations miss it.
+    fn deep_client(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let key = env.sym("key", Width::W16);
+        let cap = env.constant(100, Width::W16);
+        if !env.if_ult(key, cap)? {
+            return Ok(());
+        }
+        // A chain of guards hiding the "admin" message variant.
+        let mut all_set = true;
+        for i in 0..6 {
+            let flag = env.sym(&format!("flag{i}"), Width::BOOL);
+            if !env.branch(flag)? {
+                all_set = false;
+                break;
+            }
+        }
+        let op = if all_set {
+            env.constant(2, Width::W8) // rare admin message
+        } else {
+            env.constant(1, Width::W8)
+        };
+        env.send(SymMessage::new(layout(), vec![op, key]));
+        Ok(())
+    }
+
+    #[test]
+    fn confirms_genuine_trojans() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        // op=3 is not generable on any path.
+        let witness = vec![3u64, 50];
+        let r = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness,
+            &FieldMask::none(),
+            &ExploreConfig::default(),
+        );
+        assert!(r.is_confirmed(), "{r:?}");
+    }
+
+    #[test]
+    fn refutes_deep_false_positives() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        // op=2 IS generable — but only on the deep all-flags path that a
+        // truncated phase-1 exploration (max_depth 3) would never see.
+        let shallow = ExploreConfig { max_depth: 3, ..ExploreConfig::default() };
+        let witness = vec![2u64, 50];
+        let r_shallow = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness,
+            &FieldMask::none(),
+            &shallow,
+        );
+        assert!(r_shallow.is_confirmed(), "under truncated bounds it looks Trojan");
+
+        let full = ExploreConfig::default();
+        let r_full = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness,
+            &FieldMask::none(),
+            &full,
+        );
+        assert!(
+            matches!(r_full, Refinement::Refuted { .. }),
+            "deeper refinement finds the generating path: {r_full:?}"
+        );
+    }
+
+    #[test]
+    fn refutes_out_of_range_key_only_when_in_range() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        // key 200 is out of the client's validated range: Trojan.
+        let witness = vec![1u64, 200];
+        let r = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness,
+            &FieldMask::none(),
+            &ExploreConfig::default(),
+        );
+        assert!(r.is_confirmed());
+        // key 50 with op 1 is ordinary traffic: refuted.
+        let witness2 = vec![1u64, 50];
+        let r2 = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness2,
+            &FieldMask::none(),
+            &ExploreConfig::default(),
+        );
+        assert!(matches!(r2, Refinement::Refuted { .. }));
+    }
+
+    #[test]
+    fn masked_fields_are_ignored_during_refinement() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let l = layout();
+        // With `op` masked, witness op=3 key=50 matches an op=1 path.
+        let mask = FieldMask::by_names(&l, &["op"]);
+        let witness = vec![3u64, 50];
+        let r = refine_witness(
+            &mut pool,
+            &mut solver,
+            &deep_client,
+            &witness,
+            &mask,
+            &ExploreConfig::default(),
+        );
+        assert!(matches!(r, Refinement::Refuted { .. }));
+    }
+}

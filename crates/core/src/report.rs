@@ -1,0 +1,91 @@
+//! Trojan message reports.
+
+use std::time::Duration;
+
+use achilles_solver::{TermId, TermPool};
+use achilles_symvm::SymMessage;
+
+/// One discovered Trojan message: a server path that accepts messages no
+/// correct client can generate, with both the symbolic characterization and
+/// a concrete injectable example (§3.2: "Achilles outputs a symbolic
+/// expression and a concrete example of the Trojan message").
+#[derive(Clone, Debug)]
+pub struct TrojanReport {
+    /// Id of the accepting server path.
+    pub server_path_id: usize,
+    /// The server path constraints.
+    pub constraints: Vec<TermId>,
+    /// Concrete per-field values of the witness message.
+    pub witness_fields: Vec<u64>,
+    /// Number of client path predicates still active on this path (Trojans
+    /// bundled with valid messages have `> 0`, exclusive paths have `0`).
+    pub active_clients: usize,
+    /// Whether the witness survived verification against *every* client
+    /// path predicate (guaranteed not generable by a correct client).
+    pub verified: bool,
+    /// Wall-clock offset from the start of the server analysis.
+    pub found_at: Duration,
+    /// Server program notes on the path (e.g. which action it performs).
+    pub notes: Vec<String>,
+}
+
+impl TrojanReport {
+    /// Renders a short human-readable summary.
+    pub fn render(&self, pool: &TermPool, server_msg: &SymMessage) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Trojan on server path {} ({} client predicates still matching{})\n",
+            self.server_path_id,
+            self.active_clients,
+            if self.verified { ", verified" } else { ", UNVERIFIED" },
+        ));
+        if !self.notes.is_empty() {
+            out.push_str(&format!("  action: {}\n", self.notes.join("; ")));
+        }
+        out.push_str("  witness: ");
+        let fields = server_msg.layout().fields();
+        for (i, (f, v)) in fields.iter().zip(&self.witness_fields).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}={}", f.name, v));
+        }
+        out.push('\n');
+        out.push_str("  path constraints:\n");
+        for &c in &self.constraints {
+            out.push_str(&format!("    {}\n", achilles_solver::render(pool, c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::Width;
+    use achilles_symvm::MessageLayout;
+
+    #[test]
+    fn render_mentions_fields_and_status() {
+        let mut pool = TermPool::new();
+        let layout = MessageLayout::builder("m")
+            .field("cmd", Width::W8)
+            .field("addr", Width::W32)
+            .build();
+        let msg = SymMessage::fresh(&mut pool, &layout, "msg");
+        let report = TrojanReport {
+            server_path_id: 3,
+            constraints: vec![],
+            witness_fields: vec![1, 0xfffffffb],
+            active_clients: 2,
+            verified: true,
+            found_at: Duration::from_millis(5),
+            notes: vec!["read".into()],
+        };
+        let s = report.render(&pool, &msg);
+        assert!(s.contains("cmd=1"), "{s}");
+        assert!(s.contains("addr=4294967291"), "{s}");
+        assert!(s.contains("verified"), "{s}");
+        assert!(s.contains("read"), "{s}");
+    }
+}

@@ -1,0 +1,293 @@
+//! The FSP client utilities.
+//!
+//! An FSP deployment ships UNIX-style utilities (`fls`, `fget`, `frm`, …)
+//! that parse a command-line file path, apply protocol-specific tweaks, and
+//! emit one command message (§6.1). The model reproduces the two behaviours
+//! that matter for Trojan analysis:
+//!
+//! * the utility computes `bb_len` from the *actual* string length of the
+//!   path (so correct clients can never produce a mismatched length), and
+//! * with globbing enabled, any `*` in the argument is expanded against a
+//!   directory listing **before** sending — correct clients can never send a
+//!   literal `*` in a source path, and there is no escape character (§6.3).
+
+use achilles::ClientPredicate;
+use achilles_solver::{Solver, TermId, TermPool, Width};
+use achilles_symvm::{ExploreConfig, Executor, NodeProgram, PathResult, SymEnv, SymMessage};
+
+use crate::protocol::{layout, Command, BYPASS_VALUE, MAX_PATH, WILDCARD};
+
+/// Client-side configuration shared by all utilities.
+#[derive(Clone, Debug)]
+pub struct FspClientConfig {
+    /// Model the glob expansion (`*` never reaches the wire). The accuracy
+    /// experiment of §6.2 turns this off to isolate the mismatched-length
+    /// family; the §6.3 wildcard analysis turns it on.
+    pub glob_expansion: bool,
+    /// Directory listing used for glob expansion (file names of length
+    /// `1..=MAX_PATH`).
+    pub listing: Vec<String>,
+}
+
+impl Default for FspClientConfig {
+    fn default() -> FspClientConfig {
+        FspClientConfig {
+            glob_expansion: false,
+            listing: vec!["a".into(), "ab".into(), "abc".into()],
+        }
+    }
+}
+
+/// One FSP client utility (e.g. `frm`), modeled as a node program.
+#[derive(Clone, Debug)]
+pub struct FspClient {
+    command: Command,
+    config: FspClientConfig,
+}
+
+impl FspClient {
+    /// The utility issuing `command`.
+    pub fn new(command: Command, config: FspClientConfig) -> FspClient {
+        FspClient { command, config }
+    }
+
+    /// The command this utility issues.
+    pub fn command(&self) -> Command {
+        self.command
+    }
+
+    /// Builds and sends the command message for a path of `len` bytes.
+    ///
+    /// `path[i]` terms beyond `len` are ignored; the wire padding is fresh
+    /// unconstrained garbage (a UDP datagram simply ends after `bb_len`
+    /// payload bytes — the padding models "bytes beyond the datagram").
+    fn send_command(
+        &self,
+        env: &mut SymEnv<'_>,
+        path: &[TermId],
+        len: usize,
+    ) -> PathResult<()> {
+        debug_assert!((1..=MAX_PATH).contains(&len));
+        let cmd = env.constant(u64::from(self.command.code()), Width::W8);
+        let sum = env.constant(BYPASS_VALUE, Width::W8);
+        let key = env.constant(BYPASS_VALUE, Width::W16);
+        let seq = env.constant(BYPASS_VALUE, Width::W16);
+        let bb_len = env.constant(len as u64, Width::W16);
+        let pos = env.constant(BYPASS_VALUE, Width::W32);
+        let mut values = vec![cmd, sum, key, seq, bb_len, pos];
+        for (i, &b) in path.iter().take(len).enumerate() {
+            let _ = i;
+            values.push(b);
+        }
+        for i in len..MAX_PATH {
+            values.push(env.sym(&format!("pad[{i}]"), Width::W8));
+        }
+        env.send(SymMessage::new(layout(), values));
+        Ok(())
+    }
+}
+
+impl NodeProgram for FspClient {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Read the command-line argument: a NUL-terminated string in a
+        // MAX_PATH-byte buffer (paper bound).
+        let arg: Vec<TermId> =
+            (0..MAX_PATH).map(|i| env.sym(&format!("arg[{i}]"), Width::W8)).collect();
+        let zero = env.constant(0, Width::W8);
+
+        // strlen: the first NUL ends the argument.
+        let mut len = MAX_PATH;
+        for (i, &b) in arg.iter().enumerate() {
+            if env.if_eq(b, zero)? {
+                len = i;
+                break;
+            }
+        }
+        if len == 0 {
+            env.note("usage-error: empty path");
+            return Ok(()); // exit(1): no message
+        }
+
+        if self.config.glob_expansion {
+            // Scan for a wildcard; the first one triggers expansion.
+            let star = env.constant(u64::from(WILDCARD), Width::W8);
+            for (i, &b) in arg.iter().take(len).enumerate() {
+                if env.if_eq(b, star)? {
+                    env.note(format!("glob: star at {i}"));
+                    return self.expand_glob(env);
+                }
+            }
+            // Fall through: no wildcard, the argument is sent literally
+            // (with per-byte `!= '*'` constraints accumulated above).
+        }
+
+        env.note(format!("literal path len={len}"));
+        self.send_command(env, &arg, len)
+    }
+}
+
+impl FspClient {
+    /// Glob expansion: the utility fetches a directory listing and sends one
+    /// command per matching name. The pattern semantics do not matter for
+    /// predicate extraction — what matters is that the *sent* messages carry
+    /// concrete expanded names, never `*` (and the expansion source is the
+    /// configured listing, over-approximated as "all names match").
+    fn expand_glob(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        for name in &self.config.listing {
+            let bytes = name.as_bytes();
+            if bytes.is_empty() || bytes.len() > MAX_PATH {
+                continue;
+            }
+            let path: Vec<TermId> = bytes
+                .iter()
+                .map(|&b| env.constant(u64::from(b), Width::W8))
+                .collect();
+            self.send_command(env, &path, bytes.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Explores every utility in `commands` and merges the client predicates —
+/// phase 1 of the FSP analysis.
+pub fn extract_client_predicate(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    commands: &[Command],
+    config: &FspClientConfig,
+    explore: &ExploreConfig,
+) -> ClientPredicate {
+    let mut parts = Vec::with_capacity(commands.len());
+    for &cmd in commands {
+        let client = FspClient::new(cmd, config.clone());
+        let mut exec = Executor::new(pool, solver, explore.clone());
+        let result = exec.explore(&client);
+        parts.push(ClientPredicate::from_exploration(&result));
+    }
+    ClientPredicate::merge(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BUF_BASE;
+
+    fn harness() -> (TermPool, Solver) {
+        (TermPool::new(), Solver::new())
+    }
+
+    #[test]
+    fn one_predicate_per_argument_length() {
+        let (mut pool, mut solver) = harness();
+        let pred = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &[Command::DelFile],
+            &FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        // Lengths 1..=4, one sending path each.
+        assert_eq!(pred.len(), MAX_PATH);
+        for p in &pred.paths {
+            let len = pool.as_const(p.message.field("bb_len")).expect("bb_len is concrete");
+            assert!((1..=MAX_PATH as u64).contains(&len));
+        }
+    }
+
+    #[test]
+    fn client_length_always_matches_content() {
+        // For every client path predicate: bb_len == L implies bytes
+        // 0..L are non-NUL — correct clients cannot understate the length.
+        let (mut pool, mut solver) = harness();
+        let pred = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &[Command::Stat],
+            &FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        for p in &pred.paths {
+            let len = pool.as_const(p.message.field("bb_len")).unwrap() as usize;
+            for i in 0..len {
+                let byte = p.message.value(BUF_BASE + i);
+                let zero = pool.constant(0, Width::W8);
+                let is_nul = pool.eq(byte, zero);
+                let mut q = p.constraints.clone();
+                q.push(is_nul);
+                assert!(
+                    solver.is_unsat(&mut pool, &q),
+                    "byte {i} of a length-{len} client path could be NUL"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn globbing_client_never_sends_wildcards() {
+        let (mut pool, mut solver) = harness();
+        let config = FspClientConfig { glob_expansion: true, ..FspClientConfig::default() };
+        let pred = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &[Command::DelFile],
+            &config,
+            &ExploreConfig::default(),
+        );
+        // Literal paths (4 lengths) + star paths (Σ_{len=1..4} len = 10
+        // first-star positions × 3 listing names).
+        assert_eq!(pred.len(), 4 + 10 * 3);
+        let star = pool.constant(u64::from(WILDCARD), Width::W8);
+        for p in &pred.paths {
+            let len = pool.as_const(p.message.field("bb_len")).unwrap() as usize;
+            for i in 0..len {
+                let byte = p.message.value(BUF_BASE + i);
+                let is_star = pool.eq(byte, star);
+                let mut q = p.constraints.clone();
+                q.push(is_star);
+                assert!(
+                    solver.is_unsat(&mut pool, &q),
+                    "a correct client path could send '*' at byte {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_glob_client_can_send_wildcards() {
+        // Without glob modeling, '*' is just a printable byte the user can
+        // type — the control for the wildcard experiment.
+        let (mut pool, mut solver) = harness();
+        let pred = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &[Command::DelFile],
+            &FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        let star = pool.constant(u64::from(WILDCARD), Width::W8);
+        let p = &pred.paths[0];
+        let byte = p.message.value(BUF_BASE);
+        let is_star = pool.eq(byte, star);
+        let mut q = p.constraints.clone();
+        q.push(is_star);
+        assert!(solver.is_sat(&mut pool, &q));
+    }
+
+    #[test]
+    fn eight_utilities_merge() {
+        let (mut pool, mut solver) = harness();
+        let pred = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &Command::ANALYSIS_SET,
+            &FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        assert_eq!(pred.len(), 8 * MAX_PATH);
+        // Indices are contiguous after the merge.
+        for (i, p) in pred.paths.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        let _ = pool;
+    }
+}

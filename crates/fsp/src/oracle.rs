@@ -1,0 +1,217 @@
+//! Fast concrete oracles for FSP messages.
+//!
+//! The fuzzing baseline (§6.2) needs to classify millions of concrete
+//! messages per minute, far beyond what driving the symbolic executor with
+//! concrete inputs can do. These plain-Rust mirrors of the server-accept
+//! and client-generability decisions are the fuzzer's oracles; property
+//! tests (in `tests/cross_crate_props.rs`) check them against the symbolic
+//! node programs on random messages, so the baselines and Achilles are
+//! measured against the same semantics.
+
+use crate::protocol::{
+    Command, FspMessage, BYPASS_VALUE, MAX_PATH, PRINTABLE_MAX, PRINTABLE_MIN, WILDCARD,
+};
+use crate::server::FspServerConfig;
+
+/// Whether the FSP server accepts `msg` — a concrete mirror of
+/// [`FspServer`](crate::server::FspServer)'s decision sequence.
+pub fn server_accepts(msg: &FspMessage, config: &FspServerConfig) -> bool {
+    if u64::from(msg.sum) != BYPASS_VALUE
+        || u64::from(msg.bb_key) != BYPASS_VALUE
+        || u64::from(msg.bb_seq) != BYPASS_VALUE
+        || u64::from(msg.bb_pos) != BYPASS_VALUE
+    {
+        return false;
+    }
+    let Some(cmd) = Command::from_code(msg.cmd) else {
+        return false;
+    };
+    if !config.commands.contains(&cmd) {
+        return false;
+    }
+    let reported = msg.bb_len as usize;
+    if reported == 0 || reported > MAX_PATH {
+        return false;
+    }
+    let mut actual = reported;
+    for i in 0..reported {
+        let b = msg.buf[i];
+        if b == 0 {
+            actual = i;
+            break;
+        }
+        if !(PRINTABLE_MIN..=PRINTABLE_MAX).contains(&b) {
+            return false;
+        }
+        if config.reject_wildcards && b == WILDCARD {
+            return false;
+        }
+    }
+    if actual < reported && config.check_actual_length {
+        return false;
+    }
+    true
+}
+
+/// Whether a correct client (any of the eight utilities) can generate
+/// `msg` — a concrete mirror of [`FspClient`](crate::client::FspClient).
+///
+/// `glob_expansion` mirrors [`FspClientConfig::glob_expansion`]
+/// (clients that glob can never send a literal `*`).
+///
+/// [`FspClientConfig::glob_expansion`]: crate::client::FspClientConfig
+pub fn client_can_generate(msg: &FspMessage, glob_expansion: bool) -> bool {
+    if u64::from(msg.sum) != BYPASS_VALUE
+        || u64::from(msg.bb_key) != BYPASS_VALUE
+        || u64::from(msg.bb_seq) != BYPASS_VALUE
+        || u64::from(msg.bb_pos) != BYPASS_VALUE
+    {
+        return false;
+    }
+    let Some(cmd) = Command::from_code(msg.cmd) else {
+        return false;
+    };
+    if !Command::ANALYSIS_SET.contains(&cmd) {
+        return false;
+    }
+    let len = msg.bb_len as usize;
+    if len == 0 || len > MAX_PATH {
+        return false;
+    }
+    // The client computes bb_len from strlen: every path byte is non-NUL
+    // (and never a wildcard when globbing is modeled). Padding beyond the
+    // path is arbitrary.
+    msg.buf[..len]
+        .iter()
+        .all(|&b| b != 0 && !(glob_expansion && b == WILDCARD))
+}
+
+/// Whether `msg` is a Trojan message: accepted by the server but not
+/// generable by any correct client.
+pub fn is_trojan(msg: &FspMessage, server: &FspServerConfig, glob_expansion: bool) -> bool {
+    server_accepts(msg, server) && !client_can_generate(msg, glob_expansion)
+}
+
+/// Closed-form count of Trojan messages in the fuzzed sub-space (the §6.2
+/// arithmetic: the paper counts 66 million Trojans among `256^8` fuzzed
+/// byte combinations; this computes the analogue for our bounds).
+///
+/// The fuzzed bytes are `cmd` (1 B), `bb_len` (2 B) and `buf`
+/// ([`MAX_PATH`] B); the remaining fields are held at their valid bypass
+/// constants, mirroring the paper's "we only fuzz the same message fields
+/// that are analyzed".
+pub fn trojan_count_in_fuzz_space(glob_expansion: bool) -> u64 {
+    let printable = u64::from(PRINTABLE_MAX - PRINTABLE_MIN) + 1; // 94
+    let non_wildcard_printable = printable - 1;
+    let byte_any = 256u64;
+    let mut total = 0u64;
+    for _cmd in Command::ANALYSIS_SET {
+        for reported in 1..=MAX_PATH as u64 {
+            // Mismatched length: NUL at t < reported, printable prefix,
+            // arbitrary bytes after the NUL.
+            for t in 0..reported {
+                let prefix = if glob_expansion {
+                    // Prefix bytes may include '*' (still Trojan by length).
+                    printable.pow(t as u32)
+                } else {
+                    printable.pow(t as u32)
+                };
+                let tail = byte_any.pow((MAX_PATH as u64 - t - 1) as u32);
+                total += prefix * tail;
+            }
+            // Wildcard family (glob mode only): exact length, at least one
+            // '*' among the path bytes; padding beyond `reported` arbitrary.
+            if glob_expansion {
+                let all = printable.pow(reported as u32);
+                let without_star = non_wildcard_printable.pow(reported as u32);
+                let tail = byte_any.pow((MAX_PATH as u64 - reported) as u32);
+                total += (all - without_star) * tail;
+            }
+        }
+    }
+    total
+}
+
+/// Size of the fuzzed sub-space: `cmd`(1 B) × `bb_len`(2 B) × `buf` bytes.
+pub fn fuzz_space_size() -> f64 {
+    // 256^(1 + 2 + MAX_PATH) — as f64 since it overflows u64 for larger
+    // bounds.
+    256f64.powi(1 + 2 + MAX_PATH as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid(cmd: Command, path: &[u8]) -> FspMessage {
+        FspMessage::request(cmd, path)
+    }
+
+    #[test]
+    fn accepts_valid_requests() {
+        let config = FspServerConfig::default();
+        assert!(server_accepts(&valid(Command::DelFile, b"abc"), &config));
+        assert!(client_can_generate(&valid(Command::DelFile, b"abc"), false));
+        assert!(!is_trojan(&valid(Command::DelFile, b"abc"), &config, false));
+    }
+
+    #[test]
+    fn detects_length_mismatch_trojans() {
+        let config = FspServerConfig::default();
+        let mut msg = valid(Command::Stat, b"a");
+        msg.bb_len = 3;
+        msg.buf = [b'a', 0, 0x77, 0];
+        assert!(server_accepts(&msg, &config));
+        assert!(!client_can_generate(&msg, false));
+        assert!(is_trojan(&msg, &config, false));
+        // The patched server rejects it.
+        let patched = FspServerConfig { check_actual_length: true, ..config };
+        assert!(!server_accepts(&msg, &patched));
+    }
+
+    #[test]
+    fn wildcard_trojan_only_under_glob_model() {
+        let config = FspServerConfig::default();
+        let msg = valid(Command::DelFile, b"a*");
+        assert!(server_accepts(&msg, &config));
+        assert!(client_can_generate(&msg, false), "non-glob client types '*' freely");
+        assert!(!client_can_generate(&msg, true), "glob client always expands '*'");
+        assert!(is_trojan(&msg, &config, true));
+        assert!(!is_trojan(&msg, &config, false));
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        let config = FspServerConfig::default();
+        let mut bad_key = valid(Command::Stat, b"a");
+        bad_key.bb_key = 9;
+        assert!(!server_accepts(&bad_key, &config));
+        let mut bad_len = valid(Command::Stat, b"a");
+        bad_len.bb_len = 9;
+        assert!(!server_accepts(&bad_len, &config));
+        let mut bad_cmd = valid(Command::Stat, b"a");
+        bad_cmd.cmd = 0xEE;
+        assert!(!server_accepts(&bad_cmd, &config));
+        let mut unprintable = valid(Command::Stat, b"a");
+        unprintable.buf[0] = 7;
+        assert!(!server_accepts(&unprintable, &config));
+    }
+
+    #[test]
+    fn trojan_count_arithmetic() {
+        // Without glob: per command, Σ_L Σ_{t<L} 94^t · 256^(4-t-1).
+        let per_cmd: u64 = (1..=MAX_PATH as u64)
+            .map(|l| {
+                (0..l)
+                    .map(|t| 94u64.pow(t as u32) * 256u64.pow((MAX_PATH as u64 - t - 1) as u32))
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(trojan_count_in_fuzz_space(false), 8 * per_cmd);
+        // Glob mode adds the wildcard family, so it is strictly larger.
+        assert!(trojan_count_in_fuzz_space(true) > trojan_count_in_fuzz_space(false));
+        // The Trojan density is tiny (the point of the §6.2 comparison).
+        let density = trojan_count_in_fuzz_space(false) as f64 / fuzz_space_size();
+        assert!(density < 1e-3, "density {density}");
+    }
+}

@@ -1,0 +1,296 @@
+//! # achilles-fuzz — the black-box fuzzing baseline (§6.2)
+//!
+//! A naive black-box fuzzer over the FSP message space, used for the
+//! paper's theoretical and empirical comparison: the fuzzer draws random
+//! values for the *relevant* bytes (`cmd`, `bb_len`, `buf` — the same
+//! fields Achilles analyzes; everything else is held at valid constants,
+//! matching "In order to be fair, we only fuzz the same message fields that
+//! are analyzed"), classifies each message with the concrete oracles, and
+//! reports throughput plus the analytic expectation of Trojan discoveries.
+//!
+//! ```
+//! use achilles_fuzz::{run_campaign, FuzzConfig};
+//!
+//! let report = run_campaign(&FuzzConfig { budget_tests: 50_000, ..FuzzConfig::default() });
+//! assert_eq!(report.tests_run, 50_000);
+//! // Trojans are a ~1e-8 sliver of the space: a small campaign finds none.
+//! assert_eq!(report.trojans_found, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+use achilles_fsp::{
+    client_can_generate, fuzz_space_size, server_accepts, trojan_count_in_fuzz_space,
+    FspMessage, FspServerConfig, MAX_PATH,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzzing campaign configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of random messages to try.
+    pub budget_tests: u64,
+    /// RNG seed (campaigns are reproducible).
+    pub seed: u64,
+    /// Server configuration the oracle mirrors.
+    pub server: FspServerConfig,
+    /// Whether client generability models glob expansion.
+    pub glob_expansion: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            budget_tests: 1_000_000,
+            seed: 0xF022_ED11,
+            server: FspServerConfig::default(),
+            glob_expansion: false,
+        }
+    }
+}
+
+/// Results of one fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Messages generated and classified.
+    pub tests_run: u64,
+    /// Messages the server accepted.
+    pub accepted: u64,
+    /// Accepted messages that are genuine Trojans.
+    pub trojans_found: u64,
+    /// Accepted messages a correct client could also send — for a tester
+    /// hunting Trojans these are false positives to sift through.
+    pub accepted_valid: u64,
+    /// Wall-clock duration of the campaign.
+    pub elapsed: Duration,
+}
+
+impl FuzzReport {
+    /// Measured throughput in tests per minute (the paper measured 75,000
+    /// on its 2013 testbed).
+    pub fn tests_per_minute(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.tests_run as f64 / secs * 60.0
+    }
+}
+
+/// Draws one random message over the relevant bytes, all other fields valid.
+pub fn random_message(rng: &mut StdRng) -> FspMessage {
+    let mut buf = [0u8; MAX_PATH];
+    rng.fill(&mut buf[..]);
+    FspMessage {
+        cmd: rng.gen(),
+        sum: 0,
+        bb_key: 0,
+        bb_seq: 0,
+        bb_len: rng.gen(),
+        bb_pos: 0,
+        buf,
+    }
+}
+
+/// Runs a fuzzing campaign.
+pub fn run_campaign(config: &FuzzConfig) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let started = Instant::now();
+    let mut report = FuzzReport {
+        tests_run: 0,
+        accepted: 0,
+        trojans_found: 0,
+        accepted_valid: 0,
+        elapsed: Duration::ZERO,
+    };
+    for _ in 0..config.budget_tests {
+        let msg = random_message(&mut rng);
+        report.tests_run += 1;
+        if !server_accepts(&msg, &config.server) {
+            continue;
+        }
+        report.accepted += 1;
+        if client_can_generate(&msg, config.glob_expansion) {
+            report.accepted_valid += 1;
+        } else {
+            report.trojans_found += 1;
+        }
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// Runs an end-to-end fuzzing campaign against a *deployed* FSP server:
+/// every test is encoded to wire bytes and processed by the stateful server
+/// runtime (parse, validate, filesystem action, reply), which is what the
+/// paper's 75,000 tests/minute measured. Classification still uses the
+/// oracles so Trojan counting matches [`run_campaign`].
+pub fn run_e2e_campaign(config: &FuzzConfig) -> FuzzReport {
+    use achilles_fsp::FspServerRuntime;
+    use achilles_netsim::{Addr, SimFs};
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut server =
+        FspServerRuntime::new(Addr::new("fspd"), SimFs::new(), config.server.clone());
+    let started = Instant::now();
+    let mut report = FuzzReport {
+        tests_run: 0,
+        accepted: 0,
+        trojans_found: 0,
+        accepted_valid: 0,
+        elapsed: Duration::ZERO,
+    };
+    for _ in 0..config.budget_tests {
+        let msg = random_message(&mut rng);
+        report.tests_run += 1;
+        let wire = msg.to_wire();
+        let accepted_by_runtime = server.handle(&wire).is_some()
+            || server_accepts(&msg, &config.server);
+        if !accepted_by_runtime {
+            continue;
+        }
+        report.accepted += 1;
+        if client_can_generate(&msg, config.glob_expansion) {
+            report.accepted_valid += 1;
+        } else {
+            report.trojans_found += 1;
+        }
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// The analytic §6.2 comparison: given a measured throughput, how many
+/// Trojans does an hour of fuzzing find in expectation?
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzExpectation {
+    /// Trojan messages in the fuzzed space.
+    pub trojan_count: u64,
+    /// Size of the fuzzed space.
+    pub space_size: f64,
+    /// Probability a random test is Trojan.
+    pub trojan_probability: f64,
+    /// Expected Trojans found in one hour at the given throughput.
+    pub expected_per_hour: f64,
+    /// Expected *non-Trojan accepted* messages per hour (a tester's false
+    /// positives; the paper computes 4.5 million).
+    pub false_positives_per_hour: f64,
+}
+
+/// Computes the analytic expectation for our bounded message space.
+pub fn expectation(tests_per_minute: f64, glob_expansion: bool) -> FuzzExpectation {
+    let trojan_count = trojan_count_in_fuzz_space(glob_expansion);
+    let space = fuzz_space_size();
+    let p_trojan = trojan_count as f64 / space;
+    let accepted = accepted_count_in_fuzz_space() as f64;
+    let p_valid_accept = (accepted - trojan_count_in_fuzz_space(false) as f64) / space;
+    let tests_per_hour = tests_per_minute * 60.0;
+    FuzzExpectation {
+        trojan_count,
+        space_size: space,
+        trojan_probability: p_trojan,
+        expected_per_hour: tests_per_hour * p_trojan,
+        false_positives_per_hour: tests_per_hour * p_valid_accept.max(0.0),
+    }
+}
+
+/// Closed-form count of *accepted* messages in the fuzzed space (valid and
+/// Trojan together).
+pub fn accepted_count_in_fuzz_space() -> u64 {
+    let printable = 94u64;
+    let mut total = 0u64;
+    for _cmd in achilles_fsp::Command::ANALYSIS_SET {
+        for reported in 1..=MAX_PATH as u64 {
+            // Exact-length: printable^reported, padding free.
+            total += printable.pow(reported as u32)
+                * 256u64.pow((MAX_PATH as u64 - reported) as u32);
+            // NUL at t: printable^t · 256^(MAX_PATH - t - 1).
+            for t in 0..reported {
+                total +=
+                    printable.pow(t as u32) * 256u64.pow((MAX_PATH as u64 - t - 1) as u32);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_fsp::is_trojan;
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let config = FuzzConfig { budget_tests: 20_000, ..FuzzConfig::default() };
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.tests_run, b.tests_run);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.trojans_found, b.trojans_found);
+    }
+
+    #[test]
+    fn acceptance_rate_matches_analytics() {
+        // Fully random fuzzing accepts ~3e-7 of messages — far too rare to
+        // Monte-Carlo. Bias the generator to valid (cmd, bb_len) and check
+        // the *conditional* acceptance rate against the closed form:
+        // P(accept | valid cmd, len) = Σ_L [Σ_{t<L} 94^t·256^{M-t-1}
+        //                                   + 94^L·256^{M-L}] / (4·256^M).
+        let mut rng = StdRng::seed_from_u64(42);
+        let server = FspServerConfig::default();
+        let n = 400_000u64;
+        let mut accepted = 0u64;
+        for _ in 0..n {
+            let mut msg = random_message(&mut rng);
+            msg.cmd = achilles_fsp::Command::ANALYSIS_SET[rng.gen_range(0..8)].code();
+            msg.bb_len = rng.gen_range(1..=MAX_PATH as u16);
+            if server_accepts(&msg, &server) {
+                accepted += 1;
+            }
+        }
+        let p_emp = accepted as f64 / n as f64;
+        let conditional: f64 = (1..=MAX_PATH as u32)
+            .map(|l| {
+                let mismatched: u64 = (0..l)
+                    .map(|t| 94u64.pow(t) * 256u64.pow(MAX_PATH as u32 - t - 1))
+                    .sum();
+                let exact = 94u64.pow(l) * 256u64.pow(MAX_PATH as u32 - l);
+                (mismatched + exact) as f64 / 256f64.powi(MAX_PATH as i32)
+            })
+            .sum::<f64>()
+            / MAX_PATH as f64;
+        assert!(
+            (p_emp - conditional).abs() < 0.01,
+            "empirical {p_emp} vs analytic {conditional}"
+        );
+        // And the unconditional closed form is consistent with the
+        // conditional one times the framing probability.
+        let p_framing = (8.0 / 256.0) * (MAX_PATH as f64 / 65536.0);
+        let p_total = accepted_count_in_fuzz_space() as f64 / fuzz_space_size();
+        assert!((p_total - conditional * p_framing).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trojans_are_needles_in_haystacks() {
+        let e = expectation(75_000.0, false);
+        assert!(e.trojan_probability < 1e-6);
+        assert!(e.expected_per_hour < 1.0, "under one Trojan per fuzzing hour");
+        assert!(e.false_positives_per_hour >= 0.0);
+    }
+
+    #[test]
+    fn fuzzer_agrees_with_oracle_definitions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let server = FspServerConfig::default();
+        for _ in 0..10_000 {
+            let msg = random_message(&mut rng);
+            let t = is_trojan(&msg, &server, false);
+            let manual = server_accepts(&msg, &server) && !client_can_generate(&msg, false);
+            assert_eq!(t, manual);
+        }
+    }
+}

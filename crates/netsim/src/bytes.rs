@@ -1,0 +1,145 @@
+//! Wire encoding of field-structured messages.
+//!
+//! Protocol crates map their message layouts to byte sequences with these
+//! helpers: each field is written big-endian in `width_bits / 8` bytes.
+//! Only whole-byte widths are supported on the wire (protocols with flag
+//! *bits* pack them into a flags byte/word, as PBFT's `extra` field does).
+
+/// Errors from wire decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before all fields were read.
+    Truncated {
+        /// Bytes that were available.
+        have: usize,
+        /// Bytes that were needed.
+        need: usize,
+    },
+    /// A field width is not a whole number of bytes.
+    BadWidth {
+        /// The offending width in bits.
+        bits: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "wire message truncated: have {have} bytes, need {need}")
+            }
+            WireError::BadWidth { bits } => {
+                write!(f, "field width {bits} is not a whole number of bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes `(width_bits, value)` fields big-endian.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadWidth`] if any width is not a multiple of 8.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::bytes::encode_fields;
+///
+/// let wire = encode_fields(&[(8, 0x41), (16, 0x0102)]).unwrap();
+/// assert_eq!(wire, vec![0x41, 0x01, 0x02]);
+/// ```
+pub fn encode_fields(fields: &[(u32, u64)]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    for &(bits, value) in fields {
+        if bits % 8 != 0 || bits == 0 || bits > 64 {
+            return Err(WireError::BadWidth { bits });
+        }
+        let bytes = (bits / 8) as usize;
+        for i in (0..bytes).rev() {
+            out.push(((value >> (8 * i)) & 0xff) as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a byte buffer into values given per-field widths (big-endian).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the buffer is too short,
+/// [`WireError::BadWidth`] for non-byte widths. Trailing bytes are ignored
+/// (datagram protocols routinely pad).
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::bytes::decode_fields;
+///
+/// let values = decode_fields(&[0x41, 0x01, 0x02], &[8, 16]).unwrap();
+/// assert_eq!(values, vec![0x41, 0x0102]);
+/// ```
+pub fn decode_fields(wire: &[u8], widths: &[u32]) -> Result<Vec<u64>, WireError> {
+    let mut out = Vec::with_capacity(widths.len());
+    let mut pos = 0usize;
+    let need: usize = widths.iter().map(|w| (*w / 8) as usize).sum();
+    if wire.len() < need {
+        return Err(WireError::Truncated { have: wire.len(), need });
+    }
+    for &bits in widths {
+        if bits % 8 != 0 || bits == 0 || bits > 64 {
+            return Err(WireError::BadWidth { bits });
+        }
+        let bytes = (bits / 8) as usize;
+        let mut v = 0u64;
+        for _ in 0..bytes {
+            v = (v << 8) | u64::from(wire[pos]);
+            pos += 1;
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let fields = [(8u32, 0xABu64), (16, 0x1234), (32, 0xDEADBEEF), (8, 0)];
+        let wire = encode_fields(&fields).unwrap();
+        assert_eq!(wire.len(), 1 + 2 + 4 + 1);
+        let widths: Vec<u32> = fields.iter().map(|f| f.0).collect();
+        let values = decode_fields(&wire, &widths).unwrap();
+        let expect: Vec<u64> = fields.iter().map(|f| f.1).collect();
+        assert_eq!(values, expect);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let err = decode_fields(&[1, 2], &[8, 16]).unwrap_err();
+        assert_eq!(err, WireError::Truncated { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn non_byte_width_rejected() {
+        assert_eq!(encode_fields(&[(4, 1)]).unwrap_err(), WireError::BadWidth { bits: 4 });
+        assert_eq!(decode_fields(&[0], &[12]).unwrap_err(), WireError::BadWidth { bits: 12 });
+    }
+
+    #[test]
+    fn values_truncated_to_width() {
+        // Encoding masks high bits beyond the field width.
+        let wire = encode_fields(&[(8, 0x1FF)]).unwrap();
+        assert_eq!(wire, vec![0xFF]);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let values = decode_fields(&[7, 9, 9, 9], &[8]).unwrap();
+        assert_eq!(values, vec![7]);
+    }
+}

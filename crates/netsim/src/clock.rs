@@ -1,0 +1,87 @@
+//! A logical clock for deterministic cost accounting.
+//!
+//! The PBFT MAC-attack demo measures "expensive recovery" in simulated time:
+//! protocol steps charge microsecond costs to a [`SimClock`], so the
+//! throughput collapse the paper describes (§6.3) reproduces deterministically
+//! on any machine.
+
+/// Simulated time in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the epoch of the simulation.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds (floating) since the epoch of the simulation.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1000.0)
+    }
+}
+
+/// A monotonically advancing logical clock.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance_micros(1500);
+/// assert_eq!(clock.now().as_micros(), 1500);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances by `micros` microseconds.
+    pub fn advance_micros(&mut self, micros: u64) {
+        self.now = SimTime(self.now.0 + micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_micros(10);
+        c.advance_micros(5);
+        assert_eq!(c.now().as_micros(), 15);
+        assert!(c.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        let mut c = SimClock::new();
+        c.advance_micros(2500);
+        assert_eq!(c.now().to_string(), "2.500ms");
+        assert!((c.now().as_secs_f64() - 0.0025).abs() < 1e-12);
+    }
+}

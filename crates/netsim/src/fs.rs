@@ -1,0 +1,447 @@
+//! A deterministic in-memory filesystem.
+//!
+//! This stands in for the FSP server's on-disk state: a tree of directories
+//! and files addressed by `/`-separated paths. All operations are literal —
+//! the filesystem itself knows nothing about wildcards. Glob semantics
+//! (`*` matching, as UNIX shells and the FSP *client* implement them) live in
+//! [`glob_match`] and [`SimFs::glob`], so tests can demonstrate precisely the
+//! client/server asymmetry behind the FSP wildcard Trojan: the server treats
+//! `*` as an ordinary character, clients expand it.
+
+use std::collections::BTreeMap;
+
+/// Errors returned by filesystem operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path exists but has the wrong kind (file vs directory).
+    NotADirectory(String),
+    /// Path exists but has the wrong kind (directory vs file).
+    IsADirectory(String),
+    /// Target of a create already exists.
+    AlreadyExists(String),
+    /// Directory is not empty.
+    NotEmpty(String),
+    /// Path is syntactically invalid (empty component, etc.).
+    InvalidPath(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// What a path names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    File(Vec<u8>),
+    Dir(BTreeMap<String, Node>),
+}
+
+/// A deterministic in-memory filesystem tree.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::SimFs;
+///
+/// let mut fs = SimFs::new();
+/// fs.mkdir("/docs").unwrap();
+/// fs.write("/docs/a.txt", b"hello").unwrap();
+/// assert_eq!(fs.read("/docs/a.txt").unwrap(), b"hello");
+/// assert_eq!(fs.list("/docs").unwrap(), vec!["a.txt".to_string()]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimFs {
+    root: Node,
+}
+
+impl Default for SimFs {
+    fn default() -> SimFs {
+        SimFs::new()
+    }
+}
+
+/// Splits and validates a path into components.
+fn components(path: &str) -> Result<Vec<&str>, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(path.to_string()));
+    }
+    let parts: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    // Reject empty interior components like "/a//b" — filter removed them,
+    // so re-check by counting separators only for pathological "//".
+    Ok(parts)
+}
+
+impl SimFs {
+    /// An empty filesystem (just `/`).
+    pub fn new() -> SimFs {
+        SimFs { root: Node::Dir(BTreeMap::new()) }
+    }
+
+    fn lookup_dir_mut(&mut self, parts: &[&str], path: &str) -> Result<&mut BTreeMap<String, Node>, FsError> {
+        let mut cur = &mut self.root;
+        for part in parts {
+            let map = match cur {
+                Node::Dir(map) => map,
+                Node::File(_) => return Err(FsError::NotADirectory(path.to_string())),
+            };
+            cur = map.get_mut(*part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        match cur {
+            Node::Dir(map) => Ok(map),
+            Node::File(_) => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    fn lookup(&self, path: &str) -> Result<&Node, FsError> {
+        let parts = components(path)?;
+        let mut cur = &self.root;
+        for part in parts {
+            let map = match cur {
+                Node::Dir(map) => map,
+                Node::File(_) => return Err(FsError::NotADirectory(path.to_string())),
+            };
+            cur = map.get(part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    fn split_parent(path: &str) -> Result<(Vec<&str>, &str), FsError> {
+        let parts = components(path)?;
+        match parts.split_last() {
+            Some((name, parents)) => Ok((parents.to_vec(), name)),
+            None => Err(FsError::InvalidPath(path.to_string())),
+        }
+    }
+
+    /// The kind of the node at `path`, if it exists.
+    pub fn kind(&self, path: &str) -> Option<NodeKind> {
+        match self.lookup(path) {
+            Ok(Node::File(_)) => Some(NodeKind::File),
+            Ok(Node::Dir(_)) => Some(NodeKind::Dir),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `path` names an existing file or directory.
+    pub fn exists(&self, path: &str) -> bool {
+        self.kind(path).is_some()
+    }
+
+    /// Creates a directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent is missing or the name already exists.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        let (parents, name) = Self::split_parent(path)?;
+        let dir = self.lookup_dir_mut(&parents, path)?;
+        if dir.contains_key(name) {
+            return Err(FsError::AlreadyExists(path.to_string()));
+        }
+        dir.insert(name.to_string(), Node::Dir(BTreeMap::new()));
+        Ok(())
+    }
+
+    /// Writes (creates or replaces) a file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent directory is missing or `path` names a directory.
+    pub fn write(&mut self, path: &str, content: &[u8]) -> Result<(), FsError> {
+        let (parents, name) = Self::split_parent(path)?;
+        let dir = self.lookup_dir_mut(&parents, path)?;
+        match dir.get(name) {
+            Some(Node::Dir(_)) => Err(FsError::IsADirectory(path.to_string())),
+            _ => {
+                dir.insert(name.to_string(), Node::File(content.to_vec()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a file's content.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing or names a directory.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        match self.lookup(path)? {
+            Node::File(content) => Ok(content.clone()),
+            Node::Dir(_) => Err(FsError::IsADirectory(path.to_string())),
+        }
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing or names a directory.
+    pub fn remove_file(&mut self, path: &str) -> Result<(), FsError> {
+        let (parents, name) = Self::split_parent(path)?;
+        let dir = self.lookup_dir_mut(&parents, path)?;
+        match dir.get(name) {
+            Some(Node::File(_)) => {
+                dir.remove(name);
+                Ok(())
+            }
+            Some(Node::Dir(_)) => Err(FsError::IsADirectory(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if missing, not a directory, or not empty.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        let (parents, name) = Self::split_parent(path)?;
+        let dir = self.lookup_dir_mut(&parents, path)?;
+        match dir.get(name) {
+            Some(Node::Dir(map)) if map.is_empty() => {
+                dir.remove(name);
+                Ok(())
+            }
+            Some(Node::Dir(_)) => Err(FsError::NotEmpty(path.to_string())),
+            Some(Node::File(_)) => Err(FsError::NotADirectory(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Renames a file within the same directory tree (both paths absolute).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source is missing or the destination parent is missing.
+    /// An existing destination file is replaced, matching POSIX `rename`.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        let (fparents, fname) = Self::split_parent(from)?;
+        let node = {
+            let dir = self.lookup_dir_mut(&fparents, from)?;
+            dir.get(fname).ok_or_else(|| FsError::NotFound(from.to_string()))?.clone()
+        };
+        let (tparents, tname) = Self::split_parent(to)?;
+        {
+            let tdir = self.lookup_dir_mut(&tparents, to)?;
+            if matches!(tdir.get(tname), Some(Node::Dir(_))) {
+                return Err(FsError::IsADirectory(to.to_string()));
+            }
+            tdir.insert(tname.to_string(), node);
+        }
+        let fdir = self.lookup_dir_mut(&fparents, from).expect("source dir still there");
+        fdir.remove(fname);
+        Ok(())
+    }
+
+    /// Lists the entries of a directory (sorted).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is missing or names a file.
+    pub fn list(&self, path: &str) -> Result<Vec<String>, FsError> {
+        match self.lookup(path)? {
+            Node::Dir(map) => Ok(map.keys().cloned().collect()),
+            Node::File(_) => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Names in `dir` matching a glob `pattern` (only `*` is special,
+    /// matching any — possibly empty — character sequence).
+    ///
+    /// This is the *client-side* expansion semantics; the FSP server never
+    /// calls it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` is missing or names a file.
+    pub fn glob(&self, dir: &str, pattern: &str) -> Result<Vec<String>, FsError> {
+        Ok(self
+            .list(dir)?
+            .into_iter()
+            .filter(|name| glob_match(pattern, name))
+            .collect())
+    }
+
+    /// Total number of files in the tree.
+    pub fn file_count(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::File(_) => 1,
+                Node::Dir(map) => map.values().map(walk).sum(),
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+/// Shell-style glob matching where only `*` is special.
+///
+/// There is deliberately **no escape character** — exactly the FSP globbing
+/// limitation the paper exploits (§6.3): once a file named `file*` exists,
+/// no pattern can name it without also matching its siblings.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::glob_match;
+///
+/// assert!(glob_match("file*", "file1"));
+/// assert!(glob_match("file*", "file*"));
+/// assert!(glob_match("*", "anything"));
+/// assert!(!glob_match("file?", "file1")); // '?' is NOT special in FSP
+/// ```
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    // Classic two-pointer with backtracking over the last '*'.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((spi, sni)) = star {
+            pi = spi + 1;
+            ni = sni + 1;
+            star = Some((spi, sni + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimFs {
+        let mut fs = SimFs::new();
+        fs.mkdir("/dir").unwrap();
+        fs.write("/file1", b"one").unwrap();
+        fs.write("/file2", b"two").unwrap();
+        fs.write("/dir/nested", b"deep").unwrap();
+        fs
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let fs = sample();
+        assert_eq!(fs.read("/file1").unwrap(), b"one");
+        assert_eq!(fs.read("/dir/nested").unwrap(), b"deep");
+        assert_eq!(fs.file_count(), 3);
+    }
+
+    #[test]
+    fn kinds_and_existence() {
+        let fs = sample();
+        assert_eq!(fs.kind("/dir"), Some(NodeKind::Dir));
+        assert_eq!(fs.kind("/file1"), Some(NodeKind::File));
+        assert_eq!(fs.kind("/missing"), None);
+        assert!(fs.exists("/dir/nested"));
+    }
+
+    #[test]
+    fn remove_and_errors() {
+        let mut fs = sample();
+        fs.remove_file("/file1").unwrap();
+        assert!(!fs.exists("/file1"));
+        assert_eq!(fs.remove_file("/file1"), Err(FsError::NotFound("/file1".into())));
+        assert_eq!(fs.remove_file("/dir"), Err(FsError::IsADirectory("/dir".into())));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut fs = sample();
+        assert_eq!(fs.rmdir("/dir"), Err(FsError::NotEmpty("/dir".into())));
+        fs.remove_file("/dir/nested").unwrap();
+        fs.rmdir("/dir").unwrap();
+        assert!(!fs.exists("/dir"));
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut fs = sample();
+        fs.rename("/file1", "/renamed").unwrap();
+        assert!(!fs.exists("/file1"));
+        assert_eq!(fs.read("/renamed").unwrap(), b"one");
+        // Replacing an existing file is allowed.
+        fs.rename("/renamed", "/file2").unwrap();
+        assert_eq!(fs.read("/file2").unwrap(), b"one");
+    }
+
+    #[test]
+    fn list_sorted() {
+        let fs = sample();
+        assert_eq!(fs.list("/").unwrap(), vec!["dir", "file1", "file2"]);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let mut fs = SimFs::new();
+        assert!(matches!(fs.write("relative", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.mkdir("/"), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn glob_matching_star_only() {
+        assert!(glob_match("file*", "file"));
+        assert!(glob_match("file*", "file123"));
+        assert!(glob_match("*file", "myfile"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b", "ac"));
+        assert!(glob_match("*", ""));
+        // No escaping: backslash is literal.
+        assert!(!glob_match("file\\*", "file*"));
+        assert!(glob_match("file\\*", "file\\anything"));
+    }
+
+    #[test]
+    fn glob_lists_matching_files() {
+        let mut fs = sample();
+        fs.write("/filez", b"").unwrap();
+        let hits = fs.glob("/", "file*").unwrap();
+        assert_eq!(hits, vec!["file1", "file2", "filez"]);
+    }
+
+    #[test]
+    fn wildcard_file_cannot_be_targeted_precisely() {
+        // The FSP Trojan scenario: a literal 'file*' exists next to others.
+        let mut fs = SimFs::new();
+        fs.write("/file*", b"trojan").unwrap();
+        fs.write("/file1", b"precious").unwrap();
+        // Any pattern matching 'file*' also matches 'file1'.
+        let hits = fs.glob("/", "file*").unwrap();
+        assert_eq!(hits, vec!["file*", "file1"]);
+        // And there is no escape syntax to single it out.
+        let escaped = fs.glob("/", "file\\*").unwrap();
+        assert!(escaped.is_empty());
+    }
+}

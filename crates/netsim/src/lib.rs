@@ -1,0 +1,37 @@
+//! # achilles-netsim — deterministic distributed-system substrate
+//!
+//! Simulation building blocks under the Achilles target systems: an
+//! in-memory datagram network ([`Network`]), a simulated filesystem
+//! ([`SimFs`], the FSP server's disk), shell-style glob matching
+//! ([`glob_match`], the FSP client's wildcard expansion), wire codecs
+//! ([`bytes`]), and a logical clock ([`SimClock`]) for cost accounting in
+//! the PBFT MAC-attack demo.
+//!
+//! These replace the parts of the paper's testbed that a portable
+//! reproduction cannot assume: Linux UDP sockets, the server's ext3 state,
+//! and wall-clock-based performance measurements.
+//!
+//! ```
+//! use achilles_netsim::{Addr, Network, SimFs};
+//!
+//! let mut fs = SimFs::new();
+//! fs.write("/hello", b"world").unwrap();
+//!
+//! let mut net = Network::new();
+//! net.register(Addr::new("fsp-server"));
+//! net.send(Addr::new("client"), Addr::new("fsp-server"), fs.read("/hello").unwrap());
+//! assert_eq!(net.recv(&Addr::new("fsp-server")).unwrap().payload, b"world");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bytes;
+pub mod clock;
+pub mod fs;
+pub mod net;
+
+pub use bytes::{decode_fields, encode_fields, WireError};
+pub use clock::{SimClock, SimTime};
+pub use fs::{glob_match, FsError, NodeKind, SimFs};
+pub use net::{flip_bit, Addr, Datagram, NetStats, Network};

@@ -1,0 +1,242 @@
+//! An in-memory datagram network.
+//!
+//! Deterministic FIFO delivery between named endpoints, used by the concrete
+//! deployment demos (FSP client/server exchanges, the PBFT cluster under the
+//! MAC attack). This is the stand-in for the paper's UDP sockets and for the
+//! shared-memory message rerouting Achilles uses inside S2E (§5.1).
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A network endpoint address.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub String);
+
+impl Addr {
+    /// Creates an address from a name.
+    pub fn new(name: &str) -> Addr {
+        Addr(name.to_string())
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One in-flight datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender address.
+    pub from: Addr,
+    /// Destination address.
+    pub to: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Counters for network activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Datagrams delivered to an inbox.
+    pub delivered: u64,
+    /// Datagrams dropped (no such endpoint).
+    pub dropped: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Datagrams corrupted by fault injection.
+    pub corrupted: u64,
+}
+
+/// Flips bit `bit` (0 = LSB of byte 0) of a payload, returning the
+/// corrupted copy.
+///
+/// This is the paper's motivating fault: "a handful of messages … that had
+/// a single bit corrupted" took down Amazon S3, and "a single bit flip can
+/// convert the ASCII 'j' character into '*'" arms the FSP wildcard Trojan.
+///
+/// # Panics
+///
+/// Panics if `bit` is out of range for the payload.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::flip_bit;
+///
+/// // 'j' (0x6a) with bit 6 flipped is '*' (0x2a).
+/// assert_eq!(flip_bit(b"j", 6), vec![b'*']);
+/// ```
+pub fn flip_bit(payload: &[u8], bit: usize) -> Vec<u8> {
+    assert!(bit < payload.len() * 8, "bit {bit} out of range");
+    let mut out = payload.to_vec();
+    out[bit / 8] ^= 1 << (bit % 8);
+    out
+}
+
+/// A deterministic in-memory datagram network.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_netsim::{Addr, Network};
+///
+/// let mut net = Network::new();
+/// net.register(Addr::new("server"));
+/// net.send(Addr::new("client"), Addr::new("server"), b"ping".to_vec());
+/// let d = net.recv(&Addr::new("server")).unwrap();
+/// assert_eq!(d.payload, b"ping");
+/// assert_eq!(d.from, Addr::new("client"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    inboxes: BTreeMap<Addr, VecDeque<Datagram>>,
+    stats: NetStats,
+    log: Vec<Datagram>,
+    keep_log: bool,
+    corrupt_next: Option<usize>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// A network that retains a copy of every datagram for inspection.
+    pub fn with_log() -> Network {
+        Network { keep_log: true, ..Network::default() }
+    }
+
+    /// Registers an endpoint so it can receive datagrams.
+    pub fn register(&mut self, addr: Addr) {
+        self.inboxes.entry(addr).or_default();
+    }
+
+    /// Whether an endpoint is registered.
+    pub fn is_registered(&self, addr: &Addr) -> bool {
+        self.inboxes.contains_key(addr)
+    }
+
+    /// Arms single-bit corruption of the *next* sent datagram — the
+    /// fault-injection hook for fire-drill style testing (§1: Google's
+    /// intentional failures in live systems; the S3 bit flip).
+    pub fn corrupt_next_send(&mut self, bit: usize) {
+        self.corrupt_next = Some(bit);
+    }
+
+    /// Sends a datagram; undeliverable datagrams are counted and dropped
+    /// (UDP semantics).
+    pub fn send(&mut self, from: Addr, to: Addr, mut payload: Vec<u8>) {
+        if let Some(bit) = self.corrupt_next.take() {
+            if bit < payload.len() * 8 {
+                payload = flip_bit(&payload, bit);
+                self.stats.corrupted += 1;
+            }
+        }
+        self.stats.sent += 1;
+        self.stats.bytes += payload.len() as u64;
+        let d = Datagram { from, to: to.clone(), payload };
+        if self.keep_log {
+            self.log.push(d.clone());
+        }
+        match self.inboxes.get_mut(&to) {
+            Some(q) => {
+                q.push_back(d);
+                self.stats.delivered += 1;
+            }
+            None => self.stats.dropped += 1,
+        }
+    }
+
+    /// Receives the next datagram for `addr`, if any.
+    pub fn recv(&mut self, addr: &Addr) -> Option<Datagram> {
+        self.inboxes.get_mut(addr)?.pop_front()
+    }
+
+    /// Number of queued datagrams for `addr`.
+    pub fn pending(&self, addr: &Addr) -> usize {
+        self.inboxes.get(addr).map_or(0, VecDeque::len)
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The datagram log (empty unless created via [`Network::with_log`]).
+    pub fn log(&self) -> &[Datagram] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut net = Network::new();
+        net.register(Addr::new("s"));
+        net.send(Addr::new("c"), Addr::new("s"), vec![1]);
+        net.send(Addr::new("c"), Addr::new("s"), vec![2]);
+        assert_eq!(net.pending(&Addr::new("s")), 2);
+        assert_eq!(net.recv(&Addr::new("s")).unwrap().payload, vec![1]);
+        assert_eq!(net.recv(&Addr::new("s")).unwrap().payload, vec![2]);
+        assert!(net.recv(&Addr::new("s")).is_none());
+    }
+
+    #[test]
+    fn unregistered_destination_drops() {
+        let mut net = Network::new();
+        net.send(Addr::new("c"), Addr::new("ghost"), vec![0]);
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().sent, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn log_records_everything() {
+        let mut net = Network::with_log();
+        net.register(Addr::new("s"));
+        net.send(Addr::new("a"), Addr::new("s"), vec![9]);
+        net.send(Addr::new("b"), Addr::new("ghost"), vec![8]);
+        assert_eq!(net.log().len(), 2);
+        assert_eq!(net.log()[1].to, Addr::new("ghost"));
+    }
+
+    #[test]
+    fn flip_bit_is_an_involution() {
+        let payload = vec![0xAAu8, 0x55, 0x00];
+        for bit in 0..24 {
+            let once = flip_bit(&payload, bit);
+            assert_ne!(once, payload);
+            assert_eq!(flip_bit(&once, bit), payload);
+        }
+    }
+
+    #[test]
+    fn corrupt_next_send_flips_one_bit() {
+        let mut net = Network::new();
+        net.register(Addr::new("s"));
+        net.corrupt_next_send(6); // 'j' -> '*'
+        net.send(Addr::new("c"), Addr::new("s"), b"j".to_vec());
+        assert_eq!(net.recv(&Addr::new("s")).unwrap().payload, b"*");
+        assert_eq!(net.stats().corrupted, 1);
+        // Only the armed datagram is corrupted.
+        net.send(Addr::new("c"), Addr::new("s"), b"j".to_vec());
+        assert_eq!(net.recv(&Addr::new("s")).unwrap().payload, b"j");
+        assert_eq!(net.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut net = Network::new();
+        net.register(Addr::new("s"));
+        net.send(Addr::new("c"), Addr::new("s"), vec![0; 10]);
+        net.send(Addr::new("c"), Addr::new("s"), vec![0; 5]);
+        assert_eq!(net.stats().bytes, 15);
+    }
+}

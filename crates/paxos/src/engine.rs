@@ -1,0 +1,137 @@
+//! Concrete single-decree Paxos.
+//!
+//! A textbook Synod implementation small enough to read in one sitting:
+//! proposers run phase 1 (prepare/promise) and phase 2 (accept/accepted);
+//! acceptors maintain the `promised` ballot and the last accepted
+//! `(ballot, value)` pair. Used by the local-state example to build the
+//! "just entered phase 2 with value 7" scenario concretely.
+
+/// A ballot (proposal) number.
+pub type Ballot = u16;
+/// A proposed value.
+pub type Value = u32;
+
+/// A Paxos acceptor's durable state plus the protocol rules.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Acceptor {
+    /// Highest ballot promised (phase 1).
+    pub promised: Option<Ballot>,
+    /// Last accepted ballot and value (phase 2).
+    pub accepted: Option<(Ballot, Value)>,
+}
+
+impl Acceptor {
+    /// A fresh acceptor.
+    pub fn new() -> Acceptor {
+        Acceptor::default()
+    }
+
+    /// Phase 1b: handle `prepare(b)`; returns the promise (the previously
+    /// accepted pair, if any) or `None` when the ballot is stale.
+    pub fn on_prepare(&mut self, ballot: Ballot) -> Option<Option<(Ballot, Value)>> {
+        if self.promised.is_some_and(|p| ballot <= p) {
+            return None;
+        }
+        self.promised = Some(ballot);
+        Some(self.accepted)
+    }
+
+    /// Phase 2b: handle `accept(b, v)`; returns whether it was accepted.
+    pub fn on_accept(&mut self, ballot: Ballot, value: Value) -> bool {
+        if self.promised.is_some_and(|p| ballot < p) {
+            return false;
+        }
+        self.promised = Some(ballot);
+        self.accepted = Some((ballot, value));
+        true
+    }
+}
+
+/// A Paxos proposer driving one ballot.
+#[derive(Clone, Debug)]
+pub struct Proposer {
+    /// This proposer's ballot.
+    pub ballot: Ballot,
+    /// The value it wants to propose (may be overridden by phase 1).
+    pub value: Value,
+}
+
+impl Proposer {
+    /// A proposer for `ballot` proposing `value`.
+    pub fn new(ballot: Ballot, value: Value) -> Proposer {
+        Proposer { ballot, value }
+    }
+
+    /// Runs both phases against a set of acceptors; returns the chosen value
+    /// if a majority accepted.
+    pub fn run(&mut self, acceptors: &mut [Acceptor]) -> Option<Value> {
+        let majority = acceptors.len() / 2 + 1;
+        // Phase 1.
+        let mut promises = Vec::new();
+        for a in acceptors.iter_mut() {
+            if let Some(prev) = a.on_prepare(self.ballot) {
+                promises.push(prev);
+            }
+        }
+        if promises.len() < majority {
+            return None;
+        }
+        // Adopt the highest previously accepted value, if any.
+        if let Some((_, v)) = promises.iter().flatten().max_by_key(|(b, _)| *b) {
+            self.value = *v;
+        }
+        // Phase 2.
+        let accepted = acceptors
+            .iter_mut()
+            .filter(|_| true)
+            .map(|a| a.on_accept(self.ballot, self.value))
+            .filter(|ok| *ok)
+            .count();
+        (accepted >= majority).then_some(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_proposer_decides() {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        let mut p = Proposer::new(5, 7);
+        assert_eq!(p.run(&mut acceptors), Some(7));
+        for a in &acceptors {
+            assert_eq!(a.accepted, Some((5, 7)));
+        }
+    }
+
+    #[test]
+    fn stale_ballot_rejected() {
+        let mut a = Acceptor::new();
+        assert!(a.on_prepare(10).is_some());
+        assert!(a.on_prepare(5).is_none(), "lower ballot after promise");
+        assert!(!a.on_accept(5, 1), "stale accept refused");
+        assert!(a.on_accept(10, 2));
+    }
+
+    #[test]
+    fn later_proposer_adopts_accepted_value() {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        let mut p1 = Proposer::new(1, 7);
+        assert_eq!(p1.run(&mut acceptors), Some(7));
+        // A competing proposer with a different value must converge on 7.
+        let mut p2 = Proposer::new(2, 99);
+        assert_eq!(p2.run(&mut acceptors), Some(7), "safety: chosen value sticks");
+    }
+
+    #[test]
+    fn no_majority_no_decision() {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        // Pre-promise all acceptors to a high ballot.
+        for a in acceptors.iter_mut() {
+            a.on_prepare(100);
+        }
+        let mut p = Proposer::new(5, 7);
+        assert_eq!(p.run(&mut acceptors), None);
+    }
+}

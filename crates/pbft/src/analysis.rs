@@ -1,0 +1,182 @@
+//! The canned PBFT Trojan analysis (§6.2): client predicate → negations →
+//! replica exploration. The paper reports that "Achilles completed the PBFT
+//! analysis in just a few seconds" and discovered "a single type of Trojan
+//! message" — a request whose authenticator field cannot come from a
+//! correct client, accepted because the primary never checks it.
+
+use std::time::{Duration, Instant};
+
+use achilles::{
+    prepare_client, ClientPredicate, FieldMask, Optimizations, SearchStats, TrojanObserver,
+    TrojanReport,
+};
+use achilles_solver::{Solver, TermPool};
+use achilles_symvm::{ExploreConfig, ExploreStats, Executor, SymMessage};
+
+use crate::client::extract_client_predicate;
+use crate::protocol::{layout, PbftRequest, MAC_PLACEHOLDER};
+use crate::replica::{PbftReplica, PbftReplicaConfig};
+
+/// Classification of PBFT Trojan reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PbftTrojanFamily {
+    /// A request whose authenticator vector no correct client produces —
+    /// the MAC attack.
+    MacAttack,
+    /// Anything else (unexpected).
+    Other,
+}
+
+/// Classifies a report by its witness.
+pub fn classify(report: &TrojanReport) -> PbftTrojanFamily {
+    let req = PbftRequest::from_field_values(&report.witness_fields);
+    if req.macs.iter().any(|&m| u64::from(m) != MAC_PLACEHOLDER) {
+        PbftTrojanFamily::MacAttack
+    } else {
+        PbftTrojanFamily::Other
+    }
+}
+
+/// Configuration of a PBFT analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct PbftAnalysisConfig {
+    /// Replica configuration (patch toggle).
+    pub replica: PbftReplicaConfig,
+    /// Optimization toggles.
+    pub optimizations: Optimizations,
+    /// Verify witnesses against the client predicate.
+    pub verify_witnesses: bool,
+}
+
+impl PbftAnalysisConfig {
+    /// The paper's setup: vulnerable replica, full optimizations,
+    /// verification on.
+    pub fn paper() -> PbftAnalysisConfig {
+        PbftAnalysisConfig {
+            verify_witnesses: true,
+            optimizations: Optimizations::default(),
+            replica: PbftReplicaConfig::default(),
+        }
+    }
+}
+
+/// Result of a PBFT analysis run.
+#[derive(Debug)]
+pub struct PbftAnalysisResult {
+    /// The client predicate.
+    pub client: ClientPredicate,
+    /// The symbolic request the replica received.
+    pub server_msg: SymMessage,
+    /// Trojan reports.
+    pub trojans: Vec<TrojanReport>,
+    /// Per-report families.
+    pub families: Vec<PbftTrojanFamily>,
+    /// Total analysis time (the paper: "a few seconds").
+    pub total_time: Duration,
+    /// Search counters.
+    pub search_stats: SearchStats,
+    /// Replica exploration counters.
+    pub explore_stats: ExploreStats,
+}
+
+impl PbftAnalysisResult {
+    /// Number of MAC-attack reports.
+    pub fn mac_attacks(&self) -> usize {
+        self.families.iter().filter(|f| **f == PbftTrojanFamily::MacAttack).count()
+    }
+
+    /// Number of distinct Trojan *types* (families) discovered.
+    pub fn distinct_families(&self) -> usize {
+        let mut fams: Vec<PbftTrojanFamily> = self.families.clone();
+        fams.sort_by_key(|f| *f == PbftTrojanFamily::Other);
+        fams.dedup();
+        fams.len()
+    }
+}
+
+/// Runs the PBFT analysis on a fresh pool/solver.
+pub fn run_analysis(config: &PbftAnalysisConfig) -> PbftAnalysisResult {
+    let started = Instant::now();
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let client = extract_client_predicate(&mut pool, &mut solver);
+    let server_msg = SymMessage::fresh(&mut pool, &layout(), "msg");
+    let prepared = prepare_client(
+        &mut pool,
+        &mut solver,
+        client,
+        server_msg.clone(),
+        FieldMask::none(),
+        config.optimizations,
+    );
+    let mut observer =
+        TrojanObserver::new(&prepared, config.optimizations, config.verify_witnesses);
+    let explore = ExploreConfig { recv_script: vec![server_msg.clone()], ..Default::default() };
+    let result = {
+        let mut exec = Executor::new(&mut pool, &mut solver, explore);
+        exec.explore_observed(&PbftReplica::new(config.replica.clone()), &mut observer)
+    };
+    let TrojanObserver { reports, stats, .. } = observer;
+    let families = reports.iter().map(classify).collect();
+    PbftAnalysisResult {
+        client: prepared.client.clone(),
+        server_msg,
+        trojans: reports,
+        families,
+        total_time: started.elapsed(),
+        search_stats: stats,
+        explore_stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rediscovers_the_mac_attack() {
+        let result = run_analysis(&PbftAnalysisConfig::paper());
+        // One report per accepting path (read-only + pre_prepare), all of
+        // the same single type — the paper: "Achilles discovered a single
+        // type of Trojan message … on all execution paths in the server".
+        assert_eq!(result.trojans.len(), 2);
+        assert_eq!(result.mac_attacks(), 2);
+        assert_eq!(result.distinct_families(), 1);
+        assert!(result.trojans.iter().all(|t| t.verified));
+    }
+
+    #[test]
+    fn witnesses_carry_corrupted_authenticators() {
+        let result = run_analysis(&PbftAnalysisConfig::paper());
+        for t in &result.trojans {
+            let req = PbftRequest::from_field_values(&t.witness_fields);
+            assert!(
+                req.macs.iter().any(|&m| u64::from(m) != MAC_PLACEHOLDER),
+                "the witness must differ from the placeholder authenticator"
+            );
+            // Everything else about the witness is well-formed.
+            assert_eq!(u64::from(req.tag), crate::protocol::REQUEST_TAG);
+            assert!(u64::from(req.cid) < crate::mac::N_CLIENTS);
+        }
+    }
+
+    #[test]
+    fn patched_replica_is_trojan_free() {
+        let config = PbftAnalysisConfig {
+            replica: PbftReplicaConfig { verify_macs: true },
+            verify_witnesses: true,
+            ..PbftAnalysisConfig::paper()
+        };
+        let result = run_analysis(&config);
+        assert_eq!(result.trojans.len(), 0, "MAC verification closes the vulnerability");
+    }
+
+    #[test]
+    fn analysis_is_fast() {
+        // The paper: "Due to the simplicity of checks on the client request
+        // fields, Achilles completed the PBFT analysis in just a few
+        // seconds." Keep a generous bound for slow CI machines.
+        let result = run_analysis(&PbftAnalysisConfig::paper());
+        assert!(result.total_time < Duration::from_secs(30));
+    }
+}

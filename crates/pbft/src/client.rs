@@ -1,0 +1,103 @@
+//! The PBFT client node program.
+//!
+//! Mirrors the paper's setup (§6.1): "We started a PBFT client and
+//! generated a request with symbolic extra, replier, rid, cid, and
+//! command. We set a fixed length for the command, list of authenticators,
+//! and for the overall message." The digest and authenticators carry the
+//! predefined bypass constants.
+
+use achilles::ClientPredicate;
+use achilles_solver::{Solver, TermPool, Width};
+use achilles_symvm::{
+    ExploreConfig, Executor, NodeProgram, PathResult, SymEnv, SymMessage,
+};
+
+use crate::mac::{N_CLIENTS, N_REPLICAS};
+use crate::protocol::{
+    layout, COMMAND_LEN, DIGEST_PLACEHOLDER, MAC_PLACEHOLDER, MESSAGE_SIZE, REQUEST_TAG,
+};
+
+/// The PBFT client as a node program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PbftClient;
+
+impl NodeProgram for PbftClient {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Symbolic user-controlled inputs, validated like the real client
+        // library validates them.
+        let extra = env.sym_in_range("extra", Width::W16, 0, 1)?; // only the read-only bit
+        let replier = env.sym_in_range("replier", Width::W16, 0, N_REPLICAS as u64 - 1)?;
+        let cid = env.sym_in_range("cid", Width::W16, 0, N_CLIENTS - 1)?; // own id: always valid
+        let rid = env.sym("rid", Width::W16); // monotonic counter: any value over time
+        let command: Vec<_> =
+            (0..COMMAND_LEN).map(|i| env.sym(&format!("command[{i}]"), Width::W8)).collect();
+
+        let tag = env.constant(REQUEST_TAG, Width::W16);
+        let size = env.constant(MESSAGE_SIZE, Width::W32);
+        let od = env.constant(DIGEST_PLACEHOLDER, Width::W64);
+        let command_size = env.constant(COMMAND_LEN as u64, Width::W16);
+
+        let mut values = vec![tag, extra, size, od, replier, command_size, cid, rid];
+        values.extend(command);
+        // The authenticator vector: the bypass constant per replica (the
+        // paper's annotation replaces the UMAC computation).
+        for _ in 0..N_REPLICAS {
+            values.push(env.constant(MAC_PLACEHOLDER, Width::W32));
+        }
+        env.send(SymMessage::new(layout(), values));
+        Ok(())
+    }
+}
+
+/// Extracts the PBFT client predicate (phase 1).
+pub fn extract_client_predicate(pool: &mut TermPool, solver: &mut Solver) -> ClientPredicate {
+    let mut exec = Executor::new(pool, solver, ExploreConfig::default());
+    let result = exec.explore(&PbftClient);
+    ClientPredicate::from_exploration(&result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_path() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let pred = extract_client_predicate(&mut pool, &mut solver);
+        assert_eq!(pred.len(), 1, "the client has one sending path");
+        let p = &pred.paths[0];
+        // MACs are the bypass constant; rid unconstrained; cid range-bound.
+        assert_eq!(pool.as_const(p.message.field("mac[0]")), Some(MAC_PLACEHOLDER));
+        assert!(pool.as_const(p.message.field("rid")).is_none());
+        assert_eq!(p.constraints.len(), 6, "2 each for extra/replier/cid ranges");
+    }
+
+    #[test]
+    fn client_cannot_send_bad_macs() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let pred = extract_client_predicate(&mut pool, &mut solver);
+        let p = &pred.paths[0];
+        let bad = pool.constant(0x1234, Width::W32);
+        let is_bad = pool.eq(p.message.field("mac[2]"), bad);
+        let mut q = p.constraints.clone();
+        q.push(is_bad);
+        assert!(solver.is_unsat(&mut pool, &q));
+    }
+
+    #[test]
+    fn client_can_send_any_rid_and_command() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let pred = extract_client_predicate(&mut pool, &mut solver);
+        let p = &pred.paths[0];
+        for value in [0u64, 1, 0xFFFF] {
+            let v = pool.constant(value, Width::W16);
+            let pin = pool.eq(p.message.field("rid"), v);
+            let mut q = p.constraints.clone();
+            q.push(pin);
+            assert!(solver.is_sat(&mut pool, &q), "rid {value} generable");
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Interval-set domains over unsigned bitvector values.
+//!
+//! A [`IntervalSet`] is a sorted, disjoint, non-adjacent list of closed
+//! unsigned intervals `[lo, hi]` within the value range of a [`Width`]. It is
+//! the domain representation used by the solver's constraint propagation:
+//! comparisons against constants intersect the set, disequalities punch
+//! holes, and wrapping additions rotate it (possibly splitting one interval
+//! into two).
+
+use std::fmt;
+
+use crate::width::Width;
+
+/// A closed unsigned interval `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
+        Interval { lo, hi }
+    }
+
+    /// Number of values in the interval (saturating at `u64::MAX`).
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo).saturating_add(1)
+    }
+
+    /// Closed intervals are never empty (kept for API symmetry with `len`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// A set of unsigned values at a given width, stored as sorted disjoint
+/// intervals.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::{IntervalSet, Width};
+///
+/// let mut d = IntervalSet::full(Width::W8);
+/// d.intersect_range(10, 20);
+/// d.remove_value(15);
+/// assert!(d.contains(14));
+/// assert!(!d.contains(15));
+/// assert_eq!(d.len(), 10);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct IntervalSet {
+    width: Width,
+    // Sorted, disjoint, non-adjacent.
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The full domain `[0, 2^w - 1]`.
+    pub fn full(width: Width) -> IntervalSet {
+        IntervalSet { width, ivs: vec![Interval::new(0, width.max_unsigned())] }
+    }
+
+    /// The empty domain.
+    pub fn empty(width: Width) -> IntervalSet {
+        IntervalSet { width, ivs: vec![] }
+    }
+
+    /// A single value.
+    pub fn singleton(width: Width, v: u64) -> IntervalSet {
+        let v = width.truncate(v);
+        IntervalSet { width, ivs: vec![Interval::new(v, v)] }
+    }
+
+    /// A single interval `[lo, hi]` (bounds truncated to the width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if, after truncation, `lo > hi`.
+    pub fn range(width: Width, lo: u64, hi: u64) -> IntervalSet {
+        let lo = width.truncate(lo);
+        let hi = width.truncate(hi);
+        IntervalSet { width, ivs: vec![Interval::new(lo, hi)] }
+    }
+
+    /// The width of this domain.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Number of values in the set (saturating).
+    pub fn len(&self) -> u64 {
+        self.ivs.iter().fold(0u64, |acc, iv| acc.saturating_add(iv.len()))
+    }
+
+    /// Whether the set contains exactly one value; returns it.
+    pub fn as_singleton(&self) -> Option<u64> {
+        if self.ivs.len() == 1 && self.ivs[0].lo == self.ivs[0].hi {
+            Some(self.ivs[0].lo)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: u64) -> bool {
+        self.ivs.iter().any(|iv| iv.contains(v))
+    }
+
+    /// Smallest value in the set.
+    pub fn min(&self) -> Option<u64> {
+        self.ivs.first().map(|iv| iv.lo)
+    }
+
+    /// Largest value in the set.
+    pub fn max(&self) -> Option<u64> {
+        self.ivs.last().map(|iv| iv.hi)
+    }
+
+    /// The underlying intervals (sorted, disjoint).
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    fn normalize(mut ivs: Vec<Interval>) -> Vec<Interval> {
+        ivs.sort_by_key(|iv| iv.lo);
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            if let Some(last) = out.last_mut() {
+                // Merge overlapping or adjacent intervals.
+                if iv.lo <= last.hi.saturating_add(1) {
+                    last.hi = last.hi.max(iv.hi);
+                    continue;
+                }
+            }
+            out.push(iv);
+        }
+        out
+    }
+
+    /// Intersects in place with `[lo, hi]`.
+    pub fn intersect_range(&mut self, lo: u64, hi: u64) {
+        if lo > hi {
+            self.ivs.clear();
+            return;
+        }
+        self.ivs.retain_mut(|iv| {
+            if iv.hi < lo || iv.lo > hi {
+                return false;
+            }
+            iv.lo = iv.lo.max(lo);
+            iv.hi = iv.hi.min(hi);
+            true
+        });
+    }
+
+    /// Intersects in place with another set of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn intersect(&mut self, other: &IntervalSet) {
+        assert_eq!(self.width, other.width, "interval set width mismatch");
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let a = self.ivs[i];
+            let b = other.ivs[j];
+            let lo = a.lo.max(b.lo);
+            let hi = a.hi.min(b.hi);
+            if lo <= hi {
+                out.push(Interval::new(lo, hi));
+            }
+            if a.hi < b.hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// Unions in place with another set of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn union(&mut self, other: &IntervalSet) {
+        assert_eq!(self.width, other.width, "interval set width mismatch");
+        let mut all = self.ivs.clone();
+        all.extend_from_slice(&other.ivs);
+        self.ivs = Self::normalize(all);
+    }
+
+    /// Removes a single value from the set.
+    pub fn remove_value(&mut self, v: u64) {
+        let v = self.width.truncate(v);
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for iv in &self.ivs {
+            if !iv.contains(v) {
+                out.push(*iv);
+                continue;
+            }
+            if iv.lo < v {
+                out.push(Interval::new(iv.lo, v - 1));
+            }
+            if iv.hi > v {
+                out.push(Interval::new(v + 1, iv.hi));
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// The complement within `[0, 2^w - 1]`.
+    pub fn complement(&self) -> IntervalSet {
+        let max = self.width.max_unsigned();
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        let mut open = true;
+        for iv in &self.ivs {
+            if iv.lo > next {
+                out.push(Interval::new(next, iv.lo - 1));
+            }
+            if iv.hi == max {
+                open = false;
+                break;
+            }
+            next = iv.hi + 1;
+        }
+        if open && next <= max {
+            out.push(Interval::new(next, max));
+        }
+        IntervalSet { width: self.width, ivs: out }
+    }
+
+    /// Adds the constant `c` to every value, wrapping at the width.
+    ///
+    /// A wrapped interval splits into two, so the result may have one more
+    /// interval than the input. This is the inverse-image operation used when
+    /// propagating constraints through `x + c`.
+    pub fn add_const(&self, c: u64) -> IntervalSet {
+        let c = self.width.truncate(c);
+        if c == 0 {
+            return self.clone();
+        }
+        let max = self.width.max_unsigned();
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for iv in &self.ivs {
+            let lo = self.width.truncate(iv.lo.wrapping_add(c));
+            let hi = self.width.truncate(iv.hi.wrapping_add(c));
+            if lo <= hi {
+                out.push(Interval::new(lo, hi));
+            } else {
+                // The interval wrapped around the top.
+                out.push(Interval::new(lo, max));
+                out.push(Interval::new(0, hi));
+            }
+        }
+        IntervalSet { width: self.width, ivs: Self::normalize(out) }
+    }
+
+    /// Subtracts the constant `c` from every value, wrapping at the width.
+    pub fn sub_const(&self, c: u64) -> IntervalSet {
+        self.add_const(self.width.truncate(c.wrapping_neg()))
+    }
+
+    /// Iterates over all values in ascending order.
+    ///
+    /// Intended for small domains; the iterator is lazy so callers can bound
+    /// the number of values they draw.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, idx: 0, next: self.ivs.first().map(|iv| iv.lo) }
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if iv.lo == iv.hi {
+                write!(f, "{}", iv.lo)?;
+            } else {
+                write!(f, "[{}, {}]", iv.lo, iv.hi)?;
+            }
+        }
+        write!(f, "}}:{}", self.width)
+    }
+}
+
+/// Ascending-order value iterator over an [`IntervalSet`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a IntervalSet,
+    idx: usize,
+    next: Option<u64>,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let v = self.next?;
+        let iv = self.set.ivs[self.idx];
+        if v < iv.hi {
+            self.next = Some(v + 1);
+        } else {
+            self.idx += 1;
+            self.next = self.set.ivs.get(self.idx).map(|iv| iv.lo);
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_singleton() {
+        let d = IntervalSet::full(Width::W8);
+        assert_eq!(d.len(), 256);
+        assert!(d.contains(0) && d.contains(255));
+        let s = IntervalSet::singleton(Width::W8, 300);
+        assert_eq!(s.as_singleton(), Some(44)); // truncated
+    }
+
+    #[test]
+    fn intersect_range_clips() {
+        let mut d = IntervalSet::full(Width::W8);
+        d.intersect_range(10, 20);
+        assert_eq!(d.len(), 11);
+        d.intersect_range(15, 255);
+        assert_eq!((d.min(), d.max()), (Some(15), Some(20)));
+        d.intersect_range(30, 40);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_value_splits() {
+        let mut d = IntervalSet::range(Width::W8, 0, 10);
+        d.remove_value(5);
+        assert_eq!(d.len(), 10);
+        assert!(!d.contains(5));
+        assert_eq!(d.intervals().len(), 2);
+        d.remove_value(0);
+        d.remove_value(10);
+        assert_eq!((d.min(), d.max()), (Some(1), Some(9)));
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let mut d = IntervalSet::full(Width::W8);
+        d.intersect_range(10, 20);
+        d.remove_value(15);
+        let c = d.complement();
+        assert_eq!(c.len(), 256 - 10);
+        assert!(c.contains(15));
+        assert!(!c.contains(16));
+        let cc = c.complement();
+        assert_eq!(cc, d);
+    }
+
+    #[test]
+    fn complement_of_full_and_empty() {
+        let full = IntervalSet::full(Width::W8);
+        assert!(full.complement().is_empty());
+        let empty = IntervalSet::empty(Width::W8);
+        assert_eq!(empty.complement(), full);
+    }
+
+    #[test]
+    fn add_const_wraps_and_splits() {
+        let d = IntervalSet::range(Width::W8, 250, 255);
+        let shifted = d.add_const(10);
+        // [250,255] + 10 = [4,9] wrapped.
+        assert_eq!((shifted.min(), shifted.max()), (Some(4), Some(9)));
+        let partial = IntervalSet::range(Width::W8, 200, 255).add_const(30);
+        // [200,255]+30 = [230,255] ∪ [0,29] → wraps into two intervals.
+        assert_eq!(partial.intervals().len(), 2);
+        assert!(partial.contains(230) && partial.contains(255));
+        assert!(partial.contains(0) && partial.contains(29));
+        assert!(!partial.contains(30) && !partial.contains(229));
+    }
+
+    #[test]
+    fn sub_const_inverts_add() {
+        let d = IntervalSet::range(Width::W16, 100, 200);
+        let back = d.add_const(1234).sub_const(1234);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let mut a = IntervalSet::range(Width::W8, 0, 100);
+        a.remove_value(50);
+        let b = IntervalSet::range(Width::W8, 40, 60);
+        a.intersect(&b);
+        assert_eq!(a.len(), 20);
+        assert!(!a.contains(50));
+        assert!(a.contains(40) && a.contains(60));
+    }
+
+    #[test]
+    fn union_merges_adjacent() {
+        let mut a = IntervalSet::range(Width::W8, 0, 10);
+        let b = IntervalSet::range(Width::W8, 11, 20);
+        a.union(&b);
+        assert_eq!(a.intervals().len(), 1);
+        assert_eq!(a.len(), 21);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut d = IntervalSet::range(Width::W8, 3, 7);
+        d.remove_value(5);
+        let vals: Vec<u64> = d.iter().collect();
+        assert_eq!(vals, vec![3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn width64_full_len_saturates() {
+        let d = IntervalSet::full(Width::W64);
+        assert_eq!(d.len(), u64::MAX);
+        assert!(d.contains(u64::MAX));
+    }
+}

@@ -1,0 +1,71 @@
+//! # achilles-solver — an SMT-lite bitvector solver
+//!
+//! This crate is the constraint-solving substrate of the Achilles
+//! trojan-message finder (ASPLOS'14 reproduction). It plays the role STP and
+//! Z3 play in the paper: deciding satisfiability of path constraints gathered
+//! by symbolic execution and producing concrete models used to *concretize*
+//! symbolic Trojan messages.
+//!
+//! The term language is fixed-width bitvectors (1–64 bits) with wrapping
+//! arithmetic, bitwise operators, comparisons (signed comparisons are
+//! lowered at construction time), boolean connectives, and *opaque
+//! functions* — registered Rust closures such as CRCs and MACs that stay
+//! symbolic until all arguments are concrete.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use achilles_solver::{Solver, TermPool, Width};
+//!
+//! let mut pool = TermPool::new();
+//! let mut solver = Solver::new();
+//!
+//! // msg.address is a 32-bit field that must be below 100 but may be
+//! // "negative" (two's complement) — the Trojan window of the paper's
+//! // working example.
+//! let addr = pool.fresh("msg.address", Width::W32);
+//! let hundred = pool.constant(100, Width::W32);
+//! let zero = pool.constant(0, Width::W32);
+//! let below_max = pool.slt(addr, hundred);
+//! let negative = pool.slt(addr, zero);
+//!
+//! let model = solver
+//!     .model(&mut pool, &[below_max, negative])
+//!     .expect("negative addresses below 100 exist");
+//! let v = model.value(pool.as_var(addr).unwrap()).unwrap();
+//! assert!(Width::W32.to_signed(v) < 0);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`term`] — hash-consed terms, variables, opaque functions ([`TermPool`])
+//! * [`interval`] — interval-set domains ([`IntervalSet`])
+//! * [`atom`] — negation normal form and affine views
+//! * [`search`] — propagation + DPLL search ([`solve`])
+//! * [`model`] — verified satisfying assignments ([`Model`])
+//! * [`solver`] — caching facade ([`Solver`])
+//! * [`pretty`] — human-readable rendering ([`render`])
+//! * [`smtlib`] — SMT-LIB 2 export for external cross-checking ([`to_smtlib`])
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod atom;
+pub mod interval;
+pub mod model;
+pub mod pretty;
+pub mod search;
+pub mod smtlib;
+pub mod solver;
+pub mod term;
+pub mod width;
+
+pub use atom::{affine_view, affine_view_with, nnf, AffineView, Formula, Literal};
+pub use interval::{Interval, IntervalSet};
+pub use model::Model;
+pub use pretty::{render, render_conjunction};
+pub use smtlib::to_smtlib;
+pub use search::{solve, SatResult, SearchStats, SolverConfig};
+pub use solver::{Solver, SolverStats};
+pub use term::{FunId, Op, TermData, TermId, TermPool, VarId, VarInfo};
+pub use width::Width;

@@ -1,0 +1,219 @@
+//! Human-readable rendering of terms.
+//!
+//! Trojan-message reports show symbolic expressions to developers, so the
+//! renderer favours protocol-level readability: variables print with their
+//! registered names (`msg.address`), opaque functions with their registered
+//! names (`crc16(...)`), and the signed-bias lowering of `slt`/`sle` is
+//! re-sugared into `<s` / `<=s` where it is recognizable.
+
+use std::fmt::Write as _;
+
+use crate::term::{Op, TermId, TermPool};
+
+/// Renders `t` as a readable expression string.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::{render, TermPool, Width};
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.fresh("msg.address", Width::W32);
+/// let c = pool.constant(100, Width::W32);
+/// let cmp = pool.ult(x, c);
+/// assert_eq!(render(&pool, cmp), "(msg.address <u 100)");
+/// ```
+pub fn render(pool: &TermPool, t: TermId) -> String {
+    let mut s = String::new();
+    write_term(pool, t, &mut s);
+    s
+}
+
+/// Renders a conjunction of terms joined by `∧` across lines.
+pub fn render_conjunction(pool: &TermPool, terms: &[TermId]) -> String {
+    let mut out = String::new();
+    for (i, &t) in terms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" ∧\n");
+        }
+        write_term(pool, t, &mut out);
+    }
+    out
+}
+
+fn write_term(pool: &TermPool, t: TermId, out: &mut String) {
+    let node = pool.node(t).clone();
+    match node.op {
+        Op::Const(v) => {
+            // Small constants in decimal, larger ones in hex for legibility.
+            if v < 1024 {
+                let _ = write!(out, "{v}");
+            } else {
+                let _ = write!(out, "{v:#x}");
+            }
+        }
+        Op::Var(v) => {
+            let _ = write!(out, "{}", pool.var_info(v).name);
+        }
+        Op::Add => {
+            // Re-sugar the sign-bias pattern is handled at the comparison
+            // level; plain additions render infix.
+            write_bin(pool, "+", &node.args, out);
+        }
+        Op::Sub => write_bin(pool, "-", &node.args, out),
+        Op::Mul => write_bin(pool, "*", &node.args, out),
+        Op::Neg => write_un(pool, "-", node.args[0], out),
+        Op::BitAnd => write_bin(pool, "&", &node.args, out),
+        Op::BitOr => write_bin(pool, "|", &node.args, out),
+        Op::BitXor => write_bin(pool, "^", &node.args, out),
+        Op::BitNot => write_un(pool, "~", node.args[0], out),
+        Op::Shl => write_bin(pool, "<<", &node.args, out),
+        Op::Lshr => write_bin(pool, ">>", &node.args, out),
+        Op::ZExt => {
+            let _ = write!(out, "zext{}(", node.width);
+            write_term(pool, node.args[0], out);
+            out.push(')');
+        }
+        Op::SExt => {
+            let _ = write!(out, "sext{}(", node.width);
+            write_term(pool, node.args[0], out);
+            out.push(')');
+        }
+        Op::Extract { lo } => {
+            write_term(pool, node.args[0], out);
+            let hi = u32::from(lo) + node.width.bits() - 1;
+            let _ = write!(out, "[{hi}:{lo}]");
+        }
+        Op::Concat => write_bin(pool, "++", &node.args, out),
+        Op::Eq => write_bin(pool, "==", &node.args, out),
+        Op::Ult | Op::Ule => {
+            let sym = if node.op == Op::Ult { "<u" } else { "<=u" };
+            if let Some((a, b)) = unbias_signed(pool, node.args[0], node.args[1]) {
+                let ssym = if node.op == Op::Ult { "<s" } else { "<=s" };
+                out.push('(');
+                write_term(pool, a, out);
+                let _ = write!(out, " {ssym} ");
+                write_term(pool, b, out);
+                out.push(')');
+            } else {
+                write_bin(pool, sym, &node.args, out);
+            }
+        }
+        Op::Not => {
+            out.push('!');
+            write_term(pool, node.args[0], out);
+        }
+        Op::And => write_bin(pool, "&&", &node.args, out),
+        Op::Or => write_bin(pool, "||", &node.args, out),
+        Op::Ite => {
+            out.push_str("ite(");
+            write_term(pool, node.args[0], out);
+            out.push_str(", ");
+            write_term(pool, node.args[1], out);
+            out.push_str(", ");
+            write_term(pool, node.args[2], out);
+            out.push(')');
+        }
+        Op::Fun(f) => {
+            let _ = write!(out, "{}(", pool.fun_info(f).name);
+            for (i, &a) in node.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_term(pool, a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Recognizes `(a + signbit) ⋈ (b + signbit)` and returns the unbiased pair.
+fn unbias_signed(pool: &TermPool, a: TermId, b: TermId) -> Option<(TermId, TermId)> {
+    let strip = |t: TermId| -> Option<TermId> {
+        let node = pool.node(t);
+        if node.op != Op::Add {
+            return None;
+        }
+        let (x, c) = (node.args[0], node.args[1]);
+        let cv = pool.as_const(c)?;
+        if cv == node.width.sign_bit() {
+            Some(x)
+        } else {
+            None
+        }
+    };
+    match (strip(a), strip(b)) {
+        (Some(x), Some(y)) => Some((x, y)),
+        // One side may have folded into a constant: re-bias it.
+        (Some(x), None) => pool.as_const(b).map(|_| (x, b)).and(None),
+        _ => None,
+    }
+}
+
+fn write_bin(pool: &TermPool, sym: &str, args: &[TermId], out: &mut String) {
+    out.push('(');
+    write_term(pool, args[0], out);
+    let _ = write!(out, " {sym} ");
+    write_term(pool, args[1], out);
+    out.push(')');
+}
+
+fn write_un(pool: &TermPool, sym: &str, arg: TermId, out: &mut String) {
+    out.push_str(sym);
+    write_term(pool, arg, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::Width;
+
+    #[test]
+    fn renders_named_vars_and_constants() {
+        let mut p = TermPool::new();
+        let x = p.fresh("msg.cmd", Width::W8);
+        let c = p.constant(65, Width::W8);
+        let eq = p.eq(x, c);
+        let s = render(&p, eq);
+        assert!(s.contains("msg.cmd"), "{s}");
+        assert!(s.contains("65"), "{s}");
+    }
+
+    #[test]
+    fn renders_fun_applications() {
+        let mut p = TermPool::new();
+        let f = p.register_fun("crc16", Width::W16, |_| 0);
+        let x = p.fresh("msg.body", Width::W16);
+        let app = p.apply(f, vec![x]);
+        assert_eq!(render(&p, app), "crc16(msg.body)");
+    }
+
+    #[test]
+    fn resugars_signed_comparison_between_vars() {
+        let mut p = TermPool::new();
+        let x = p.fresh("a", Width::W8);
+        let y = p.fresh("b", Width::W8);
+        let cmp = p.slt(x, y);
+        let s = render(&p, cmp);
+        assert_eq!(s, "(a <s b)");
+    }
+
+    #[test]
+    fn conjunction_renders_multiline() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let c1 = p.constant(1, Width::W8);
+        let c2 = p.constant(2, Width::W8);
+        let a = p.eq(x, c1);
+        let b = p.ne(x, c2);
+        let s = render_conjunction(&p, &[a, b]);
+        assert!(s.contains('∧'), "{s}");
+    }
+
+    #[test]
+    fn large_constants_hex() {
+        let mut p = TermPool::new();
+        let c = p.constant(0xdead, Width::W16);
+        assert_eq!(render(&p, c), "0xdead");
+    }
+}

@@ -1,0 +1,1020 @@
+//! The constraint search engine.
+//!
+//! Satisfiability is decided by a DPLL-style search over negation-normal-form
+//! formulas combined with interval-domain constraint propagation:
+//!
+//! 1. **Propagation** — affine atoms (`(zext(x) + c) ⋈ const`) are inverted
+//!    into interval-set domain refinements; variable equalities are merged
+//!    through a union-find; everything else is *deferred* and re-checked by
+//!    evaluation whenever enough variables have collapsed to single values
+//!    (this is how opaque functions such as CRCs participate:
+//!    generate-and-test).
+//! 2. **Clause splitting** — open disjunctions are unit-propagated and
+//!    case-split.
+//! 3. **Value enumeration** — when only deferred atoms remain, a variable
+//!    mentioned by one of them is enumerated over its domain (exhaustively
+//!    for small domains, by boundary-plus-random sampling for large ones; the
+//!    sampled case can answer [`SatResult::Unknown`]).
+//!
+//! Every `Sat` answer carries a [`Model`] that has been *verified* by
+//! re-evaluating all input assertions, so `Sat` results are trustworthy even
+//! if a propagation rule were buggy.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::atom::{affine_view_with, nnf, Formula, Literal};
+use crate::interval::IntervalSet;
+use crate::model::Model;
+use crate::term::{Op, TermId, TermPool, VarId};
+use crate::width::Width;
+
+/// Tuning knobs for the search engine.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Domains with at most this many values are enumerated exhaustively.
+    pub enum_limit: u64,
+    /// Number of random samples tried for larger domains before giving up.
+    pub sample_count: usize,
+    /// Hard budget on decisions (clause splits + value enumerations).
+    pub max_decisions: u64,
+    /// Seed for the sampling RNG (searches are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig { enum_limit: 4096, sample_count: 32, max_decisions: 2_000_000, seed: 0xAC41_11E5 }
+    }
+}
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Debug)]
+pub enum SatResult {
+    /// Satisfiable, with a verified model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The engine gave up (sampling fallback or budget exhaustion).
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing the work performed by one `solve` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of decision points (clause splits and enumerated values).
+    pub decisions: u64,
+    /// Number of domain refinements applied.
+    pub propagations: u64,
+    /// Number of deferred-atom evaluations.
+    pub deferred_checks: u64,
+    /// Number of model verifications that failed (should stay zero).
+    pub verification_failures: u64,
+}
+
+#[derive(Clone)]
+struct State {
+    parent: Vec<u32>,
+    dom: HashMap<u32, IntervalSet>,
+    deferred: Vec<Literal>,
+    clauses: Vec<Vec<Formula>>,
+}
+
+enum Step {
+    Progress(bool),
+    Conflict,
+}
+
+impl State {
+    fn new(num_vars: usize) -> State {
+        State {
+            parent: (0..num_vars as u32).collect(),
+            dom: HashMap::new(),
+            deferred: Vec::new(),
+            clauses: Vec::new(),
+        }
+    }
+
+    fn ensure_var(&mut self, v: VarId) {
+        let idx = v.index();
+        while self.parent.len() <= idx {
+            self.parent.push(self.parent.len() as u32);
+        }
+    }
+
+    fn find(&self, v: VarId) -> u32 {
+        let mut i = v.index() as u32;
+        while (self.parent[i as usize]) != i {
+            i = self.parent[i as usize];
+        }
+        i
+    }
+
+    fn domain_of(&self, pool: &TermPool, v: VarId) -> IntervalSet {
+        let root = self.find(v);
+        match self.dom.get(&root) {
+            Some(d) => d.clone(),
+            None => IntervalSet::full(pool.var_info(VarId(root)).width),
+        }
+    }
+
+    fn value_of(&self, v: VarId) -> Option<u64> {
+        if v.index() >= self.parent.len() {
+            return None;
+        }
+        let root = self.find(v);
+        self.dom.get(&root).and_then(|d| d.as_singleton())
+    }
+
+    /// Intersects the domain of `v`'s class with `set`.
+    ///
+    /// Returns whether the domain changed, or a conflict if it emptied.
+    fn restrict(&mut self, pool: &TermPool, v: VarId, set: &IntervalSet) -> Step {
+        self.ensure_var(v);
+        let root = self.find(v);
+        let mut d = match self.dom.get(&root) {
+            Some(d) => d.clone(),
+            None => IntervalSet::full(pool.var_info(VarId(root)).width),
+        };
+        let before = d.clone();
+        d.intersect(set);
+        if d.is_empty() {
+            return Step::Conflict;
+        }
+        let changed = d != before;
+        self.dom.insert(root, d);
+        Step::Progress(changed)
+    }
+
+    fn merge(&mut self, pool: &TermPool, a: VarId, b: VarId) -> Step {
+        self.ensure_var(a);
+        self.ensure_var(b);
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Step::Progress(false);
+        }
+        let da = self
+            .dom
+            .remove(&ra)
+            .unwrap_or_else(|| IntervalSet::full(pool.var_info(VarId(ra)).width));
+        let db = self
+            .dom
+            .remove(&rb)
+            .unwrap_or_else(|| IntervalSet::full(pool.var_info(VarId(rb)).width));
+        if da.width() != db.width() {
+            // Different widths can never be merged; treat as conflict — the
+            // caller should not have produced such an equality.
+            return Step::Conflict;
+        }
+        let mut d = da;
+        d.intersect(&db);
+        if d.is_empty() {
+            return Step::Conflict;
+        }
+        self.parent[rb as usize] = ra;
+        self.dom.insert(ra, d);
+        Step::Progress(true)
+    }
+}
+
+/// The recursive search driver. Owns the RNG and the decision budget.
+struct Engine<'p> {
+    pool: &'p mut TermPool,
+    cfg: SolverConfig,
+    rng: StdRng,
+    stats: SearchStats,
+    budget: u64,
+    assertions: Vec<TermId>,
+}
+
+/// Decides satisfiability of the conjunction of `assertions`.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::{solve, SolverConfig, TermPool, Width};
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.fresh("x", Width::W8);
+/// let five = pool.constant(5, Width::W8);
+/// let ten = pool.constant(10, Width::W8);
+/// let a = pool.ult(five, x);
+/// let b = pool.ult(x, ten);
+/// let (result, _stats) = solve(&mut pool, &[a, b], &SolverConfig::default());
+/// let model = result.model().expect("5 < x < 10 is satisfiable");
+/// let xv = pool.as_var(x).unwrap();
+/// let v = model.value(xv).unwrap();
+/// assert!(v > 5 && v < 10);
+/// ```
+pub fn solve(
+    pool: &mut TermPool,
+    assertions: &[TermId],
+    cfg: &SolverConfig,
+) -> (SatResult, SearchStats) {
+    let mut engine = Engine {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg: cfg.clone(),
+        budget: cfg.max_decisions,
+        stats: SearchStats::default(),
+        assertions: assertions.to_vec(),
+        pool,
+    };
+    let num_vars = engine.pool.num_vars();
+    let mut state = State::new(num_vars);
+    let mut pending = Vec::with_capacity(assertions.len());
+    for &a in assertions {
+        pending.push(nnf(engine.pool, a, true));
+    }
+    let result = engine.search(&mut state, pending);
+    let stats = engine.stats;
+    (result, stats)
+}
+
+impl Engine<'_> {
+    fn search(&mut self, state: &mut State, pending: Vec<Formula>) -> SatResult {
+        match self.propagate(state, pending) {
+            Ok(()) => {}
+            Err(()) => return SatResult::Unsat,
+        }
+
+        // Case-split an open clause first: clauses are usually the negated
+        // client predicates and splitting them early prunes best.
+        if let Some(ci) = self.pick_clause(state) {
+            let clause = state.clauses.swap_remove(ci);
+            let mut saw_unknown = false;
+            for disjunct in clause {
+                if self.budget == 0 {
+                    return SatResult::Unknown;
+                }
+                self.budget -= 1;
+                self.stats.decisions += 1;
+                let mut branch = state.clone();
+                match self.search(&mut branch, vec![disjunct]) {
+                    SatResult::Sat(m) => return SatResult::Sat(m),
+                    SatResult::Unsat => {}
+                    SatResult::Unknown => saw_unknown = true,
+                }
+            }
+            return if saw_unknown { SatResult::Unknown } else { SatResult::Unsat };
+        }
+
+        // Then enumerate a variable pinned by a deferred atom.
+        if let Some(var) = self.pick_deferred_var(state) {
+            return self.enumerate(state, var);
+        }
+
+        // Only interval-consistent constraints remain: build and verify.
+        self.finish(state)
+    }
+
+    /// Runs propagation to fixpoint. `Err(())` signals a conflict.
+    fn propagate(&mut self, state: &mut State, mut pending: Vec<Formula>) -> Result<(), ()> {
+        loop {
+            let mut changed = false;
+
+            // Drain structural formulas.
+            while let Some(f) = pending.pop() {
+                match f {
+                    Formula::True => {}
+                    Formula::False => return Err(()),
+                    Formula::And(parts) => pending.extend(parts),
+                    Formula::Or(parts) => state.clauses.push(parts),
+                    Formula::Lit(lit) => {
+                        changed |= self.assert_literal(state, lit)?;
+                    }
+                }
+            }
+
+            // Retry deferred literals (some may have become decidable).
+            let deferred = std::mem::take(&mut state.deferred);
+            for lit in deferred {
+                self.stats.deferred_checks += 1;
+                changed |= self.assert_literal(state, lit)?;
+            }
+
+            // Unit-propagate clauses.
+            let clauses = std::mem::take(&mut state.clauses);
+            for clause in clauses {
+                let mut undecided = Vec::new();
+                let mut satisfied = false;
+                for d in &clause {
+                    match self.eval_formula(state, d) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => undecided.push(d.clone()),
+                    }
+                }
+                if satisfied {
+                    changed = true;
+                    continue;
+                }
+                match undecided.len() {
+                    0 => return Err(()),
+                    1 => {
+                        pending.push(undecided.pop().expect("len checked"));
+                        changed = true;
+                    }
+                    _ => state.clauses.push(undecided),
+                }
+            }
+
+            if !changed && pending.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Conservative three-valued evaluation of a formula.
+    fn eval_formula(&self, state: &State, f: &Formula) -> Option<bool> {
+        match f {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Lit(lit) => {
+                let v = self.pool.eval_with(lit.term, &|v| state.value_of(v))?;
+                Some((v != 0) == lit.positive)
+            }
+            Formula::And(parts) => {
+                let mut all_true = true;
+                for p in parts {
+                    match self.eval_formula(state, p) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all_true = false,
+                    }
+                }
+                if all_true {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Formula::Or(parts) => {
+                let mut all_false = true;
+                for p in parts {
+                    match self.eval_formula(state, p) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => all_false = false,
+                    }
+                }
+                if all_false {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Asserts one literal. Returns whether any domain changed.
+    fn assert_literal(&mut self, state: &mut State, lit: Literal) -> Result<bool, ()> {
+        // Fast path: fully evaluable under the current assignment.
+        if let Some(v) = self.pool.eval_with(lit.term, &|v| state.value_of(v)) {
+            return if (v != 0) == lit.positive { Ok(false) } else { Err(()) };
+        }
+
+        let node = self.pool.node(lit.term).clone();
+        match node.op {
+            Op::Var(v) if node.width == Width::BOOL => {
+                let want = u64::from(lit.positive);
+                let set = IntervalSet::singleton(Width::BOOL, want);
+                match state.restrict(self.pool, v, &set) {
+                    Step::Conflict => Err(()),
+                    Step::Progress(c) => {
+                        if c {
+                            self.stats.propagations += 1;
+                        }
+                        Ok(c)
+                    }
+                }
+            }
+            Op::Eq => self.assert_cmp(state, lit, CmpKind::Eq, node.args[0], node.args[1]),
+            Op::Ult => self.assert_cmp(state, lit, CmpKind::Ult, node.args[0], node.args[1]),
+            Op::Ule => self.assert_cmp(state, lit, CmpKind::Ule, node.args[0], node.args[1]),
+            _ => {
+                state.deferred.push(lit);
+                Ok(false)
+            }
+        }
+    }
+
+    fn assert_cmp(
+        &mut self,
+        state: &mut State,
+        lit: Literal,
+        kind: CmpKind,
+        a: TermId,
+        b: TermId,
+    ) -> Result<bool, ()> {
+        // Partial-evaluate each side: a side whose variables are all pinned
+        // behaves as a constant, and pinned variables inside sums make the
+        // remaining side affine.
+        let ca = self.pool.eval_with(a, &|v| state.value_of(v));
+        let cb = self.pool.eval_with(b, &|v| state.value_of(v));
+        let va = affine_view_with(self.pool, a, &|v| state.value_of(v));
+        let vb = affine_view_with(self.pool, b, &|v| state.value_of(v));
+        let width = self.pool.width(a);
+
+        let step = match (ca, cb, va, vb) {
+            // const ⋈ const was handled by the fast path in assert_literal.
+            (_, Some(c), Some(av), _) => {
+                self.restrict_affine(state, av, kind, SidePos::Left, c, width, lit.positive)
+            }
+            (Some(c), _, _, Some(bv)) => {
+                self.restrict_affine(state, bv, kind, SidePos::Right, c, width, lit.positive)
+            }
+            (None, None, Some(av), Some(bv))
+                if kind == CmpKind::Eq && lit.positive && av.offset == bv.offset
+                    && av.var_width == bv.var_width
+                    && av.var_width == av.term_width
+                    && bv.var_width == bv.term_width =>
+            {
+                state.merge(self.pool, av.var, bv.var)
+            }
+            (_, Some(c), None, _) => {
+                match self.try_extract(state, a, kind, SidePos::Left, c, lit.positive) {
+                    Some(step) => step,
+                    None => {
+                        state.deferred.push(lit);
+                        return Ok(false);
+                    }
+                }
+            }
+            (Some(c), _, _, None) => {
+                match self.try_extract(state, b, kind, SidePos::Right, c, lit.positive) {
+                    Some(step) => step,
+                    None => {
+                        state.deferred.push(lit);
+                        return Ok(false);
+                    }
+                }
+            }
+            _ => {
+                state.deferred.push(lit);
+                return Ok(false);
+            }
+        };
+        match step {
+            Step::Conflict => Err(()),
+            Step::Progress(c) => {
+                if c {
+                    self.stats.propagations += 1;
+                }
+                Ok(c)
+            }
+        }
+    }
+
+    /// Propagates `extract(x, lo) ⋈ const` as a *striped* interval set over
+    /// `x`: the inverse image of a slice constraint is, per allowed slice
+    /// value, one interval for every assignment of the bits above the slice.
+    /// Only applied when the stripe count stays small.
+    fn try_extract(
+        &mut self,
+        state: &mut State,
+        term: TermId,
+        kind: CmpKind,
+        side: SidePos,
+        c: u64,
+        positive: bool,
+    ) -> Option<Step> {
+        let node = self.pool.node(term).clone();
+        let Op::Extract { lo } = node.op else {
+            return None;
+        };
+        let var = self.pool.as_var(node.args[0])?;
+        let ew = node.width; // extract width
+        let vw = self.pool.width(node.args[0]); // variable width
+        let high_bits = vw.bits() - u32::from(lo) - ew.bits();
+
+        // Allowed slice values for the comparison.
+        let slice_values = match (kind, side, positive) {
+            (CmpKind::Eq, _, true) => IntervalSet::singleton(ew, c),
+            (CmpKind::Eq, _, false) => {
+                let mut s = IntervalSet::full(ew);
+                s.remove_value(c);
+                s
+            }
+            (CmpKind::Ult, SidePos::Left, _) => {
+                if c == 0 {
+                    return Some(Step::Conflict);
+                }
+                IntervalSet::range(ew, 0, c - 1)
+            }
+            (CmpKind::Ult, SidePos::Right, _) => {
+                if c >= ew.max_unsigned() {
+                    return Some(Step::Conflict);
+                }
+                IntervalSet::range(ew, c + 1, ew.max_unsigned())
+            }
+            (CmpKind::Ule, SidePos::Left, _) => IntervalSet::range(ew, 0, c),
+            (CmpKind::Ule, SidePos::Right, _) => {
+                IntervalSet::range(ew, c, ew.max_unsigned())
+            }
+        };
+        // Stripe budget: one interval per (slice interval × high assignment).
+        const MAX_STRIPES: u64 = 4096;
+        let high_count = if high_bits >= 63 { return None } else { 1u64 << high_bits };
+        let stripe_count = high_count.checked_mul(slice_values.intervals().len() as u64)?;
+        if stripe_count > MAX_STRIPES {
+            return None;
+        }
+
+        let mut allowed = IntervalSet::empty(vw);
+        let slice_shift = u32::from(lo);
+        let low_mask = (1u64 << slice_shift).wrapping_sub(1);
+        for h in 0..high_count {
+            let high = h << (slice_shift + ew.bits());
+            for iv in slice_values.intervals() {
+                let lo_bound = high | (iv.lo << slice_shift);
+                let hi_bound = high | (iv.hi << slice_shift) | low_mask;
+                allowed.union(&IntervalSet::range(vw, lo_bound, hi_bound));
+            }
+        }
+        if allowed.is_empty() {
+            return Some(Step::Conflict);
+        }
+        Some(state.restrict(self.pool, var, &allowed))
+    }
+
+    /// Restricts an affine side against a constant.
+    ///
+    /// `side` says whether the affine term is the left operand. For `Eq` the
+    /// position is irrelevant; for orderings it decides the direction.
+    #[allow(clippy::too_many_arguments)]
+    fn restrict_affine(
+        &mut self,
+        state: &mut State,
+        av: crate::atom::AffineView,
+        kind: CmpKind,
+        side: SidePos,
+        c: u64,
+        width: Width,
+        positive: bool,
+    ) -> Step {
+        let term_values = match (kind, side, positive) {
+            (CmpKind::Eq, _, true) => IntervalSet::singleton(width, c),
+            (CmpKind::Eq, _, false) => {
+                let mut s = IntervalSet::full(width);
+                s.remove_value(c);
+                s
+            }
+            // Orderings are always positive after NNF.
+            (CmpKind::Ult, SidePos::Left, _) => {
+                // term <u c
+                if c == 0 {
+                    return Step::Conflict;
+                }
+                IntervalSet::range(width, 0, c - 1)
+            }
+            (CmpKind::Ult, SidePos::Right, _) => {
+                // c <u term
+                if c == width.max_unsigned() {
+                    return Step::Conflict;
+                }
+                IntervalSet::range(width, c + 1, width.max_unsigned())
+            }
+            (CmpKind::Ule, SidePos::Left, _) => IntervalSet::range(width, 0, c),
+            (CmpKind::Ule, SidePos::Right, _) => IntervalSet::range(width, c, width.max_unsigned()),
+        };
+        let var_values = av.inverse_image(&term_values);
+        if var_values.is_empty() {
+            return Step::Conflict;
+        }
+        state.restrict(self.pool, av.var, &var_values)
+    }
+
+    fn pick_clause(&self, state: &State) -> Option<usize> {
+        state
+            .clauses
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.len())
+            .map(|(i, _)| i)
+    }
+
+    /// Chooses the variable with the smallest domain among those mentioned by
+    /// deferred atoms.
+    fn pick_deferred_var(&self, state: &State) -> Option<VarId> {
+        let mut best: Option<(u64, VarId)> = None;
+        for lit in &state.deferred {
+            for v in self.pool.vars_of(lit.term) {
+                if state.value_of(v).is_some() {
+                    continue;
+                }
+                let size = state.domain_of(self.pool, v).len();
+                if best.is_none_or(|(s, _)| size < s) {
+                    best = Some((size, v));
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    fn enumerate(&mut self, state: &State, var: VarId) -> SatResult {
+        let domain = state.domain_of(self.pool, var);
+        let width = domain.width();
+        let exhaustive = domain.len() <= self.cfg.enum_limit;
+
+        let candidates: Vec<u64> = if exhaustive {
+            domain.iter().collect()
+        } else {
+            let mut cands = Vec::with_capacity(self.cfg.sample_count + 4);
+            if let (Some(lo), Some(hi)) = (domain.min(), domain.max()) {
+                cands.push(lo);
+                cands.push(hi);
+                for _ in 0..self.cfg.sample_count {
+                    let raw = self.rng.gen::<u64>() & width.mask();
+                    // Walk up from the raw sample to the next in-domain value.
+                    let mut probe = raw;
+                    for _ in 0..64 {
+                        if domain.contains(probe) {
+                            cands.push(probe);
+                            break;
+                        }
+                        probe = width.truncate(probe.wrapping_add(1));
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            cands
+        };
+
+        let mut saw_unknown = false;
+        for value in candidates {
+            if self.budget == 0 {
+                return SatResult::Unknown;
+            }
+            self.budget -= 1;
+            self.stats.decisions += 1;
+            let mut branch = state.clone();
+            let single = IntervalSet::singleton(width, value);
+            match branch.restrict(self.pool, var, &single) {
+                Step::Conflict => continue,
+                Step::Progress(_) => {}
+            }
+            match self.search(&mut branch, Vec::new()) {
+                SatResult::Sat(m) => return SatResult::Sat(m),
+                SatResult::Unsat => {}
+                SatResult::Unknown => saw_unknown = true,
+            }
+        }
+        if exhaustive && !saw_unknown {
+            SatResult::Unsat
+        } else {
+            SatResult::Unknown
+        }
+    }
+
+    /// All constraints are interval-consistent: extract a model and verify it.
+    fn finish(&mut self, state: &State) -> SatResult {
+        let mut model = Model::new();
+        let mut relevant: Vec<VarId> = Vec::new();
+        for &a in &self.assertions {
+            self.pool.collect_vars(a, &mut relevant);
+        }
+        for v in relevant {
+            let value = state
+                .domain_of(self.pool, v)
+                .min()
+                .unwrap_or(0);
+            model.assign(v, value);
+        }
+        for &a in &self.assertions.clone() {
+            if model.eval(self.pool, a) != Some(1) {
+                self.stats.verification_failures += 1;
+                return SatResult::Unknown;
+            }
+        }
+        SatResult::Sat(model)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CmpKind {
+    Eq,
+    Ult,
+    Ule,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SidePos {
+    Left,
+    Right,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    fn check(pool: &mut TermPool, assertions: &[TermId]) -> SatResult {
+        solve(pool, assertions, &cfg()).0
+    }
+
+    #[test]
+    fn simple_interval_sat() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let a = {
+            let c = p.constant(5, Width::W8);
+            p.ult(c, x)
+        };
+        let b = {
+            let c = p.constant(10, Width::W8);
+            p.ult(x, c)
+        };
+        let r = check(&mut p, &[a, b]);
+        let m = r.model().expect("sat");
+        let v = m.value(p.as_var(x).unwrap()).unwrap();
+        assert!(v > 5 && v < 10, "got {v}");
+    }
+
+    #[test]
+    fn contradictory_intervals_unsat() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let five = p.constant(5, Width::W8);
+        let a = p.ult(x, five);
+        let b = p.ult(five, x);
+        assert!(check(&mut p, &[a, b]).is_unsat());
+    }
+
+    #[test]
+    fn disequality_chain() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let two = p.constant(2, Width::W8);
+        let three = p.constant(3, Width::W8);
+        let lt = p.ult(x, three);
+        let ne0 = {
+            let c = p.constant(0, Width::W8);
+            p.ne(x, c)
+        };
+        let ne1 = {
+            let c = p.constant(1, Width::W8);
+            p.ne(x, c)
+        };
+        let r = check(&mut p, &[lt, ne0, ne1]);
+        let m = r.model().expect("x == 2 remains");
+        assert_eq!(m.value(p.as_var(x).unwrap()), Some(2));
+        let ne2 = p.ne(x, two);
+        assert!(check(&mut p, &[lt, ne0, ne1, ne2]).is_unsat());
+    }
+
+    #[test]
+    fn var_equality_merges() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W16);
+        let y = p.fresh("y", Width::W16);
+        let eq = p.eq(x, y);
+        let c10 = p.constant(10, Width::W16);
+        let c20 = p.constant(20, Width::W16);
+        let a = p.ult(x, c20); // x < 20
+        let b = p.ult(c10, y); // y > 10
+        let r = check(&mut p, &[eq, a, b]);
+        let m = r.model().expect("sat");
+        let xv = m.value(p.as_var(x).unwrap()).unwrap();
+        let yv = m.value(p.as_var(y).unwrap()).unwrap();
+        assert_eq!(xv, yv);
+        assert!(xv > 10 && xv < 20);
+    }
+
+    #[test]
+    fn equality_conflict_via_merge() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let y = p.fresh("y", Width::W8);
+        let eq = p.eq(x, y);
+        let c5 = p.constant(5, Width::W8);
+        let c9 = p.constant(9, Width::W8);
+        let a = p.eq(x, c5);
+        let b = p.eq(y, c9);
+        assert!(check(&mut p, &[eq, a, b]).is_unsat());
+    }
+
+    #[test]
+    fn signed_comparison_end_to_end() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W32);
+        let zero = p.constant(0, Width::W32);
+        let hundred = p.constant(100, Width::W32);
+        // x <s 0 and x <s 100: satisfied by negative values.
+        let a = p.slt(x, zero);
+        let b = p.slt(x, hundred);
+        let r = check(&mut p, &[a, b]);
+        let m = r.model().expect("negative x exists");
+        let v = m.value(p.as_var(x).unwrap()).unwrap();
+        assert!(Width::W32.to_signed(v) < 0, "got {v}");
+        // x <s 0 and x >=s 0 is unsat.
+        let c = p.sge(x, zero);
+        assert!(check(&mut p, &[a, c]).is_unsat());
+    }
+
+    #[test]
+    fn disjunction_splits() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let c1 = p.constant(1, Width::W8);
+        let c2 = p.constant(2, Width::W8);
+        let e1 = p.eq(x, c1);
+        let e2 = p.eq(x, c2);
+        let either = p.or(e1, e2);
+        let not1 = p.not(e1);
+        let r = check(&mut p, &[either, not1]);
+        let m = r.model().expect("x == 2");
+        assert_eq!(m.value(p.as_var(x).unwrap()), Some(2));
+        let not2 = p.not(e2);
+        assert!(check(&mut p, &[either, not1, not2]).is_unsat());
+    }
+
+    #[test]
+    fn opaque_fun_generate_and_test() {
+        let mut p = TermPool::new();
+        // parity(x) == 1 with x < 4: solver must enumerate x.
+        let parity = p.register_fun("parity", Width::W8, |args| args[0] % 2);
+        let x = p.fresh("x", Width::W8);
+        let four = p.constant(4, Width::W8);
+        let lt = p.ult(x, four);
+        let app = p.apply(parity, vec![x]);
+        let one = p.constant(1, Width::W8);
+        let odd = p.eq(app, one);
+        let r = check(&mut p, &[lt, odd]);
+        let m = r.model().expect("1 or 3 works");
+        let v = m.value(p.as_var(x).unwrap()).unwrap();
+        assert!(v == 1 || v == 3);
+    }
+
+    #[test]
+    fn opaque_fun_unsat() {
+        let mut p = TermPool::new();
+        let always7 = p.register_fun("const7", Width::W8, |_| 7);
+        let x = p.fresh("x", Width::W8);
+        let app = p.apply(always7, vec![x]);
+        let eight = p.constant(8, Width::W8);
+        let eq = p.eq(app, eight);
+        // Exhaustive over 256 values: provably unsat.
+        assert!(check(&mut p, &[eq]).is_unsat());
+    }
+
+    #[test]
+    fn fun_forcing_output_var() {
+        let mut p = TermPool::new();
+        let double = p.register_fun("double", Width::W16, |args| args[0] * 2);
+        let x = p.fresh("x", Width::W8);
+        let y = p.fresh("y", Width::W16);
+        let wide_x_input = x;
+        let app = p.apply(double, vec![wide_x_input]);
+        let eq = p.eq(y, app);
+        let c3 = p.constant(3, Width::W8);
+        let x_is_3 = p.eq(x, c3);
+        let r = check(&mut p, &[eq, x_is_3]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(p.as_var(y).unwrap()), Some(6));
+    }
+
+    #[test]
+    fn cross_width_zext_constraint() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let wide = p.zext(x, Width::W32);
+        let c300 = p.constant(300, Width::W32);
+        // zext(x) > 300 is unsat at 8 bits.
+        let gt = p.ult(c300, wide);
+        assert!(check(&mut p, &[gt]).is_unsat());
+        // zext(x) > 200 is sat.
+        let c200 = p.constant(200, Width::W32);
+        let gt2 = p.ult(c200, wide);
+        let r = check(&mut p, &[gt2]);
+        let m = r.model().expect("sat");
+        assert!(m.value(p.as_var(x).unwrap()).unwrap() > 200);
+    }
+
+    #[test]
+    fn large_domain_interval_only_no_enumeration() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W64);
+        let lo = p.constant(1_000_000, Width::W64);
+        let a = p.ult(lo, x);
+        let (r, stats) = solve(&mut p, &[a], &cfg());
+        assert!(r.is_sat());
+        // Interval reasoning alone should solve this: no value enumeration.
+        assert_eq!(stats.decisions, 0);
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let mut p = TermPool::new();
+        assert!(check(&mut p, &[]).is_sat());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_unknown() {
+        let mut p = TermPool::new();
+        // A query needing case splits, with a budget too small to finish.
+        let x = p.fresh("x", Width::W8);
+        let parity = p.register_fun("parity", Width::W8, |a| a[0] % 2);
+        let app = p.apply(parity, vec![x]);
+        let one = p.constant(1, Width::W8);
+        let odd = p.eq(app, one);
+        let tiny = SolverConfig { max_decisions: 1, ..SolverConfig::default() };
+        let (r, stats) = solve(&mut p, &[odd], &tiny);
+        assert!(
+            matches!(r, SatResult::Unknown | SatResult::Sat(_)),
+            "must never claim Unsat under budget exhaustion: {r:?}"
+        );
+        assert!(stats.decisions <= 1);
+    }
+
+    #[test]
+    fn extract_and_concat_via_enumeration() {
+        let mut p = TermPool::new();
+        // high byte of x == 0xAB and low byte == 0xCD pins x = 0xABCD.
+        let x = p.fresh("x", Width::W16);
+        let hi = p.extract(x, 8, Width::W8);
+        let lo = p.extract(x, 0, Width::W8);
+        let ab = p.constant(0xAB, Width::W8);
+        let cd = p.constant(0xCD, Width::W8);
+        let e1 = p.eq(hi, ab);
+        let e2 = p.eq(lo, cd);
+        let r = check(&mut p, &[e1, e2]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(p.as_var(x).unwrap()), Some(0xABCD));
+        // Contradictory byte constraints are unsat.
+        let e3 = p.ne(lo, cd);
+        assert!(check(&mut p, &[e1, e2, e3]).is_unsat());
+    }
+
+    #[test]
+    fn bool_width_operations() {
+        let mut p = TermPool::new();
+        let a = p.fresh("a", Width::BOOL);
+        let b = p.fresh("b", Width::BOOL);
+        let both = p.and(a, b);
+        let r = check(&mut p, &[both]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(p.as_var(a).unwrap()), Some(1));
+        assert_eq!(m.value(p.as_var(b).unwrap()), Some(1));
+        let na = p.not(a);
+        assert!(check(&mut p, &[both, na]).is_unsat());
+    }
+
+    #[test]
+    fn sext_constraint_solved_by_enumeration() {
+        let mut p = TermPool::new();
+        // sext8→16(x) == 0xFFFF ⟺ x == 0xFF.
+        let x = p.fresh("x", Width::W8);
+        let wide = p.sext(x, Width::W16);
+        let all_ones = p.constant(0xFFFF, Width::W16);
+        let eq = p.eq(wide, all_ones);
+        let r = check(&mut p, &[eq]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(p.as_var(x).unwrap()), Some(0xFF));
+    }
+
+    #[test]
+    fn ite_boolean_expansion() {
+        let mut p = TermPool::new();
+        let c = p.fresh("c", Width::BOOL);
+        let x = p.fresh("x", Width::W8);
+        let c1 = p.constant(1, Width::W8);
+        let c2 = p.constant(2, Width::W8);
+        let e1 = p.eq(x, c1);
+        let e2 = p.eq(x, c2);
+        let ite = p.ite(c, e1, e2);
+        let ctrue = c;
+        let r = check(&mut p, &[ite, ctrue]);
+        let m = r.model().expect("sat");
+        assert_eq!(m.value(p.as_var(x).unwrap()), Some(1));
+    }
+}

@@ -1,0 +1,298 @@
+//! SMT-LIB 2 export.
+//!
+//! Renders solver queries as standard SMT-LIB 2 scripts over the `QF_UFBV`
+//! logic, so any query this engine answers can be cross-checked against an
+//! external solver (Z3, STP, cvc5, Bitwuzla). Opaque functions are declared
+//! as uninterpreted functions — the external solver then reasons about them
+//! *more* liberally than our generate-and-test evaluation, so agreement is
+//! expected on `Unsat` from the external side and on `Sat` from ours.
+//!
+//! ```
+//! use achilles_solver::{smtlib, TermPool, Width};
+//!
+//! let mut pool = TermPool::new();
+//! let x = pool.fresh("x", Width::W8);
+//! let c = pool.constant(5, Width::W8);
+//! let lt = pool.ult(x, c);
+//! let script = smtlib::to_smtlib(&pool, &[lt]);
+//! assert!(script.contains("(declare-const x (_ BitVec 8))"));
+//! assert!(script.contains("(check-sat)"));
+//! ```
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::term::{FunId, Op, TermId, TermPool, VarId};
+use crate::width::Width;
+
+/// Renders the conjunction of `assertions` as a complete SMT-LIB 2 script.
+pub fn to_smtlib(pool: &TermPool, assertions: &[TermId]) -> String {
+    let mut out = String::new();
+    out.push_str("(set-logic QF_UFBV)\n");
+
+    // Declarations: variables and opaque functions, in first-use order.
+    let mut vars: Vec<VarId> = Vec::new();
+    for &a in assertions {
+        pool.collect_vars(a, &mut vars);
+    }
+    for v in &vars {
+        let info = pool.var_info(*v);
+        let _ = writeln!(
+            out,
+            "(declare-const {} (_ BitVec {}))",
+            sanitize(&info.name),
+            info.width.bits()
+        );
+    }
+    let mut funs: HashSet<FunId> = HashSet::new();
+    for &a in assertions {
+        collect_funs(pool, a, &mut funs);
+    }
+    let mut fun_list: Vec<FunId> = funs.into_iter().collect();
+    fun_list.sort_unstable();
+    for f in fun_list {
+        // Arity is per-application in our term language; declare from the
+        // first application found.
+        if let Some(arity_widths) = first_application_widths(pool, assertions, f) {
+            let info = pool.fun_info(f);
+            let args: Vec<String> =
+                arity_widths.iter().map(|w| format!("(_ BitVec {})", w.bits())).collect();
+            let _ = writeln!(
+                out,
+                "(declare-fun {} ({}) (_ BitVec {}))",
+                sanitize(&info.name),
+                args.join(" "),
+                info.width.bits()
+            );
+        }
+    }
+
+    for &a in assertions {
+        let _ = writeln!(out, "(assert {})", bool_term(pool, a));
+    }
+    out.push_str("(check-sat)\n(get-model)\n");
+    out
+}
+
+/// SMT-LIB identifiers cannot contain `.`, `[`, `]`, `'` — map them to `_`
+/// and wrap in `|...|` quoting when anything was replaced.
+fn sanitize(name: &str) -> String {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        name.to_string()
+    } else {
+        format!("|{}|", name.replace('|', "_"))
+    }
+}
+
+fn collect_funs(pool: &TermPool, t: TermId, out: &mut HashSet<FunId>) {
+    let node = pool.node(t).clone();
+    if let Op::Fun(f) = node.op {
+        out.insert(f);
+    }
+    for a in node.args {
+        collect_funs(pool, a, out);
+    }
+}
+
+fn first_application_widths(
+    pool: &TermPool,
+    assertions: &[TermId],
+    f: FunId,
+) -> Option<Vec<Width>> {
+    fn walk(pool: &TermPool, t: TermId, f: FunId) -> Option<Vec<Width>> {
+        let node = pool.node(t).clone();
+        if node.op == Op::Fun(f) {
+            return Some(node.args.iter().map(|&a| pool.width(a)).collect());
+        }
+        for a in node.args {
+            if let Some(w) = walk(pool, a, f) {
+                return Some(w);
+            }
+        }
+        None
+    }
+    assertions.iter().find_map(|&a| walk(pool, a, f))
+}
+
+/// Renders a width-1 term as an SMT-LIB `Bool` expression.
+fn bool_term(pool: &TermPool, t: TermId) -> String {
+    debug_assert_eq!(pool.width(t), Width::BOOL);
+    let node = pool.node(t).clone();
+    match node.op {
+        Op::Const(v) => if v != 0 { "true" } else { "false" }.to_string(),
+        Op::Not => format!("(not {})", bool_term(pool, node.args[0])),
+        Op::And => format!(
+            "(and {} {})",
+            bool_term(pool, node.args[0]),
+            bool_term(pool, node.args[1])
+        ),
+        Op::Or => format!(
+            "(or {} {})",
+            bool_term(pool, node.args[0]),
+            bool_term(pool, node.args[1])
+        ),
+        Op::Eq => format!(
+            "(= {} {})",
+            bv_term(pool, node.args[0]),
+            bv_term(pool, node.args[1])
+        ),
+        Op::Ult => format!(
+            "(bvult {} {})",
+            bv_term(pool, node.args[0]),
+            bv_term(pool, node.args[1])
+        ),
+        Op::Ule => format!(
+            "(bvule {} {})",
+            bv_term(pool, node.args[0]),
+            bv_term(pool, node.args[1])
+        ),
+        Op::Ite => format!(
+            "(ite {} {} {})",
+            bool_term(pool, node.args[0]),
+            bool_term(pool, node.args[1]),
+            bool_term(pool, node.args[2])
+        ),
+        // Width-1 bitvector leaves used as booleans.
+        _ => format!("(= {} #b1)", bv_term(pool, t)),
+    }
+}
+
+/// Renders a term as an SMT-LIB bitvector expression.
+fn bv_term(pool: &TermPool, t: TermId) -> String {
+    let node = pool.node(t).clone();
+    let w = node.width;
+    match node.op {
+        Op::Const(v) => format!("(_ bv{v} {})", w.bits()),
+        Op::Var(v) => sanitize(&pool.var_info(v).name),
+        Op::Add => bin(pool, "bvadd", &node.args),
+        Op::Sub => bin(pool, "bvsub", &node.args),
+        Op::Mul => bin(pool, "bvmul", &node.args),
+        Op::Neg => format!("(bvneg {})", bv_term(pool, node.args[0])),
+        Op::BitAnd => bin(pool, "bvand", &node.args),
+        Op::BitOr => bin(pool, "bvor", &node.args),
+        Op::BitXor => bin(pool, "bvxor", &node.args),
+        Op::BitNot => format!("(bvnot {})", bv_term(pool, node.args[0])),
+        Op::Shl => bin(pool, "bvshl", &node.args),
+        Op::Lshr => bin(pool, "bvlshr", &node.args),
+        Op::ZExt => {
+            let inner = node.args[0];
+            let extend = w.bits() - pool.width(inner).bits();
+            format!("((_ zero_extend {extend}) {})", bv_term(pool, inner))
+        }
+        Op::SExt => {
+            let inner = node.args[0];
+            let extend = w.bits() - pool.width(inner).bits();
+            format!("((_ sign_extend {extend}) {})", bv_term(pool, inner))
+        }
+        Op::Extract { lo } => {
+            let hi = u32::from(lo) + w.bits() - 1;
+            format!("((_ extract {hi} {lo}) {})", bv_term(pool, node.args[0]))
+        }
+        Op::Concat => bin(pool, "concat", &node.args),
+        // Boolean structure embedded in a bitvector position: wrap in ite.
+        Op::Eq | Op::Ult | Op::Ule | Op::Not | Op::And | Op::Or => {
+            format!("(ite {} #b1 #b0)", bool_term(pool, t))
+        }
+        Op::Ite => format!(
+            "(ite {} {} {})",
+            bool_term(pool, node.args[0]),
+            bv_term(pool, node.args[1]),
+            bv_term(pool, node.args[2])
+        ),
+        Op::Fun(f) => {
+            let name = sanitize(&pool.fun_info(f).name);
+            let args: Vec<String> = node.args.iter().map(|&a| bv_term(pool, a)).collect();
+            format!("({} {})", name, args.join(" "))
+        }
+    }
+}
+
+fn bin(pool: &TermPool, op: &str, args: &[TermId]) -> String {
+    format!("({op} {} {})", bv_term(pool, args[0]), bv_term(pool, args[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_variables_and_asserts() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W16);
+        let c = p.constant(100, Width::W16);
+        let lt = p.ult(x, c);
+        let s = to_smtlib(&p, &[lt]);
+        assert!(s.contains("(set-logic QF_UFBV)"), "{s}");
+        assert!(s.contains("(declare-const x (_ BitVec 16))"), "{s}");
+        assert!(s.contains("(assert (bvult x (_ bv100 16)))"), "{s}");
+        assert!(s.ends_with("(check-sat)\n(get-model)\n"), "{s}");
+    }
+
+    #[test]
+    fn quotes_dotted_names() {
+        let mut p = TermPool::new();
+        let x = p.fresh("msg.cmd", Width::W8);
+        let c = p.constant(1, Width::W8);
+        let eq = p.eq(x, c);
+        let s = to_smtlib(&p, &[eq]);
+        assert!(s.contains("|msg.cmd|"), "{s}");
+    }
+
+    #[test]
+    fn declares_uninterpreted_functions() {
+        let mut p = TermPool::new();
+        let f = p.register_fun("crc16", Width::W16, |_| 0);
+        let x = p.fresh("x", Width::W8);
+        let y = p.fresh("y", Width::W8);
+        let app = p.apply(f, vec![x, y]);
+        let out = p.fresh("out", Width::W16);
+        let eq = p.eq(out, app);
+        let s = to_smtlib(&p, &[eq]);
+        assert!(
+            s.contains("(declare-fun crc16 ((_ BitVec 8) (_ BitVec 8)) (_ BitVec 16))"),
+            "{s}"
+        );
+        assert!(s.contains("(crc16 x y)"), "{s}");
+    }
+
+    #[test]
+    fn signed_lowering_exports_as_biased_unsigned() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let z = p.constant(0, Width::W8);
+        let slt = p.slt(x, z);
+        let s = to_smtlib(&p, &[slt]);
+        // The lowered form (x + 0x80 <u 0x80) appears.
+        assert!(s.contains("bvult"), "{s}");
+        assert!(s.contains("bvadd"), "{s}");
+    }
+
+    #[test]
+    fn boolean_structure_round_trips() {
+        let mut p = TermPool::new();
+        let a = p.fresh("a", Width::BOOL);
+        let b = p.fresh("b", Width::BOOL);
+        let or = p.or(a, b);
+        let not = p.not(or);
+        let s = to_smtlib(&p, &[not]);
+        assert!(s.contains("(not (or (= a #b1) (= b #b1)))"), "{s}");
+    }
+
+    #[test]
+    fn exports_real_negate_style_queries() {
+        // The shape Achilles sends: path constraints plus a negation
+        // disjunction with fresh primed variables.
+        let mut p = TermPool::new();
+        let msg = p.fresh("msg.address", Width::W32);
+        let lam = p.fresh("symb_Address'", Width::W32);
+        let hundred = p.constant(100, Width::W32);
+        let pc = p.slt(msg, hundred);
+        let eq = p.eq(msg, lam);
+        let oob = p.sge(lam, hundred);
+        let neg = p.and(eq, oob);
+        let s = to_smtlib(&p, &[pc, neg]);
+        assert!(s.contains("|msg.address|"), "{s}");
+        assert!(s.contains("|symb_Address'|"), "{s}");
+        assert!(s.matches("(assert").count() == 2, "{s}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`Solver`] facade: query caching and statistics on top of the search
+//! engine.
+//!
+//! Achilles issues highly repetitive queries — the server path constraint
+//! grows one conjunct at a time, and each extension is re-checked against
+//! many client path predicates — so a result cache keyed on the (sorted)
+//! assertion set pays for itself immediately. Terms are immutable and
+//! interned, which makes the cache sound.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::model::Model;
+use crate::search::{solve, SatResult, SearchStats, SolverConfig};
+use crate::term::{TermId, TermPool};
+
+/// Aggregate statistics across all queries of a [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Total queries issued (including cache hits).
+    pub queries: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Satisfiable answers (computed, not cached).
+    pub sat: u64,
+    /// Unsatisfiable answers (computed, not cached).
+    pub unsat: u64,
+    /// Unknown answers (computed, not cached).
+    pub unknown: u64,
+    /// Total time spent in the search engine.
+    pub solve_time: Duration,
+    /// Sum of search-internal counters.
+    pub search: SearchStats,
+}
+
+#[derive(Clone)]
+enum Cached {
+    Sat(Model),
+    Unsat,
+    Unknown,
+}
+
+/// A caching satisfiability interface over a [`TermPool`].
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::{Solver, TermPool, Width};
+///
+/// let mut pool = TermPool::new();
+/// let mut solver = Solver::new();
+/// let x = pool.fresh("x", Width::W8);
+/// let c = pool.constant(9, Width::W8);
+/// let lt = pool.ult(x, c);
+/// assert!(solver.is_sat(&mut pool, &[lt]));
+/// assert!(solver.is_sat(&mut pool, &[lt])); // second call hits the cache
+/// assert_eq!(solver.stats().cache_hits, 1);
+/// ```
+#[derive(Default)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolverStats,
+    cache: HashMap<Vec<TermId>, Cached>,
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver with a custom configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver { config, ..Solver::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Clears the query cache (statistics are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached query results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Decides the conjunction of `assertions`.
+    pub fn check(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> SatResult {
+        self.stats.queries += 1;
+        let mut key: Vec<TermId> = assertions.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return match hit {
+                Cached::Sat(m) => SatResult::Sat(m.clone()),
+                Cached::Unsat => SatResult::Unsat,
+                Cached::Unknown => SatResult::Unknown,
+            };
+        }
+        let started = Instant::now();
+        let (result, search_stats) = solve(pool, &key, &self.config);
+        self.stats.solve_time += started.elapsed();
+        self.stats.search.decisions += search_stats.decisions;
+        self.stats.search.propagations += search_stats.propagations;
+        self.stats.search.deferred_checks += search_stats.deferred_checks;
+        self.stats.search.verification_failures += search_stats.verification_failures;
+        let cached = match &result {
+            SatResult::Sat(m) => {
+                self.stats.sat += 1;
+                Cached::Sat(m.clone())
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                Cached::Unsat
+            }
+            SatResult::Unknown => {
+                self.stats.unknown += 1;
+                Cached::Unknown
+            }
+        };
+        self.cache.insert(key, cached);
+        result
+    }
+
+    /// Whether the conjunction is satisfiable (`Unknown` counts as `false`).
+    pub fn is_sat(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> bool {
+        self.check(pool, assertions).is_sat()
+    }
+
+    /// Whether the conjunction is provably unsatisfiable.
+    pub fn is_unsat(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> bool {
+        self.check(pool, assertions).is_unsat()
+    }
+
+    /// A model of the conjunction, if satisfiable.
+    pub fn model(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> Option<Model> {
+        match self.check(pool, assertions) {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("cache_len", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::Width;
+
+    #[test]
+    fn cache_hit_on_repeat_query() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh("x", Width::W8);
+        let c = pool.constant(3, Width::W8);
+        let eq = pool.eq(x, c);
+        assert!(s.is_sat(&mut pool, &[eq]));
+        assert!(s.is_sat(&mut pool, &[eq]));
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().cache_hits, 1);
+        assert_eq!(s.stats().sat, 1);
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh("x", Width::W8);
+        let c1 = pool.constant(1, Width::W8);
+        let c9 = pool.constant(9, Width::W8);
+        let a = pool.ult(c1, x);
+        let b = pool.ult(x, c9);
+        assert!(s.is_sat(&mut pool, &[a, b]));
+        assert!(s.is_sat(&mut pool, &[b, a]));
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn unsat_cached_too() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh("x", Width::W8);
+        let c = pool.constant(0, Width::W8);
+        let lt = pool.ult(x, c); // x < 0: unsat (folds to false already)
+        assert!(s.is_unsat(&mut pool, &[lt]));
+        assert!(s.is_unsat(&mut pool, &[lt]));
+        assert_eq!(s.stats().unsat, 1);
+    }
+
+    #[test]
+    fn model_round_trips_through_eval() {
+        let mut pool = TermPool::new();
+        let mut s = Solver::new();
+        let x = pool.fresh("x", Width::W16);
+        let y = pool.fresh("y", Width::W16);
+        let sum = pool.add(x, y);
+        let c = pool.constant(100, Width::W16);
+        let eq = pool.eq(sum, c);
+        let m = s.model(&mut pool, &[eq]).expect("x + y == 100 is sat");
+        assert_eq!(m.eval(&pool, eq), Some(1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Fixed bit-widths for bitvector terms.
+//!
+//! Every term in the solver has a [`Width`] between 1 and 64 bits. Width 1 is
+//! the boolean width. All values are stored as `u64` and are kept truncated
+//! to their width; signed interpretations use two's complement at that width.
+
+use std::fmt;
+
+/// A bitvector width in the range `1..=64`.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::Width;
+///
+/// let w = Width::W8;
+/// assert_eq!(w.bits(), 8);
+/// assert_eq!(w.mask(), 0xff);
+/// assert_eq!(w.truncate(0x1_23), 0x23);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Width(u8);
+
+impl Width {
+    /// Boolean width (1 bit).
+    pub const BOOL: Width = Width(1);
+    /// 8-bit width.
+    pub const W8: Width = Width(8);
+    /// 16-bit width.
+    pub const W16: Width = Width(16);
+    /// 32-bit width.
+    pub const W32: Width = Width(32);
+    /// 64-bit width.
+    pub const W64: Width = Width(64);
+
+    /// Creates a width of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn new(bits: u8) -> Width {
+        assert!((1..=64).contains(&bits), "width must be in 1..=64, got {bits}");
+        Width(bits)
+    }
+
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// All-ones mask for this width.
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Truncates `v` to this width.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Largest unsigned value representable at this width.
+    pub fn max_unsigned(self) -> u64 {
+        self.mask()
+    }
+
+    /// Largest signed (two's complement) value at this width.
+    pub fn max_signed(self) -> i64 {
+        (self.mask() >> 1) as i64
+    }
+
+    /// Smallest signed (two's complement) value at this width.
+    pub fn min_signed(self) -> i64 {
+        -(self.max_signed()) - 1
+    }
+
+    /// The sign bit for this width (e.g. `0x80` at width 8).
+    pub fn sign_bit(self) -> u64 {
+        1u64 << (self.0 - 1)
+    }
+
+    /// Interprets the (truncated) value `v` as a signed integer.
+    ///
+    /// ```
+    /// use achilles_solver::Width;
+    /// assert_eq!(Width::W8.to_signed(0xff), -1);
+    /// assert_eq!(Width::W8.to_signed(0x7f), 127);
+    /// ```
+    pub fn to_signed(self, v: u64) -> i64 {
+        let v = self.truncate(v);
+        if v & self.sign_bit() != 0 {
+            // v - 2^w computed in wrapping arithmetic to avoid overflow at
+            // width 64.
+            v.wrapping_sub(self.mask()).wrapping_sub(1) as i64
+        } else {
+            v as i64
+        }
+    }
+
+    /// Encodes a signed integer at this width (two's complement, truncated).
+    ///
+    /// ```
+    /// use achilles_solver::Width;
+    /// assert_eq!(Width::W8.from_signed(-1), 0xff);
+    /// ```
+    pub fn from_signed(self, v: i64) -> u64 {
+        self.truncate(v as u64)
+    }
+
+    /// Number of distinct values at this width, or `None` for width 64.
+    pub fn cardinality(self) -> Option<u64> {
+        if self.0 == 64 {
+            None
+        } else {
+            Some(1u64 << self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_truncate() {
+        assert_eq!(Width::BOOL.mask(), 1);
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        assert_eq!(Width::W8.truncate(0x123), 0x23);
+        assert_eq!(Width::W64.truncate(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for w in [Width::W8, Width::W16, Width::W32, Width::W64] {
+            for s in [-1i64, 0, 1, w.max_signed(), w.min_signed()] {
+                assert_eq!(w.to_signed(w.from_signed(s)), s, "width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_bounds() {
+        assert_eq!(Width::W8.max_signed(), 127);
+        assert_eq!(Width::W8.min_signed(), -128);
+        assert_eq!(Width::W8.sign_bit(), 0x80);
+        assert_eq!(Width::BOOL.max_signed(), 0);
+        assert_eq!(Width::BOOL.min_signed(), -1);
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(Width::W8.cardinality(), Some(256));
+        assert_eq!(Width::BOOL.cardinality(), Some(2));
+        assert_eq!(Width::W64.cardinality(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_panics() {
+        let _ = Width::new(0);
+    }
+}

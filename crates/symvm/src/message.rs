@@ -1,0 +1,342 @@
+//! Protocol message layouts and symbolic messages.
+//!
+//! A [`MessageLayout`] names the fields of a protocol message and their
+//! widths, mirroring the field-oriented view the paper uses for predicates
+//! (Figures 5, 6, 8): `msg.cmd`, `msg.address`, `msg.buf[3]`, … A
+//! [`SymMessage`] is one message instance — a term per field — which may be
+//! fully concrete (a wire message), fully symbolic (the unconstrained message
+//! a server receives), or mixed (a message a client builds from symbolic
+//! inputs).
+
+use std::fmt;
+use std::sync::Arc;
+
+use achilles_solver::{Model, TermId, TermPool, Width};
+
+/// One named field of a message layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name, e.g. `cmd` or `buf[0]`.
+    pub name: String,
+    /// Field width.
+    pub width: Width,
+}
+
+/// The field structure of a protocol message.
+///
+/// Variable-length payloads are modeled as `max_len` one-byte fields
+/// (`buf[0]`, `buf[1]`, …) plus whatever explicit length field the protocol
+/// carries — exactly how the paper's evaluation bounds message sizes so that
+/// symbolic execution completes (§6.2).
+///
+/// # Examples
+///
+/// ```
+/// use achilles_symvm::MessageLayout;
+/// use achilles_solver::Width;
+///
+/// let layout = MessageLayout::builder("fsp")
+///     .field("cmd", Width::W8)
+///     .field("bb_len", Width::W16)
+///     .byte_array("buf", 4)
+///     .build();
+/// assert_eq!(layout.num_fields(), 6);
+/// assert_eq!(layout.field_index("buf[2]"), Some(4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageLayout {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+impl MessageLayout {
+    /// Starts building a layout.
+    pub fn builder(name: &str) -> MessageLayoutBuilder {
+        MessageLayoutBuilder { name: name.to_string(), fields: Vec::new() }
+    }
+
+    /// Layout name (used to prefix variable names, e.g. `fsp.cmd`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the field called `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Indices of the byte-array fields `base[0]..base[n)`.
+    pub fn byte_array_indices(&self, base: &str) -> Vec<usize> {
+        (0..)
+            .map(|i| self.field_index(&format!("{base}[{i}]")))
+            .take_while(Option::is_some)
+            .flatten()
+            .collect()
+    }
+
+    /// Total width in bits of all fields.
+    pub fn total_bits(&self) -> u32 {
+        self.fields.iter().map(|f| f.width.bits()).sum()
+    }
+}
+
+/// Builder for [`MessageLayout`].
+#[derive(Debug)]
+pub struct MessageLayoutBuilder {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+impl MessageLayoutBuilder {
+    /// Appends one field.
+    pub fn field(mut self, name: &str, width: Width) -> Self {
+        self.fields.push(FieldDef { name: name.to_string(), width });
+        self
+    }
+
+    /// Appends `len` one-byte fields `base[0]..base[len)`.
+    pub fn byte_array(mut self, base: &str, len: usize) -> Self {
+        for i in 0..len {
+            self.fields.push(FieldDef { name: format!("{base}[{i}]"), width: Width::W8 });
+        }
+        self
+    }
+
+    /// Finishes the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name.
+    pub fn build(self) -> Arc<MessageLayout> {
+        for (i, f) in self.fields.iter().enumerate() {
+            for g in &self.fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate field name {:?}", f.name);
+            }
+        }
+        Arc::new(MessageLayout { name: self.name, fields: self.fields })
+    }
+}
+
+/// One message instance: a term per layout field.
+#[derive(Clone)]
+pub struct SymMessage {
+    layout: Arc<MessageLayout>,
+    values: Vec<TermId>,
+}
+
+impl SymMessage {
+    /// Creates a message from per-field terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the layout's field count.
+    pub fn new(layout: Arc<MessageLayout>, values: Vec<TermId>) -> SymMessage {
+        assert_eq!(
+            layout.num_fields(),
+            values.len(),
+            "message for layout {:?} needs {} values",
+            layout.name(),
+            layout.num_fields()
+        );
+        SymMessage { layout, values }
+    }
+
+    /// A fully symbolic message: a fresh unconstrained variable per field,
+    /// named `prefix.field`.
+    pub fn fresh(pool: &mut TermPool, layout: &Arc<MessageLayout>, prefix: &str) -> SymMessage {
+        let values = layout
+            .fields()
+            .iter()
+            .map(|f| pool.fresh(&format!("{prefix}.{}", f.name), f.width))
+            .collect();
+        SymMessage { layout: Arc::clone(layout), values }
+    }
+
+    /// A fully concrete message from per-field values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the layout's field count.
+    pub fn concrete(
+        pool: &mut TermPool,
+        layout: &Arc<MessageLayout>,
+        values: &[u64],
+    ) -> SymMessage {
+        assert_eq!(layout.num_fields(), values.len());
+        let values = layout
+            .fields()
+            .iter()
+            .zip(values)
+            .map(|(f, &v)| pool.constant(v, f.width))
+            .collect();
+        SymMessage { layout: Arc::clone(layout), values }
+    }
+
+    /// The layout of this message.
+    pub fn layout(&self) -> &Arc<MessageLayout> {
+        &self.layout
+    }
+
+    /// All field terms in layout order.
+    pub fn values(&self) -> &[TermId] {
+        &self.values
+    }
+
+    /// The term of the field at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn value(&self, index: usize) -> TermId {
+        self.values[index]
+    }
+
+    /// The term of the field called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such field exists.
+    pub fn field(&self, name: &str) -> TermId {
+        let idx = self
+            .layout
+            .field_index(name)
+            .unwrap_or_else(|| panic!("layout {:?} has no field {name:?}", self.layout.name()));
+        self.values[idx]
+    }
+
+    /// Replaces the field at `index`, returning the updated message.
+    pub fn with_value(mut self, index: usize, value: TermId) -> SymMessage {
+        self.values[index] = value;
+        self
+    }
+
+    /// Whether every field is a constant.
+    pub fn is_concrete(&self, pool: &TermPool) -> bool {
+        self.values.iter().all(|&v| pool.as_const(v).is_some())
+    }
+
+    /// Concretizes every field under `model` (unassigned variables default
+    /// to zero), returning per-field concrete values.
+    pub fn concretize(&self, pool: &TermPool, model: &Model) -> Vec<u64> {
+        self.values
+            .iter()
+            .map(|&t| {
+                pool.eval_with(t, &|v| Some(model.value(v).unwrap_or(0)))
+                    .expect("total lookup cannot fail")
+            })
+            .collect()
+    }
+
+    /// Renders the message as `field=value` pairs (symbolic fields render as
+    /// expressions).
+    pub fn render(&self, pool: &TermPool) -> String {
+        let mut out = String::new();
+        for (f, &v) in self.layout.fields().iter().zip(&self.values) {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            out.push_str(&f.name);
+            out.push('=');
+            out.push_str(&achilles_solver::render(pool, v));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for SymMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymMessage")
+            .field("layout", &self.layout.name())
+            .field("fields", &self.values.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("toy")
+            .field("cmd", Width::W8)
+            .field("addr", Width::W32)
+            .byte_array("buf", 3)
+            .build()
+    }
+
+    #[test]
+    fn builder_names_and_indices() {
+        let l = toy_layout();
+        assert_eq!(l.num_fields(), 5);
+        assert_eq!(l.field_index("cmd"), Some(0));
+        assert_eq!(l.field_index("buf[2]"), Some(4));
+        assert_eq!(l.field_index("nope"), None);
+        assert_eq!(l.byte_array_indices("buf"), vec![2, 3, 4]);
+        assert_eq!(l.total_bits(), 8 + 32 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_fields_panic() {
+        let _ = MessageLayout::builder("bad")
+            .field("x", Width::W8)
+            .field("x", Width::W8)
+            .build();
+    }
+
+    #[test]
+    fn fresh_message_has_named_vars() {
+        let mut pool = TermPool::new();
+        let l = toy_layout();
+        let m = SymMessage::fresh(&mut pool, &l, "msg");
+        let addr = m.field("addr");
+        let v = pool.as_var(addr).expect("fresh fields are variables");
+        assert_eq!(pool.var_info(v).name, "msg.addr");
+        assert_eq!(pool.width(addr), Width::W32);
+        assert!(!m.is_concrete(&pool));
+    }
+
+    #[test]
+    fn concrete_message_round_trip() {
+        let mut pool = TermPool::new();
+        let l = toy_layout();
+        let m = SymMessage::concrete(&mut pool, &l, &[7, 1000, 65, 66, 67]);
+        assert!(m.is_concrete(&pool));
+        let model = Model::new();
+        assert_eq!(m.concretize(&pool, &model), vec![7, 1000, 65, 66, 67]);
+    }
+
+    #[test]
+    fn concretize_mixed_message() {
+        let mut pool = TermPool::new();
+        let l = toy_layout();
+        let m = SymMessage::fresh(&mut pool, &l, "msg");
+        let mut model = Model::new();
+        for (i, f) in l.fields().iter().enumerate() {
+            let var = pool.as_var(m.value(i)).unwrap();
+            let _ = f;
+            model.assign(var, (i as u64) * 10);
+        }
+        assert_eq!(m.concretize(&pool, &model), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn with_value_replaces_field() {
+        let mut pool = TermPool::new();
+        let l = toy_layout();
+        let m = SymMessage::fresh(&mut pool, &l, "msg");
+        let c = pool.constant(9, Width::W8);
+        let m2 = m.with_value(0, c);
+        assert_eq!(pool.as_const(m2.value(0)), Some(9));
+    }
+}

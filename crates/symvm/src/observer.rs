@@ -1,0 +1,72 @@
+//! Exploration observers.
+//!
+//! An observer watches one exploration and may veto paths while they are
+//! being built. This is the mechanism behind the paper's central optimization
+//! (Figure 7): during the *server* analysis, Achilles installs an observer
+//! that tracks which client path predicates can still trigger the current
+//! path and prunes the path as soon as no Trojan message can reach it.
+//!
+//! Because the executor re-runs the program from the start for every
+//! scheduled path, the observer sees each path's constraint sequence from the
+//! beginning: [`PathObserver::on_path_start`] resets per-path state, then
+//! [`PathObserver::on_constraint`] fires for every conjunct (both replayed
+//! and new), and [`PathObserver::on_path_end`] fires for completed paths.
+
+use achilles_solver::{Solver, TermId, TermPool};
+
+use crate::message::SymMessage;
+use crate::record::PathRecord;
+
+/// Context handed to observer callbacks.
+#[derive(Debug)]
+pub struct ObserverCx<'a> {
+    /// The term pool (observers may build queries).
+    pub pool: &'a mut TermPool,
+    /// The shared solver (queries are cached across paths).
+    pub solver: &'a mut Solver,
+    /// Path constraints so far, in order; the newest conjunct is last.
+    pub pc: &'a [TermId],
+    /// Messages received so far on this path.
+    pub received: &'a [SymMessage],
+}
+
+/// Watches an exploration; may prune paths.
+pub trait PathObserver {
+    /// A new path run starts (per-path state should reset).
+    fn on_path_start(&mut self) {}
+
+    /// A constraint was appended to the path condition.
+    ///
+    /// Return `false` to prune the path (it is abandoned immediately and
+    /// counted in [`ExploreStats::pruned`](crate::record::ExploreStats)).
+    fn on_constraint(&mut self, cx: &mut ObserverCx<'_>) -> bool {
+        let _ = cx;
+        true
+    }
+
+    /// A path ran to completion and was recorded.
+    fn on_path_end(&mut self, cx: &mut ObserverCx<'_>, record: &PathRecord) {
+        let _ = (cx, record);
+    }
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl PathObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_never_prunes() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let mut obs = NullObserver;
+        let mut cx = ObserverCx { pool: &mut pool, solver: &mut solver, pc: &[], received: &[] };
+        obs.on_path_start();
+        assert!(obs.on_constraint(&mut cx));
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-path records and exploration statistics.
+
+use std::time::Duration;
+
+use achilles_solver::TermId;
+
+use crate::message::SymMessage;
+
+/// How a completed execution path classified its triggering message.
+///
+/// The default classification follows the paper (§5.1): a path that sent a
+/// reply is *accepting*, a path that returned to the event loop without
+/// replying is *rejecting*. Programs can override this with the
+/// `mark_accept` / `mark_reject` annotations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The message passed parsing and caused the node to act.
+    Accept,
+    /// The message was discarded.
+    Reject,
+}
+
+/// One fully explored execution path.
+#[derive(Clone, Debug)]
+pub struct PathRecord {
+    /// Sequential path id (in completion order).
+    pub id: usize,
+    /// Path constraints, in the order they were added.
+    pub constraints: Vec<TermId>,
+    /// Messages sent on this path (client predicate raw material).
+    pub sent: Vec<SymMessage>,
+    /// Messages received on this path (server predicate raw material).
+    pub received: Vec<SymMessage>,
+    /// Accept/reject classification.
+    pub verdict: Verdict,
+    /// The decision vector that reproduces this path.
+    pub decisions: Vec<bool>,
+    /// Number of symbolic branch points encountered.
+    pub branch_points: usize,
+    /// Free-form notes added by the program via `note()`.
+    pub notes: Vec<String>,
+}
+
+/// Counters for one exploration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreStats {
+    /// Program runs performed (one per scheduled path prefix).
+    pub runs: usize,
+    /// Paths that ran to completion.
+    pub completed: usize,
+    /// Paths whose condition became unsatisfiable.
+    pub infeasible: usize,
+    /// Paths cut by an observer (Achilles' Trojan-set pruning).
+    pub pruned: usize,
+    /// Paths dropped by a `drop_path` annotation.
+    pub dropped: usize,
+    /// Paths that hit the per-path depth budget.
+    pub depth_exhausted: usize,
+    /// Feasibility checks issued to the solver by branch points.
+    pub branch_checks: u64,
+    /// Branch feasibility checks the solver answered `Unknown`.
+    pub unknown_branches: u64,
+    /// Wall-clock time of the exploration.
+    pub wall_time: Duration,
+}
+
+/// The outcome of exploring one node program.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreResult {
+    /// Completed paths, in completion order.
+    pub paths: Vec<PathRecord>,
+    /// Exploration counters.
+    pub stats: ExploreStats,
+}
+
+impl ExploreResult {
+    /// The accepting paths.
+    pub fn accepting(&self) -> impl Iterator<Item = &PathRecord> {
+        self.paths.iter().filter(|p| p.verdict == Verdict::Accept)
+    }
+
+    /// The rejecting paths.
+    pub fn rejecting(&self) -> impl Iterator<Item = &PathRecord> {
+        self.paths.iter().filter(|p| p.verdict == Verdict::Reject)
+    }
+
+    /// Paths that sent at least one message (client predicate paths).
+    pub fn sending(&self) -> impl Iterator<Item = &PathRecord> {
+        self.paths.iter().filter(|p| !p.sent.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, verdict: Verdict, sent: usize) -> PathRecord {
+        PathRecord {
+            id,
+            constraints: vec![],
+            sent: vec![],
+            received: vec![],
+            verdict,
+            decisions: vec![],
+            branch_points: sent, // arbitrary reuse for the test
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn filters_by_verdict() {
+        let result = ExploreResult {
+            paths: vec![
+                record(0, Verdict::Accept, 0),
+                record(1, Verdict::Reject, 0),
+                record(2, Verdict::Accept, 0),
+            ],
+            stats: ExploreStats::default(),
+        };
+        assert_eq!(result.accepting().count(), 2);
+        assert_eq!(result.rejecting().count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the symbolic executor.
+//!
+//! Core invariants: explorations are exhaustive and deterministic, every
+//! completed path's constraints are satisfiable, and path constraints
+//! partition the input space (no assignment satisfies two different paths
+//! of a deterministic program).
+
+use achilles_solver::{SatResult, Solver, TermPool, Width};
+use achilles_symvm::{ExploreConfig, Executor, PathResult, SymEnv};
+use proptest::prelude::*;
+
+/// A small random program shape: a cascade of threshold branches over two
+/// symbolic bytes, with accept/reject chosen by parity.
+#[derive(Clone, Debug)]
+struct Cascade {
+    thresholds: Vec<(bool, u8)>, // (branch on x? else y, threshold)
+}
+
+fn cascade() -> impl Strategy<Value = Cascade> {
+    prop::collection::vec((any::<bool>(), 1u8..255), 1..5)
+        .prop_map(|thresholds| Cascade { thresholds })
+}
+
+fn run_cascade(c: &Cascade) -> (TermPool, achilles_symvm::ExploreResult) {
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let result = {
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let c = c.clone();
+        exec.explore(&move |env: &mut SymEnv<'_>| -> PathResult<()> {
+            let x = env.sym("x", Width::W8);
+            let y = env.sym("y", Width::W8);
+            let mut taken = 0usize;
+            for (i, &(on_x, t)) in c.thresholds.iter().enumerate() {
+                let var = if on_x { x } else { y };
+                let tc = env.constant(u64::from(t), Width::W8);
+                if env.if_ult(var, tc)? {
+                    taken += 1;
+                } else {
+                    env.note(format!("ge at {i}"));
+                }
+            }
+            if taken.is_multiple_of(2) {
+                env.mark_accept();
+            } else {
+                env.mark_reject();
+            }
+            Ok(())
+        })
+    };
+    (pool, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every completed path's constraint set is satisfiable, and a model of
+    /// it replays to the same verdict through concrete evaluation.
+    #[test]
+    fn path_constraints_are_satisfiable(c in cascade()) {
+        let (mut pool, result) = run_cascade(&c);
+        let mut solver = Solver::new();
+        prop_assert!(!result.paths.is_empty());
+        for path in &result.paths {
+            match solver.check(&mut pool, &path.constraints) {
+                SatResult::Sat(model) => {
+                    // The model decides every branch the same way.
+                    for &ct in &path.constraints {
+                        prop_assert_eq!(model.eval_bool_total(&pool, ct), true);
+                    }
+                }
+                other => prop_assert!(false, "unsatisfiable path: {:?}", other),
+            }
+        }
+    }
+
+    /// Paths are mutually exclusive: no assignment satisfies the
+    /// constraints of two distinct paths (deterministic programs).
+    #[test]
+    fn paths_partition_the_input_space(c in cascade()) {
+        let (mut pool, result) = run_cascade(&c);
+        let mut solver = Solver::new();
+        for (i, a) in result.paths.iter().enumerate() {
+            for b in result.paths.iter().skip(i + 1) {
+                let mut q = a.constraints.clone();
+                q.extend_from_slice(&b.constraints);
+                prop_assert!(
+                    solver.is_unsat(&mut pool, &q),
+                    "paths {} and {} overlap",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    /// Exploration is deterministic: two runs produce the same path count,
+    /// verdicts, and decision vectors.
+    #[test]
+    fn exploration_is_deterministic(c in cascade()) {
+        let (_p1, r1) = run_cascade(&c);
+        let (_p2, r2) = run_cascade(&c);
+        prop_assert_eq!(r1.paths.len(), r2.paths.len());
+        for (a, b) in r1.paths.iter().zip(&r2.paths) {
+            prop_assert_eq!(a.verdict, b.verdict);
+            prop_assert_eq!(&a.decisions, &b.decisions);
+            prop_assert_eq!(a.branch_points, b.branch_points);
+        }
+    }
+
+    /// The number of completed paths never exceeds 2^branches and every
+    /// verdict is consistent with the program's parity rule.
+    #[test]
+    fn path_census_is_bounded(c in cascade()) {
+        let (_pool, result) = run_cascade(&c);
+        let n = c.thresholds.len() as u32;
+        prop_assert!(result.paths.len() <= (1usize << n));
+        let accepts = result.accepting().count();
+        let rejects = result.rejecting().count();
+        prop_assert_eq!(accepts + rejects, result.paths.len());
+    }
+}
+
+#[test]
+fn reply_status_classifies_like_http() {
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+    let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
+        let x = env.sym("x", Width::W8);
+        let limit = env.constant(100, Width::W8);
+        if env.if_ult(x, limit)? {
+            env.reply_status(200); // 2xx → accepting
+        } else {
+            env.reply_status(404); // 4xx → rejecting
+        }
+        Ok(())
+    });
+    assert_eq!(result.paths.len(), 2);
+    assert_eq!(result.accepting().count(), 1);
+    assert_eq!(result.rejecting().count(), 1);
+    assert!(result
+        .accepting()
+        .all(|p| p.notes.contains(&"status=200".to_string())));
+}

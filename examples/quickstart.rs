@@ -1,0 +1,149 @@
+//! Quickstart: the paper's working example (§2, Figures 2–6).
+//!
+//! A tiny read/write server whose READ handler forgets the `address < 0`
+//! check. Correct clients validate the address before sending, so READ
+//! messages with negative addresses are Trojan messages — accepted by the
+//! server, producible by no correct client. This example runs the full
+//! Achilles pipeline and prints the extracted predicates (Figures 5 and 6)
+//! and the discovered Trojan.
+//!
+//! ```text
+//! cargo run --release -p achilles-examples --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use achilles::{Achilles, AchillesConfig};
+use achilles_solver::{render_conjunction, Width};
+use achilles_symvm::{MessageLayout, PathResult, SymEnv, SymMessage};
+
+const DATASIZE: u64 = 100;
+const READ: u64 = 1;
+const WRITE: u64 = 2;
+
+fn layout() -> Arc<MessageLayout> {
+    MessageLayout::builder("msg")
+        .field("sender", Width::W16)
+        .field("request", Width::W8)
+        .field("address", Width::W32)
+        .field("value", Width::W32)
+        .field("crc", Width::W16)
+        .build()
+}
+
+/// Figure 3: the client validates `0 <= address < DATASIZE`, then builds a
+/// READ or WRITE message with a CRC over the other fields.
+fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let crc_fun = env.pool_mut().register_fun("crc16", Width::W16, |args| {
+        args.iter().fold(0xFFFFu64, |acc, &v| (acc ^ v).rotate_left(5) & 0xFFFF)
+    });
+
+    let sender = env.sym_in_range("symb_PeerID", Width::W16, 0, 10)?;
+    let op = env.sym("operationType", Width::W8);
+    let address = env.sym("symb_Address", Width::W32);
+
+    // if (address >= DATASIZE) exit(1);
+    let datasize = env.constant(DATASIZE, Width::W32);
+    if !env.if_slt(address, datasize)? {
+        return Ok(());
+    }
+    // if (address < 0) exit(1);
+    let zero = env.constant(0, Width::W32);
+    if env.if_slt(address, zero)? {
+        return Ok(());
+    }
+
+    let read = env.constant(READ, Width::W8);
+    if env.if_eq(op, read)? {
+        let request = env.constant(READ, Width::W8);
+        // READ messages carry no value on the wire; the fixed-layout slot is
+        // uninitialized buffer memory — unconstrained symbolic, exactly how
+        // Figure 5 shows the READ path predicate without a value conjunct.
+        let value = env.sym("uninitialized_value", Width::W32);
+        let crc = env.pool_mut().apply(crc_fun, vec![sender, request, address]);
+        env.send(SymMessage::new(layout(), vec![sender, request, address, value, crc]));
+    } else {
+        let request = env.constant(WRITE, Width::W8);
+        let value = env.sym("symb_Value", Width::W32);
+        let crc = env.pool_mut().apply(crc_fun, vec![sender, request, address, value]);
+        env.send(SymMessage::new(layout(), vec![sender, request, address, value, crc]));
+    }
+    Ok(())
+}
+
+/// Figure 2: the server — READ forgets the `address < 0` check.
+fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let msg = env.recv(&layout())?;
+    // isInSet(msg.sender, peers): the configured peer group is ids 0..=10.
+    let max_peer = env.constant(10, Width::W16);
+    if !env.if_ule(msg.field("sender"), max_peer)? {
+        return Ok(()); // continue: rejecting
+    }
+    let datasize = env.constant(DATASIZE, Width::W32);
+    let read = env.constant(READ, Width::W8);
+    let write = env.constant(WRITE, Width::W8);
+    if env.if_eq(msg.field("request"), read)? {
+        if !env.if_slt(msg.field("address"), datasize)? {
+            return Ok(());
+        }
+        // Security vulnerability: forgot to check address < 0.
+        env.note("sendMessage(REPLY, data[msg.address])");
+        env.mark_accept();
+        return Ok(());
+    }
+    if env.if_eq(msg.field("request"), write)? {
+        if !env.if_slt(msg.field("address"), datasize)? {
+            return Ok(());
+        }
+        let zero = env.constant(0, Width::W32);
+        if env.if_slt(msg.field("address"), zero)? {
+            return Ok(());
+        }
+        env.note("data[msg.address] = msg.value; sendMessage(ACK)");
+        env.mark_accept();
+        return Ok(());
+    }
+    Ok(()) // default: discard
+}
+
+fn main() {
+    let mut achilles = Achilles::new();
+    // The CRC field is masked, as §5.2 recommends for checksums (the client
+    // computes a real expression over symbolic inputs; the negate operator
+    // would otherwise have to reason through it).
+    let l = layout();
+    let config = AchillesConfig {
+        mask: achilles::FieldMask::by_names(&l, &["crc"]),
+        ..AchillesConfig::verified()
+    };
+    let report = achilles.run(&client, &server, &l, &config);
+
+    println!("== client predicate P_C (Figure 5) ==");
+    print!("{}", report.client.render(&achilles.pool));
+
+    println!("\n== server accepting paths (Figure 6) ==");
+    println!("(constraints of each accepting path, as discovered)");
+
+    println!("\n== Trojan messages (T = S \\ C) ==");
+    for t in &report.trojans {
+        println!(
+            "path {} [{}]: witness sender={} request={} address={} (signed: {})",
+            t.server_path_id,
+            t.notes.join("; "),
+            t.witness_fields[0],
+            t.witness_fields[1],
+            t.witness_fields[2],
+            Width::W32.to_signed(t.witness_fields[2]),
+        );
+        println!("{}", render_conjunction(&achilles.pool, &t.constraints));
+    }
+
+    assert_eq!(report.trojans.len(), 1, "exactly the READ path carries Trojans");
+    let trojan = &report.trojans[0];
+    let addr = Width::W32.to_signed(trojan.witness_fields[2]);
+    assert!(addr < 0, "the Trojan reads a negative offset — the privacy leak of §2.1");
+    println!(
+        "\nAchilles found the paper's Trojan: a READ for negative address {addr} \
+         (reads outside the data array — e.g. the server's peer list)."
+    );
+}

@@ -1,0 +1,137 @@
+//! Property tests spanning crates: the concrete oracles, the symbolic node
+//! programs, and the wire codecs must agree with each other on random
+//! inputs — this is what makes the baseline comparisons trustworthy.
+
+use achilles_fsp::{
+    client_can_generate, server_accepts, Command, FspMessage, FspServer, FspServerConfig,
+    MAX_PATH,
+};
+use achilles_pbft::PbftRequest;
+use achilles_solver::{Solver, TermPool};
+use achilles_symvm::{ExploreConfig, Executor, Verdict};
+use proptest::prelude::*;
+
+/// Random FSP messages, biased so framing-valid messages are common.
+fn fsp_message() -> impl Strategy<Value = FspMessage> {
+    (
+        any::<u8>(),
+        prop::bool::ANY,
+        any::<u16>(),
+        prop::array::uniform4(any::<u8>()),
+        0u16..=6,
+    )
+        .prop_map(|(cmd_raw, use_valid_cmd, len_raw, buf, len_small)| {
+            let cmd = if use_valid_cmd {
+                Command::ANALYSIS_SET[(cmd_raw % 8) as usize].code()
+            } else {
+                cmd_raw
+            };
+            // Half the messages get a small (often valid) length.
+            let bb_len = if len_raw % 2 == 0 { len_small } else { len_raw };
+            FspMessage {
+                cmd,
+                sum: 0,
+                bb_key: 0,
+                bb_seq: 0,
+                bb_len,
+                bb_pos: 0,
+                buf,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fast concrete oracle and the symbolic server program agree on
+    /// every concrete message.
+    #[test]
+    fn oracle_matches_symbolic_server(msg in fsp_message()) {
+        let config = FspServerConfig::default();
+        let oracle_says = server_accepts(&msg, &config);
+
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let sym = msg.to_sym(&mut pool);
+        let explore = ExploreConfig { recv_script: vec![sym], ..Default::default() };
+        let mut exec = Executor::new(&mut pool, &mut solver, explore);
+        let result = exec.run_concrete(&FspServer::new(config));
+        let program_says = result.paths[0].verdict == Verdict::Accept;
+        prop_assert_eq!(oracle_says, program_says, "message {:?}", msg);
+    }
+
+    /// Patched-server oracles agree with the patched symbolic server.
+    #[test]
+    fn patched_oracle_matches_patched_server(msg in fsp_message()) {
+        let config = FspServerConfig {
+            check_actual_length: true,
+            reject_wildcards: true,
+            ..FspServerConfig::default()
+        };
+        let oracle_says = server_accepts(&msg, &config);
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let sym = msg.to_sym(&mut pool);
+        let explore = ExploreConfig { recv_script: vec![sym], ..Default::default() };
+        let mut exec = Executor::new(&mut pool, &mut solver, explore);
+        let result = exec.run_concrete(&FspServer::new(config));
+        let program_says = result.paths[0].verdict == Verdict::Accept;
+        prop_assert_eq!(oracle_says, program_says);
+    }
+
+    /// FSP wire encoding round-trips.
+    #[test]
+    fn fsp_wire_round_trip(msg in fsp_message()) {
+        let wire = msg.to_wire();
+        let back = FspMessage::from_wire(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Messages built by `FspMessage::request` are never Trojan: the
+    /// constructor is a correct client.
+    #[test]
+    fn request_constructor_is_a_correct_client(
+        cmd_idx in 0usize..8,
+        path in prop::collection::vec(33u8..=126, 1..=MAX_PATH),
+    ) {
+        let msg = FspMessage::request(Command::ANALYSIS_SET[cmd_idx], &path);
+        prop_assert!(server_accepts(&msg, &FspServerConfig::default()));
+        prop_assert!(client_can_generate(&msg, false));
+    }
+
+    /// Any understated length turns a valid request into a Trojan.
+    #[test]
+    fn understated_length_is_always_trojan(
+        cmd_idx in 0usize..8,
+        path in prop::collection::vec(33u8..=126, 2..=MAX_PATH),
+        cut in 0usize..=2,
+    ) {
+        let cut = cut.min(path.len() - 1);
+        let mut msg = FspMessage::request(Command::ANALYSIS_SET[cmd_idx], &path);
+        // Keep bb_len but terminate the path early.
+        msg.buf[cut] = 0;
+        prop_assert!(server_accepts(&msg, &FspServerConfig::default()));
+        prop_assert!(!client_can_generate(&msg, false));
+    }
+
+    /// PBFT wire encoding round-trips and MAC corruption is always detected
+    /// by the victim replica (and only by it).
+    #[test]
+    fn pbft_wire_and_mac_properties(
+        cid in 0u16..8,
+        rid in 1u16..1000,
+        command in prop::array::uniform4(any::<u8>()),
+        victim in 0usize..4,
+    ) {
+        let req = PbftRequest::correct(cid, rid, command);
+        let back = PbftRequest::from_wire(&req.to_wire()).unwrap();
+        prop_assert_eq!(&back, &req);
+        for r in 0..4 {
+            prop_assert!(req.mac_valid_for(r));
+        }
+        let corrupted = req.with_corrupted_mac(victim);
+        for r in 0..4 {
+            prop_assert_eq!(corrupted.mac_valid_for(r), r != victim);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! throughput on branching programs.
 
 use achilles_solver::{Solver, TermPool, Width};
-use achilles_symvm::{ExploreConfig, Executor, PathResult, SymEnv};
+use achilles_symvm::{Executor, ExploreConfig, PathResult, SymEnv};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_executor(c: &mut Criterion) {

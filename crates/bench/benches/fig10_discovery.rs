@@ -1,7 +1,7 @@
 //! Criterion bench of the Figure 10 workload: incremental Trojan discovery
 //! during the server analysis (two utilities; the binary runs all eight).
 
-use achilles_fsp::{run_analysis, FspAnalysisConfig};
+use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_fig10(c: &mut Criterion) {
@@ -18,6 +18,19 @@ fn bench_fig10(c: &mut Criterion) {
                 last = t.found_at;
             }
             black_box(result.trojans.len())
+        })
+    });
+    // One workers>1 smoke entry exercising the parallel path; the full
+    // {1,2,4,8} wall-clock sweep lives in the `parallel_scaling` bin
+    // (BENCH_parallel.json) — duplicating it here only multiplies bench time.
+    group.bench_function("incremental_discovery_2cmd_workers4", |b| {
+        b.iter(|| {
+            let config = FspAnalysisConfig::accuracy()
+                .with_commands(2)
+                .with_workers(4);
+            let result = run_analysis(&config);
+            assert_eq!(result.trojans.len(), expected_length_mismatch_trojans(2));
+            black_box(result.server_paths)
         })
     });
     group.finish();

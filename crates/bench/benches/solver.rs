@@ -19,8 +19,9 @@ fn interval_chain(pool: &mut TermPool) -> Vec<TermId> {
 
 /// A negate-style query: conjunction of disjunctions over message fields.
 fn negation_query(pool: &mut TermPool) -> Vec<TermId> {
-    let fields: Vec<TermId> =
-        (0..8).map(|i| pool.fresh(&format!("msg.f{i}"), Width::W8)).collect();
+    let fields: Vec<TermId> = (0..8)
+        .map(|i| pool.fresh(&format!("msg.f{i}"), Width::W8))
+        .collect();
     let mut asserts = Vec::new();
     // Path constraints pin half the fields.
     for (i, &f) in fields.iter().take(4).enumerate() {

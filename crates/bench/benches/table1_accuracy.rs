@@ -4,8 +4,7 @@
 
 use achilles::{classic_symex, FieldMask};
 use achilles_fsp::{
-    expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig, FspServer,
-    FspServerConfig,
+    expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig, FspServer, FspServerConfig,
 };
 use achilles_solver::{Solver, TermPool};
 use achilles_symvm::{ExploreConfig, SymMessage};

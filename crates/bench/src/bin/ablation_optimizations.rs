@@ -15,13 +15,13 @@
 //!   the a-posteriori baseline explores and diffs all of them.
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin ablation_optimizations
+//! cargo run --release -p achilles-bench --bin ablation_optimizations [-- --workers N]
 //! ```
 
 use std::time::{Duration, Instant};
 
 use achilles::{a_posteriori_diff, prepare_client, FieldMask, Optimizations};
-use achilles_bench::{fmt_secs, header, row};
+use achilles_bench::{fmt_secs, header, row, workers_from_args};
 use achilles_fsp::{run_analysis_with, FspAnalysisConfig, FspServer};
 use achilles_solver::{Solver, TermPool};
 use achilles_symvm::{ExploreConfig, SymMessage};
@@ -37,7 +37,7 @@ struct Run {
 fn incremental(opts: Optimizations, depth: usize) -> Run {
     let mut pool = TermPool::new();
     let mut solver = Solver::new();
-    let mut config = FspAnalysisConfig::accuracy();
+    let mut config = FspAnalysisConfig::accuracy().with_workers(workers_from_args());
     config.optimizations = opts;
     config.server.post_parse_branching = depth;
     let started = Instant::now();
@@ -80,29 +80,53 @@ fn a_posteriori(depth: usize) -> (usize, usize, Duration) {
         &prepared,
         &ExploreConfig::default(),
     );
-    (result.trojans.len(), result.accepting_paths, started.elapsed())
+    (
+        result.trojans.len(),
+        result.accepting_paths,
+        started.elapsed(),
+    )
 }
 
 fn run_workload(name: &str, depth: usize) -> (Run, Duration) {
-    header(&format!("workload: {name} (post-parse branching depth {depth})"));
+    header(&format!(
+        "workload: {name} (post-parse branching depth {depth})"
+    ));
 
     let full = incremental(Optimizations::default(), depth);
     println!("{}", row("[full] Trojans", full.trojans));
     println!("{}", row("[full] time", fmt_secs(full.time)));
-    println!("{}", row("[full] predicates dropped directly", full.direct_drops));
-    println!("{}", row("[full] predicates dropped via differentFrom", full.matrix_drops));
+    println!(
+        "{}",
+        row("[full] predicates dropped directly", full.direct_drops)
+    );
+    println!(
+        "{}",
+        row(
+            "[full] predicates dropped via differentFrom",
+            full.matrix_drops
+        )
+    );
     println!("{}", row("[full] server paths pruned", full.paths_pruned));
 
-    let no_matrix = Optimizations { use_diff_matrix: false, ..Optimizations::default() };
+    let no_matrix = Optimizations {
+        use_diff_matrix: false,
+        ..Optimizations::default()
+    };
     let nm = incremental(no_matrix, depth);
     println!("{}", row("[no differentFrom] time", fmt_secs(nm.time)));
 
-    let no_prune = Optimizations { prune_paths: false, ..Optimizations::default() };
+    let no_prune = Optimizations {
+        prune_paths: false,
+        ..Optimizations::default()
+    };
     let np = incremental(no_prune, depth);
     println!("{}", row("[no path pruning] time", fmt_secs(np.time)));
 
     let (ap_trojans, ap_accepting, ap_time) = a_posteriori(depth);
-    println!("{}", row("[a-posteriori] accepting paths diffed", ap_accepting));
+    println!(
+        "{}",
+        row("[a-posteriori] accepting paths diffed", ap_accepting)
+    );
     println!("{}", row("[a-posteriori] time", fmt_secs(ap_time)));
 
     assert_eq!(full.trojans, 80, "all Trojans found");

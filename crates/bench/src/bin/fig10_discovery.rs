@@ -4,21 +4,33 @@
 //! 45 min on the paper's testbed — shapes, not absolutes, are the target).
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin fig10_discovery
+//! cargo run --release -p achilles-bench --bin fig10_discovery [-- --workers N]
 //! ```
 
-use achilles_bench::{bar, fmt_secs, header, row};
+use achilles_bench::{bar, fmt_secs, header, row, workers_from_args};
 use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
 
 fn main() {
-    header("Figure 10 — Trojan discovery over server-analysis time (FSP)");
-    let config = FspAnalysisConfig::accuracy();
+    let workers = workers_from_args();
+    header(&format!(
+        "Figure 10 — Trojan discovery over server-analysis time (FSP, {workers} worker(s))"
+    ));
+    let config = FspAnalysisConfig::accuracy().with_workers(workers);
     let result = run_analysis(&config);
     let expected = expected_length_mismatch_trojans(config.commands.len()) as f64;
 
-    println!("{}", row("phase: client predicate", fmt_secs(result.client_time)));
-    println!("{}", row("phase: preprocessing", fmt_secs(result.preprocess_time)));
-    println!("{}", row("phase: server analysis", fmt_secs(result.server_time)));
+    println!(
+        "{}",
+        row("phase: client predicate", fmt_secs(result.client_time))
+    );
+    println!(
+        "{}",
+        row("phase: preprocessing", fmt_secs(result.preprocess_time))
+    );
+    println!(
+        "{}",
+        row("phase: server analysis", fmt_secs(result.server_time))
+    );
     println!("{}", row("Trojans discovered", result.trojans.len()));
 
     // Discovery curve: found_at timestamps are relative to the server

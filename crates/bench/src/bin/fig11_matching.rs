@@ -4,16 +4,19 @@
 //! client predicate has hundreds of paths, like the paper's run.
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin fig11_matching
+//! cargo run --release -p achilles-bench --bin fig11_matching [-- --workers N]
 //! ```
 
-use achilles_bench::{bar, header, row};
+use achilles_bench::{bar, header, row, workers_from_args};
 use achilles_fsp::{run_analysis, FspAnalysisConfig};
 use std::collections::BTreeMap;
 
 fn main() {
-    header("Figure 11 — matching client path predicates vs server path length (FSP)");
-    let config = FspAnalysisConfig::wildcard();
+    let workers = workers_from_args();
+    header(&format!(
+        "Figure 11 — matching client path predicates vs server path length (FSP, {workers} worker(s))"
+    ));
+    let config = FspAnalysisConfig::wildcard().with_workers(workers);
     let result = run_analysis(&config);
     println!("{}", row("client path predicates", result.client.len()));
     println!("{}", row("samples collected", result.samples.len()));
@@ -51,5 +54,8 @@ fn main() {
     println!(
         "  measured: mean matching falls {first_mean:.0} → {last_mean:.0} between path lengths {first_len} and {last_len}"
     );
-    assert!(last_mean < first_mean, "matching predicates must decrease with depth");
+    assert!(
+        last_mean < first_mean,
+        "matching predicates must decrease with depth"
+    );
 }

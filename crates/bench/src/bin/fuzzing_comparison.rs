@@ -15,33 +15,69 @@ fn main() {
     header("§6.2 — black-box fuzzing vs Achilles (FSP)");
 
     // In-process oracle classification: an upper bound on any fuzzer.
-    let config = FuzzConfig { budget_tests: 5_000_000, ..FuzzConfig::default() };
+    let config = FuzzConfig {
+        budget_tests: 5_000_000,
+        ..FuzzConfig::default()
+    };
     let report = run_campaign(&config);
     println!("{}", row("oracle-only tests executed", report.tests_run));
     println!("{}", row("oracle-only wall time", fmt_secs(report.elapsed)));
     println!(
         "{}",
-        row("oracle-only throughput (tests/min)", format!("{:.0}", report.tests_per_minute()))
+        row(
+            "oracle-only throughput (tests/min)",
+            format!("{:.0}", report.tests_per_minute())
+        )
     );
 
     // End-to-end against a deployed server (wire encode → parse → validate
     // → act → reply): the setup the paper's 75,000 tests/min measured.
-    let e2e_config = FuzzConfig { budget_tests: 200_000, ..FuzzConfig::default() };
+    let e2e_config = FuzzConfig {
+        budget_tests: 200_000,
+        ..FuzzConfig::default()
+    };
     let e2e = achilles_fuzz::run_e2e_campaign(&e2e_config);
     println!("{}", row("e2e tests executed", e2e.tests_run));
     println!("{}", row("e2e wall time", fmt_secs(e2e.elapsed)));
-    println!("{}", row("e2e throughput (tests/min)", format!("{:.0}", e2e.tests_per_minute())));
+    println!(
+        "{}",
+        row(
+            "e2e throughput (tests/min)",
+            format!("{:.0}", e2e.tests_per_minute())
+        )
+    );
     println!("{}", row("messages accepted by server", e2e.accepted));
-    println!("{}", row("actual Trojans found by fuzzing", e2e.trojans_found));
+    println!(
+        "{}",
+        row("actual Trojans found by fuzzing", e2e.trojans_found)
+    );
 
     let e = expectation(e2e.tests_per_minute(), false);
     println!("{}", row("Trojan messages in fuzzed space", e.trojan_count));
-    println!("{}", row("fuzzed space size", format!("{:.3e}", e.space_size)));
-    println!("{}", row("P(random test is Trojan)", format!("{:.3e}", e.trojan_probability)));
-    println!("{}", row("expected Trojans per fuzzing hour", format!("{:.4}", e.expected_per_hour)));
     println!(
         "{}",
-        row("accepted-but-valid msgs per hour (FPs)", format!("{:.1}", e.false_positives_per_hour))
+        row("fuzzed space size", format!("{:.3e}", e.space_size))
+    );
+    println!(
+        "{}",
+        row(
+            "P(random test is Trojan)",
+            format!("{:.3e}", e.trojan_probability)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "expected Trojans per fuzzing hour",
+            format!("{:.4}", e.expected_per_hour)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "accepted-but-valid msgs per hour (FPs)",
+            format!("{:.1}", e.false_positives_per_hour)
+        )
     );
 
     // Achilles on the same protocol and bounds.
@@ -53,8 +89,7 @@ fn main() {
     // Apples-to-apples (the paper compares fuzzing against Achilles' own
     // runtime — one hour there): expected Trojans from fuzzing in the time
     // Achilles needs to find all 80.
-    let expected_in_achilles_window =
-        e.expected_per_hour / 3600.0 * total.as_secs_f64();
+    let expected_in_achilles_window = e.expected_per_hour / 3600.0 * total.as_secs_f64();
     println!(
         "{}",
         row(
@@ -80,6 +115,12 @@ fn main() {
     println!("  shape:    in the time Achilles finds every Trojan class, fuzzing expects ~zero");
     let _ = report;
     assert_eq!(a.trojans.len(), expected_length_mismatch_trojans(8));
-    assert_eq!(e2e.trojans_found, 0, "a bounded fuzzing campaign finds nothing");
-    assert!(expected_in_achilles_window < 0.01, "fuzzing expects ~zero in the window");
+    assert_eq!(
+        e2e.trojans_found, 0,
+        "a bounded fuzzing campaign finds nothing"
+    );
+    assert!(
+        expected_in_achilles_window < 0.01,
+        "fuzzing expects ~zero in the window"
+    );
 }

@@ -1,0 +1,150 @@
+//! Parallel scaling of the Trojan search: the Figure 10 discovery workload
+//! swept over `workers ∈ {1, 2, 4, 8}`.
+//!
+//! Prints a scaling table and, with `--json [PATH]`, emits a machine-readable
+//! `BENCH_parallel.json` (default path) so the perf trajectory is tracked
+//! from commit to commit. The sweep also asserts that every worker count
+//! finds the identical Trojan set — scaling must never buy speed with
+//! soundness.
+//!
+//! ```text
+//! cargo run --release -p achilles-bench --bin parallel_scaling -- --json
+//! ```
+
+use std::time::Instant;
+
+use achilles_bench::{arg_present, arg_value, bar, fmt_secs, header, row};
+use achilles_fsp::{run_analysis, FspAnalysisConfig};
+
+struct Sweep {
+    workers: usize,
+    wall_s: f64,
+    server_s: f64,
+    trojans: usize,
+    steals: u64,
+    shared_hits: u64,
+    solver_queries: u64,
+    /// Sum of worker busy time / (server wall clock x workers) — the
+    /// ROADMAP's steal-granularity tuning criterion (< 0.7 at 8 workers
+    /// means batch stealing is worth a look).
+    efficiency: f64,
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Post-parse branching deepens every accepting parse with state-dependent
+    // subtrees (the regime of the paper's real run); it also makes the sweep
+    // long enough that scaling is not noise-dominated.
+    let depth: usize = arg_value("--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    header(&format!(
+        "Parallel Trojan search scaling (fig10 workload, depth {depth}, {cores} core(s))"
+    ));
+
+    let sweep_counts = [1usize, 2, 4, 8];
+    let mut sweeps: Vec<Sweep> = Vec::new();
+    let mut witness_sets: Vec<Vec<Vec<u64>>> = Vec::new();
+    for &workers in &sweep_counts {
+        let mut config = FspAnalysisConfig::accuracy().with_workers(workers);
+        config.server.post_parse_branching = depth;
+        let started = Instant::now();
+        let result = run_analysis(&config);
+        let wall = started.elapsed();
+        witness_sets.push(
+            result
+                .trojans
+                .iter()
+                .map(|t| t.witness_fields.clone())
+                .collect(),
+        );
+        let busy: f64 = result
+            .worker_stats
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .sum();
+        let server_s = result.server_time.as_secs_f64();
+        sweeps.push(Sweep {
+            workers,
+            wall_s: wall.as_secs_f64(),
+            server_s,
+            trojans: result.trojans.len(),
+            steals: result.explore_stats.steals,
+            shared_hits: result.explore_stats.shared_cache_hits,
+            solver_queries: result.worker_stats.iter().map(|w| w.queries).sum(),
+            efficiency: (busy / (server_s.max(1e-9) * workers as f64)).min(1.0),
+        });
+        println!(
+            "{}",
+            row(
+                &format!("workers={workers}"),
+                format!(
+                    "{} total / {} server, {} trojans, {} steals, {} shared hits, {:.0}% eff",
+                    fmt_secs(wall),
+                    format_args!("{:.3}s", result.server_time.as_secs_f64()),
+                    result.trojans.len(),
+                    result.explore_stats.steals,
+                    result.explore_stats.shared_cache_hits,
+                    sweeps.last().expect("just pushed").efficiency * 100.0,
+                )
+            )
+        );
+    }
+
+    for ws in &witness_sets[1..] {
+        assert_eq!(
+            ws, &witness_sets[0],
+            "every worker count must discover the identical Trojan set"
+        );
+    }
+
+    header("server-phase speedup vs workers=1");
+    let base = sweeps[0].server_s;
+    for s in &sweeps {
+        let speedup = base / s.server_s.max(1e-9);
+        println!(
+            "  {:>2} workers  {speedup:5.2}x  |{}",
+            s.workers,
+            bar(speedup, 8.0, 40)
+        );
+    }
+
+    if arg_present("--json") {
+        let path = arg_value("--json").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+        let path = if path.starts_with("--") {
+            "BENCH_parallel.json".to_string()
+        } else {
+            path
+        };
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"fig10_discovery_parallel\",\n");
+        json.push_str(&format!(
+            "  \"workload\": \"FSP accuracy, 8 utilities, post-parse depth {depth}\",\n"
+        ));
+        json.push_str(&format!("  \"cores\": {cores},\n"));
+        json.push_str("  \"sweep\": [\n");
+        for (i, s) in sweeps.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"workers\": {}, \"wall_s\": {:.4}, \"server_s\": {:.4}, \
+                 \"speedup_vs_1\": {:.3}, \"trojans\": {}, \"steals\": {}, \
+                 \"shared_cache_hits\": {}, \"solver_queries\": {}, \"efficiency\": {:.3}}}{}\n",
+                s.workers,
+                s.wall_s,
+                s.server_s,
+                base / s.server_s.max(1e-9),
+                s.trojans,
+                s.steals,
+                s.shared_hits,
+                s.solver_queries,
+                s.efficiency,
+                if i + 1 == sweeps.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("\n  wrote {path}");
+    }
+}

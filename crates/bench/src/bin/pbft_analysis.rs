@@ -8,23 +8,28 @@
 //! ```
 
 use achilles_bench::{fmt_secs, header, row};
-use achilles_pbft::{
-    run_analysis, run_workload, ClusterConfig, PbftAnalysisConfig, PbftRequest,
-};
+use achilles_pbft::{run_analysis, run_workload, ClusterConfig, PbftAnalysisConfig, PbftRequest};
 
 fn main() {
     header("§6.2 — PBFT analysis");
     let result = run_analysis(&PbftAnalysisConfig::paper());
     println!("{}", row("client path predicates", result.client.len()));
     println!("{}", row("Trojan reports", result.trojans.len()));
-    println!("{}", row("distinct Trojan types", result.distinct_families()));
+    println!(
+        "{}",
+        row("distinct Trojan types", result.distinct_families())
+    );
     println!("{}", row("MAC-attack reports", result.mac_attacks()));
     println!("{}", row("analysis time", fmt_secs(result.total_time)));
     for t in &result.trojans {
         let req = PbftRequest::from_field_values(&t.witness_fields);
         println!(
             "  witness: tag={} cid={} rid={} macs={:08x?} ({})",
-            req.tag, req.cid, req.rid, req.macs, t.notes.join("/")
+            req.tag,
+            req.cid,
+            req.rid,
+            req.macs,
+            t.notes.join("/")
         );
     }
 
@@ -32,11 +37,17 @@ fn main() {
     let healthy = run_workload(ClusterConfig::default(), 10_000, 0);
     let attacked = run_workload(ClusterConfig::default(), 10_000, 10);
     let patched = run_workload(
-        ClusterConfig { primary_verifies_macs: true, ..ClusterConfig::default() },
+        ClusterConfig {
+            primary_verifies_macs: true,
+            ..ClusterConfig::default()
+        },
         10_000,
         10,
     );
-    println!("  {:<28} {:>14} {:>12} {:>12}", "workload", "throughput/s", "recoveries", "dropped");
+    println!(
+        "  {:<28} {:>14} {:>12} {:>12}",
+        "workload", "throughput/s", "recoveries", "dropped"
+    );
     println!(
         "  {:<28} {:>14.0} {:>12} {:>12}",
         "healthy",

@@ -30,11 +30,23 @@ fn main() {
     println!("{}", row("server paths completed", result.server_paths));
     println!(
         "{}",
-        row("server paths pruned by Trojan-set check", result.explore_stats.pruned)
+        row(
+            "server paths pruned by Trojan-set check",
+            result.explore_stats.pruned
+        )
     );
-    println!("{}", row("phase: client predicate", fmt_secs(result.client_time)));
-    println!("{}", row("phase: preprocessing", fmt_secs(result.preprocess_time)));
-    println!("{}", row("phase: server analysis", fmt_secs(result.server_time)));
+    println!(
+        "{}",
+        row("phase: client predicate", fmt_secs(result.client_time))
+    );
+    println!(
+        "{}",
+        row("phase: preprocessing", fmt_secs(result.preprocess_time))
+    );
+    println!(
+        "{}",
+        row("phase: server analysis", fmt_secs(result.server_time))
+    );
 
     // --- Classic symbolic execution -------------------------------------
     // Vanilla exploration of the same server; one concrete test message per
@@ -60,17 +72,30 @@ fn main() {
         if is_trojan(&msg, &FspServerConfig::default(), false) {
             // Count Trojan *classes* (cmd, reported, actual) like the paper.
             let reported = (msg.bb_len as usize).min(achilles_fsp::MAX_PATH);
-            let actual =
-                msg.buf[..reported].iter().position(|&b| b == 0).unwrap_or(reported);
+            let actual = msg.buf[..reported]
+                .iter()
+                .position(|&b| b == 0)
+                .unwrap_or(reported);
             classic_tp_classes.insert((msg.cmd, reported, actual));
         } else {
             classic_fp += 1;
         }
     }
 
-    println!("\n  {:<30} {:>12} {:>24}", "", "Achilles", "Classic symbolic exec.");
-    println!("  {:<30} {:>12} {:>24}", "True positives", achilles_tp, classic_tp_classes.len());
-    println!("  {:<30} {:>12} {:>24}", "False positives", achilles_fp, classic_fp);
+    println!(
+        "\n  {:<30} {:>12} {:>24}",
+        "", "Achilles", "Classic symbolic exec."
+    );
+    println!(
+        "  {:<30} {:>12} {:>24}",
+        "True positives",
+        achilles_tp,
+        classic_tp_classes.len()
+    );
+    println!(
+        "  {:<30} {:>12} {:>24}",
+        "False positives", achilles_fp, classic_fp
+    );
     println!(
         "\n  (classic symex enumerated {} candidate messages over {} accepting paths\n   in {}; the tester must sift Trojans out by hand)",
         classic.candidates.len(),
@@ -85,6 +110,9 @@ fn main() {
         "  measured: Achilles TP={achilles_tp} FP={achilles_fp} | classic TP={} FP={classic_fp}",
         classic_tp_classes.len(),
     );
-    assert_eq!(achilles_tp, expected, "Achilles must find every known Trojan class");
+    assert_eq!(
+        achilles_tp, expected,
+        "Achilles must find every known Trojan class"
+    );
     assert_eq!(achilles_fp, 0, "and report no false positives");
 }

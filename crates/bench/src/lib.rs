@@ -12,6 +12,30 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())
 }
 
+/// Value of a `--flag value` pair in the process arguments.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Whether a bare `--flag` is present in the process arguments.
+pub fn arg_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Worker-thread count from `--workers N` (default 1 = sequential).
+pub fn workers_from_args() -> usize {
+    arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// Renders a simple aligned two-column table row.
 pub fn row(label: &str, value: impl std::fmt::Display) -> String {
     format!("  {label:<42} {value}")

@@ -13,7 +13,7 @@
 use std::time::{Duration, Instant};
 
 use achilles_solver::{SatResult, Solver, TermId, TermPool};
-use achilles_symvm::{ExploreConfig, ExploreStats, Executor, NodeProgram, SymMessage, Verdict};
+use achilles_symvm::{Executor, ExploreConfig, ExploreStats, NodeProgram, SymMessage, Verdict};
 
 use crate::predicate::FieldMask;
 use crate::report::TrojanReport;
@@ -57,7 +57,7 @@ pub struct ClassicSymexResult {
 pub fn classic_symex(
     pool: &mut TermPool,
     solver: &mut Solver,
-    server: &dyn NodeProgram,
+    server: &(dyn NodeProgram + Sync),
     server_msg: &SymMessage,
     explore_config: &ExploreConfig,
     mask: &FieldMask,
@@ -68,7 +68,7 @@ pub fn classic_symex(
     config.recv_script = vec![server_msg.clone()];
     let result = {
         let mut exec = Executor::new(pool, solver, config);
-        exec.explore(server)
+        exec.explore_multi(server)
     };
     let mut out = ClassicSymexResult {
         total_paths: result.paths.len(),
@@ -129,7 +129,7 @@ pub struct APosterioriResult {
 pub fn a_posteriori_diff(
     pool: &mut TermPool,
     solver: &mut Solver,
-    server: &dyn NodeProgram,
+    server: &(dyn NodeProgram + Sync),
     prepared: &PreparedClient,
     explore_config: &ExploreConfig,
 ) -> APosterioriResult {
@@ -138,7 +138,7 @@ pub fn a_posteriori_diff(
     config.recv_script = vec![prepared.server_msg.clone()];
     let result = {
         let mut exec = Executor::new(pool, solver, config);
-        exec.explore(server)
+        exec.explore_multi(server)
     };
     let t1 = Instant::now();
     let mut out = APosterioriResult {
@@ -192,7 +192,10 @@ mod tests {
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("kv").field("op", Width::W8).field("key", Width::W16).build()
+        MessageLayout::builder("kv")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
     }
 
     fn client(env: &mut SymEnv<'_>) -> PathResult<()> {

@@ -34,7 +34,11 @@ pub fn report_to_markdown(pool: &TermPool, report: &AchillesReport) -> String {
         report.phase_times.preprocess.as_secs_f64(),
         report.phase_times.server.as_secs_f64(),
     );
-    out.push_str(&trojans_to_markdown(pool, &report.server_msg, &report.trojans));
+    out.push_str(&trojans_to_markdown(
+        pool,
+        &report.server_msg,
+        &report.trojans,
+    ));
     out
 }
 
@@ -81,7 +85,11 @@ pub fn trojans_to_markdown(
             "<details><summary>Trojan {} (path {}{})</summary>\n",
             i,
             t.server_path_id,
-            if t.notes.is_empty() { String::new() } else { format!(": {}", t.notes.join("; ")) },
+            if t.notes.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", t.notes.join("; "))
+            },
         );
         out.push_str("```text\n");
         for &c in &t.constraints {
@@ -101,7 +109,10 @@ mod tests {
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("kv").field("op", Width::W8).field("key", Width::W16).build()
+        MessageLayout::builder("kv")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
     }
 
     fn client(env: &mut SymEnv<'_>) -> PathResult<()> {

@@ -76,12 +76,60 @@
 //! | [`predicate`] | §3.1 | `P_C`, path predicates, masks, combination |
 //! | [`negate`] | §3.2, §4 | the under-approximate negate operator |
 //! | [`diff_matrix`] | §3.3 | the `differentFrom` pre-computation |
-//! | [`search`] | §3.2–3.3 | the incremental Trojan search observer |
+//! | [`search`] | §3.2–3.3 | the incremental Trojan search observer + parallel driver |
 //! | [`pipeline`] | §3, §3.4 | the three-phase driver and local-state modes |
 //! | [`refine`] | §4.1 | CEGAR-style witness refinement (the paper's future work) |
 //! | [`sequence`] | §7 | multi-message session Trojans (beyond the paper) |
 //! | [`baseline`] | §6.2, §6.4 | classic symex and a-posteriori differencing |
 //! | [`report`] | §3.2 | symbolic + concrete Trojan reports |
+//!
+//! ## Parallel search architecture
+//!
+//! The server analysis scales across cores when
+//! [`ExploreConfig::workers`](achilles_symvm::ExploreConfig::workers) is
+//! raised above one (`AchillesConfig::server_explore.workers`, or
+//! `with_workers` on the FSP/PBFT analysis configs). The design, bottom to
+//! top:
+//!
+//! * **Unit of work.** The executor schedules paths as *decision prefixes*
+//!   and re-executes the node program from the start for each one, so every
+//!   worklist item is self-contained — the natural grain for a
+//!   work-stealing pool (`achilles_symvm::parallel`). Workers keep their own
+//!   deque LIFO (depth-first, hot caches) and steal the oldest item from a
+//!   victim (shallow prefix = biggest subtree).
+//! * **Ownership.** Each worker owns a fork of the base
+//!   [`TermPool`](achilles_solver::TermPool) (snapshot ids stay valid; new
+//!   terms intern worker-locally), its own
+//!   [`Solver`](achilles_solver::Solver), and its own [`TrojanObserver`] —
+//!   there is no shared mutable state on the hot path.
+//! * **Sharing.** Workers share solved queries through a sharded
+//!   [`SharedCache`](achilles_solver::SharedCache) keyed on *structural
+//!   fingerprints*, so `TermId` divergence between pools doesn't matter:
+//!   replaying a prefix another worker already solved is a cache hit.
+//!   Within a path, the incremental
+//!   [`ScopedSolver`](achilles_solver::ScopedSolver) answers most branch
+//!   checks by re-evaluating the previous model instead of searching.
+//! * **Why determinism holds.** A path's constraint structure is a function
+//!   of its decision prefix alone (deterministic re-execution + tagged
+//!   variable interning), and each solver query is deterministic given its
+//!   structural assertion set. Results are re-interned into the base pool,
+//!   sorted into canonical depth-first order (`true` before `false`), and
+//!   renumbered — so the Trojan set, path counts, and witnesses are
+//!   identical for every worker count and every scheduling, *provided the
+//!   exploration runs to completion*. When a `max_paths`/`max_runs` budget
+//!   stops the search early, the budget itself is pool-global but the stop
+//!   is a raced signal: a capped parallel run may complete up to
+//!   `workers - 1` extra paths, and which paths made the cut depends on
+//!   scheduling. BFS-ordered explorations always run sequentially for the
+//!   same reason (the pool schedules depth-first per worker). The
+//!   `parallel_determinism` integration suite pins the uncapped guarantee
+//!   on the quickstart, FSP, PBFT, and Paxos scenarios.
+//!
+//! **Picking `workers`:** the analysis is CPU-bound; `workers = number of
+//! physical cores` is the right default for long discovery runs, and `1`
+//! (the default) is best below ~100ms of server analysis, where pool
+//! forking and merge overhead dominate. Budgets (`max_runs`, `max_paths`)
+//! are enforced pool-globally, so raising `workers` never multiplies them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -106,8 +154,9 @@ pub use negate::{negate_field, negate_path, NegateStats, NegatedPath};
 pub use pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
 pub use predicate::{combine, rename_fresh, ClientPathPredicate, ClientPredicate, FieldMask};
 pub use refine::{refine_witness, Refinement};
-pub use sequence::{analyze_sequence, SequenceObserver};
 pub use report::TrojanReport;
 pub use search::{
-    prepare_client, MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver,
+    prepare_client, run_trojan_search, MatchSample, Optimizations, PreparedClient, SearchStats,
+    TrojanObserver, TrojanSearchOutcome, WorkerSummary,
 };
+pub use sequence::{analyze_sequence, SequenceObserver};

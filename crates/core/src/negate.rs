@@ -136,7 +136,11 @@ pub fn negate_path(
         Some(pool.or_all(field_clauses.iter().map(|&(_, c)| c)))
     };
     stats.time += started.elapsed();
-    NegatedPath { client_index: client.index, field_clauses, disjunction }
+    NegatedPath {
+        client_index: client.index,
+        field_clauses,
+        disjunction,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +148,7 @@ mod tests {
     use super::*;
     use crate::predicate::ClientPredicate;
     use achilles_solver::Width;
-    use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv};
+    use achilles_symvm::{Executor, ExploreConfig, MessageLayout, PathResult, SymEnv};
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
@@ -173,7 +177,10 @@ mod tests {
                 return Ok(());
             }
             let cmd = env.constant(7, Width::W8);
-            env.send(achilles_symvm::SymMessage::new(layout(), vec![cmd, addr, free]));
+            env.send(achilles_symvm::SymMessage::new(
+                layout(),
+                vec![cmd, addr, free],
+            ));
             Ok(())
         });
         let pred = ClientPredicate::from_exploration(&result);
@@ -185,8 +192,15 @@ mod tests {
         let (mut pool, mut solver, pred) = client_predicate();
         let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
         let mut stats = NegateStats::default();
-        let clause = negate_field(&mut pool, &mut solver, server_msg.value(0), &pred.paths[0], 0, &mut stats)
-            .expect("cmd is negatable");
+        let clause = negate_field(
+            &mut pool,
+            &mut solver,
+            server_msg.value(0),
+            &pred.paths[0],
+            0,
+            &mut stats,
+        )
+        .expect("cmd is negatable");
         // smsg.cmd == 7 contradicts the clause; smsg.cmd == 8 satisfies it.
         let seven = pool.constant(7, Width::W8);
         let pin7 = pool.eq(server_msg.value(0), seven);
@@ -202,8 +216,15 @@ mod tests {
         let (mut pool, mut solver, pred) = client_predicate();
         let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
         let mut stats = NegateStats::default();
-        let clause = negate_field(&mut pool, &mut solver, server_msg.value(1), &pred.paths[0], 1, &mut stats)
-            .expect("addr is negatable");
+        let clause = negate_field(
+            &mut pool,
+            &mut solver,
+            server_msg.value(1),
+            &pred.paths[0],
+            1,
+            &mut stats,
+        )
+        .expect("addr is negatable");
         // In-range address contradicts the negation…
         let fifty = pool.constant(50, Width::W32);
         let pin_in = pool.eq(server_msg.value(1), fifty);
@@ -226,8 +247,14 @@ mod tests {
         let (mut pool, mut solver, pred) = client_predicate();
         let server_msg = SymMessage::fresh(&mut pool, &layout(), "smsg");
         let mut stats = NegateStats::default();
-        let clause =
-            negate_field(&mut pool, &mut solver, server_msg.value(2), &pred.paths[0], 2, &mut stats);
+        let clause = negate_field(
+            &mut pool,
+            &mut solver,
+            server_msg.value(2),
+            &pred.paths[0],
+            2,
+            &mut stats,
+        );
         assert!(clause.is_none(), "free field cannot be negated");
         assert_eq!(stats.skipped_unconstrained, 1);
     }
@@ -245,7 +272,11 @@ mod tests {
             &FieldMask::none(),
             &mut stats,
         );
-        assert_eq!(neg.field_clauses.len(), 2, "cmd and addr clauses; free skipped");
+        assert_eq!(
+            neg.field_clauses.len(),
+            2,
+            "cmd and addr clauses; free skipped"
+        );
         let disj = neg.disjunction.expect("nonempty");
         // A message the client can send violates the disjunction…
         let seven = pool.constant(7, Width::W8);
@@ -266,8 +297,14 @@ mod tests {
         let l = layout();
         let mask = FieldMask::by_names(&l, &["cmd"]);
         let mut stats = NegateStats::default();
-        let neg =
-            negate_path(&mut pool, &mut solver, &server_msg, &pred.paths[0], &mask, &mut stats);
+        let neg = negate_path(
+            &mut pool,
+            &mut solver,
+            &server_msg,
+            &pred.paths[0],
+            &mask,
+            &mut stats,
+        );
         assert_eq!(neg.field_clauses.len(), 1, "only addr remains");
         assert_eq!(neg.field_clauses[0].0, 1);
     }

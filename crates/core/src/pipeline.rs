@@ -19,13 +19,14 @@ use std::time::{Duration, Instant};
 
 use achilles_solver::{Solver, TermId, TermPool};
 use achilles_symvm::{
-    ExploreConfig, ExploreStats, Executor, MessageLayout, NodeProgram, SymMessage,
+    Executor, ExploreConfig, ExploreStats, MessageLayout, NodeProgram, SymMessage,
 };
 
 use crate::predicate::{ClientPredicate, FieldMask};
 use crate::report::TrojanReport;
 use crate::search::{
-    prepare_client, MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver,
+    prepare_client, run_trojan_search, MatchSample, Optimizations, PreparedClient, SearchStats,
+    TrojanSearchOutcome, WorkerSummary,
 };
 
 /// How the analyzed server node obtains its local state (§3.4).
@@ -57,12 +58,15 @@ pub struct PhaseTimes {
     pub client: Duration,
     /// Pre-processing the client predicate.
     pub preprocess: Duration,
-    /// Analyzing the server.
+    /// Analyzing the server (wall clock).
     pub server: Duration,
+    /// CPU time spent across all server-analysis workers (equals `server`
+    /// for single-threaded runs; up to `workers ×` it when scaling).
+    pub server_cpu: Duration,
 }
 
 impl PhaseTimes {
-    /// Total pipeline time.
+    /// Total pipeline wall-clock time.
     pub fn total(&self) -> Duration {
         self.client + self.preprocess + self.server
     }
@@ -85,10 +89,13 @@ pub struct AchillesReport {
     pub search_stats: SearchStats,
     /// Client exploration counters.
     pub client_explore: ExploreStats,
-    /// Server exploration counters.
+    /// Server exploration counters (includes steals and shared-cache hits
+    /// for parallel runs).
     pub server_explore: ExploreStats,
     /// Completed server paths.
     pub server_paths: usize,
+    /// Per-worker server-analysis breakdown (one entry for sequential runs).
+    pub server_workers: Vec<WorkerSummary>,
 }
 
 /// Configuration for a full pipeline run.
@@ -111,7 +118,10 @@ pub struct AchillesConfig {
 impl AchillesConfig {
     /// A configuration with verification on and default limits.
     pub fn verified() -> AchillesConfig {
-        AchillesConfig { verify_witnesses: true, ..AchillesConfig::default() }
+        AchillesConfig {
+            verify_witnesses: true,
+            ..AchillesConfig::default()
+        }
     }
 }
 
@@ -135,13 +145,16 @@ impl Achilles {
     }
 
     /// Phase 1: extracts the client predicate from a client program.
+    ///
+    /// Honors [`ExploreConfig::workers`]: client exploration parallelizes the
+    /// same way the server analysis does.
     pub fn extract_client_predicate(
         &mut self,
-        client: &dyn NodeProgram,
+        client: &(dyn NodeProgram + Sync),
         config: &ExploreConfig,
     ) -> (ClientPredicate, ExploreStats) {
         let mut exec = Executor::new(&mut self.pool, &mut self.solver, config.clone());
-        let result = exec.explore(client);
+        let result = exec.explore_multi(client);
         (ClientPredicate::from_exploration(&result), result.stats)
     }
 
@@ -155,39 +168,49 @@ impl Achilles {
         opts: Optimizations,
     ) -> PreparedClient {
         let server_msg = SymMessage::fresh(&mut self.pool, layout, "msg");
-        prepare_client(&mut self.pool, &mut self.solver, client, server_msg, mask, opts)
+        prepare_client(
+            &mut self.pool,
+            &mut self.solver,
+            client,
+            server_msg,
+            mask,
+            opts,
+        )
     }
 
     /// Phase 2: analyzes the server with the Trojan observer installed.
     ///
-    /// Returns the reports, Figure-11 samples, search stats, exploration
-    /// stats, and the number of completed server paths.
+    /// Sequential when `config.server_explore.workers <= 1`; otherwise the
+    /// exploration fans out over a work-stealing pool with per-worker
+    /// solvers and a shared query cache (see
+    /// [`run_trojan_search`](crate::search::run_trojan_search)).
     pub fn analyze_server(
         &mut self,
-        server: &dyn NodeProgram,
+        server: &(dyn NodeProgram + Sync),
         prepared: &PreparedClient,
         config: &AchillesConfig,
-    ) -> (Vec<TrojanReport>, Vec<MatchSample>, SearchStats, ExploreStats, usize) {
+    ) -> TrojanSearchOutcome {
         let mut explore = config.server_explore.clone();
         explore.recv_script = vec![prepared.server_msg.clone()];
         if let LocalState::Constructed { constraints } = &config.local_state {
             explore.initial_constraints.extend_from_slice(constraints);
         }
-        let mut observer =
-            TrojanObserver::new(prepared, config.optimizations, config.verify_witnesses);
-        let result = {
-            let mut exec = Executor::new(&mut self.pool, &mut self.solver, explore);
-            exec.explore_observed(server, &mut observer)
-        };
-        let TrojanObserver { reports, samples, stats, .. } = observer;
-        (reports, samples, stats, result.stats, result.paths.len())
+        run_trojan_search(
+            &mut self.pool,
+            &mut self.solver,
+            prepared,
+            server,
+            explore,
+            config.optimizations,
+            config.verify_witnesses,
+        )
     }
 
     /// Runs the full pipeline: client → preprocessing → server.
     pub fn run(
         &mut self,
-        client: &dyn NodeProgram,
-        server: &dyn NodeProgram,
+        client: &(dyn NodeProgram + Sync),
+        server: &(dyn NodeProgram + Sync),
         layout: &Arc<MessageLayout>,
         config: &AchillesConfig,
     ) -> AchillesReport {
@@ -202,23 +225,25 @@ impl Achilles {
             config.optimizations,
         );
         let t2 = Instant::now();
-        let (trojans, samples, search_stats, server_explore, server_paths) =
-            self.analyze_server(server, &prepared, config);
+        let outcome = self.analyze_server(server, &prepared, config);
         let t3 = Instant::now();
+        let server_cpu: Duration = outcome.workers.iter().map(|w| w.busy).sum();
         AchillesReport {
             client: prepared.client.clone(),
             server_msg: prepared.server_msg.clone(),
-            trojans,
+            trojans: outcome.reports,
             phase_times: PhaseTimes {
                 client: t1 - t0,
                 preprocess: t2 - t1,
                 server: t3 - t2,
+                server_cpu,
             },
-            samples,
-            search_stats,
+            samples: outcome.samples,
+            search_stats: outcome.stats,
             client_explore,
-            server_explore,
-            server_paths,
+            server_explore: outcome.explore,
+            server_paths: outcome.server_paths,
+            server_workers: outcome.workers,
         }
     }
 }
@@ -230,7 +255,10 @@ mod tests {
     use achilles_symvm::{PathResult, SymEnv};
 
     fn layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("kv").field("op", Width::W8).field("key", Width::W16).build()
+        MessageLayout::builder("kv")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
     }
 
     fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
@@ -269,7 +297,10 @@ mod tests {
         let t = &report.trojans[0];
         assert!(t.verified);
         let key = t.witness_fields[1];
-        assert!((1024..4096).contains(&key), "witness key {key} in the Trojan window");
+        assert!(
+            (1024..4096).contains(&key),
+            "witness key {key} in the Trojan window"
+        );
         assert!(report.phase_times.total() > Duration::ZERO);
         assert!(report.server_paths >= 1);
     }
@@ -292,12 +323,17 @@ mod tests {
         let seeded = achilles.pool.ult(key_field, cap);
         let config = AchillesConfig {
             verify_witnesses: true,
-            local_state: LocalState::Constructed { constraints: vec![seeded] },
+            local_state: LocalState::Constructed {
+                constraints: vec![seeded],
+            },
             ..AchillesConfig::default()
         };
-        let (trojans, _, _, _, _) = achilles.analyze_server(&server, &prepared, &config);
-        assert_eq!(trojans.len(), 1);
-        let key = trojans[0].witness_fields[1];
-        assert!((1024..2000).contains(&key), "seeded constraint caps the witness: {key}");
+        let outcome = achilles.analyze_server(&server, &prepared, &config);
+        assert_eq!(outcome.reports.len(), 1);
+        let key = outcome.reports[0].witness_fields[1];
+        assert!(
+            (1024..2000).contains(&key),
+            "seeded constraint caps the witness: {key}"
+        );
     }
 }

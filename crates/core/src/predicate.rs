@@ -144,7 +144,10 @@ impl ClientPredicate {
     pub fn render(&self, pool: &TermPool) -> String {
         let mut out = String::new();
         for p in &self.paths {
-            out.push_str(&format!("path {} (from exploration path {}):\n", p.index, p.path_id));
+            out.push_str(&format!(
+                "path {} (from exploration path {}):\n",
+                p.index, p.path_id
+            ));
             out.push_str(&format!("  message: {}\n", p.message.render(pool)));
             if p.constraints.is_empty() {
                 out.push_str("  constraints: (none)\n");
@@ -267,7 +270,7 @@ pub fn rename_fresh(
 mod tests {
     use super::*;
     use achilles_solver::{Solver, Width};
-    use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv};
+    use achilles_symvm::{Executor, ExploreConfig, MessageLayout, PathResult, SymEnv};
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
@@ -282,7 +285,9 @@ mod tests {
     /// crc-like opaque function over addr.
     fn explore_client() -> (TermPool, Solver, ClientPredicate) {
         let mut pool = TermPool::new();
-        let crc = pool.register_fun("crc16", Width::W16, |args| args.iter().sum::<u64>() ^ 0xBEEF);
+        let crc = pool.register_fun("crc16", Width::W16, |args| {
+            args.iter().sum::<u64>() ^ 0xBEEF
+        });
         let mut solver = Solver::new();
         let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
         let result = exec.explore(&move |env: &mut SymEnv<'_>| -> PathResult<()> {
@@ -298,7 +303,10 @@ mod tests {
             let layout = layout();
             let cmd = env.constant(1, Width::W8);
             let crc_val = env.pool_mut().apply(crc, vec![addr]);
-            env.send(achilles_symvm::SymMessage::new(layout, vec![cmd, addr, crc_val]));
+            env.send(achilles_symvm::SymMessage::new(
+                layout,
+                vec![cmd, addr, crc_val],
+            ));
             Ok(())
         });
         let pred = ClientPredicate::from_exploration(&result);
@@ -369,8 +377,9 @@ mod tests {
     fn rename_fresh_separates_vars() {
         let (mut pool, mut solver, pred) = explore_client();
         let p = &pred.paths[0];
-        let terms: Vec<TermId> =
-            std::iter::once(p.message.field("addr")).chain(p.constraints.clone()).collect();
+        let terms: Vec<TermId> = std::iter::once(p.message.field("addr"))
+            .chain(p.constraints.clone())
+            .collect();
         let (renamed, map) = rename_fresh(&mut pool, &terms);
         assert_eq!(map.len(), 1);
         // Renamed constraint set is independently satisfiable alongside a

@@ -18,7 +18,7 @@
 
 use achilles_solver::{Solver, TermId, TermPool};
 use achilles_symvm::{
-    ExploreConfig, Executor, NodeProgram, ObserverCx, PathObserver, PathRecord, SymMessage,
+    Executor, ExploreConfig, NodeProgram, ObserverCx, PathObserver, PathRecord, SymMessage,
 };
 
 use crate::predicate::FieldMask;
@@ -132,8 +132,13 @@ pub fn refine_witness(
         exec.explore_observed(client, &mut focus)
     };
     match focus.generating_path {
-        Some((client_path_id, notes)) => Refinement::Refuted { client_path_id, notes },
-        None => Refinement::ConfirmedTrojan { explored_paths: result.paths.len() },
+        Some((client_path_id, notes)) => Refinement::Refuted {
+            client_path_id,
+            notes,
+        },
+        None => Refinement::ConfirmedTrojan {
+            explored_paths: result.paths.len(),
+        },
     }
 }
 
@@ -145,7 +150,10 @@ mod tests {
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("m").field("op", Width::W8).field("key", Width::W16).build()
+        MessageLayout::builder("m")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
     }
 
     /// Client with a rare deep path: op 2 is only sent after a long chain
@@ -197,7 +205,10 @@ mod tests {
         let mut solver = Solver::new();
         // op=2 IS generable — but only on the deep all-flags path that a
         // truncated phase-1 exploration (max_depth 3) would never see.
-        let shallow = ExploreConfig { max_depth: 3, ..ExploreConfig::default() };
+        let shallow = ExploreConfig {
+            max_depth: 3,
+            ..ExploreConfig::default()
+        };
         let witness = vec![2u64, 50];
         let r_shallow = refine_witness(
             &mut pool,
@@ -207,7 +218,10 @@ mod tests {
             &FieldMask::none(),
             &shallow,
         );
-        assert!(r_shallow.is_confirmed(), "under truncated bounds it looks Trojan");
+        assert!(
+            r_shallow.is_confirmed(),
+            "under truncated bounds it looks Trojan"
+        );
 
         let full = ExploreConfig::default();
         let r_full = refine_witness(

@@ -37,7 +37,11 @@ impl TrojanReport {
             "Trojan on server path {} ({} client predicates still matching{})\n",
             self.server_path_id,
             self.active_clients,
-            if self.verified { ", verified" } else { ", UNVERIFIED" },
+            if self.verified {
+                ", verified"
+            } else {
+                ", UNVERIFIED"
+            },
         ));
         if !self.notes.is_empty() {
             out.push_str(&format!("  action: {}\n", self.notes.join("; ")));

@@ -23,10 +23,13 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use achilles_solver::{SatResult, Solver, TermId, TermPool, VarId};
-use achilles_symvm::{ObserverCx, PathObserver, PathRecord, SymMessage, Verdict};
+use achilles_symvm::{
+    Executor, ExploreConfig, ExploreStats, NodeProgram, ObserverCx, PathObserver, PathRecord,
+    SymMessage, Verdict,
+};
 
 use crate::diff_matrix::DiffMatrix;
-use crate::negate::{negate_path, NegatedPath, NegateStats};
+use crate::negate::{negate_path, NegateStats, NegatedPath};
 use crate::predicate::{combine, ClientPredicate, FieldMask};
 use crate::report::TrojanReport;
 
@@ -46,14 +49,22 @@ pub struct Optimizations {
 
 impl Default for Optimizations {
     fn default() -> Optimizations {
-        Optimizations { drop_covered: true, use_diff_matrix: true, prune_paths: true }
+        Optimizations {
+            drop_covered: true,
+            use_diff_matrix: true,
+            prune_paths: true,
+        }
     }
 }
 
 impl Optimizations {
     /// Everything off: the non-optimized configuration of §6.4.
     pub fn none() -> Optimizations {
-        Optimizations { drop_covered: false, use_diff_matrix: false, prune_paths: false }
+        Optimizations {
+            drop_covered: false,
+            use_diff_matrix: false,
+            prune_paths: false,
+        }
     }
 }
 
@@ -99,7 +110,13 @@ pub fn prepare_client(
         .map(|p| negate_path(pool, solver, &server_msg, p, &mask, &mut negate_stats))
         .collect();
     let diff = if opts.use_diff_matrix {
-        Some(DiffMatrix::compute(pool, solver, &server_msg, &client, &mask))
+        Some(DiffMatrix::compute(
+            pool,
+            solver,
+            &server_msg,
+            &client,
+            &mask,
+        ))
     } else {
         None
     };
@@ -298,9 +315,7 @@ impl<'p> TrojanObserver<'p> {
     fn verify(&self, cx: &mut ObserverCx<'_>, fields: &[u64]) -> bool {
         for path in &self.prepared.client.paths {
             let mut q = path.constraints.clone();
-            for (fi, (&expr, &value)) in
-                path.message.values().iter().zip(fields).enumerate()
-            {
+            for (fi, (&expr, &value)) in path.message.values().iter().zip(fields).enumerate() {
                 if self.prepared.mask.contains(fi) {
                     continue;
                 }
@@ -319,8 +334,13 @@ impl<'p> TrojanObserver<'p> {
     /// A constraint excluding the exact witness (differs in ≥ 1 unmasked field).
     fn exclude_witness(&self, pool: &mut TermPool, fields: &[u64]) -> TermId {
         let mut diffs = Vec::new();
-        for (fi, (&sv, &value)) in
-            self.prepared.server_msg.values().iter().zip(fields).enumerate()
+        for (fi, (&sv, &value)) in self
+            .prepared
+            .server_msg
+            .values()
+            .iter()
+            .zip(fields)
+            .enumerate()
         {
             if self.prepared.mask.contains(fi) {
                 continue;
@@ -334,6 +354,160 @@ impl<'p> TrojanObserver<'p> {
     }
 }
 
+/// Per-worker counters of one (possibly parallel) Trojan search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerSummary {
+    /// Worker index (0 for the sequential path).
+    pub worker: usize,
+    /// Time this worker's solver spent searching.
+    pub solve_time: Duration,
+    /// Queries this worker's solver answered (including cache hits).
+    pub queries: u64,
+    /// Queries answered from the cross-worker shared cache.
+    pub shared_hits: u64,
+    /// Worklist items stolen from other workers.
+    pub steals: u64,
+    /// Time spent executing worklist items (excludes idle waiting).
+    pub busy: Duration,
+}
+
+/// Everything one server-side Trojan search produces.
+#[derive(Debug, Default)]
+pub struct TrojanSearchOutcome {
+    /// Trojan reports in canonical path order (terms valid in the caller's
+    /// pool, including for parallel runs).
+    pub reports: Vec<TrojanReport>,
+    /// Figure 11 samples.
+    pub samples: Vec<MatchSample>,
+    /// Search counters, summed over workers.
+    pub stats: SearchStats,
+    /// Exploration counters, summed over workers.
+    pub explore: ExploreStats,
+    /// Completed server paths.
+    pub server_paths: usize,
+    /// Per-worker breakdown (one entry for sequential runs).
+    pub workers: Vec<WorkerSummary>,
+}
+
+/// Tag-family salt for the server phase's symbolic inputs (see
+/// [`ExploreConfig::sym_salt`]); the client phase uses the default `0`.
+const SERVER_SYM_SALT: u64 = 0x5352_5600; // "SRV\0"
+
+/// Runs the incremental Trojan search over `server`, sequentially or on
+/// [`ExploreConfig::workers`] work-stealing threads.
+///
+/// This is the shared driver behind
+/// [`Achilles::analyze_server`](crate::pipeline::Achilles::analyze_server)
+/// and the FSP/PBFT/Paxos analyses. In parallel mode every worker runs its own [`TrojanObserver`]
+/// over a fork of `pool`; afterwards reports are imported back into `pool`,
+/// their path ids remapped to the canonical depth-first numbering, and the
+/// result sorted by path id — which makes the report *set* identical to a
+/// sequential run's (timestamps and per-worker statistics aside).
+pub fn run_trojan_search(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    prepared: &PreparedClient,
+    server: &(dyn NodeProgram + Sync),
+    mut explore: ExploreConfig,
+    opts: Optimizations,
+    verify_witnesses: bool,
+) -> TrojanSearchOutcome {
+    // The server runs in the same pool lineage as the client exploration;
+    // give its symbolic inputs their own tag family so a server `sym()` can
+    // never share a fingerprint with the client's i-th input of the same
+    // name and width (callers may override with a nonzero salt).
+    if explore.sym_salt == 0 {
+        explore.sym_salt = SERVER_SYM_SALT;
+    }
+    // The work-stealing pool schedules depth-first per worker and cannot
+    // reproduce BFS completion order; keep BFS explorations sequential.
+    if explore.workers <= 1 || explore.order == achilles_symvm::ExploreOrder::Bfs {
+        let queries_before = solver.stats().queries;
+        let solve_before = solver.stats().solve_time;
+        let item_started = Instant::now();
+        let mut observer = TrojanObserver::new(prepared, opts, verify_witnesses);
+        let result = {
+            let mut exec = Executor::new(pool, solver, explore);
+            exec.explore_observed(server, &mut observer)
+        };
+        let TrojanObserver {
+            reports,
+            samples,
+            stats,
+            ..
+        } = observer;
+        let summary = WorkerSummary {
+            worker: 0,
+            solve_time: solver.stats().solve_time - solve_before,
+            queries: solver.stats().queries - queries_before,
+            shared_hits: 0,
+            steals: 0,
+            busy: item_started.elapsed(),
+        };
+        return TrojanSearchOutcome {
+            reports,
+            samples,
+            stats,
+            server_paths: result.paths.len(),
+            explore: result.stats,
+            workers: vec![summary],
+        };
+    }
+
+    let outcome = {
+        let mut exec = Executor::new(pool, solver, explore);
+        exec.explore_parallel(server, |_| {
+            TrojanObserver::new(prepared, opts, verify_witnesses)
+        })
+    };
+    let server_paths = outcome.result.paths.len();
+    let explore_stats = outcome.result.stats;
+    let mut reports: Vec<TrojanReport> = Vec::new();
+    let mut samples: Vec<MatchSample> = Vec::new();
+    let mut stats = SearchStats::default();
+    let mut workers = Vec::with_capacity(outcome.workers.len());
+    for worker in outcome.workers {
+        let observer = worker.observer;
+        stats.direct_drops += observer.stats.direct_drops;
+        stats.matrix_drops += observer.stats.matrix_drops;
+        stats.trojan_checks += observer.stats.trojan_checks;
+        stats.paths_pruned += observer.stats.paths_pruned;
+        stats.witness_retries += observer.stats.witness_retries;
+        samples.extend(observer.samples);
+        let mut memo = HashMap::new();
+        for mut report in observer.reports {
+            report.server_path_id = *outcome
+                .id_map
+                .get(&report.server_path_id)
+                .expect("every reported path id was completed and mapped");
+            report.constraints = report
+                .constraints
+                .iter()
+                .map(|&t| pool.import_term(&worker.pool, t, &mut memo))
+                .collect();
+            reports.push(report);
+        }
+        workers.push(WorkerSummary {
+            worker: worker.worker,
+            solve_time: worker.solver_stats.solve_time,
+            queries: worker.solver_stats.queries,
+            shared_hits: worker.solver_stats.shared_hits,
+            steals: worker.steals,
+            busy: worker.busy,
+        });
+    }
+    // Canonical order: one report per accepting path, sorted like the paths.
+    reports.sort_by_key(|r| r.server_path_id);
+    TrojanSearchOutcome {
+        reports,
+        samples,
+        stats,
+        explore: explore_stats,
+        server_paths,
+        workers,
+    }
+}
+
 impl PathObserver for TrojanObserver<'_> {
     fn on_path_start(&mut self) {
         self.active.iter_mut().for_each(|a| *a = true);
@@ -344,7 +518,10 @@ impl PathObserver for TrojanObserver<'_> {
         if self.opts.drop_covered {
             self.drop_pass(cx);
         }
-        self.samples.push(MatchSample { path_len: cx.pc.len(), matching: self.active_count });
+        self.samples.push(MatchSample {
+            path_len: cx.pc.len(),
+            matching: self.active_count,
+        });
         if !self.opts.prune_paths {
             return true;
         }
@@ -380,9 +557,7 @@ impl PathObserver for TrojanObserver<'_> {
 mod tests {
     use super::*;
     use achilles_solver::Width;
-    use achilles_symvm::{
-        ExploreConfig, Executor, MessageLayout, NodeProgram, PathResult, SymEnv,
-    };
+    use achilles_symvm::{Executor, ExploreConfig, MessageLayout, NodeProgram, PathResult, SymEnv};
     use std::sync::Arc;
 
     fn layout() -> Arc<MessageLayout> {
@@ -452,7 +627,9 @@ mod tests {
         }
     }
 
-    fn run_pipeline(opts: Optimizations) -> (TermPool, PreparedClient, Vec<TrojanReport>, SearchStats) {
+    fn run_pipeline(
+        opts: Optimizations,
+    ) -> (TermPool, PreparedClient, Vec<TrojanReport>, SearchStats) {
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         // Phase 1: client predicate.
@@ -464,8 +641,14 @@ mod tests {
         // Phase 1½: preprocessing.
         let (server_config, server_msg) =
             ExploreConfig::with_symbolic_message(&mut pool, &layout(), "msg");
-        let prepared =
-            prepare_client(&mut pool, &mut solver, client, server_msg, FieldMask::none(), opts);
+        let prepared = prepare_client(
+            &mut pool,
+            &mut solver,
+            client,
+            server_msg,
+            FieldMask::none(),
+            opts,
+        );
         // Phase 2: server analysis.
         let mut observer = TrojanObserver::new(&prepared, opts, true);
         {
@@ -522,7 +705,9 @@ mod tests {
     fn write_path_has_no_trojans() {
         let (_pool, _prepared, reports, stats) = run_pipeline(Optimizations::default());
         assert!(
-            !reports.iter().any(|r| r.notes.contains(&"WRITE".to_string())),
+            !reports
+                .iter()
+                .any(|r| r.notes.contains(&"WRITE".to_string())),
             "WRITE validates fully; it must not be reported"
         );
         // The WRITE accepting path was pruned before completion or produced

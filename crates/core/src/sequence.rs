@@ -15,7 +15,7 @@
 
 use achilles_solver::{SatResult, Solver, TermId, TermPool};
 use achilles_symvm::{
-    ExploreConfig, Executor, NodeProgram, ObserverCx, PathObserver, PathRecord, Verdict,
+    Executor, ExploreConfig, NodeProgram, ObserverCx, PathObserver, PathRecord, Verdict,
 };
 
 use crate::predicate::combine;
@@ -49,7 +49,10 @@ impl<'p> SequenceObserver<'p> {
     pub fn new(slots: Vec<&'p PreparedClient>, opts: Optimizations) -> SequenceObserver<'p> {
         let states = slots
             .iter()
-            .map(|p| SlotState { active: vec![true; p.client.len()], active_count: p.client.len() })
+            .map(|p| SlotState {
+                active: vec![true; p.client.len()],
+                active_count: p.client.len(),
+            })
             .collect();
         SequenceObserver {
             slots,
@@ -226,12 +229,19 @@ pub fn analyze_sequence(
 ) -> (Vec<TrojanReport>, Vec<Vec<usize>>, usize) {
     let recv_script = slots.iter().map(|p| p.server_msg.clone()).collect();
     let mut observer = SequenceObserver::new(slots, opts);
-    let explore = ExploreConfig { recv_script, ..ExploreConfig::default() };
+    let explore = ExploreConfig {
+        recv_script,
+        ..ExploreConfig::default()
+    };
     let result = {
         let mut exec = Executor::new(pool, solver, explore);
         exec.explore_observed(server, &mut observer)
     };
-    let SequenceObserver { reports, trojan_slots, .. } = observer;
+    let SequenceObserver {
+        reports,
+        trojan_slots,
+        ..
+    } = observer;
     (reports, trojan_slots, result.paths.len())
 }
 
@@ -245,11 +255,16 @@ mod tests {
     use std::sync::Arc;
 
     fn hs_layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("hs").field("token", Width::W16).build()
+        MessageLayout::builder("hs")
+            .field("token", Width::W16)
+            .build()
     }
 
     fn cmd_layout() -> Arc<MessageLayout> {
-        MessageLayout::builder("cmd").field("op", Width::W8).field("arg", Width::W16).build()
+        MessageLayout::builder("cmd")
+            .field("op", Width::W8)
+            .field("arg", Width::W16)
+            .build()
     }
 
     /// Slot-1 client: handshake tokens are validated to < 100.

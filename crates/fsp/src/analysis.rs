@@ -9,11 +9,11 @@
 use std::time::Duration;
 
 use achilles::{
-    prepare_client, ClientPredicate, FieldMask, MatchSample, Optimizations, PreparedClient,
-    SearchStats, TrojanObserver, TrojanReport,
+    prepare_client, run_trojan_search, ClientPredicate, FieldMask, MatchSample, Optimizations,
+    PreparedClient, SearchStats, TrojanReport, WorkerSummary,
 };
 use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, ExploreStats, Executor, SymMessage};
+use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
 
 use crate::client::{extract_client_predicate, FspClientConfig};
 use crate::protocol::{layout, Command, FspMessage, MAX_PATH, WILDCARD};
@@ -48,9 +48,16 @@ pub fn classify(report: &TrojanReport) -> TrojanFamily {
         None => return TrojanFamily::Other,
     };
     let reported = (msg.bb_len as usize).min(MAX_PATH);
-    let actual = msg.buf[..reported].iter().position(|&b| b == 0).unwrap_or(reported);
+    let actual = msg.buf[..reported]
+        .iter()
+        .position(|&b| b == 0)
+        .unwrap_or(reported);
     if actual < reported {
-        return TrojanFamily::LengthMismatch { cmd, reported, actual };
+        return TrojanFamily::LengthMismatch {
+            cmd,
+            reported,
+            actual,
+        };
     }
     if msg.buf[..actual].contains(&WILDCARD) {
         return TrojanFamily::Wildcard { cmd };
@@ -85,6 +92,8 @@ pub struct FspAnalysisConfig {
     pub optimizations: Optimizations,
     /// Verify each witness against every client path predicate.
     pub verify_witnesses: bool,
+    /// Worker threads for the server analysis (1 = sequential).
+    pub workers: usize,
 }
 
 impl Default for FspAnalysisConfig {
@@ -95,6 +104,7 @@ impl Default for FspAnalysisConfig {
             server: FspServerConfig::default(),
             optimizations: Optimizations::default(),
             verify_witnesses: true,
+            workers: 1,
         }
     }
 }
@@ -110,9 +120,18 @@ impl FspAnalysisConfig {
     /// becomes un-generable and the wildcard family appears.
     pub fn wildcard() -> FspAnalysisConfig {
         FspAnalysisConfig {
-            client: FspClientConfig { glob_expansion: true, ..FspClientConfig::default() },
+            client: FspClientConfig {
+                glob_expansion: true,
+                ..FspClientConfig::default()
+            },
             ..FspAnalysisConfig::default()
         }
+    }
+
+    /// Fans the server analysis out over `n` work-stealing workers.
+    pub fn with_workers(mut self, n: usize) -> FspAnalysisConfig {
+        self.workers = n.max(1);
+        self
     }
 
     /// Restricts the analysis to `n` commands (smaller, faster runs).
@@ -150,6 +169,8 @@ pub struct FspAnalysisResult {
     pub explore_stats: ExploreStats,
     /// Completed (non-pruned) server paths.
     pub server_paths: usize,
+    /// Per-worker server-analysis breakdown (one entry when sequential).
+    pub worker_stats: Vec<WorkerSummary>,
 }
 
 impl FspAnalysisResult {
@@ -163,12 +184,18 @@ impl FspAnalysisResult {
 
     /// Reports in the wildcard family.
     pub fn wildcards(&self) -> usize {
-        self.families.iter().filter(|f| matches!(f, TrojanFamily::Wildcard { .. })).count()
+        self.families
+            .iter()
+            .filter(|f| matches!(f, TrojanFamily::Wildcard { .. }))
+            .count()
     }
 
     /// Reports classified as neither family (should be zero for FSP).
     pub fn others(&self) -> usize {
-        self.families.iter().filter(|f| matches!(f, TrojanFamily::Other)).count()
+        self.families
+            .iter()
+            .filter(|f| matches!(f, TrojanFamily::Other))
+            .count()
     }
 
     /// Reports whose witness failed client-side verification (false
@@ -213,31 +240,35 @@ pub fn run_analysis_with(
         config.optimizations,
     );
     let t2 = Instant::now();
-    let mut observer =
-        TrojanObserver::new(&prepared, config.optimizations, config.verify_witnesses);
     let explore = ExploreConfig {
         recv_script: vec![server_msg.clone()],
+        workers: config.workers.max(1),
         ..ExploreConfig::default()
     };
-    let result = {
-        let mut exec = Executor::new(pool, solver, explore);
-        exec.explore_observed(&FspServer::new(config.server.clone()), &mut observer)
-    };
+    let outcome = run_trojan_search(
+        pool,
+        solver,
+        &prepared,
+        &FspServer::new(config.server.clone()),
+        explore,
+        config.optimizations,
+        config.verify_witnesses,
+    );
     let t3 = Instant::now();
-    let TrojanObserver { reports, samples, stats, .. } = observer;
-    let families = reports.iter().map(classify).collect();
+    let families = outcome.reports.iter().map(classify).collect();
     FspAnalysisResult {
         client: prepared.client.clone(),
         server_msg,
-        trojans: reports,
+        trojans: outcome.reports,
         families,
         client_time: t1 - t0,
         preprocess_time: t2 - t1,
         server_time: t3 - t2,
-        samples,
-        search_stats: stats,
-        explore_stats: result.stats,
-        server_paths: result.paths.len(),
+        samples: outcome.samples,
+        search_stats: outcome.stats,
+        explore_stats: outcome.explore,
+        server_paths: outcome.server_paths,
+        worker_stats: outcome.workers,
     }
 }
 
@@ -263,7 +294,10 @@ mod tests {
     fn wildcard_mode_discovers_the_glob_bug() {
         let config = FspAnalysisConfig::wildcard().with_commands(1);
         let result = run_analysis(&config);
-        assert_eq!(result.length_mismatches(), expected_length_mismatch_trojans(1));
+        assert_eq!(
+            result.length_mismatches(),
+            expected_length_mismatch_trojans(1)
+        );
         assert_eq!(result.wildcards(), expected_wildcard_trojans(1));
         assert_eq!(result.others(), 0);
         assert_eq!(result.unverified(), 0);
@@ -294,14 +328,26 @@ mod tests {
         assert!(!result.samples.is_empty());
         let max_match = result.samples.iter().map(|s| s.matching).max().unwrap();
         let min_match = result.samples.iter().map(|s| s.matching).min().unwrap();
-        assert_eq!(max_match, result.client.len(), "short paths match everything");
+        assert_eq!(
+            max_match,
+            result.client.len(),
+            "short paths match everything"
+        );
         assert!(min_match < max_match, "long paths match fewer predicates");
         // Deep samples never match more than shallow ones on average
         // (Figure 11's downward trend).
-        let shallow: Vec<_> =
-            result.samples.iter().filter(|s| s.path_len <= 2).map(|s| s.matching).collect();
-        let deep: Vec<_> =
-            result.samples.iter().filter(|s| s.path_len >= 8).map(|s| s.matching).collect();
+        let shallow: Vec<_> = result
+            .samples
+            .iter()
+            .filter(|s| s.path_len <= 2)
+            .map(|s| s.matching)
+            .collect();
+        let deep: Vec<_> = result
+            .samples
+            .iter()
+            .filter(|s| s.path_len >= 8)
+            .map(|s| s.matching)
+            .collect();
         let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
         assert!(avg(&deep) < avg(&shallow), "matching decreases with depth");
     }
@@ -322,10 +368,20 @@ mod tests {
         };
         assert_eq!(
             classify(&report),
-            TrojanFamily::LengthMismatch { cmd: Command::DelFile, reported: 3, actual: 1 }
+            TrojanFamily::LengthMismatch {
+                cmd: Command::DelFile,
+                reported: 3,
+                actual: 1
+            }
         );
         let star = FspMessage::request(Command::Stat, b"a*");
-        let report2 = TrojanReport { witness_fields: star.field_values(), ..report };
-        assert_eq!(classify(&report2), TrojanFamily::Wildcard { cmd: Command::Stat });
+        let report2 = TrojanReport {
+            witness_fields: star.field_values(),
+            ..report
+        };
+        assert_eq!(
+            classify(&report2),
+            TrojanFamily::Wildcard { cmd: Command::Stat }
+        );
     }
 }

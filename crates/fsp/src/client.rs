@@ -13,7 +13,7 @@
 
 use achilles::ClientPredicate;
 use achilles_solver::{Solver, TermId, TermPool, Width};
-use achilles_symvm::{ExploreConfig, Executor, NodeProgram, PathResult, SymEnv, SymMessage};
+use achilles_symvm::{Executor, ExploreConfig, NodeProgram, PathResult, SymEnv, SymMessage};
 
 use crate::protocol::{layout, Command, BYPASS_VALUE, MAX_PATH, WILDCARD};
 
@@ -61,12 +61,7 @@ impl FspClient {
     /// `path[i]` terms beyond `len` are ignored; the wire padding is fresh
     /// unconstrained garbage (a UDP datagram simply ends after `bb_len`
     /// payload bytes — the padding models "bytes beyond the datagram").
-    fn send_command(
-        &self,
-        env: &mut SymEnv<'_>,
-        path: &[TermId],
-        len: usize,
-    ) -> PathResult<()> {
+    fn send_command(&self, env: &mut SymEnv<'_>, path: &[TermId], len: usize) -> PathResult<()> {
         debug_assert!((1..=MAX_PATH).contains(&len));
         let cmd = env.constant(u64::from(self.command.code()), Width::W8);
         let sum = env.constant(BYPASS_VALUE, Width::W8);
@@ -91,8 +86,9 @@ impl NodeProgram for FspClient {
     fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
         // Read the command-line argument: a NUL-terminated string in a
         // MAX_PATH-byte buffer (paper bound).
-        let arg: Vec<TermId> =
-            (0..MAX_PATH).map(|i| env.sym(&format!("arg[{i}]"), Width::W8)).collect();
+        let arg: Vec<TermId> = (0..MAX_PATH)
+            .map(|i| env.sym(&format!("arg[{i}]"), Width::W8))
+            .collect();
         let zero = env.constant(0, Width::W8);
 
         // strlen: the first NUL ends the argument.
@@ -189,7 +185,9 @@ mod tests {
         // Lengths 1..=4, one sending path each.
         assert_eq!(pred.len(), MAX_PATH);
         for p in &pred.paths {
-            let len = pool.as_const(p.message.field("bb_len")).expect("bb_len is concrete");
+            let len = pool
+                .as_const(p.message.field("bb_len"))
+                .expect("bb_len is concrete");
             assert!((1..=MAX_PATH as u64).contains(&len));
         }
     }
@@ -225,7 +223,10 @@ mod tests {
     #[test]
     fn globbing_client_never_sends_wildcards() {
         let (mut pool, mut solver) = harness();
-        let config = FspClientConfig { glob_expansion: true, ..FspClientConfig::default() };
+        let config = FspClientConfig {
+            glob_expansion: true,
+            ..FspClientConfig::default()
+        };
         let pred = extract_client_predicate(
             &mut pool,
             &mut solver,

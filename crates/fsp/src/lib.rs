@@ -27,8 +27,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
-pub mod oracle;
 pub mod client;
+pub mod oracle;
 pub mod protocol;
 pub mod runtime;
 pub mod server;
@@ -38,7 +38,9 @@ pub use analysis::{
     run_analysis_with, FspAnalysisConfig, FspAnalysisResult, TrojanFamily,
 };
 pub use client::{extract_client_predicate, FspClient, FspClientConfig};
-pub use oracle::{client_can_generate, fuzz_space_size, is_trojan, server_accepts, trojan_count_in_fuzz_space};
+pub use oracle::{
+    client_can_generate, fuzz_space_size, is_trojan, server_accepts, trojan_count_in_fuzz_space,
+};
 pub use protocol::{layout, Command, FspMessage, BUF_BASE, BYPASS_VALUE, MAX_PATH, WILDCARD};
 pub use runtime::{run_utility, FspServerRuntime, UtilityOutcome};
 pub use server::{reply_layout, FspServer, FspServerConfig, ReplyCode};

@@ -165,7 +165,10 @@ mod tests {
         assert!(!client_can_generate(&msg, false));
         assert!(is_trojan(&msg, &config, false));
         // The patched server rejects it.
-        let patched = FspServerConfig { check_actual_length: true, ..config };
+        let patched = FspServerConfig {
+            check_actual_length: true,
+            ..config
+        };
         assert!(!server_accepts(&msg, &patched));
     }
 
@@ -174,8 +177,14 @@ mod tests {
         let config = FspServerConfig::default();
         let msg = valid(Command::DelFile, b"a*");
         assert!(server_accepts(&msg, &config));
-        assert!(client_can_generate(&msg, false), "non-glob client types '*' freely");
-        assert!(!client_can_generate(&msg, true), "glob client always expands '*'");
+        assert!(
+            client_can_generate(&msg, false),
+            "non-glob client types '*' freely"
+        );
+        assert!(
+            !client_can_generate(&msg, true),
+            "glob client always expands '*'"
+        );
         assert!(is_trojan(&msg, &config, true));
         assert!(!is_trojan(&msg, &config, false));
     }

@@ -119,7 +119,7 @@ pub const FIELD_WIDTHS: [u32; 6 + MAX_PATH] = {
     w[3] = 16; // bb_seq
     w[4] = 16; // bb_len
     w[5] = 32; // bb_pos
-    // buf bytes stay 8.
+               // buf bytes stay 8.
     w
 };
 
@@ -165,7 +165,10 @@ impl FspMessage {
     ///
     /// Panics if `path` is longer than [`MAX_PATH`].
     pub fn request(cmd: Command, path: &[u8]) -> FspMessage {
-        assert!(path.len() <= MAX_PATH, "path longer than the protocol bound");
+        assert!(
+            path.len() <= MAX_PATH,
+            "path longer than the protocol bound"
+        );
         let mut buf = [0u8; MAX_PATH];
         buf[..path.len()].copy_from_slice(path);
         FspMessage {
@@ -217,8 +220,11 @@ impl FspMessage {
 
     /// Encodes to wire bytes (big-endian fields).
     pub fn to_wire(&self) -> Vec<u8> {
-        let fields: Vec<(u32, u64)> =
-            FIELD_WIDTHS.iter().copied().zip(self.field_values()).collect();
+        let fields: Vec<(u32, u64)> = FIELD_WIDTHS
+            .iter()
+            .copied()
+            .zip(self.field_values())
+            .collect();
         encode_fields(&fields).expect("static widths are byte-aligned")
     }
 
@@ -242,7 +248,10 @@ impl FspMessage {
     /// at an embedded NUL (the *server's* — buggy — interpretation).
     pub fn path_as_server_sees_it(&self) -> &[u8] {
         let reported = (self.bb_len as usize).min(MAX_PATH);
-        let actual = self.buf[..reported].iter().position(|&b| b == 0).unwrap_or(reported);
+        let actual = self.buf[..reported]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(reported);
         &self.buf[..actual]
     }
 }
@@ -257,7 +266,10 @@ mod tests {
         assert_eq!(l.num_fields(), 6 + MAX_PATH);
         assert_eq!(l.field_index("cmd"), Some(0));
         assert_eq!(l.field_index("buf[0]"), Some(BUF_BASE));
-        assert_eq!(l.total_bits() as usize, 8 + 8 + 16 + 16 + 16 + 32 + 8 * MAX_PATH);
+        assert_eq!(
+            l.total_bits() as usize,
+            8 + 8 + 16 + 16 + 16 + 32 + 8 * MAX_PATH
+        );
     }
 
     #[test]

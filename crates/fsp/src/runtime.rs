@@ -5,12 +5,10 @@
 //! that behaves like the real utilities — including glob expansion, which is
 //! exactly what makes the wildcard Trojan nasty in practice.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use achilles_netsim::{glob_match, Addr, Network, SimFs};
 use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, Executor, Verdict};
+use achilles_symvm::{Executor, ExploreConfig, Verdict};
+use std::sync::{Arc, Mutex};
 
 use crate::protocol::{Command, FspMessage, MAX_PATH};
 use crate::server::{FspServer, FspServerConfig, ReplyCode};
@@ -18,7 +16,7 @@ use crate::server::{FspServer, FspServerConfig, ReplyCode};
 /// A deployed FSP server endpoint: persistent filesystem, datagram in/out.
 #[derive(Debug)]
 pub struct FspServerRuntime {
-    fs: Rc<RefCell<SimFs>>,
+    fs: Arc<Mutex<SimFs>>,
     server: FspServer,
     addr: Addr,
     pool: TermPool,
@@ -38,9 +36,9 @@ impl FspServerRuntime {
         if !config.commands.contains(&Command::Install) {
             config.commands.push(Command::Install);
         }
-        let fs = Rc::new(RefCell::new(fs));
+        let fs = Arc::new(Mutex::new(fs));
         FspServerRuntime {
-            server: FspServer::with_fs(config, Rc::clone(&fs)),
+            server: FspServer::with_fs(config, Arc::clone(&fs)),
             fs,
             addr,
             pool: TermPool::new(),
@@ -57,7 +55,7 @@ impl FspServerRuntime {
 
     /// A snapshot of the server's filesystem.
     pub fn fs(&self) -> SimFs {
-        self.fs.borrow().clone()
+        self.fs.lock().expect("state lock poisoned").clone()
     }
 
     /// Handles one wire datagram, returning the reply (if the message was
@@ -66,7 +64,10 @@ impl FspServerRuntime {
         self.handled += 1;
         let msg = FspMessage::from_wire(wire).ok()?;
         let sym = msg.to_sym(&mut self.pool);
-        let config = ExploreConfig { recv_script: vec![sym], ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            recv_script: vec![sym],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut self.pool, &mut self.solver, config);
         let result = exec.run_concrete(&self.server);
         let path = result.paths.first()?;
@@ -77,9 +78,17 @@ impl FspServerRuntime {
         let reply = path.sent.first()?;
         let code = self.pool.as_const(reply.field("code"))?;
         let data: Vec<u8> = (0..MAX_PATH)
-            .map(|i| self.pool.as_const(reply.field(&format!("data[{i}]"))).unwrap_or(0) as u8)
+            .map(|i| {
+                self.pool
+                    .as_const(reply.field(&format!("data[{i}]")))
+                    .unwrap_or(0) as u8
+            })
             .collect();
-        let code = if code == ReplyCode::Ok as u64 { ReplyCode::Ok } else { ReplyCode::Err };
+        let code = if code == ReplyCode::Ok as u64 {
+            ReplyCode::Ok
+        } else {
+            ReplyCode::Err
+        };
         Some((code, data))
     }
 
@@ -127,7 +136,10 @@ pub fn run_utility(
         // Glob expansion against the server's root listing — no escape
         // character exists.
         let listing = server.fs().list("/").unwrap_or_default();
-        listing.into_iter().filter(|name| glob_match(arg, name)).collect()
+        listing
+            .into_iter()
+            .filter(|name| glob_match(arg, name))
+            .collect()
     } else {
         vec![arg.to_string()]
     };
@@ -183,7 +195,10 @@ mod tests {
         let trojan = FspMessage::request(Command::Install, b"f*");
         net.send(cli.clone(), server.addr().clone(), trojan.to_wire());
         server.poll(&mut net);
-        assert!(server.fs().exists("/f*"), "Trojan created the wildcard file");
+        assert!(
+            server.fs().exists("/f*"),
+            "Trojan created the wildcard file"
+        );
 
         // 2. A correct user now tries to delete exactly 'f*': the client
         //    glob-expands, so the command wipes ALL f-prefixed files —
@@ -194,7 +209,11 @@ mod tests {
             UtilityOutcome::Sent(vec!["f*".into(), "f1".into(), "f2".into()]),
             "no way to name only the wildcard file"
         );
-        assert_eq!(server.fs().file_count(), 0, "collateral damage: everything deleted");
+        assert_eq!(
+            server.fs().file_count(),
+            0,
+            "collateral damage: everything deleted"
+        );
     }
 
     #[test]

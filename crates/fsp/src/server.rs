@@ -17,9 +17,8 @@
 //! [`FspServerConfig::reject_wildcards`] "patches" either bug, which the
 //! tests use to show the corresponding Trojans disappear.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use achilles_netsim::SimFs;
 use achilles_solver::Width;
@@ -86,19 +85,27 @@ impl Default for FspServerConfig {
 #[derive(Clone, Debug, Default)]
 pub struct FspServer {
     config: FspServerConfig,
-    fs: Option<Rc<RefCell<SimFs>>>,
-    protections: Rc<RefCell<HashMap<String, u8>>>,
+    fs: Option<Arc<Mutex<SimFs>>>,
+    protections: Arc<Mutex<HashMap<String, u8>>>,
 }
 
 impl FspServer {
     /// A server for symbolic analysis (no filesystem effects).
     pub fn new(config: FspServerConfig) -> FspServer {
-        FspServer { config, fs: None, protections: Rc::default() }
+        FspServer {
+            config,
+            fs: None,
+            protections: Arc::default(),
+        }
     }
 
     /// A concrete server operating on `fs`.
-    pub fn with_fs(config: FspServerConfig, fs: Rc<RefCell<SimFs>>) -> FspServer {
-        FspServer { config, fs: Some(fs), protections: Rc::default() }
+    pub fn with_fs(config: FspServerConfig, fs: Arc<Mutex<SimFs>>) -> FspServer {
+        FspServer {
+            config,
+            fs: Some(fs),
+            protections: Arc::default(),
+        }
     }
 
     /// The active configuration.
@@ -191,7 +198,7 @@ impl FspServer {
         actual_len: usize,
     ) -> PathResult<()> {
         let fs = match &self.fs {
-            Some(fs) => Rc::clone(fs),
+            Some(fs) => Arc::clone(fs),
             None => return Ok(()), // symbolic analysis: stop at the marker
         };
         // Extract the concrete path (the wildcard stays literal: the server
@@ -204,7 +211,7 @@ impl FspServer {
             }
         }
         let path = format!("/{}", String::from_utf8_lossy(&bytes));
-        let mut fs = fs.borrow_mut();
+        let mut fs = fs.lock().expect("state lock poisoned");
         let (code, data) = match cmd {
             Command::GetDir => match fs.list(&path) {
                 Ok(entries) => (ReplyCode::Ok, entries.len() as u64),
@@ -227,11 +234,19 @@ impl FspServer {
                 Err(_) => (ReplyCode::Err, 0),
             },
             Command::GetPro => {
-                let bits = *self.protections.borrow().get(&path).unwrap_or(&0);
+                let bits = *self
+                    .protections
+                    .lock()
+                    .expect("state lock poisoned")
+                    .get(&path)
+                    .unwrap_or(&0);
                 (ReplyCode::Ok, u64::from(bits))
             }
             Command::SetPro => {
-                self.protections.borrow_mut().insert(path.clone(), 1);
+                self.protections
+                    .lock()
+                    .expect("state lock poisoned")
+                    .insert(path.clone(), 1);
                 (ReplyCode::Ok, 1)
             }
             Command::Stat => {
@@ -296,7 +311,7 @@ mod tests {
     use super::*;
     use crate::protocol::FspMessage;
     use achilles_solver::{Solver, TermPool};
-    use achilles_symvm::{ExploreConfig, Executor, Verdict};
+    use achilles_symvm::{Executor, ExploreConfig, Verdict};
 
     fn explore_server(config: FspServerConfig) -> achilles_symvm::ExploreResult {
         let mut pool = TermPool::new();
@@ -333,71 +348,105 @@ mod tests {
             .filter(|p| p.notes.iter().any(|n| n.starts_with("nul_at=")))
             .count();
         assert_eq!(nul_paths, 0);
-        assert_eq!(result.accepting().count(), 8 * 4, "only exact-length paths remain");
+        assert_eq!(
+            result.accepting().count(),
+            8 * 4,
+            "only exact-length paths remain"
+        );
     }
 
     #[test]
     fn concrete_delete_executes_on_fs() {
-        let fs = Rc::new(RefCell::new(SimFs::new()));
-        fs.borrow_mut().write("/ab", b"x").unwrap();
-        let server = FspServer::with_fs(FspServerConfig::default(), Rc::clone(&fs));
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        fs.lock()
+            .expect("state lock poisoned")
+            .write("/ab", b"x")
+            .unwrap();
+        let server = FspServer::with_fs(FspServerConfig::default(), Arc::clone(&fs));
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         let msg = FspMessage::request(Command::DelFile, b"ab").to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![msg], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![msg],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         let result = exec.run_concrete(&server);
         assert_eq!(result.paths.len(), 1);
         assert_eq!(result.paths[0].verdict, Verdict::Accept);
-        assert!(!fs.borrow().exists("/ab"), "file deleted");
+        assert!(
+            !fs.lock().expect("state lock poisoned").exists("/ab"),
+            "file deleted"
+        );
         // A reply was sent with code Ok.
         let reply = &result.paths[0].sent[0];
-        assert_eq!(pool.as_const(reply.field("code")), Some(ReplyCode::Ok as u64));
+        assert_eq!(
+            pool.as_const(reply.field("code")),
+            Some(ReplyCode::Ok as u64)
+        );
     }
 
     #[test]
     fn concrete_server_accepts_wildcard_literally() {
-        let fs = Rc::new(RefCell::new(SimFs::new()));
-        let server = FspServer::with_fs(FspServerConfig::default(), Rc::clone(&fs));
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        let server = FspServer::with_fs(FspServerConfig::default(), Arc::clone(&fs));
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         // An attacker-injected message: mkdir "d*".
         let msg = FspMessage::request(Command::MakeDir, b"d*").to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![msg], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![msg],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         let result = exec.run_concrete(&server);
         assert_eq!(result.paths[0].verdict, Verdict::Accept);
-        assert!(fs.borrow().exists("/d*"), "literal wildcard directory created");
+        assert!(
+            fs.lock().expect("state lock poisoned").exists("/d*"),
+            "literal wildcard directory created"
+        );
     }
 
     #[test]
     fn mismatched_length_message_accepted_with_smuggled_payload() {
-        let fs = Rc::new(RefCell::new(SimFs::new()));
-        fs.borrow_mut().write("/a", b"x").unwrap();
-        let server = FspServer::with_fs(FspServerConfig::default(), Rc::clone(&fs));
+        let fs = Arc::new(Mutex::new(SimFs::new()));
+        fs.lock()
+            .expect("state lock poisoned")
+            .write("/a", b"x")
+            .unwrap();
+        let server = FspServer::with_fs(FspServerConfig::default(), Arc::clone(&fs));
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         let mut trojan = FspMessage::request(Command::DelFile, b"a");
         trojan.bb_len = 4; // claims 4 bytes
         trojan.buf = [b'a', 0, 0xde, 0xad]; // real path "a" + smuggled bytes
         let msg = trojan.to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![msg], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![msg],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         let result = exec.run_concrete(&server);
         assert_eq!(result.paths[0].verdict, Verdict::Accept, "Trojan accepted");
-        assert!(!fs.borrow().exists("/a"), "and it acted on the truncated path");
+        assert!(
+            !fs.lock().expect("state lock poisoned").exists("/a"),
+            "and it acted on the truncated path"
+        );
     }
 
     #[test]
     fn bad_integrity_fields_rejected() {
-        let fs = Rc::new(RefCell::new(SimFs::new()));
+        let fs = Arc::new(Mutex::new(SimFs::new()));
         let server = FspServer::with_fs(FspServerConfig::default(), fs);
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         let mut bad = FspMessage::request(Command::Stat, b"a");
         bad.bb_key = 7; // wrong key
         let msg = bad.to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![msg], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![msg],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         let result = exec.run_concrete(&server);
         assert_eq!(result.paths[0].verdict, Verdict::Reject);

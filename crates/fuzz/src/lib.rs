@@ -23,8 +23,8 @@
 use std::time::{Duration, Instant};
 
 use achilles_fsp::{
-    client_can_generate, fuzz_space_size, server_accepts, trojan_count_in_fuzz_space,
-    FspMessage, FspServerConfig, MAX_PATH,
+    client_can_generate, fuzz_space_size, server_accepts, trojan_count_in_fuzz_space, FspMessage,
+    FspServerConfig, MAX_PATH,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,8 +134,7 @@ pub fn run_e2e_campaign(config: &FuzzConfig) -> FuzzReport {
     use achilles_netsim::{Addr, SimFs};
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut server =
-        FspServerRuntime::new(Addr::new("fspd"), SimFs::new(), config.server.clone());
+    let mut server = FspServerRuntime::new(Addr::new("fspd"), SimFs::new(), config.server.clone());
     let started = Instant::now();
     let mut report = FuzzReport {
         tests_run: 0,
@@ -148,8 +147,8 @@ pub fn run_e2e_campaign(config: &FuzzConfig) -> FuzzReport {
         let msg = random_message(&mut rng);
         report.tests_run += 1;
         let wire = msg.to_wire();
-        let accepted_by_runtime = server.handle(&wire).is_some()
-            || server_accepts(&msg, &config.server);
+        let accepted_by_runtime =
+            server.handle(&wire).is_some() || server_accepts(&msg, &config.server);
         if !accepted_by_runtime {
             continue;
         }
@@ -206,12 +205,11 @@ pub fn accepted_count_in_fuzz_space() -> u64 {
     for _cmd in achilles_fsp::Command::ANALYSIS_SET {
         for reported in 1..=MAX_PATH as u64 {
             // Exact-length: printable^reported, padding free.
-            total += printable.pow(reported as u32)
-                * 256u64.pow((MAX_PATH as u64 - reported) as u32);
+            total +=
+                printable.pow(reported as u32) * 256u64.pow((MAX_PATH as u64 - reported) as u32);
             // NUL at t: printable^t · 256^(MAX_PATH - t - 1).
             for t in 0..reported {
-                total +=
-                    printable.pow(t as u32) * 256u64.pow((MAX_PATH as u64 - t - 1) as u32);
+                total += printable.pow(t as u32) * 256u64.pow((MAX_PATH as u64 - t - 1) as u32);
             }
         }
     }
@@ -225,7 +223,10 @@ mod tests {
 
     #[test]
     fn campaign_is_reproducible() {
-        let config = FuzzConfig { budget_tests: 20_000, ..FuzzConfig::default() };
+        let config = FuzzConfig {
+            budget_tests: 20_000,
+            ..FuzzConfig::default()
+        };
         let a = run_campaign(&config);
         let b = run_campaign(&config);
         assert_eq!(a.tests_run, b.tests_run);
@@ -246,7 +247,7 @@ mod tests {
         let mut accepted = 0u64;
         for _ in 0..n {
             let mut msg = random_message(&mut rng);
-            msg.cmd = achilles_fsp::Command::ANALYSIS_SET[rng.gen_range(0..8)].code();
+            msg.cmd = achilles_fsp::Command::ANALYSIS_SET[rng.gen_range(0..8usize)].code();
             msg.bb_len = rng.gen_range(1..=MAX_PATH as u16);
             if server_accepts(&msg, &server) {
                 accepted += 1;
@@ -278,7 +279,10 @@ mod tests {
     fn trojans_are_needles_in_haystacks() {
         let e = expectation(75_000.0, false);
         assert!(e.trojan_probability < 1e-6);
-        assert!(e.expected_per_hour < 1.0, "under one Trojan per fuzzing hour");
+        assert!(
+            e.expected_per_hour < 1.0,
+            "under one Trojan per fuzzing hour"
+        );
         assert!(e.false_positives_per_hour >= 0.0);
     }
 

@@ -86,7 +86,10 @@ pub fn decode_fields(wire: &[u8], widths: &[u32]) -> Result<Vec<u64>, WireError>
     let mut pos = 0usize;
     let need: usize = widths.iter().map(|w| (*w / 8) as usize).sum();
     if wire.len() < need {
-        return Err(WireError::Truncated { have: wire.len(), need });
+        return Err(WireError::Truncated {
+            have: wire.len(),
+            need,
+        });
     }
     for &bits in widths {
         if bits % 8 != 0 || bits == 0 || bits > 64 {
@@ -126,8 +129,14 @@ mod tests {
 
     #[test]
     fn non_byte_width_rejected() {
-        assert_eq!(encode_fields(&[(4, 1)]).unwrap_err(), WireError::BadWidth { bits: 4 });
-        assert_eq!(decode_fields(&[0], &[12]).unwrap_err(), WireError::BadWidth { bits: 12 });
+        assert_eq!(
+            encode_fields(&[(4, 1)]).unwrap_err(),
+            WireError::BadWidth { bits: 4 }
+        );
+        assert_eq!(
+            decode_fields(&[0], &[12]).unwrap_err(),
+            WireError::BadWidth { bits: 12 }
+        );
     }
 
     #[test]

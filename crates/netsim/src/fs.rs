@@ -95,17 +95,25 @@ fn components(path: &str) -> Result<Vec<&str>, FsError> {
 impl SimFs {
     /// An empty filesystem (just `/`).
     pub fn new() -> SimFs {
-        SimFs { root: Node::Dir(BTreeMap::new()) }
+        SimFs {
+            root: Node::Dir(BTreeMap::new()),
+        }
     }
 
-    fn lookup_dir_mut(&mut self, parts: &[&str], path: &str) -> Result<&mut BTreeMap<String, Node>, FsError> {
+    fn lookup_dir_mut(
+        &mut self,
+        parts: &[&str],
+        path: &str,
+    ) -> Result<&mut BTreeMap<String, Node>, FsError> {
         let mut cur = &mut self.root;
         for part in parts {
             let map = match cur {
                 Node::Dir(map) => map,
                 Node::File(_) => return Err(FsError::NotADirectory(path.to_string())),
             };
-            cur = map.get_mut(*part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = map
+                .get_mut(*part)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         match cur {
             Node::Dir(map) => Ok(map),
@@ -121,7 +129,9 @@ impl SimFs {
                 Node::Dir(map) => map,
                 Node::File(_) => return Err(FsError::NotADirectory(path.to_string())),
             };
-            cur = map.get(part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = map
+                .get(part)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         Ok(cur)
     }
@@ -239,7 +249,9 @@ impl SimFs {
         let (fparents, fname) = Self::split_parent(from)?;
         let node = {
             let dir = self.lookup_dir_mut(&fparents, from)?;
-            dir.get(fname).ok_or_else(|| FsError::NotFound(from.to_string()))?.clone()
+            dir.get(fname)
+                .ok_or_else(|| FsError::NotFound(from.to_string()))?
+                .clone()
         };
         let (tparents, tname) = Self::split_parent(to)?;
         {
@@ -249,7 +261,9 @@ impl SimFs {
             }
             tdir.insert(tname.to_string(), node);
         }
-        let fdir = self.lookup_dir_mut(&fparents, from).expect("source dir still there");
+        let fdir = self
+            .lookup_dir_mut(&fparents, from)
+            .expect("source dir still there");
         fdir.remove(fname);
         Ok(())
     }
@@ -373,8 +387,14 @@ mod tests {
         let mut fs = sample();
         fs.remove_file("/file1").unwrap();
         assert!(!fs.exists("/file1"));
-        assert_eq!(fs.remove_file("/file1"), Err(FsError::NotFound("/file1".into())));
-        assert_eq!(fs.remove_file("/dir"), Err(FsError::IsADirectory("/dir".into())));
+        assert_eq!(
+            fs.remove_file("/file1"),
+            Err(FsError::NotFound("/file1".into()))
+        );
+        assert_eq!(
+            fs.remove_file("/dir"),
+            Err(FsError::IsADirectory("/dir".into()))
+        );
     }
 
     #[test]
@@ -406,7 +426,10 @@ mod tests {
     #[test]
     fn invalid_paths_rejected() {
         let mut fs = SimFs::new();
-        assert!(matches!(fs.write("relative", b""), Err(FsError::InvalidPath(_))));
+        assert!(matches!(
+            fs.write("relative", b""),
+            Err(FsError::InvalidPath(_))
+        ));
         assert!(matches!(fs.mkdir("/"), Err(FsError::InvalidPath(_))));
     }
 

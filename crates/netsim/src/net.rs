@@ -107,7 +107,10 @@ impl Network {
 
     /// A network that retains a copy of every datagram for inspection.
     pub fn with_log() -> Network {
-        Network { keep_log: true, ..Network::default() }
+        Network {
+            keep_log: true,
+            ..Network::default()
+        }
     }
 
     /// Registers an endpoint so it can receive datagrams.
@@ -138,7 +141,11 @@ impl Network {
         }
         self.stats.sent += 1;
         self.stats.bytes += payload.len() as u64;
-        let d = Datagram { from, to: to.clone(), payload };
+        let d = Datagram {
+            from,
+            to: to.clone(),
+            payload,
+        };
         if self.keep_log {
             self.log.push(d.clone());
         }

@@ -121,7 +121,11 @@ mod tests {
         assert_eq!(p1.run(&mut acceptors), Some(7));
         // A competing proposer with a different value must converge on 7.
         let mut p2 = Proposer::new(2, 99);
-        assert_eq!(p2.run(&mut acceptors), Some(7), "safety: chosen value sticks");
+        assert_eq!(
+            p2.run(&mut acceptors),
+            Some(7),
+            "safety: chosen value sticks"
+        );
     }
 
     #[test]

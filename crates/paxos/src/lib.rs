@@ -23,6 +23,6 @@ pub mod programs;
 
 pub use engine::{Acceptor, Ballot, Proposer, Value};
 pub use programs::{
-    accept_layout, AcceptorMode, AcceptorProgram, ProposerMode, ProposerProgram, ACCEPT_KIND,
-    MAX_PROPOSABLE_VALUE,
+    accept_layout, analyze_local_state, AcceptorMode, AcceptorProgram, ProposerMode,
+    ProposerProgram, ACCEPT_KIND, MAX_PROPOSABLE_VALUE,
 };

@@ -68,8 +68,7 @@ impl NodeProgram for ProposerProgram {
             }
             ProposerMode::Constructed(b) => {
                 let ballot = env.constant(u64::from(b), Width::W16);
-                let value =
-                    env.sym_in_range("proposed", Width::W32, 0, MAX_PROPOSABLE_VALUE)?;
+                let value = env.sym_in_range("proposed", Width::W32, 0, MAX_PROPOSABLE_VALUE)?;
                 (ballot, value)
             }
         };
@@ -124,61 +123,85 @@ impl NodeProgram for AcceptorProgram {
     }
 }
 
+/// Runs the full local-state analysis for one (proposer, acceptor) scenario:
+/// proposer predicate → preprocessing → acceptor Trojan search, optionally
+/// fanned out over `workers` work-stealing threads.
+///
+/// Returns the pool (for rendering witnesses) and the Trojan reports in
+/// canonical path order.
+pub fn analyze_local_state(
+    proposer: ProposerMode,
+    acceptor: AcceptorMode,
+    workers: usize,
+) -> (achilles_solver::TermPool, Vec<achilles::TrojanReport>) {
+    use achilles::{prepare_client, ClientPredicate, FieldMask, Optimizations};
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::{Executor, ExploreConfig};
+
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let client_result = {
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        exec.explore(&ProposerProgram { mode: proposer })
+    };
+    let pred = ClientPredicate::from_exploration(&client_result);
+    let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
+    let prepared = prepare_client(
+        &mut pool,
+        &mut solver,
+        pred,
+        server_msg.clone(),
+        FieldMask::none(),
+        Optimizations::default(),
+    );
+    let explore = ExploreConfig {
+        recv_script: vec![server_msg],
+        workers: workers.max(1),
+        ..Default::default()
+    };
+    let outcome = achilles::run_trojan_search(
+        &mut pool,
+        &mut solver,
+        &prepared,
+        &AcceptorProgram { mode: acceptor },
+        explore,
+        Optimizations::default(),
+        true,
+    );
+    (pool, outcome.reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use achilles::{prepare_client, ClientPredicate, FieldMask, Optimizations, TrojanObserver};
-    use achilles_solver::{Solver, TermPool};
-    use achilles_symvm::{ExploreConfig, Executor};
 
     fn analyze(
         proposer: ProposerMode,
         acceptor: AcceptorMode,
-    ) -> (TermPool, Vec<achilles::TrojanReport>) {
-        let mut pool = TermPool::new();
-        let mut solver = Solver::new();
-        let client_result = {
-            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
-            exec.explore(&ProposerProgram { mode: proposer })
-        };
-        let pred = ClientPredicate::from_exploration(&client_result);
-        let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
-        let prepared = prepare_client(
-            &mut pool,
-            &mut solver,
-            pred,
-            server_msg.clone(),
-            FieldMask::none(),
-            Optimizations::default(),
-        );
-        let mut observer = TrojanObserver::new(&prepared, Optimizations::default(), true);
-        let explore = ExploreConfig { recv_script: vec![server_msg], ..Default::default() };
-        {
-            let mut exec = Executor::new(&mut pool, &mut solver, explore);
-            exec.explore_observed(&AcceptorProgram { mode: acceptor }, &mut observer);
-        }
-        (pool, observer.reports)
+    ) -> (achilles_solver::TermPool, Vec<achilles::TrojanReport>) {
+        analyze_local_state(proposer, acceptor, 1)
     }
 
     #[test]
     fn concrete_scenario_flags_other_values() {
         // Phase 2 entered with (ballot 5, value 7): anything else is Trojan.
-        let (_pool, reports) =
-            analyze(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5));
+        let (_pool, reports) = analyze(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5));
         assert_eq!(reports.len(), 1);
         let w = &reports[0].witness_fields;
         // kind, ballot, value — witness differs from (3, 5, 7) in some field
         // while still being accepted (ballot >= 5).
         assert_eq!(w[0], ACCEPT_KIND);
         assert!(w[1] >= 5);
-        assert!(w[1] != 5 || w[2] != 7, "must differ from the one correct message");
+        assert!(
+            w[1] != 5 || w[2] != 7,
+            "must differ from the one correct message"
+        );
         assert!(reports[0].verified);
     }
 
     #[test]
     fn constructed_mode_covers_all_scenarios_at_once() {
-        let (_pool, reports) =
-            analyze(ProposerMode::Constructed(5), AcceptorMode::Concrete(5));
+        let (_pool, reports) = analyze(ProposerMode::Constructed(5), AcceptorMode::Concrete(5));
         assert_eq!(reports.len(), 1);
         let w = &reports[0].witness_fields;
         // The provable Trojans are out-of-domain values (or foreign ballots).
@@ -190,9 +213,15 @@ mod tests {
 
     #[test]
     fn over_approximate_acceptor_state() {
-        let (_pool, reports) =
-            analyze(ProposerMode::Constructed(5), AcceptorMode::OverApproximate { max: 20 });
-        assert_eq!(reports.len(), 1, "annotated state still admits the analysis");
+        let (_pool, reports) = analyze(
+            ProposerMode::Constructed(5),
+            AcceptorMode::OverApproximate { max: 20 },
+        );
+        assert_eq!(
+            reports.len(),
+            1,
+            "annotated state still admits the analysis"
+        );
         assert!(reports[0].verified);
     }
 

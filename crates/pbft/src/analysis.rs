@@ -7,11 +7,11 @@
 use std::time::{Duration, Instant};
 
 use achilles::{
-    prepare_client, ClientPredicate, FieldMask, Optimizations, SearchStats, TrojanObserver,
-    TrojanReport,
+    prepare_client, run_trojan_search, ClientPredicate, FieldMask, Optimizations, SearchStats,
+    TrojanReport, WorkerSummary,
 };
 use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, ExploreStats, Executor, SymMessage};
+use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
 
 use crate::client::extract_client_predicate;
 use crate::protocol::{layout, PbftRequest, MAC_PLACEHOLDER};
@@ -46,6 +46,8 @@ pub struct PbftAnalysisConfig {
     pub optimizations: Optimizations,
     /// Verify witnesses against the client predicate.
     pub verify_witnesses: bool,
+    /// Worker threads for the replica analysis (0/1 = sequential).
+    pub workers: usize,
 }
 
 impl PbftAnalysisConfig {
@@ -56,7 +58,14 @@ impl PbftAnalysisConfig {
             verify_witnesses: true,
             optimizations: Optimizations::default(),
             replica: PbftReplicaConfig::default(),
+            workers: 1,
         }
+    }
+
+    /// The paper's setup fanned out over `n` workers.
+    pub fn with_workers(mut self, n: usize) -> PbftAnalysisConfig {
+        self.workers = n.max(1);
+        self
     }
 }
 
@@ -77,12 +86,17 @@ pub struct PbftAnalysisResult {
     pub search_stats: SearchStats,
     /// Replica exploration counters.
     pub explore_stats: ExploreStats,
+    /// Per-worker breakdown (one entry when sequential).
+    pub worker_stats: Vec<WorkerSummary>,
 }
 
 impl PbftAnalysisResult {
     /// Number of MAC-attack reports.
     pub fn mac_attacks(&self) -> usize {
-        self.families.iter().filter(|f| **f == PbftTrojanFamily::MacAttack).count()
+        self.families
+            .iter()
+            .filter(|f| **f == PbftTrojanFamily::MacAttack)
+            .count()
     }
 
     /// Number of distinct Trojan *types* (families) discovered.
@@ -109,23 +123,30 @@ pub fn run_analysis(config: &PbftAnalysisConfig) -> PbftAnalysisResult {
         FieldMask::none(),
         config.optimizations,
     );
-    let mut observer =
-        TrojanObserver::new(&prepared, config.optimizations, config.verify_witnesses);
-    let explore = ExploreConfig { recv_script: vec![server_msg.clone()], ..Default::default() };
-    let result = {
-        let mut exec = Executor::new(&mut pool, &mut solver, explore);
-        exec.explore_observed(&PbftReplica::new(config.replica.clone()), &mut observer)
+    let explore = ExploreConfig {
+        recv_script: vec![server_msg.clone()],
+        workers: config.workers.max(1),
+        ..Default::default()
     };
-    let TrojanObserver { reports, stats, .. } = observer;
-    let families = reports.iter().map(classify).collect();
+    let outcome = run_trojan_search(
+        &mut pool,
+        &mut solver,
+        &prepared,
+        &PbftReplica::new(config.replica.clone()),
+        explore,
+        config.optimizations,
+        config.verify_witnesses,
+    );
+    let families = outcome.reports.iter().map(classify).collect();
     PbftAnalysisResult {
         client: prepared.client.clone(),
         server_msg,
-        trojans: reports,
+        trojans: outcome.reports,
         families,
         total_time: started.elapsed(),
-        search_stats: stats,
-        explore_stats: result.stats,
+        search_stats: outcome.stats,
+        explore_stats: outcome.explore,
+        worker_stats: outcome.workers,
     }
 }
 
@@ -168,7 +189,11 @@ mod tests {
             ..PbftAnalysisConfig::paper()
         };
         let result = run_analysis(&config);
-        assert_eq!(result.trojans.len(), 0, "MAC verification closes the vulnerability");
+        assert_eq!(
+            result.trojans.len(),
+            0,
+            "MAC verification closes the vulnerability"
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@
 
 use achilles::ClientPredicate;
 use achilles_solver::{Solver, TermPool, Width};
-use achilles_symvm::{
-    ExploreConfig, Executor, NodeProgram, PathResult, SymEnv, SymMessage,
-};
+use achilles_symvm::{Executor, ExploreConfig, NodeProgram, PathResult, SymEnv, SymMessage};
 
 use crate::mac::{N_CLIENTS, N_REPLICAS};
 use crate::protocol::{
@@ -29,8 +27,9 @@ impl NodeProgram for PbftClient {
         let replier = env.sym_in_range("replier", Width::W16, 0, N_REPLICAS as u64 - 1)?;
         let cid = env.sym_in_range("cid", Width::W16, 0, N_CLIENTS - 1)?; // own id: always valid
         let rid = env.sym("rid", Width::W16); // monotonic counter: any value over time
-        let command: Vec<_> =
-            (0..COMMAND_LEN).map(|i| env.sym(&format!("command[{i}]"), Width::W8)).collect();
+        let command: Vec<_> = (0..COMMAND_LEN)
+            .map(|i| env.sym(&format!("command[{i}]"), Width::W8))
+            .collect();
 
         let tag = env.constant(REQUEST_TAG, Width::W16);
         let size = env.constant(MESSAGE_SIZE, Width::W32);
@@ -68,9 +67,16 @@ mod tests {
         assert_eq!(pred.len(), 1, "the client has one sending path");
         let p = &pred.paths[0];
         // MACs are the bypass constant; rid unconstrained; cid range-bound.
-        assert_eq!(pool.as_const(p.message.field("mac[0]")), Some(MAC_PLACEHOLDER));
+        assert_eq!(
+            pool.as_const(p.message.field("mac[0]")),
+            Some(MAC_PLACEHOLDER)
+        );
         assert!(pool.as_const(p.message.field("rid")).is_none());
-        assert_eq!(p.constraints.len(), 6, "2 each for extra/replier/cid ranges");
+        assert_eq!(
+            p.constraints.len(),
+            6,
+            "2 each for extra/replier/cid ranges"
+        );
     }
 
     #[test]

@@ -111,9 +111,7 @@ impl PbftCluster {
 
         // Patched primary: validate the (transferable) client credential —
         // any corrupted authenticator is detected before forwarding.
-        if self.config.primary_verifies_macs
-            && !(0..N_REPLICAS).all(|r| req.mac_valid_for(r))
-        {
+        if self.config.primary_verifies_macs && !(0..N_REPLICAS).all(|r| req.mac_valid_for(r)) {
             self.stats.dropped += 1;
             return SubmitOutcome::DroppedByPrimary;
         }
@@ -178,7 +176,10 @@ mod tests {
         assert_eq!(cluster.stats().fast_path, 1000);
         assert_eq!(cluster.stats().recoveries, 0);
         let tput = cluster.throughput();
-        assert!((tput - 10_000.0).abs() < 1.0, "100µs per op → 10k ops/s, got {tput}");
+        assert!(
+            (tput - 10_000.0).abs() < 1.0,
+            "100µs per op → 10k ops/s, got {tput}"
+        );
     }
 
     #[test]
@@ -198,10 +199,16 @@ mod tests {
 
     #[test]
     fn patched_primary_stops_the_attack() {
-        let config =
-            ClusterConfig { primary_verifies_macs: true, ..ClusterConfig::default() };
+        let config = ClusterConfig {
+            primary_verifies_macs: true,
+            ..ClusterConfig::default()
+        };
         let attacked = run_workload(config, 1000, 10);
-        assert_eq!(attacked.stats().recoveries, 0, "bad MACs die at the primary");
+        assert_eq!(
+            attacked.stats().recoveries,
+            0,
+            "bad MACs die at the primary"
+        );
         assert_eq!(attacked.stats().dropped, 100);
         // Correct clients' requests proceed at full speed.
         let healthy_portion = attacked.stats().fast_path;

@@ -51,7 +51,7 @@ pub const FIELD_WIDTHS: [u32; 8 + COMMAND_LEN + N_REPLICAS] = {
     w[5] = 16; // command_size
     w[6] = 16; // cid
     w[7] = 16; // rid
-    // command bytes stay 8
+               // command bytes stay 8
     let mut i = 8 + COMMAND_LEN;
     while i < 8 + COMMAND_LEN + N_REPLICAS {
         w[i] = 32; // mac[r]
@@ -180,8 +180,11 @@ impl PbftRequest {
 
     /// Encodes to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
-        let fields: Vec<(u32, u64)> =
-            FIELD_WIDTHS.iter().copied().zip(self.field_values()).collect();
+        let fields: Vec<(u32, u64)> = FIELD_WIDTHS
+            .iter()
+            .copied()
+            .zip(self.field_values())
+            .collect();
         encode_fields(&fields).expect("static widths are byte-aligned")
     }
 

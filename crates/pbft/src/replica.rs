@@ -145,7 +145,7 @@ mod tests {
     use super::*;
     use crate::protocol::PbftRequest;
     use achilles_solver::{Solver, TermPool};
-    use achilles_symvm::{ExploreConfig, Executor, Verdict};
+    use achilles_symvm::{Executor, ExploreConfig, Verdict};
 
     fn explore(config: PbftReplicaConfig) -> (TermPool, achilles_symvm::ExploreResult) {
         let mut pool = TermPool::new();
@@ -181,7 +181,10 @@ mod tests {
         req.od = DIGEST_PLACEHOLDER;
         req.macs = [MAC_PLACEHOLDER as u32; N_REPLICAS];
         let sym = req.to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![sym], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![sym],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         // `state.last_rid` is symbolic, so even a "concrete" run forks on the
         // recency check; explore() both and expect one accept + one reject.
@@ -199,7 +202,10 @@ mod tests {
         req.od = DIGEST_PLACEHOLDER;
         req.macs = [MAC_PLACEHOLDER as u32; N_REPLICAS];
         let sym = req.to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![sym], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![sym],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
         let result = exec.run_concrete(&PbftReplica::default());
         assert_eq!(result.paths[0].verdict, Verdict::Reject);
@@ -214,10 +220,12 @@ mod tests {
         req.macs = [MAC_PLACEHOLDER as u32; N_REPLICAS];
         req.macs[1] = 0x1234; // corrupted authenticator
         let sym = req.to_sym(&mut pool);
-        let cfg = ExploreConfig { recv_script: vec![sym], ..ExploreConfig::default() };
+        let cfg = ExploreConfig {
+            recv_script: vec![sym],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, cfg);
-        let result =
-            exec.run_concrete(&PbftReplica::new(PbftReplicaConfig { verify_macs: true }));
+        let result = exec.run_concrete(&PbftReplica::new(PbftReplicaConfig { verify_macs: true }));
         assert_eq!(result.paths[0].verdict, Verdict::Reject);
     }
 }

@@ -42,17 +42,26 @@ pub struct Literal {
 impl Literal {
     /// A positive literal.
     pub fn pos(term: TermId) -> Literal {
-        Literal { term, positive: true }
+        Literal {
+            term,
+            positive: true,
+        }
     }
 
     /// A negative literal.
     pub fn neg(term: TermId) -> Literal {
-        Literal { term, positive: false }
+        Literal {
+            term,
+            positive: false,
+        }
     }
 
     /// The same literal with flipped polarity.
     pub fn flipped(self) -> Literal {
-        Literal { term: self.term, positive: !self.positive }
+        Literal {
+            term: self.term,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -85,8 +94,7 @@ pub fn nnf(pool: &mut TermPool, t: TermId, positive: bool) -> Formula {
         }
         Op::Not => nnf(pool, node.args[0], !positive),
         Op::And => {
-            let parts: Vec<Formula> =
-                node.args.iter().map(|&a| nnf(pool, a, positive)).collect();
+            let parts: Vec<Formula> = node.args.iter().map(|&a| nnf(pool, a, positive)).collect();
             if positive {
                 mk_and(parts)
             } else {
@@ -94,8 +102,7 @@ pub fn nnf(pool: &mut TermPool, t: TermId, positive: bool) -> Formula {
             }
         }
         Op::Or => {
-            let parts: Vec<Formula> =
-                node.args.iter().map(|&a| nnf(pool, a, positive)).collect();
+            let parts: Vec<Formula> = node.args.iter().map(|&a| nnf(pool, a, positive)).collect();
             if positive {
                 mk_or(parts)
             } else {
@@ -209,7 +216,8 @@ impl AffineView {
 
     /// Forward image of a single variable value.
     pub fn apply(&self, var_value: u64) -> u64 {
-        self.term_width.truncate(var_value.wrapping_add(self.offset))
+        self.term_width
+            .truncate(var_value.wrapping_add(self.offset))
     }
 }
 
@@ -235,17 +243,26 @@ pub fn affine_view_with(
     // caller is expected to have handled the fully-constant case already.
     let side_const = |s: TermId| pool.eval_with(s, lookup);
     match node.op {
-        Op::Var(v) if lookup(v).is_none() => {
-            Some(AffineView { var: v, var_width: w, term_width: w, offset: 0 })
-        }
+        Op::Var(v) if lookup(v).is_none() => Some(AffineView {
+            var: v,
+            var_width: w,
+            term_width: w,
+            offset: 0,
+        }),
         Op::Add => {
             let (a, b) = (node.args[0], node.args[1]);
             if let Some(c) = side_const(b) {
                 let base = affine_view_with(pool, a, lookup)?;
-                Some(AffineView { offset: w.truncate(base.offset.wrapping_add(c)), ..base })
+                Some(AffineView {
+                    offset: w.truncate(base.offset.wrapping_add(c)),
+                    ..base
+                })
             } else if let Some(c) = side_const(a) {
                 let base = affine_view_with(pool, b, lookup)?;
-                Some(AffineView { offset: w.truncate(base.offset.wrapping_add(c)), ..base })
+                Some(AffineView {
+                    offset: w.truncate(base.offset.wrapping_add(c)),
+                    ..base
+                })
             } else {
                 None
             }
@@ -254,7 +271,10 @@ pub fn affine_view_with(
             let (a, b) = (node.args[0], node.args[1]);
             let c = side_const(b)?;
             let base = affine_view_with(pool, a, lookup)?;
-            Some(AffineView { offset: w.truncate(base.offset.wrapping_sub(c)), ..base })
+            Some(AffineView {
+                offset: w.truncate(base.offset.wrapping_sub(c)),
+                ..base
+            })
         }
         Op::BitXor => {
             let (a, b) = (node.args[0], node.args[1]);
@@ -270,7 +290,10 @@ pub fn affine_view_with(
                 return None;
             }
             let base = affine_view_with(pool, inner, lookup)?;
-            Some(AffineView { offset: w.truncate(base.offset.wrapping_add(c)), ..base })
+            Some(AffineView {
+                offset: w.truncate(base.offset.wrapping_add(c)),
+                ..base
+            })
         }
         Op::ZExt => {
             // Only zext directly over a variable: zext(x + c) != zext(x) + c.
@@ -309,9 +332,7 @@ mod tests {
             Formula::Or(parts) => {
                 assert_eq!(parts.len(), 2);
                 let has_dual_cmp = parts.iter().any(|q| match q {
-                    Formula::Lit(l) => {
-                        l.positive && matches!(p.node(l.term).op, Op::Ule)
-                    }
+                    Formula::Lit(l) => l.positive && matches!(p.node(l.term).op, Op::Ule),
                     _ => false,
                 });
                 let has_neg_eq = parts.iter().any(|q| match q {
@@ -340,7 +361,9 @@ mod tests {
     #[test]
     fn nnf_flattens_nested_connectives() {
         let mut p = TermPool::new();
-        let lits: Vec<TermId> = (0..4).map(|i| p.fresh(&format!("b{i}"), Width::BOOL)).collect();
+        let lits: Vec<TermId> = (0..4)
+            .map(|i| p.fresh(&format!("b{i}"), Width::BOOL))
+            .collect();
         let ab = p.and(lits[0], lits[1]);
         let abc = p.and(ab, lits[2]);
         let abcd = p.and(abc, lits[3]);

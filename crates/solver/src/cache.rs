@@ -1,0 +1,292 @@
+//! The cross-worker shared query cache.
+//!
+//! Parallel exploration gives every worker its own [`TermPool`] fork and its
+//! own [`Solver`](crate::solver::Solver), so worker-local caches cannot key
+//! on `TermId`s — ids diverge between pools as soon as a worker interns a new
+//! term. This cache instead keys queries on the *sorted set of structural
+//! fingerprints* of the asserted terms ([`TermPool::term_fp`]): two workers
+//! that build the same conjunction — typically by re-executing the same
+//! server-path prefix — produce the same key even though their `TermId`s
+//! differ.
+//!
+//! Satisfiable entries store the model as `(variable fingerprint, value)`
+//! pairs. A hit is translated back into the reader's pool through
+//! [`TermPool::var_by_fp`]; every variable a solver assigns occurs in the
+//! asserted terms, so the reader — which interned those terms to build the
+//! query — always knows them.
+//!
+//! The map is sharded by key hash behind `RwLock`s, so concurrent readers
+//! never contend and writers only lock one shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::model::Model;
+use crate::search::SatResult;
+use crate::term::{TermId, TermPool};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 64;
+
+/// A query result in pool-independent form.
+#[derive(Clone, Debug)]
+enum Entry {
+    /// Satisfiable; the model as (variable fingerprint, value) pairs.
+    Sat(Arc<Vec<(u128, u64)>>),
+    Unsat,
+    Unknown,
+}
+
+/// Counters of one [`SharedCache`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results published.
+    pub inserts: u64,
+}
+
+/// A sharded, fingerprint-keyed query cache shared by all workers of a
+/// parallel exploration.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use achilles_solver::{SharedCache, Solver, TermPool, Width};
+///
+/// let shared = Arc::new(SharedCache::new());
+/// let mut base = TermPool::new();
+/// let x = base.fresh("x", Width::W8);
+/// let c = base.constant(9, Width::W8);
+/// let lt = base.ult(x, c);
+///
+/// // Worker 1 solves and publishes.
+/// let mut pool1 = base.fork(1);
+/// let mut s1 = Solver::new().with_shared_cache(Arc::clone(&shared));
+/// assert!(s1.is_sat(&mut pool1, &[lt]));
+///
+/// // Worker 2 gets the answer without searching.
+/// let mut pool2 = base.fork(2);
+/// let mut s2 = Solver::new().with_shared_cache(Arc::clone(&shared));
+/// assert!(s2.is_sat(&mut pool2, &[lt]));
+/// assert_eq!(s2.stats().shared_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedCache {
+    shards: Vec<RwLock<HashMap<Box<[u128]>, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for SharedCache {
+    fn default() -> SharedCache {
+        SharedCache::new()
+    }
+}
+
+impl SharedCache {
+    /// Creates an empty cache.
+    pub fn new() -> SharedCache {
+        SharedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool-independent key of a query: sorted, deduplicated structural
+    /// fingerprints of the asserted terms.
+    pub fn key_of(pool: &TermPool, assertions: &[TermId]) -> Box<[u128]> {
+        let mut key: Vec<u128> = assertions.iter().map(|&t| pool.term_fp(t)).collect();
+        key.sort_unstable();
+        key.dedup();
+        key.into_boxed_slice()
+    }
+
+    fn shard_of(key: &[u128]) -> usize {
+        // The fingerprints are already well mixed; fold them.
+        let mut h = 0xD6E8_FEB8_6659_FD93u64 ^ key.len() as u64;
+        for fp in key {
+            h = (h ^ (*fp as u64))
+                .rotate_left(23)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+        (h as usize) & (SHARDS - 1)
+    }
+
+    /// Looks up a query, translating a satisfiable entry's model into
+    /// `pool`'s variable ids.
+    pub fn lookup(&self, pool: &TermPool, key: &[u128]) -> Option<SatResult> {
+        let shard = self.shards[Self::shard_of(key)]
+            .read()
+            .expect("cache shard poisoned");
+        let entry = match shard.get(key) {
+            Some(e) => e.clone(),
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        drop(shard);
+        let result = match entry {
+            Entry::Unsat => SatResult::Unsat,
+            Entry::Unknown => SatResult::Unknown,
+            Entry::Sat(pairs) => {
+                let mut model = Model::new();
+                for &(fp, value) in pairs.iter() {
+                    match pool.var_by_fp(fp) {
+                        Some(v) => model.assign(v, value),
+                        // A variable this pool has never interned: the entry
+                        // cannot be translated, treat as a miss (sound — the
+                        // caller just solves locally).
+                        None => {
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
+                }
+                SatResult::Sat(Arc::new(model))
+            }
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(result)
+    }
+
+    /// Publishes a result under `key`.
+    pub fn insert(&self, pool: &TermPool, key: Box<[u128]>, result: &SatResult) {
+        let entry = match result {
+            SatResult::Unsat => Entry::Unsat,
+            SatResult::Unknown => Entry::Unknown,
+            SatResult::Sat(model) => {
+                let pairs: Vec<(u128, u64)> =
+                    model.iter().map(|(v, x)| (pool.var_fp(v), x)).collect();
+                Entry::Sat(Arc::new(pairs))
+            }
+        };
+        let mut shard = self.shards[Self::shard_of(&key)]
+            .write()
+            .expect("cache shard poisoned");
+        shard.entry(key).or_insert(entry);
+        drop(shard);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::Width;
+
+    #[test]
+    fn key_is_order_insensitive_and_deduped() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh("x", Width::W8);
+        let c1 = pool.constant(1, Width::W8);
+        let c9 = pool.constant(9, Width::W8);
+        let a = pool.ult(c1, x);
+        let b = pool.ult(x, c9);
+        assert_eq!(
+            SharedCache::key_of(&pool, &[a, b]),
+            SharedCache::key_of(&pool, &[b, a, b])
+        );
+    }
+
+    #[test]
+    fn model_round_trips_across_forked_pools() {
+        let mut base = TermPool::new();
+        let x = base.fresh("x", Width::W16);
+        let c = base.constant(500, Width::W16);
+        let eq = base.eq(x, c);
+
+        let cache = SharedCache::new();
+        let pool1 = base.fork(1);
+        let mut m = Model::new();
+        m.assign(pool1.as_var(x).unwrap(), 500);
+        let key = SharedCache::key_of(&pool1, &[eq]);
+        cache.insert(&pool1, key.clone(), &SatResult::Sat(Arc::new(m)));
+
+        let pool2 = base.fork(2);
+        let hit = cache.lookup(&pool2, &key).expect("published entry");
+        let model = hit.model().expect("sat entry");
+        assert_eq!(model.value(pool2.as_var(x).unwrap()), Some(500));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn unknown_variable_degrades_to_miss() {
+        let mut pool1 = TermPool::new().fork(1);
+        let y = pool1.fresh("only_in_1", Width::W8);
+        let c = pool1.constant(3, Width::W8);
+        let eq = pool1.eq(y, c);
+        let cache = SharedCache::new();
+        let key = SharedCache::key_of(&pool1, &[eq]);
+        let mut m = Model::new();
+        m.assign(pool1.as_var(y).unwrap(), 3);
+        cache.insert(&pool1, key.clone(), &SatResult::Sat(Arc::new(m)));
+
+        let pool2 = TermPool::new().fork(2);
+        assert!(
+            cache.lookup(&pool2, &key).is_none(),
+            "untranslatable model is a miss"
+        );
+    }
+
+    #[test]
+    fn tagged_vars_share_constraints_across_workers() {
+        // Two workers create "the same" variable independently (same tag):
+        // the second worker's structurally equal query hits the first's entry.
+        let base = TermPool::new();
+        let cache = SharedCache::new();
+
+        let mut pool1 = base.fork(1);
+        let v1 = pool1.fresh_var_tagged("msg.len", Width::W8, 42);
+        let x1 = pool1.var(v1);
+        let c1 = pool1.constant(7, Width::W8);
+        let q1 = pool1.ult(x1, c1);
+        let mut m = Model::new();
+        m.assign(v1, 0);
+        let key1 = SharedCache::key_of(&pool1, &[q1]);
+        cache.insert(&pool1, key1, &SatResult::Sat(Arc::new(m)));
+
+        let mut pool2 = base.fork(2);
+        let v2 = pool2.fresh_var_tagged("msg.len", Width::W8, 42);
+        let x2 = pool2.var(v2);
+        let c2 = pool2.constant(7, Width::W8);
+        let q2 = pool2.ult(x2, c2);
+        let key2 = SharedCache::key_of(&pool2, &[q2]);
+        let hit = cache
+            .lookup(&pool2, &key2)
+            .expect("equal tags make equal keys");
+        assert_eq!(hit.model().unwrap().value(v2), Some(0));
+    }
+}

@@ -72,7 +72,10 @@ pub struct IntervalSet {
 impl IntervalSet {
     /// The full domain `[0, 2^w - 1]`.
     pub fn full(width: Width) -> IntervalSet {
-        IntervalSet { width, ivs: vec![Interval::new(0, width.max_unsigned())] }
+        IntervalSet {
+            width,
+            ivs: vec![Interval::new(0, width.max_unsigned())],
+        }
     }
 
     /// The empty domain.
@@ -83,7 +86,10 @@ impl IntervalSet {
     /// A single value.
     pub fn singleton(width: Width, v: u64) -> IntervalSet {
         let v = width.truncate(v);
-        IntervalSet { width, ivs: vec![Interval::new(v, v)] }
+        IntervalSet {
+            width,
+            ivs: vec![Interval::new(v, v)],
+        }
     }
 
     /// A single interval `[lo, hi]` (bounds truncated to the width).
@@ -94,7 +100,10 @@ impl IntervalSet {
     pub fn range(width: Width, lo: u64, hi: u64) -> IntervalSet {
         let lo = width.truncate(lo);
         let hi = width.truncate(hi);
-        IntervalSet { width, ivs: vec![Interval::new(lo, hi)] }
+        IntervalSet {
+            width,
+            ivs: vec![Interval::new(lo, hi)],
+        }
     }
 
     /// The width of this domain.
@@ -109,7 +118,9 @@ impl IntervalSet {
 
     /// Number of values in the set (saturating).
     pub fn len(&self) -> u64 {
-        self.ivs.iter().fold(0u64, |acc, iv| acc.saturating_add(iv.len()))
+        self.ivs
+            .iter()
+            .fold(0u64, |acc, iv| acc.saturating_add(iv.len()))
     }
 
     /// Whether the set contains exactly one value; returns it.
@@ -249,7 +260,10 @@ impl IntervalSet {
         if open && next <= max {
             out.push(Interval::new(next, max));
         }
-        IntervalSet { width: self.width, ivs: out }
+        IntervalSet {
+            width: self.width,
+            ivs: out,
+        }
     }
 
     /// Adds the constant `c` to every value, wrapping at the width.
@@ -275,7 +289,10 @@ impl IntervalSet {
                 out.push(Interval::new(0, hi));
             }
         }
-        IntervalSet { width: self.width, ivs: Self::normalize(out) }
+        IntervalSet {
+            width: self.width,
+            ivs: Self::normalize(out),
+        }
     }
 
     /// Subtracts the constant `c` from every value, wrapping at the width.
@@ -288,7 +305,11 @@ impl IntervalSet {
     /// Intended for small domains; the iterator is lazy so callers can bound
     /// the number of values they draw.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, idx: 0, next: self.ivs.first().map(|iv| iv.lo) }
+        Iter {
+            set: self,
+            idx: 0,
+            next: self.ivs.first().map(|iv| iv.lo),
+        }
     }
 }
 

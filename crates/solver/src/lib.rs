@@ -38,12 +38,18 @@
 //!
 //! ## Architecture
 //!
-//! * [`term`] — hash-consed terms, variables, opaque functions ([`TermPool`])
+//! * [`term`] — hash-consed terms, variables, opaque functions ([`TermPool`]);
+//!   cloneable pools with structural fingerprints and cross-pool import for
+//!   parallel workers
 //! * [`interval`] — interval-set domains ([`IntervalSet`])
 //! * [`atom`] — negation normal form and affine views
 //! * [`search`] — propagation + DPLL search ([`solve`])
 //! * [`model`] — verified satisfying assignments ([`Model`])
-//! * [`solver`] — caching facade ([`Solver`])
+//! * [`solver`] — caching facade ([`Solver`]), two-tier: local map +
+//!   optional cross-worker [`SharedCache`]
+//! * [`scoped`] — incremental push/pop solving over growing path
+//!   constraints ([`ScopedSolver`])
+//! * [`cache`] — the sharded fingerprint-keyed cache workers share
 //! * [`pretty`] — human-readable rendering ([`render`])
 //! * [`smtlib`] — SMT-LIB 2 export for external cross-checking ([`to_smtlib`])
 
@@ -51,9 +57,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atom;
+pub mod cache;
 pub mod interval;
 pub mod model;
 pub mod pretty;
+pub mod scoped;
 pub mod search;
 pub mod smtlib;
 pub mod solver;
@@ -61,11 +69,13 @@ pub mod term;
 pub mod width;
 
 pub use atom::{affine_view, affine_view_with, nnf, AffineView, Formula, Literal};
+pub use cache::{SharedCache, SharedCacheStats};
 pub use interval::{Interval, IntervalSet};
 pub use model::Model;
 pub use pretty::{render, render_conjunction};
-pub use smtlib::to_smtlib;
+pub use scoped::{ScopedSolver, ScopedStats};
 pub use search::{solve, SatResult, SearchStats, SolverConfig};
+pub use smtlib::to_smtlib;
 pub use solver::{Solver, SolverStats};
 pub use term::{FunId, Op, TermData, TermId, TermPool, VarId, VarInfo};
 pub use width::Width;

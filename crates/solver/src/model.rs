@@ -81,7 +81,9 @@ impl fmt::Debug for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut entries: Vec<(VarId, u64)> = self.iter().collect();
         entries.sort_by_key(|(v, _)| *v);
-        f.debug_map().entries(entries.iter().map(|(v, x)| (v, x))).finish()
+        f.debug_map()
+            .entries(entries.iter().map(|(v, x)| (v, x)))
+            .finish()
     }
 }
 

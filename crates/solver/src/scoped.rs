@@ -1,0 +1,295 @@
+//! Incremental solving over a growing assertion stack.
+//!
+//! Server-path analysis grows its constraint set one conjunct at a time and
+//! re-checks satisfiability after every extension. [`ScopedSolver`] mirrors
+//! that shape with push/pop assertion frames and exploits two facts about
+//! monotone conjunction growth:
+//!
+//! * **Model reuse** — a model of frame *k* that happens to satisfy the
+//!   conjuncts pushed since is a model of the current frame; evaluating a
+//!   handful of terms is orders of magnitude cheaper than a search. This is
+//!   the incremental-SMT "check the last model first" trick, and on path
+//!   constraints it hits constantly because each new conjunct usually leaves
+//!   most of the space intact.
+//! * **Sticky unsat** — once a frame is unsatisfiable every extension of it
+//!   is too, so deeper checks return `Unsat` without touching the solver.
+//!
+//! Anything not answered by those two short-circuits falls through to the
+//! wrapped [`Solver`], whose local and shared caches then apply. Soundness
+//! does not depend on the reuse heuristics: a reused model is only returned
+//! after it has been *evaluated* against every live conjunct.
+
+use std::sync::Arc;
+
+use crate::model::Model;
+use crate::search::SatResult;
+use crate::solver::Solver;
+use crate::term::{TermId, TermPool};
+
+/// Counters of one [`ScopedSolver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScopedStats {
+    /// Checks issued through the scoped interface.
+    pub checks: u64,
+    /// Checks answered by re-evaluating a previous frame's model.
+    pub model_reuse_hits: u64,
+    /// Checks answered by the sticky-unsat short-circuit.
+    pub sticky_unsat_hits: u64,
+    /// Checks that fell through to the wrapped solver.
+    pub solver_calls: u64,
+}
+
+/// A push/pop assertion stack with incremental satisfiability checks.
+///
+/// # Examples
+///
+/// ```
+/// use achilles_solver::{ScopedSolver, Solver, TermPool, Width};
+///
+/// let mut pool = TermPool::new();
+/// let mut solver = Solver::new();
+/// let mut scoped = ScopedSolver::new();
+///
+/// let x = pool.fresh("x", Width::W8);
+/// let c100 = pool.constant(100, Width::W8);
+/// let c50 = pool.constant(50, Width::W8);
+///
+/// let lt100 = pool.ult(x, c100);
+/// scoped.push(lt100);
+/// assert!(scoped.check(&mut pool, &mut solver).is_sat());
+///
+/// // The second check reuses the first frame's model: x = 0 also
+/// // satisfies x < 50, so no search is needed.
+/// let lt50 = pool.ult(x, c50);
+/// scoped.push(lt50);
+/// assert!(scoped.check(&mut pool, &mut solver).is_sat());
+/// assert_eq!(scoped.stats().model_reuse_hits, 1);
+///
+/// scoped.pop();
+/// assert_eq!(scoped.depth(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScopedSolver {
+    /// The live conjunction, one entry per pushed frame.
+    assertions: Vec<TermId>,
+    /// The deepest model known to satisfy a prefix of the stack, together
+    /// with the frame count it was verified against.
+    last_model: Option<(usize, Arc<Model>)>,
+    /// Shallowest frame count proven unsatisfiable, if any.
+    unsat_from: Option<usize>,
+    stats: ScopedStats,
+}
+
+impl ScopedSolver {
+    /// An empty stack.
+    pub fn new() -> ScopedSolver {
+        ScopedSolver::default()
+    }
+
+    /// An empty stack pre-loaded with `initial` assertions (one frame each).
+    pub fn with_assertions(initial: &[TermId]) -> ScopedSolver {
+        let mut s = ScopedSolver::new();
+        for &t in initial {
+            s.push(t);
+        }
+        s
+    }
+
+    /// Current number of frames.
+    pub fn depth(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// The live conjunction, in push order.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ScopedStats {
+        &self.stats
+    }
+
+    /// Pushes one assertion frame.
+    pub fn push(&mut self, t: TermId) {
+        self.assertions.push(t);
+    }
+
+    /// Pops the newest frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn pop(&mut self) {
+        assert!(!self.assertions.is_empty(), "pop on empty ScopedSolver");
+        self.assertions.pop();
+        let depth = self.assertions.len();
+        if let Some((at, _)) = self.last_model {
+            if at > depth {
+                // The model may still satisfy the shallower stack; keep it
+                // but re-verify lazily from the popped depth.
+                self.last_model = self.last_model.take().map(|(_, m)| (depth.min(at), m));
+            }
+        }
+        if let Some(from) = self.unsat_from {
+            if from > depth {
+                self.unsat_from = None;
+            }
+        }
+    }
+
+    /// Decides the conjunction of the current stack.
+    pub fn check(&mut self, pool: &mut TermPool, solver: &mut Solver) -> SatResult {
+        self.stats.checks += 1;
+        let depth = self.assertions.len();
+        if let Some(from) = self.unsat_from {
+            if from <= depth {
+                self.stats.sticky_unsat_hits += 1;
+                return SatResult::Unsat;
+            }
+        }
+        // Try the previous model against the conjuncts it has not yet been
+        // verified on.
+        if let Some((verified_to, model)) = &self.last_model {
+            let model = Arc::clone(model);
+            let verified_to = *verified_to;
+            if verified_to <= depth
+                && self.assertions[verified_to..depth]
+                    .iter()
+                    .all(|&t| model.eval(pool, t) == Some(1))
+            {
+                self.stats.model_reuse_hits += 1;
+                self.last_model = Some((depth, Arc::clone(&model)));
+                return SatResult::Sat(model);
+            }
+        }
+        self.stats.solver_calls += 1;
+        let result = solver.check(pool, &self.assertions);
+        match &result {
+            SatResult::Sat(model) => self.last_model = Some((depth, Arc::clone(model))),
+            SatResult::Unsat => {
+                self.unsat_from = Some(match self.unsat_from {
+                    Some(prev) => prev.min(depth),
+                    None => depth,
+                });
+            }
+            SatResult::Unknown => {}
+        }
+        result
+    }
+
+    /// Decides `stack ∧ extra` without leaving the frame pushed.
+    pub fn check_with(
+        &mut self,
+        pool: &mut TermPool,
+        solver: &mut Solver,
+        extra: TermId,
+    ) -> SatResult {
+        self.push(extra);
+        let result = self.check(pool, solver);
+        self.pop();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::Width;
+
+    fn harness() -> (TermPool, Solver, ScopedSolver) {
+        (TermPool::new(), Solver::new(), ScopedSolver::new())
+    }
+
+    #[test]
+    fn growing_stack_reuses_models() {
+        let (mut pool, mut solver, mut scoped) = harness();
+        let x = pool.fresh("x", Width::W16);
+        // Push x < 1000, x < 900, ..., x < 100: the model x = 0 from the
+        // first solve covers every later frame.
+        for hi in (1..=10).rev() {
+            let c = pool.constant(hi * 100, Width::W16);
+            let lt = pool.ult(x, c);
+            scoped.push(lt);
+            assert!(scoped.check(&mut pool, &mut solver).is_sat());
+        }
+        assert_eq!(scoped.stats().checks, 10);
+        assert_eq!(
+            scoped.stats().solver_calls,
+            1,
+            "one search covers the whole chain"
+        );
+        assert_eq!(scoped.stats().model_reuse_hits, 9);
+    }
+
+    #[test]
+    fn conflicting_push_falls_through_and_sticks() {
+        let (mut pool, mut solver, mut scoped) = harness();
+        let x = pool.fresh("x", Width::W8);
+        let c5 = pool.constant(5, Width::W8);
+        let lt = pool.ult(x, c5);
+        let gt = pool.ult(c5, x);
+        scoped.push(lt);
+        assert!(scoped.check(&mut pool, &mut solver).is_sat());
+        scoped.push(gt);
+        assert!(scoped.check(&mut pool, &mut solver).is_unsat());
+        // Any extension is unsat without a solver call.
+        let c9 = pool.constant(9, Width::W8);
+        let more = pool.ult(x, c9);
+        scoped.push(more);
+        let calls_before = scoped.stats().solver_calls;
+        assert!(scoped.check(&mut pool, &mut solver).is_unsat());
+        assert_eq!(scoped.stats().solver_calls, calls_before);
+        assert_eq!(scoped.stats().sticky_unsat_hits, 1);
+    }
+
+    #[test]
+    fn pop_clears_sticky_unsat() {
+        let (mut pool, mut solver, mut scoped) = harness();
+        let x = pool.fresh("x", Width::W8);
+        let c5 = pool.constant(5, Width::W8);
+        let lt = pool.ult(x, c5);
+        let gt = pool.ult(c5, x);
+        scoped.push(lt);
+        scoped.push(gt);
+        assert!(scoped.check(&mut pool, &mut solver).is_unsat());
+        scoped.pop();
+        assert!(
+            scoped.check(&mut pool, &mut solver).is_sat(),
+            "x < 5 alone is sat"
+        );
+    }
+
+    #[test]
+    fn check_with_leaves_stack_unchanged() {
+        let (mut pool, mut solver, mut scoped) = harness();
+        let x = pool.fresh("x", Width::W8);
+        let c5 = pool.constant(5, Width::W8);
+        let lt = pool.ult(x, c5);
+        scoped.push(lt);
+        let gt = pool.ult(c5, x);
+        assert!(scoped.check_with(&mut pool, &mut solver, gt).is_unsat());
+        assert_eq!(scoped.depth(), 1);
+        assert!(scoped.check(&mut pool, &mut solver).is_sat());
+    }
+
+    #[test]
+    fn model_reuse_is_verified_not_assumed() {
+        let (mut pool, mut solver, mut scoped) = harness();
+        let x = pool.fresh("x", Width::W8);
+        let c0 = pool.constant(0, Width::W8);
+        let c9 = pool.constant(9, Width::W8);
+        let lt9 = pool.ult(x, c9);
+        scoped.push(lt9);
+        assert!(scoped.check(&mut pool, &mut solver).is_sat());
+        // The default model is x = 0; pushing x > 0 must NOT be answered by
+        // reuse — the solver must run and produce a different model.
+        let gt0 = pool.ult(c0, x);
+        scoped.push(gt0);
+        let r = scoped.check(&mut pool, &mut solver);
+        let m = r.model().expect("0 < x < 9 is sat");
+        let v = m.value(pool.as_var(x).unwrap()).unwrap();
+        assert!(v > 0 && v < 9);
+        assert_eq!(scoped.stats().model_reuse_hits, 0);
+    }
+}

@@ -21,6 +21,7 @@
 //! if a propagation rule were buggy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,15 +47,24 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> SolverConfig {
-        SolverConfig { enum_limit: 4096, sample_count: 32, max_decisions: 2_000_000, seed: 0xAC41_11E5 }
+        SolverConfig {
+            enum_limit: 4096,
+            sample_count: 32,
+            max_decisions: 2_000_000,
+            seed: 0xAC41_11E5,
+        }
     }
 }
 
 /// Outcome of a satisfiability query.
+///
+/// Models are shared (`Arc`) so that cache hits — including hits served from
+/// the cross-worker [`SharedCache`](crate::cache::SharedCache) — never deep
+/// clone an assignment.
 #[derive(Clone, Debug)]
 pub enum SatResult {
     /// Satisfiable, with a verified model.
-    Sat(Model),
+    Sat(Arc<Model>),
     /// Proven unsatisfiable.
     Unsat,
     /// The engine gave up (sampling fallback or budget exhaustion).
@@ -74,6 +84,14 @@ impl SatResult {
 
     /// The model, if satisfiable.
     pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The model, if satisfiable, without cloning the assignment.
+    pub fn into_model(self) -> Option<Arc<Model>> {
         match self {
             SatResult::Sat(m) => Some(m),
             _ => None,
@@ -278,7 +296,11 @@ impl Engine<'_> {
                     SatResult::Unknown => saw_unknown = true,
                 }
             }
-            return if saw_unknown { SatResult::Unknown } else { SatResult::Unsat };
+            return if saw_unknown {
+                SatResult::Unknown
+            } else {
+                SatResult::Unsat
+            };
         }
 
         // Then enumerate a variable pinned by a deferred atom.
@@ -396,7 +418,11 @@ impl Engine<'_> {
     fn assert_literal(&mut self, state: &mut State, lit: Literal) -> Result<bool, ()> {
         // Fast path: fully evaluable under the current assignment.
         if let Some(v) = self.pool.eval_with(lit.term, &|v| state.value_of(v)) {
-            return if (v != 0) == lit.positive { Ok(false) } else { Err(()) };
+            return if (v != 0) == lit.positive {
+                Ok(false)
+            } else {
+                Err(())
+            };
         }
 
         let node = self.pool.node(lit.term).clone();
@@ -450,7 +476,9 @@ impl Engine<'_> {
                 self.restrict_affine(state, bv, kind, SidePos::Right, c, width, lit.positive)
             }
             (None, None, Some(av), Some(bv))
-                if kind == CmpKind::Eq && lit.positive && av.offset == bv.offset
+                if kind == CmpKind::Eq
+                    && lit.positive
+                    && av.offset == bv.offset
                     && av.var_width == bv.var_width
                     && av.var_width == av.term_width
                     && bv.var_width == bv.term_width =>
@@ -534,13 +562,15 @@ impl Engine<'_> {
                 IntervalSet::range(ew, c + 1, ew.max_unsigned())
             }
             (CmpKind::Ule, SidePos::Left, _) => IntervalSet::range(ew, 0, c),
-            (CmpKind::Ule, SidePos::Right, _) => {
-                IntervalSet::range(ew, c, ew.max_unsigned())
-            }
+            (CmpKind::Ule, SidePos::Right, _) => IntervalSet::range(ew, c, ew.max_unsigned()),
         };
         // Stripe budget: one interval per (slice interval × high assignment).
         const MAX_STRIPES: u64 = 4096;
-        let high_count = if high_bits >= 63 { return None } else { 1u64 << high_bits };
+        let high_count = if high_bits >= 63 {
+            return None;
+        } else {
+            1u64 << high_bits
+        };
         let stripe_count = high_count.checked_mul(slice_values.intervals().len() as u64)?;
         if stripe_count > MAX_STRIPES {
             return None;
@@ -701,10 +731,7 @@ impl Engine<'_> {
             self.pool.collect_vars(a, &mut relevant);
         }
         for v in relevant {
-            let value = state
-                .domain_of(self.pool, v)
-                .min()
-                .unwrap_or(0);
+            let value = state.domain_of(self.pool, v).min().unwrap_or(0);
             model.assign(v, value);
         }
         for &a in &self.assertions.clone() {
@@ -713,7 +740,7 @@ impl Engine<'_> {
                 return SatResult::Unknown;
             }
         }
-        SatResult::Sat(model)
+        SatResult::Sat(Arc::new(model))
     }
 }
 
@@ -947,7 +974,10 @@ mod tests {
         let app = p.apply(parity, vec![x]);
         let one = p.constant(1, Width::W8);
         let odd = p.eq(app, one);
-        let tiny = SolverConfig { max_decisions: 1, ..SolverConfig::default() };
+        let tiny = SolverConfig {
+            max_decisions: 1,
+            ..SolverConfig::default()
+        };
         let (r, stats) = solve(&mut p, &[odd], &tiny);
         assert!(
             matches!(r, SatResult::Unknown | SatResult::Sat(_)),

@@ -55,8 +55,10 @@ pub fn to_smtlib(pool: &TermPool, assertions: &[TermId]) -> String {
         // first application found.
         if let Some(arity_widths) = first_application_widths(pool, assertions, f) {
             let info = pool.fun_info(f);
-            let args: Vec<String> =
-                arity_widths.iter().map(|w| format!("(_ BitVec {})", w.bits())).collect();
+            let args: Vec<String> = arity_widths
+                .iter()
+                .map(|w| format!("(_ BitVec {})", w.bits()))
+                .collect();
             let _ = writeln!(
                 out,
                 "(declare-fun {} ({}) (_ BitVec {}))",
@@ -77,7 +79,10 @@ pub fn to_smtlib(pool: &TermPool, assertions: &[TermId]) -> String {
 /// SMT-LIB identifiers cannot contain `.`, `[`, `]`, `'` — map them to `_`
 /// and wrap in `|...|` quoting when anything was replaced.
 fn sanitize(name: &str) -> String {
-    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
         name.to_string()
     } else {
         format!("|{}|", name.replace('|', "_"))
@@ -208,7 +213,11 @@ fn bv_term(pool: &TermPool, t: TermId) -> String {
 }
 
 fn bin(pool: &TermPool, op: &str, args: &[TermId]) -> String {
-    format!("({op} {} {})", bv_term(pool, args[0]), bv_term(pool, args[1]))
+    format!(
+        "({op} {} {})",
+        bv_term(pool, args[0]),
+        bv_term(pool, args[1])
+    )
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@
 //! interned, which makes the cache sound.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cache::SharedCache;
 use crate::model::Model;
 use crate::search::{solve, SatResult, SearchStats, SolverConfig};
 use crate::term::{TermId, TermPool};
@@ -19,8 +21,14 @@ use crate::term::{TermId, TermPool};
 pub struct SolverStats {
     /// Total queries issued (including cache hits).
     pub queries: u64,
-    /// Queries answered from the cache.
+    /// Queries answered from the local cache.
     pub cache_hits: u64,
+    /// Queries answered from the attached [`SharedCache`] (a result another
+    /// worker computed).
+    pub shared_hits: u64,
+    /// Queries whose sorted/deduplicated key was reused without allocating
+    /// (the incremental fast path).
+    pub presorted_queries: u64,
     /// Satisfiable answers (computed, not cached).
     pub sat: u64,
     /// Unsatisfiable answers (computed, not cached).
@@ -35,9 +43,19 @@ pub struct SolverStats {
 
 #[derive(Clone)]
 enum Cached {
-    Sat(Model),
+    Sat(Arc<Model>),
     Unsat,
     Unknown,
+}
+
+impl Cached {
+    fn to_result(&self) -> SatResult {
+        match self {
+            Cached::Sat(m) => SatResult::Sat(Arc::clone(m)),
+            Cached::Unsat => SatResult::Unsat,
+            Cached::Unknown => SatResult::Unknown,
+        }
+    }
 }
 
 /// A caching satisfiability interface over a [`TermPool`].
@@ -61,6 +79,7 @@ pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
     cache: HashMap<Vec<TermId>, Cached>,
+    shared: Option<Arc<SharedCache>>,
 }
 
 impl Solver {
@@ -71,7 +90,22 @@ impl Solver {
 
     /// Creates a solver with a custom configuration.
     pub fn with_config(config: SolverConfig) -> Solver {
-        Solver { config, ..Solver::default() }
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Attaches a cross-worker [`SharedCache`]: misses in the local cache
+    /// consult it before searching, and computed results are published to it.
+    pub fn with_shared_cache(mut self, shared: Arc<SharedCache>) -> Solver {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// The attached shared cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
+        self.shared.as_ref()
     }
 
     /// The configuration in use.
@@ -97,19 +131,60 @@ impl Solver {
     /// Decides the conjunction of `assertions`.
     pub fn check(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> SatResult {
         self.stats.queries += 1;
-        let mut key: Vec<TermId> = assertions.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(hit) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
-            return match hit {
-                Cached::Sat(m) => SatResult::Sat(m.clone()),
-                Cached::Unsat => SatResult::Unsat,
-                Cached::Unknown => SatResult::Unknown,
-            };
+        // Fast path: server path constraints grow one conjunct at a time, so
+        // the assertion slice is usually already sorted and unique — look it
+        // up by reference before paying for the owned, sorted key.
+        let presorted = assertions.windows(2).all(|w| w[0] < w[1]);
+        if presorted {
+            self.stats.presorted_queries += 1;
+            if let Some(hit) = self.cache.get(assertions) {
+                self.stats.cache_hits += 1;
+                return hit.to_result();
+            }
+        }
+        let key: Vec<TermId> = if presorted {
+            assertions.to_vec()
+        } else {
+            let mut key = assertions.to_vec();
+            key.sort_unstable();
+            key.dedup();
+            key
+        };
+        if !presorted {
+            if let Some(hit) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                return hit.to_result();
+            }
+        }
+        // Second tier: a result another worker already computed.
+        let shared_key = if self.shared.is_some() {
+            Some(SharedCache::key_of(pool, &key))
+        } else {
+            None
+        };
+        if let (Some(shared), Some(skey)) = (self.shared.as_ref(), shared_key.as_ref()) {
+            if let Some(result) = shared.lookup(pool, skey) {
+                self.stats.shared_hits += 1;
+                let cached = match &result {
+                    SatResult::Sat(m) => Cached::Sat(Arc::clone(m)),
+                    SatResult::Unsat => Cached::Unsat,
+                    SatResult::Unknown => Cached::Unknown,
+                };
+                self.cache.insert(key, cached);
+                return result;
+            }
         }
         let started = Instant::now();
-        let (result, search_stats) = solve(pool, &key, &self.config);
+        // Canonical structural order for the search: pool-local `TermId`s
+        // depend on interning order (which, under parallel exploration,
+        // depends on the schedule a worker happened to run), and the search's
+        // clause/variable tie-breaks follow assertion order. Sorting by
+        // structural fingerprint makes the computed model a function of the
+        // query alone, so structurally equal queries yield identical models
+        // on every worker.
+        let mut ordered = key.clone();
+        ordered.sort_unstable_by_key(|&t| pool.term_fp(t));
+        let (result, search_stats) = solve(pool, &ordered, &self.config);
         self.stats.solve_time += started.elapsed();
         self.stats.search.decisions += search_stats.decisions;
         self.stats.search.propagations += search_stats.propagations;
@@ -118,7 +193,7 @@ impl Solver {
         let cached = match &result {
             SatResult::Sat(m) => {
                 self.stats.sat += 1;
-                Cached::Sat(m.clone())
+                Cached::Sat(Arc::clone(m))
             }
             SatResult::Unsat => {
                 self.stats.unsat += 1;
@@ -129,6 +204,9 @@ impl Solver {
                 Cached::Unknown
             }
         };
+        if let (Some(shared), Some(skey)) = (self.shared.as_ref(), shared_key) {
+            shared.insert(pool, skey, &result);
+        }
         self.cache.insert(key, cached);
         result
     }
@@ -143,8 +221,8 @@ impl Solver {
         self.check(pool, assertions).is_unsat()
     }
 
-    /// A model of the conjunction, if satisfiable.
-    pub fn model(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> Option<Model> {
+    /// A model of the conjunction, if satisfiable (shared, never cloned).
+    pub fn model(&mut self, pool: &mut TermPool, assertions: &[TermId]) -> Option<Arc<Model>> {
         match self.check(pool, assertions) {
             SatResult::Sat(m) => Some(m),
             _ => None,

@@ -127,9 +127,13 @@ pub struct VarInfo {
 }
 
 /// Concrete evaluator of an opaque function.
-pub type FunEval = Box<dyn Fn(&[u64]) -> u64 + Send>;
+///
+/// Stored behind an `Arc` so that pools can be cloned cheaply — parallel
+/// exploration hands every worker a snapshot of the base pool.
+pub type FunEval = std::sync::Arc<dyn Fn(&[u64]) -> u64 + Send + Sync>;
 
 /// A registered opaque function: name plus a concrete Rust evaluator.
+#[derive(Clone)]
 pub struct FunInfo {
     /// Human-readable name (e.g. `crc16`).
     pub name: String,
@@ -165,14 +169,53 @@ impl fmt::Debug for FunInfo {
 /// let sum = pool.add(xv, five);
 /// assert_eq!(pool.width(sum), Width::W8);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TermPool {
     nodes: Vec<TermData>,
+    /// Structural fingerprint per node (parallel to `nodes`): equal across
+    /// pools for structurally equal terms, regardless of `TermId` numbering.
+    fps: Vec<u128>,
     intern: HashMap<TermData, TermId>,
     vars: Vec<VarInfo>,
+    /// Identity fingerprint per variable (parallel to `vars`).
+    var_fps: Vec<u128>,
+    /// Reverse map used when importing terms or models from another pool.
+    var_fp_index: HashMap<u128, VarId>,
     funs: Vec<FunInfo>,
+    /// Distinguishes *untagged* variables created after a [`TermPool::fork`]
+    /// so independent workers never alias each other's ad-hoc variables.
+    fp_nonce: u64,
     true_id: Option<TermId>,
     false_id: Option<TermId>,
+}
+
+/// 128-bit mixing for structural fingerprints (two decoupled 64-bit lanes of
+/// splitmix-style avalanche; not cryptographic, collision odds are ~2^-64 per
+/// pair even across millions of terms).
+fn fp_mix(acc: u128, word: u64) -> u128 {
+    const M_LO: u64 = 0xBF58_476D_1CE4_E5B9;
+    const M_HI: u64 = 0x94D0_49BB_1331_11EB;
+    let lo = (acc as u64) ^ word;
+    let hi = ((acc >> 64) as u64) ^ word.rotate_left(32);
+    let mut lo = lo.wrapping_mul(M_LO);
+    lo ^= lo >> 29;
+    let mut hi = hi.wrapping_mul(M_HI);
+    hi ^= hi >> 31;
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn fp_mix128(acc: u128, word: u128) -> u128 {
+    fp_mix(fp_mix(acc, word as u64), (word >> 64) as u64)
+}
+
+fn fp_str(acc: u128, s: &str) -> u128 {
+    let mut h = fp_mix(acc, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = fp_mix(h, u64::from_le_bytes(w));
+    }
+    h
 }
 
 impl TermPool {
@@ -201,9 +244,83 @@ impl TermPool {
             return id;
         }
         let id = TermId(self.nodes.len() as u32);
+        let fp = self.node_fp(&data);
         self.nodes.push(data.clone());
+        self.fps.push(fp);
         self.intern.insert(data, id);
         id
+    }
+
+    /// Structural fingerprint of a node: a pure function of the operator, the
+    /// operand fingerprints, and the width — stable across pools.
+    fn node_fp(&self, data: &TermData) -> u128 {
+        let mut h = fp_mix(0x5EED_FACE_u64 as u128, u64::from(data.width.bits()));
+        h = match data.op {
+            Op::Const(v) => fp_mix(fp_mix(h, 1), v),
+            Op::Var(v) => fp_mix128(fp_mix(h, 2), self.var_fps[v.0 as usize]),
+            Op::Add => fp_mix(h, 3),
+            Op::Sub => fp_mix(h, 4),
+            Op::Mul => fp_mix(h, 5),
+            Op::Neg => fp_mix(h, 6),
+            Op::BitAnd => fp_mix(h, 7),
+            Op::BitOr => fp_mix(h, 8),
+            Op::BitXor => fp_mix(h, 9),
+            Op::BitNot => fp_mix(h, 10),
+            Op::Shl => fp_mix(h, 11),
+            Op::Lshr => fp_mix(h, 12),
+            Op::ZExt => fp_mix(h, 13),
+            Op::SExt => fp_mix(h, 14),
+            Op::Extract { lo } => fp_mix(fp_mix(h, 15), u64::from(lo)),
+            Op::Concat => fp_mix(h, 16),
+            Op::Eq => fp_mix(h, 17),
+            Op::Ult => fp_mix(h, 18),
+            Op::Ule => fp_mix(h, 19),
+            Op::Not => fp_mix(h, 20),
+            Op::And => fp_mix(h, 21),
+            Op::Or => fp_mix(h, 22),
+            Op::Ite => fp_mix(h, 23),
+            Op::Fun(f) => {
+                let info = &self.funs[f.0 as usize];
+                fp_str(fp_mix(fp_mix(h, 24), u64::from(f.0)), &info.name)
+            }
+        };
+        for &a in &data.args {
+            h = fp_mix128(h, self.fps[a.0 as usize]);
+        }
+        h
+    }
+
+    /// Structural fingerprint of a term.
+    ///
+    /// Two structurally equal terms have equal fingerprints even when they
+    /// live in different pools (e.g. per-worker snapshots of a base pool), as
+    /// long as their variables share identity fingerprints — which holds for
+    /// variables created before a [`TermPool::fork`] and for tagged variables
+    /// ([`TermPool::fresh_var_tagged`]) with equal tags.
+    pub fn term_fp(&self, t: TermId) -> u128 {
+        self.fps[t.0 as usize]
+    }
+
+    /// Identity fingerprint of a variable.
+    pub fn var_fp(&self, v: VarId) -> u128 {
+        self.var_fps[v.0 as usize]
+    }
+
+    /// Looks up a variable by identity fingerprint.
+    pub fn var_by_fp(&self, fp: u128) -> Option<VarId> {
+        self.var_fp_index.get(&fp).copied()
+    }
+
+    /// Snapshots this pool for an independent worker.
+    ///
+    /// The clone shares all existing `TermId`s/`VarId`s with the base pool.
+    /// `nonce` must be unique per worker: it salts the fingerprints of
+    /// *untagged* variables created after the fork so that ad-hoc variables
+    /// from different workers can never alias in shared caches.
+    pub fn fork(&self, nonce: u64) -> TermPool {
+        let mut snapshot = self.clone();
+        snapshot.fp_nonce = nonce;
+        snapshot
     }
 
     /// Returns the node for `id`.
@@ -237,9 +354,43 @@ impl TermPool {
     }
 
     /// Creates a fresh variable with the given name hint.
+    ///
+    /// The variable's identity fingerprint is derived from its creation index
+    /// and the pool's fork nonce, so it is stable for variables created
+    /// before a [`TermPool::fork`] and worker-unique afterwards. Variables
+    /// that must keep a *shared* identity across independently forked pools
+    /// should use [`TermPool::fresh_var_tagged`] instead.
     pub fn fresh_var(&mut self, name: &str, width: Width) -> VarId {
+        let h = fp_mix(fp_mix(0xF8E5_u128, self.fp_nonce), self.vars.len() as u64);
+        let fp = fp_str(fp_mix(h, u64::from(width.bits())), name);
+        self.push_var(name, width, fp)
+    }
+
+    /// Creates a fresh variable whose identity fingerprint depends only on
+    /// `tag` and `width`.
+    ///
+    /// This is the hook parallel exploration uses: re-executed programs
+    /// intern their symbolic inputs by a deterministic key (call index, name,
+    /// width), and passing a hash of that key as `tag` makes "the same"
+    /// variable created independently in different worker pools carry the
+    /// same fingerprint — which in turn makes structurally equal constraints
+    /// shareable through the cross-worker solver cache.
+    pub fn fresh_var_tagged(&mut self, name: &str, width: Width, tag: u64) -> VarId {
+        let fp = fp_mix(
+            fp_mix(fp_mix(0x7A66_u128, tag), u64::from(width.bits())),
+            tag.rotate_left(17),
+        );
+        self.push_var(name, width, fp)
+    }
+
+    fn push_var(&mut self, name: &str, width: Width, fp: u128) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.to_string(), width });
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            width,
+        });
+        self.var_fps.push(fp);
+        self.var_fp_index.entry(fp).or_insert(id);
         id
     }
 
@@ -254,10 +405,14 @@ impl TermPool {
         &mut self,
         name: &str,
         width: Width,
-        eval: impl Fn(&[u64]) -> u64 + Send + 'static,
+        eval: impl Fn(&[u64]) -> u64 + Send + Sync + 'static,
     ) -> FunId {
         let id = FunId(self.funs.len() as u32);
-        self.funs.push(FunInfo { name: name.to_string(), width, eval: Box::new(eval) });
+        self.funs.push(FunInfo {
+            name: name.to_string(),
+            width,
+            eval: std::sync::Arc::new(eval),
+        });
         id
     }
 
@@ -279,7 +434,11 @@ impl TermPool {
     /// A bitvector constant, truncated to `width`.
     pub fn constant(&mut self, value: u64, width: Width) -> TermId {
         let value = width.truncate(value);
-        self.mk(TermData { op: Op::Const(value), args: vec![], width })
+        self.mk(TermData {
+            op: Op::Const(value),
+            args: vec![],
+            width,
+        })
     }
 
     /// A signed constant, encoded two's complement at `width`.
@@ -319,7 +478,11 @@ impl TermPool {
     /// The term for variable `v`.
     pub fn var(&mut self, v: VarId) -> TermId {
         let width = self.vars[v.0 as usize].width;
-        self.mk(TermData { op: Op::Var(v), args: vec![], width })
+        self.mk(TermData {
+            op: Op::Var(v),
+            args: vec![],
+            width,
+        })
     }
 
     /// Creates a fresh variable and returns its term in one step.
@@ -345,7 +508,11 @@ impl TermPool {
             (Some(x), Some(y)) => self.constant(x.wrapping_add(y), w),
             (Some(0), None) => b,
             (None, Some(0)) => a,
-            _ => self.mk(TermData { op: Op::Add, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Add,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -358,7 +525,11 @@ impl TermPool {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(x.wrapping_sub(y), w),
             (None, Some(0)) => a,
-            _ => self.mk(TermData { op: Op::Sub, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Sub,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -370,7 +541,11 @@ impl TermPool {
             (Some(1), None) => b,
             (None, Some(1)) => a,
             (Some(0), None) | (None, Some(0)) => self.constant(0, w),
-            _ => self.mk(TermData { op: Op::Mul, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Mul,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -379,7 +554,11 @@ impl TermPool {
         let w = self.width(a);
         match self.as_const(a) {
             Some(x) => self.constant(x.wrapping_neg(), w),
-            None => self.mk(TermData { op: Op::Neg, args: vec![a], width: w }),
+            None => self.mk(TermData {
+                op: Op::Neg,
+                args: vec![a],
+                width: w,
+            }),
         }
     }
 
@@ -392,7 +571,11 @@ impl TermPool {
         let w = self.binop_width(a, b, "bit_and");
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(x & y, w),
-            _ => self.mk(TermData { op: Op::BitAnd, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::BitAnd,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -401,7 +584,11 @@ impl TermPool {
         let w = self.binop_width(a, b, "bit_or");
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(x | y, w),
-            _ => self.mk(TermData { op: Op::BitOr, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::BitOr,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -410,7 +597,11 @@ impl TermPool {
         let w = self.binop_width(a, b, "bit_xor");
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constant(x ^ y, w),
-            _ => self.mk(TermData { op: Op::BitXor, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::BitXor,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -419,7 +610,11 @@ impl TermPool {
         let w = self.width(a);
         match self.as_const(a) {
             Some(x) => self.constant(!x, w),
-            None => self.mk(TermData { op: Op::BitNot, args: vec![a], width: w }),
+            None => self.mk(TermData {
+                op: Op::BitNot,
+                args: vec![a],
+                width: w,
+            }),
         }
     }
 
@@ -431,7 +626,11 @@ impl TermPool {
                 let v = if y >= 64 { 0 } else { x << y };
                 self.constant(v, w)
             }
-            _ => self.mk(TermData { op: Op::Shl, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Shl,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -443,7 +642,11 @@ impl TermPool {
                 let v = if y >= 64 { 0 } else { x >> y };
                 self.constant(v, w)
             }
-            _ => self.mk(TermData { op: Op::Lshr, args: vec![a, b], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Lshr,
+                args: vec![a, b],
+                width: w,
+            }),
         }
     }
 
@@ -464,7 +667,11 @@ impl TermPool {
         }
         match self.as_const(a) {
             Some(x) => self.constant(x, width),
-            None => self.mk(TermData { op: Op::ZExt, args: vec![a], width }),
+            None => self.mk(TermData {
+                op: Op::ZExt,
+                args: vec![a],
+                width,
+            }),
         }
     }
 
@@ -484,7 +691,11 @@ impl TermPool {
                 let s = wa.to_signed(x);
                 self.constant(width.from_signed(s), width)
             }
-            None => self.mk(TermData { op: Op::SExt, args: vec![a], width }),
+            None => self.mk(TermData {
+                op: Op::SExt,
+                args: vec![a],
+                width,
+            }),
         }
     }
 
@@ -505,7 +716,11 @@ impl TermPool {
         }
         match self.as_const(a) {
             Some(x) => self.constant(x >> lo, width),
-            None => self.mk(TermData { op: Op::Extract { lo }, args: vec![a], width }),
+            None => self.mk(TermData {
+                op: Op::Extract { lo },
+                args: vec![a],
+                width,
+            }),
         }
     }
 
@@ -521,7 +736,11 @@ impl TermPool {
         let w = Width::new(bits as u8);
         match (self.as_const(hi), self.as_const(lo)) {
             (Some(h), Some(l)) => self.constant((h << wl.bits()) | l, w),
-            _ => self.mk(TermData { op: Op::Concat, args: vec![hi, lo], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Concat,
+                args: vec![hi, lo],
+                width: w,
+            }),
         }
     }
 
@@ -540,7 +759,11 @@ impl TermPool {
             _ => {
                 // Canonical argument order improves interning hits.
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.mk(TermData { op: Op::Eq, args: vec![a, b], width: Width::BOOL })
+                self.mk(TermData {
+                    op: Op::Eq,
+                    args: vec![a, b],
+                    width: Width::BOOL,
+                })
             }
         }
     }
@@ -559,7 +782,11 @@ impl TermPool {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.boolean(x < y),
-            _ => self.mk(TermData { op: Op::Ult, args: vec![a, b], width: Width::BOOL }),
+            _ => self.mk(TermData {
+                op: Op::Ult,
+                args: vec![a, b],
+                width: Width::BOOL,
+            }),
         }
     }
 
@@ -571,7 +798,11 @@ impl TermPool {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.boolean(x <= y),
-            _ => self.mk(TermData { op: Op::Ule, args: vec![a, b], width: Width::BOOL }),
+            _ => self.mk(TermData {
+                op: Op::Ule,
+                args: vec![a, b],
+                width: Width::BOOL,
+            }),
         }
     }
 
@@ -623,7 +854,11 @@ impl TermPool {
     // ------------------------------------------------------------------
 
     fn assert_bool(&self, t: TermId, what: &str) {
-        assert_eq!(self.width(t), Width::BOOL, "{what}: operand must be boolean");
+        assert_eq!(
+            self.width(t),
+            Width::BOOL,
+            "{what}: operand must be boolean"
+        );
     }
 
     /// Boolean negation (double negations collapse).
@@ -632,7 +867,11 @@ impl TermPool {
         match self.node(a).op {
             Op::Const(v) => self.boolean(v == 0),
             Op::Not => self.node(a).args[0],
-            _ => self.mk(TermData { op: Op::Not, args: vec![a], width: Width::BOOL }),
+            _ => self.mk(TermData {
+                op: Op::Not,
+                args: vec![a],
+                width: Width::BOOL,
+            }),
         }
     }
 
@@ -649,7 +888,11 @@ impl TermPool {
             (_, Some(1)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.mk(TermData { op: Op::And, args: vec![a, b], width: Width::BOOL })
+                self.mk(TermData {
+                    op: Op::And,
+                    args: vec![a, b],
+                    width: Width::BOOL,
+                })
             }
         }
     }
@@ -667,7 +910,11 @@ impl TermPool {
             (_, Some(0)) => a,
             _ => {
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                self.mk(TermData { op: Op::Or, args: vec![a, b], width: Width::BOOL })
+                self.mk(TermData {
+                    op: Op::Or,
+                    args: vec![a, b],
+                    width: Width::BOOL,
+                })
             }
         }
     }
@@ -700,7 +947,11 @@ impl TermPool {
         match self.as_const(cond) {
             Some(1) => then,
             Some(0) => els,
-            _ => self.mk(TermData { op: Op::Ite, args: vec![cond, then, els], width: w }),
+            _ => self.mk(TermData {
+                op: Op::Ite,
+                args: vec![cond, then, els],
+                width: w,
+            }),
         }
     }
 
@@ -713,7 +964,11 @@ impl TermPool {
             let v = self.eval_fun(f, &vals);
             return self.constant(v, width);
         }
-        self.mk(TermData { op: Op::Fun(f), args, width })
+        self.mk(TermData {
+            op: Op::Fun(f),
+            args,
+            width,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -825,11 +1080,7 @@ impl TermPool {
         Some(w.truncate(v))
     }
 
-    fn eval2(
-        &self,
-        node: &TermData,
-        lookup: &dyn Fn(VarId) -> Option<u64>,
-    ) -> Option<(u64, u64)> {
+    fn eval2(&self, node: &TermData, lookup: &dyn Fn(VarId) -> Option<u64>) -> Option<(u64, u64)> {
         let a = self.eval_with(node.args[0], lookup)?;
         let b = self.eval_with(node.args[1], lookup)?;
         Some((a, b))
@@ -948,6 +1199,91 @@ impl TermPool {
         let mut out = Vec::new();
         self.collect_vars(t, &mut out);
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-pool import
+    // ------------------------------------------------------------------
+
+    /// Re-interns a term from another pool into this one, returning the
+    /// equivalent local id.
+    ///
+    /// Variables are matched by identity fingerprint; unknown variables are
+    /// created locally with the source's name, width, and fingerprint, so
+    /// repeated imports are stable. `memo` carries the translation across
+    /// calls — pass the same map for all terms of one source pool.
+    ///
+    /// This is how parallel exploration merges worker results: each worker
+    /// explores in a fork of the base pool, and completed path records are
+    /// imported back into the base pool afterwards.
+    pub fn import_term(
+        &mut self,
+        src: &TermPool,
+        t: TermId,
+        memo: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&local) = memo.get(&t) {
+            return local;
+        }
+        let node = src.node(t).clone();
+        let local = match node.op {
+            Op::Const(v) => self.constant(v, node.width),
+            Op::Var(v) => {
+                let fp = src.var_fp(v);
+                let lv = match self.var_by_fp(fp) {
+                    Some(lv) => lv,
+                    None => {
+                        let info = src.var_info(v);
+                        self.push_var(&info.name, info.width, fp)
+                    }
+                };
+                self.var(lv)
+            }
+            Op::Fun(f) => {
+                let lf = self.import_fun(src, f);
+                let args: Vec<TermId> = node
+                    .args
+                    .iter()
+                    .map(|&a| self.import_term(src, a, memo))
+                    .collect();
+                self.apply(lf, args)
+            }
+            _ => {
+                let args: Vec<TermId> = node
+                    .args
+                    .iter()
+                    .map(|&a| self.import_term(src, a, memo))
+                    .collect();
+                self.rebuild(&node.op, &args, node.width)
+            }
+        };
+        memo.insert(t, local);
+        local
+    }
+
+    /// Maps a source-pool function id onto this pool.
+    ///
+    /// Workers fork from the base pool, so functions registered before the
+    /// fork keep their index; a function this pool has never seen (registered
+    /// by the worker after forking) is copied over.
+    fn import_fun(&mut self, src: &TermPool, f: FunId) -> FunId {
+        let info = src.fun_info(f);
+        let idx = f.0 as usize;
+        if let Some(local) = self.funs.get(idx) {
+            if local.name == info.name && local.width == info.width {
+                return f;
+            }
+        }
+        if let Some(pos) = self
+            .funs
+            .iter()
+            .position(|l| l.name == info.name && l.width == info.width)
+        {
+            return FunId(pos as u32);
+        }
+        let id = FunId(self.funs.len() as u32);
+        self.funs.push(info.clone());
+        id
     }
 }
 

@@ -39,7 +39,10 @@ impl Width {
     ///
     /// Panics if `bits` is zero or greater than 64.
     pub fn new(bits: u8) -> Width {
-        assert!((1..=64).contains(&bits), "width must be in 1..=64, got {bits}");
+        assert!(
+            (1..=64).contains(&bits),
+            "width must be in 1..=64, got {bits}"
+        );
         Width(bits)
     }
 

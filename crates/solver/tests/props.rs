@@ -4,7 +4,9 @@
 //! brute-force enumeration of all assignments — `Sat` models must satisfy
 //! the query, and `Unsat` answers must have no satisfying assignment at all.
 
-use achilles_solver::{solve, IntervalSet, SatResult, SolverConfig, TermId, TermPool, VarId, Width};
+use achilles_solver::{
+    solve, IntervalSet, SatResult, SolverConfig, TermId, TermPool, VarId, Width,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 

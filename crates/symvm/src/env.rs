@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use achilles_solver::{SatResult, Solver, TermId, TermPool, VarId, Width};
+use achilles_solver::{SatResult, ScopedSolver, Solver, TermId, TermPool, VarId, Width};
 
 use crate::message::{MessageLayout, SymMessage};
 use crate::observer::{ObserverCx, PathObserver};
@@ -43,8 +43,43 @@ pub(crate) struct Registry {
 
 impl Registry {
     pub(crate) fn new(recv_script: Vec<SymMessage>) -> Registry {
-        Registry { syms: HashMap::new(), recv_script }
+        Registry {
+            syms: HashMap::new(),
+            recv_script,
+        }
     }
+}
+
+/// Stable identity tag of an interned symbolic input.
+///
+/// Derived purely from the exploration's salt and the interning key *(call
+/// index, name, width)*, so the "same" variable created independently by
+/// different parallel workers gets the same [`TermPool`] fingerprint — the
+/// property that makes structurally equal path constraints shareable through
+/// the cross-worker solver cache. The salt keeps *different* explorations in
+/// one pool lineage (e.g. the pipeline's client and server phases) from
+/// colliding when their i-th `sym()` calls happen to agree on name and width.
+fn sym_tag(salt: u64, index: usize, name: &str, width: Width) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    };
+    eat(salt);
+    eat(index as u64);
+    eat(u64::from(width.bits()));
+    for b in name.bytes() {
+        eat(u64::from(b));
+    }
+    h
+}
+
+/// Identity tag of an auto-created received-message field — same role as
+/// [`sym_tag`] (workers re-creating the "same" variable must agree on its
+/// fingerprint), but in a disjoint tag family so a `recv`-created field can
+/// never collide with a [`SymEnv::sym`] input of the same index and name.
+fn recv_tag(salt: u64, recv_index: usize, field: &str, width: Width) -> u64 {
+    sym_tag(salt, recv_index, field, width) ^ 0x5245_4356_5245_4356 // "RECVRECV"
 }
 
 /// What a finished run produced (consumed by the executor).
@@ -60,6 +95,7 @@ pub(crate) struct RunOutput {
     pub forks: Vec<Vec<bool>>,
     pub branch_checks: u64,
     pub unknown_branches: u64,
+    pub model_reuse_hits: u64,
 }
 
 /// The execution environment for one run of a node program.
@@ -76,10 +112,15 @@ pub struct SymEnv<'a> {
     forks: Vec<Vec<bool>>,
     // Path state.
     pc: Vec<TermId>,
+    /// Incremental view of `pc`: frames mirror the path condition so branch
+    /// feasibility checks reuse models / sticky-unsat across the
+    /// one-conjunct-at-a-time growth instead of re-solving from scratch.
+    scoped: ScopedSolver,
     sent: Vec<SymMessage>,
     received: Vec<SymMessage>,
     verdict: Option<Verdict>,
     notes: Vec<String>,
+    sym_salt: u64,
     sym_counter: usize,
     recv_counter: usize,
     branch_points: usize,
@@ -98,6 +139,7 @@ impl<'a> SymEnv<'a> {
         initial_constraints: &[TermId],
         max_depth: usize,
         recv_prefix: String,
+        sym_salt: u64,
     ) -> SymEnv<'a> {
         SymEnv {
             pool,
@@ -109,11 +151,13 @@ impl<'a> SymEnv<'a> {
             decisions: prefix,
             cursor: 0,
             forks: Vec::new(),
+            scoped: ScopedSolver::with_assertions(initial_constraints),
             pc: initial_constraints.to_vec(),
             sent: Vec::new(),
             received: Vec::new(),
             verdict: None,
             notes: Vec::new(),
+            sym_salt,
             sym_counter: 0,
             recv_counter: 0,
             branch_points: 0,
@@ -134,6 +178,7 @@ impl<'a> SymEnv<'a> {
             forks: self.forks,
             branch_checks: self.branch_checks,
             unknown_branches: self.unknown_branches,
+            model_reuse_hits: self.scoped.stats().model_reuse_hits,
         }
     }
 
@@ -159,20 +204,26 @@ impl<'a> SymEnv<'a> {
     /// A fresh symbolic input (the paper's `make_symbolic` / intercepted
     /// input syscall). Interned by call order so re-executions agree.
     pub fn sym(&mut self, name: &str, width: Width) -> TermId {
-        let key = (self.sym_counter, name.to_string(), width.bits() as u8);
+        let index = self.sym_counter;
+        let key = (index, name.to_string(), width.bits() as u8);
         self.sym_counter += 1;
+        let salt = self.sym_salt;
         let pool = &mut *self.pool;
-        let var = *self
-            .registry
-            .syms
-            .entry(key)
-            .or_insert_with(|| pool.fresh_var(name, width));
+        let var = *self.registry.syms.entry(key).or_insert_with(|| {
+            pool.fresh_var_tagged(name, width, sym_tag(salt, index, name, width))
+        });
         self.pool.var(var)
     }
 
     /// A fresh symbolic input constrained to `[lo, hi]` (unsigned) — the
     /// pattern of the paper's Figure 9 function over-approximation.
-    pub fn sym_in_range(&mut self, name: &str, width: Width, lo: u64, hi: u64) -> PathResult<TermId> {
+    pub fn sym_in_range(
+        &mut self,
+        name: &str,
+        width: Width,
+        lo: u64,
+        hi: u64,
+    ) -> PathResult<TermId> {
         let v = self.sym(name, width);
         let loc = self.pool.constant(lo, width);
         let hic = self.pool.constant(hi, width);
@@ -204,6 +255,7 @@ impl<'a> SymEnv<'a> {
             return Ok(());
         }
         self.pc.push(constraint);
+        self.scoped.push(constraint);
         let mut cx = ObserverCx {
             pool: self.pool,
             solver: self.solver,
@@ -224,10 +276,8 @@ impl<'a> SymEnv<'a> {
             Some(_) => return Err(Halt::Infeasible),
             None => {}
         }
-        let mut query = self.pc.clone();
-        query.push(cond);
         self.branch_checks += 1;
-        match self.solver.check(self.pool, &query) {
+        match self.scoped.check_with(self.pool, self.solver, cond) {
             SatResult::Sat(_) => self.push_constraint(cond),
             SatResult::Unsat => Err(Halt::Infeasible),
             SatResult::Unknown => {
@@ -259,13 +309,10 @@ impl<'a> SymEnv<'a> {
             return Err(Halt::DepthExhausted);
         }
         let not_cond = self.pool.not(cond);
-        let mut query = self.pc.clone();
-        query.push(cond);
         self.branch_checks += 1;
-        let true_side = self.solver.check(self.pool, &query);
-        *query.last_mut().expect("nonempty") = not_cond;
+        let true_side = self.scoped.check_with(self.pool, self.solver, cond);
         self.branch_checks += 1;
-        let false_side = self.solver.check(self.pool, &query);
+        let false_side = self.scoped.check_with(self.pool, self.solver, not_cond);
 
         let feasible = |r: &SatResult| !matches!(r, SatResult::Unsat);
         if matches!(true_side, SatResult::Unknown) || matches!(false_side, SatResult::Unknown) {
@@ -367,7 +414,24 @@ impl<'a> SymEnv<'a> {
             } else {
                 format!("{}{}", self.recv_prefix, idx)
             };
-            let fresh = SymMessage::fresh(self.pool, layout, &prefix);
+            // Tagged interning, not `SymMessage::fresh`: plain fresh vars
+            // carry the pool's fork nonce in their fingerprint, so parallel
+            // workers would each mint a distinct copy of the "same" field.
+            let pool = &mut *self.pool;
+            let values: Vec<TermId> = layout
+                .fields()
+                .iter()
+                .map(|f| {
+                    let name = format!("{prefix}.{}", f.name);
+                    let var = pool.fresh_var_tagged(
+                        &name,
+                        f.width,
+                        recv_tag(self.sym_salt, idx, &name, f.width),
+                    );
+                    pool.var(var)
+                })
+                .collect();
+            let fresh = SymMessage::new(Arc::clone(layout), values);
             self.registry.recv_script.push(fresh);
         }
         let msg = self.registry.recv_script[idx].clone();

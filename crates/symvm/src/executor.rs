@@ -22,6 +22,7 @@ use achilles_solver::{Solver, TermId, TermPool};
 use crate::env::{Registry, SymEnv};
 use crate::message::{MessageLayout, SymMessage};
 use crate::observer::{NullObserver, ObserverCx, PathObserver};
+use crate::parallel::ParallelOutcome;
 use crate::program::{Halt, NodeProgram};
 use crate::record::{ExploreResult, ExploreStats, PathRecord, Verdict};
 
@@ -42,11 +43,47 @@ pub struct ExploreConfig {
     /// Stop after this many completed paths.
     pub max_paths: usize,
     /// Stop after this many program runs (safety valve).
+    ///
+    /// The budget is enforced *per exploration*, not per worker: raising
+    /// [`ExploreConfig::workers`] never multiplies the number of runs.
     pub max_runs: usize,
     /// Maximum symbolic branch points per path.
     pub max_depth: usize,
     /// Worklist ordering.
     pub order: ExploreOrder,
+    /// Number of worker threads for [`Executor::explore_parallel`].
+    ///
+    /// `1` (the default) keeps exploration on the calling thread with
+    /// exactly the sequential behaviour. With `n > 1`, every worklist item
+    /// (decision prefix) becomes a unit of work on a work-stealing pool:
+    /// each worker owns a fork of the term pool and its own solver, and
+    /// workers share solved queries through a
+    /// [`SharedCache`](achilles_solver::SharedCache). Re-execution from
+    /// deterministic decision prefixes makes every worker reproduce
+    /// bit-identical constraints for the same path, so the merged result is
+    /// independent of scheduling (paths are reported in canonical
+    /// depth-first order).
+    ///
+    /// Two caveats. Scheduling-independence holds unconditionally only when
+    /// the [`ExploreConfig::max_paths`]/[`ExploreConfig::max_runs`] budgets
+    /// do not bind: the budgets are pool-global, but stopping is a signal
+    /// raced by in-flight workers, so a capped parallel run may complete up
+    /// to `workers - 1` extra paths and *which* paths made the cut depends
+    /// on scheduling. And parallel scheduling is always depth-first per
+    /// worker — [`ExploreOrder::Bfs`] explorations run sequentially (see
+    /// [`Executor::explore_multi`]).
+    pub workers: usize,
+    /// Salt mixed into the identity tags of [`SymEnv::sym`](crate::SymEnv::sym)
+    /// inputs and auto-created `recv` messages.
+    ///
+    /// Distinct explorations that share one pool lineage (the pipeline's
+    /// client phase and server phase, say) must use distinct salts:
+    /// otherwise two programs whose i-th `sym()` calls agree on name and
+    /// width would produce two different variables with the *same*
+    /// structural fingerprint, conflating unrelated queries in the
+    /// cross-worker cache. `0` (the default) is the client/standalone
+    /// family; the Trojan-search driver uses its own server-phase salt.
+    pub sym_salt: u64,
     /// Name prefix for auto-created received messages (`msg` → `msg.cmd`).
     pub recv_prefix: String,
     /// Constraints seeded into every path (Constructed Symbolic Local State:
@@ -64,6 +101,8 @@ impl Default for ExploreConfig {
             max_runs: 1_000_000,
             max_depth: 512,
             order: ExploreOrder::Dfs,
+            workers: 1,
+            sym_salt: 0,
             recv_prefix: "msg".to_string(),
             initial_constraints: Vec::new(),
             recv_script: Vec::new(),
@@ -123,8 +162,16 @@ pub struct Executor<'a> {
 
 impl<'a> Executor<'a> {
     /// Creates an executor borrowing the shared pool and solver.
-    pub fn new(pool: &'a mut TermPool, solver: &'a mut Solver, config: ExploreConfig) -> Executor<'a> {
-        Executor { pool, solver, config }
+    pub fn new(
+        pool: &'a mut TermPool,
+        solver: &'a mut Solver,
+        config: ExploreConfig,
+    ) -> Executor<'a> {
+        Executor {
+            pool,
+            solver,
+            config,
+        }
     }
 
     /// The active configuration.
@@ -136,6 +183,47 @@ impl<'a> Executor<'a> {
     pub fn explore(&mut self, program: &dyn NodeProgram) -> ExploreResult {
         let mut observer = NullObserver;
         self.explore_observed(program, &mut observer)
+    }
+
+    /// Explores all feasible paths of a `Sync` program, using the pool of
+    /// [`ExploreConfig::workers`] threads when it is greater than one.
+    ///
+    /// [`ExploreOrder::Bfs`] explorations always run sequentially: the
+    /// work-stealing pool schedules depth-first per worker, so it cannot
+    /// reproduce BFS completion order (which matters when a budget caps the
+    /// search and the caller wants the shallowest paths).
+    pub fn explore_multi(&mut self, program: &(dyn NodeProgram + Sync)) -> ExploreResult {
+        if self.config.workers <= 1 || self.config.order == ExploreOrder::Bfs {
+            return self.explore(program);
+        }
+        self.explore_parallel(program, |_| NullObserver).result
+    }
+
+    /// Explores in parallel on [`ExploreConfig::workers`] work-stealing
+    /// threads, giving each worker its own observer from `make_observer`.
+    ///
+    /// Workers run over forks of the shared pool with private solvers and a
+    /// cross-worker query cache; the merged result has every term imported
+    /// back into the shared pool and paths renumbered into canonical
+    /// depth-first order (see [`crate::parallel`] for why this is
+    /// deterministic). Callers that accumulated path-id-keyed data in their
+    /// observers must remap it through [`ParallelOutcome::id_map`].
+    pub fn explore_parallel<O, F>(
+        &mut self,
+        program: &(dyn NodeProgram + Sync),
+        make_observer: F,
+    ) -> ParallelOutcome<O>
+    where
+        O: PathObserver + Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        crate::parallel::explore_parallel(
+            self.pool,
+            self.solver,
+            &self.config,
+            program,
+            make_observer,
+        )
     }
 
     /// Explores with an observer that may prune paths (Achilles' server
@@ -150,7 +238,10 @@ impl<'a> Executor<'a> {
         let mut worklist: VecDeque<Vec<bool>> = VecDeque::new();
         worklist.push_back(Vec::new());
         let mut result = ExploreResult::default();
-        let mut stats = ExploreStats::default();
+        let mut stats = ExploreStats {
+            workers: 1,
+            ..ExploreStats::default()
+        };
 
         while let Some(prefix) = match self.config.order {
             ExploreOrder::Dfs => worklist.pop_back(),
@@ -170,12 +261,14 @@ impl<'a> Executor<'a> {
                 &self.config.initial_constraints,
                 self.config.max_depth,
                 self.config.recv_prefix.clone(),
+                self.config.sym_salt,
             );
             let run_result = program.run(&mut env);
             let out = env.into_output();
 
             stats.branch_checks += out.branch_checks;
             stats.unknown_branches += out.unknown_branches;
+            stats.model_reuse_hits += out.model_reuse_hits;
             // Forks found before any halt are feasible alternates: keep them.
             for fork in out.forks {
                 worklist.push_back(fork);
@@ -295,7 +388,10 @@ mod tests {
         // All 0..=3 counts appear.
         for ones in 0..=3 {
             let tag = format!("ones={ones}");
-            assert!(result.paths.iter().any(|p| p.notes.contains(&tag)), "{tag} missing");
+            assert!(
+                result.paths.iter().any(|p| p.notes.contains(&tag)),
+                "{tag} missing"
+            );
         }
     }
 
@@ -317,7 +413,10 @@ mod tests {
             Ok(())
         });
         assert_eq!(result.paths.len(), 1);
-        assert_eq!(result.paths[0].branch_points, 0, "forced branch consumes no decision");
+        assert_eq!(
+            result.paths[0].branch_points, 0,
+            "forced branch consumes no decision"
+        );
         assert_eq!(result.accepting().count(), 1);
     }
 
@@ -341,7 +440,11 @@ mod tests {
     #[test]
     fn depth_budget_stops_symbolic_loops() {
         let (mut pool, mut solver) = harness();
-        let config = ExploreConfig { max_depth: 8, max_runs: 64, ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            max_depth: 8,
+            max_runs: 64,
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
             // Unbounded symbolic loop: branch forever on fresh symbols.
@@ -390,14 +493,18 @@ mod tests {
     #[test]
     fn default_verdict_from_sending() {
         let (mut pool, mut solver) = harness();
-        let layout = MessageLayout::builder("reply").field("code", Width::W8).build();
+        let layout = MessageLayout::builder("reply")
+            .field("code", Width::W8)
+            .build();
         let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
         let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
             let x = env.sym("x", Width::W8);
             let zero = env.constant(0, Width::W8);
             if env.if_eq(x, zero)? {
                 // Reply → accepting by default.
-                let layout = MessageLayout::builder("reply").field("code", Width::W8).build();
+                let layout = MessageLayout::builder("reply")
+                    .field("code", Width::W8)
+                    .build();
                 let ok = env.constant(200, Width::W8);
                 env.send(SymMessage::new(layout, vec![ok]));
             }
@@ -441,7 +548,10 @@ mod tests {
         let x = pool.fresh("x", Width::W8);
         let five = pool.constant(5, Width::W8);
         let lt = pool.ult(x, five);
-        let config = ExploreConfig { initial_constraints: vec![lt], ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            initial_constraints: vec![lt],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
             // Re-intern the same variable name: the registry is fresh per
@@ -458,7 +568,10 @@ mod tests {
     #[test]
     fn bfs_explores_shallow_paths_first() {
         let (mut pool, mut solver) = harness();
-        let config = ExploreConfig { order: ExploreOrder::Bfs, ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            order: ExploreOrder::Bfs,
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         // A program where the false side of the first branch exits
         // immediately (depth 1) and the true side goes deeper (depth 3).
@@ -484,13 +597,19 @@ mod tests {
             .iter()
             .position(|p| p.notes.contains(&"shallow".to_string()))
             .expect("shallow path exists");
-        assert!(shallow_pos <= 1, "BFS finishes the depth-1 path early (pos {shallow_pos})");
+        assert!(
+            shallow_pos <= 1,
+            "BFS finishes the depth-1 path early (pos {shallow_pos})"
+        );
     }
 
     #[test]
     fn max_paths_caps_completed_paths() {
         let (mut pool, mut solver) = harness();
-        let config = ExploreConfig { max_paths: 3, ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            max_paths: 3,
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         let result = exec.explore(&|env: &mut SymEnv<'_>| -> PathResult<()> {
             for i in 0..4 {
@@ -508,7 +627,10 @@ mod tests {
         let (mut pool, mut solver) = harness();
         let layout = MessageLayout::builder("m").field("a", Width::W8).build();
         let concrete = SymMessage::concrete(&mut pool, &layout, &[42]);
-        let config = ExploreConfig { recv_script: vec![concrete], ..ExploreConfig::default() };
+        let config = ExploreConfig {
+            recv_script: vec![concrete],
+            ..ExploreConfig::default()
+        };
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         let result = exec.run_concrete(&|env: &mut SymEnv<'_>| -> PathResult<()> {
             let layout = MessageLayout::builder("m").field("a", Width::W8).build();

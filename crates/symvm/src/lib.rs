@@ -54,12 +54,14 @@ pub mod env;
 pub mod executor;
 pub mod message;
 pub mod observer;
+pub mod parallel;
 pub mod program;
 pub mod record;
 
 pub use env::SymEnv;
-pub use executor::{ExploreConfig, ExploreOrder, Executor};
+pub use executor::{Executor, ExploreConfig, ExploreOrder};
 pub use message::{FieldDef, MessageLayout, MessageLayoutBuilder, SymMessage};
 pub use observer::{NullObserver, ObserverCx, PathObserver};
+pub use parallel::{ParallelOutcome, WorkerReport};
 pub use program::{Halt, NodeProgram, PathResult};
 pub use record::{ExploreResult, ExploreStats, PathRecord, Verdict};

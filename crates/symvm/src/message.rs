@@ -52,7 +52,10 @@ pub struct MessageLayout {
 impl MessageLayout {
     /// Starts building a layout.
     pub fn builder(name: &str) -> MessageLayoutBuilder {
-        MessageLayoutBuilder { name: name.to_string(), fields: Vec::new() }
+        MessageLayoutBuilder {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
     }
 
     /// Layout name (used to prefix variable names, e.g. `fsp.cmd`).
@@ -100,14 +103,20 @@ pub struct MessageLayoutBuilder {
 impl MessageLayoutBuilder {
     /// Appends one field.
     pub fn field(mut self, name: &str, width: Width) -> Self {
-        self.fields.push(FieldDef { name: name.to_string(), width });
+        self.fields.push(FieldDef {
+            name: name.to_string(),
+            width,
+        });
         self
     }
 
     /// Appends `len` one-byte fields `base[0]..base[len)`.
     pub fn byte_array(mut self, base: &str, len: usize) -> Self {
         for i in 0..len {
-            self.fields.push(FieldDef { name: format!("{base}[{i}]"), width: Width::W8 });
+            self.fields.push(FieldDef {
+                name: format!("{base}[{i}]"),
+                width: Width::W8,
+            });
         }
         self
     }
@@ -123,7 +132,10 @@ impl MessageLayoutBuilder {
                 assert_ne!(f.name, g.name, "duplicate field name {:?}", f.name);
             }
         }
-        Arc::new(MessageLayout { name: self.name, fields: self.fields })
+        Arc::new(MessageLayout {
+            name: self.name,
+            fields: self.fields,
+        })
     }
 }
 
@@ -159,7 +171,10 @@ impl SymMessage {
             .iter()
             .map(|f| pool.fresh(&format!("{prefix}.{}", f.name), f.width))
             .collect();
-        SymMessage { layout: Arc::clone(layout), values }
+        SymMessage {
+            layout: Arc::clone(layout),
+            values,
+        }
     }
 
     /// A fully concrete message from per-field values.
@@ -179,7 +194,10 @@ impl SymMessage {
             .zip(values)
             .map(|(f, &v)| pool.constant(v, f.width))
             .collect();
-        SymMessage { layout: Arc::clone(layout), values }
+        SymMessage {
+            layout: Arc::clone(layout),
+            values,
+        }
     }
 
     /// The layout of this message.

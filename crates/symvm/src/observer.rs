@@ -65,7 +65,12 @@ mod tests {
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         let mut obs = NullObserver;
-        let mut cx = ObserverCx { pool: &mut pool, solver: &mut solver, pc: &[], received: &[] };
+        let mut cx = ObserverCx {
+            pool: &mut pool,
+            solver: &mut solver,
+            pc: &[],
+            received: &[],
+        };
         obs.on_path_start();
         assert!(obs.on_constraint(&mut cx));
     }

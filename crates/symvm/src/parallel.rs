@@ -1,0 +1,560 @@
+//! Parallel path exploration on a work-stealing pool.
+//!
+//! The re-execution-with-decision-prefix design makes every worklist item
+//! independent: a prefix fully determines its path, so items can run on any
+//! thread in any order. This module exploits that with a hand-rolled
+//! work-stealing pool (std threads only — the build environment is offline):
+//!
+//! * **Isolation** — every worker owns a [`TermPool::fork`] of the base pool
+//!   and its own [`Solver`]. Base-pool ids stay valid in every fork, and
+//!   interning is deterministic per prefix, so a worker re-executing a given
+//!   prefix builds bit-identical constraint *structure* no matter which
+//!   worker runs it.
+//! * **Sharing** — workers attach one [`SharedCache`], keyed on structural
+//!   fingerprints, so a path-prefix query solved by one worker is a cache
+//!   hit for every other worker that replays the same prefix.
+//! * **Stealing** — each worker treats its own deque as a LIFO (depth-first,
+//!   cache-friendly) and steals the *oldest* item from a victim's deque
+//!   (shallow prefixes = large subtrees, classic Cilk-style stealing).
+//! * **Determinism** — completed paths are merged, re-interned into the base
+//!   pool ([`TermPool::import_term`]), sorted into canonical depth-first
+//!   order (`true` before `false` at every branch), and renumbered. The
+//!   output is therefore independent of scheduling; only wall-clock-derived
+//!   statistics vary between runs.
+//!
+//! Budgets (`max_runs`, `max_paths`) are enforced with pool-global atomics:
+//! raising the worker count never multiplies the budget. `max_paths` is a
+//! *stop signal* under parallelism — in-flight paths on other workers may
+//! still complete, so up to `workers - 1` extra paths can be reported.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use achilles_solver::{SharedCache, Solver, SolverStats, TermId, TermPool};
+
+use crate::env::{Registry, SymEnv};
+use crate::executor::ExploreConfig;
+use crate::message::SymMessage;
+use crate::observer::{ObserverCx, PathObserver};
+use crate::program::{Halt, NodeProgram};
+use crate::record::{ExploreResult, ExploreStats, PathRecord, Verdict};
+
+/// What one worker brings home from a parallel exploration.
+#[derive(Debug)]
+pub struct WorkerReport<O> {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// The worker's observer, with whatever it accumulated.
+    pub observer: O,
+    /// The worker's term pool — needed to interpret any `TermId` the
+    /// observer recorded (e.g. Trojan path constraints) before importing it
+    /// into the base pool.
+    pub pool: TermPool,
+    /// The worker's solver counters (per-worker solve time lives here).
+    pub solver_stats: SolverStats,
+    /// Worklist items this worker stole from others.
+    pub steals: u64,
+    /// Time this worker spent executing items (excludes idle waiting).
+    pub busy: Duration,
+}
+
+/// Outcome of [`Executor::explore_parallel`](crate::Executor::explore_parallel).
+#[derive(Debug)]
+pub struct ParallelOutcome<O> {
+    /// Merged exploration result: paths in canonical depth-first order with
+    /// all terms imported into the base pool.
+    pub result: ExploreResult,
+    /// Provisional path id → final canonical id. Observers saw provisional
+    /// ids in [`PathObserver::on_path_end`]; anything they recorded keyed on
+    /// path ids must be remapped through this.
+    pub id_map: HashMap<usize, usize>,
+    /// Per-worker reports, indexed by worker.
+    pub workers: Vec<WorkerReport<O>>,
+    /// The shared query cache (exposed for its hit-rate statistics).
+    pub shared_cache: Arc<SharedCache>,
+}
+
+/// Pool-global coordination state.
+struct Coordinator {
+    deques: Vec<Mutex<VecDeque<Vec<bool>>>>,
+    /// Items queued or running; the exploration is over when this is zero.
+    pending: AtomicUsize,
+    runs: AtomicUsize,
+    completed: AtomicUsize,
+    stop: AtomicBool,
+    /// Per-thief steal counters.
+    steals: Vec<AtomicU64>,
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Coordinator {
+    fn new(workers: usize) -> Coordinator {
+        Coordinator {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            runs: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn push(&self, worker: usize, task: Vec<bool>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.deques[worker]
+            .lock()
+            .expect("deque poisoned")
+            .push_back(task);
+        self.wake.notify_all();
+    }
+
+    /// One task is done (its fork pushes, if any, happened before this).
+    fn finish(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Pops own work (newest first) or steals (oldest first) from a victim.
+    fn take(&self, worker: usize) -> Option<Vec<bool>> {
+        if let Some(task) = self.deques[worker]
+            .lock()
+            .expect("deque poisoned")
+            .pop_back()
+        {
+            return Some(task);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(task) = self.deques[victim]
+                .lock()
+                .expect("deque poisoned")
+                .pop_front()
+            {
+                self.steals[worker].fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn done(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0 || self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Canonical depth-first order on decision vectors: `true` sorts before
+/// `false` at the first differing branch. This is exactly the completion
+/// order of the sequential DFS executor, so merged parallel results line up
+/// with single-threaded runs.
+pub(crate) fn dfs_cmp(a: &[bool], b: &[bool]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x, y) {
+            (true, false) => return std::cmp::Ordering::Less,
+            (false, true) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+    }
+    // Completed paths are never prefixes of one another (both sides of a
+    // branch consume a decision); compare lengths only for totality.
+    a.len().cmp(&b.len())
+}
+
+/// Runs `program` to completion over all feasible paths using `workers`
+/// threads. See the module docs for the isolation/determinism argument.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_parallel<O, F>(
+    base_pool: &mut TermPool,
+    base_solver: &Solver,
+    config: &ExploreConfig,
+    program: &(dyn NodeProgram + Sync),
+    make_observer: F,
+) -> ParallelOutcome<O>
+where
+    O: PathObserver + Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let workers = config.workers.max(1);
+    let started = Instant::now();
+    let shared = Arc::new(SharedCache::new());
+    let coord = Coordinator::new(workers);
+    coord.push(0, Vec::new());
+
+    let worker_outcomes: Vec<WorkerOutcome<O>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let worker_pool = base_pool.fork(w as u64 + 1);
+            let worker_solver = Solver::with_config(base_solver.config().clone())
+                .with_shared_cache(Arc::clone(&shared));
+            let coord = &coord;
+            let make_observer = &make_observer;
+            handles.push(scope.spawn(move || {
+                run_worker(
+                    w,
+                    worker_pool,
+                    worker_solver,
+                    config,
+                    program,
+                    coord,
+                    make_observer(w),
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    merge(base_pool, worker_outcomes, &coord, shared, started, workers)
+}
+
+/// Everything a worker thread accumulates.
+struct WorkerOutcome<O> {
+    worker: usize,
+    pool: TermPool,
+    observer: O,
+    solver_stats: SolverStats,
+    /// Completed paths with provisional ids, plus local stats.
+    paths: Vec<PathRecord>,
+    stats: ExploreStats,
+    busy: Duration,
+}
+
+fn run_worker<O: PathObserver>(
+    worker: usize,
+    mut pool: TermPool,
+    mut solver: Solver,
+    config: &ExploreConfig,
+    program: &(dyn NodeProgram + Sync),
+    coord: &Coordinator,
+    mut observer: O,
+) -> WorkerOutcome<O> {
+    let mut registry = Registry::new(config.recv_script.clone());
+    let mut paths: Vec<PathRecord> = Vec::new();
+    let mut stats = ExploreStats::default();
+    let mut busy = Duration::ZERO;
+
+    loop {
+        let Some(prefix) = coord.take(worker) else {
+            if coord.done() {
+                break;
+            }
+            // Nothing to do right now: sleep until someone pushes or the
+            // last task finishes. The timeout guards against missed wakeups.
+            let guard = coord.idle.lock().expect("idle lock poisoned");
+            let _ = coord
+                .wake
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("idle lock poisoned");
+            continue;
+        };
+
+        if coord.stop.load(Ordering::SeqCst) {
+            coord.finish();
+            continue;
+        }
+        // Pool-global run budget: claim a slot before executing.
+        if coord.runs.fetch_add(1, Ordering::SeqCst) >= config.max_runs {
+            coord.stop.store(true, Ordering::SeqCst);
+            coord.finish();
+            continue;
+        }
+
+        let item_started = Instant::now();
+        stats.runs += 1;
+        observer.on_path_start();
+        let mut env = SymEnv::new(
+            &mut pool,
+            &mut solver,
+            &mut observer,
+            &mut registry,
+            prefix,
+            &config.initial_constraints,
+            config.max_depth,
+            config.recv_prefix.clone(),
+            config.sym_salt,
+        );
+        let run_result = program.run(&mut env);
+        let out = env.into_output();
+
+        stats.branch_checks += out.branch_checks;
+        stats.unknown_branches += out.unknown_branches;
+        stats.model_reuse_hits += out.model_reuse_hits;
+        for fork in out.forks {
+            coord.push(worker, fork);
+        }
+
+        match run_result {
+            Ok(()) => {
+                let verdict = out.verdict.unwrap_or(if out.sent.is_empty() {
+                    Verdict::Reject
+                } else {
+                    Verdict::Accept
+                });
+                let record = PathRecord {
+                    // Provisional id: interleaved so it is unique across
+                    // workers without a stride that could overflow `usize`;
+                    // canonical renumbering happens in `merge`.
+                    id: paths.len() * coord.deques.len() + worker,
+                    constraints: out.constraints,
+                    sent: out.sent,
+                    received: out.received,
+                    verdict,
+                    decisions: out.decisions,
+                    branch_points: out.branch_points,
+                    notes: out.notes,
+                };
+                let mut cx = ObserverCx {
+                    pool: &mut pool,
+                    solver: &mut solver,
+                    pc: &record.constraints,
+                    received: &record.received,
+                };
+                observer.on_path_end(&mut cx, &record);
+                paths.push(record);
+                stats.completed += 1;
+                if coord.completed.fetch_add(1, Ordering::SeqCst) + 1 >= config.max_paths {
+                    coord.stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Err(Halt::Infeasible) => stats.infeasible += 1,
+            Err(Halt::Dropped) => stats.dropped += 1,
+            Err(Halt::Pruned) => stats.pruned += 1,
+            Err(Halt::DepthExhausted) => stats.depth_exhausted += 1,
+        }
+        busy += item_started.elapsed();
+        coord.finish();
+    }
+
+    let solver_stats = *solver.stats();
+    WorkerOutcome {
+        worker,
+        pool,
+        observer,
+        solver_stats,
+        paths,
+        stats,
+        busy,
+    }
+}
+
+fn merge<O>(
+    base_pool: &mut TermPool,
+    outcomes: Vec<WorkerOutcome<O>>,
+    coord: &Coordinator,
+    shared: Arc<SharedCache>,
+    started: Instant,
+    workers: usize,
+) -> ParallelOutcome<O> {
+    let mut stats = ExploreStats {
+        workers,
+        ..ExploreStats::default()
+    };
+    stats.steals = coord.steals.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+
+    // Import every completed path's terms into the base pool, then sort into
+    // canonical DFS order and renumber.
+    let mut merged: Vec<PathRecord> = Vec::new();
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let WorkerOutcome {
+            worker,
+            pool,
+            observer,
+            solver_stats,
+            paths,
+            stats: ws,
+            busy,
+        } = outcome;
+        stats.runs += ws.runs;
+        stats.completed += ws.completed;
+        stats.infeasible += ws.infeasible;
+        stats.pruned += ws.pruned;
+        stats.dropped += ws.dropped;
+        stats.depth_exhausted += ws.depth_exhausted;
+        stats.branch_checks += ws.branch_checks;
+        stats.unknown_branches += ws.unknown_branches;
+        stats.model_reuse_hits += ws.model_reuse_hits;
+        stats.shared_cache_hits += solver_stats.shared_hits;
+
+        let mut memo: HashMap<TermId, TermId> = HashMap::new();
+        for mut record in paths {
+            record.constraints = record
+                .constraints
+                .iter()
+                .map(|&t| base_pool.import_term(&pool, t, &mut memo))
+                .collect();
+            record.sent = import_messages(base_pool, &pool, record.sent, &mut memo);
+            record.received = import_messages(base_pool, &pool, record.received, &mut memo);
+            merged.push(record);
+        }
+        let steals = coord.steals[worker].load(Ordering::Relaxed);
+        reports.push(WorkerReport {
+            worker,
+            observer,
+            pool,
+            solver_stats,
+            steals,
+            busy,
+        });
+    }
+
+    merged.sort_by(|a, b| dfs_cmp(&a.decisions, &b.decisions));
+    let mut id_map = HashMap::with_capacity(merged.len());
+    for (final_id, record) in merged.iter_mut().enumerate() {
+        id_map.insert(record.id, final_id);
+        record.id = final_id;
+    }
+    stats.wall_time = started.elapsed();
+
+    ParallelOutcome {
+        result: ExploreResult {
+            paths: merged,
+            stats,
+        },
+        id_map,
+        workers: reports,
+        shared_cache: shared,
+    }
+}
+
+fn import_messages(
+    dst: &mut TermPool,
+    src: &TermPool,
+    messages: Vec<SymMessage>,
+    memo: &mut HashMap<TermId, TermId>,
+) -> Vec<SymMessage> {
+    messages
+        .into_iter()
+        .map(|m| {
+            let values = m
+                .values()
+                .iter()
+                .map(|&t| dst.import_term(src, t, memo))
+                .collect::<Vec<_>>();
+            SymMessage::new(Arc::clone(m.layout()), values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::program::PathResult;
+    use achilles_solver::Width;
+
+    fn branching_program(env: &mut SymEnv<'_>) -> PathResult<()> {
+        // 4 levels of threshold branches over one symbolic word: 16 leaves.
+        let x = env.sym("x", Width::W16);
+        let mut note = String::new();
+        for i in 0..4u64 {
+            let c = env.constant(1000 * (i + 1), Width::W16);
+            note.push(if env.if_ult(x, c)? { 'L' } else { 'G' });
+        }
+        env.note(note);
+        env.mark_accept();
+        Ok(())
+    }
+
+    fn explore_with(workers: usize) -> (TermPool, ExploreResult) {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let config = ExploreConfig {
+            workers,
+            ..ExploreConfig::default()
+        };
+        let mut exec = Executor::new(&mut pool, &mut solver, config);
+        let result = exec.explore_multi(&branching_program);
+        (pool, result)
+    }
+
+    #[test]
+    fn dfs_cmp_orders_true_first() {
+        use std::cmp::Ordering::*;
+        assert_eq!(dfs_cmp(&[true, true], &[true, false]), Less);
+        assert_eq!(dfs_cmp(&[false], &[true, false]), Greater);
+        assert_eq!(dfs_cmp(&[true, false], &[true, false]), Equal);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (seq_pool, seq) = explore_with(1);
+        let (par_pool, par) = explore_with(4);
+        assert_eq!(seq.paths.len(), par.paths.len());
+        assert_eq!(seq.stats.runs, par.stats.runs);
+        for (a, b) in seq.paths.iter().zip(&par.paths) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.decisions, b.decisions, "canonical DFS order");
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.notes, b.notes);
+            // Constraint *structure* matches even though the parallel run
+            // solved in worker pools: compare via fingerprints.
+            let fa: Vec<u128> = a.constraints.iter().map(|&t| seq_pool.term_fp(t)).collect();
+            let fb: Vec<u128> = b.constraints.iter().map(|&t| par_pool.term_fp(t)).collect();
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(par.stats.workers, 4);
+    }
+
+    #[test]
+    fn parallel_observers_see_every_path() {
+        struct Counter(u64);
+        impl PathObserver for Counter {
+            fn on_path_end(&mut self, _cx: &mut ObserverCx<'_>, _record: &PathRecord) {
+                self.0 += 1;
+            }
+        }
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let config = ExploreConfig {
+            workers: 3,
+            ..ExploreConfig::default()
+        };
+        let mut exec = Executor::new(&mut pool, &mut solver, config);
+        let outcome = exec.explore_parallel(&branching_program, |_| Counter(0));
+        let seen: u64 = outcome.workers.iter().map(|w| w.observer.0).sum();
+        assert_eq!(seen, outcome.result.paths.len() as u64);
+        assert_eq!(outcome.workers.len(), 3);
+        // Every provisional id is mapped.
+        assert_eq!(outcome.id_map.len(), outcome.result.paths.len());
+    }
+
+    #[test]
+    fn run_budget_is_per_pool_not_per_worker() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        // The 16-leaf program needs 16 runs; cap at 5 across 4 workers.
+        let config = ExploreConfig {
+            workers: 4,
+            max_runs: 5,
+            ..ExploreConfig::default()
+        };
+        let mut exec = Executor::new(&mut pool, &mut solver, config);
+        let result = exec.explore_multi(&branching_program);
+        assert!(
+            result.stats.runs <= 5,
+            "global budget must cap total runs, got {}",
+            result.stats.runs
+        );
+    }
+
+    #[test]
+    fn imported_constraints_are_satisfiable_in_base_pool() {
+        let (mut pool, result) = explore_with(4);
+        let mut solver = Solver::new();
+        for path in &result.paths {
+            assert!(
+                solver.is_sat(&mut pool, &path.constraints),
+                "imported path constraints must be valid in the base pool"
+            );
+        }
+    }
+}

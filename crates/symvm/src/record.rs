@@ -60,6 +60,15 @@ pub struct ExploreStats {
     pub branch_checks: u64,
     /// Branch feasibility checks the solver answered `Unknown`.
     pub unknown_branches: u64,
+    /// Branch checks answered by reusing a previous frame's model
+    /// (the incremental [`ScopedSolver`](achilles_solver::ScopedSolver)).
+    pub model_reuse_hits: u64,
+    /// Worker threads used (1 for sequential exploration).
+    pub workers: usize,
+    /// Worklist items taken from another worker's deque.
+    pub steals: u64,
+    /// Queries answered by the cross-worker shared cache.
+    pub shared_cache_hits: u64,
     /// Wall-clock time of the exploration.
     pub wall_time: Duration,
 }

@@ -6,7 +6,7 @@
 //! of a deterministic program).
 
 use achilles_solver::{SatResult, Solver, TermPool, Width};
-use achilles_symvm::{ExploreConfig, Executor, PathResult, SymEnv};
+use achilles_symvm::{Executor, ExploreConfig, PathResult, SymEnv};
 use proptest::prelude::*;
 
 /// A small random program shape: a cascade of threshold branches over two

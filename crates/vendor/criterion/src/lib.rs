@@ -1,0 +1,214 @@
+//! A tiny, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so this workspace ships the minimal
+//! benchmarking surface the Achilles benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`, `iter`/`iter_batched`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up once, then time a fixed
+//! batch of iterations and report mean wall-clock per iteration. It is good
+//! enough to track relative regressions in CI logs; it does not do outlier
+//! analysis or HTML reports like real criterion.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation (accepted, echoed in the log line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure of `bench_function`; runs the measured body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Bencher {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `body` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        black_box(body()); // warm-up
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.total = started.elapsed();
+    }
+
+    /// Times `body` with a fresh `setup()` input per iteration; only the
+    /// body is measured.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut body: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(body(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let started = Instant::now();
+            black_box(body(input));
+            total += started.elapsed();
+        }
+        self.total = total;
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.samples as u32
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: u64 = 20;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, None, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Annotates the group's throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, samples: u64, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    let mean = b.mean();
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<50} {:>12.3?} /iter  [{samples} samples]{extra}",
+        mean
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 5u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

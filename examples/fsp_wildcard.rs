@@ -14,8 +14,8 @@
 //! ```
 
 use achilles_fsp::{
-    classify, run_analysis, run_utility, Command, FspAnalysisConfig, FspMessage,
-    FspServerConfig, FspServerRuntime, TrojanFamily, UtilityOutcome,
+    classify, run_analysis, run_utility, Command, FspAnalysisConfig, FspMessage, FspServerConfig,
+    FspServerRuntime, TrojanFamily, UtilityOutcome,
 };
 use achilles_netsim::{Addr, Network, SimFs};
 
@@ -59,14 +59,27 @@ fn main() {
     // The attacker (or a single bit flip: 'j' ^ 0x40 == '*') injects a raw
     // message no correct client can produce: create the literal file 'f*'.
     let trojan = FspMessage::request(Command::Install, b"f*");
-    net.send(Addr::new("attacker"), server.addr().clone(), trojan.to_wire());
+    net.send(
+        Addr::new("attacker"),
+        server.addr().clone(),
+        trojan.to_wire(),
+    );
     server.poll(&mut net);
-    println!("server files after injection: {:?}", server.fs().list("/").unwrap());
+    println!(
+        "server files after injection: {:?}",
+        server.fs().list("/").unwrap()
+    );
     assert!(server.fs().exists("/f*"));
 
     // ---- Phase 3: the victim cannot clean up ---------------------------
     println!("\n== Alice tries to remove exactly 'f*' ==");
-    let out = run_utility(&mut net, Addr::new("alice"), &mut server, Command::DelFile, "f*");
+    let out = run_utility(
+        &mut net,
+        Addr::new("alice"),
+        &mut server,
+        Command::DelFile,
+        "f*",
+    );
     println!("client expanded 'f*' to: {out:?}");
     let remaining = server.fs().list("/").unwrap();
     println!("server files afterwards: {remaining:?}");
@@ -76,7 +89,10 @@ fn main() {
         }
         UtilityOutcome::NothingToDo => unreachable!(),
     }
-    assert!(remaining.is_empty(), "collateral damage: every f-file was deleted");
+    assert!(
+        remaining.is_empty(),
+        "collateral damage: every f-file was deleted"
+    );
     println!(
         "\nExactly the paper's scenario: removing 'f*' also removed Alice's \
          'f1' and 'f2' — there is no way to name only the Trojan file."

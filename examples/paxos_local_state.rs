@@ -9,38 +9,12 @@
 //! cargo run --release -p achilles-examples --example paxos_local_state
 //! ```
 
-use achilles::{prepare_client, ClientPredicate, FieldMask, Optimizations, TrojanObserver};
 use achilles_paxos::{
-    accept_layout, Acceptor, AcceptorMode, AcceptorProgram, Proposer, ProposerMode,
-    ProposerProgram, MAX_PROPOSABLE_VALUE,
+    analyze_local_state, Acceptor, AcceptorMode, Proposer, ProposerMode, MAX_PROPOSABLE_VALUE,
 };
-use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, Executor, SymMessage};
 
 fn analyze(proposer: ProposerMode, acceptor: AcceptorMode) -> Vec<achilles::TrojanReport> {
-    let mut pool = TermPool::new();
-    let mut solver = Solver::new();
-    let client_result = {
-        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
-        exec.explore(&ProposerProgram { mode: proposer })
-    };
-    let pred = ClientPredicate::from_exploration(&client_result);
-    let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
-    let prepared = prepare_client(
-        &mut pool,
-        &mut solver,
-        pred,
-        server_msg.clone(),
-        FieldMask::none(),
-        Optimizations::default(),
-    );
-    let mut observer = TrojanObserver::new(&prepared, Optimizations::default(), true);
-    let explore = ExploreConfig { recv_script: vec![server_msg], ..Default::default() };
-    {
-        let mut exec = Executor::new(&mut pool, &mut solver, explore);
-        exec.explore_observed(&AcceptorProgram { mode: acceptor }, &mut observer);
-    }
-    observer.reports
+    analyze_local_state(proposer, acceptor, 1).1
 }
 
 fn main() {
@@ -79,8 +53,10 @@ fn main() {
 
     println!("\n== mode 3: Over-approximate Symbolic Local State ==");
     println!("(acceptor's promised ballot replaced by an annotated symbolic value in [0, 20])");
-    let reports =
-        analyze(ProposerMode::Constructed(5), AcceptorMode::OverApproximate { max: 20 });
+    let reports = analyze(
+        ProposerMode::Constructed(5),
+        AcceptorMode::OverApproximate { max: 20 },
+    );
     for r in &reports {
         println!(
             "  Trojan: ballot={} value={} — robust across all promised-state values",

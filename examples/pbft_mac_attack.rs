@@ -12,8 +12,7 @@
 //! ```
 
 use achilles_pbft::{
-    run_analysis, run_workload, ClusterConfig, PbftAnalysisConfig, PbftRequest,
-    PbftTrojanFamily,
+    run_analysis, run_workload, ClusterConfig, PbftAnalysisConfig, PbftRequest, PbftTrojanFamily,
 };
 
 fn main() {
@@ -37,7 +36,10 @@ fn main() {
         );
         assert_eq!(*f, PbftTrojanFamily::MacAttack);
     }
-    println!("analysis time: {:?} (the paper: \"a few seconds\")", result.total_time);
+    println!(
+        "analysis time: {:?} (the paper: \"a few seconds\")",
+        result.total_time
+    );
 
     println!("\n== impact: 4-replica cluster, 10,000 requests ==");
     let healthy = run_workload(ClusterConfig::default(), 10_000, 0);
@@ -58,7 +60,10 @@ fn main() {
 
     println!("\n== with the fix of Clement et al. [10] ==");
     let patched = run_workload(
-        ClusterConfig { primary_verifies_macs: true, ..ClusterConfig::default() },
+        ClusterConfig {
+            primary_verifies_macs: true,
+            ..ClusterConfig::default()
+        },
         10_000,
         10,
     );

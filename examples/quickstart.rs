@@ -35,7 +35,8 @@ fn layout() -> Arc<MessageLayout> {
 /// READ or WRITE message with a CRC over the other fields.
 fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
     let crc_fun = env.pool_mut().register_fun("crc16", Width::W16, |args| {
-        args.iter().fold(0xFFFFu64, |acc, &v| (acc ^ v).rotate_left(5) & 0xFFFF)
+        args.iter()
+            .fold(0xFFFFu64, |acc, &v| (acc ^ v).rotate_left(5) & 0xFFFF)
     });
 
     let sender = env.sym_in_range("symb_PeerID", Width::W16, 0, 10)?;
@@ -60,13 +61,23 @@ fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
         // uninitialized buffer memory — unconstrained symbolic, exactly how
         // Figure 5 shows the READ path predicate without a value conjunct.
         let value = env.sym("uninitialized_value", Width::W32);
-        let crc = env.pool_mut().apply(crc_fun, vec![sender, request, address]);
-        env.send(SymMessage::new(layout(), vec![sender, request, address, value, crc]));
+        let crc = env
+            .pool_mut()
+            .apply(crc_fun, vec![sender, request, address]);
+        env.send(SymMessage::new(
+            layout(),
+            vec![sender, request, address, value, crc],
+        ));
     } else {
         let request = env.constant(WRITE, Width::W8);
         let value = env.sym("symb_Value", Width::W32);
-        let crc = env.pool_mut().apply(crc_fun, vec![sender, request, address, value]);
-        env.send(SymMessage::new(layout(), vec![sender, request, address, value, crc]));
+        let crc = env
+            .pool_mut()
+            .apply(crc_fun, vec![sender, request, address, value]);
+        env.send(SymMessage::new(
+            layout(),
+            vec![sender, request, address, value, crc],
+        ));
     }
     Ok(())
 }
@@ -138,10 +149,17 @@ fn main() {
         println!("{}", render_conjunction(&achilles.pool, &t.constraints));
     }
 
-    assert_eq!(report.trojans.len(), 1, "exactly the READ path carries Trojans");
+    assert_eq!(
+        report.trojans.len(),
+        1,
+        "exactly the READ path carries Trojans"
+    );
     let trojan = &report.trojans[0];
     let addr = Width::W32.to_signed(trojan.witness_fields[2]);
-    assert!(addr < 0, "the Trojan reads a negative offset — the privacy leak of §2.1");
+    assert!(
+        addr < 0,
+        "the Trojan reads a negative offset — the privacy leak of §2.1"
+    );
     println!(
         "\nAchilles found the paper's Trojan: a READ for negative address {addr} \
          (reads outside the data array — e.g. the server's peer list)."

@@ -12,14 +12,14 @@
 
 use std::sync::Arc;
 
-use achilles::{
-    analyze_sequence, prepare_client, ClientPredicate, FieldMask, Optimizations,
-};
+use achilles::{analyze_sequence, prepare_client, ClientPredicate, FieldMask, Optimizations};
 use achilles_solver::{Solver, TermPool, Width};
-use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv, SymMessage};
+use achilles_symvm::{Executor, ExploreConfig, MessageLayout, PathResult, SymEnv, SymMessage};
 
 fn hs_layout() -> Arc<MessageLayout> {
-    MessageLayout::builder("handshake").field("token", Width::W16).build()
+    MessageLayout::builder("handshake")
+        .field("token", Width::W16)
+        .build()
 }
 
 fn cmd_layout() -> Arc<MessageLayout> {
@@ -136,7 +136,11 @@ fn main() {
         assert_eq!(s, &vec![0], "the handshake slot is the weak link");
         assert!((100..200).contains(&r.witness_fields[0]));
     }
-    assert_eq!(reports.len(), 2, "both command variants host the handshake Trojan");
+    assert_eq!(
+        reports.len(),
+        2,
+        "both command variants host the handshake Trojan"
+    );
     println!(
         "\nThe handshake accepts tokens in [100, 200) that no correct client \
          requests — a session-level Trojan invisible to single-message analysis \

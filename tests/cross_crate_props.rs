@@ -3,12 +3,11 @@
 //! inputs — this is what makes the baseline comparisons trustworthy.
 
 use achilles_fsp::{
-    client_can_generate, server_accepts, Command, FspMessage, FspServer, FspServerConfig,
-    MAX_PATH,
+    client_can_generate, server_accepts, Command, FspMessage, FspServer, FspServerConfig, MAX_PATH,
 };
 use achilles_pbft::PbftRequest;
 use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, Executor, Verdict};
+use achilles_symvm::{Executor, ExploreConfig, Verdict};
 use proptest::prelude::*;
 
 /// Random FSP messages, biased so framing-valid messages are common.

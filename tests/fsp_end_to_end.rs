@@ -4,8 +4,8 @@
 
 use achilles_fsp::{
     expected_length_mismatch_trojans, expected_wildcard_trojans, is_trojan, run_analysis,
-    server_accepts, FspAnalysisConfig, FspMessage, FspServerConfig, FspServerRuntime,
-    TrojanFamily, MAX_PATH,
+    server_accepts, FspAnalysisConfig, FspMessage, FspServerConfig, FspServerRuntime, TrojanFamily,
+    MAX_PATH,
 };
 use achilles_netsim::{Addr, SimFs};
 
@@ -28,7 +28,10 @@ fn scaled_accuracy_counts_match_the_arithmetic() {
 fn wildcard_mode_finds_both_families() {
     let config = FspAnalysisConfig::wildcard().with_commands(2);
     let result = run_analysis(&config);
-    assert_eq!(result.length_mismatches(), expected_length_mismatch_trojans(2));
+    assert_eq!(
+        result.length_mismatches(),
+        expected_length_mismatch_trojans(2)
+    );
     assert_eq!(result.wildcards(), expected_wildcard_trojans(2));
     assert_eq!(result.unverified(), 0);
 }
@@ -42,7 +45,10 @@ fn every_witness_is_injectable() {
     let mut server = FspServerRuntime::new(
         Addr::new("fspd"),
         SimFs::new(),
-        FspServerConfig { commands: config.commands.clone(), ..FspServerConfig::default() },
+        FspServerConfig {
+            commands: config.commands.clone(),
+            ..FspServerConfig::default()
+        },
     );
     for t in &result.trojans {
         let msg = FspMessage::from_field_values(&t.witness_fields);
@@ -52,7 +58,11 @@ fn every_witness_is_injectable() {
         );
         let before = server.accepted;
         let _ = server.handle(&msg.to_wire());
-        assert_eq!(server.accepted, before + 1, "deployed server accepted the witness");
+        assert_eq!(
+            server.accepted,
+            before + 1,
+            "deployed server accepted the witness"
+        );
     }
 }
 
@@ -65,7 +75,10 @@ fn witnesses_carry_smuggled_payload_capability() {
     let result = run_analysis(&config);
     let mut found_capacity = false;
     for (_t, f) in result.trojans.iter().zip(&result.families) {
-        if let TrojanFamily::LengthMismatch { reported, actual, .. } = f {
+        if let TrojanFamily::LengthMismatch {
+            reported, actual, ..
+        } = f
+        {
             assert!(actual < reported);
             if reported - actual > 1 {
                 found_capacity = true;
@@ -103,7 +116,9 @@ fn trojan_reports_cover_every_length_combination() {
         .families
         .iter()
         .filter_map(|f| match f {
-            TrojanFamily::LengthMismatch { reported, actual, .. } => Some((*reported, *actual)),
+            TrojanFamily::LengthMismatch {
+                reported, actual, ..
+            } => Some((*reported, *actual)),
             _ => None,
         })
         .collect();

@@ -1,45 +1,14 @@
 //! Integration: the three §3.4 local-state modes, both through the Paxos
 //! programs and through the pipeline's `LocalState::Constructed` seeding.
 
-use achilles::{
-    prepare_client, Achilles, AchillesConfig, ClientPredicate, FieldMask, LocalState,
-    Optimizations, TrojanObserver,
-};
-use achilles_paxos::{
-    accept_layout, AcceptorMode, AcceptorProgram, ProposerMode, ProposerProgram,
-    MAX_PROPOSABLE_VALUE,
-};
-use achilles_solver::{Solver, TermPool, Width};
-use achilles_symvm::{ExploreConfig, Executor, MessageLayout, PathResult, SymEnv, SymMessage};
+use achilles::{Achilles, AchillesConfig, FieldMask, LocalState, Optimizations};
+use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode, MAX_PROPOSABLE_VALUE};
+use achilles_solver::Width;
+use achilles_symvm::{ExploreConfig, MessageLayout, PathResult, SymEnv, SymMessage};
 use std::sync::Arc;
 
-fn analyze_paxos(
-    proposer: ProposerMode,
-    acceptor: AcceptorMode,
-) -> Vec<achilles::TrojanReport> {
-    let mut pool = TermPool::new();
-    let mut solver = Solver::new();
-    let client_result = {
-        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
-        exec.explore(&ProposerProgram { mode: proposer })
-    };
-    let pred = ClientPredicate::from_exploration(&client_result);
-    let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
-    let prepared = prepare_client(
-        &mut pool,
-        &mut solver,
-        pred,
-        server_msg.clone(),
-        FieldMask::none(),
-        Optimizations::default(),
-    );
-    let mut observer = TrojanObserver::new(&prepared, Optimizations::default(), true);
-    let explore = ExploreConfig { recv_script: vec![server_msg], ..Default::default() };
-    {
-        let mut exec = Executor::new(&mut pool, &mut solver, explore);
-        exec.explore_observed(&AcceptorProgram { mode: acceptor }, &mut observer);
-    }
-    observer.reports
+fn analyze_paxos(proposer: ProposerMode, acceptor: AcceptorMode) -> Vec<achilles::TrojanReport> {
+    analyze_local_state(proposer, acceptor, 1).1
 }
 
 #[test]
@@ -47,7 +16,10 @@ fn concrete_state_mode() {
     let reports = analyze_paxos(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5));
     assert_eq!(reports.len(), 1);
     let w = &reports[0].witness_fields;
-    assert!(w[1] != 5 || w[2] != 7, "anything but the scenario's Accept is Trojan");
+    assert!(
+        w[1] != 5 || w[2] != 7,
+        "anything but the scenario's Accept is Trojan"
+    );
     assert!(reports[0].verified);
 }
 
@@ -64,8 +36,10 @@ fn constructed_state_mode_generalizes() {
 
 #[test]
 fn over_approximate_state_mode() {
-    let reports =
-        analyze_paxos(ProposerMode::Constructed(5), AcceptorMode::OverApproximate { max: 20 });
+    let reports = analyze_paxos(
+        ProposerMode::Constructed(5),
+        AcceptorMode::OverApproximate { max: 20 },
+    );
     assert_eq!(reports.len(), 1);
 }
 
@@ -74,7 +48,10 @@ fn over_approximate_state_mode() {
 // ---------------------------------------------------------------------
 
 fn kv_layout() -> Arc<MessageLayout> {
-    MessageLayout::builder("kv").field("op", Width::W8).field("slot", Width::W16).build()
+    MessageLayout::builder("kv")
+        .field("op", Width::W8)
+        .field("slot", Width::W16)
+        .build()
 }
 
 fn kv_client(env: &mut SymEnv<'_>) -> PathResult<()> {
@@ -106,8 +83,12 @@ fn kv_server(env: &mut SymEnv<'_>) -> PathResult<()> {
 fn pipeline_constructed_state_narrows_the_window() {
     let mut achilles = Achilles::new();
     let (pred, _) = achilles.extract_client_predicate(&kv_client, &ExploreConfig::default());
-    let prepared =
-        achilles.prepare(pred, &kv_layout(), FieldMask::none(), Optimizations::default());
+    let prepared = achilles.prepare(
+        pred,
+        &kv_layout(),
+        FieldMask::none(),
+        Optimizations::default(),
+    );
     // The deployment scenario pins the server's view: slots above 100 were
     // never provisioned, so prior protocol steps imply slot < 100.
     let slot = prepared.server_msg.field("slot");
@@ -115,12 +96,14 @@ fn pipeline_constructed_state_narrows_the_window() {
     let seeded = achilles.pool.ult(slot, hundred);
     let config = AchillesConfig {
         verify_witnesses: true,
-        local_state: LocalState::Constructed { constraints: vec![seeded] },
+        local_state: LocalState::Constructed {
+            constraints: vec![seeded],
+        },
         ..AchillesConfig::default()
     };
-    let (trojans, _, _, _, _) = achilles.analyze_server(&kv_server, &prepared, &config);
-    assert_eq!(trojans.len(), 1);
-    let w = trojans[0].witness_fields[1];
+    let outcome = achilles.analyze_server(&kv_server, &prepared, &config);
+    assert_eq!(outcome.reports.len(), 1);
+    let w = outcome.reports[0].witness_fields[1];
     assert!(
         (64..100).contains(&w),
         "the witness respects both the bug window and the scenario: {w}"

@@ -1,0 +1,248 @@
+//! Parallel determinism: `workers = 1` and `workers = 4` must produce
+//! identical Trojan sets, path counts, and witnesses on the quickstart, FSP,
+//! and PBFT scenarios.
+//!
+//! Why this holds by construction: the executor schedules paths as decision
+//! prefixes and re-executes from the program start, so a path's constraint
+//! *structure* is a function of its prefix alone — not of which worker runs
+//! it. Workers explore in forks of the base pool, results are re-interned
+//! into the base pool and sorted into canonical depth-first order, and every
+//! per-path solver query is deterministic given its (structural) assertion
+//! set. Only wall-clock-derived statistics may differ between runs.
+//!
+//! The guarantee is scoped to explorations that run to completion: when a
+//! `max_paths`/`max_runs` budget stops a parallel search early, the stop is
+//! a raced signal and the surviving path set is scheduling-dependent (see
+//! `ExploreConfig::workers`). Every scenario below explores exhaustively.
+
+use std::sync::Arc;
+
+use achilles::{Achilles, AchillesConfig, TrojanReport};
+use achilles_fsp::{run_analysis, FspAnalysisConfig};
+use achilles_pbft::{run_analysis as run_pbft, PbftAnalysisConfig};
+use achilles_solver::Width;
+use achilles_symvm::{ExploreConfig, MessageLayout, PathResult, SymEnv, SymMessage};
+
+/// Key of a Trojan report for set comparison: the concrete witness plus the
+/// path it was found on (timestamps excluded on purpose).
+type ReportKey = (usize, Vec<u64>, usize, bool, Vec<String>);
+
+fn report_key(r: &TrojanReport) -> ReportKey {
+    (
+        r.server_path_id,
+        r.witness_fields.clone(),
+        r.active_clients,
+        r.verified,
+        r.notes.clone(),
+    )
+}
+
+fn report_keys(reports: &[TrojanReport]) -> Vec<ReportKey> {
+    reports.iter().map(report_key).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Quickstart (the paper's §2 working example)
+// ---------------------------------------------------------------------------
+
+fn quickstart_layout() -> Arc<MessageLayout> {
+    MessageLayout::builder("msg")
+        .field("request", Width::W8)
+        .field("address", Width::W32)
+        .build()
+}
+
+fn quickstart_client(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let addr = env.sym("address", Width::W32);
+    let hundred = env.constant(100, Width::W32);
+    let zero = env.constant(0, Width::W32);
+    if !env.if_slt(addr, hundred)? {
+        return Ok(());
+    }
+    if env.if_slt(addr, zero)? {
+        return Ok(());
+    }
+    let read = env.constant(1, Width::W8);
+    env.send(SymMessage::new(quickstart_layout(), vec![read, addr]));
+    Ok(())
+}
+
+fn quickstart_server(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let msg = env.recv(&quickstart_layout())?;
+    let one = env.constant(1, Width::W8);
+    if !env.if_eq(msg.field("request"), one)? {
+        return Ok(());
+    }
+    let hundred = env.constant(100, Width::W32);
+    if !env.if_slt(msg.field("address"), hundred)? {
+        return Ok(());
+    }
+    env.mark_accept();
+    Ok(())
+}
+
+fn run_quickstart(workers: usize) -> achilles::AchillesReport {
+    let mut achilles = Achilles::new();
+    let config = AchillesConfig {
+        server_explore: ExploreConfig {
+            workers,
+            ..ExploreConfig::default()
+        },
+        ..AchillesConfig::verified()
+    };
+    achilles.run(
+        &quickstart_client,
+        &quickstart_server,
+        &quickstart_layout(),
+        &config,
+    )
+}
+
+#[test]
+fn quickstart_is_worker_count_invariant() {
+    let seq = run_quickstart(1);
+    let par = run_quickstart(4);
+    assert_eq!(seq.server_paths, par.server_paths, "path counts");
+    assert_eq!(
+        report_keys(&seq.trojans),
+        report_keys(&par.trojans),
+        "trojan sets + witnesses"
+    );
+    assert_eq!(par.server_workers.len(), 4);
+    assert_eq!(seq.server_workers.len(), 1);
+    // The witness is the paper's negative-address READ in both runs.
+    let addr = Width::W32.to_signed(par.trojans[0].witness_fields[1]);
+    assert!(addr < 0, "addr = {addr}");
+}
+
+// ---------------------------------------------------------------------------
+// FSP (§6.2 accuracy workload, scaled to two utilities)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fsp_is_worker_count_invariant() {
+    let seq = run_analysis(&FspAnalysisConfig::accuracy().with_commands(2));
+    let par = run_analysis(
+        &FspAnalysisConfig::accuracy()
+            .with_commands(2)
+            .with_workers(4),
+    );
+    assert_eq!(seq.server_paths, par.server_paths, "path counts");
+    assert_eq!(seq.trojans.len(), par.trojans.len());
+    assert_eq!(
+        report_keys(&seq.trojans),
+        report_keys(&par.trojans),
+        "trojan sets + witnesses"
+    );
+    assert_eq!(seq.families, par.families);
+    assert_eq!(par.explore_stats.workers, 4);
+    assert_eq!(par.worker_stats.len(), 4);
+    // The parallel run exercised the machinery it claims to: all work still
+    // happened (runs are scheduling-invariant).
+    assert_eq!(seq.explore_stats.runs, par.explore_stats.runs);
+}
+
+// ---------------------------------------------------------------------------
+// PBFT (the MAC attack)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pbft_is_worker_count_invariant() {
+    let seq = run_pbft(&PbftAnalysisConfig::paper());
+    let par = run_pbft(&PbftAnalysisConfig::paper().with_workers(4));
+    assert_eq!(
+        seq.explore_stats.completed, par.explore_stats.completed,
+        "path counts"
+    );
+    assert_eq!(
+        report_keys(&seq.trojans),
+        report_keys(&par.trojans),
+        "trojan sets + witnesses"
+    );
+    assert_eq!(seq.mac_attacks(), par.mac_attacks());
+    assert_eq!(par.worker_stats.len(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Paxos local-state modes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn paxos_is_worker_count_invariant() {
+    use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode};
+    let (_p1, seq) =
+        analyze_local_state(ProposerMode::Constructed(5), AcceptorMode::Concrete(5), 1);
+    let (_p2, par) =
+        analyze_local_state(ProposerMode::Constructed(5), AcceptorMode::Concrete(5), 4);
+    assert_eq!(report_keys(&seq), report_keys(&par));
+}
+
+// ---------------------------------------------------------------------------
+// Repeatability of the parallel path itself
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    let a = run_analysis(
+        &FspAnalysisConfig::accuracy()
+            .with_commands(1)
+            .with_workers(4),
+    );
+    let b = run_analysis(
+        &FspAnalysisConfig::accuracy()
+            .with_commands(1)
+            .with_workers(4),
+    );
+    assert_eq!(report_keys(&a.trojans), report_keys(&b.trojans));
+    assert_eq!(a.server_paths, b.server_paths);
+}
+
+// ---------------------------------------------------------------------------
+// Unscripted recv() across pool forks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unscripted_recv_is_fork_invariant() {
+    // `recv()` past the receive script auto-creates the message. Those
+    // variables must be interned by (recv index, field, width) — not minted
+    // with the pool's fork nonce — or parallel workers each create a
+    // distinct copy of the "same" field and merged cross-path reasoning
+    // treats them as unrelated. Two differently-forked pools running the
+    // same program must therefore produce structurally identical
+    // constraints (equal shared-cache keys).
+    use achilles_solver::{SharedCache, Solver, TermPool};
+    use achilles_symvm::Executor;
+
+    fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&quickstart_layout())?;
+        let one = env.constant(1, Width::W8);
+        if !env.if_eq(msg.field("request"), one)? {
+            return Ok(());
+        }
+        let hundred = env.constant(100, Width::W32);
+        if !env.if_slt(msg.field("address"), hundred)? {
+            return Ok(());
+        }
+        env.mark_accept();
+        Ok(())
+    }
+
+    let base = TermPool::new();
+    let keys_for = |nonce: u64| -> Vec<Box<[u128]>> {
+        let mut pool = base.fork(nonce);
+        let mut solver = Solver::new();
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let result = exec.explore(&server);
+        assert!(!result.paths.is_empty());
+        result
+            .paths
+            .iter()
+            .map(|p| SharedCache::key_of(&pool, &p.constraints))
+            .collect()
+    };
+    assert_eq!(
+        keys_for(1),
+        keys_for(2),
+        "recv-created variables must not depend on the fork nonce"
+    );
+}

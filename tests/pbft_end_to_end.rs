@@ -2,21 +2,27 @@
 //! analysis to the concrete cluster simulation.
 
 use achilles_pbft::{
-    run_analysis, ClusterConfig, PbftAnalysisConfig, PbftCluster, PbftRequest,
-    PbftTrojanFamily, SubmitOutcome, DIGEST_PLACEHOLDER, MAC_PLACEHOLDER, N_REPLICAS,
+    run_analysis, ClusterConfig, PbftAnalysisConfig, PbftCluster, PbftRequest, PbftTrojanFamily,
+    SubmitOutcome, DIGEST_PLACEHOLDER, MAC_PLACEHOLDER, N_REPLICAS,
 };
 
 #[test]
 fn analysis_finds_exactly_the_mac_attack() {
     let result = run_analysis(&PbftAnalysisConfig::paper());
     assert_eq!(result.distinct_families(), 1);
-    assert!(result.families.iter().all(|f| *f == PbftTrojanFamily::MacAttack));
+    assert!(result
+        .families
+        .iter()
+        .all(|f| *f == PbftTrojanFamily::MacAttack));
     assert!(result.trojans.iter().all(|t| t.verified));
     // Both accepting paths (read-only and agreement) carry the same Trojan
     // type — "the Trojan message discovered by Achilles appears on all
     // execution paths in the server".
-    let mut notes: Vec<String> =
-        result.trojans.iter().flat_map(|t| t.notes.clone()).collect();
+    let mut notes: Vec<String> = result
+        .trojans
+        .iter()
+        .flat_map(|t| t.notes.clone())
+        .collect();
     notes.sort();
     assert!(notes.contains(&"pre_prepare".to_string()));
     assert!(notes.contains(&"read-only execute".to_string()));
@@ -31,13 +37,22 @@ fn witness_analogue_triggers_recovery_in_the_cluster() {
     // cluster pays the recovery cost.
     let result = run_analysis(&PbftAnalysisConfig::paper());
     let witness = PbftRequest::from_field_values(&result.trojans[0].witness_fields);
-    assert!(witness.macs.iter().any(|&m| u64::from(m) != MAC_PLACEHOLDER));
-    assert_eq!(witness.od, DIGEST_PLACEHOLDER, "everything else is well-formed");
+    assert!(witness
+        .macs
+        .iter()
+        .any(|&m| u64::from(m) != MAC_PLACEHOLDER));
+    assert_eq!(
+        witness.od, DIGEST_PLACEHOLDER,
+        "everything else is well-formed"
+    );
 
     let mut cluster = PbftCluster::new(ClusterConfig::default());
-    let concrete = PbftRequest::correct(witness.cid, witness.rid.max(1), *b"op__")
-        .with_corrupted_mac(1);
-    assert_eq!(cluster.submit(&concrete), SubmitOutcome::RecoveredThenExecuted);
+    let concrete =
+        PbftRequest::correct(witness.cid, witness.rid.max(1), *b"op__").with_corrupted_mac(1);
+    assert_eq!(
+        cluster.submit(&concrete),
+        SubmitOutcome::RecoveredThenExecuted
+    );
     assert_eq!(cluster.stats().recoveries, 1);
 }
 
@@ -51,8 +66,10 @@ fn patched_replica_closes_the_hole_and_the_cluster_survives() {
     let result = run_analysis(&config);
     assert_eq!(result.trojans.len(), 0);
 
-    let cluster_config =
-        ClusterConfig { primary_verifies_macs: true, ..ClusterConfig::default() };
+    let cluster_config = ClusterConfig {
+        primary_verifies_macs: true,
+        ..ClusterConfig::default()
+    };
     let mut cluster = PbftCluster::new(cluster_config);
     let bad = PbftRequest::correct(1, 1, *b"op__").with_corrupted_mac(2);
     assert_eq!(cluster.submit(&bad), SubmitOutcome::DroppedByPrimary);

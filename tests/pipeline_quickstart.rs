@@ -123,7 +123,11 @@ fn patched_server_has_no_trojans() {
         let write = env.constant(2, Width::W8);
         let zero = env.constant(0, Width::W32);
         let is_read = env.if_eq(msg.field("request"), read)?;
-        let is_write = if is_read { false } else { env.if_eq(msg.field("request"), write)? };
+        let is_write = if is_read {
+            false
+        } else {
+            env.if_eq(msg.field("request"), write)?
+        };
         if !is_read && !is_write {
             return Ok(());
         }
@@ -138,7 +142,11 @@ fn patched_server_has_no_trojans() {
     }
     let mut achilles = Achilles::new();
     let report = achilles.run(&client, &patched, &layout(), &AchillesConfig::verified());
-    assert_eq!(report.trojans.len(), 0, "defensive server accepts exactly C");
+    assert_eq!(
+        report.trojans.len(),
+        0,
+        "defensive server accepts exactly C"
+    );
 }
 
 #[test]

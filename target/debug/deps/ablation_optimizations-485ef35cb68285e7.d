@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimizations-485ef35cb68285e7.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/debug/deps/ablation_optimizations-485ef35cb68285e7: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

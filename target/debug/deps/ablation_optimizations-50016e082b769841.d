@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimizations-50016e082b769841.d: crates/bench/benches/ablation_optimizations.rs
+
+/root/repo/target/debug/deps/libablation_optimizations-50016e082b769841.rmeta: crates/bench/benches/ablation_optimizations.rs
+
+crates/bench/benches/ablation_optimizations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimizations-6dc8ab80390b7607.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/debug/deps/libablation_optimizations-6dc8ab80390b7607.rmeta: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

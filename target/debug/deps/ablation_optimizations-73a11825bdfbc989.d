@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_optimizations-73a11825bdfbc989.d: crates/bench/src/bin/ablation_optimizations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_optimizations-73a11825bdfbc989.rmeta: crates/bench/src/bin/ablation_optimizations.rs Cargo.toml
+
+crates/bench/src/bin/ablation_optimizations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimizations-7924569a69fc4aa2.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/debug/deps/ablation_optimizations-7924569a69fc4aa2: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

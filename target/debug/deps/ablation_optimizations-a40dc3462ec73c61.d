@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_optimizations-a40dc3462ec73c61.d: crates/bench/benches/ablation_optimizations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_optimizations-a40dc3462ec73c61.rmeta: crates/bench/benches/ablation_optimizations.rs Cargo.toml
+
+crates/bench/benches/ablation_optimizations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

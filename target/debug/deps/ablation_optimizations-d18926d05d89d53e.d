@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_optimizations-d18926d05d89d53e.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/debug/deps/libablation_optimizations-d18926d05d89d53e.rmeta: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/achilles-0e39c2d6fcc4da55.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+/root/repo/target/debug/deps/libachilles-0e39c2d6fcc4da55.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+/root/repo/target/debug/deps/libachilles-0e39c2d6fcc4da55.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/diff_matrix.rs:
+crates/core/src/export.rs:
+crates/core/src/negate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predicate.rs:
+crates/core/src/refine.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sequence.rs:

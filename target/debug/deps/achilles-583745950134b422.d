@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/achilles-583745950134b422.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+/root/repo/target/debug/deps/libachilles-583745950134b422.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/diff_matrix.rs:
+crates/core/src/export.rs:
+crates/core/src/negate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predicate.rs:
+crates/core/src/refine.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sequence.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/achilles-a4ce04940cde469c.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles-a4ce04940cde469c.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/diff_matrix.rs:
+crates/core/src/export.rs:
+crates/core/src/negate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predicate.rs:
+crates/core/src/refine.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

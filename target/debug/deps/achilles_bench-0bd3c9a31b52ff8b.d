@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_bench-0bd3c9a31b52ff8b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_bench-0bd3c9a31b52ff8b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_bench-0bd3c9a31b52ff8b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_bench-14b1345a2b369f66.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_bench-14b1345a2b369f66.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_bench-72347941cb40cc6b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/achilles_bench-72347941cb40cc6b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_bench-8c235329b43732f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_bench-8c235329b43732f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_bench-cf35ae09e31a223e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_bench-cf35ae09e31a223e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

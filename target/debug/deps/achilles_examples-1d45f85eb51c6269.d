@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_examples-1d45f85eb51c6269.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_examples-1d45f85eb51c6269.rmeta: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_examples-406948b1f71f4ff5.d: crates/examples-app/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_examples-406948b1f71f4ff5.rmeta: crates/examples-app/src/lib.rs Cargo.toml
+
+crates/examples-app/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_examples-6768d5d8af0a1ada.d: crates/examples-app/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_examples-6768d5d8af0a1ada.rmeta: crates/examples-app/src/lib.rs Cargo.toml
+
+crates/examples-app/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

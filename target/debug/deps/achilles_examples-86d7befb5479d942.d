@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_examples-86d7befb5479d942.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_examples-86d7befb5479d942.rlib: crates/examples-app/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_examples-86d7befb5479d942.rmeta: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

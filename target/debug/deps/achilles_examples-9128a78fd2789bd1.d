@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_examples-9128a78fd2789bd1.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/debug/deps/achilles_examples-9128a78fd2789bd1: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

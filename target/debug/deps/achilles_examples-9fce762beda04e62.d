@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_examples-9fce762beda04e62.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_examples-9fce762beda04e62.rmeta: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/achilles_fsp-05dfd8f90f3cb87f.d: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_fsp-05dfd8f90f3cb87f.rmeta: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs Cargo.toml
+
+crates/fsp/src/lib.rs:
+crates/fsp/src/analysis.rs:
+crates/fsp/src/client.rs:
+crates/fsp/src/oracle.rs:
+crates/fsp/src/protocol.rs:
+crates/fsp/src/runtime.rs:
+crates/fsp/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

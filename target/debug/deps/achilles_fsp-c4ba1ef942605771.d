@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_fsp-c4ba1ef942605771.d: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+/root/repo/target/debug/deps/achilles_fsp-c4ba1ef942605771: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+crates/fsp/src/lib.rs:
+crates/fsp/src/analysis.rs:
+crates/fsp/src/client.rs:
+crates/fsp/src/oracle.rs:
+crates/fsp/src/protocol.rs:
+crates/fsp/src/runtime.rs:
+crates/fsp/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_fsp-eb847706df1ddbab.d: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+/root/repo/target/debug/deps/libachilles_fsp-eb847706df1ddbab.rmeta: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+crates/fsp/src/lib.rs:
+crates/fsp/src/analysis.rs:
+crates/fsp/src/client.rs:
+crates/fsp/src/oracle.rs:
+crates/fsp/src/protocol.rs:
+crates/fsp/src/runtime.rs:
+crates/fsp/src/server.rs:

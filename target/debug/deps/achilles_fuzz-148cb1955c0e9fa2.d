@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_fuzz-148cb1955c0e9fa2.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_fuzz-148cb1955c0e9fa2.rmeta: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_fuzz-20da2892df8bc7d1.d: crates/fuzz/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_fuzz-20da2892df8bc7d1.rmeta: crates/fuzz/src/lib.rs Cargo.toml
+
+crates/fuzz/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_fuzz-427690268933dc44.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/debug/deps/achilles_fuzz-427690268933dc44: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

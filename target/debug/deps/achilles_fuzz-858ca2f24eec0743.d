@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_fuzz-858ca2f24eec0743.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_fuzz-858ca2f24eec0743.rmeta: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

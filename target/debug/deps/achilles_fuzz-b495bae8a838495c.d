@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_fuzz-b495bae8a838495c.d: crates/fuzz/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_fuzz-b495bae8a838495c.rmeta: crates/fuzz/src/lib.rs Cargo.toml
+
+crates/fuzz/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_fuzz-f61aa8f64012daab.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_fuzz-f61aa8f64012daab.rlib: crates/fuzz/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_fuzz-f61aa8f64012daab.rmeta: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_netsim-4e53f1e35688b0e3.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/debug/deps/libachilles_netsim-4e53f1e35688b0e3.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:

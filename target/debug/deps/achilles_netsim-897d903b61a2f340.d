@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_netsim-897d903b61a2f340.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/debug/deps/libachilles_netsim-897d903b61a2f340.rlib: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/debug/deps/libachilles_netsim-897d903b61a2f340.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_netsim-8cc76a5f36f37d5c.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/debug/deps/achilles_netsim-8cc76a5f36f37d5c: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:

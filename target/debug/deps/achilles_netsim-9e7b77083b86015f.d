@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/achilles_netsim-9e7b77083b86015f.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_netsim-9e7b77083b86015f.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

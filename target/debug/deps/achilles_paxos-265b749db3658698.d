@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_paxos-265b749db3658698.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/debug/deps/achilles_paxos-265b749db3658698: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:

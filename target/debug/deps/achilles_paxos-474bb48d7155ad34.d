@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_paxos-474bb48d7155ad34.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/debug/deps/libachilles_paxos-474bb48d7155ad34.rlib: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/debug/deps/libachilles_paxos-474bb48d7155ad34.rmeta: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_paxos-889b6bce3afd89ae.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_paxos-889b6bce3afd89ae.rmeta: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs Cargo.toml
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

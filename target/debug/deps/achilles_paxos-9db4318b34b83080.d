@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_paxos-9db4318b34b83080.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/debug/deps/libachilles_paxos-9db4318b34b83080.rmeta: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:

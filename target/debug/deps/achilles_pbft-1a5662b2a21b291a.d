@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_pbft-1a5662b2a21b291a.d: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+/root/repo/target/debug/deps/libachilles_pbft-1a5662b2a21b291a.rmeta: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/analysis.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/cluster.rs:
+crates/pbft/src/mac.rs:
+crates/pbft/src/protocol.rs:
+crates/pbft/src/replica.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/achilles_pbft-d72285d00b85b144.d: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+/root/repo/target/debug/deps/achilles_pbft-d72285d00b85b144: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/analysis.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/cluster.rs:
+crates/pbft/src/mac.rs:
+crates/pbft/src/protocol.rs:
+crates/pbft/src/replica.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/achilles_pbft-d887f59ee5adddbf.d: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_pbft-d887f59ee5adddbf.rmeta: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs Cargo.toml
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/analysis.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/cluster.rs:
+crates/pbft/src/mac.rs:
+crates/pbft/src/protocol.rs:
+crates/pbft/src/replica.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/achilles_solver-17b205b82b595fc6.d: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs
+
+/root/repo/target/debug/deps/libachilles_solver-17b205b82b595fc6.rmeta: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/atom.rs:
+crates/solver/src/cache.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/model.rs:
+crates/solver/src/pretty.rs:
+crates/solver/src/scoped.rs:
+crates/solver/src/search.rs:
+crates/solver/src/smtlib.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:
+crates/solver/src/width.rs:

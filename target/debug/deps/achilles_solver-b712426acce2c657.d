@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/achilles_solver-b712426acce2c657.d: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_solver-b712426acce2c657.rmeta: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/atom.rs:
+crates/solver/src/cache.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/model.rs:
+crates/solver/src/pretty.rs:
+crates/solver/src/scoped.rs:
+crates/solver/src/search.rs:
+crates/solver/src/smtlib.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:
+crates/solver/src/width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/achilles_symvm-54391870c4932b72.d: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_symvm-54391870c4932b72.rmeta: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs Cargo.toml
+
+crates/symvm/src/lib.rs:
+crates/symvm/src/env.rs:
+crates/symvm/src/executor.rs:
+crates/symvm/src/message.rs:
+crates/symvm/src/observer.rs:
+crates/symvm/src/parallel.rs:
+crates/symvm/src/program.rs:
+crates/symvm/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/achilles_symvm-ced96df197fb6436.d: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+/root/repo/target/debug/deps/libachilles_symvm-ced96df197fb6436.rmeta: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+crates/symvm/src/lib.rs:
+crates/symvm/src/env.rs:
+crates/symvm/src/executor.rs:
+crates/symvm/src/message.rs:
+crates/symvm/src/observer.rs:
+crates/symvm/src/parallel.rs:
+crates/symvm/src/program.rs:
+crates/symvm/src/record.rs:

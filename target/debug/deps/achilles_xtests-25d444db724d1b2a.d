@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_xtests-25d444db724d1b2a.d: crates/xtests/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_xtests-25d444db724d1b2a.rmeta: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_xtests-82de028ac1fdaf51.d: crates/xtests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_xtests-82de028ac1fdaf51.rmeta: crates/xtests/src/lib.rs Cargo.toml
+
+crates/xtests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

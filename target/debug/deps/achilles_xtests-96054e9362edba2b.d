@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_xtests-96054e9362edba2b.d: crates/xtests/src/lib.rs
+
+/root/repo/target/debug/deps/achilles_xtests-96054e9362edba2b: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

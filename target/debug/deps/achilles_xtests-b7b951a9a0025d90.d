@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/achilles_xtests-b7b951a9a0025d90.d: crates/xtests/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_xtests-b7b951a9a0025d90.rmeta: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

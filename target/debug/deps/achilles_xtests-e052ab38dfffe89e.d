@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/achilles_xtests-e052ab38dfffe89e.d: crates/xtests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libachilles_xtests-e052ab38dfffe89e.rmeta: crates/xtests/src/lib.rs Cargo.toml
+
+crates/xtests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/achilles_xtests-e27d2ce3e6513ece.d: crates/xtests/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_xtests-e27d2ce3e6513ece.rlib: crates/xtests/src/lib.rs
+
+/root/repo/target/debug/deps/libachilles_xtests-e27d2ce3e6513ece.rmeta: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

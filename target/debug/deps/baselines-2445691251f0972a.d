@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-2445691251f0972a.d: crates/xtests/../../tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-2445691251f0972a.rmeta: crates/xtests/../../tests/baselines.rs Cargo.toml
+
+crates/xtests/../../tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-2f6a36909aa491f7.d: crates/xtests/../../tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-2f6a36909aa491f7: crates/xtests/../../tests/baselines.rs
+
+crates/xtests/../../tests/baselines.rs:

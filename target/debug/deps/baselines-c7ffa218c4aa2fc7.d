@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-c7ffa218c4aa2fc7.d: crates/xtests/../../tests/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-c7ffa218c4aa2fc7.rmeta: crates/xtests/../../tests/baselines.rs
+
+crates/xtests/../../tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-2eca14fef8a62981.d: crates/xtests/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/libcross_crate_props-2eca14fef8a62981.rmeta: crates/xtests/../../tests/cross_crate_props.rs
+
+crates/xtests/../../tests/cross_crate_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-551e136183a22bda.d: crates/xtests/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/cross_crate_props-551e136183a22bda: crates/xtests/../../tests/cross_crate_props.rs
+
+crates/xtests/../../tests/cross_crate_props.rs:

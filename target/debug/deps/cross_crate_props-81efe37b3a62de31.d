@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_props-81efe37b3a62de31.d: crates/xtests/../../tests/cross_crate_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_props-81efe37b3a62de31.rmeta: crates/xtests/../../tests/cross_crate_props.rs Cargo.toml
+
+crates/xtests/../../tests/cross_crate_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

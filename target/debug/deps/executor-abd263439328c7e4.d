@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-abd263439328c7e4.d: crates/bench/benches/executor.rs
+
+/root/repo/target/debug/deps/libexecutor-abd263439328c7e4.rmeta: crates/bench/benches/executor.rs
+
+crates/bench/benches/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_discovery-0572c3d82205bdb8.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/debug/deps/libfig10_discovery-0572c3d82205bdb8.rmeta: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_discovery-0fc2e79f0074cd1b.d: crates/bench/benches/fig10_discovery.rs
+
+/root/repo/target/debug/deps/libfig10_discovery-0fc2e79f0074cd1b.rmeta: crates/bench/benches/fig10_discovery.rs
+
+crates/bench/benches/fig10_discovery.rs:

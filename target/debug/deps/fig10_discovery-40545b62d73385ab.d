@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_discovery-40545b62d73385ab.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/debug/deps/libfig10_discovery-40545b62d73385ab.rmeta: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

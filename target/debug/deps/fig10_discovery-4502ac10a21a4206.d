@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_discovery-4502ac10a21a4206.d: crates/bench/benches/fig10_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_discovery-4502ac10a21a4206.rmeta: crates/bench/benches/fig10_discovery.rs Cargo.toml
+
+crates/bench/benches/fig10_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_discovery-d0b8772f1697ad3c.d: crates/bench/src/bin/fig10_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_discovery-d0b8772f1697ad3c.rmeta: crates/bench/src/bin/fig10_discovery.rs Cargo.toml
+
+crates/bench/src/bin/fig10_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

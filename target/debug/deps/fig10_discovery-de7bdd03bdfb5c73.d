@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_discovery-de7bdd03bdfb5c73.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/debug/deps/fig10_discovery-de7bdd03bdfb5c73: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

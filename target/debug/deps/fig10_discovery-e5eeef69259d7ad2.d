@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_discovery-e5eeef69259d7ad2.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/debug/deps/fig10_discovery-e5eeef69259d7ad2: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_discovery-f51d6c3b5c0378d6.d: crates/bench/src/bin/fig10_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_discovery-f51d6c3b5c0378d6.rmeta: crates/bench/src/bin/fig10_discovery.rs Cargo.toml
+
+crates/bench/src/bin/fig10_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

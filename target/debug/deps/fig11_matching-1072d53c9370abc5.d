@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_matching-1072d53c9370abc5.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/debug/deps/libfig11_matching-1072d53c9370abc5.rmeta: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_matching-21e514736225af07.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/debug/deps/fig11_matching-21e514736225af07: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_matching-4de0b2a9dbf3109e.d: crates/bench/benches/fig11_matching.rs
+
+/root/repo/target/debug/deps/libfig11_matching-4de0b2a9dbf3109e.rmeta: crates/bench/benches/fig11_matching.rs
+
+crates/bench/benches/fig11_matching.rs:

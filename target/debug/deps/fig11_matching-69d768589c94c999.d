@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_matching-69d768589c94c999.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/debug/deps/libfig11_matching-69d768589c94c999.rmeta: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

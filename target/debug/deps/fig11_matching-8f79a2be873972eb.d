@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_matching-8f79a2be873972eb.d: crates/bench/src/bin/fig11_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_matching-8f79a2be873972eb.rmeta: crates/bench/src/bin/fig11_matching.rs Cargo.toml
+
+crates/bench/src/bin/fig11_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

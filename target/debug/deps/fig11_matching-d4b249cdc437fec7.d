@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_matching-d4b249cdc437fec7.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/debug/deps/fig11_matching-d4b249cdc437fec7: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsp_end_to_end-06dacd350d44a548.d: crates/xtests/../../tests/fsp_end_to_end.rs
+
+/root/repo/target/debug/deps/libfsp_end_to_end-06dacd350d44a548.rmeta: crates/xtests/../../tests/fsp_end_to_end.rs
+
+crates/xtests/../../tests/fsp_end_to_end.rs:

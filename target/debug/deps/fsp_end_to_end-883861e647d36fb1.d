@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsp_end_to_end-883861e647d36fb1.d: crates/xtests/../../tests/fsp_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsp_end_to_end-883861e647d36fb1.rmeta: crates/xtests/../../tests/fsp_end_to_end.rs Cargo.toml
+
+crates/xtests/../../tests/fsp_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsp_end_to_end-c6b34f834bb9e922.d: crates/xtests/../../tests/fsp_end_to_end.rs
+
+/root/repo/target/debug/deps/fsp_end_to_end-c6b34f834bb9e922: crates/xtests/../../tests/fsp_end_to_end.rs
+
+crates/xtests/../../tests/fsp_end_to_end.rs:

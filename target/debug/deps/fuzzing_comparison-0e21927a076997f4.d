@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing_comparison-0e21927a076997f4.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/debug/deps/libfuzzing_comparison-0e21927a076997f4.rmeta: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing_comparison-1757e1f9c7d35152.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/debug/deps/fuzzing_comparison-1757e1f9c7d35152: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing_comparison-44aaeabc10934bf3.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/debug/deps/fuzzing_comparison-44aaeabc10934bf3: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzzing_comparison-4dc5203e61f08643.d: crates/bench/benches/fuzzing_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzzing_comparison-4dc5203e61f08643.rmeta: crates/bench/benches/fuzzing_comparison.rs Cargo.toml
+
+crates/bench/benches/fuzzing_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzzing_comparison-72ff0093f8edb4b8.d: crates/bench/src/bin/fuzzing_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzzing_comparison-72ff0093f8edb4b8.rmeta: crates/bench/src/bin/fuzzing_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fuzzing_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

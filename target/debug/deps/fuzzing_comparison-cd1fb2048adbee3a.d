@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing_comparison-cd1fb2048adbee3a.d: crates/bench/benches/fuzzing_comparison.rs
+
+/root/repo/target/debug/deps/libfuzzing_comparison-cd1fb2048adbee3a.rmeta: crates/bench/benches/fuzzing_comparison.rs
+
+crates/bench/benches/fuzzing_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzing_comparison-cf95e7504e830c6c.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/debug/deps/libfuzzing_comparison-cf95e7504e830c6c.rmeta: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzzing_comparison-f3edec941df567b7.d: crates/bench/src/bin/fuzzing_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzzing_comparison-f3edec941df567b7.rmeta: crates/bench/src/bin/fuzzing_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fuzzing_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_state_modes-a41c596ea83c58da.d: crates/xtests/../../tests/local_state_modes.rs
+
+/root/repo/target/debug/deps/liblocal_state_modes-a41c596ea83c58da.rmeta: crates/xtests/../../tests/local_state_modes.rs
+
+crates/xtests/../../tests/local_state_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_state_modes-d2b24849d0f13693.d: crates/xtests/../../tests/local_state_modes.rs
+
+/root/repo/target/debug/deps/local_state_modes-d2b24849d0f13693: crates/xtests/../../tests/local_state_modes.rs
+
+crates/xtests/../../tests/local_state_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/local_state_modes-e401b4406d256a22.d: crates/xtests/../../tests/local_state_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_state_modes-e401b4406d256a22.rmeta: crates/xtests/../../tests/local_state_modes.rs Cargo.toml
+
+crates/xtests/../../tests/local_state_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-2854a37f730fd410.d: crates/xtests/../../tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-2854a37f730fd410: crates/xtests/../../tests/parallel_determinism.rs
+
+crates/xtests/../../tests/parallel_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-828a86059b84bf1b.d: crates/xtests/../../tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-828a86059b84bf1b.rmeta: crates/xtests/../../tests/parallel_determinism.rs Cargo.toml
+
+crates/xtests/../../tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

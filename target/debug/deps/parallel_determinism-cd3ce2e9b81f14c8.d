@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-cd3ce2e9b81f14c8.d: crates/xtests/../../tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/libparallel_determinism-cd3ce2e9b81f14c8.rmeta: crates/xtests/../../tests/parallel_determinism.rs
+
+crates/xtests/../../tests/parallel_determinism.rs:

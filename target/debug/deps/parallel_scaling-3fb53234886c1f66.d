@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-3fb53234886c1f66.d: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-3fb53234886c1f66.rmeta: crates/bench/src/bin/parallel_scaling.rs Cargo.toml
+
+crates/bench/src/bin/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

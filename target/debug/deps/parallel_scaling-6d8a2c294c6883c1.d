@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-6d8a2c294c6883c1.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/libparallel_scaling-6d8a2c294c6883c1.rmeta: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

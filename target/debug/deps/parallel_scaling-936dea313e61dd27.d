@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-936dea313e61dd27.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/libparallel_scaling-936dea313e61dd27.rmeta: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

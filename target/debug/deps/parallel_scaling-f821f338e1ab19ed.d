@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_scaling-f821f338e1ab19ed.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/debug/deps/parallel_scaling-f821f338e1ab19ed: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

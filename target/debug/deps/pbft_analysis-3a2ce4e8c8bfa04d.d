@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_analysis-3a2ce4e8c8bfa04d.d: crates/bench/benches/pbft_analysis.rs
+
+/root/repo/target/debug/deps/libpbft_analysis-3a2ce4e8c8bfa04d.rmeta: crates/bench/benches/pbft_analysis.rs
+
+crates/bench/benches/pbft_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_analysis-4cc218b02fc9c287.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/debug/deps/libpbft_analysis-4cc218b02fc9c287.rmeta: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

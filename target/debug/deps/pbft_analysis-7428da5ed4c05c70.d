@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pbft_analysis-7428da5ed4c05c70.d: crates/bench/benches/pbft_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpbft_analysis-7428da5ed4c05c70.rmeta: crates/bench/benches/pbft_analysis.rs Cargo.toml
+
+crates/bench/benches/pbft_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

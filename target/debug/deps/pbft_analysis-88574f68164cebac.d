@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_analysis-88574f68164cebac.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/debug/deps/libpbft_analysis-88574f68164cebac.rmeta: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_analysis-8be849741ae02757.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/debug/deps/pbft_analysis-8be849741ae02757: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

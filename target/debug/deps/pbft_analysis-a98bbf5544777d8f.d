@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pbft_analysis-a98bbf5544777d8f.d: crates/bench/src/bin/pbft_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpbft_analysis-a98bbf5544777d8f.rmeta: crates/bench/src/bin/pbft_analysis.rs Cargo.toml
+
+crates/bench/src/bin/pbft_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pbft_analysis-cf69cd60ccc03ead.d: crates/bench/src/bin/pbft_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpbft_analysis-cf69cd60ccc03ead.rmeta: crates/bench/src/bin/pbft_analysis.rs Cargo.toml
+
+crates/bench/src/bin/pbft_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

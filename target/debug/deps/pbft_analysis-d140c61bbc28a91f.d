@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_analysis-d140c61bbc28a91f.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/debug/deps/pbft_analysis-d140c61bbc28a91f: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

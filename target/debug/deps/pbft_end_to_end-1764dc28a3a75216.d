@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pbft_end_to_end-1764dc28a3a75216.d: crates/xtests/../../tests/pbft_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpbft_end_to_end-1764dc28a3a75216.rmeta: crates/xtests/../../tests/pbft_end_to_end.rs Cargo.toml
+
+crates/xtests/../../tests/pbft_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

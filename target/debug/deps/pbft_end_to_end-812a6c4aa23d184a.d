@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_end_to_end-812a6c4aa23d184a.d: crates/xtests/../../tests/pbft_end_to_end.rs
+
+/root/repo/target/debug/deps/pbft_end_to_end-812a6c4aa23d184a: crates/xtests/../../tests/pbft_end_to_end.rs
+
+crates/xtests/../../tests/pbft_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pbft_end_to_end-feb559188cb077cb.d: crates/xtests/../../tests/pbft_end_to_end.rs
+
+/root/repo/target/debug/deps/libpbft_end_to_end-feb559188cb077cb.rmeta: crates/xtests/../../tests/pbft_end_to_end.rs
+
+crates/xtests/../../tests/pbft_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_quickstart-013d9e10bdc8547a.d: crates/xtests/../../tests/pipeline_quickstart.rs
+
+/root/repo/target/debug/deps/libpipeline_quickstart-013d9e10bdc8547a.rmeta: crates/xtests/../../tests/pipeline_quickstart.rs
+
+crates/xtests/../../tests/pipeline_quickstart.rs:

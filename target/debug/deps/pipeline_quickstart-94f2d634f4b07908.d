@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_quickstart-94f2d634f4b07908.d: crates/xtests/../../tests/pipeline_quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_quickstart-94f2d634f4b07908.rmeta: crates/xtests/../../tests/pipeline_quickstart.rs Cargo.toml
+
+crates/xtests/../../tests/pipeline_quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

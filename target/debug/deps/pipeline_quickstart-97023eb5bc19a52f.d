@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_quickstart-97023eb5bc19a52f.d: crates/xtests/../../tests/pipeline_quickstart.rs
+
+/root/repo/target/debug/deps/pipeline_quickstart-97023eb5bc19a52f: crates/xtests/../../tests/pipeline_quickstart.rs
+
+crates/xtests/../../tests/pipeline_quickstart.rs:

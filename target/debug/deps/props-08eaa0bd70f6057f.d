@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-08eaa0bd70f6057f.d: crates/solver/tests/props.rs
+
+/root/repo/target/debug/deps/props-08eaa0bd70f6057f: crates/solver/tests/props.rs
+
+crates/solver/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-4d658d60285644c9.d: crates/symvm/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-4d658d60285644c9.rmeta: crates/symvm/tests/props.rs Cargo.toml
+
+crates/symvm/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

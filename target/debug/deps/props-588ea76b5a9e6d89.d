@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-588ea76b5a9e6d89.d: crates/solver/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-588ea76b5a9e6d89.rmeta: crates/solver/tests/props.rs Cargo.toml
+
+crates/solver/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

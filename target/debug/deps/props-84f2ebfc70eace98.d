@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-84f2ebfc70eace98.d: crates/symvm/tests/props.rs
+
+/root/repo/target/debug/deps/props-84f2ebfc70eace98: crates/symvm/tests/props.rs
+
+crates/symvm/tests/props.rs:

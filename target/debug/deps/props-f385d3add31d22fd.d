@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f385d3add31d22fd.d: crates/symvm/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-f385d3add31d22fd.rmeta: crates/symvm/tests/props.rs
+
+crates/symvm/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f7e656b9f6a39ebf.d: crates/solver/tests/props.rs
+
+/root/repo/target/debug/deps/libprops-f7e656b9f6a39ebf.rmeta: crates/solver/tests/props.rs
+
+crates/solver/tests/props.rs:

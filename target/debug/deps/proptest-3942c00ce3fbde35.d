@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3942c00ce3fbde35.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-3942c00ce3fbde35: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d4a352cb5d159e5d.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d4a352cb5d159e5d.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

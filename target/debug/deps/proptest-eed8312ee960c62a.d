@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-eed8312ee960c62a.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eed8312ee960c62a.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eed8312ee960c62a.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f4ebbd54e3c101fb.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f4ebbd54e3c101fb.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver-f6c33f7bb00cd214.d: crates/bench/benches/solver.rs
+
+/root/repo/target/debug/deps/libsolver-f6c33f7bb00cd214.rmeta: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_accuracy-0b9d3d5e523d0a06.d: crates/bench/benches/table1_accuracy.rs
+
+/root/repo/target/debug/deps/libtable1_accuracy-0b9d3d5e523d0a06.rmeta: crates/bench/benches/table1_accuracy.rs
+
+crates/bench/benches/table1_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_accuracy-29f1d63a9fde154d.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/debug/deps/libtable1_accuracy-29f1d63a9fde154d.rmeta: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

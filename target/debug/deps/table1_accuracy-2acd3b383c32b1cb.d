@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_accuracy-2acd3b383c32b1cb.d: crates/bench/src/bin/table1_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_accuracy-2acd3b383c32b1cb.rmeta: crates/bench/src/bin/table1_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/table1_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_accuracy-435d6ed362214968.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/debug/deps/libtable1_accuracy-435d6ed362214968.rmeta: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_accuracy-59effa79d83e4988.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/debug/deps/table1_accuracy-59effa79d83e4988: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

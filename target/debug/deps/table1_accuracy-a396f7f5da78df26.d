@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_accuracy-a396f7f5da78df26.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/debug/deps/table1_accuracy-a396f7f5da78df26: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_recv_parallel-3425224c635787ef.d: crates/symvm/tests/tmp_recv_parallel.rs
+
+/root/repo/target/debug/deps/tmp_recv_parallel-3425224c635787ef: crates/symvm/tests/tmp_recv_parallel.rs
+
+crates/symvm/tests/tmp_recv_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/annotations_tour-14669a9031538b2c.d: crates/examples-app/../../examples/annotations_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libannotations_tour-14669a9031538b2c.rmeta: crates/examples-app/../../examples/annotations_tour.rs Cargo.toml
+
+crates/examples-app/../../examples/annotations_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

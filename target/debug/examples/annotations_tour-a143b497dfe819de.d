@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotations_tour-a143b497dfe819de.d: crates/examples-app/../../examples/annotations_tour.rs
+
+/root/repo/target/debug/examples/libannotations_tour-a143b497dfe819de.rmeta: crates/examples-app/../../examples/annotations_tour.rs
+
+crates/examples-app/../../examples/annotations_tour.rs:

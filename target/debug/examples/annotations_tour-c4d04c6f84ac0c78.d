@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/annotations_tour-c4d04c6f84ac0c78.d: crates/examples-app/../../examples/annotations_tour.rs
+
+/root/repo/target/debug/examples/annotations_tour-c4d04c6f84ac0c78: crates/examples-app/../../examples/annotations_tour.rs
+
+crates/examples-app/../../examples/annotations_tour.rs:

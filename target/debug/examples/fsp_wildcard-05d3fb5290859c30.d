@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fsp_wildcard-05d3fb5290859c30.d: crates/examples-app/../../examples/fsp_wildcard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfsp_wildcard-05d3fb5290859c30.rmeta: crates/examples-app/../../examples/fsp_wildcard.rs Cargo.toml
+
+crates/examples-app/../../examples/fsp_wildcard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

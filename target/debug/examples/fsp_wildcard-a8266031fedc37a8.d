@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsp_wildcard-a8266031fedc37a8.d: crates/examples-app/../../examples/fsp_wildcard.rs
+
+/root/repo/target/debug/examples/libfsp_wildcard-a8266031fedc37a8.rmeta: crates/examples-app/../../examples/fsp_wildcard.rs
+
+crates/examples-app/../../examples/fsp_wildcard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fsp_wildcard-c56810b5ae18a448.d: crates/examples-app/../../examples/fsp_wildcard.rs
+
+/root/repo/target/debug/examples/fsp_wildcard-c56810b5ae18a448: crates/examples-app/../../examples/fsp_wildcard.rs
+
+crates/examples-app/../../examples/fsp_wildcard.rs:

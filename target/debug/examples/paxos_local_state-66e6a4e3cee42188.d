@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paxos_local_state-66e6a4e3cee42188.d: crates/examples-app/../../examples/paxos_local_state.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaxos_local_state-66e6a4e3cee42188.rmeta: crates/examples-app/../../examples/paxos_local_state.rs Cargo.toml
+
+crates/examples-app/../../examples/paxos_local_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

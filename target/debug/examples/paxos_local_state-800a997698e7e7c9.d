@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paxos_local_state-800a997698e7e7c9.d: crates/examples-app/../../examples/paxos_local_state.rs
+
+/root/repo/target/debug/examples/libpaxos_local_state-800a997698e7e7c9.rmeta: crates/examples-app/../../examples/paxos_local_state.rs
+
+crates/examples-app/../../examples/paxos_local_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paxos_local_state-ba7db803a4452cde.d: crates/examples-app/../../examples/paxos_local_state.rs
+
+/root/repo/target/debug/examples/paxos_local_state-ba7db803a4452cde: crates/examples-app/../../examples/paxos_local_state.rs
+
+crates/examples-app/../../examples/paxos_local_state.rs:

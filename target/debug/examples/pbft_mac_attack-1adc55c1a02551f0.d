@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pbft_mac_attack-1adc55c1a02551f0.d: crates/examples-app/../../examples/pbft_mac_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpbft_mac_attack-1adc55c1a02551f0.rmeta: crates/examples-app/../../examples/pbft_mac_attack.rs Cargo.toml
+
+crates/examples-app/../../examples/pbft_mac_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

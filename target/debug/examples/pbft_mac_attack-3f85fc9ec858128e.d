@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pbft_mac_attack-3f85fc9ec858128e.d: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+/root/repo/target/debug/examples/libpbft_mac_attack-3f85fc9ec858128e.rmeta: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+crates/examples-app/../../examples/pbft_mac_attack.rs:

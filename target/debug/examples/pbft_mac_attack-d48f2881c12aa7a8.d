@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pbft_mac_attack-d48f2881c12aa7a8.d: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+/root/repo/target/debug/examples/pbft_mac_attack-d48f2881c12aa7a8: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+crates/examples-app/../../examples/pbft_mac_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-11721fefd2e9301e.d: crates/examples-app/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-11721fefd2e9301e: crates/examples-app/../../examples/quickstart.rs
+
+crates/examples-app/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1193d6f17b811da8.d: crates/examples-app/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1193d6f17b811da8.rmeta: crates/examples-app/../../examples/quickstart.rs Cargo.toml
+
+crates/examples-app/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

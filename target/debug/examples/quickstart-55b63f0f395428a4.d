@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55b63f0f395428a4.d: crates/examples-app/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-55b63f0f395428a4.rmeta: crates/examples-app/../../examples/quickstart.rs
+
+crates/examples-app/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/session_trojans-1a70b9e127bee365.d: crates/examples-app/../../examples/session_trojans.rs
+
+/root/repo/target/debug/examples/session_trojans-1a70b9e127bee365: crates/examples-app/../../examples/session_trojans.rs
+
+crates/examples-app/../../examples/session_trojans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/session_trojans-76ec89743be25c08.d: crates/examples-app/../../examples/session_trojans.rs
+
+/root/repo/target/debug/examples/libsession_trojans-76ec89743be25c08.rmeta: crates/examples-app/../../examples/session_trojans.rs
+
+crates/examples-app/../../examples/session_trojans.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/session_trojans-ee2b73570a41b03d.d: crates/examples-app/../../examples/session_trojans.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsession_trojans-ee2b73570a41b03d.rmeta: crates/examples-app/../../examples/session_trojans.rs Cargo.toml
+
+crates/examples-app/../../examples/session_trojans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libachilles_xtests.rlib: /root/repo/crates/xtests/src/lib.rs

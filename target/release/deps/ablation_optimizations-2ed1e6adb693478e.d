@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_optimizations-2ed1e6adb693478e.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/release/deps/ablation_optimizations-2ed1e6adb693478e: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

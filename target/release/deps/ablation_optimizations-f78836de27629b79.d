@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_optimizations-f78836de27629b79.d: crates/bench/src/bin/ablation_optimizations.rs
+
+/root/repo/target/release/deps/ablation_optimizations-f78836de27629b79: crates/bench/src/bin/ablation_optimizations.rs
+
+crates/bench/src/bin/ablation_optimizations.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/achilles-bfb31cfbec88db97.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+/root/repo/target/release/deps/libachilles-bfb31cfbec88db97.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+/root/repo/target/release/deps/libachilles-bfb31cfbec88db97.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/diff_matrix.rs crates/core/src/export.rs crates/core/src/negate.rs crates/core/src/pipeline.rs crates/core/src/predicate.rs crates/core/src/refine.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/sequence.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/diff_matrix.rs:
+crates/core/src/export.rs:
+crates/core/src/negate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predicate.rs:
+crates/core/src/refine.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/achilles_bench-6457d60d5e88c2e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/achilles_bench-6457d60d5e88c2e3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

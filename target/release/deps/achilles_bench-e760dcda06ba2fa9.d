@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/achilles_bench-e760dcda06ba2fa9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_bench-e760dcda06ba2fa9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_bench-e760dcda06ba2fa9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/achilles_examples-33ad95381a5e7393.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_examples-33ad95381a5e7393.rlib: crates/examples-app/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_examples-33ad95381a5e7393.rmeta: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

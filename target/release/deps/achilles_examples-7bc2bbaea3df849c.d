@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/achilles_examples-7bc2bbaea3df849c.d: crates/examples-app/src/lib.rs
+
+/root/repo/target/release/deps/achilles_examples-7bc2bbaea3df849c: crates/examples-app/src/lib.rs
+
+crates/examples-app/src/lib.rs:

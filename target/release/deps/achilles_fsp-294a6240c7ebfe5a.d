@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/achilles_fsp-294a6240c7ebfe5a.d: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+/root/repo/target/release/deps/achilles_fsp-294a6240c7ebfe5a: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+crates/fsp/src/lib.rs:
+crates/fsp/src/analysis.rs:
+crates/fsp/src/client.rs:
+crates/fsp/src/oracle.rs:
+crates/fsp/src/protocol.rs:
+crates/fsp/src/runtime.rs:
+crates/fsp/src/server.rs:

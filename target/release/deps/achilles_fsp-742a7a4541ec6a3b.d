@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/achilles_fsp-742a7a4541ec6a3b.d: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+/root/repo/target/release/deps/libachilles_fsp-742a7a4541ec6a3b.rlib: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+/root/repo/target/release/deps/libachilles_fsp-742a7a4541ec6a3b.rmeta: crates/fsp/src/lib.rs crates/fsp/src/analysis.rs crates/fsp/src/client.rs crates/fsp/src/oracle.rs crates/fsp/src/protocol.rs crates/fsp/src/runtime.rs crates/fsp/src/server.rs
+
+crates/fsp/src/lib.rs:
+crates/fsp/src/analysis.rs:
+crates/fsp/src/client.rs:
+crates/fsp/src/oracle.rs:
+crates/fsp/src/protocol.rs:
+crates/fsp/src/runtime.rs:
+crates/fsp/src/server.rs:

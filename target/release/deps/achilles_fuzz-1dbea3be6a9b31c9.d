@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/achilles_fuzz-1dbea3be6a9b31c9.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_fuzz-1dbea3be6a9b31c9.rlib: crates/fuzz/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_fuzz-1dbea3be6a9b31c9.rmeta: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

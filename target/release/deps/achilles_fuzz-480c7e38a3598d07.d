@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/achilles_fuzz-480c7e38a3598d07.d: crates/fuzz/src/lib.rs
+
+/root/repo/target/release/deps/achilles_fuzz-480c7e38a3598d07: crates/fuzz/src/lib.rs
+
+crates/fuzz/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/achilles_netsim-1eb448160f71efd9.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/release/deps/achilles_netsim-1eb448160f71efd9: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/achilles_netsim-fd018389a9d259a9.d: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/release/deps/libachilles_netsim-fd018389a9d259a9.rlib: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+/root/repo/target/release/deps/libachilles_netsim-fd018389a9d259a9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bytes.rs crates/netsim/src/clock.rs crates/netsim/src/fs.rs crates/netsim/src/net.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bytes.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/fs.rs:
+crates/netsim/src/net.rs:

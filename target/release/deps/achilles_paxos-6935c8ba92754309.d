@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/achilles_paxos-6935c8ba92754309.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/release/deps/libachilles_paxos-6935c8ba92754309.rlib: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/release/deps/libachilles_paxos-6935c8ba92754309.rmeta: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:

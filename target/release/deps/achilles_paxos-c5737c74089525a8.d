@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/achilles_paxos-c5737c74089525a8.d: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+/root/repo/target/release/deps/achilles_paxos-c5737c74089525a8: crates/paxos/src/lib.rs crates/paxos/src/engine.rs crates/paxos/src/programs.rs
+
+crates/paxos/src/lib.rs:
+crates/paxos/src/engine.rs:
+crates/paxos/src/programs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/achilles_pbft-1fac9b08946c19c9.d: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+/root/repo/target/release/deps/libachilles_pbft-1fac9b08946c19c9.rlib: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+/root/repo/target/release/deps/libachilles_pbft-1fac9b08946c19c9.rmeta: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/analysis.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/cluster.rs:
+crates/pbft/src/mac.rs:
+crates/pbft/src/protocol.rs:
+crates/pbft/src/replica.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/achilles_pbft-cf7e06d506cbd583.d: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+/root/repo/target/release/deps/achilles_pbft-cf7e06d506cbd583: crates/pbft/src/lib.rs crates/pbft/src/analysis.rs crates/pbft/src/client.rs crates/pbft/src/cluster.rs crates/pbft/src/mac.rs crates/pbft/src/protocol.rs crates/pbft/src/replica.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/analysis.rs:
+crates/pbft/src/client.rs:
+crates/pbft/src/cluster.rs:
+crates/pbft/src/mac.rs:
+crates/pbft/src/protocol.rs:
+crates/pbft/src/replica.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/achilles_solver-d0a8cdf904b5e548.d: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs
+
+/root/repo/target/release/deps/libachilles_solver-d0a8cdf904b5e548.rlib: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs
+
+/root/repo/target/release/deps/libachilles_solver-d0a8cdf904b5e548.rmeta: crates/solver/src/lib.rs crates/solver/src/atom.rs crates/solver/src/cache.rs crates/solver/src/interval.rs crates/solver/src/model.rs crates/solver/src/pretty.rs crates/solver/src/scoped.rs crates/solver/src/search.rs crates/solver/src/smtlib.rs crates/solver/src/solver.rs crates/solver/src/term.rs crates/solver/src/width.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/atom.rs:
+crates/solver/src/cache.rs:
+crates/solver/src/interval.rs:
+crates/solver/src/model.rs:
+crates/solver/src/pretty.rs:
+crates/solver/src/scoped.rs:
+crates/solver/src/search.rs:
+crates/solver/src/smtlib.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/term.rs:
+crates/solver/src/width.rs:

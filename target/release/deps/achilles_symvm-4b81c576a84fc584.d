@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/achilles_symvm-4b81c576a84fc584.d: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+/root/repo/target/release/deps/libachilles_symvm-4b81c576a84fc584.rlib: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+/root/repo/target/release/deps/libachilles_symvm-4b81c576a84fc584.rmeta: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+crates/symvm/src/lib.rs:
+crates/symvm/src/env.rs:
+crates/symvm/src/executor.rs:
+crates/symvm/src/message.rs:
+crates/symvm/src/observer.rs:
+crates/symvm/src/parallel.rs:
+crates/symvm/src/program.rs:
+crates/symvm/src/record.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/achilles_symvm-99ad7cfba127b7bb.d: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+/root/repo/target/release/deps/achilles_symvm-99ad7cfba127b7bb: crates/symvm/src/lib.rs crates/symvm/src/env.rs crates/symvm/src/executor.rs crates/symvm/src/message.rs crates/symvm/src/observer.rs crates/symvm/src/parallel.rs crates/symvm/src/program.rs crates/symvm/src/record.rs
+
+crates/symvm/src/lib.rs:
+crates/symvm/src/env.rs:
+crates/symvm/src/executor.rs:
+crates/symvm/src/message.rs:
+crates/symvm/src/observer.rs:
+crates/symvm/src/parallel.rs:
+crates/symvm/src/program.rs:
+crates/symvm/src/record.rs:

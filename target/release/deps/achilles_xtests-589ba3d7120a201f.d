@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/achilles_xtests-589ba3d7120a201f.d: crates/xtests/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_xtests-589ba3d7120a201f.rlib: crates/xtests/src/lib.rs
+
+/root/repo/target/release/deps/libachilles_xtests-589ba3d7120a201f.rmeta: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

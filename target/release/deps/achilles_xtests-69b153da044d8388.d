@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/achilles_xtests-69b153da044d8388.d: crates/xtests/src/lib.rs
+
+/root/repo/target/release/deps/achilles_xtests-69b153da044d8388: crates/xtests/src/lib.rs
+
+crates/xtests/src/lib.rs:

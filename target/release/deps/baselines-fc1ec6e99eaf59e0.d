@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-fc1ec6e99eaf59e0.d: crates/xtests/../../tests/baselines.rs
+
+/root/repo/target/release/deps/baselines-fc1ec6e99eaf59e0: crates/xtests/../../tests/baselines.rs
+
+crates/xtests/../../tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate_props-f3b3b63201c144d1.d: crates/xtests/../../tests/cross_crate_props.rs
+
+/root/repo/target/release/deps/cross_crate_props-f3b3b63201c144d1: crates/xtests/../../tests/cross_crate_props.rs
+
+crates/xtests/../../tests/cross_crate_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_discovery-89cb07c189ebeb08.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/release/deps/fig10_discovery-89cb07c189ebeb08: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

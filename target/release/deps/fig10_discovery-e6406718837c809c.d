@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_discovery-e6406718837c809c.d: crates/bench/src/bin/fig10_discovery.rs
+
+/root/repo/target/release/deps/fig10_discovery-e6406718837c809c: crates/bench/src/bin/fig10_discovery.rs
+
+crates/bench/src/bin/fig10_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_matching-8301e583b0f31359.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/release/deps/fig11_matching-8301e583b0f31359: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_matching-dd50aabceee9a6a1.d: crates/bench/src/bin/fig11_matching.rs
+
+/root/repo/target/release/deps/fig11_matching-dd50aabceee9a6a1: crates/bench/src/bin/fig11_matching.rs
+
+crates/bench/src/bin/fig11_matching.rs:

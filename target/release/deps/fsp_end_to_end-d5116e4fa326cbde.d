@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fsp_end_to_end-d5116e4fa326cbde.d: crates/xtests/../../tests/fsp_end_to_end.rs
+
+/root/repo/target/release/deps/fsp_end_to_end-d5116e4fa326cbde: crates/xtests/../../tests/fsp_end_to_end.rs
+
+crates/xtests/../../tests/fsp_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzzing_comparison-60da481a7d3dbece.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/release/deps/fuzzing_comparison-60da481a7d3dbece: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

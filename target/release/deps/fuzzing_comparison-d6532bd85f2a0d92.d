@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzzing_comparison-d6532bd85f2a0d92.d: crates/bench/src/bin/fuzzing_comparison.rs
+
+/root/repo/target/release/deps/fuzzing_comparison-d6532bd85f2a0d92: crates/bench/src/bin/fuzzing_comparison.rs
+
+crates/bench/src/bin/fuzzing_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/local_state_modes-d2728f6630511798.d: crates/xtests/../../tests/local_state_modes.rs
+
+/root/repo/target/release/deps/local_state_modes-d2728f6630511798: crates/xtests/../../tests/local_state_modes.rs
+
+crates/xtests/../../tests/local_state_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-a30077b19c799c67.d: crates/xtests/../../tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-a30077b19c799c67: crates/xtests/../../tests/parallel_determinism.rs
+
+crates/xtests/../../tests/parallel_determinism.rs:

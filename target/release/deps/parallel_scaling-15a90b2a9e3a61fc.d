@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-15a90b2a9e3a61fc.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-15a90b2a9e3a61fc: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-a250cc90e89b53c4.d: crates/bench/src/bin/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-a250cc90e89b53c4: crates/bench/src/bin/parallel_scaling.rs
+
+crates/bench/src/bin/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pbft_analysis-4f4b577de4bf67d4.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/release/deps/pbft_analysis-4f4b577de4bf67d4: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pbft_analysis-e5faa63c55e5c26f.d: crates/bench/src/bin/pbft_analysis.rs
+
+/root/repo/target/release/deps/pbft_analysis-e5faa63c55e5c26f: crates/bench/src/bin/pbft_analysis.rs
+
+crates/bench/src/bin/pbft_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pbft_end_to_end-0f6e8a47218e2522.d: crates/xtests/../../tests/pbft_end_to_end.rs
+
+/root/repo/target/release/deps/pbft_end_to_end-0f6e8a47218e2522: crates/xtests/../../tests/pbft_end_to_end.rs
+
+crates/xtests/../../tests/pbft_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_quickstart-9046a02c765e3cc4.d: crates/xtests/../../tests/pipeline_quickstart.rs
+
+/root/repo/target/release/deps/pipeline_quickstart-9046a02c765e3cc4: crates/xtests/../../tests/pipeline_quickstart.rs
+
+crates/xtests/../../tests/pipeline_quickstart.rs:

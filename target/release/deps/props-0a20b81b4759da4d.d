@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-0a20b81b4759da4d.d: crates/solver/tests/props.rs
+
+/root/repo/target/release/deps/props-0a20b81b4759da4d: crates/solver/tests/props.rs
+
+crates/solver/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-45a96f4feb3ab4f4.d: crates/symvm/tests/props.rs
+
+/root/repo/target/release/deps/props-45a96f4feb3ab4f4: crates/symvm/tests/props.rs
+
+crates/symvm/tests/props.rs:

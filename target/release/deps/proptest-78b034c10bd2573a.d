@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-78b034c10bd2573a.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-78b034c10bd2573a: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

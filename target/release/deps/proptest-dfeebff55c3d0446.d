@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-dfeebff55c3d0446.d: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dfeebff55c3d0446.rlib: crates/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dfeebff55c3d0446.rmeta: crates/vendor/proptest/src/lib.rs
+
+crates/vendor/proptest/src/lib.rs:

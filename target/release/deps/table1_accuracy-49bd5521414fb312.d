@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_accuracy-49bd5521414fb312.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/release/deps/table1_accuracy-49bd5521414fb312: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

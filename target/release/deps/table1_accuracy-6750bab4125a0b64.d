@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_accuracy-6750bab4125a0b64.d: crates/bench/src/bin/table1_accuracy.rs
+
+/root/repo/target/release/deps/table1_accuracy-6750bab4125a0b64: crates/bench/src/bin/table1_accuracy.rs
+
+crates/bench/src/bin/table1_accuracy.rs:

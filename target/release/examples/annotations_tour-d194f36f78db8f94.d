@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/annotations_tour-d194f36f78db8f94.d: crates/examples-app/../../examples/annotations_tour.rs
+
+/root/repo/target/release/examples/annotations_tour-d194f36f78db8f94: crates/examples-app/../../examples/annotations_tour.rs
+
+crates/examples-app/../../examples/annotations_tour.rs:

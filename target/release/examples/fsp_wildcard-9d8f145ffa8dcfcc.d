@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fsp_wildcard-9d8f145ffa8dcfcc.d: crates/examples-app/../../examples/fsp_wildcard.rs
+
+/root/repo/target/release/examples/fsp_wildcard-9d8f145ffa8dcfcc: crates/examples-app/../../examples/fsp_wildcard.rs
+
+crates/examples-app/../../examples/fsp_wildcard.rs:

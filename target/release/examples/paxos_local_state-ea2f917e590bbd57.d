@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paxos_local_state-ea2f917e590bbd57.d: crates/examples-app/../../examples/paxos_local_state.rs
+
+/root/repo/target/release/examples/paxos_local_state-ea2f917e590bbd57: crates/examples-app/../../examples/paxos_local_state.rs
+
+crates/examples-app/../../examples/paxos_local_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pbft_mac_attack-5f29364ad92ca7ae.d: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+/root/repo/target/release/examples/pbft_mac_attack-5f29364ad92ca7ae: crates/examples-app/../../examples/pbft_mac_attack.rs
+
+crates/examples-app/../../examples/pbft_mac_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5e37dd113a0866e6.d: crates/examples-app/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5e37dd113a0866e6: crates/examples-app/../../examples/quickstart.rs
+
+crates/examples-app/../../examples/quickstart.rs:

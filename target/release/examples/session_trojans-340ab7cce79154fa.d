@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/session_trojans-340ab7cce79154fa.d: crates/examples-app/../../examples/session_trojans.rs
+
+/root/repo/target/release/examples/session_trojans-340ab7cce79154fa: crates/examples-app/../../examples/session_trojans.rs
+
+crates/examples-app/../../examples/session_trojans.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libachilles_xtests.rlib: /root/repo/crates/xtests/src/lib.rs

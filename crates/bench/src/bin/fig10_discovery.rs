@@ -4,10 +4,15 @@
 //! 45 min on the paper's testbed — shapes, not absolutes, are the target).
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin fig10_discovery [-- --workers N]
+//! cargo run --release -p achilles-bench --bin fig10_discovery [-- --workers N] [-- --validate]
 //! ```
+//!
+//! With `--validate`, every discovered Trojan is additionally replayed
+//! against the concrete FSP deployment (the opt-in validate phase).
 
-use achilles_bench::{bar, fmt_secs, header, row, workers_from_args};
+use achilles_bench::{
+    arg_present, bar, fmt_secs, header, row, validate_fsp_result, workers_from_args,
+};
 use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
 
 fn main() {
@@ -64,4 +69,13 @@ fn main() {
     );
     println!("  shape:    discovery is incremental — interrupting early still yields results");
     assert_eq!(rows.len() as f64, expected, "all known Trojans discovered");
+
+    if arg_present("--validate") {
+        let summary = validate_fsp_result(&result, &config, workers);
+        assert_eq!(
+            summary.confirmed,
+            result.trojans.len(),
+            "every discovered Trojan replays to a concrete failure"
+        );
+    }
 }

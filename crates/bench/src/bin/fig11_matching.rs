@@ -4,10 +4,13 @@
 //! client predicate has hundreds of paths, like the paper's run.
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin fig11_matching [-- --workers N]
+//! cargo run --release -p achilles-bench --bin fig11_matching [-- --workers N] [-- --validate]
 //! ```
+//!
+//! With `--validate`, the discovered Trojans (wildcard family included) are
+//! replayed against the concrete FSP deployment.
 
-use achilles_bench::{bar, header, row, workers_from_args};
+use achilles_bench::{arg_present, bar, header, row, validate_fsp_result, workers_from_args};
 use achilles_fsp::{run_analysis, FspAnalysisConfig};
 use std::collections::BTreeMap;
 
@@ -58,4 +61,13 @@ fn main() {
         last_mean < first_mean,
         "matching predicates must decrease with depth"
     );
+
+    if arg_present("--validate") {
+        let summary = validate_fsp_result(&result, &config, workers);
+        assert_eq!(
+            summary.confirmed,
+            result.trojans.len(),
+            "every discovered Trojan replays to a concrete failure"
+        );
+    }
 }

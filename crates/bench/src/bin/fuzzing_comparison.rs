@@ -7,7 +7,7 @@
 //! cargo run --release -p achilles-bench --bin fuzzing_comparison
 //! ```
 
-use achilles_bench::{fmt_secs, header, row};
+use achilles_bench::{arg_present, fmt_secs, header, row, validate_fsp_result};
 use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
 use achilles_fuzz::{expectation, run_campaign, FuzzConfig};
 
@@ -123,4 +123,15 @@ fn main() {
         expected_in_achilles_window < 0.01,
         "fuzzing expects ~zero in the window"
     );
+
+    // Replay-validate Achilles' findings: fuzzing found zero real Trojans,
+    // while every symbolic finding reproduces as a concrete failure.
+    if arg_present("--validate") {
+        let summary = validate_fsp_result(&a, &FspAnalysisConfig::accuracy(), 1);
+        assert_eq!(
+            summary.confirmed,
+            a.trojans.len(),
+            "every discovered Trojan replays to a concrete failure"
+        );
+    }
 }

@@ -1,0 +1,181 @@
+//! Concrete replay validation of every symbolically discovered Trojan —
+//! the reproduction of the paper's "we validated the vulnerabilities by
+//! injecting Trojan messages into the system" step, plus a worker-scaling
+//! sweep of the replay phase.
+//!
+//! Discovers Trojans on FSP (accuracy configuration, eight utilities),
+//! PBFT (paper configuration), and Paxos (concrete local-state scenario),
+//! replays all of them against the concrete deployments, dedups confirmed
+//! failures by crash signature, ddmin-minimizes the first witness of each
+//! signature, and sweeps the replay fan-out over `workers ∈ {1, 2, 4, 8}`.
+//! With `--json [PATH]` emits `BENCH_replay.json`.
+//!
+//! ```text
+//! cargo run --release -p achilles-bench --bin replay_validation -- --json
+//! ```
+
+use std::time::Instant;
+
+use achilles_bench::{arg_present, arg_value, header, row};
+use achilles_fsp::{run_analysis as run_fsp, FspAnalysisConfig};
+use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode};
+use achilles_pbft::{run_analysis as run_pbft, PbftAnalysisConfig};
+use achilles_replay::{
+    validate_trojans, FspTarget, PaxosTarget, PbftTarget, ReplayCorpus, ReplayTarget,
+    ValidateConfig, ValidationSummary,
+};
+
+struct SystemRun {
+    name: &'static str,
+    discovered: usize,
+    confirmed: usize,
+    signatures: usize,
+    minimized_shrunk: usize,
+    skipped_second_pass: usize,
+}
+
+fn validate_system(
+    name: &'static str,
+    target: &dyn ReplayTarget,
+    trojans: &[achilles::TrojanReport],
+) -> (SystemRun, ValidationSummary) {
+    let mut corpus = ReplayCorpus::new();
+    let config = ValidateConfig {
+        minimize: true,
+        ..ValidateConfig::default()
+    };
+    let summary = validate_trojans(target, trojans, &mut corpus, &config);
+    // Second pass: the corpus must short-circuit every known witness.
+    let second = validate_trojans(target, trojans, &mut corpus, &config);
+    let run = SystemRun {
+        name,
+        discovered: trojans.len(),
+        confirmed: summary.confirmed,
+        signatures: corpus.distinct_signatures(),
+        minimized_shrunk: summary
+            .minimized
+            .iter()
+            .filter(|m| m.strictly_shrunk())
+            .count(),
+        skipped_second_pass: second.skipped_known,
+    };
+    println!(
+        "{}",
+        row(
+            name,
+            format!(
+                "{} discovered, {} confirmed ({:.0}%), {} signatures, {} minimized-shrunk, \
+                 {} skipped on re-run",
+                run.discovered,
+                run.confirmed,
+                summary.confirmation_rate() * 100.0,
+                run.signatures,
+                run.minimized_shrunk,
+                run.skipped_second_pass,
+            )
+        )
+    );
+    assert_eq!(
+        run.confirmed, run.discovered,
+        "{name}: every symbolic Trojan must replay to a concrete failure"
+    );
+    assert_eq!(
+        run.skipped_second_pass, run.discovered,
+        "{name}: the corpus must skip every known witness on re-analysis"
+    );
+    (run, summary)
+}
+
+fn main() {
+    header("Concrete replay validation (FSP + PBFT + Paxos)");
+
+    // --- Discover. -------------------------------------------------------
+    let fsp_config = FspAnalysisConfig::accuracy();
+    let fsp = run_fsp(&fsp_config);
+    let pbft = run_pbft(&PbftAnalysisConfig::paper());
+    let (_paxos_pool, paxos_trojans) =
+        analyze_local_state(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5), 1);
+
+    // --- Validate each system. -------------------------------------------
+    let fsp_target = FspTarget::new(fsp_config.server.clone(), fsp_config.client.glob_expansion);
+    let pbft_target = PbftTarget::default();
+    let paxos_target = PaxosTarget::new(5, ProposerMode::Concrete(5, 7));
+    let runs = [
+        validate_system("fsp", &fsp_target, &fsp.trojans).0,
+        validate_system("pbft", &pbft_target, &pbft.trojans).0,
+        validate_system("paxos", &paxos_target, &paxos_trojans).0,
+    ];
+
+    // --- Worker sweep over the largest witness set (FSP). -----------------
+    header("replay fan-out sweep (FSP witnesses)");
+    let sweep_counts = [1usize, 2, 4, 8];
+    let mut sweep = Vec::new();
+    let mut reference: Option<Vec<(Vec<u64>, String)>> = None;
+    for &workers in &sweep_counts {
+        let mut corpus = ReplayCorpus::new();
+        let started = Instant::now();
+        let summary = validate_trojans(
+            &fsp_target,
+            &fsp.trojans,
+            &mut corpus,
+            &ValidateConfig::default().with_workers(workers),
+        );
+        let wall = started.elapsed().as_secs_f64();
+        let key: Vec<(Vec<u64>, String)> = summary
+            .results
+            .iter()
+            .map(|r| (r.witness.fields.clone(), r.signature.to_line()))
+            .collect();
+        match &reference {
+            None => reference = Some(key),
+            Some(r) => assert_eq!(
+                r, &key,
+                "replay results must be identical for every worker count"
+            ),
+        }
+        let wps = summary.replayed as f64 / wall.max(1e-9);
+        println!(
+            "{}",
+            row(
+                &format!("workers={workers}"),
+                format!("{:.3}s, {:.0} witnesses/s", wall, wps)
+            )
+        );
+        sweep.push((workers, wall, wps));
+    }
+
+    if arg_present("--json") {
+        let path = arg_value("--json").unwrap_or_else(|| "BENCH_replay.json".to_string());
+        let path = if path.starts_with("--") {
+            "BENCH_replay.json".to_string()
+        } else {
+            path
+        };
+        let mut json = String::new();
+        json.push_str("{\n  \"bench\": \"replay_validation\",\n  \"systems\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"system\": \"{}\", \"discovered\": {}, \"confirmed\": {}, \
+                 \"signatures\": {}, \"minimized_shrunk\": {}, \"skipped_on_rerun\": {}}}{}\n",
+                r.name,
+                r.discovered,
+                r.confirmed,
+                r.signatures,
+                r.minimized_shrunk,
+                r.skipped_second_pass,
+                if i + 1 == runs.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ],\n  \"sweep\": [\n");
+        for (i, (workers, wall, wps)) in sweep.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \
+                 \"witnesses_per_sec\": {wps:.1}}}{}\n",
+                if i + 1 == sweep.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("\n  wrote {path}");
+    }
+}

@@ -46,6 +46,52 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Replays an FSP analysis result against the concrete deployment and
+/// prints the validation summary — the shared `--validate` tail of the
+/// fig10/fig11/fuzzing bins.
+///
+/// Returns the summary so callers can assert on it.
+pub fn validate_fsp_result(
+    result: &achilles_fsp::FspAnalysisResult,
+    config: &achilles_fsp::FspAnalysisConfig,
+    workers: usize,
+) -> achilles_replay::ValidationSummary {
+    use achilles_replay::{validate_trojans, FspTarget, ReplayCorpus, ValidateConfig};
+    let target = FspTarget::new(config.server.clone(), config.client.glob_expansion);
+    let mut corpus = ReplayCorpus::new();
+    let summary = validate_trojans(
+        &target,
+        &result.trojans,
+        &mut corpus,
+        &ValidateConfig::default().with_workers(workers),
+    );
+    header("concrete replay validation");
+    println!("{}", row("witnesses replayed", summary.replayed));
+    println!(
+        "{}",
+        row(
+            "confirmed Trojans",
+            format!(
+                "{} ({:.0}%)",
+                summary.confirmed,
+                summary.confirmation_rate() * 100.0
+            )
+        )
+    );
+    println!(
+        "{}",
+        row("distinct crash signatures", corpus.distinct_signatures())
+    );
+    println!(
+        "{}",
+        row(
+            "replay throughput",
+            format!("{:.0} witnesses/s", summary.witnesses_per_sec())
+        )
+    );
+    summary
+}
+
 /// A tiny fixed-width histogram for terminal "figures": draws `value`
 /// against `max` as a bar of at most `width` characters.
 pub fn bar(value: f64, max: f64, width: usize) -> String {

@@ -100,6 +100,31 @@ pub fn trojans_to_markdown(
     out
 }
 
+/// Serializes a witness's field values as a stable, machine-readable record
+/// (decimal, comma-separated) — the unit of the replay corpus format.
+///
+/// Reports render for humans ([`trojans_to_markdown`]); corpora need to
+/// round-trip. Keeping both forms here means every consumer of exported
+/// Trojans shares one vocabulary.
+pub fn witness_record(fields: &[u64]) -> String {
+    fields
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a [`witness_record`] back into field values.
+///
+/// Returns `None` on any malformed component (corrupt corpus lines are
+/// skipped, not trusted).
+pub fn parse_witness_record(s: &str) -> Option<Vec<u64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +183,14 @@ mod tests {
         let msg = SymMessage::fresh(&mut pool, &layout(), "msg");
         let md = trojans_to_markdown(&pool, &msg, &[]);
         assert!(md.contains("No Trojan messages"));
+    }
+
+    #[test]
+    fn witness_records_round_trip() {
+        let fields = vec![0, 1, u64::MAX, 42];
+        let record = witness_record(&fields);
+        assert_eq!(parse_witness_record(&record), Some(fields));
+        assert_eq!(parse_witness_record(""), Some(vec![]));
+        assert_eq!(parse_witness_record("1,x,3"), None);
     }
 }

@@ -149,14 +149,16 @@ pub use baseline::{
     a_posteriori_diff, classic_symex, APosterioriResult, CandidateMessage, ClassicSymexResult,
 };
 pub use diff_matrix::DiffMatrix;
-pub use export::{report_to_markdown, trojans_to_markdown};
+pub use export::{parse_witness_record, report_to_markdown, trojans_to_markdown, witness_record};
 pub use negate::{negate_field, negate_path, NegateStats, NegatedPath};
 pub use pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
-pub use predicate::{combine, rename_fresh, ClientPathPredicate, ClientPredicate, FieldMask};
+pub use predicate::{
+    combine, rename_fresh, rename_fresh_tagged, ClientPathPredicate, ClientPredicate, FieldMask,
+};
 pub use refine::{refine_witness, Refinement};
 pub use report::TrojanReport;
 pub use search::{
-    prepare_client, run_trojan_search, MatchSample, Optimizations, PreparedClient, SearchStats,
-    TrojanObserver, TrojanSearchOutcome, WorkerSummary,
+    prepare_client, prepare_client_workers, run_trojan_search, MatchSample, Optimizations,
+    PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome, WorkerSummary,
 };
 pub use sequence::{analyze_sequence, SequenceObserver};

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use achilles_solver::{Solver, TermId, TermPool};
 use achilles_symvm::SymMessage;
 
-use crate::predicate::{rename_fresh, ClientPathPredicate, FieldMask};
+use crate::predicate::{mix_tag, rename_fresh_tagged, ClientPathPredicate, FieldMask};
 
 /// The negation of one client path predicate against a server message.
 #[derive(Clone, Debug)]
@@ -57,14 +57,18 @@ pub struct NegateStats {
 /// Negates a single field of a client path predicate.
 ///
 /// `server_field` is the server-side term the clause constrains (normally
-/// the received message's field variable). Returns `None` when the field
-/// cannot be negated (rule 3) or the clause fails the soundness check.
+/// the received message's field variable). `tag` seeds the identity
+/// fingerprints of the existential `λ'` copies (see
+/// [`rename_fresh_tagged`]); callers negating several fields or paths must
+/// pass distinct tags. Returns `None` when the field cannot be negated
+/// (rule 3) or the clause fails the soundness check.
 pub fn negate_field(
     pool: &mut TermPool,
     solver: &mut Solver,
     server_field: TermId,
     client: &ClientPathPredicate,
     field_idx: usize,
+    tag: u64,
     stats: &mut NegateStats,
 ) -> Option<TermId> {
     let expr = client.message.value(field_idx);
@@ -86,7 +90,7 @@ pub fn negate_field(
     let mut to_rename = Vec::with_capacity(1 + influencing.len());
     to_rename.push(expr);
     to_rename.extend_from_slice(&influencing);
-    let (renamed, _map) = rename_fresh(pool, &to_rename);
+    let (renamed, _map) = rename_fresh_tagged(pool, &to_rename, tag);
     let expr_fresh = renamed[0];
     let q_fresh = pool.and_all(renamed[1..].iter().copied());
     let not_q = pool.not(q_fresh);
@@ -120,13 +124,26 @@ pub fn negate_path(
     stats: &mut NegateStats,
 ) -> NegatedPath {
     let started = Instant::now();
+    // Tag seed for the existential copies: unique per (server message,
+    // client path), stable across pool forks — the server message's field
+    // terms pre-date any fork, so their fingerprints agree in every worker.
+    let salt = server_msg
+        .values()
+        .iter()
+        .fold(0x4E45_4741_5445_0000_u64, |acc, &t| {
+            mix_tag(acc, (pool.term_fp(t) >> 64) as u64 ^ pool.term_fp(t) as u64)
+        });
+    let path_salt = mix_tag(salt, client.index as u64);
     let mut field_clauses = Vec::new();
     for field_idx in 0..server_msg.values().len() {
         if mask.contains(field_idx) {
             continue;
         }
         let server_field = server_msg.value(field_idx);
-        if let Some(clause) = negate_field(pool, solver, server_field, client, field_idx, stats) {
+        let tag = mix_tag(path_salt, field_idx as u64);
+        if let Some(clause) =
+            negate_field(pool, solver, server_field, client, field_idx, tag, stats)
+        {
             field_clauses.push((field_idx, clause));
         }
     }
@@ -198,6 +215,7 @@ mod tests {
             server_msg.value(0),
             &pred.paths[0],
             0,
+            0xA0,
             &mut stats,
         )
         .expect("cmd is negatable");
@@ -222,6 +240,7 @@ mod tests {
             server_msg.value(1),
             &pred.paths[0],
             1,
+            0xA1,
             &mut stats,
         )
         .expect("addr is negatable");
@@ -253,6 +272,7 @@ mod tests {
             server_msg.value(2),
             &pred.paths[0],
             2,
+            0xA2,
             &mut stats,
         );
         assert!(clause.is_none(), "free field cannot be negated");

@@ -25,8 +25,8 @@ use achilles_symvm::{
 use crate::predicate::{ClientPredicate, FieldMask};
 use crate::report::TrojanReport;
 use crate::search::{
-    prepare_client, run_trojan_search, MatchSample, Optimizations, PreparedClient, SearchStats,
-    TrojanSearchOutcome, WorkerSummary,
+    prepare_client_workers, run_trojan_search, MatchSample, Optimizations, PreparedClient,
+    SearchStats, TrojanSearchOutcome, WorkerSummary,
 };
 
 /// How the analyzed server node obtains its local state (§3.4).
@@ -63,12 +63,15 @@ pub struct PhaseTimes {
     /// CPU time spent across all server-analysis workers (equals `server`
     /// for single-threaded runs; up to `workers ×` it when scaling).
     pub server_cpu: Duration,
+    /// Concrete witness replay (the opt-in `validate` phase driven by
+    /// `achilles-replay`; zero when validation did not run).
+    pub validate: Duration,
 }
 
 impl PhaseTimes {
     /// Total pipeline wall-clock time.
     pub fn total(&self) -> Duration {
-        self.client + self.preprocess + self.server
+        self.client + self.preprocess + self.server + self.validate
     }
 }
 
@@ -167,14 +170,29 @@ impl Achilles {
         mask: FieldMask,
         opts: Optimizations,
     ) -> PreparedClient {
+        self.prepare_with_workers(client, layout, mask, opts, 1)
+    }
+
+    /// [`Achilles::prepare`] with the per-path negation loop fanned out
+    /// over `workers` threads (deterministic: see
+    /// [`prepare_client_workers`]).
+    pub fn prepare_with_workers(
+        &mut self,
+        client: ClientPredicate,
+        layout: &Arc<MessageLayout>,
+        mask: FieldMask,
+        opts: Optimizations,
+        workers: usize,
+    ) -> PreparedClient {
         let server_msg = SymMessage::fresh(&mut self.pool, layout, "msg");
-        prepare_client(
+        prepare_client_workers(
             &mut self.pool,
             &mut self.solver,
             client,
             server_msg,
             mask,
             opts,
+            workers,
         )
     }
 
@@ -218,11 +236,12 @@ impl Achilles {
         let (client_pred, client_explore) =
             self.extract_client_predicate(client, &config.client_explore);
         let t1 = Instant::now();
-        let prepared = self.prepare(
+        let prepared = self.prepare_with_workers(
             client_pred,
             layout,
             config.mask.clone(),
             config.optimizations,
+            config.server_explore.workers.max(1),
         );
         let t2 = Instant::now();
         let outcome = self.analyze_server(server, &prepared, config);
@@ -237,6 +256,7 @@ impl Achilles {
                 preprocess: t2 - t1,
                 server: t3 - t2,
                 server_cpu,
+                validate: Duration::ZERO,
             },
             samples: outcome.samples,
             search_stats: outcome.stats,

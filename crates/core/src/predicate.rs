@@ -266,6 +266,51 @@ pub fn rename_fresh(
     (renamed, map)
 }
 
+/// Folds a 128-bit identity fingerprint into a 64-bit tag component.
+fn fold_fp(fp: u128) -> u64 {
+    (fp as u64) ^ ((fp >> 64) as u64)
+}
+
+/// Mixes two tag components (cheap splitmix-style avalanche).
+pub(crate) fn mix_tag(a: u64, b: u64) -> u64 {
+    (a ^ b.rotate_left(29))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// Like [`rename_fresh`], but every fresh copy's identity fingerprint is
+/// derived from `tag`, the renamed variable's own identity, and its
+/// occurrence index — not from the pool's creation counter or fork nonce.
+///
+/// This is what makes negation pre-processing parallelizable: two workers
+/// negating the same client path in independently forked pools build
+/// *fingerprint-identical* `λ'` variables, so the resulting clauses are
+/// structurally equal across pools (and across worker counts), solver
+/// models stay worker-invariant, and the cross-worker query cache keeps
+/// matching. Callers must pick `tag`s that are unique per renamed scope
+/// (e.g. hash of server message identity, client path index, field index).
+pub fn rename_fresh_tagged(
+    pool: &mut TermPool,
+    terms: &[TermId],
+    tag: u64,
+) -> (Vec<TermId>, HashMap<VarId, TermId>) {
+    let mut all_vars: Vec<VarId> = Vec::new();
+    for &t in terms {
+        pool.collect_vars(t, &mut all_vars);
+    }
+    let mut map: HashMap<VarId, TermId> = HashMap::new();
+    for (k, v) in all_vars.into_iter().enumerate() {
+        let info = pool.var_info(v).clone();
+        let var_tag = mix_tag(mix_tag(tag, fold_fp(pool.var_fp(v))), k as u64);
+        let fresh_var = pool.fresh_var_tagged(&format!("{}'", info.name), info.width, var_tag);
+        let fresh = pool.var(fresh_var);
+        map.insert(v, fresh);
+    }
+    let renamed = terms.iter().map(|&t| pool.substitute(t, &map)).collect();
+    (renamed, map)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

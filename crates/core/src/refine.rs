@@ -117,7 +117,7 @@ impl PathObserver for WitnessFocus {
 pub fn refine_witness(
     pool: &mut TermPool,
     solver: &mut Solver,
-    client: &dyn NodeProgram,
+    client: &(dyn NodeProgram + Sync),
     witness_fields: &[u64],
     mask: &FieldMask,
     bounds: &ExploreConfig,

@@ -102,13 +102,131 @@ pub fn prepare_client(
     mask: FieldMask,
     opts: Optimizations,
 ) -> PreparedClient {
+    prepare_client_workers(pool, solver, client, server_msg, mask, opts, 1)
+}
+
+/// Negates every client path against `server_msg`, fanning the per-path work
+/// out over up to `workers` threads.
+///
+/// Each path's negation is independent of every other's (the ROADMAP's
+/// "embarrassingly parallel" loop), so workers take a strided share of the
+/// paths on forks of the base pool, and the resulting clauses are imported
+/// back in client-path order. Because the existential `λ'` copies are
+/// interned by deterministic tags ([`rename_fresh_tagged`]), the imported
+/// clauses are *fingerprint-identical* for every worker count — parallel
+/// pre-processing never perturbs downstream solver models or the Trojan set.
+///
+/// [`rename_fresh_tagged`]: crate::predicate::rename_fresh_tagged
+fn negate_all(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    client: &ClientPredicate,
+    server_msg: &SymMessage,
+    mask: &FieldMask,
+    workers: usize,
+    stats: &mut NegateStats,
+) -> Vec<NegatedPath> {
+    let n = client.paths.len();
+    if workers <= 1 || n < 2 {
+        return client
+            .paths
+            .iter()
+            .map(|p| negate_path(pool, solver, server_msg, p, mask, stats))
+            .collect();
+    }
+    let workers = workers.min(n);
+    type WorkerNegations = (TermPool, Vec<(usize, NegatedPath)>, NegateStats);
+    let results: Vec<WorkerNegations> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // Distinct nonce family from the exploration pool's forks so
+                // ad-hoc variables can never alias across subsystems.
+                let mut wpool = pool.fork(0x4E45_4700 + w as u64 + 1); // "NEG\0"
+                let mut wsolver = Solver::with_config(solver.config().clone());
+                scope.spawn(move || {
+                    let mut wstats = NegateStats::default();
+                    let negs: Vec<(usize, NegatedPath)> = (w..n)
+                        .step_by(workers)
+                        .map(|i| {
+                            let neg = negate_path(
+                                &mut wpool,
+                                &mut wsolver,
+                                server_msg,
+                                &client.paths[i],
+                                mask,
+                                &mut wstats,
+                            );
+                            (i, neg)
+                        })
+                        .collect();
+                    (wpool, negs, wstats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("negation worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: visit paths in client order, importing each
+    // worker's clauses through a per-worker memo.
+    let mut pools = Vec::with_capacity(workers);
+    let mut by_index: HashMap<usize, (usize, NegatedPath)> = HashMap::new();
+    for (w, (wpool, negs, wstats)) in results.into_iter().enumerate() {
+        stats.concrete_fields += wstats.concrete_fields;
+        stats.symbolic_fields += wstats.symbolic_fields;
+        stats.skipped_unconstrained += wstats.skipped_unconstrained;
+        stats.discarded_unsound += wstats.discarded_unsound;
+        stats.time += wstats.time;
+        pools.push(wpool);
+        for (i, neg) in negs {
+            by_index.insert(i, (w, neg));
+        }
+    }
+    let mut memos: Vec<HashMap<TermId, TermId>> = vec![HashMap::new(); workers];
+    (0..n)
+        .map(|i| {
+            let (w, neg) = by_index.remove(&i).expect("every path index was negated");
+            let memo = &mut memos[w];
+            NegatedPath {
+                client_index: neg.client_index,
+                field_clauses: neg
+                    .field_clauses
+                    .iter()
+                    .map(|&(f, c)| (f, pool.import_term(&pools[w], c, memo)))
+                    .collect(),
+                disjunction: neg
+                    .disjunction
+                    .map(|d| pool.import_term(&pools[w], d, memo)),
+            }
+        })
+        .collect()
+}
+
+/// [`prepare_client`] with the negation loop fanned out over `workers`
+/// threads (see [`negate_all`]'s determinism argument). The `differentFrom`
+/// matrix and field-variable map stay sequential.
+pub fn prepare_client_workers(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    client: ClientPredicate,
+    server_msg: SymMessage,
+    mask: FieldMask,
+    opts: Optimizations,
+    workers: usize,
+) -> PreparedClient {
     let started = Instant::now();
     let mut negate_stats = NegateStats::default();
-    let negations: Vec<NegatedPath> = client
-        .paths
-        .iter()
-        .map(|p| negate_path(pool, solver, &server_msg, p, &mask, &mut negate_stats))
-        .collect();
+    let negations = negate_all(
+        pool,
+        solver,
+        &client,
+        &server_msg,
+        &mask,
+        workers.max(1),
+        &mut negate_stats,
+    );
     let diff = if opts.use_diff_matrix {
         Some(DiffMatrix::compute(
             pool,

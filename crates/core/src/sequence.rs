@@ -13,6 +13,8 @@
 //! client predicate and negations; the Trojan check becomes
 //! `pathS ∧ ⋁ₛ (⋀_{i active in s} negate(pathC_{s,i}))`.
 
+use std::collections::HashMap;
+
 use achilles_solver::{SatResult, Solver, TermId, TermPool};
 use achilles_symvm::{
     Executor, ExploreConfig, NodeProgram, ObserverCx, PathObserver, PathRecord, Verdict,
@@ -21,6 +23,11 @@ use achilles_symvm::{
 use crate::predicate::combine;
 use crate::report::TrojanReport;
 use crate::search::{Optimizations, PreparedClient};
+
+/// Tag-family salt for the session server's symbolic inputs (see
+/// [`ExploreConfig::sym_salt`]); distinct from both the client default (`0`)
+/// and the single-message server salt.
+const SESSION_SYM_SALT: u64 = 0x5345_5300; // "SES\0"
 
 /// The per-slot state of a sequence search.
 #[derive(Debug)]
@@ -219,30 +226,69 @@ impl PathObserver for SequenceObserver<'_> {
 /// Runs a sequence analysis: the server receives one message per entry of
 /// `slots`, each slot checked against its own prepared client predicate.
 ///
+/// With `workers > 1` the session exploration fans out over the same
+/// work-stealing pool as [`run_trojan_search`](crate::search::run_trojan_search):
+/// every worker runs its own [`SequenceObserver`] over a fork of `pool`,
+/// and afterwards reports are imported back, their path ids remapped to the
+/// canonical depth-first numbering, and the result sorted by path id — so
+/// the session-Trojan set is identical for every worker count.
+///
 /// Returns `(reports, trojan slots per report, completed server paths)`.
 pub fn analyze_sequence(
     pool: &mut TermPool,
     solver: &mut Solver,
-    server: &dyn NodeProgram,
+    server: &(dyn NodeProgram + Sync),
     slots: Vec<&PreparedClient>,
     opts: Optimizations,
+    workers: usize,
 ) -> (Vec<TrojanReport>, Vec<Vec<usize>>, usize) {
     let recv_script = slots.iter().map(|p| p.server_msg.clone()).collect();
-    let mut observer = SequenceObserver::new(slots, opts);
     let explore = ExploreConfig {
         recv_script,
+        workers: workers.max(1),
+        sym_salt: SESSION_SYM_SALT,
         ..ExploreConfig::default()
     };
-    let result = {
+    if explore.workers <= 1 {
+        let mut observer = SequenceObserver::new(slots, opts);
+        let result = {
+            let mut exec = Executor::new(pool, solver, explore);
+            exec.explore_observed(server, &mut observer)
+        };
+        let SequenceObserver {
+            reports,
+            trojan_slots,
+            ..
+        } = observer;
+        return (reports, trojan_slots, result.paths.len());
+    }
+
+    let outcome = {
         let mut exec = Executor::new(pool, solver, explore);
-        exec.explore_observed(server, &mut observer)
+        exec.explore_parallel(server, |_| SequenceObserver::new(slots.clone(), opts))
     };
-    let SequenceObserver {
-        reports,
-        trojan_slots,
-        ..
-    } = observer;
-    (reports, trojan_slots, result.paths.len())
+    let server_paths = outcome.result.paths.len();
+    let mut merged: Vec<(TrojanReport, Vec<usize>)> = Vec::new();
+    for worker in outcome.workers {
+        let observer = worker.observer;
+        let mut memo = HashMap::new();
+        for (mut report, tslots) in observer.reports.into_iter().zip(observer.trojan_slots) {
+            report.server_path_id = *outcome
+                .id_map
+                .get(&report.server_path_id)
+                .expect("every reported path id was completed and mapped");
+            report.constraints = report
+                .constraints
+                .iter()
+                .map(|&t| pool.import_term(&worker.pool, t, &mut memo))
+                .collect();
+            merged.push((report, tslots));
+        }
+    }
+    // Canonical order: one report per accepting path, sorted like the paths.
+    merged.sort_by_key(|(r, _)| r.server_path_id);
+    let (reports, trojan_slots) = merged.into_iter().unzip();
+    (reports, trojan_slots, server_paths)
 }
 
 #[cfg(test)]
@@ -359,6 +405,7 @@ mod tests {
             &session_server,
             vec![&hs_prep, &cmd_prep],
             Optimizations::default(),
+            1,
         );
         // Both accepting paths (op 1 and op 2) host the handshake Trojan.
         assert_eq!(reports.len(), 2);
@@ -399,6 +446,7 @@ mod tests {
             &patched,
             vec![&hs_prep, &cmd_prep],
             Optimizations::default(),
+            1,
         );
         assert_eq!(reports.len(), 0, "both slots accept exactly C");
         assert!(paths > 0 || reports.is_empty());
@@ -431,6 +479,7 @@ mod tests {
             &arg_bug_server,
             vec![&hs_prep, &cmd_prep],
             Optimizations::default(),
+            1,
         );
         assert_eq!(reports.len(), 1);
         assert_eq!(slots[0], vec![1], "the command slot hosts the Trojan");

@@ -9,8 +9,8 @@
 use std::time::Duration;
 
 use achilles::{
-    prepare_client, run_trojan_search, ClientPredicate, FieldMask, MatchSample, Optimizations,
-    PreparedClient, SearchStats, TrojanReport, WorkerSummary,
+    prepare_client_workers, run_trojan_search, ClientPredicate, FieldMask, MatchSample,
+    Optimizations, PreparedClient, SearchStats, TrojanReport, WorkerSummary,
 };
 use achilles_solver::{Solver, TermPool};
 use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
@@ -231,13 +231,14 @@ pub fn run_analysis_with(
     );
     let t1 = Instant::now();
     let server_msg = SymMessage::fresh(pool, &layout(), "msg");
-    let prepared: PreparedClient = prepare_client(
+    let prepared: PreparedClient = prepare_client_workers(
         pool,
         solver,
         client,
         server_msg.clone(),
         FieldMask::none(),
         config.optimizations,
+        config.workers.max(1),
     );
     let t2 = Instant::now();
     let explore = ExploreConfig {

@@ -134,7 +134,7 @@ pub fn analyze_local_state(
     acceptor: AcceptorMode,
     workers: usize,
 ) -> (achilles_solver::TermPool, Vec<achilles::TrojanReport>) {
-    use achilles::{prepare_client, ClientPredicate, FieldMask, Optimizations};
+    use achilles::{prepare_client_workers, ClientPredicate, FieldMask, Optimizations};
     use achilles_solver::{Solver, TermPool};
     use achilles_symvm::{Executor, ExploreConfig};
 
@@ -146,13 +146,14 @@ pub fn analyze_local_state(
     };
     let pred = ClientPredicate::from_exploration(&client_result);
     let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
-    let prepared = prepare_client(
+    let prepared = prepare_client_workers(
         &mut pool,
         &mut solver,
         pred,
         server_msg.clone(),
         FieldMask::none(),
         Optimizations::default(),
+        workers.max(1),
     );
     let explore = ExploreConfig {
         recv_script: vec![server_msg],

@@ -7,8 +7,8 @@
 use std::time::{Duration, Instant};
 
 use achilles::{
-    prepare_client, run_trojan_search, ClientPredicate, FieldMask, Optimizations, SearchStats,
-    TrojanReport, WorkerSummary,
+    prepare_client_workers, run_trojan_search, ClientPredicate, FieldMask, Optimizations,
+    SearchStats, TrojanReport, WorkerSummary,
 };
 use achilles_solver::{Solver, TermPool};
 use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
@@ -115,13 +115,14 @@ pub fn run_analysis(config: &PbftAnalysisConfig) -> PbftAnalysisResult {
     let mut solver = Solver::new();
     let client = extract_client_predicate(&mut pool, &mut solver);
     let server_msg = SymMessage::fresh(&mut pool, &layout(), "msg");
-    let prepared = prepare_client(
+    let prepared = prepare_client_workers(
         &mut pool,
         &mut solver,
         client,
         server_msg.clone(),
         FieldMask::none(),
         config.optimizations,
+        config.workers.max(1),
     );
     let explore = ExploreConfig {
         recv_script: vec![server_msg.clone()],

@@ -1,0 +1,244 @@
+//! The replay corpus: confirmed Trojans persisted across runs.
+//!
+//! Re-running an analysis after a code or model change re-discovers mostly
+//! the same Trojans. The corpus remembers every confirmed witness and its
+//! [`CrashSignature`] in a line-oriented text format (witness fields
+//! serialized via [`achilles::export::witness_record`]), so a later run
+//! can (a) skip re-validating byte-identical witnesses and (b) tell
+//! genuinely *new* bug classes from fresh witnesses of known ones.
+
+use std::collections::HashSet;
+
+use achilles::export::{parse_witness_record, witness_record};
+
+use crate::signature::CrashSignature;
+
+/// File-format version tag (first line of every corpus file).
+const HEADER: &str = "# achilles-replay corpus v1";
+
+/// One persisted confirmed Trojan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The structural crash signature.
+    pub signature: CrashSignature,
+    /// The witness's concrete field values.
+    pub fields: Vec<u64>,
+    /// Essential field indices from minimization (empty = not minimized).
+    pub essential: Vec<usize>,
+}
+
+/// A deduplicated set of confirmed Trojans.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayCorpus {
+    entries: Vec<CorpusEntry>,
+    signatures: HashSet<CrashSignature>,
+    witnesses: HashSet<Vec<u64>>,
+}
+
+impl ReplayCorpus {
+    /// An empty corpus.
+    pub fn new() -> ReplayCorpus {
+        ReplayCorpus::default()
+    }
+
+    /// The persisted entries, in insertion order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether this exact witness (by field values) is already recorded.
+    pub fn knows_witness(&self, fields: &[u64]) -> bool {
+        self.witnesses.contains(fields)
+    }
+
+    /// Whether this crash signature is already recorded.
+    pub fn knows_signature(&self, sig: &CrashSignature) -> bool {
+        self.signatures.contains(sig)
+    }
+
+    /// Number of distinct signatures.
+    pub fn distinct_signatures(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Inserts an entry; returns whether its *signature* was new.
+    /// Byte-identical witnesses are never stored twice.
+    pub fn insert(&mut self, entry: CorpusEntry) -> bool {
+        if self.witnesses.contains(&entry.fields) {
+            return false;
+        }
+        let new_signature = self.signatures.insert(entry.signature.clone());
+        self.witnesses.insert(entry.fields.clone());
+        self.entries.push(entry);
+        new_signature
+    }
+
+    /// Merges another corpus in; returns how many new signatures arrived.
+    pub fn merge(&mut self, other: &ReplayCorpus) -> usize {
+        other
+            .entries
+            .iter()
+            .filter(|e| self.insert((*e).clone()))
+            .count()
+    }
+
+    /// Serializes to the line-oriented corpus text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            let essential = e
+                .essential
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{}|{}|{}\n",
+                e.signature.to_line(),
+                witness_record(&e.fields),
+                essential
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`ReplayCorpus::to_text`] form. Malformed lines are
+    /// skipped; a missing or wrong header yields an empty corpus.
+    pub fn from_text(text: &str) -> ReplayCorpus {
+        let mut corpus = ReplayCorpus::new();
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return corpus;
+        }
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '|');
+            let (Some(sig), Some(fields), Some(essential)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Some(signature) = CrashSignature::from_line(sig) else {
+                continue;
+            };
+            let Some(fields) = parse_witness_record(fields) else {
+                continue;
+            };
+            let essential: Vec<usize> = if essential.is_empty() {
+                Vec::new()
+            } else {
+                match essential
+                    .split(',')
+                    .map(|p| p.trim().parse().ok())
+                    .collect()
+                {
+                    Some(v) => v,
+                    None => continue,
+                }
+            };
+            corpus.insert(CorpusEntry {
+                signature,
+                fields,
+                essential,
+            });
+        }
+        corpus
+    }
+
+    /// Writes the corpus to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a corpus from a file; a missing file is an empty corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<ReplayCorpus> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(ReplayCorpus::from_text(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(ReplayCorpus::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::ReplayVerdict;
+
+    fn entry(system: &str, fields: Vec<u64>, effect: &str) -> CorpusEntry {
+        CorpusEntry {
+            signature: CrashSignature::new(
+                system,
+                ReplayVerdict::ConfirmedTrojan,
+                vec![effect.to_string()],
+            ),
+            fields,
+            essential: vec![0, 2],
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut corpus = ReplayCorpus::new();
+        corpus.insert(entry("fsp", vec![68, 0, 3], "family:x"));
+        corpus.insert(entry("pbft", vec![1, 2], "outcome:recovered"));
+        let back = ReplayCorpus::from_text(&corpus.to_text());
+        assert_eq!(back.entries(), corpus.entries());
+        assert_eq!(back.distinct_signatures(), 2);
+    }
+
+    #[test]
+    fn dedup_by_witness_and_signature() {
+        let mut corpus = ReplayCorpus::new();
+        assert!(corpus.insert(entry("fsp", vec![1], "a")));
+        // Same signature, new witness: stored but not a new signature.
+        assert!(!corpus.insert(entry("fsp", vec![2], "a")));
+        // Identical witness: not stored at all.
+        assert!(!corpus.insert(entry("fsp", vec![1], "a")));
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.distinct_signatures(), 1);
+        assert!(corpus.knows_witness(&[2]));
+        assert!(!corpus.knows_witness(&[3]));
+    }
+
+    #[test]
+    fn merge_counts_new_signatures() {
+        let mut a = ReplayCorpus::new();
+        a.insert(entry("fsp", vec![1], "a"));
+        let mut b = ReplayCorpus::new();
+        b.insert(entry("fsp", vec![1], "a"));
+        b.insert(entry("fsp", vec![9], "b"));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let text = format!("{HEADER}\ngarbage\nfsp/confirmed/a|1,2|\n|||\n");
+        let corpus = ReplayCorpus::from_text(&text);
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(ReplayCorpus::from_text("no header").len(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # achilles-replay — concrete witness replay, minimization, and crash triage
+//!
+//! The symbolic pipeline ends with Trojan *candidates*: messages a solver
+//! model says the server accepts and no correct client generates. This
+//! crate closes the loop the paper closed by hand — injecting each
+//! candidate into a real deployment and watching what breaks:
+//!
+//! 1. **Concretize** ([`witness`]): solver model / report → wire bytes,
+//!    through the same [`achilles_netsim::bytes`] codec the deployments
+//!    parse with.
+//! 2. **Inject** ([`target`]): boot a fresh concrete FSP server, PBFT
+//!    cluster, or Paxos acceptor and fire the witness — optionally under
+//!    network faults (drop, duplicate, reorder, single bit-flip).
+//! 3. **Triage** ([`signature`]): fold the outcome into a structural
+//!    [`CrashSignature`] so two witnesses of one bug count once.
+//! 4. **Minimize** ([`minimize`]): ddmin the witness down to the fields
+//!    that actually matter.
+//! 5. **Persist** ([`corpus`]): remember confirmed Trojans across runs so
+//!    re-analysis skips known bytes and flags genuinely new bug classes.
+//!
+//! [`validate_trojans`] drives 1–5 as the pipeline's opt-in `validate`
+//! phase, fanning out over [`achilles_symvm::parallel_map`] workers with
+//! bit-identical results for every worker count.
+//!
+//! ```
+//! use achilles_fsp::{Command, FspMessage, FspServerConfig};
+//! use achilles_replay::{replay, FaultPlan, FspTarget, ReplayVerdict};
+//!
+//! // A length-mismatch Trojan: reported path length 3, real length 1.
+//! let mut msg = FspMessage::request(Command::Stat, b"a");
+//! msg.bb_len = 3;
+//! msg.buf = [b'a', 0, 0x77, 0];
+//!
+//! let target = FspTarget::new(FspServerConfig::default(), false);
+//! let witness = achilles_replay::witness::ConcreteWitness {
+//!     index: 0,
+//!     server_path_id: 0,
+//!     fields: msg.field_values(),
+//!     wire: msg.to_wire(),
+//! };
+//! let result = replay(&target, &witness, &FaultPlan::none());
+//! assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corpus;
+pub mod minimize;
+pub mod signature;
+pub mod target;
+pub mod validate;
+pub mod witness;
+
+pub use corpus::{CorpusEntry, ReplayCorpus};
+pub use minimize::{minimize, MinimizedWitness};
+pub use signature::CrashSignature;
+pub use target::{
+    replay, FaultPlan, FspTarget, InjectionOutcome, PaxosTarget, PbftTarget, ReplayResult,
+    ReplayTarget, ReplayVerdict,
+};
+pub use validate::{validate_pipeline_report, validate_trojans, ValidateConfig, ValidationSummary};
+pub use witness::{from_model, from_report, ConcreteWitness};

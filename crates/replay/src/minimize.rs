@@ -1,0 +1,196 @@
+//! ddmin-style witness minimization.
+//!
+//! A solver witness carries whatever values the model search happened to
+//! pick: don't-care bytes, arbitrary padding, incidental field choices.
+//! The minimizer shrinks a confirmed witness to the smallest set of fields
+//! that still reproduces its [`CrashSignature`], by resetting candidate
+//! fields to a benign baseline message and replaying — Zeller's delta
+//! debugging over the *field-difference set* between witness and baseline.
+//!
+//! The output names the **essential fields**: the ones a developer has to
+//! look at to understand the bug (for the FSP length-mismatch family,
+//! `bb_len` and the NUL position; for PBFT, the corrupted authenticator;
+//! everything else resets to benign values).
+
+use crate::signature::CrashSignature;
+use crate::target::{replay, FaultPlan, ReplayTarget};
+use crate::witness::{fields_to_wire, ConcreteWitness};
+
+/// A minimized witness plus its provenance.
+#[derive(Clone, Debug)]
+pub struct MinimizedWitness {
+    /// The reduced witness (essential fields keep their witness values,
+    /// every other field is the benign baseline).
+    pub witness: ConcreteWitness,
+    /// Indices of fields that kept their witness value.
+    pub essential: Vec<usize>,
+    /// Indices that differed from the baseline before minimization.
+    pub original_delta: Vec<usize>,
+    /// The preserved signature.
+    pub signature: CrashSignature,
+    /// Replays spent minimizing.
+    pub replays: usize,
+}
+
+impl MinimizedWitness {
+    /// Whether minimization strictly shrank the field-difference set.
+    pub fn strictly_shrunk(&self) -> bool {
+        self.essential.len() < self.original_delta.len()
+    }
+}
+
+/// Builds the candidate witness that keeps `kept` fields at their witness
+/// values and resets everything else to the baseline.
+fn project(
+    target: &dyn ReplayTarget,
+    witness: &ConcreteWitness,
+    baseline: &[u64],
+    kept: &[usize],
+) -> ConcreteWitness {
+    let mut fields = baseline.to_vec();
+    for &i in kept {
+        fields[i] = witness.fields[i];
+    }
+    let wire = fields_to_wire(&target.layout(), &fields).expect("projected witness encodes");
+    ConcreteWitness {
+        index: witness.index,
+        server_path_id: witness.server_path_id,
+        fields,
+        wire,
+    }
+}
+
+/// Replays the projection of `kept` and checks signature preservation.
+fn preserves(
+    target: &dyn ReplayTarget,
+    witness: &ConcreteWitness,
+    baseline: &[u64],
+    kept: &[usize],
+    faults: &FaultPlan,
+    want: &CrashSignature,
+    replays: &mut usize,
+) -> bool {
+    *replays += 1;
+    let candidate = project(target, witness, baseline, kept);
+    replay(target, &candidate, faults).signature == *want
+}
+
+/// Minimizes a witness to the smallest field set preserving `signature`.
+///
+/// `signature` must be the signature of replaying `witness` under `faults`
+/// (callers normally pass a [`crate::target::ReplayResult::signature`]);
+/// the returned witness is guaranteed to reproduce it. Runs in
+/// `O(delta² )` replays worst-case, like classic ddmin.
+pub fn minimize(
+    target: &dyn ReplayTarget,
+    witness: &ConcreteWitness,
+    faults: &FaultPlan,
+    signature: &CrashSignature,
+) -> MinimizedWitness {
+    let baseline = target.benign_fields();
+    assert_eq!(
+        baseline.len(),
+        witness.fields.len(),
+        "baseline arity matches the layout"
+    );
+    let original_delta: Vec<usize> = (0..witness.fields.len())
+        .filter(|&i| witness.fields[i] != baseline[i])
+        .collect();
+    let mut replays = 0usize;
+
+    let mut delta = original_delta.clone();
+    let mut granularity = 2usize;
+    while delta.len() >= 2 {
+        let chunk = delta.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < delta.len() {
+            let end = (start + chunk).min(delta.len());
+            // Try the complement: drop delta[start..end], keep the rest.
+            let complement: Vec<usize> = delta[..start]
+                .iter()
+                .chain(&delta[end..])
+                .copied()
+                .collect();
+            if preserves(
+                target,
+                witness,
+                &baseline,
+                &complement,
+                faults,
+                signature,
+                &mut replays,
+            ) {
+                delta = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= delta.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(delta.len());
+        }
+    }
+
+    let minimized = project(target, witness, &baseline, &delta);
+    MinimizedWitness {
+        witness: minimized,
+        essential: delta,
+        original_delta,
+        signature: signature.clone(),
+        replays,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{FspTarget, ReplayVerdict};
+    use achilles_fsp::{Command, FspMessage, FspServerConfig};
+
+    fn witness_of(msg: &FspMessage) -> ConcreteWitness {
+        let wire = msg.to_wire();
+        ConcreteWitness {
+            index: 0,
+            server_path_id: 0,
+            fields: msg.field_values(),
+            wire,
+        }
+    }
+
+    #[test]
+    fn wildcard_witness_shrinks_to_the_star() {
+        // A wildcard witness with three bytes of incidental junk: only the
+        // command, the length, and the '*' byte matter for the signature.
+        let target = FspTarget::new(FspServerConfig::default(), true);
+        // The path bytes around the star are incidental; the star is the bug.
+        let msg = FspMessage::request(Command::DelFile, b"x*yz");
+        let witness = witness_of(&msg);
+        let full = replay(&target, &witness, &FaultPlan::none());
+        assert_eq!(full.verdict, ReplayVerdict::ConfirmedTrojan);
+        let min = minimize(&target, &witness, &FaultPlan::none(), &full.signature);
+        assert!(min.strictly_shrunk(), "essential {:?}", min.essential);
+        // The star byte must survive: field buf[1] = index BUF_BASE + 1.
+        assert!(min.essential.contains(&(achilles_fsp::BUF_BASE + 1)));
+        // Re-replay of the minimized witness reproduces the signature.
+        let again = replay(&target, &min.witness, &FaultPlan::none());
+        assert_eq!(again.signature, min.signature);
+    }
+
+    #[test]
+    fn already_minimal_witness_is_stable() {
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        // The benign baseline itself: delta only in fields that the replay
+        // signature depends on entirely.
+        let msg = FspMessage::request(Command::GetDir, b"f1");
+        let witness = witness_of(&msg);
+        let full = replay(&target, &witness, &FaultPlan::none());
+        let min = minimize(&target, &witness, &FaultPlan::none(), &full.signature);
+        assert!(min.essential.is_empty(), "witness equals the baseline");
+        assert_eq!(min.replays, 0, "no delta, no replays");
+    }
+}

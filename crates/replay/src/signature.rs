@@ -1,0 +1,131 @@
+//! Structural crash signatures for witness triage.
+//!
+//! Two witnesses that drive a deployment into the same failure are the same
+//! bug: reporting both wastes a developer's attention, and re-validating
+//! both wastes compute. A [`CrashSignature`] captures the *structure* of a
+//! replay outcome — which system, whether the message was accepted, whether
+//! any correct client could have produced it, and the sorted list of
+//! observable effects — while deliberately excluding incidental witness
+//! bytes, so solver-chosen junk in don't-care fields never splits a bug
+//! class in two.
+
+use crate::target::ReplayVerdict;
+
+/// A structural, order-insensitive fingerprint of one replay outcome.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CrashSignature {
+    /// Target system name (`"fsp"`, `"pbft"`, `"paxos"`).
+    pub system: String,
+    /// The replay verdict the outcome maps to.
+    pub verdict: ReplayVerdict,
+    /// Sorted structural effect notes (reply codes, filesystem mutations,
+    /// recovery events, triage families).
+    pub effects: Vec<String>,
+}
+
+impl CrashSignature {
+    /// Builds a signature, sorting and deduplicating the effect notes so
+    /// equality is insensitive to observation order.
+    ///
+    /// Effect notes are sanitized *here* — the corpus line format's
+    /// delimiters (`|`, `;`, newline) become `_` — so the in-memory
+    /// signature always equals its serialized round trip. Witness bytes
+    /// flow into effects (an FSP filename can contain `;`), and a
+    /// signature that mutates on save/load would break corpus dedup
+    /// across runs.
+    pub fn new(system: &str, verdict: ReplayVerdict, effects: Vec<String>) -> CrashSignature {
+        let mut effects: Vec<String> = effects
+            .into_iter()
+            .map(|e| e.replace(['|', '\n', ';'], "_"))
+            .collect();
+        effects.sort();
+        effects.dedup();
+        CrashSignature {
+            system: system.to_string(),
+            verdict,
+            effects,
+        }
+    }
+
+    /// Serializes to the single-line corpus form
+    /// (`system/verdict/effect;effect;…`).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.system,
+            self.verdict.as_str(),
+            self.effects.join(";")
+        )
+    }
+
+    /// Parses the [`CrashSignature::to_line`] form.
+    pub fn from_line(line: &str) -> Option<CrashSignature> {
+        let mut parts = line.splitn(3, '/');
+        let system = parts.next()?;
+        let verdict = ReplayVerdict::parse(parts.next()?)?;
+        let effects = parts.next()?;
+        let effects: Vec<String> = if effects.is_empty() {
+            Vec::new()
+        } else {
+            effects.split(';').map(str::to_string).collect()
+        };
+        Some(CrashSignature::new(system, verdict, effects))
+    }
+}
+
+impl std::fmt::Display for CrashSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_are_order_insensitive() {
+        let a = CrashSignature::new(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            vec!["b".into(), "a".into(), "a".into()],
+        );
+        let b = CrashSignature::new(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            vec!["a".into(), "b".into()],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let sig = CrashSignature::new(
+            "pbft",
+            ReplayVerdict::ConfirmedTrojan,
+            vec!["outcome:recovered".into(), "bad_macs:1".into()],
+        );
+        assert_eq!(CrashSignature::from_line(&sig.to_line()), Some(sig));
+        let empty = CrashSignature::new("paxos", ReplayVerdict::Rejected, vec![]);
+        assert_eq!(CrashSignature::from_line(&empty.to_line()), Some(empty));
+    }
+
+    #[test]
+    fn malformed_lines_are_none() {
+        assert_eq!(CrashSignature::from_line("fsp"), None);
+        assert_eq!(CrashSignature::from_line("fsp/not-a-verdict/x"), None);
+    }
+
+    #[test]
+    fn delimiter_bearing_effects_round_trip() {
+        // Witness bytes flow into effects (e.g. an FSP filename "d;x"):
+        // the signature must equal its serialized round trip anyway.
+        let sig = CrashSignature::new(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            vec!["fs:+d;x".into(), "fs:+a|b".into()],
+        );
+        assert_eq!(CrashSignature::from_line(&sig.to_line()), Some(sig.clone()));
+        assert!(sig.effects.iter().all(|e| !e.contains([';', '|', '\n'])));
+    }
+}

@@ -1,0 +1,740 @@
+//! Deterministic injection targets and the replay harness.
+//!
+//! A [`ReplayTarget`] boots a fresh concrete deployment per injection —
+//! the FSP server over [`Network`]/`SimFs`, the PBFT cluster over
+//! `SimClock`, the Paxos acceptor engine — fires a delivery plan of wire
+//! datagrams at it, and reports what happened. Booting per injection is
+//! what makes replay a pure function of the witness bytes: results are
+//! bit-identical across worker counts, runs, and machines.
+//!
+//! [`replay`] is the harness around a target: it expands a [`FaultPlan`]
+//! into the delivery plan (drop, duplicate, reorder with a benign
+//! companion, single bit-flip via [`achilles_netsim::flip_bit`] — the
+//! paper's S3 motivating fault), classifies the outcome against the
+//! client-generability oracle, and folds everything into a
+//! [`CrashSignature`] for triage.
+
+use std::sync::Arc;
+
+use achilles_netsim::{flip_bit, Addr, Network, SimFs};
+use achilles_symvm::MessageLayout;
+
+use crate::signature::CrashSignature;
+use crate::witness::{fields_to_wire, wire_to_fields, ConcreteWitness};
+
+/// Network faults applied to a witness injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Drop the witness entirely (it never reaches the target).
+    pub drop: bool,
+    /// Deliver the witness twice (duplicate datagram).
+    pub duplicate: bool,
+    /// Deliver a benign, correct-client message before the witness
+    /// (reordering/interleaving with legitimate traffic).
+    pub reorder_with_benign: bool,
+    /// Flip one bit (0 = LSB of byte 0) of the witness wire bytes before
+    /// delivery.
+    pub flip_bit: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: deliver the witness once, verbatim.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+/// What one injection run did, per delivery and in aggregate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InjectionOutcome {
+    /// Per-delivery acceptance, aligned with the delivery plan.
+    pub accepted_each: Vec<bool>,
+    /// Structural effect notes (unsorted; [`CrashSignature::new`] sorts).
+    pub effects: Vec<String>,
+}
+
+/// Classification of one witness replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReplayVerdict {
+    /// The deployment accepted a message no correct client generates — the
+    /// symbolic finding is concretely confirmed.
+    ConfirmedTrojan,
+    /// The deployment accepted the message, but a correct client could have
+    /// produced it (benign; not a Trojan).
+    AcceptedGenerable,
+    /// The deployment rejected every delivered copy.
+    Rejected,
+    /// The fault plan dropped the witness before delivery.
+    Dropped,
+}
+
+impl ReplayVerdict {
+    /// Stable corpus-form name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplayVerdict::ConfirmedTrojan => "confirmed",
+            ReplayVerdict::AcceptedGenerable => "benign-accept",
+            ReplayVerdict::Rejected => "rejected",
+            ReplayVerdict::Dropped => "dropped",
+        }
+    }
+
+    /// Parses the [`ReplayVerdict::as_str`] form.
+    pub fn parse(s: &str) -> Option<ReplayVerdict> {
+        Some(match s {
+            "confirmed" => ReplayVerdict::ConfirmedTrojan,
+            "benign-accept" => ReplayVerdict::AcceptedGenerable,
+            "rejected" => ReplayVerdict::Rejected,
+            "dropped" => ReplayVerdict::Dropped,
+            _ => return None,
+        })
+    }
+}
+
+/// One delivery of the plan: wire bytes plus whether this copy is the
+/// witness (as opposed to a benign companion).
+pub type Delivery = (Vec<u8>, bool);
+
+/// A concrete deployment a witness can be fired at.
+///
+/// Implementations must be pure: `inject` boots fresh state every call and
+/// its result is a function of the delivery plan alone.
+pub trait ReplayTarget: Sync {
+    /// Short system name used in signatures (`"fsp"`, `"pbft"`, `"paxos"`).
+    fn name(&self) -> &'static str;
+
+    /// The wire layout witnesses for this target use.
+    fn layout(&self) -> Arc<MessageLayout>;
+
+    /// Field values of a benign message a correct client would send
+    /// (the ddmin baseline and the reorder-fault companion).
+    fn benign_fields(&self) -> Vec<u64>;
+
+    /// Whether a correct client can generate `fields` — the concrete
+    /// client-side oracle.
+    fn client_generable(&self, fields: &[u64]) -> bool;
+
+    /// Boots a fresh deployment and fires the delivery plan at it.
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome;
+}
+
+/// The full record of one witness replay.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// The injected witness (pre-fault provenance).
+    pub witness: ConcreteWitness,
+    /// Raw injection outcome.
+    pub outcome: InjectionOutcome,
+    /// Whether the client-side oracle can generate the *delivered* message
+    /// (after any bit-flip fault; equals the witness itself when no fault
+    /// rewrote it).
+    pub generable: bool,
+    /// Final classification.
+    pub verdict: ReplayVerdict,
+    /// Structural signature for dedup/triage.
+    pub signature: CrashSignature,
+}
+
+/// Replays one witness against a target under a fault plan.
+pub fn replay(
+    target: &dyn ReplayTarget,
+    witness: &ConcreteWitness,
+    faults: &FaultPlan,
+) -> ReplayResult {
+    let mut wire = witness.wire.clone();
+    let mut delivered_fields = witness.fields.clone();
+    if let Some(bit) = faults.flip_bit {
+        if bit < wire.len() * 8 {
+            wire = flip_bit(&wire, bit);
+            // The server sees the flipped message; the generability oracle
+            // must judge the same bytes, or a benign message armed into a
+            // Trojan in flight (the paper's S3 bit-flip) is misclassified.
+            delivered_fields = wire_to_fields(&target.layout(), &wire)
+                .expect("a flipped copy of an encodable message decodes");
+        }
+    }
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    if faults.reorder_with_benign {
+        let benign = target.benign_fields();
+        let bw = fields_to_wire(&target.layout(), &benign)
+            .expect("benign messages encode by construction");
+        deliveries.push((bw, false));
+    }
+    if !faults.drop {
+        deliveries.push((wire.clone(), true));
+        if faults.duplicate {
+            deliveries.push((wire, true));
+        }
+    }
+    let outcome = target.inject(&deliveries);
+    debug_assert_eq!(outcome.accepted_each.len(), deliveries.len());
+    let witness_delivered = deliveries.iter().any(|(_, w)| *w);
+    let witness_accepted = outcome
+        .accepted_each
+        .iter()
+        .zip(&deliveries)
+        .any(|(&a, (_, w))| a && *w);
+    let generable = target.client_generable(&delivered_fields);
+    let verdict = if !witness_delivered {
+        ReplayVerdict::Dropped
+    } else if witness_accepted && !generable {
+        ReplayVerdict::ConfirmedTrojan
+    } else if witness_accepted {
+        ReplayVerdict::AcceptedGenerable
+    } else {
+        ReplayVerdict::Rejected
+    };
+    let signature = CrashSignature::new(target.name(), verdict, outcome.effects.clone());
+    ReplayResult {
+        witness: witness.clone(),
+        outcome,
+        generable,
+        verdict,
+        signature,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FSP
+// ---------------------------------------------------------------------------
+
+use achilles_fsp::{
+    classify, client_can_generate, Command, FspMessage, FspServerConfig, FspServerRuntime,
+    TrojanFamily,
+};
+
+/// The FSP deployment target: a stateful server endpoint over
+/// [`Network`]/[`SimFs`].
+#[derive(Clone, Debug)]
+pub struct FspTarget {
+    /// Server configuration (patch toggles must match the analyzed server).
+    pub server: FspServerConfig,
+    /// Whether client generability models glob expansion.
+    pub glob_expansion: bool,
+    /// Initial filesystem contents, `(path, data)` pairs.
+    pub initial_files: Vec<(String, Vec<u8>)>,
+}
+
+impl FspTarget {
+    /// A target mirroring an analysis configuration, with a small canned
+    /// filesystem so commands have state to act on.
+    pub fn new(server: FspServerConfig, glob_expansion: bool) -> FspTarget {
+        FspTarget {
+            server,
+            glob_expansion,
+            initial_files: vec![
+                ("/f1".to_string(), b"one".to_vec()),
+                ("/f2".to_string(), b"two".to_vec()),
+            ],
+        }
+    }
+
+    fn boot(&self) -> (Network, FspServerRuntime, Addr) {
+        let mut fs = SimFs::new();
+        for (path, data) in &self.initial_files {
+            fs.write(path, data).expect("initial file writes succeed");
+        }
+        let mut net = Network::new();
+        let server_addr = Addr::new("fspd");
+        let client_addr = Addr::new("replay-cli");
+        net.register(server_addr.clone());
+        net.register(client_addr.clone());
+        let server = FspServerRuntime::new(server_addr, fs, self.server.clone());
+        (net, server, client_addr)
+    }
+
+    fn family_effect(fields: &[u64]) -> Option<String> {
+        let report = achilles::TrojanReport {
+            server_path_id: 0,
+            constraints: vec![],
+            witness_fields: fields.to_vec(),
+            active_clients: 0,
+            verified: false,
+            found_at: std::time::Duration::ZERO,
+            notes: vec![],
+        };
+        match classify(&report) {
+            TrojanFamily::LengthMismatch {
+                cmd,
+                reported,
+                actual,
+            } => Some(format!(
+                "family:len-mismatch:{}:{}>{}",
+                cmd.utility_name(),
+                reported,
+                actual
+            )),
+            TrojanFamily::Wildcard { cmd } => {
+                Some(format!("family:wildcard:{}", cmd.utility_name()))
+            }
+            TrojanFamily::Other => None,
+        }
+    }
+}
+
+impl ReplayTarget for FspTarget {
+    fn name(&self) -> &'static str {
+        "fsp"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        achilles_fsp::layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        let cmd = self
+            .server
+            .commands
+            .first()
+            .copied()
+            .unwrap_or(Command::GetDir);
+        FspMessage::request(cmd, b"f1").field_values()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let msg = FspMessage::from_field_values(fields);
+        client_can_generate(&msg, self.glob_expansion)
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let (mut net, mut server, client_addr) = self.boot();
+        let before = server.fs().list("/").unwrap_or_default();
+        let mut outcome = InjectionOutcome::default();
+        for (wire, is_witness) in deliveries {
+            let accepted_before = server.accepted;
+            net.send(client_addr.clone(), server.addr().clone(), wire.clone());
+            server.poll(&mut net);
+            outcome
+                .accepted_each
+                .push(server.accepted > accepted_before);
+            while let Some(reply) = net.recv(&client_addr) {
+                let code = if reply.payload.first() == Some(&0) {
+                    "ok"
+                } else {
+                    "err"
+                };
+                outcome.effects.push(format!("reply:{code}"));
+            }
+            if *is_witness {
+                if let Ok(msg) = FspMessage::from_wire(wire) {
+                    if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
+                        outcome.effects.push(family);
+                    }
+                }
+            }
+        }
+        let after = server.fs().list("/").unwrap_or_default();
+        for name in &after {
+            if !before.contains(name) {
+                outcome.effects.push(format!("fs:+{name}"));
+            }
+        }
+        for name in &before {
+            if !after.contains(name) {
+                outcome.effects.push(format!("fs:-{name}"));
+            }
+        }
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PBFT
+// ---------------------------------------------------------------------------
+
+use achilles_pbft::{ClusterConfig, PbftCluster, PbftRequest, SubmitOutcome, N_REPLICAS};
+
+/// The PBFT deployment target: the deterministic 4-replica cluster over
+/// `SimClock` cost accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PbftTarget {
+    /// Cluster cost model and patch toggle.
+    pub cluster: ClusterConfig,
+}
+
+impl PbftTarget {
+    /// A target over the default cost model (vulnerable primary).
+    pub fn new(cluster: ClusterConfig) -> PbftTarget {
+        PbftTarget { cluster }
+    }
+}
+
+impl ReplayTarget for PbftTarget {
+    fn name(&self) -> &'static str {
+        "pbft"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        achilles_pbft::layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        PbftRequest::correct(0, 1, *b"op__").field_values()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let req = PbftRequest::from_field_values(fields);
+        u64::from(req.tag) == achilles_pbft::REQUEST_TAG
+            && u64::from(req.size) == achilles_pbft::MESSAGE_SIZE
+            && usize::from(req.command_size) == achilles_pbft::COMMAND_LEN
+            && req.extra <= 1
+            && usize::from(req.replier) < N_REPLICAS
+            && u64::from(req.cid) < achilles_pbft::N_CLIENTS
+            && (0..N_REPLICAS).all(|r| req.mac_valid_for(r))
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut cluster = PbftCluster::new(self.cluster);
+        let mut outcome = InjectionOutcome::default();
+        for (wire, is_witness) in deliveries {
+            let Ok(req) = PbftRequest::from_wire(wire) else {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("malformed".to_string());
+                continue;
+            };
+            let submit = cluster.submit(&req);
+            let (accepted, note) = match submit {
+                SubmitOutcome::Executed => (true, "outcome:fast-path"),
+                SubmitOutcome::RecoveredThenExecuted => (true, "outcome:recovered"),
+                SubmitOutcome::DroppedByPrimary => (false, "outcome:dropped-by-primary"),
+            };
+            outcome.accepted_each.push(accepted);
+            outcome.effects.push(note.to_string());
+            if *is_witness {
+                let bad = (0..N_REPLICAS).filter(|&r| !req.mac_valid_for(r)).count();
+                if bad > 0 {
+                    outcome.effects.push(format!("bad_macs:{bad}"));
+                }
+            }
+        }
+        outcome
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paxos
+// ---------------------------------------------------------------------------
+
+use achilles_paxos::{Acceptor, Ballot, ProposerMode, Value, ACCEPT_KIND, MAX_PROPOSABLE_VALUE};
+
+/// The Paxos deployment target: a single-decree acceptor mid-scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct PaxosTarget {
+    /// The acceptor's promised ballot when the witness arrives.
+    pub promised: Ballot,
+    /// The proposer scenario defining client generability.
+    pub proposer: ProposerMode,
+}
+
+impl PaxosTarget {
+    /// A target for the acceptor-promised-`promised` scenario with the
+    /// given proposer mode.
+    pub fn new(promised: Ballot, proposer: ProposerMode) -> PaxosTarget {
+        PaxosTarget { promised, proposer }
+    }
+}
+
+impl ReplayTarget for PaxosTarget {
+    fn name(&self) -> &'static str {
+        "paxos"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        achilles_paxos::accept_layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        match self.proposer {
+            ProposerMode::Concrete(b, v) => vec![ACCEPT_KIND, u64::from(b), u64::from(v)],
+            ProposerMode::Constructed(b) => vec![ACCEPT_KIND, u64::from(b), 0],
+        }
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let [kind, ballot, value] = fields else {
+            return false;
+        };
+        if *kind != ACCEPT_KIND {
+            return false;
+        }
+        match self.proposer {
+            ProposerMode::Concrete(b, v) => *ballot == u64::from(b) && *value == u64::from(v),
+            ProposerMode::Constructed(b) => {
+                *ballot == u64::from(b) && *value <= MAX_PROPOSABLE_VALUE
+            }
+        }
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut acceptor = Acceptor::new();
+        acceptor.on_prepare(self.promised);
+        let mut outcome = InjectionOutcome::default();
+        let layout = self.layout();
+        for (wire, is_witness) in deliveries {
+            let Ok(fields) = crate::witness::wire_to_fields(&layout, wire) else {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("malformed".to_string());
+                continue;
+            };
+            let (kind, ballot, value) = (fields[0], fields[1], fields[2]);
+            if kind != ACCEPT_KIND {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("ignored:not-accept".to_string());
+                continue;
+            }
+            let accepted = acceptor.on_accept(ballot as Ballot, value as Value);
+            outcome.accepted_each.push(accepted);
+            if !accepted {
+                outcome.effects.push("rejected:stale-ballot".to_string());
+                continue;
+            }
+            outcome.effects.push("accepted".to_string());
+            if *is_witness {
+                if u64::from(ballot as Ballot) > u64::from(self.promised) {
+                    outcome.effects.push("ballot:hijacks-round".to_string());
+                }
+                if value > MAX_PROPOSABLE_VALUE {
+                    outcome.effects.push("value:out-of-domain".to_string());
+                } else if !self.client_generable(&fields) {
+                    outcome.effects.push("value:foreign".to_string());
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::from_report;
+    use achilles::TrojanReport;
+    use std::time::Duration;
+
+    fn fsp_report(msg: &FspMessage) -> TrojanReport {
+        TrojanReport {
+            server_path_id: 0,
+            constraints: vec![],
+            witness_fields: msg.field_values(),
+            active_clients: 0,
+            verified: true,
+            found_at: Duration::ZERO,
+            notes: vec![],
+        }
+    }
+
+    fn fsp_witness(msg: &FspMessage) -> ConcreteWitness {
+        from_report(&achilles_fsp::layout(), 0, &fsp_report(msg)).unwrap()
+    }
+
+    #[test]
+    fn fsp_length_mismatch_confirms() {
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        let mut msg = FspMessage::request(Command::Stat, b"a");
+        msg.bb_len = 3;
+        msg.buf = [b'a', 0, 0x77, 0];
+        let result = replay(&target, &fsp_witness(&msg), &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+        assert!(result
+            .signature
+            .effects
+            .iter()
+            .any(|e| e.starts_with("family:len-mismatch:fstat")));
+    }
+
+    #[test]
+    fn fsp_benign_request_is_generable() {
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        let msg = FspMessage::request(Command::DelFile, b"f1");
+        let result = replay(&target, &fsp_witness(&msg), &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::AcceptedGenerable);
+        assert!(result.signature.effects.contains(&"fs:-f1".to_string()));
+    }
+
+    #[test]
+    fn fsp_patched_server_rejects_the_witness() {
+        let config = FspServerConfig {
+            check_actual_length: true,
+            ..FspServerConfig::default()
+        };
+        let target = FspTarget::new(config, false);
+        let mut msg = FspMessage::request(Command::Stat, b"a");
+        msg.bb_len = 3;
+        msg.buf = [b'a', 0, 0x77, 0];
+        let result = replay(&target, &fsp_witness(&msg), &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::Rejected);
+    }
+
+    #[test]
+    fn fault_plan_drop_and_duplicate() {
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        let msg = FspMessage::request(Command::DelFile, b"f1");
+        let dropped = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                drop: true,
+                ..FaultPlan::none()
+            },
+        );
+        assert_eq!(dropped.verdict, ReplayVerdict::Dropped);
+        let dup = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                duplicate: true,
+                ..FaultPlan::none()
+            },
+        );
+        // First copy deletes /f1, the second copy fails on the missing file.
+        assert_eq!(dup.outcome.accepted_each, vec![true, true]);
+        assert!(dup.signature.effects.contains(&"reply:err".to_string()));
+    }
+
+    #[test]
+    fn bit_flip_arms_the_wildcard() {
+        // 'j' (0x6a) with bit 6 flipped is '*' (0x2a): a benign request for
+        // file "j" becomes a wildcard Trojan in flight — the paper's
+        // motivating single-bit corruption.
+        let target = FspTarget::new(FspServerConfig::default(), true);
+        let msg = FspMessage::request(Command::DelFile, b"j");
+        let wire = msg.to_wire();
+        // First payload byte of `buf` in the wire layout.
+        let buf_byte = wire.len() - achilles_fsp::MAX_PATH;
+        let result = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                flip_bit: Some(buf_byte * 8 + 6),
+                ..FaultPlan::none()
+            },
+        );
+        // The *flipped* message is what the server saw — and what the
+        // generability oracle must judge: a glob-expanding client can never
+        // send a literal '*', so the in-flight corruption armed a Trojan.
+        assert!(result
+            .signature
+            .effects
+            .iter()
+            .any(|e| e.starts_with("family:wildcard")));
+        assert!(!result.generable, "no glob client sends a literal '*'");
+        assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+    }
+
+    #[test]
+    fn reorder_delivers_benign_companion_first() {
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        let mut msg = FspMessage::request(Command::Stat, b"a");
+        msg.bb_len = 2;
+        msg.buf = [b'a', 0, 0, 0];
+        let result = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                reorder_with_benign: true,
+                ..FaultPlan::none()
+            },
+        );
+        assert_eq!(result.outcome.accepted_each.len(), 2);
+        assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+    }
+
+    #[test]
+    fn pbft_witness_triggers_recovery() {
+        let target = PbftTarget::new(ClusterConfig::default());
+        let req = PbftRequest::correct(0, 1, *b"op__").with_corrupted_mac(1);
+        let witness = from_report(
+            &achilles_pbft::layout(),
+            0,
+            &TrojanReport {
+                server_path_id: 0,
+                constraints: vec![],
+                witness_fields: req.field_values(),
+                active_clients: 0,
+                verified: true,
+                found_at: Duration::ZERO,
+                notes: vec![],
+            },
+        )
+        .unwrap();
+        let result = replay(&target, &witness, &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+        assert!(result
+            .signature
+            .effects
+            .contains(&"outcome:recovered".to_string()));
+        assert!(result.signature.effects.contains(&"bad_macs:1".to_string()));
+    }
+
+    #[test]
+    fn pbft_correct_request_is_benign() {
+        let target = PbftTarget::new(ClusterConfig::default());
+        let req = PbftRequest::correct(2, 9, *b"op__");
+        let witness = from_report(
+            &achilles_pbft::layout(),
+            0,
+            &TrojanReport {
+                server_path_id: 0,
+                constraints: vec![],
+                witness_fields: req.field_values(),
+                active_clients: 0,
+                verified: true,
+                found_at: Duration::ZERO,
+                notes: vec![],
+            },
+        )
+        .unwrap();
+        let result = replay(&target, &witness, &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::AcceptedGenerable);
+        assert!(result
+            .signature
+            .effects
+            .contains(&"outcome:fast-path".to_string()));
+    }
+
+    #[test]
+    fn paxos_foreign_value_confirms() {
+        let target = PaxosTarget::new(5, ProposerMode::Concrete(5, 7));
+        let witness = from_report(
+            &achilles_paxos::accept_layout(),
+            0,
+            &TrojanReport {
+                server_path_id: 0,
+                constraints: vec![],
+                witness_fields: vec![ACCEPT_KIND, 5, 99],
+                active_clients: 0,
+                verified: true,
+                found_at: Duration::ZERO,
+                notes: vec![],
+            },
+        )
+        .unwrap();
+        let result = replay(&target, &witness, &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+        assert!(result
+            .signature
+            .effects
+            .contains(&"value:foreign".to_string()));
+    }
+
+    #[test]
+    fn paxos_stale_ballot_rejected() {
+        let target = PaxosTarget::new(10, ProposerMode::Concrete(10, 7));
+        let witness = from_report(
+            &achilles_paxos::accept_layout(),
+            0,
+            &TrojanReport {
+                server_path_id: 0,
+                constraints: vec![],
+                witness_fields: vec![ACCEPT_KIND, 3, 7],
+                active_clients: 0,
+                verified: true,
+                found_at: Duration::ZERO,
+                notes: vec![],
+            },
+        )
+        .unwrap();
+        let result = replay(&target, &witness, &FaultPlan::none());
+        assert_eq!(result.verdict, ReplayVerdict::Rejected);
+    }
+}

@@ -1,0 +1,166 @@
+//! Witness concretization: solver output → injectable wire bytes.
+//!
+//! The symbolic phases end with a [`TrojanReport`] whose witness is a
+//! vector of concrete field values (the solver model evaluated over the
+//! server message). Replay needs the *wire form*: the exact byte string a
+//! malicious sender would put on the network. This module bridges the two
+//! through [`achilles_netsim::bytes`], the same codec the concrete
+//! deployments parse with, so an encode → inject → decode round trip
+//! exercises the identical framing code as real traffic.
+
+use std::sync::Arc;
+
+use achilles::TrojanReport;
+use achilles_netsim::bytes::{decode_fields, encode_fields, WireError};
+use achilles_solver::{Model, TermPool};
+use achilles_symvm::{MessageLayout, SymMessage};
+
+/// A fully concretized Trojan witness, ready for injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteWitness {
+    /// Index of the originating report in discovery order.
+    pub index: usize,
+    /// Id of the accepting server path the witness was found on.
+    pub server_path_id: usize,
+    /// Concrete field values in layout order.
+    pub fields: Vec<u64>,
+    /// Big-endian wire encoding of `fields`.
+    pub wire: Vec<u8>,
+}
+
+/// Per-field widths (in bits) of a message layout, in declaration order.
+pub fn layout_widths(layout: &MessageLayout) -> Vec<u32> {
+    layout.fields().iter().map(|f| f.width.bits()).collect()
+}
+
+/// Encodes layout-ordered field values to wire bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadWidth`] if the layout has a field narrower than
+/// one byte (such layouts cannot travel on the modeled wire).
+pub fn fields_to_wire(layout: &MessageLayout, fields: &[u64]) -> Result<Vec<u8>, WireError> {
+    let pairs: Vec<(u32, u64)> = layout_widths(layout)
+        .into_iter()
+        .zip(fields.iter().copied())
+        .collect();
+    encode_fields(&pairs)
+}
+
+/// Decodes wire bytes back to layout-ordered field values.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the buffer is truncated or the layout has a
+/// sub-byte field.
+pub fn wire_to_fields(layout: &MessageLayout, wire: &[u8]) -> Result<Vec<u64>, WireError> {
+    decode_fields(wire, &layout_widths(layout))
+}
+
+/// Concretizes a discovered Trojan report into an injectable witness.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the layout cannot be wire-encoded.
+pub fn from_report(
+    layout: &Arc<MessageLayout>,
+    index: usize,
+    report: &TrojanReport,
+) -> Result<ConcreteWitness, WireError> {
+    let wire = fields_to_wire(layout, &report.witness_fields)?;
+    Ok(ConcreteWitness {
+        index,
+        server_path_id: report.server_path_id,
+        fields: report.witness_fields.clone(),
+        wire,
+    })
+}
+
+/// Concretizes a raw solver [`Model`] over a (possibly symbolic) server
+/// message — the path for callers that hold a satisfying model rather than
+/// a finished report (e.g. re-deriving a witness from a stored constraint
+/// set). Unassigned variables default to zero, like
+/// [`SymMessage::concretize`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the layout cannot be wire-encoded.
+pub fn from_model(
+    pool: &TermPool,
+    msg: &SymMessage,
+    model: &Model,
+    index: usize,
+    server_path_id: usize,
+) -> Result<ConcreteWitness, WireError> {
+    let fields = msg.concretize(pool, model);
+    let wire = fields_to_wire(msg.layout(), &fields)?;
+    Ok(ConcreteWitness {
+        index,
+        server_path_id,
+        fields,
+        wire,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::Width;
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("m")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let l = layout();
+        let fields = vec![0x41, 0x1234];
+        let wire = fields_to_wire(&l, &fields).unwrap();
+        assert_eq!(wire, vec![0x41, 0x12, 0x34]);
+        assert_eq!(wire_to_fields(&l, &wire).unwrap(), fields);
+    }
+
+    #[test]
+    fn report_concretization_carries_provenance() {
+        let l = layout();
+        let report = TrojanReport {
+            server_path_id: 7,
+            constraints: vec![],
+            witness_fields: vec![1, 2000],
+            active_clients: 0,
+            verified: true,
+            found_at: std::time::Duration::ZERO,
+            notes: vec![],
+        };
+        let w = from_report(&l, 3, &report).unwrap();
+        assert_eq!(w.index, 3);
+        assert_eq!(w.server_path_id, 7);
+        assert_eq!(w.fields, vec![1, 2000]);
+        assert_eq!(w.wire, vec![1, 0x07, 0xD0]);
+    }
+
+    #[test]
+    fn model_concretization_evaluates_symbolic_fields() {
+        let mut pool = TermPool::new();
+        let l = layout();
+        let msg = SymMessage::fresh(&mut pool, &l, "w");
+        let mut model = Model::new();
+        // Assign only the first field's variable; the second defaults to 0.
+        let vars = pool.vars_of(msg.value(0));
+        model.assign(vars[0], 0x42);
+        let w = from_model(&pool, &msg, &model, 0, 1).unwrap();
+        assert_eq!(w.fields, vec![0x42, 0]);
+        assert_eq!(w.wire, vec![0x42, 0, 0]);
+    }
+
+    #[test]
+    fn sub_byte_layouts_are_rejected() {
+        let l = MessageLayout::builder("b")
+            .field("flag", Width::BOOL)
+            .build();
+        assert!(fields_to_wire(&l, &[1]).is_err());
+    }
+}

@@ -425,6 +425,55 @@ fn merge<O>(
     }
 }
 
+/// Maps `f` over `items` on up to `workers` threads, returning results in
+/// item order.
+///
+/// This is the pool's second entry point, for workloads whose units are
+/// *data* rather than decision prefixes — e.g. replaying discovered Trojan
+/// witnesses against a concrete deployment, or negating independent client
+/// path predicates. Items are claimed from a shared atomic cursor, so the
+/// assignment of items to threads is scheduling-dependent, but the returned
+/// vector is always ordered by item index: callers whose `f` is a pure
+/// function of the item get deterministic output for every worker count.
+///
+/// `workers <= 1` (or fewer than two items) runs inline on the calling
+/// thread with no pool overhead.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
 fn import_messages(
     dst: &mut TermPool,
     src: &TermPool,
@@ -474,6 +523,18 @@ mod tests {
         let mut exec = Executor::new(&mut pool, &mut solver, config);
         let result = exec.explore_multi(&branching_program);
         (pool, result)
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving_for_every_worker_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = parallel_map(1, &items, |i, &x| x * 2 + i as u64);
+        for w in [2usize, 4, 9, 64] {
+            assert_eq!(parallel_map(w, &items, |i, &x| x * 2 + i as u64), seq);
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x: &u64| x).is_empty());
+        assert_eq!(parallel_map(8, &[41u64], |_, &x| x + 1), vec![42]);
     }
 
     #[test]

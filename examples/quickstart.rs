@@ -10,6 +10,16 @@
 //! ```text
 //! cargo run --release -p achilles-examples --example quickstart
 //! ```
+//!
+//! Discovery is only half of the paper's pipeline: every candidate was then
+//! *validated* by injecting the concrete message into a real deployment.
+//! The opt-in `validate` phase reproduces that step — `achilles-replay`
+//! concretizes each report into wire bytes, fires them at the concrete
+//! FSP/PBFT/Paxos runtimes (optionally under network faults), dedups the
+//! confirmed failures by crash signature, and ddmin-minimizes the
+//! witnesses; the replay wall clock lands in
+//! [`achilles::PhaseTimes::validate`]. See the `replay_triage` example for
+//! the full tour.
 
 use std::sync::Arc;
 

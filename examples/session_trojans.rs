@@ -124,6 +124,7 @@ fn main() {
         &session_server,
         vec![&hs_prep, &cmd_prep],
         Optimizations::default(),
+        1,
     );
 
     println!("server paths completed: {server_paths}");

@@ -246,3 +246,144 @@ fn unscripted_recv_is_fork_invariant() {
         "recv-created variables must not depend on the fork nonce"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Parallel pre-processing (the negation loop)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prepare_client_is_worker_count_invariant() {
+    // The per-path negation fan-out must not perturb anything downstream:
+    // the full FSP pipeline with parallel preprocessing (workers flows into
+    // `prepare_client_workers`) produces the identical Trojan set, and the
+    // negation clauses themselves are structurally equal across worker
+    // counts because the existential λ' copies are interned by
+    // deterministic tags.
+    use achilles::{prepare_client_workers, FieldMask, Optimizations};
+    use achilles_fsp::extract_client_predicate;
+    use achilles_solver::{SharedCache, Solver, TermPool};
+
+    let prep_keys = |workers: usize| -> Vec<Vec<Box<[u128]>>> {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let client = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &achilles_fsp::Command::ANALYSIS_SET[..2],
+            &achilles_fsp::FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        let server_msg = SymMessage::fresh(&mut pool, &achilles_fsp::layout(), "msg");
+        let prepared = prepare_client_workers(
+            &mut pool,
+            &mut solver,
+            client,
+            server_msg,
+            FieldMask::none(),
+            Optimizations::default(),
+            workers,
+        );
+        prepared
+            .negations
+            .iter()
+            .map(|n| {
+                n.field_clauses
+                    .iter()
+                    .map(|&(_, c)| SharedCache::key_of(&pool, &[c]))
+                    .collect()
+            })
+            .collect()
+    };
+    assert_eq!(
+        prep_keys(1),
+        prep_keys(4),
+        "negation clauses must be fingerprint-identical across worker counts"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Session (multi-message) search
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_search_is_worker_count_invariant() {
+    use achilles::{analyze_sequence, prepare_client, ClientPredicate, FieldMask, Optimizations};
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::Executor;
+    use std::sync::Arc;
+
+    fn hs_layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("hs")
+            .field("token", Width::W16)
+            .build()
+    }
+    fn hs_client(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let token = env.sym("token", Width::W16);
+        let cap = env.constant(100, Width::W16);
+        if !env.if_ult(token, cap)? {
+            return Ok(());
+        }
+        env.send(SymMessage::new(hs_layout(), vec![token]));
+        Ok(())
+    }
+    fn session_server(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let hs = env.recv(&hs_layout())?;
+        let tcap = env.constant(200, Width::W16);
+        if !env.if_ult(hs.field("token"), tcap)? {
+            return Ok(());
+        }
+        let cmd = env.recv(&quickstart_layout())?;
+        let one = env.constant(1, Width::W8);
+        if !env.if_eq(cmd.field("request"), one)? {
+            return Ok(());
+        }
+        env.mark_accept();
+        Ok(())
+    }
+
+    let run = |workers: usize| {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let hs_pred = {
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            ClientPredicate::from_exploration(&exec.explore(&hs_client))
+        };
+        let cmd_pred = {
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            ClientPredicate::from_exploration(&exec.explore(&quickstart_client))
+        };
+        let hs_msg = SymMessage::fresh(&mut pool, &hs_layout(), "hs");
+        let cmd_msg = SymMessage::fresh(&mut pool, &quickstart_layout(), "cmd");
+        let hs_prep = prepare_client(
+            &mut pool,
+            &mut solver,
+            hs_pred,
+            hs_msg,
+            FieldMask::none(),
+            Optimizations::default(),
+        );
+        let cmd_prep = prepare_client(
+            &mut pool,
+            &mut solver,
+            cmd_pred,
+            cmd_msg,
+            FieldMask::none(),
+            Optimizations::default(),
+        );
+        let (reports, slots, paths) = analyze_sequence(
+            &mut pool,
+            &mut solver,
+            &session_server,
+            vec![&hs_prep, &cmd_prep],
+            Optimizations::default(),
+            workers,
+        );
+        (report_keys(&reports), slots, paths)
+    };
+    let (seq_keys, seq_slots, seq_paths) = run(1);
+    let (par_keys, par_slots, par_paths) = run(4);
+    assert!(!seq_keys.is_empty(), "the lax handshake hosts a Trojan");
+    assert_eq!(seq_keys, par_keys, "session Trojan sets + witnesses");
+    assert_eq!(seq_slots, par_slots, "Trojan slot attribution");
+    assert_eq!(seq_paths, par_paths, "completed server paths");
+}

@@ -1,0 +1,187 @@
+//! Replay validation properties: every Trojan the symbolic pipeline
+//! discovers on FSP, PBFT, and Paxos must replay to its predicted oracle
+//! verdict against the concrete runtime, byte-identically across
+//! `workers ∈ {1, 4}` and across two runs of the same configuration; the
+//! minimizer must strictly shrink multi-field witnesses while preserving
+//! their crash signature.
+
+use achilles_fsp::{
+    is_trojan, run_analysis as run_fsp, Command, FspAnalysisConfig, FspMessage, FspServerConfig,
+};
+use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode};
+use achilles_pbft::run_analysis as run_pbft;
+use achilles_pbft::PbftAnalysisConfig;
+use achilles_replay::{
+    minimize, replay, validate_trojans, FaultPlan, FspTarget, PaxosTarget, PbftTarget,
+    ReplayCorpus, ReplayTarget, ReplayVerdict, ValidateConfig,
+};
+
+/// Replay key for byte-level comparison: fields, wire, verdict, signature.
+type ReplayKey = (Vec<u64>, Vec<u8>, ReplayVerdict, String);
+
+fn replay_keys(
+    target: &dyn ReplayTarget,
+    trojans: &[achilles::TrojanReport],
+    workers: usize,
+) -> Vec<ReplayKey> {
+    let mut corpus = ReplayCorpus::new();
+    let summary = validate_trojans(
+        target,
+        trojans,
+        &mut corpus,
+        &ValidateConfig::default().with_workers(workers),
+    );
+    summary
+        .results
+        .iter()
+        .map(|r| {
+            (
+                r.witness.fields.clone(),
+                r.witness.wire.clone(),
+                r.verdict,
+                r.signature.to_line(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fsp_trojans_replay_to_predicted_verdicts_deterministically() {
+    let config = FspAnalysisConfig::accuracy().with_commands(2);
+    let result = run_fsp(&config);
+    assert!(!result.trojans.is_empty());
+    let target = FspTarget::new(config.server.clone(), config.client.glob_expansion);
+
+    let keys1 = replay_keys(&target, &result.trojans, 1);
+    // Every witness confirms, and the concrete oracle agrees.
+    for (fields, _, verdict, _) in &keys1 {
+        assert_eq!(*verdict, ReplayVerdict::ConfirmedTrojan);
+        let msg = FspMessage::from_field_values(fields);
+        // The runtime speaks the full protocol (Install added), so mirror
+        // its effective configuration for the oracle.
+        let mut effective = config.server.clone();
+        effective.commands.push(Command::Install);
+        assert!(
+            is_trojan(&msg, &effective, config.client.glob_expansion),
+            "oracle agrees the witness is Trojan: {fields:?}"
+        );
+    }
+    // Byte-identical across worker counts and across runs.
+    assert_eq!(keys1, replay_keys(&target, &result.trojans, 4));
+    let rerun = run_fsp(&config);
+    assert_eq!(keys1, replay_keys(&target, &rerun.trojans, 1));
+}
+
+#[test]
+fn wildcard_mode_confirms_and_dedups_by_signature() {
+    let config = FspAnalysisConfig::wildcard().with_commands(1);
+    let result = run_fsp(&config);
+    let target = FspTarget::new(config.server.clone(), config.client.glob_expansion);
+    let mut corpus = ReplayCorpus::new();
+    let summary = validate_trojans(
+        &target,
+        &result.trojans,
+        &mut corpus,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(summary.confirmed, result.trojans.len(), "100% confirm");
+    // The four wildcard witnesses (one per exact length) share signatures
+    // beyond length: dedup strictly compresses.
+    assert!(
+        corpus.distinct_signatures() < result.trojans.len(),
+        "{} signatures for {} witnesses",
+        corpus.distinct_signatures(),
+        result.trojans.len()
+    );
+}
+
+#[test]
+fn pbft_trojans_replay_to_recovery() {
+    let result = run_pbft(&PbftAnalysisConfig::paper());
+    assert_eq!(result.trojans.len(), 2);
+    let target = PbftTarget::default();
+    let keys1 = replay_keys(&target, &result.trojans, 1);
+    for (_, _, verdict, sig) in &keys1 {
+        assert_eq!(*verdict, ReplayVerdict::ConfirmedTrojan);
+        assert!(sig.contains("outcome:recovered"), "{sig}");
+    }
+    assert_eq!(keys1, replay_keys(&target, &result.trojans, 4));
+    // Both accepting paths map to the single MAC-attack bug class.
+    let mut corpus = ReplayCorpus::new();
+    validate_trojans(
+        &target,
+        &result.trojans,
+        &mut corpus,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(corpus.distinct_signatures(), 1);
+}
+
+#[test]
+fn paxos_trojan_replays_against_the_engine() {
+    let (_pool, trojans) =
+        analyze_local_state(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5), 1);
+    assert_eq!(trojans.len(), 1);
+    let target = PaxosTarget::new(5, ProposerMode::Concrete(5, 7));
+    let keys1 = replay_keys(&target, &trojans, 1);
+    assert_eq!(keys1[0].2, ReplayVerdict::ConfirmedTrojan);
+    assert_eq!(keys1, replay_keys(&target, &trojans, 4));
+}
+
+#[test]
+fn minimizer_strictly_shrinks_and_preserves_signature() {
+    // Multi-field witness: reported length 4, real length 1, junk beyond
+    // the NUL — the length and NUL position matter, the junk does not.
+    let target = FspTarget::new(FspServerConfig::default(), false);
+    let mut msg = FspMessage::request(Command::Stat, b"a");
+    msg.bb_len = 4;
+    msg.buf = [b'a', 0, b'X', b'Y'];
+    let witness = achilles_replay::ConcreteWitness {
+        index: 0,
+        server_path_id: 0,
+        fields: msg.field_values(),
+        wire: msg.to_wire(),
+    };
+    let full = replay(&target, &witness, &FaultPlan::none());
+    assert_eq!(full.verdict, ReplayVerdict::ConfirmedTrojan);
+    let min = minimize(&target, &witness, &FaultPlan::none(), &full.signature);
+    assert!(
+        min.strictly_shrunk(),
+        "{} of {} fields essential",
+        min.essential.len(),
+        min.original_delta.len()
+    );
+    // The minimized witness reproduces the signature exactly.
+    let again = replay(&target, &min.witness, &FaultPlan::none());
+    assert_eq!(again.signature, full.signature);
+    assert_eq!(again.verdict, ReplayVerdict::ConfirmedTrojan);
+}
+
+#[test]
+fn corpus_makes_revalidation_incremental_across_save_load() {
+    let config = FspAnalysisConfig::accuracy().with_commands(1);
+    let result = run_fsp(&config);
+    let target = FspTarget::new(config.server.clone(), false);
+    let mut corpus = ReplayCorpus::new();
+    let first = validate_trojans(
+        &target,
+        &result.trojans,
+        &mut corpus,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(first.skipped_known, 0);
+    assert_eq!(first.confirmed, result.trojans.len());
+
+    // Round-trip the corpus through its serialized form (as a CI cache
+    // would) and re-validate: nothing replays.
+    let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+    assert_eq!(reloaded.len(), corpus.len());
+    let second = validate_trojans(
+        &target,
+        &result.trojans,
+        &mut reloaded,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(second.replayed, 0);
+    assert_eq!(second.skipped_known, result.trojans.len());
+}

@@ -1,48 +1,71 @@
-//! Regenerates **Figure 10** (§6.2): percentage of the known FSP Trojan
+//! Regenerates **Figure 10** (§6.2): percentage of the known Trojan
 //! messages discovered as a function of server-analysis time, plus the
 //! §6.2 phase-time breakdown (client 3 min / preprocess 15 min / server
 //! 45 min on the paper's testbed — shapes, not absolutes, are the target).
 //!
 //! ```text
-//! cargo run --release -p achilles-bench --bin fig10_discovery [-- --workers N] [-- --validate]
+//! cargo run --release -p achilles-bench --bin fig10_discovery \
+//!     [-- --target NAME] [-- --workers N] [-- --validate]
 //! ```
 //!
-//! With `--validate`, every discovered Trojan is additionally replayed
-//! against the concrete FSP deployment (the opt-in validate phase).
+//! The bin is registry-driven: `--target` selects any registered
+//! [`TargetSpec`](achilles::TargetSpec) (default `fsp`, the paper's
+//! figure) and the whole pipeline — discovery curve, expected-count check,
+//! optional concrete replay — runs without naming a protocol.
 
+use achilles::AchillesSession;
 use achilles_bench::{
-    arg_present, bar, fmt_secs, header, row, validate_fsp_result, workers_from_args,
+    arg_present, arg_value_required, bar, fmt_secs, header, row, validate_spec_result,
+    workers_from_args,
 };
-use achilles_fsp::{expected_length_mismatch_trojans, run_analysis, FspAnalysisConfig};
+use achilles_targets::builtin_registry;
 
 fn main() {
     let workers = workers_from_args();
+    let registry = builtin_registry();
+    let name = arg_value_required("--target").unwrap_or_else(|| "fsp".to_string());
+    let Some(spec) = registry.get(&name) else {
+        eprintln!(
+            "unknown --target {name:?}; registered targets: {}",
+            registry.names().join(", ")
+        );
+        std::process::exit(2);
+    };
     header(&format!(
-        "Figure 10 — Trojan discovery over server-analysis time (FSP, {workers} worker(s))"
+        "Figure 10 — Trojan discovery over server-analysis time ({name}, {workers} worker(s))"
     ));
-    let config = FspAnalysisConfig::accuracy().with_workers(workers);
-    let result = run_analysis(&config);
-    let expected = expected_length_mismatch_trojans(config.commands.len()) as f64;
+    let report = AchillesSession::new(&**spec).workers(workers).run();
 
     println!(
         "{}",
-        row("phase: client predicate", fmt_secs(result.client_time))
+        row(
+            "phase: client predicate",
+            fmt_secs(report.phase_times.client)
+        )
     );
     println!(
         "{}",
-        row("phase: preprocessing", fmt_secs(result.preprocess_time))
+        row(
+            "phase: preprocessing",
+            fmt_secs(report.phase_times.preprocess)
+        )
     );
     println!(
         "{}",
-        row("phase: server analysis", fmt_secs(result.server_time))
+        row(
+            "phase: server analysis",
+            fmt_secs(report.phase_times.server)
+        )
     );
-    println!("{}", row("Trojans discovered", result.trojans.len()));
+    println!("{}", row("Trojans discovered", report.trojans.len()));
+
+    let expected = spec.expected_trojans().unwrap_or(report.trojans.len()) as f64;
 
     // Discovery curve: found_at timestamps are relative to the server
     // analysis start.
     println!("\n  time_ms,percent_found");
     let mut rows = Vec::new();
-    for (i, t) in result.trojans.iter().enumerate() {
+    for (i, t) in report.trojans.iter().enumerate() {
         let pct = (i + 1) as f64 / expected * 100.0;
         rows.push((t.found_at.as_secs_f64() * 1000.0, pct));
     }
@@ -56,25 +79,31 @@ fn main() {
 
     let first = rows.first().map(|r| r.0).unwrap_or(0.0);
     let last = rows.last().map(|r| r.0).unwrap_or(0.0);
-    let total_ms = result.server_time.as_secs_f64() * 1000.0;
+    let total_ms = report.phase_times.server.as_secs_f64() * 1000.0;
     header("paper vs measured");
     println!("  paper:    first Trojan at ~44% of server analysis, all by ~96% (20/43/45 min)");
     println!(
         "  measured: first at {:.0}% of server analysis, all by {:.0}% ({:.0}/{:.0}/{:.0} ms)",
-        first / total_ms * 100.0,
-        last / total_ms * 100.0,
+        first / total_ms.max(1e-9) * 100.0,
+        last / total_ms.max(1e-9) * 100.0,
         first,
         last,
         total_ms
     );
     println!("  shape:    discovery is incremental — interrupting early still yields results");
-    assert_eq!(rows.len() as f64, expected, "all known Trojans discovered");
+    if let Some(expected) = spec.expected_trojans() {
+        assert_eq!(
+            report.trojans.len(),
+            expected,
+            "all known {name} Trojans discovered"
+        );
+    }
 
     if arg_present("--validate") {
-        let summary = validate_fsp_result(&result, &config, workers);
+        let summary = validate_spec_result(&**spec, &report.trojans, workers);
         assert_eq!(
             summary.confirmed,
-            result.trojans.len(),
+            report.trojans.len(),
             "every discovered Trojan replays to a concrete failure"
         );
     }

@@ -3,55 +3,90 @@
 //! injecting Trojan messages into the system" step, plus a worker-scaling
 //! sweep of the replay phase.
 //!
-//! Discovers Trojans on FSP (accuracy configuration, eight utilities),
-//! PBFT (paper configuration), and Paxos (concrete local-state scenario),
-//! replays all of them against the concrete deployments, dedups confirmed
-//! failures by crash signature, ddmin-minimizes the first witness of each
-//! signature, and sweeps the replay fan-out over `workers ∈ {1, 2, 4, 8}`.
-//! With `--json [PATH]` emits `BENCH_replay.json`.
+//! The bin is registry-driven: it iterates every registered
+//! [`TargetSpec`](achilles::TargetSpec) (or one selected with
+//! `--target NAME`), discovers Trojans with an
+//! [`AchillesSession`](achilles::AchillesSession) under the spec's default
+//! configuration, replays all of them against the spec's concrete
+//! deployment, dedups confirmed failures by crash signature,
+//! ddmin-minimizes the first witness of each signature, and sweeps the
+//! replay fan-out over `workers ∈ {1, 2, 4, 8}`. There is no per-protocol
+//! code path: onboarding a protocol adds a row here automatically.
 //!
 //! ```text
 //! cargo run --release -p achilles-bench --bin replay_validation -- --json
 //! ```
+//!
+//! With `--corpus DIR`, each target's confirmed witnesses persist to
+//! `DIR/<name>.corpus` across runs (the CI cache wires this up keyed on
+//! the corpus format version), so cross-commit re-validation is
+//! incremental: already-known witnesses are skipped, not replayed.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use achilles_bench::{arg_present, arg_value, header, row};
-use achilles_fsp::{run_analysis as run_fsp, FspAnalysisConfig};
-use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode};
-use achilles_pbft::{run_analysis as run_pbft, PbftAnalysisConfig};
-use achilles_replay::{
-    validate_trojans, FspTarget, PaxosTarget, PbftTarget, ReplayCorpus, ReplayTarget,
-    ValidateConfig, ValidationSummary,
-};
+use achilles::AchillesSession;
+use achilles_bench::{arg_present, arg_value, arg_value_required, header, row};
+use achilles_replay::{validate_spec, ReplayCorpus, ValidateConfig};
+use achilles_targets::builtin_registry;
 
 struct SystemRun {
     name: &'static str,
     discovered: usize,
     confirmed: usize,
+    skipped_known: usize,
     signatures: usize,
     minimized_shrunk: usize,
     skipped_second_pass: usize,
 }
 
+fn corpus_path(dir: &str, name: &str) -> PathBuf {
+    PathBuf::from(dir).join(format!("{name}.corpus"))
+}
+
 fn validate_system(
-    name: &'static str,
-    target: &dyn ReplayTarget,
+    spec: &dyn achilles::TargetSpec,
     trojans: &[achilles::TrojanReport],
-) -> (SystemRun, ValidationSummary) {
-    let mut corpus = ReplayCorpus::new();
+    corpus_dir: Option<&str>,
+) -> SystemRun {
+    let name = spec.name();
+    let mut corpus = match corpus_dir {
+        Some(dir) => ReplayCorpus::load(&corpus_path(dir, name)).unwrap_or_default(),
+        None => ReplayCorpus::new(),
+    };
     let config = ValidateConfig {
         minimize: true,
         ..ValidateConfig::default()
     };
-    let summary = validate_trojans(target, trojans, &mut corpus, &config);
+    let summary = validate_spec(spec, trojans, &mut corpus, &config);
     // Second pass: the corpus must short-circuit every known witness.
-    let second = validate_trojans(target, trojans, &mut corpus, &config);
+    let second = validate_spec(spec, trojans, &mut corpus, &config);
+    if let Some(dir) = corpus_dir {
+        std::fs::create_dir_all(dir).expect("create corpus dir");
+        corpus
+            .save(&corpus_path(dir, name))
+            .expect("persist corpus");
+    }
+    // Distinct signatures of *this run's* witnesses (replayed or already
+    // known), not of the whole historical corpus — keeps the bench column
+    // meaningful when `--corpus` preloads prior runs.
+    let witness_fields: std::collections::HashSet<&[u64]> = trojans
+        .iter()
+        .map(|t| t.witness_fields.as_slice())
+        .collect();
+    let run_signatures = corpus
+        .entries()
+        .iter()
+        .filter(|e| witness_fields.contains(e.fields.as_slice()))
+        .map(|e| e.signature.clone())
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     let run = SystemRun {
         name,
         discovered: trojans.len(),
         confirmed: summary.confirmed,
-        signatures: corpus.distinct_signatures(),
+        skipped_known: summary.skipped_known,
+        signatures: run_signatures,
         minimized_shrunk: summary
             .minimized
             .iter()
@@ -64,11 +99,12 @@ fn validate_system(
         row(
             name,
             format!(
-                "{} discovered, {} confirmed ({:.0}%), {} signatures, {} minimized-shrunk, \
-                 {} skipped on re-run",
+                "{} discovered, {} confirmed ({:.0}%), {} known-skipped, {} signatures, \
+                 {} minimized-shrunk, {} skipped on re-run",
                 run.discovered,
                 run.confirmed,
                 summary.confirmation_rate() * 100.0,
+                run.skipped_known,
                 run.signatures,
                 run.minimized_shrunk,
                 run.skipped_second_pass,
@@ -76,47 +112,71 @@ fn validate_system(
         )
     );
     assert_eq!(
-        run.confirmed, run.discovered,
-        "{name}: every symbolic Trojan must replay to a concrete failure"
+        run.confirmed + run.skipped_known,
+        run.discovered,
+        "{name}: every symbolic Trojan must replay to a concrete failure \
+         (or already be a known confirmed witness)"
     );
     assert_eq!(
         run.skipped_second_pass, run.discovered,
         "{name}: the corpus must skip every known witness on re-analysis"
     );
-    (run, summary)
+    run
 }
 
 fn main() {
-    header("Concrete replay validation (FSP + PBFT + Paxos)");
+    let registry = builtin_registry();
+    let selected = arg_value_required("--target");
+    let names: Vec<&str> = match &selected {
+        Some(name) => {
+            if registry.get(name).is_none() {
+                eprintln!(
+                    "unknown --target {name:?}; registered targets: {}",
+                    registry.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+            vec![name.as_str()]
+        }
+        None => registry.names(),
+    };
+    let corpus_dir = arg_value_required("--corpus");
 
-    // --- Discover. -------------------------------------------------------
-    let fsp_config = FspAnalysisConfig::accuracy();
-    let fsp = run_fsp(&fsp_config);
-    let pbft = run_pbft(&PbftAnalysisConfig::paper());
-    let (_paxos_pool, paxos_trojans) =
-        analyze_local_state(ProposerMode::Concrete(5, 7), AcceptorMode::Concrete(5), 1);
+    header(&format!(
+        "Concrete replay validation ({})",
+        names.join(" + ")
+    ));
 
-    // --- Validate each system. -------------------------------------------
-    let fsp_target = FspTarget::new(fsp_config.server.clone(), fsp_config.client.glob_expansion);
-    let pbft_target = PbftTarget::default();
-    let paxos_target = PaxosTarget::new(5, ProposerMode::Concrete(5, 7));
-    let runs = [
-        validate_system("fsp", &fsp_target, &fsp.trojans).0,
-        validate_system("pbft", &pbft_target, &pbft.trojans).0,
-        validate_system("paxos", &paxos_target, &paxos_trojans).0,
-    ];
+    // --- Discover and validate each registered system. --------------------
+    let mut runs = Vec::new();
+    let mut largest: Option<(&str, Vec<achilles::TrojanReport>)> = None;
+    for name in &names {
+        let spec = registry.get(name).expect("validated above");
+        let report = AchillesSession::new(&**spec).run();
+        let run = validate_system(&**spec, &report.trojans, corpus_dir.as_deref());
+        if largest
+            .as_ref()
+            .map(|(_, t)| t.len() < report.trojans.len())
+            .unwrap_or(true)
+        {
+            largest = Some((run.name, report.trojans));
+        }
+        runs.push(run);
+    }
 
-    // --- Worker sweep over the largest witness set (FSP). -----------------
-    header("replay fan-out sweep (FSP witnesses)");
+    // --- Worker sweep over the largest witness set. -----------------------
+    let (sweep_name, sweep_trojans) = largest.expect("at least one target");
+    header(&format!("replay fan-out sweep ({sweep_name} witnesses)"));
+    let sweep_spec = registry.get(sweep_name).expect("validated above");
     let sweep_counts = [1usize, 2, 4, 8];
     let mut sweep = Vec::new();
     let mut reference: Option<Vec<(Vec<u64>, String)>> = None;
     for &workers in &sweep_counts {
         let mut corpus = ReplayCorpus::new();
         let started = Instant::now();
-        let summary = validate_trojans(
-            &fsp_target,
-            &fsp.trojans,
+        let summary = validate_spec(
+            &**sweep_spec,
+            &sweep_trojans,
             &mut corpus,
             &ValidateConfig::default().with_workers(workers),
         );
@@ -138,7 +198,7 @@ fn main() {
             "{}",
             row(
                 &format!("workers={workers}"),
-                format!("{:.3}s, {:.0} witnesses/s", wall, wps)
+                format!("{wall:.3}s, {wps:.0} witnesses/s")
             )
         );
         sweep.push((workers, wall, wps));
@@ -156,10 +216,12 @@ fn main() {
         for (i, r) in runs.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"system\": \"{}\", \"discovered\": {}, \"confirmed\": {}, \
-                 \"signatures\": {}, \"minimized_shrunk\": {}, \"skipped_on_rerun\": {}}}{}\n",
+                 \"known_skipped\": {}, \"signatures\": {}, \"minimized_shrunk\": {}, \
+                 \"skipped_on_rerun\": {}}}{}\n",
                 r.name,
                 r.discovered,
                 r.confirmed,
+                r.skipped_known,
                 r.signatures,
                 r.minimized_shrunk,
                 r.skipped_second_pass,

@@ -28,6 +28,18 @@ pub fn arg_present(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// Like [`arg_value`], but a flag present without a value (missing or
+/// another `--flag` in its place) is a hard usage error — no silent
+/// fallback to the default.
+pub fn arg_value_required(flag: &str) -> Option<String> {
+    let value = arg_value(flag);
+    if arg_present(flag) && value.as_deref().is_none_or(|v| v.starts_with("--")) {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    value
+}
+
 /// Worker-thread count from `--workers N` (default 1 = sequential).
 pub fn workers_from_args() -> usize {
     arg_value("--workers")
@@ -46,26 +58,27 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Replays an FSP analysis result against the concrete deployment and
-/// prints the validation summary — the shared `--validate` tail of the
-/// fig10/fig11/fuzzing bins.
+/// Replays discovered Trojans against the concrete deployment of any
+/// [`TargetSpec`](achilles::TargetSpec) and prints the validation summary
+/// — the shared `--validate` tail of the fig10/fig11/fuzzing bins. The
+/// spec's `replay_target` factory supplies the deployment, so this helper
+/// (and every bin built on it) names no protocol.
 ///
 /// Returns the summary so callers can assert on it.
-pub fn validate_fsp_result(
-    result: &achilles_fsp::FspAnalysisResult,
-    config: &achilles_fsp::FspAnalysisConfig,
+pub fn validate_spec_result(
+    spec: &dyn achilles::TargetSpec,
+    trojans: &[achilles::TrojanReport],
     workers: usize,
 ) -> achilles_replay::ValidationSummary {
-    use achilles_replay::{validate_trojans, FspTarget, ReplayCorpus, ValidateConfig};
-    let target = FspTarget::new(config.server.clone(), config.client.glob_expansion);
+    use achilles_replay::{validate_spec, ReplayCorpus, ValidateConfig};
     let mut corpus = ReplayCorpus::new();
-    let summary = validate_trojans(
-        &target,
-        &result.trojans,
+    let summary = validate_spec(
+        spec,
+        trojans,
         &mut corpus,
         &ValidateConfig::default().with_workers(workers),
     );
-    header("concrete replay validation");
+    header(&format!("concrete replay validation ({})", spec.name()));
     println!("{}", row("witnesses replayed", summary.replayed));
     println!(
         "{}",

@@ -126,6 +126,15 @@ pub struct APosterioriResult {
 /// The non-optimized §6.4 configuration: run unmodified symbolic execution
 /// on the server (no observer, no pruning), then compute Trojan messages
 /// a posteriori over every accepting path.
+///
+/// Both phases honor [`ExploreConfig::workers`]: the exploration fans out
+/// over the work-stealing pool (as everywhere), and the differencing loop
+/// fans the per-path `pathS ∧ ⋀ negate(pathC_i)` queries out over
+/// [`parallel_map_with`] with a forked pool and private solver per worker.
+/// Every query is over terms interned *before* the fan-out and each model
+/// is a function of its structural assertion set alone, so the Trojan set
+/// and witnesses are bit-identical for every worker count (pinned by the
+/// `parallel_determinism` suite).
 pub fn a_posteriori_diff(
     pool: &mut TermPool,
     solver: &mut Solver,
@@ -145,41 +154,82 @@ pub fn a_posteriori_diff(
         total_paths: result.paths.len(),
         ..APosterioriResult::default()
     };
-    for path in result.paths.iter().filter(|p| p.verdict == Verdict::Accept) {
-        out.accepting_paths += 1;
-        // Full query: path constraints ∧ every negation (nothing dropped —
-        // that is exactly what the optimization would have avoided).
-        let mut query = path.constraints.clone();
-        let mut negatable = true;
-        for neg in &prepared.negations {
-            match neg.disjunction {
-                Some(d) => query.push(d),
-                None => {
-                    negatable = false;
-                    break;
-                }
+    let accepting: Vec<_> = result
+        .paths
+        .iter()
+        .filter(|p| p.verdict == Verdict::Accept)
+        .collect();
+    out.accepting_paths = accepting.len();
+    // The full negation conjunction is path-independent; if any client
+    // path is un-negatable the whole baseline finds nothing (nothing is
+    // dropped — that is exactly what the optimization would have avoided).
+    let mut negations = Vec::with_capacity(prepared.negations.len());
+    for neg in &prepared.negations {
+        match neg.disjunction {
+            Some(d) => negations.push(d),
+            None => {
+                out.explore_time = t1 - t0;
+                out.diff_time = t1.elapsed();
+                return out;
             }
         }
-        if !negatable {
-            continue;
+    }
+    // Differencing fan-out. Sequential runs solve on the caller's pool and
+    // solver (keeping their warm caches); parallel workers each solve in a
+    // fork with a private solver. Fork nonces only salt terms interned
+    // *during* a solve, which are discarded with the fork — witnesses
+    // depend on the pre-existing query structure alone.
+    let witnesses: Vec<Option<Vec<u64>>> = match explore_config.workers.max(1) {
+        1 => accepting
+            .iter()
+            .map(|path| {
+                let mut query = path.constraints.clone();
+                query.extend_from_slice(&negations);
+                match solver.check(pool, &query) {
+                    SatResult::Sat(model) => Some(prepared.server_msg.concretize(pool, &model)),
+                    SatResult::Unsat | SatResult::Unknown => None,
+                }
+            })
+            .collect(),
+        workers => {
+            let base = &*pool;
+            achilles_symvm::parallel_map_with(
+                workers,
+                &accepting,
+                |w| (base.fork(DIFF_FORK_SALT + w as u64), Solver::new()),
+                |(wpool, wsolver), _i, path| {
+                    let mut query = path.constraints.clone();
+                    query.extend_from_slice(&negations);
+                    match wsolver.check(wpool, &query) {
+                        SatResult::Sat(model) => {
+                            Some(prepared.server_msg.concretize(wpool, &model))
+                        }
+                        SatResult::Unsat | SatResult::Unknown => None,
+                    }
+                },
+            )
         }
-        if let SatResult::Sat(model) = solver.check(pool, &query) {
-            let fields = prepared.server_msg.concretize(pool, &model);
-            out.trojans.push(TrojanReport {
-                server_path_id: path.id,
-                constraints: path.constraints.clone(),
-                witness_fields: fields,
-                active_clients: prepared.client.len(),
-                verified: false,
-                found_at: t0.elapsed(),
-                notes: path.notes.clone(),
-            });
-        }
+    };
+    for (path, fields) in accepting.iter().zip(witnesses) {
+        let Some(fields) = fields else { continue };
+        out.trojans.push(TrojanReport {
+            server_path_id: path.id,
+            constraints: path.constraints.clone(),
+            witness_fields: fields,
+            active_clients: prepared.client.len(),
+            verified: false,
+            found_at: t0.elapsed(),
+            notes: path.notes.clone(),
+        });
     }
     out.explore_time = t1 - t0;
     out.diff_time = t1.elapsed();
     out
 }
+
+/// Tag-family salt for pools forked by the differencing fan-out (keeps
+/// any in-solve interning disjoint from the exploration's fork nonces).
+const DIFF_FORK_SALT: u64 = 0x4449_4600; // "DIF\0"
 
 #[cfg(test)]
 mod tests {

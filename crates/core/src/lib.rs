@@ -24,13 +24,37 @@
 //! complement of a client path field-by-field; the [`diff_matrix`]
 //! pre-computation drops whole groups of similar client predicates at once.
 //!
+//! ## The front door: `TargetSpec` → `AchillesSession`
+//!
+//! The pipeline is protocol-agnostic, and the public API is built around
+//! that fact. A protocol is described once by implementing [`TargetSpec`]
+//! — client/server [`NodeProgram`](achilles_symvm::NodeProgram)s, the wire
+//! [`MessageLayout`](achilles_symvm::MessageLayout), a field mask, codec
+//! hooks, and a factory for the concrete [`ReplayTarget`] used by
+//! validation — and every driver consumes specs generically:
+//!
+//! * [`AchillesSession`] runs discovery over a spec (builder-style knobs
+//!   for workers, verification, local state);
+//! * [`TargetRegistry`] selects specs by name (`--target fsp`), so bench
+//!   bins, examples, and the conformance suite contain no per-protocol
+//!   match arms;
+//! * `achilles_replay::validate_spec` replays every finding against the
+//!   spec's deployment.
+//!
+//! The shipped protocols (`achilles-fsp`, `achilles-pbft`,
+//! `achilles-paxos`, `achilles-twopc`) each implement the trait in their
+//! own crate and are assembled into the built-in registry by
+//! `achilles-targets`.
+//!
 //! ## The paper's working example (§2)
 //!
 //! ```
 //! use std::sync::Arc;
-//! use achilles::{Achilles, AchillesConfig};
+//! use achilles::{
+//!     AchillesSession, Delivery, InjectionOutcome, ReplayTarget, TargetSpec,
+//! };
 //! use achilles_solver::Width;
-//! use achilles_symvm::{MessageLayout, PathResult, SymEnv, SymMessage};
+//! use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
 //!
 //! fn layout() -> Arc<MessageLayout> {
 //!     MessageLayout::builder("msg")
@@ -62,17 +86,83 @@
 //!     Ok(())
 //! }
 //!
-//! let mut achilles = Achilles::new();
-//! let report = achilles.run(&client, &server, &layout(), &AchillesConfig::verified());
+//! // The concrete deployment replayed witnesses are fired at.
+//! struct Figure2Target;
+//! impl ReplayTarget for Figure2Target {
+//!     fn name(&self) -> &'static str { "figure2" }
+//!     fn layout(&self) -> Arc<MessageLayout> { layout() }
+//!     fn benign_fields(&self) -> Vec<u64> { vec![1, 5] }
+//!     fn client_generable(&self, fields: &[u64]) -> bool {
+//!         fields[0] == 1 && (0..100).contains(&Width::W32.to_signed(fields[1]))
+//!     }
+//!     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+//!         InjectionOutcome {
+//!             accepted_each: deliveries
+//!                 .iter()
+//!                 .map(|(w, _)| w[0] == 1) // the buggy dispatch, concretely
+//!                 .collect(),
+//!             effects: vec![],
+//!         }
+//!     }
+//! }
+//!
+//! // The spec bundles it all: this is the entire onboarding surface.
+//! struct Figure2Spec;
+//! impl TargetSpec for Figure2Spec {
+//!     fn name(&self) -> &'static str { "figure2" }
+//!     fn layout(&self) -> Arc<MessageLayout> { layout() }
+//!     fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+//!         vec![Box::new(client)]
+//!     }
+//!     fn server(&self) -> Box<dyn NodeProgram + Sync + '_> { Box::new(server) }
+//!     fn replay_target(&self) -> Box<dyn ReplayTarget> { Box::new(Figure2Target) }
+//! }
+//!
+//! let spec = Figure2Spec;
+//! let report = AchillesSession::new(&spec).run();
 //! assert_eq!(report.trojans.len(), 1);
 //! let trojan_address = Width::W32.to_signed(report.trojans[0].witness_fields[1]);
 //! assert!(trojan_address < 0, "READ with a negative address is the Trojan");
 //! ```
 //!
+//! (The lower-level [`Achilles::run`] entry point remains available for
+//! ad-hoc client/server pairs that don't warrant a spec.)
+//!
+//! ## Porting a protocol
+//!
+//! Onboarding a protocol is a single-crate exercise — the `achilles-twopc`
+//! crate is the reference (added with zero changes to this crate, the
+//! replay harness, or any bench bin), and `examples/quickstart.rs` walks
+//! the same steps inline:
+//!
+//! 1. **Model the nodes.** Write the client and server as
+//!    [`NodeProgram`](achilles_symvm::NodeProgram)s over a shared
+//!    [`MessageLayout`](achilles_symvm::MessageLayout). The client
+//!    validates like the real client library; the server marks acceptance
+//!    with `mark_accept()` where the real server commits to acting.
+//! 2. **Build the concrete deployment.** Implement [`ReplayTarget`]:
+//!    `inject` boots fresh state per call and reports per-delivery
+//!    acceptance plus structural effect strings; `client_generable` is the
+//!    concrete oracle for "could a correct client send these bytes?".
+//! 3. **Implement [`TargetSpec`].** Return the programs, layout, mask
+//!    (checksums/digests per §5.2), the analysis defaults, the supported
+//!    [`LocalStateMode`]s, an expected-count hint if the bounded model
+//!    makes it exact, and the `replay_target` factory. The default codec
+//!    hooks (big-endian field packing) rarely need overriding.
+//! 4. **Register.** Add one `registry.register(Arc::new(YourSpec))` call
+//!    (for the shipped set: in `achilles-targets`). Every driver picks the
+//!    protocol up by name: `--target yours` on the bench bins, a row in
+//!    `BENCH_replay.json`, and the conformance suite
+//!    (`tests/target_spec_conformance.rs`) automatically holds it to
+//!    "≥ 1 Trojan discovered, 100% concretely confirmed, corpus
+//!    round-trip".
+//!
 //! ## Crate map
 //!
 //! | module | paper section | contents |
 //! |---|---|---|
+//! | [`target`] | — | [`TargetSpec`], [`ReplayTarget`], wire codec |
+//! | [`session`] | — | [`AchillesSession`], [`TargetRegistry`] |
 //! | [`predicate`] | §3.1 | `P_C`, path predicates, masks, combination |
 //! | [`negate`] | §3.2, §4 | the under-approximate negate operator |
 //! | [`diff_matrix`] | §3.3 | the `differentFrom` pre-computation |
@@ -144,6 +234,8 @@ pub mod refine;
 pub mod report;
 pub mod search;
 pub mod sequence;
+pub mod session;
+pub mod target;
 
 pub use baseline::{
     a_posteriori_diff, classic_symex, APosterioriResult, CandidateMessage, ClassicSymexResult,
@@ -162,3 +254,8 @@ pub use search::{
     PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome, WorkerSummary,
 };
 pub use sequence::{analyze_sequence, SequenceObserver};
+pub use session::{AchillesSession, TargetRegistry};
+pub use target::{
+    fields_to_wire, layout_widths, wire_to_fields, Delivery, InjectionOutcome, LocalStateMode,
+    ReplayTarget, TargetSpec, WireError,
+};

@@ -1,0 +1,447 @@
+//! The builder-style front door: [`AchillesSession`] runs the pipeline
+//! against a [`TargetSpec`], and [`TargetRegistry`] selects specs by name.
+//!
+//! Before this API, every driver (bench bins, examples, tests) hand-wired
+//! the pipeline per protocol: build the client programs, extract and merge
+//! predicates, create the symbolic server message, call
+//! [`run_trojan_search`](crate::run_trojan_search), then match on the
+//! protocol again to boot a replay deployment. A session replaces all of
+//! that with
+//!
+//! ```text
+//! let registry = builtin_registry();            // assembled once, elsewhere
+//! let spec = registry.get("fsp").unwrap();
+//! let report = AchillesSession::new(&**spec).workers(4).run();
+//! ```
+//!
+//! and validation becomes `achilles_replay::validate_spec(&**spec, …)`.
+//! Protocols join by implementing [`TargetSpec`] and registering — no
+//! driver changes.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use achilles_symvm::ExploreStats;
+
+use crate::pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
+use crate::predicate::{ClientPredicate, FieldMask};
+use crate::search::Optimizations;
+use crate::target::TargetSpec;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named collection of [`TargetSpec`]s, in registration order.
+///
+/// The registry is the single point where protocols are enumerated:
+/// drivers iterate it (conformance suites, the replay-validation bench) or
+/// look a spec up by name (`--target fsp`). Registering a spec whose name
+/// is already present replaces the earlier entry, so callers can override
+/// a built-in configuration.
+#[derive(Default)]
+pub struct TargetRegistry {
+    specs: Vec<Arc<dyn TargetSpec>>,
+}
+
+impl fmt::Debug for TargetRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TargetRegistry")
+            .field("targets", &self.names())
+            .finish()
+    }
+}
+
+impl TargetRegistry {
+    /// An empty registry.
+    pub fn new() -> TargetRegistry {
+        TargetRegistry::default()
+    }
+
+    /// Registers a spec under [`TargetSpec::name`], replacing any earlier
+    /// spec of the same name.
+    pub fn register(&mut self, spec: Arc<dyn TargetSpec>) -> &mut TargetRegistry {
+        self.specs.retain(|s| s.name() != spec.name());
+        self.specs.push(spec);
+        self
+    }
+
+    /// The spec registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn TargetSpec>> {
+        self.specs.iter().find(|s| s.name() == name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the registered specs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn TargetSpec>> {
+        self.specs.iter()
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A builder-style pipeline run over one [`TargetSpec`].
+///
+/// The session owns the engine (pool + solver), starts from the spec's
+/// [`TargetSpec::analysis_config`], and exposes the common knobs as
+/// chainable setters. [`AchillesSession::run`] executes client predicate
+/// extraction (merging every client program of the spec), pre-processing,
+/// and the server Trojan search; the engine stays available afterwards for
+/// rendering witnesses or issuing custom queries.
+///
+/// # Examples
+///
+/// ```
+/// use achilles::AchillesSession;
+/// # use std::sync::Arc;
+/// # use achilles::{Delivery, InjectionOutcome, ReplayTarget, TargetSpec};
+/// # use achilles_solver::Width;
+/// # use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
+/// # fn layout() -> Arc<MessageLayout> {
+/// #     MessageLayout::builder("kv").field("op", Width::W8).field("key", Width::W16).build()
+/// # }
+/// # struct KvTarget;
+/// # impl ReplayTarget for KvTarget {
+/// #     fn name(&self) -> &'static str { "kv" }
+/// #     fn layout(&self) -> Arc<MessageLayout> { layout() }
+/// #     fn benign_fields(&self) -> Vec<u64> { vec![1, 0] }
+/// #     fn client_generable(&self, fields: &[u64]) -> bool { fields[1] < 1024 }
+/// #     fn inject(&self, d: &[Delivery]) -> InjectionOutcome {
+/// #         InjectionOutcome { accepted_each: d.iter().map(|(w, _)| w[0] == 1 && u64::from(w[1]) * 256 + u64::from(w[2]) < 4096).collect(), effects: vec![] }
+/// #     }
+/// # }
+/// # struct KvSpec;
+/// # fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+/// #     let key = env.sym("key", Width::W16);
+/// #     let limit = env.constant(1024, Width::W16);
+/// #     if !env.if_ult(key, limit)? { return Ok(()); }
+/// #     let op = env.constant(1, Width::W8);
+/// #     env.send(SymMessage::new(layout(), vec![op, key]));
+/// #     Ok(())
+/// # }
+/// # fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+/// #     let msg = env.recv(&layout())?;
+/// #     let one = env.constant(1, Width::W8);
+/// #     if !env.if_eq(msg.field("op"), one)? { return Ok(()); }
+/// #     let limit = env.constant(4096, Width::W16);
+/// #     if !env.if_ult(msg.field("key"), limit)? { return Ok(()); }
+/// #     env.mark_accept();
+/// #     Ok(())
+/// # }
+/// # impl TargetSpec for KvSpec {
+/// #     fn name(&self) -> &'static str { "kv" }
+/// #     fn layout(&self) -> Arc<MessageLayout> { layout() }
+/// #     fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> { vec![Box::new(client)] }
+/// #     fn server(&self) -> Box<dyn NodeProgram + Sync + '_> { Box::new(server) }
+/// #     fn replay_target(&self) -> Box<dyn ReplayTarget> { Box::new(KvTarget) }
+/// # }
+/// let spec = KvSpec;
+/// let mut session = AchillesSession::new(&spec);
+/// let report = session.run();
+/// assert_eq!(report.trojans.len(), 1, "the server's oversized-key window");
+/// ```
+pub struct AchillesSession<'s> {
+    spec: &'s dyn TargetSpec,
+    config: AchillesConfig,
+    engine: Achilles,
+}
+
+impl fmt::Debug for AchillesSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AchillesSession")
+            .field("target", &self.spec.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<'s> AchillesSession<'s> {
+    /// A session over `spec`, configured with the spec's
+    /// [`TargetSpec::analysis_config`] and [`TargetSpec::mask`].
+    ///
+    /// [`TargetSpec::mask`] fills the mask only when
+    /// [`TargetSpec::analysis_config`] left it empty, so a spec that sets
+    /// [`AchillesConfig::mask`] directly is honored too (the two hooks
+    /// never silently shadow each other).
+    pub fn new(spec: &'s dyn TargetSpec) -> AchillesSession<'s> {
+        let mut config = spec.analysis_config();
+        if config.mask.indices().is_empty() {
+            config.mask = spec.mask();
+        }
+        AchillesSession {
+            spec,
+            config,
+            engine: Achilles::new(),
+        }
+    }
+
+    /// Fans the pre-processing and server analysis out over `n`
+    /// work-stealing workers (`1` = sequential).
+    pub fn workers(mut self, n: usize) -> AchillesSession<'s> {
+        self.config.server_explore.workers = n.max(1);
+        self
+    }
+
+    /// Re-verifies every witness against every client path predicate.
+    pub fn verify_witnesses(mut self, on: bool) -> AchillesSession<'s> {
+        self.config.verify_witnesses = on;
+        self
+    }
+
+    /// Overrides the optimization toggles (§6.4 ablation).
+    pub fn optimizations(mut self, opts: Optimizations) -> AchillesSession<'s> {
+        self.config.optimizations = opts;
+        self
+    }
+
+    /// Overrides the server local-state mode (§3.4).
+    pub fn local_state(mut self, state: LocalState) -> AchillesSession<'s> {
+        self.config.local_state = state;
+        self
+    }
+
+    /// Overrides the field mask (§5.2).
+    pub fn mask(mut self, mask: FieldMask) -> AchillesSession<'s> {
+        self.config.mask = mask;
+        self
+    }
+
+    /// The target this session analyzes.
+    pub fn spec(&self) -> &'s dyn TargetSpec {
+        self.spec
+    }
+
+    /// The effective pipeline configuration.
+    pub fn config(&self) -> &AchillesConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration, for knobs without a dedicated
+    /// setter (exploration budgets, say).
+    pub fn config_mut(&mut self) -> &mut AchillesConfig {
+        &mut self.config
+    }
+
+    /// The underlying engine (pool + solver), e.g. for rendering the
+    /// constraints of a finished run.
+    pub fn engine(&self) -> &Achilles {
+        &self.engine
+    }
+
+    /// Consumes the session, returning the engine with the pool the
+    /// reports' terms live in.
+    pub fn into_engine(self) -> Achilles {
+        self.engine
+    }
+
+    /// Runs the pipeline: every client program of the spec is explored and
+    /// the predicates merged in order (`P_C` = union over clients), then
+    /// pre-processing and the server Trojan search run exactly as
+    /// [`Achilles::run`] would.
+    pub fn run(&mut self) -> AchillesReport {
+        let spec = self.spec;
+        let layout = spec.layout();
+        let t0 = Instant::now();
+        let mut parts = Vec::new();
+        let mut client_explore = ExploreStats::default();
+        for client in spec.clients() {
+            let (pred, stats) = self
+                .engine
+                .extract_client_predicate(&*client, &self.config.client_explore);
+            accumulate_stats(&mut client_explore, &stats);
+            parts.push(pred);
+        }
+        let client_pred = ClientPredicate::merge(parts);
+        let t1 = Instant::now();
+        let prepared = self.engine.prepare_with_workers(
+            client_pred,
+            &layout,
+            self.config.mask.clone(),
+            self.config.optimizations,
+            self.config.server_explore.workers.max(1),
+        );
+        let t2 = Instant::now();
+        let server = spec.server();
+        let outcome = self
+            .engine
+            .analyze_server(&*server, &prepared, &self.config);
+        let t3 = Instant::now();
+        let server_cpu: Duration = outcome.workers.iter().map(|w| w.busy).sum();
+        AchillesReport {
+            client: prepared.client.clone(),
+            server_msg: prepared.server_msg.clone(),
+            trojans: outcome.reports,
+            phase_times: PhaseTimes {
+                client: t1 - t0,
+                preprocess: t2 - t1,
+                server: t3 - t2,
+                server_cpu,
+                validate: Duration::ZERO,
+            },
+            samples: outcome.samples,
+            search_stats: outcome.stats,
+            client_explore,
+            server_explore: outcome.explore,
+            server_paths: outcome.server_paths,
+            server_workers: outcome.workers,
+        }
+    }
+}
+
+/// Accumulation of exploration counters across the client programs of one
+/// spec: plain-sum counters via [`ExploreStats::absorb_counters`]
+/// (shared with the parallel worker merge), `workers` as max, the rest as
+/// sums.
+fn accumulate_stats(into: &mut ExploreStats, part: &ExploreStats) {
+    into.absorb_counters(part);
+    into.workers = into.workers.max(part.workers);
+    into.steals += part.steals;
+    into.shared_cache_hits += part.shared_cache_hits;
+    into.wall_time += part.wall_time;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{Delivery, InjectionOutcome, ReplayTarget};
+    use achilles_solver::Width;
+    use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("kv")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
+    }
+
+    fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let key = env.sym("key", Width::W16);
+        let limit = env.constant(1024, Width::W16);
+        if !env.if_ult(key, limit)? {
+            return Ok(());
+        }
+        let op = env.constant(1, Width::W8);
+        env.send(SymMessage::new(layout(), vec![op, key]));
+        Ok(())
+    }
+
+    fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&layout())?;
+        let one = env.constant(1, Width::W8);
+        if !env.if_eq(msg.field("op"), one)? {
+            return Ok(());
+        }
+        let limit = env.constant(4096, Width::W16);
+        if !env.if_ult(msg.field("key"), limit)? {
+            return Ok(());
+        }
+        env.mark_accept();
+        Ok(())
+    }
+
+    struct KvTarget;
+    impl ReplayTarget for KvTarget {
+        fn name(&self) -> &'static str {
+            "kv"
+        }
+        fn layout(&self) -> Arc<MessageLayout> {
+            layout()
+        }
+        fn benign_fields(&self) -> Vec<u64> {
+            vec![1, 0]
+        }
+        fn client_generable(&self, fields: &[u64]) -> bool {
+            fields[0] == 1 && fields[1] < 1024
+        }
+        fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+            InjectionOutcome {
+                accepted_each: deliveries.iter().map(|_| true).collect(),
+                effects: vec![],
+            }
+        }
+    }
+
+    struct KvSpec;
+    impl crate::target::TargetSpec for KvSpec {
+        fn name(&self) -> &'static str {
+            "kv"
+        }
+        fn layout(&self) -> Arc<MessageLayout> {
+            layout()
+        }
+        fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+            vec![Box::new(client)]
+        }
+        fn server(&self) -> Box<dyn NodeProgram + Sync + '_> {
+            Box::new(server)
+        }
+        fn replay_target(&self) -> Box<dyn ReplayTarget> {
+            Box::new(KvTarget)
+        }
+        fn expected_trojans(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    #[test]
+    fn session_matches_the_raw_pipeline() {
+        let spec = KvSpec;
+        let mut session = AchillesSession::new(&spec);
+        let via_session = session.run();
+
+        let mut achilles = Achilles::new();
+        let direct = achilles.run(&client, &server, &layout(), &AchillesConfig::verified());
+
+        assert_eq!(via_session.trojans.len(), direct.trojans.len());
+        assert_eq!(
+            via_session.trojans[0].witness_fields,
+            direct.trojans[0].witness_fields
+        );
+        assert_eq!(via_session.server_paths, direct.server_paths);
+        assert_eq!(spec.expected_trojans(), Some(via_session.trojans.len()));
+        // The engine stays usable for custom queries over the results.
+        assert!(!session.engine().pool.is_empty());
+    }
+
+    #[test]
+    fn registry_selects_replaces_and_iterates() {
+        let mut registry = TargetRegistry::new();
+        registry.register(Arc::new(KvSpec));
+        assert_eq!(registry.names(), vec!["kv"]);
+        assert!(registry.get("kv").is_some());
+        assert!(registry.get("nope").is_none());
+        assert_eq!(registry.len(), 1);
+        // Same-name registration replaces.
+        registry.register(Arc::new(KvSpec));
+        assert_eq!(registry.len(), 1);
+        let report = AchillesSession::new(&**registry.get("kv").unwrap()).run();
+        assert_eq!(report.trojans.len(), 1);
+    }
+
+    #[test]
+    fn session_workers_knob_is_deterministic() {
+        let spec = KvSpec;
+        let seq = AchillesSession::new(&spec).run();
+        let par = AchillesSession::new(&spec).workers(4).run();
+        assert_eq!(seq.trojans.len(), par.trojans.len());
+        assert_eq!(seq.trojans[0].witness_fields, par.trojans[0].witness_fields);
+        assert_eq!(par.server_workers.len(), 4);
+    }
+}

@@ -1,0 +1,312 @@
+//! The protocol-agnostic target description: one [`TargetSpec`] carries
+//! everything the pipeline needs to analyze and validate a protocol.
+//!
+//! The paper's pipeline — client predicate extraction, negation, server
+//! Trojan search, concrete witness replay — is protocol-independent, but
+//! each phase needs protocol-specific ingredients: the client and server
+//! [`NodeProgram`]s, the wire [`MessageLayout`], a field mask, the
+//! supported local-state modes, and a concrete deployment to fire
+//! witnesses at. [`TargetSpec`] bundles those ingredients behind one
+//! trait, so a protocol is onboarded by implementing it in the protocol's
+//! own crate and registering the spec in a
+//! [`TargetRegistry`](crate::TargetRegistry) — **zero changes to the core
+//! pipeline, the replay harness, or the bench drivers**.
+//!
+//! The concrete half lives here too: [`ReplayTarget`] (a bootable
+//! deployment that accepts wire datagrams) and the wire codec helpers
+//! ([`fields_to_wire`] / [`wire_to_fields`]) that concretize solver models
+//! into injectable bytes through the same
+//! [`achilles_netsim::bytes`] framing the deployments parse with. The
+//! `achilles-replay` crate drives a [`ReplayTarget`] produced by
+//! [`TargetSpec::replay_target`] through fault plans, triage, and corpus
+//! persistence.
+//!
+//! See the crate-level docs ("Porting a protocol") for the step-by-step
+//! guide.
+
+use std::sync::Arc;
+
+pub use achilles_netsim::bytes::WireError;
+use achilles_netsim::bytes::{decode_fields, encode_fields};
+use achilles_symvm::{MessageLayout, NodeProgram};
+
+use crate::pipeline::AchillesConfig;
+use crate::predicate::FieldMask;
+use crate::report::TrojanReport;
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+/// Per-field widths (in bits) of a message layout, in declaration order.
+pub fn layout_widths(layout: &MessageLayout) -> Vec<u32> {
+    layout.fields().iter().map(|f| f.width.bits()).collect()
+}
+
+/// Encodes layout-ordered field values to wire bytes (big-endian, the
+/// framing every concrete deployment parses with).
+///
+/// # Errors
+///
+/// Returns [`WireError::BadWidth`] if the layout has a field narrower than
+/// one byte (such layouts cannot travel on the modeled wire).
+pub fn fields_to_wire(layout: &MessageLayout, fields: &[u64]) -> Result<Vec<u8>, WireError> {
+    let pairs: Vec<(u32, u64)> = layout_widths(layout)
+        .into_iter()
+        .zip(fields.iter().copied())
+        .collect();
+    encode_fields(&pairs)
+}
+
+/// Decodes wire bytes back to layout-ordered field values.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the buffer is truncated or the layout has a
+/// sub-byte field.
+pub fn wire_to_fields(layout: &MessageLayout, wire: &[u8]) -> Result<Vec<u64>, WireError> {
+    decode_fields(wire, &layout_widths(layout))
+}
+
+// ---------------------------------------------------------------------------
+// Concrete deployments
+// ---------------------------------------------------------------------------
+
+/// One delivery of an injection plan: wire bytes plus whether this copy is
+/// the witness (as opposed to a benign companion).
+pub type Delivery = (Vec<u8>, bool);
+
+/// What one injection run did, per delivery and in aggregate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InjectionOutcome {
+    /// Per-delivery acceptance, aligned with the delivery plan.
+    pub accepted_each: Vec<bool>,
+    /// Structural effect notes (unsorted; the replay triage sorts them
+    /// into the crash signature).
+    pub effects: Vec<String>,
+}
+
+/// A concrete deployment a witness can be fired at.
+///
+/// Implementations must be pure: [`ReplayTarget::inject`] boots fresh
+/// state every call and its result is a function of the delivery plan
+/// alone. That purity is what makes replay results bit-identical across
+/// worker counts, runs, and machines.
+pub trait ReplayTarget: Sync {
+    /// Short system name used in crash signatures (`"fsp"`, `"pbft"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The wire layout witnesses for this target use.
+    fn layout(&self) -> Arc<MessageLayout>;
+
+    /// Field values of a benign message a correct client would send
+    /// (the ddmin baseline and the reorder-fault companion).
+    fn benign_fields(&self) -> Vec<u64>;
+
+    /// Whether a correct client can generate `fields` — the concrete
+    /// client-side oracle.
+    fn client_generable(&self, fields: &[u64]) -> bool;
+
+    /// Boots a fresh deployment and fires the delivery plan at it.
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome;
+}
+
+// ---------------------------------------------------------------------------
+// The target spec
+// ---------------------------------------------------------------------------
+
+/// Which local-state modes (§3.4) a protocol's analysis supports.
+///
+/// This is declarative metadata mirroring
+/// [`LocalState`](crate::LocalState) (which carries the actual seeded
+/// constraints): registries and conformance suites use it to know what a
+/// spec can be asked to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LocalStateMode {
+    /// Run the server from fully concrete local state.
+    Concrete,
+    /// Constructed Symbolic Local State (constraints seeded from a
+    /// previous analysis phase).
+    Constructed,
+    /// Over-approximate Symbolic Local State (annotated symbolic reads).
+    OverApproximate,
+}
+
+/// Everything the Achilles pipeline needs from one protocol.
+///
+/// A `TargetSpec` is the single onboarding point for a protocol: it names
+/// the target, supplies the symbolic client and server programs and the
+/// wire layout for discovery, the codec for witness concretization, and a
+/// factory for the concrete [`ReplayTarget`] used by validation. Drivers —
+/// [`AchillesSession`](crate::AchillesSession), the bench bins, the
+/// conformance suite — consume specs through a
+/// [`TargetRegistry`](crate::TargetRegistry) and never name a protocol in
+/// code.
+pub trait TargetSpec: Sync {
+    /// Registry name of the protocol (`"fsp"`, `"pbft"`, `"paxos"`,
+    /// `"twopc"`, …). Must be stable and unique within a registry.
+    fn name(&self) -> &'static str;
+
+    /// One-line human description shown by registry-driven tooling.
+    fn description(&self) -> &'static str {
+        ""
+    }
+
+    /// The wire layout of the analyzed message.
+    fn layout(&self) -> Arc<MessageLayout>;
+
+    /// The client programs whose sent messages form the client predicate
+    /// `P_C` (their predicates are merged in order — e.g. the eight FSP
+    /// utilities). Must be non-empty.
+    fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>>;
+
+    /// The server program analyzed for Trojan acceptance.
+    fn server(&self) -> Box<dyn NodeProgram + Sync + '_>;
+
+    /// Field mask (checksums, digests, authenticators — §5.2).
+    fn mask(&self) -> FieldMask {
+        FieldMask::none()
+    }
+
+    /// The pipeline configuration this protocol is normally analyzed with
+    /// (verification on by default). [`AchillesSession`](crate::AchillesSession)
+    /// starts from this and lets callers override knobs.
+    fn analysis_config(&self) -> AchillesConfig {
+        AchillesConfig::verified()
+    }
+
+    /// The local-state modes this spec's analysis supports.
+    fn local_state_modes(&self) -> Vec<LocalStateMode> {
+        vec![LocalStateMode::Concrete]
+    }
+
+    /// How many Trojan reports the default configuration is expected to
+    /// discover, when the protocol's bounded model makes that number exact
+    /// (the paper's counting arithmetic). `None` when open-ended.
+    fn expected_trojans(&self) -> Option<usize> {
+        None
+    }
+
+    /// Classifies a discovered report into a protocol-level family label
+    /// (used for triage summaries; `"trojan"` when the protocol has a
+    /// single family).
+    fn classify(&self, _report: &TrojanReport) -> String {
+        "trojan".to_string()
+    }
+
+    /// Builds the concrete deployment used to validate witnesses.
+    ///
+    /// The factory bundles the boot logic that used to be hand-assembled
+    /// per protocol in the replay harness: the returned target boots a
+    /// fresh deployment per injection, configured consistently with the
+    /// analyzed [`TargetSpec::server`].
+    fn replay_target(&self) -> Box<dyn ReplayTarget>;
+
+    /// Concretizes layout-ordered field values into injectable wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the layout cannot travel on the wire.
+    fn encode(&self, fields: &[u64]) -> Result<Vec<u8>, WireError> {
+        fields_to_wire(&self.layout(), fields)
+    }
+
+    /// Decodes wire bytes back into layout-ordered field values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated buffers or sub-byte layouts.
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u64>, WireError> {
+        wire_to_fields(&self.layout(), wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::Width;
+    use achilles_symvm::{PathResult, SymEnv, SymMessage};
+
+    fn layout() -> Arc<MessageLayout> {
+        MessageLayout::builder("kv")
+            .field("op", Width::W8)
+            .field("key", Width::W16)
+            .build()
+    }
+
+    struct KvSpec;
+
+    struct NullTarget;
+    impl ReplayTarget for NullTarget {
+        fn name(&self) -> &'static str {
+            "kv"
+        }
+        fn layout(&self) -> Arc<MessageLayout> {
+            layout()
+        }
+        fn benign_fields(&self) -> Vec<u64> {
+            vec![1, 0]
+        }
+        fn client_generable(&self, fields: &[u64]) -> bool {
+            fields[1] < 1024
+        }
+        fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+            InjectionOutcome {
+                accepted_each: vec![true; deliveries.len()],
+                effects: vec![],
+            }
+        }
+    }
+
+    impl TargetSpec for KvSpec {
+        fn name(&self) -> &'static str {
+            "kv"
+        }
+        fn layout(&self) -> Arc<MessageLayout> {
+            layout()
+        }
+        fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+            fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
+                let key = env.sym("key", Width::W16);
+                let op = env.constant(1, Width::W8);
+                env.send(SymMessage::new(
+                    MessageLayout::builder("kv")
+                        .field("op", Width::W8)
+                        .field("key", Width::W16)
+                        .build(),
+                    vec![op, key],
+                ));
+                Ok(())
+            }
+            vec![Box::new(client)]
+        }
+        fn server(&self) -> Box<dyn NodeProgram + Sync + '_> {
+            fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
+                let _ = env.recv(&layout())?;
+                env.mark_accept();
+                Ok(())
+            }
+            Box::new(server)
+        }
+        fn replay_target(&self) -> Box<dyn ReplayTarget> {
+            Box::new(NullTarget)
+        }
+    }
+
+    #[test]
+    fn default_codec_round_trips_through_the_layout() {
+        let spec = KvSpec;
+        let wire = spec.encode(&[0x41, 0x1234]).unwrap();
+        assert_eq!(wire, vec![0x41, 0x12, 0x34]);
+        assert_eq!(spec.decode(&wire).unwrap(), vec![0x41, 0x1234]);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let spec = KvSpec;
+        assert_eq!(spec.local_state_modes(), vec![LocalStateMode::Concrete]);
+        assert_eq!(spec.expected_trojans(), None);
+        assert!(spec.analysis_config().verify_witnesses);
+        assert!(spec.description().is_empty());
+    }
+}

@@ -207,10 +207,29 @@ impl FspAnalysisResult {
 
 /// Runs the full FSP analysis pipeline (client → preprocess → server) on a
 /// fresh pool and solver.
+///
+/// Deprecated shim: this predates the protocol-agnostic API and now
+/// delegates to [`AchillesSession`](achilles::AchillesSession) over
+/// [`FspSpec`](crate::FspSpec); prefer driving the session (or the
+/// registry) directly in new code.
 pub fn run_analysis(config: &FspAnalysisConfig) -> FspAnalysisResult {
-    let mut pool = TermPool::new();
-    let mut solver = Solver::new();
-    run_analysis_with(&mut pool, &mut solver, config)
+    let spec = crate::target::FspSpec::new(config.clone());
+    let report = achilles::AchillesSession::new(&spec).run();
+    let families = report.trojans.iter().map(classify).collect();
+    FspAnalysisResult {
+        client: report.client,
+        server_msg: report.server_msg,
+        trojans: report.trojans,
+        families,
+        client_time: report.phase_times.client,
+        preprocess_time: report.phase_times.preprocess,
+        server_time: report.phase_times.server,
+        samples: report.samples,
+        search_stats: report.search_stats,
+        explore_stats: report.server_explore,
+        server_paths: report.server_paths,
+        worker_stats: report.server_workers,
+    }
 }
 
 /// [`run_analysis`] against caller-provided pool/solver (lets benches share

@@ -32,6 +32,7 @@ pub mod oracle;
 pub mod protocol;
 pub mod runtime;
 pub mod server;
+pub mod target;
 
 pub use analysis::{
     classify, expected_length_mismatch_trojans, expected_wildcard_trojans, run_analysis,
@@ -44,3 +45,4 @@ pub use oracle::{
 pub use protocol::{layout, Command, FspMessage, BUF_BASE, BYPASS_VALUE, MAX_PATH, WILDCARD};
 pub use runtime::{run_utility, FspServerRuntime, UtilityOutcome};
 pub use server::{reply_layout, FspServer, FspServerConfig, ReplyCode};
+pub use target::{FspSpec, FspTarget};

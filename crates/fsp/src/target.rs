@@ -1,0 +1,299 @@
+//! The FSP [`TargetSpec`]: one registration point from discovery to replay.
+//!
+//! [`FspSpec`] wraps an [`FspAnalysisConfig`] and exposes the eight client
+//! utilities, the server program, and the concrete deployment factory
+//! through the protocol-agnostic trait, so registry-driven tooling
+//! (`--target fsp`) runs the §6.2 analysis without naming FSP in code.
+//! [`FspTarget`] is the concrete deployment the factory boots: a stateful
+//! server endpoint over [`Network`]/[`SimFs`], previously hand-assembled
+//! inside the replay harness.
+
+use std::sync::Arc;
+
+use achilles::{
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, TargetSpec, TrojanReport,
+};
+use achilles_netsim::{Addr, Network, SimFs};
+use achilles_symvm::{ExploreConfig, MessageLayout, NodeProgram};
+
+use crate::analysis::{classify, expected_length_mismatch_trojans, FspAnalysisConfig};
+use crate::client::FspClient;
+use crate::oracle::client_can_generate;
+use crate::protocol::{layout, Command, FspMessage};
+use crate::runtime::FspServerRuntime;
+use crate::server::{FspServer, FspServerConfig};
+use crate::TrojanFamily;
+
+/// The FSP deployment target: a stateful server endpoint over
+/// [`Network`]/[`SimFs`].
+#[derive(Clone, Debug)]
+pub struct FspTarget {
+    /// Server configuration (patch toggles must match the analyzed server).
+    pub server: FspServerConfig,
+    /// Whether client generability models glob expansion.
+    pub glob_expansion: bool,
+    /// Initial filesystem contents, `(path, data)` pairs.
+    pub initial_files: Vec<(String, Vec<u8>)>,
+}
+
+impl FspTarget {
+    /// A target mirroring an analysis configuration, with a small canned
+    /// filesystem so commands have state to act on.
+    pub fn new(server: FspServerConfig, glob_expansion: bool) -> FspTarget {
+        FspTarget {
+            server,
+            glob_expansion,
+            initial_files: vec![
+                ("/f1".to_string(), b"one".to_vec()),
+                ("/f2".to_string(), b"two".to_vec()),
+            ],
+        }
+    }
+
+    fn boot(&self) -> (Network, FspServerRuntime, Addr) {
+        let mut fs = SimFs::new();
+        for (path, data) in &self.initial_files {
+            fs.write(path, data).expect("initial file writes succeed");
+        }
+        let mut net = Network::new();
+        let server_addr = Addr::new("fspd");
+        let client_addr = Addr::new("replay-cli");
+        net.register(server_addr.clone());
+        net.register(client_addr.clone());
+        let server = FspServerRuntime::new(server_addr, fs, self.server.clone());
+        (net, server, client_addr)
+    }
+
+    fn family_effect(fields: &[u64]) -> Option<String> {
+        let report = TrojanReport {
+            server_path_id: 0,
+            constraints: vec![],
+            witness_fields: fields.to_vec(),
+            active_clients: 0,
+            verified: false,
+            found_at: std::time::Duration::ZERO,
+            notes: vec![],
+        };
+        match classify(&report) {
+            TrojanFamily::LengthMismatch {
+                cmd,
+                reported,
+                actual,
+            } => Some(format!(
+                "family:len-mismatch:{}:{}>{}",
+                cmd.utility_name(),
+                reported,
+                actual
+            )),
+            TrojanFamily::Wildcard { cmd } => {
+                Some(format!("family:wildcard:{}", cmd.utility_name()))
+            }
+            TrojanFamily::Other => None,
+        }
+    }
+}
+
+impl ReplayTarget for FspTarget {
+    fn name(&self) -> &'static str {
+        "fsp"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        let cmd = self
+            .server
+            .commands
+            .first()
+            .copied()
+            .unwrap_or(Command::GetDir);
+        FspMessage::request(cmd, b"f1").field_values()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let msg = FspMessage::from_field_values(fields);
+        client_can_generate(&msg, self.glob_expansion)
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let (mut net, mut server, client_addr) = self.boot();
+        let before = server.fs().list("/").unwrap_or_default();
+        let mut outcome = InjectionOutcome::default();
+        for (wire, is_witness) in deliveries {
+            let accepted_before = server.accepted;
+            net.send(client_addr.clone(), server.addr().clone(), wire.clone());
+            server.poll(&mut net);
+            outcome
+                .accepted_each
+                .push(server.accepted > accepted_before);
+            while let Some(reply) = net.recv(&client_addr) {
+                let code = if reply.payload.first() == Some(&0) {
+                    "ok"
+                } else {
+                    "err"
+                };
+                outcome.effects.push(format!("reply:{code}"));
+            }
+            if *is_witness {
+                if let Ok(msg) = FspMessage::from_wire(wire) {
+                    if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
+                        outcome.effects.push(family);
+                    }
+                }
+            }
+        }
+        let after = server.fs().list("/").unwrap_or_default();
+        for name in &after {
+            if !before.contains(name) {
+                outcome.effects.push(format!("fs:+{name}"));
+            }
+        }
+        for name in &before {
+            if !after.contains(name) {
+                outcome.effects.push(format!("fs:-{name}"));
+            }
+        }
+        outcome
+    }
+}
+
+/// The FSP protocol as a [`TargetSpec`].
+///
+/// Wraps an [`FspAnalysisConfig`]: the spec's client programs are the
+/// configured utilities, the server carries the configured patch toggles,
+/// and the replay factory boots an [`FspTarget`] mirroring both.
+#[derive(Clone, Debug, Default)]
+pub struct FspSpec {
+    /// The analysis configuration this spec describes.
+    pub analysis: FspAnalysisConfig,
+}
+
+impl FspSpec {
+    /// A spec over `analysis`.
+    pub fn new(analysis: FspAnalysisConfig) -> FspSpec {
+        FspSpec { analysis }
+    }
+
+    /// The §6.2 accuracy setup (eight utilities, the 80 mismatched-length
+    /// classes) — the registry default.
+    pub fn accuracy() -> FspSpec {
+        FspSpec::new(FspAnalysisConfig::accuracy())
+    }
+
+    /// The §6.3 wildcard setup (glob expansion modeled).
+    pub fn wildcard() -> FspSpec {
+        FspSpec::new(FspAnalysisConfig::wildcard())
+    }
+}
+
+impl TargetSpec for FspSpec {
+    fn name(&self) -> &'static str {
+        "fsp"
+    }
+
+    fn description(&self) -> &'static str {
+        "FSP 2.8.1b26 file transfer: mismatched-length and wildcard Trojans (§6.2–6.3)"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        self.analysis
+            .commands
+            .iter()
+            .map(|&cmd| {
+                Box::new(FspClient::new(cmd, self.analysis.client.clone()))
+                    as Box<dyn NodeProgram + Sync>
+            })
+            .collect()
+    }
+
+    fn server(&self) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(FspServer::new(self.analysis.server.clone()))
+    }
+
+    fn analysis_config(&self) -> AchillesConfig {
+        AchillesConfig {
+            optimizations: self.analysis.optimizations,
+            verify_witnesses: self.analysis.verify_witnesses,
+            server_explore: ExploreConfig {
+                workers: self.analysis.workers.max(1),
+                ..ExploreConfig::default()
+            },
+            ..AchillesConfig::default()
+        }
+    }
+
+    fn expected_trojans(&self) -> Option<usize> {
+        // Exact only for the parse-only length-mismatch model; wildcard
+        // runs add one report per exact-length accepting path.
+        if self.analysis.client.glob_expansion {
+            None
+        } else {
+            Some(expected_length_mismatch_trojans(
+                self.analysis.commands.len(),
+            ))
+        }
+    }
+
+    fn classify(&self, report: &TrojanReport) -> String {
+        match classify(report) {
+            TrojanFamily::LengthMismatch { .. } => "len-mismatch".to_string(),
+            TrojanFamily::Wildcard { .. } => "wildcard".to_string(),
+            TrojanFamily::Other => "other".to_string(),
+        }
+    }
+
+    fn replay_target(&self) -> Box<dyn ReplayTarget> {
+        Box::new(FspTarget::new(
+            self.analysis.server.clone(),
+            self.analysis.client.glob_expansion,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles::AchillesSession;
+
+    #[test]
+    fn spec_session_matches_the_legacy_pipeline() {
+        // Pin the session against `run_analysis_with` — the original
+        // hand-wired pipeline, which still ships independently — so a
+        // behavioral divergence in `AchillesSession` cannot hide behind
+        // the session-backed `run_analysis` shim.
+        let config = FspAnalysisConfig::accuracy().with_commands(2);
+        let direct = {
+            let mut pool = achilles_solver::TermPool::new();
+            let mut solver = achilles_solver::Solver::new();
+            crate::analysis::run_analysis_with(&mut pool, &mut solver, &config)
+        };
+        let spec = FspSpec::new(config);
+        let report = AchillesSession::new(&spec).run();
+        assert_eq!(report.trojans.len(), direct.trojans.len());
+        let fields = |ts: &[TrojanReport]| {
+            ts.iter()
+                .map(|t| (t.server_path_id, t.witness_fields.clone(), t.verified))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fields(&report.trojans), fields(&direct.trojans));
+        assert_eq!(report.server_paths, direct.server_paths);
+        assert_eq!(spec.expected_trojans(), Some(report.trojans.len()));
+    }
+
+    #[test]
+    fn replay_factory_mirrors_the_analyzed_server() {
+        let mut config = FspAnalysisConfig::accuracy().with_commands(1);
+        config.server.check_actual_length = true;
+        let spec = FspSpec::new(config);
+        let target = spec.replay_target();
+        assert_eq!(target.name(), "fsp");
+        // A benign request is generable; the patched server still boots.
+        assert!(target.client_generable(&target.benign_fields()));
+    }
+}

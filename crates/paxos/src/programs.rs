@@ -129,47 +129,20 @@ impl NodeProgram for AcceptorProgram {
 ///
 /// Returns the pool (for rendering witnesses) and the Trojan reports in
 /// canonical path order.
+///
+/// Deprecated shim: delegates to
+/// [`AchillesSession`](achilles::AchillesSession) over
+/// [`PaxosSpec`](crate::PaxosSpec); prefer driving the session (or the
+/// registry) directly in new code.
 pub fn analyze_local_state(
     proposer: ProposerMode,
     acceptor: AcceptorMode,
     workers: usize,
 ) -> (achilles_solver::TermPool, Vec<achilles::TrojanReport>) {
-    use achilles::{prepare_client_workers, ClientPredicate, FieldMask, Optimizations};
-    use achilles_solver::{Solver, TermPool};
-    use achilles_symvm::{Executor, ExploreConfig};
-
-    let mut pool = TermPool::new();
-    let mut solver = Solver::new();
-    let client_result = {
-        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
-        exec.explore(&ProposerProgram { mode: proposer })
-    };
-    let pred = ClientPredicate::from_exploration(&client_result);
-    let server_msg = SymMessage::fresh(&mut pool, &accept_layout(), "msg");
-    let prepared = prepare_client_workers(
-        &mut pool,
-        &mut solver,
-        pred,
-        server_msg.clone(),
-        FieldMask::none(),
-        Optimizations::default(),
-        workers.max(1),
-    );
-    let explore = ExploreConfig {
-        recv_script: vec![server_msg],
-        workers: workers.max(1),
-        ..Default::default()
-    };
-    let outcome = achilles::run_trojan_search(
-        &mut pool,
-        &mut solver,
-        &prepared,
-        &AcceptorProgram { mode: acceptor },
-        explore,
-        Optimizations::default(),
-        true,
-    );
-    (pool, outcome.reports)
+    let spec = crate::target::PaxosSpec::new(proposer, acceptor);
+    let mut session = achilles::AchillesSession::new(&spec).workers(workers);
+    let report = session.run();
+    (session.into_engine().pool, report.trojans)
 }
 
 #[cfg(test)]

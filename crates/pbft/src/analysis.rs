@@ -6,16 +6,11 @@
 
 use std::time::{Duration, Instant};
 
-use achilles::{
-    prepare_client_workers, run_trojan_search, ClientPredicate, FieldMask, Optimizations,
-    SearchStats, TrojanReport, WorkerSummary,
-};
-use achilles_solver::{Solver, TermPool};
-use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
+use achilles::{ClientPredicate, Optimizations, SearchStats, TrojanReport, WorkerSummary};
+use achilles_symvm::{ExploreStats, SymMessage};
 
-use crate::client::extract_client_predicate;
-use crate::protocol::{layout, PbftRequest, MAC_PLACEHOLDER};
-use crate::replica::{PbftReplica, PbftReplicaConfig};
+use crate::protocol::{PbftRequest, MAC_PLACEHOLDER};
+use crate::replica::PbftReplicaConfig;
 
 /// Classification of PBFT Trojan reports.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,45 +104,28 @@ impl PbftAnalysisResult {
 }
 
 /// Runs the PBFT analysis on a fresh pool/solver.
+///
+/// Deprecated shim: delegates to
+/// [`AchillesSession`](achilles::AchillesSession) over
+/// [`PbftSpec`](crate::PbftSpec); prefer driving the session (or the
+/// registry) directly in new code.
 pub fn run_analysis(config: &PbftAnalysisConfig) -> PbftAnalysisResult {
     let started = Instant::now();
-    let mut pool = TermPool::new();
-    let mut solver = Solver::new();
-    let client = extract_client_predicate(&mut pool, &mut solver);
-    let server_msg = SymMessage::fresh(&mut pool, &layout(), "msg");
-    let prepared = prepare_client_workers(
-        &mut pool,
-        &mut solver,
-        client,
-        server_msg.clone(),
-        FieldMask::none(),
-        config.optimizations,
-        config.workers.max(1),
-    );
-    let explore = ExploreConfig {
-        recv_script: vec![server_msg.clone()],
-        workers: config.workers.max(1),
-        ..Default::default()
+    let spec = crate::target::PbftSpec {
+        analysis: config.clone(),
+        cluster: crate::cluster::ClusterConfig::default(),
     };
-    let outcome = run_trojan_search(
-        &mut pool,
-        &mut solver,
-        &prepared,
-        &PbftReplica::new(config.replica.clone()),
-        explore,
-        config.optimizations,
-        config.verify_witnesses,
-    );
-    let families = outcome.reports.iter().map(classify).collect();
+    let report = achilles::AchillesSession::new(&spec).run();
+    let families = report.trojans.iter().map(classify).collect();
     PbftAnalysisResult {
-        client: prepared.client.clone(),
-        server_msg,
-        trojans: outcome.reports,
+        client: report.client,
+        server_msg: report.server_msg,
+        trojans: report.trojans,
         families,
         total_time: started.elapsed(),
-        search_stats: outcome.stats,
-        explore_stats: outcome.explore,
-        worker_stats: outcome.workers,
+        search_stats: report.search_stats,
+        explore_stats: report.server_explore,
+        worker_stats: report.server_workers,
     }
 }
 

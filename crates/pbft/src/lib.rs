@@ -32,6 +32,7 @@ pub mod cluster;
 pub mod mac;
 pub mod protocol;
 pub mod replica;
+pub mod target;
 
 pub use analysis::{
     classify, run_analysis, PbftAnalysisConfig, PbftAnalysisResult, PbftTrojanFamily,
@@ -44,3 +45,4 @@ pub use protocol::{
     REQUEST_TAG,
 };
 pub use replica::{preprepare_layout, PbftReplica, PbftReplicaConfig};
+pub use target::{PbftSpec, PbftTarget};

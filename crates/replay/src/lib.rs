@@ -8,9 +8,10 @@
 //! 1. **Concretize** ([`witness`]): solver model / report → wire bytes,
 //!    through the same [`achilles_netsim::bytes`] codec the deployments
 //!    parse with.
-//! 2. **Inject** ([`target`]): boot a fresh concrete FSP server, PBFT
-//!    cluster, or Paxos acceptor and fire the witness — optionally under
-//!    network faults (drop, duplicate, reorder, single bit-flip).
+//! 2. **Inject** ([`target`]): boot a fresh concrete deployment — produced
+//!    by the protocol's [`TargetSpec::replay_target`](achilles::TargetSpec)
+//!    factory — and fire the witness, optionally under network faults
+//!    (drop, duplicate, reorder, single bit-flip).
 //! 3. **Triage** ([`signature`]): fold the outcome into a structural
 //!    [`CrashSignature`] so two witnesses of one bug count once.
 //! 4. **Minimize** ([`minimize`]): ddmin the witness down to the fields
@@ -20,11 +21,16 @@
 //!
 //! [`validate_trojans`] drives 1–5 as the pipeline's opt-in `validate`
 //! phase, fanning out over [`achilles_symvm::parallel_map`] workers with
-//! bit-identical results for every worker count.
+//! bit-identical results for every worker count; [`validate_spec`] /
+//! [`validate_session`] are the registry-driven forms that take any
+//! `TargetSpec`. This crate knows **no protocol by name**: the concrete
+//! deployments live with their protocols (`achilles_fsp::FspTarget`,
+//! `achilles_pbft::PbftTarget`, `achilles_paxos::PaxosTarget`, …) and
+//! reach the harness only through the trait.
 //!
 //! ```
-//! use achilles_fsp::{Command, FspMessage, FspServerConfig};
-//! use achilles_replay::{replay, FaultPlan, FspTarget, ReplayVerdict};
+//! use achilles_fsp::{Command, FspMessage, FspServerConfig, FspTarget};
+//! use achilles_replay::{replay, FaultPlan, ReplayVerdict};
 //!
 //! // A length-mismatch Trojan: reported path length 3, real length 1.
 //! let mut msg = FspMessage::request(Command::Stat, b"a");
@@ -56,8 +62,10 @@ pub use corpus::{CorpusEntry, ReplayCorpus};
 pub use minimize::{minimize, MinimizedWitness};
 pub use signature::CrashSignature;
 pub use target::{
-    replay, FaultPlan, FspTarget, InjectionOutcome, PaxosTarget, PbftTarget, ReplayResult,
-    ReplayTarget, ReplayVerdict,
+    replay, Delivery, FaultPlan, InjectionOutcome, ReplayResult, ReplayTarget, ReplayVerdict,
 };
-pub use validate::{validate_pipeline_report, validate_trojans, ValidateConfig, ValidationSummary};
+pub use validate::{
+    validate_pipeline_report, validate_session, validate_spec, validate_trojans, ValidateConfig,
+    ValidationSummary,
+};
 pub use witness::{from_model, from_report, ConcreteWitness};

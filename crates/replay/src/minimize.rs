@@ -149,8 +149,8 @@ pub fn minimize(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::target::{FspTarget, ReplayVerdict};
-    use achilles_fsp::{Command, FspMessage, FspServerConfig};
+    use crate::target::ReplayVerdict;
+    use achilles_fsp::{Command, FspMessage, FspServerConfig, FspTarget};
 
     fn witness_of(msg: &FspMessage) -> ConcreteWitness {
         let wire = msg.to_wire();

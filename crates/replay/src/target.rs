@@ -1,11 +1,11 @@
-//! Deterministic injection targets and the replay harness.
+//! The replay harness around a [`ReplayTarget`].
 //!
-//! A [`ReplayTarget`] boots a fresh concrete deployment per injection —
-//! the FSP server over [`Network`]/`SimFs`, the PBFT cluster over
-//! `SimClock`, the Paxos acceptor engine — fires a delivery plan of wire
-//! datagrams at it, and reports what happened. Booting per injection is
-//! what makes replay a pure function of the witness bytes: results are
-//! bit-identical across worker counts, runs, and machines.
+//! A [`ReplayTarget`] (defined in `achilles-core`, produced by
+//! [`TargetSpec::replay_target`](achilles::TargetSpec::replay_target))
+//! boots a fresh concrete deployment per injection and fires a delivery
+//! plan of wire datagrams at it. Booting per injection is what makes
+//! replay a pure function of the witness bytes: results are bit-identical
+//! across worker counts, runs, and machines.
 //!
 //! [`replay`] is the harness around a target: it expands a [`FaultPlan`]
 //! into the delivery plan (drop, duplicate, reorder with a benign
@@ -13,11 +13,15 @@
 //! paper's S3 motivating fault), classifies the outcome against the
 //! client-generability oracle, and folds everything into a
 //! [`CrashSignature`] for triage.
+//!
+//! The concrete deployments themselves live with their protocols
+//! (`achilles_fsp::FspTarget`, `achilles_pbft::PbftTarget`,
+//! `achilles_paxos::PaxosTarget`, `achilles_twopc::TwopcTarget`, …): the
+//! harness never names a protocol, which is what lets a new protocol crate
+//! plug into validation without touching this crate.
 
-use std::sync::Arc;
-
-use achilles_netsim::{flip_bit, Addr, Network, SimFs};
-use achilles_symvm::MessageLayout;
+pub use achilles::{Delivery, InjectionOutcome, ReplayTarget};
+use achilles_netsim::flip_bit;
 
 use crate::signature::CrashSignature;
 use crate::witness::{fields_to_wire, wire_to_fields, ConcreteWitness};
@@ -42,15 +46,6 @@ impl FaultPlan {
     pub fn none() -> FaultPlan {
         FaultPlan::default()
     }
-}
-
-/// What one injection run did, per delivery and in aggregate.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct InjectionOutcome {
-    /// Per-delivery acceptance, aligned with the delivery plan.
-    pub accepted_each: Vec<bool>,
-    /// Structural effect notes (unsorted; [`CrashSignature::new`] sorts).
-    pub effects: Vec<String>,
 }
 
 /// Classification of one witness replay.
@@ -89,33 +84,6 @@ impl ReplayVerdict {
             _ => return None,
         })
     }
-}
-
-/// One delivery of the plan: wire bytes plus whether this copy is the
-/// witness (as opposed to a benign companion).
-pub type Delivery = (Vec<u8>, bool);
-
-/// A concrete deployment a witness can be fired at.
-///
-/// Implementations must be pure: `inject` boots fresh state every call and
-/// its result is a function of the delivery plan alone.
-pub trait ReplayTarget: Sync {
-    /// Short system name used in signatures (`"fsp"`, `"pbft"`, `"paxos"`).
-    fn name(&self) -> &'static str;
-
-    /// The wire layout witnesses for this target use.
-    fn layout(&self) -> Arc<MessageLayout>;
-
-    /// Field values of a benign message a correct client would send
-    /// (the ddmin baseline and the reorder-fault companion).
-    fn benign_fields(&self) -> Vec<u64>;
-
-    /// Whether a correct client can generate `fields` — the concrete
-    /// client-side oracle.
-    fn client_generable(&self, fields: &[u64]) -> bool;
-
-    /// Boots a fresh deployment and fires the delivery plan at it.
-    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome;
 }
 
 /// The full record of one witness replay.
@@ -194,321 +162,14 @@ pub fn replay(
     }
 }
 
-// ---------------------------------------------------------------------------
-// FSP
-// ---------------------------------------------------------------------------
-
-use achilles_fsp::{
-    classify, client_can_generate, Command, FspMessage, FspServerConfig, FspServerRuntime,
-    TrojanFamily,
-};
-
-/// The FSP deployment target: a stateful server endpoint over
-/// [`Network`]/[`SimFs`].
-#[derive(Clone, Debug)]
-pub struct FspTarget {
-    /// Server configuration (patch toggles must match the analyzed server).
-    pub server: FspServerConfig,
-    /// Whether client generability models glob expansion.
-    pub glob_expansion: bool,
-    /// Initial filesystem contents, `(path, data)` pairs.
-    pub initial_files: Vec<(String, Vec<u8>)>,
-}
-
-impl FspTarget {
-    /// A target mirroring an analysis configuration, with a small canned
-    /// filesystem so commands have state to act on.
-    pub fn new(server: FspServerConfig, glob_expansion: bool) -> FspTarget {
-        FspTarget {
-            server,
-            glob_expansion,
-            initial_files: vec![
-                ("/f1".to_string(), b"one".to_vec()),
-                ("/f2".to_string(), b"two".to_vec()),
-            ],
-        }
-    }
-
-    fn boot(&self) -> (Network, FspServerRuntime, Addr) {
-        let mut fs = SimFs::new();
-        for (path, data) in &self.initial_files {
-            fs.write(path, data).expect("initial file writes succeed");
-        }
-        let mut net = Network::new();
-        let server_addr = Addr::new("fspd");
-        let client_addr = Addr::new("replay-cli");
-        net.register(server_addr.clone());
-        net.register(client_addr.clone());
-        let server = FspServerRuntime::new(server_addr, fs, self.server.clone());
-        (net, server, client_addr)
-    }
-
-    fn family_effect(fields: &[u64]) -> Option<String> {
-        let report = achilles::TrojanReport {
-            server_path_id: 0,
-            constraints: vec![],
-            witness_fields: fields.to_vec(),
-            active_clients: 0,
-            verified: false,
-            found_at: std::time::Duration::ZERO,
-            notes: vec![],
-        };
-        match classify(&report) {
-            TrojanFamily::LengthMismatch {
-                cmd,
-                reported,
-                actual,
-            } => Some(format!(
-                "family:len-mismatch:{}:{}>{}",
-                cmd.utility_name(),
-                reported,
-                actual
-            )),
-            TrojanFamily::Wildcard { cmd } => {
-                Some(format!("family:wildcard:{}", cmd.utility_name()))
-            }
-            TrojanFamily::Other => None,
-        }
-    }
-}
-
-impl ReplayTarget for FspTarget {
-    fn name(&self) -> &'static str {
-        "fsp"
-    }
-
-    fn layout(&self) -> Arc<MessageLayout> {
-        achilles_fsp::layout()
-    }
-
-    fn benign_fields(&self) -> Vec<u64> {
-        let cmd = self
-            .server
-            .commands
-            .first()
-            .copied()
-            .unwrap_or(Command::GetDir);
-        FspMessage::request(cmd, b"f1").field_values()
-    }
-
-    fn client_generable(&self, fields: &[u64]) -> bool {
-        let msg = FspMessage::from_field_values(fields);
-        client_can_generate(&msg, self.glob_expansion)
-    }
-
-    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let (mut net, mut server, client_addr) = self.boot();
-        let before = server.fs().list("/").unwrap_or_default();
-        let mut outcome = InjectionOutcome::default();
-        for (wire, is_witness) in deliveries {
-            let accepted_before = server.accepted;
-            net.send(client_addr.clone(), server.addr().clone(), wire.clone());
-            server.poll(&mut net);
-            outcome
-                .accepted_each
-                .push(server.accepted > accepted_before);
-            while let Some(reply) = net.recv(&client_addr) {
-                let code = if reply.payload.first() == Some(&0) {
-                    "ok"
-                } else {
-                    "err"
-                };
-                outcome.effects.push(format!("reply:{code}"));
-            }
-            if *is_witness {
-                if let Ok(msg) = FspMessage::from_wire(wire) {
-                    if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
-                        outcome.effects.push(family);
-                    }
-                }
-            }
-        }
-        let after = server.fs().list("/").unwrap_or_default();
-        for name in &after {
-            if !before.contains(name) {
-                outcome.effects.push(format!("fs:+{name}"));
-            }
-        }
-        for name in &before {
-            if !after.contains(name) {
-                outcome.effects.push(format!("fs:-{name}"));
-            }
-        }
-        outcome
-    }
-}
-
-// ---------------------------------------------------------------------------
-// PBFT
-// ---------------------------------------------------------------------------
-
-use achilles_pbft::{ClusterConfig, PbftCluster, PbftRequest, SubmitOutcome, N_REPLICAS};
-
-/// The PBFT deployment target: the deterministic 4-replica cluster over
-/// `SimClock` cost accounting.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PbftTarget {
-    /// Cluster cost model and patch toggle.
-    pub cluster: ClusterConfig,
-}
-
-impl PbftTarget {
-    /// A target over the default cost model (vulnerable primary).
-    pub fn new(cluster: ClusterConfig) -> PbftTarget {
-        PbftTarget { cluster }
-    }
-}
-
-impl ReplayTarget for PbftTarget {
-    fn name(&self) -> &'static str {
-        "pbft"
-    }
-
-    fn layout(&self) -> Arc<MessageLayout> {
-        achilles_pbft::layout()
-    }
-
-    fn benign_fields(&self) -> Vec<u64> {
-        PbftRequest::correct(0, 1, *b"op__").field_values()
-    }
-
-    fn client_generable(&self, fields: &[u64]) -> bool {
-        let req = PbftRequest::from_field_values(fields);
-        u64::from(req.tag) == achilles_pbft::REQUEST_TAG
-            && u64::from(req.size) == achilles_pbft::MESSAGE_SIZE
-            && usize::from(req.command_size) == achilles_pbft::COMMAND_LEN
-            && req.extra <= 1
-            && usize::from(req.replier) < N_REPLICAS
-            && u64::from(req.cid) < achilles_pbft::N_CLIENTS
-            && (0..N_REPLICAS).all(|r| req.mac_valid_for(r))
-    }
-
-    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut cluster = PbftCluster::new(self.cluster);
-        let mut outcome = InjectionOutcome::default();
-        for (wire, is_witness) in deliveries {
-            let Ok(req) = PbftRequest::from_wire(wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            let submit = cluster.submit(&req);
-            let (accepted, note) = match submit {
-                SubmitOutcome::Executed => (true, "outcome:fast-path"),
-                SubmitOutcome::RecoveredThenExecuted => (true, "outcome:recovered"),
-                SubmitOutcome::DroppedByPrimary => (false, "outcome:dropped-by-primary"),
-            };
-            outcome.accepted_each.push(accepted);
-            outcome.effects.push(note.to_string());
-            if *is_witness {
-                let bad = (0..N_REPLICAS).filter(|&r| !req.mac_valid_for(r)).count();
-                if bad > 0 {
-                    outcome.effects.push(format!("bad_macs:{bad}"));
-                }
-            }
-        }
-        outcome
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Paxos
-// ---------------------------------------------------------------------------
-
-use achilles_paxos::{Acceptor, Ballot, ProposerMode, Value, ACCEPT_KIND, MAX_PROPOSABLE_VALUE};
-
-/// The Paxos deployment target: a single-decree acceptor mid-scenario.
-#[derive(Clone, Copy, Debug)]
-pub struct PaxosTarget {
-    /// The acceptor's promised ballot when the witness arrives.
-    pub promised: Ballot,
-    /// The proposer scenario defining client generability.
-    pub proposer: ProposerMode,
-}
-
-impl PaxosTarget {
-    /// A target for the acceptor-promised-`promised` scenario with the
-    /// given proposer mode.
-    pub fn new(promised: Ballot, proposer: ProposerMode) -> PaxosTarget {
-        PaxosTarget { promised, proposer }
-    }
-}
-
-impl ReplayTarget for PaxosTarget {
-    fn name(&self) -> &'static str {
-        "paxos"
-    }
-
-    fn layout(&self) -> Arc<MessageLayout> {
-        achilles_paxos::accept_layout()
-    }
-
-    fn benign_fields(&self) -> Vec<u64> {
-        match self.proposer {
-            ProposerMode::Concrete(b, v) => vec![ACCEPT_KIND, u64::from(b), u64::from(v)],
-            ProposerMode::Constructed(b) => vec![ACCEPT_KIND, u64::from(b), 0],
-        }
-    }
-
-    fn client_generable(&self, fields: &[u64]) -> bool {
-        let [kind, ballot, value] = fields else {
-            return false;
-        };
-        if *kind != ACCEPT_KIND {
-            return false;
-        }
-        match self.proposer {
-            ProposerMode::Concrete(b, v) => *ballot == u64::from(b) && *value == u64::from(v),
-            ProposerMode::Constructed(b) => {
-                *ballot == u64::from(b) && *value <= MAX_PROPOSABLE_VALUE
-            }
-        }
-    }
-
-    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut acceptor = Acceptor::new();
-        acceptor.on_prepare(self.promised);
-        let mut outcome = InjectionOutcome::default();
-        let layout = self.layout();
-        for (wire, is_witness) in deliveries {
-            let Ok(fields) = crate::witness::wire_to_fields(&layout, wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            let (kind, ballot, value) = (fields[0], fields[1], fields[2]);
-            if kind != ACCEPT_KIND {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("ignored:not-accept".to_string());
-                continue;
-            }
-            let accepted = acceptor.on_accept(ballot as Ballot, value as Value);
-            outcome.accepted_each.push(accepted);
-            if !accepted {
-                outcome.effects.push("rejected:stale-ballot".to_string());
-                continue;
-            }
-            outcome.effects.push("accepted".to_string());
-            if *is_witness {
-                if u64::from(ballot as Ballot) > u64::from(self.promised) {
-                    outcome.effects.push("ballot:hijacks-round".to_string());
-                }
-                if value > MAX_PROPOSABLE_VALUE {
-                    outcome.effects.push("value:out-of-domain".to_string());
-                } else if !self.client_generable(&fields) {
-                    outcome.effects.push("value:foreign".to_string());
-                }
-            }
-        }
-        outcome
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::witness::from_report;
     use achilles::TrojanReport;
+    use achilles_fsp::{Command, FspMessage, FspServerConfig, FspTarget};
+    use achilles_paxos::{PaxosTarget, ProposerMode, ACCEPT_KIND};
+    use achilles_pbft::{ClusterConfig, PbftRequest, PbftTarget};
     use std::time::Duration;
 
     fn fsp_report(msg: &FspMessage) -> TrojanReport {
@@ -668,6 +329,8 @@ mod tests {
 
     #[test]
     fn pbft_correct_request_is_benign() {
+        // False-positive guard: a correct client request must classify as
+        // AcceptedGenerable, never as a confirmed Trojan.
         let target = PbftTarget::new(ClusterConfig::default());
         let req = PbftRequest::correct(2, 9, *b"op__");
         let witness = from_report(

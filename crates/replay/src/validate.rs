@@ -178,11 +178,39 @@ pub fn validate_pipeline_report(
     summary
 }
 
+/// Replays `reports` against the concrete deployment of a
+/// [`TargetSpec`](achilles::TargetSpec) — the registry-driven form of
+/// [`validate_trojans`]: the spec's
+/// [`replay_target`](achilles::TargetSpec::replay_target) factory supplies
+/// the deployment, so callers never name a protocol.
+pub fn validate_spec(
+    spec: &dyn achilles::TargetSpec,
+    reports: &[TrojanReport],
+    corpus: &mut ReplayCorpus,
+    config: &ValidateConfig,
+) -> ValidationSummary {
+    let target = spec.replay_target();
+    validate_trojans(&*target, reports, corpus, config)
+}
+
+/// [`validate_spec`] over a full pipeline report, charging the wall-clock
+/// to [`PhaseTimes::validate`](achilles::PhaseTimes) — the natural tail of
+/// an [`AchillesSession`](achilles::AchillesSession) run.
+pub fn validate_session(
+    spec: &dyn achilles::TargetSpec,
+    report: &mut AchillesReport,
+    corpus: &mut ReplayCorpus,
+    config: &ValidateConfig,
+) -> ValidationSummary {
+    let summary = validate_spec(spec, &report.trojans, corpus, config);
+    report.phase_times.validate = summary.elapsed;
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::target::FspTarget;
-    use achilles_fsp::{Command, FspMessage, FspServerConfig};
+    use achilles_fsp::{Command, FspMessage, FspServerConfig, FspTarget};
     use std::time::Duration;
 
     fn report(msg: &FspMessage) -> TrojanReport {

@@ -10,10 +10,11 @@
 
 use std::sync::Arc;
 
-use achilles::TrojanReport;
-use achilles_netsim::bytes::{decode_fields, encode_fields, WireError};
+use achilles::{TrojanReport, WireError};
 use achilles_solver::{Model, TermPool};
 use achilles_symvm::{MessageLayout, SymMessage};
+
+pub use achilles::target::{fields_to_wire, layout_widths, wire_to_fields};
 
 /// A fully concretized Trojan witness, ready for injection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,35 +27,6 @@ pub struct ConcreteWitness {
     pub fields: Vec<u64>,
     /// Big-endian wire encoding of `fields`.
     pub wire: Vec<u8>,
-}
-
-/// Per-field widths (in bits) of a message layout, in declaration order.
-pub fn layout_widths(layout: &MessageLayout) -> Vec<u32> {
-    layout.fields().iter().map(|f| f.width.bits()).collect()
-}
-
-/// Encodes layout-ordered field values to wire bytes.
-///
-/// # Errors
-///
-/// Returns [`WireError::BadWidth`] if the layout has a field narrower than
-/// one byte (such layouts cannot travel on the modeled wire).
-pub fn fields_to_wire(layout: &MessageLayout, fields: &[u64]) -> Result<Vec<u8>, WireError> {
-    let pairs: Vec<(u32, u64)> = layout_widths(layout)
-        .into_iter()
-        .zip(fields.iter().copied())
-        .collect();
-    encode_fields(&pairs)
-}
-
-/// Decodes wire bytes back to layout-ordered field values.
-///
-/// # Errors
-///
-/// Returns a [`WireError`] if the buffer is truncated or the layout has a
-/// sub-byte field.
-pub fn wire_to_fields(layout: &MessageLayout, wire: &[u8]) -> Result<Vec<u64>, WireError> {
-    decode_fields(wire, &layout_widths(layout))
 }
 
 /// Concretizes a discovered Trojan report into an injectable witness.

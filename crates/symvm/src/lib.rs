@@ -62,6 +62,6 @@ pub use env::SymEnv;
 pub use executor::{Executor, ExploreConfig, ExploreOrder};
 pub use message::{FieldDef, MessageLayout, MessageLayoutBuilder, SymMessage};
 pub use observer::{NullObserver, ObserverCx, PathObserver};
-pub use parallel::{parallel_map, ParallelOutcome, WorkerReport};
+pub use parallel::{parallel_map, parallel_map_with, ParallelOutcome, WorkerReport};
 pub use program::{Halt, NodeProgram, PathResult};
 pub use record::{ExploreResult, ExploreStats, PathRecord, Verdict};

@@ -373,15 +373,7 @@ fn merge<O>(
             stats: ws,
             busy,
         } = outcome;
-        stats.runs += ws.runs;
-        stats.completed += ws.completed;
-        stats.infeasible += ws.infeasible;
-        stats.pruned += ws.pruned;
-        stats.dropped += ws.dropped;
-        stats.depth_exhausted += ws.depth_exhausted;
-        stats.branch_checks += ws.branch_checks;
-        stats.unknown_branches += ws.unknown_branches;
-        stats.model_reuse_hits += ws.model_reuse_hits;
+        stats.absorb_counters(&ws);
         stats.shared_cache_hits += solver_stats.shared_hits;
 
         let mut memo: HashMap<TermId, TermId> = HashMap::new();
@@ -444,22 +436,54 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_with(workers, items, |_| (), |(), i, t| f(i, t))
+}
+
+/// [`parallel_map`] with per-worker mutable context: `init(worker)` runs
+/// once on each worker thread (e.g. to fork a
+/// [`TermPool`](achilles_solver::TermPool) and build a private
+/// [`Solver`](achilles_solver::Solver)), and `f` receives that context for
+/// every item the worker claims.
+///
+/// Items are claimed from a shared cursor, so *which* worker computes an
+/// item is scheduling-dependent — results are order-preserving regardless,
+/// but `f` must produce the same value for an item under every context
+/// `init` can build (contexts forked from common state satisfy this when
+/// the per-item computation is structure-deterministic). Sequential
+/// (`workers <= 1` or fewer than two items) runs use a single context on
+/// the calling thread.
+pub fn parallel_map_with<T, C, R, I, F>(workers: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
     let workers = workers.max(1).min(items.len().max(1));
     if workers <= 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut cx = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut cx, i, t))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let init = &init;
+                let f = &f;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut cx = init(w);
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, f(&mut cx, i, &items[i])));
                     }
                     out
                 })

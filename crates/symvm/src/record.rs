@@ -73,6 +73,25 @@ pub struct ExploreStats {
     pub wall_time: Duration,
 }
 
+impl ExploreStats {
+    /// Adds another exploration's plain-sum counters (runs through
+    /// model-reuse hits) into `self` — the one accumulator shared by the
+    /// parallel worker merge and the session's per-client aggregation.
+    /// `workers`, `steals`, `shared_cache_hits`, and `wall_time` aggregate
+    /// with caller-specific semantics and are left untouched.
+    pub fn absorb_counters(&mut self, other: &ExploreStats) {
+        self.runs += other.runs;
+        self.completed += other.completed;
+        self.infeasible += other.infeasible;
+        self.pruned += other.pruned;
+        self.dropped += other.dropped;
+        self.depth_exhausted += other.depth_exhausted;
+        self.branch_checks += other.branch_checks;
+        self.unknown_branches += other.unknown_branches;
+        self.model_reuse_hits += other.model_reuse_hits;
+    }
+}
+
 /// The outcome of exploring one node program.
 #[derive(Clone, Debug, Default)]
 pub struct ExploreResult {

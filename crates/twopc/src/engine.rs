@@ -1,0 +1,153 @@
+//! The concrete 2PC coordinator: deterministic vote tallying with the
+//! crashable decision logic the symbolic model abstracts.
+//!
+//! The coordinator records phase-1 votes per transaction and decides when
+//! every participant has voted. The vulnerable build mirrors the real-world
+//! pattern the Trojan exploits: the decision handler uses the raw vote
+//! byte as an index into a two-entry jump table (`decision_table[vote]`),
+//! so a vote outside `{0, 1}` — accepted because the inbound validation
+//! never checks the domain — sends the decision logic through an
+//! out-of-bounds slot and wedges the coordinator.
+
+use crate::protocol::{MAX_TXID, N_PARTICIPANTS, VOTE_ABORT};
+
+/// Size of the decision jump table (one slot per legal vote value).
+pub const DECISION_TABLE_LEN: u8 = 2;
+
+/// Coordinator configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Patch for the vote-domain bug: reject votes outside `{0, 1}` at
+    /// message validation time, before they reach the decision logic.
+    pub validate_vote_domain: bool,
+}
+
+/// Phase-2 outcome for one transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Not every participant has voted yet.
+    Pending,
+    /// All participants voted commit.
+    Commit,
+    /// At least one participant voted abort.
+    Abort,
+}
+
+/// A deterministic 2PC coordinator tracking [`MAX_TXID`] transactions.
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    votes: Vec<[Option<u8>; N_PARTICIPANTS as usize]>,
+    crashed: bool,
+}
+
+impl Coordinator {
+    /// A fresh coordinator with no recorded votes.
+    pub fn new(config: CoordinatorConfig) -> Coordinator {
+        Coordinator {
+            config,
+            votes: vec![[None; N_PARTICIPANTS as usize]; MAX_TXID as usize],
+            crashed: false,
+        }
+    }
+
+    /// Whether the decision logic has crashed (jump-table out-of-bounds).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Handles one inbound vote; returns whether the coordinator accepted
+    /// (validated and recorded) it.
+    ///
+    /// A crashed coordinator accepts nothing — the wedge is sticky, which
+    /// is exactly the denial-of-service the Trojan buys.
+    pub fn on_vote(&mut self, txid: u16, participant: u8, vote: u8) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if u64::from(txid) >= MAX_TXID || u64::from(participant) >= N_PARTICIPANTS {
+            return false;
+        }
+        if self.config.validate_vote_domain && vote >= DECISION_TABLE_LEN {
+            return false;
+        }
+        self.votes[txid as usize][participant as usize] = Some(vote);
+        // The vulnerable decision handler: `decision_table[vote]`.
+        if vote >= DECISION_TABLE_LEN {
+            self.crashed = true;
+        }
+        true
+    }
+
+    /// The phase-2 decision for `txid` (any non-abort vote counts as
+    /// commit — the `vote != 0` shortcut that pairs with the missing
+    /// domain check).
+    pub fn decide(&self, txid: u16) -> Decision {
+        let Some(slots) = self.votes.get(txid as usize) else {
+            return Decision::Pending;
+        };
+        if slots.iter().any(Option::is_none) {
+            return Decision::Pending;
+        }
+        if slots.iter().flatten().any(|&v| u64::from(v) == VOTE_ABORT) {
+            Decision::Abort
+        } else {
+            Decision::Commit
+        }
+    }
+
+    /// Votes recorded for `txid`, in participant order.
+    pub fn votes(&self, txid: u16) -> &[Option<u8>] {
+        &self.votes[txid as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_commit_decides_commit() {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        for p in 0..N_PARTICIPANTS as u8 {
+            assert!(c.on_vote(0, p, 1));
+        }
+        assert_eq!(c.decide(0), Decision::Commit);
+        assert!(!c.crashed());
+    }
+
+    #[test]
+    fn one_abort_vote_aborts() {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        assert!(c.on_vote(1, 0, 1));
+        assert!(c.on_vote(1, 1, 0));
+        assert!(c.on_vote(1, 2, 1));
+        assert_eq!(c.decide(1), Decision::Abort);
+    }
+
+    #[test]
+    fn out_of_domain_vote_crashes_the_vulnerable_build() {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        assert!(c.on_vote(0, 0, 0x77), "validation misses the domain check");
+        assert!(c.crashed(), "decision jump table indexed out of bounds");
+        // The wedge is sticky: later legitimate traffic is lost.
+        assert!(!c.on_vote(0, 1, 1));
+    }
+
+    #[test]
+    fn patched_build_rejects_out_of_domain_votes() {
+        let mut c = Coordinator::new(CoordinatorConfig {
+            validate_vote_domain: true,
+        });
+        assert!(!c.on_vote(0, 0, 0x77));
+        assert!(!c.crashed());
+        assert!(c.on_vote(0, 0, 1), "legitimate votes still flow");
+    }
+
+    #[test]
+    fn unknown_tx_and_participant_are_rejected() {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        assert!(!c.on_vote(MAX_TXID as u16, 0, 1));
+        assert!(!c.on_vote(0, N_PARTICIPANTS as u8, 1));
+    }
+}

@@ -1,0 +1,47 @@
+//! # achilles-twopc — two-phase commit under Achilles
+//!
+//! A bounded two-phase-commit coordinator with a **vote-domain Trojan**:
+//! participants validate their phase-1 vote byte to `{VOTE_ABORT,
+//! VOTE_COMMIT}` before sending, but the coordinator's inbound validation
+//! checks only the kind, transaction id, and participant id. Its decision
+//! logic then treats any nonzero byte as a commit vote *and indexes a
+//! two-entry jump table with the raw byte* — so a `VOTE` message carrying
+//! `vote ∉ {0, 1}` is accepted, forges a commit quorum, and wedges the
+//! coordinator (the crashable decision logic the concrete
+//! [`Coordinator`] models).
+//!
+//! The crate exists to prove the protocol-agnostic [`TargetSpec`] API:
+//! symbolic programs ([`programs`]), the concrete engine ([`engine`]), the
+//! replay deployment and spec ([`target`]) all live here, and the protocol
+//! joins every registry-driven driver — discovery (`--target twopc`),
+//! replay validation, the conformance suite, `BENCH_replay.json` — through
+//! a single `registry.register(Arc::new(TwopcSpec::default()))` call, with
+//! zero changes to `achilles-core`, `achilles-replay`, or the bench bins.
+//!
+//! ```
+//! use achilles::AchillesSession;
+//! use achilles_twopc::{TwopcSpec, TwopcVote, DECISION_TABLE_LEN};
+//!
+//! let spec = TwopcSpec::default();
+//! let report = AchillesSession::new(&spec).run();
+//! assert_eq!(report.trojans.len(), 1);
+//! let vote = TwopcVote::from_field_values(&report.trojans[0].witness_fields);
+//! assert!(vote.vote >= DECISION_TABLE_LEN, "an out-of-domain vote byte");
+//! ```
+//!
+//! [`TargetSpec`]: achilles::TargetSpec
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod programs;
+pub mod protocol;
+pub mod target;
+
+pub use engine::{Coordinator, CoordinatorConfig, Decision, DECISION_TABLE_LEN};
+pub use programs::{CoordinatorProgram, ParticipantProgram};
+pub use protocol::{
+    layout, TwopcVote, DECISION_KIND, MAX_TXID, N_PARTICIPANTS, VOTE_ABORT, VOTE_COMMIT, VOTE_KIND,
+};
+pub use target::{TwopcSpec, TwopcTarget};

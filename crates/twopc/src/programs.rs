@@ -1,0 +1,114 @@
+//! Symbolic node programs: the participant (client) and the coordinator's
+//! vote handler (server).
+//!
+//! The participant validates everything it sends — transaction id in
+//! range, its own participant id, and a vote that is exactly
+//! `VOTE_ABORT` or `VOTE_COMMIT`. The coordinator validates the kind, the
+//! transaction id, and the participant id, but **not the vote domain**:
+//! its decision logic treats any nonzero byte as a commit vote and indexes
+//! a two-entry jump table with the raw byte. Every message with
+//! `vote ∉ {0, 1}` is therefore a Trojan — accepted by the coordinator,
+//! producible by no correct participant — and the concrete build crashes
+//! on it ([`Coordinator::on_vote`](crate::Coordinator::on_vote)).
+
+use achilles_solver::Width;
+use achilles_symvm::{NodeProgram, PathResult, SymEnv, SymMessage};
+
+use crate::engine::CoordinatorConfig;
+use crate::protocol::{layout, MAX_TXID, N_PARTICIPANTS, VOTE_COMMIT, VOTE_KIND};
+
+/// A correct 2PC participant sending its phase-1 vote.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParticipantProgram;
+
+impl NodeProgram for ParticipantProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Symbolic inputs, validated like the participant library
+        // validates them before anything reaches the wire.
+        let txid = env.sym_in_range("txid", Width::W16, 0, MAX_TXID - 1)?;
+        let participant = env.sym_in_range("participant", Width::W8, 0, N_PARTICIPANTS - 1)?;
+        let vote = env.sym_in_range("vote", Width::W8, 0, VOTE_COMMIT)?;
+        let kind = env.constant(VOTE_KIND, Width::W8);
+        env.send(SymMessage::new(
+            layout(),
+            vec![kind, txid, participant, vote],
+        ));
+        Ok(())
+    }
+}
+
+/// The coordinator's inbound vote handler as a node program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinatorProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: CoordinatorConfig,
+}
+
+impl NodeProgram for CoordinatorProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&layout())?;
+        let vote_kind = env.constant(VOTE_KIND, Width::W8);
+        if !env.if_eq(msg.field("kind"), vote_kind)? {
+            return Ok(()); // not a vote: ignored
+        }
+        let max_txid = env.constant(MAX_TXID, Width::W16);
+        if !env.if_ult(msg.field("txid"), max_txid)? {
+            return Ok(()); // unknown transaction: rejected
+        }
+        let n_participants = env.constant(N_PARTICIPANTS, Width::W8);
+        if !env.if_ult(msg.field("participant"), n_participants)? {
+            return Ok(()); // unknown participant: rejected
+        }
+        if self.config.validate_vote_domain {
+            let table_len = env.constant(u64::from(crate::engine::DECISION_TABLE_LEN), Width::W8);
+            if !env.if_ult(msg.field("vote"), table_len)? {
+                return Ok(()); // patched build: out-of-domain vote rejected
+            }
+        }
+        // Security vulnerability (unpatched build): the vote byte flows
+        // unvalidated into `tally[participant] = vote` and the
+        // `decision_table[vote]` lookup.
+        env.note("tally[msg.participant] = msg.vote; decision_table[msg.vote]");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::{Executor, ExploreConfig, Verdict};
+
+    #[test]
+    fn participant_has_one_validated_send_path() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let result = exec.explore(&ParticipantProgram);
+        let senders: Vec<_> = result.paths.iter().filter(|p| !p.sent.is_empty()).collect();
+        assert_eq!(senders.len(), 1);
+    }
+
+    #[test]
+    fn coordinator_has_one_accepting_path_per_build() {
+        for (patched, expect_depth) in [(false, 3), (true, 4)] {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let program = CoordinatorProgram {
+                config: CoordinatorConfig {
+                    validate_vote_domain: patched,
+                },
+            };
+            let result = exec.explore(&program);
+            let accepting: Vec<_> = result
+                .paths
+                .iter()
+                .filter(|p| p.verdict == Verdict::Accept)
+                .collect();
+            assert_eq!(accepting.len(), 1);
+            assert_eq!(accepting[0].decisions.len(), expect_depth);
+        }
+    }
+}

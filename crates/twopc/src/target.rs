@@ -1,0 +1,265 @@
+//! The 2PC [`TargetSpec`] and concrete deployment target.
+//!
+//! This is the crate that proves the protocol-agnostic API: everything —
+//! symbolic programs, concrete coordinator, replay target, spec — lives
+//! here, and the protocol joins discovery, validation, conformance
+//! testing, and the bench bins through one registry registration, with
+//! zero changes to `achilles-core`, `achilles-replay`, or any driver.
+
+use std::sync::Arc;
+
+use achilles::{
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, TargetSpec, TrojanReport,
+};
+use achilles_symvm::{MessageLayout, NodeProgram};
+
+use crate::engine::{Coordinator, CoordinatorConfig, Decision, DECISION_TABLE_LEN};
+use crate::programs::{CoordinatorProgram, ParticipantProgram};
+use crate::protocol::{layout, TwopcVote, MAX_TXID, N_PARTICIPANTS, VOTE_KIND};
+
+/// The 2PC deployment target: a coordinator mid-phase-1, waiting on the
+/// last participant's vote for every transaction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwopcTarget {
+    /// Coordinator build (patch toggle must match the analyzed server).
+    pub config: CoordinatorConfig,
+}
+
+impl TwopcTarget {
+    /// A target over the given coordinator build.
+    pub fn new(config: CoordinatorConfig) -> TwopcTarget {
+        TwopcTarget { config }
+    }
+
+    /// Boots the scenario: all participants but the last have already
+    /// voted commit on every transaction, so the injected vote decides.
+    fn boot(&self) -> Coordinator {
+        let mut coordinator = Coordinator::new(self.config);
+        for txid in 0..MAX_TXID as u16 {
+            for participant in 0..(N_PARTICIPANTS - 1) as u8 {
+                assert!(coordinator.on_vote(txid, participant, 1));
+            }
+        }
+        coordinator
+    }
+}
+
+impl ReplayTarget for TwopcTarget {
+    fn name(&self) -> &'static str {
+        "twopc"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        TwopcVote::correct(0, (N_PARTICIPANTS - 1) as u8, true).field_values()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let [kind, txid, participant, vote] = fields else {
+            return false;
+        };
+        *kind == VOTE_KIND
+            && *txid < MAX_TXID
+            && *participant < N_PARTICIPANTS
+            && *vote < u64::from(DECISION_TABLE_LEN)
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut coordinator = self.boot();
+        let mut outcome = InjectionOutcome::default();
+        let mut witness_tx: Option<u16> = None;
+        for (wire, is_witness) in deliveries {
+            let Ok(vote) = TwopcVote::from_wire(wire) else {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("malformed".to_string());
+                continue;
+            };
+            if u64::from(vote.kind) != VOTE_KIND {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("ignored:not-vote".to_string());
+                continue;
+            }
+            let crashed_before = coordinator.crashed();
+            let accepted = coordinator.on_vote(vote.txid, vote.participant, vote.vote);
+            outcome.accepted_each.push(accepted);
+            if !accepted {
+                outcome.effects.push(if crashed_before {
+                    "rejected:coordinator-wedged".to_string()
+                } else {
+                    "rejected:validation".to_string()
+                });
+                continue;
+            }
+            if *is_witness {
+                witness_tx = Some(vote.txid);
+            }
+            if coordinator.crashed() && !crashed_before {
+                outcome.effects.push("crash:decision-jump-oob".to_string());
+            }
+        }
+        if let Some(txid) = witness_tx {
+            let decision = match coordinator.decide(txid) {
+                Decision::Pending => "decision:pending",
+                Decision::Commit => "decision:commit",
+                Decision::Abort => "decision:abort",
+            };
+            outcome.effects.push(decision.to_string());
+            if coordinator.crashed() && coordinator.decide(txid) == Decision::Commit {
+                // The quorum that "committed" includes a vote no participant
+                // cast: the transaction outcome is forged.
+                outcome.effects.push("decision:forged-quorum".to_string());
+            }
+        }
+        outcome
+    }
+}
+
+/// The two-phase-commit protocol as a [`TargetSpec`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwopcSpec {
+    /// The coordinator build under analysis (and replay).
+    pub config: CoordinatorConfig,
+}
+
+impl TwopcSpec {
+    /// A spec over the given coordinator build.
+    pub fn new(config: CoordinatorConfig) -> TwopcSpec {
+        TwopcSpec { config }
+    }
+
+    /// The patched build (vote domain validated): expects zero Trojans.
+    pub fn patched() -> TwopcSpec {
+        TwopcSpec::new(CoordinatorConfig {
+            validate_vote_domain: true,
+        })
+    }
+}
+
+impl TargetSpec for TwopcSpec {
+    fn name(&self) -> &'static str {
+        "twopc"
+    }
+
+    fn description(&self) -> &'static str {
+        "two-phase-commit coordinator: unvalidated vote byte crashes the decision logic"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        vec![Box::new(ParticipantProgram)]
+    }
+
+    fn server(&self) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(CoordinatorProgram {
+            config: self.config,
+        })
+    }
+
+    fn analysis_config(&self) -> AchillesConfig {
+        AchillesConfig::verified()
+    }
+
+    fn expected_trojans(&self) -> Option<usize> {
+        // One accepting coordinator path; the patched build closes it.
+        if self.config.validate_vote_domain {
+            Some(0)
+        } else {
+            Some(1)
+        }
+    }
+
+    fn classify(&self, report: &TrojanReport) -> String {
+        let vote = TwopcVote::from_field_values(&report.witness_fields).vote;
+        if vote >= DECISION_TABLE_LEN {
+            "vote-domain".to_string()
+        } else {
+            "other".to_string()
+        }
+    }
+
+    fn replay_target(&self) -> Box<dyn ReplayTarget> {
+        Box::new(TwopcTarget::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles::AchillesSession;
+
+    #[test]
+    fn session_discovers_the_vote_domain_trojan() {
+        let spec = TwopcSpec::default();
+        let report = AchillesSession::new(&spec).run();
+        assert_eq!(Some(report.trojans.len()), spec.expected_trojans());
+        let t = &report.trojans[0];
+        assert!(t.verified, "witness re-verified against the participant");
+        let vote = TwopcVote::from_field_values(&t.witness_fields);
+        assert_eq!(u64::from(vote.kind), VOTE_KIND);
+        assert!(u64::from(vote.txid) < MAX_TXID);
+        assert!(u64::from(vote.participant) < N_PARTICIPANTS);
+        assert!(
+            vote.vote >= DECISION_TABLE_LEN,
+            "the only un-generable accepted field is an out-of-domain vote: {vote:?}"
+        );
+        assert_eq!(spec.classify(t), "vote-domain");
+    }
+
+    #[test]
+    fn patched_build_is_trojan_free() {
+        let spec = TwopcSpec::patched();
+        let report = AchillesSession::new(&spec).run();
+        assert_eq!(report.trojans.len(), 0, "the domain check closes the bug");
+    }
+
+    #[test]
+    fn discovery_is_worker_count_invariant() {
+        let spec = TwopcSpec::default();
+        let seq = AchillesSession::new(&spec).run();
+        let par = AchillesSession::new(&spec).workers(4).run();
+        assert_eq!(
+            seq.trojans
+                .iter()
+                .map(|t| t.witness_fields.clone())
+                .collect::<Vec<_>>(),
+            par.trojans
+                .iter()
+                .map(|t| t.witness_fields.clone())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(seq.server_paths, par.server_paths);
+    }
+
+    #[test]
+    fn target_confirms_and_crashes_on_the_witness() {
+        let target = TwopcTarget::default();
+        let trojan = TwopcVote {
+            kind: VOTE_KIND as u8,
+            txid: 2,
+            participant: 2,
+            vote: 0x77,
+        };
+        let outcome = target.inject(&[(trojan.to_wire(), true)]);
+        assert_eq!(outcome.accepted_each, vec![true]);
+        assert!(outcome
+            .effects
+            .contains(&"crash:decision-jump-oob".to_string()));
+        assert!(outcome
+            .effects
+            .contains(&"decision:forged-quorum".to_string()));
+        assert!(!target.client_generable(&trojan.field_values()));
+
+        // A benign final commit vote decides cleanly.
+        let benign = TwopcVote::correct(2, 2, true);
+        let outcome = target.inject(&[(benign.to_wire(), true)]);
+        assert_eq!(outcome.accepted_each, vec![true]);
+        assert!(outcome.effects.contains(&"decision:commit".to_string()));
+        assert!(target.client_generable(&benign.field_values()));
+    }
+}

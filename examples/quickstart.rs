@@ -1,35 +1,39 @@
-//! Quickstart: the paper's working example (§2, Figures 2–6).
+//! Quickstart: the paper's working example (§2, Figures 2–6), ported to
+//! the protocol-agnostic `TargetSpec` API.
 //!
 //! A tiny read/write server whose READ handler forgets the `address < 0`
 //! check. Correct clients validate the address before sending, so READ
 //! messages with negative addresses are Trojan messages — accepted by the
-//! server, producible by no correct client. This example runs the full
-//! Achilles pipeline and prints the extracted predicates (Figures 5 and 6)
-//! and the discovered Trojan.
+//! server, producible by no correct client.
+//!
+//! This example is the "porting a protocol" guide made runnable. One type,
+//! `QuickstartSpec`, bundles everything the pipeline needs — the client
+//! and server node programs, the wire layout, the CRC field mask, and a
+//! concrete deployment for replay — and everything downstream is generic:
+//!
+//! 1. register the spec in a [`TargetRegistry`] and select it *by name*;
+//! 2. run discovery with an [`AchillesSession`];
+//! 3. concretely confirm every finding with
+//!    [`achilles_replay::validate_spec`].
 //!
 //! ```text
 //! cargo run --release -p achilles-examples --example quickstart
 //! ```
-//!
-//! Discovery is only half of the paper's pipeline: every candidate was then
-//! *validated* by injecting the concrete message into a real deployment.
-//! The opt-in `validate` phase reproduces that step — `achilles-replay`
-//! concretizes each report into wire bytes, fires them at the concrete
-//! FSP/PBFT/Paxos runtimes (optionally under network faults), dedups the
-//! confirmed failures by crash signature, and ddmin-minimizes the
-//! witnesses; the replay wall clock lands in
-//! [`achilles::PhaseTimes::validate`]. See the `replay_triage` example for
-//! the full tour.
 
 use std::sync::Arc;
 
-use achilles::{Achilles, AchillesConfig};
+use achilles::{
+    AchillesSession, Delivery, FieldMask, InjectionOutcome, ReplayTarget, TargetRegistry,
+    TargetSpec,
+};
+use achilles_replay::{validate_spec, ReplayCorpus, ReplayVerdict, ValidateConfig};
 use achilles_solver::{render_conjunction, Width};
-use achilles_symvm::{MessageLayout, PathResult, SymEnv, SymMessage};
+use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
 
 const DATASIZE: u64 = 100;
 const READ: u64 = 1;
 const WRITE: u64 = 2;
+const MAX_PEER: u64 = 10;
 
 fn layout() -> Arc<MessageLayout> {
     MessageLayout::builder("msg")
@@ -41,15 +45,19 @@ fn layout() -> Arc<MessageLayout> {
         .build()
 }
 
+/// The CRC the client library computes (also used by the concrete
+/// generability oracle — one definition for both worlds).
+fn crc16(args: &[u64]) -> u64 {
+    args.iter()
+        .fold(0xFFFFu64, |acc, &v| (acc ^ v).rotate_left(5) & 0xFFFF)
+}
+
 /// Figure 3: the client validates `0 <= address < DATASIZE`, then builds a
 /// READ or WRITE message with a CRC over the other fields.
 fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
-    let crc_fun = env.pool_mut().register_fun("crc16", Width::W16, |args| {
-        args.iter()
-            .fold(0xFFFFu64, |acc, &v| (acc ^ v).rotate_left(5) & 0xFFFF)
-    });
+    let crc_fun = env.pool_mut().register_fun("crc16", Width::W16, crc16);
 
-    let sender = env.sym_in_range("symb_PeerID", Width::W16, 0, 10)?;
+    let sender = env.sym_in_range("symb_PeerID", Width::W16, 0, MAX_PEER)?;
     let op = env.sym("operationType", Width::W8);
     let address = env.sym("symb_Address", Width::W32);
 
@@ -96,7 +104,7 @@ fn client(env: &mut SymEnv<'_>) -> PathResult<()> {
 fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
     let msg = env.recv(&layout())?;
     // isInSet(msg.sender, peers): the configured peer group is ids 0..=10.
-    let max_peer = env.constant(10, Width::W16);
+    let max_peer = env.constant(MAX_PEER, Width::W16);
     if !env.if_ule(msg.field("sender"), max_peer)? {
         return Ok(()); // continue: rejecting
     }
@@ -127,20 +135,133 @@ fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
     Ok(()) // default: discard
 }
 
+/// The concrete §2 server, bootable per injection: the same checks as the
+/// symbolic program, acting on a real data array.
+struct QuickstartTarget;
+
+impl ReplayTarget for QuickstartTarget {
+    fn name(&self) -> &'static str {
+        "quickstart"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        let (sender, request, address) = (1, READ, 5);
+        vec![
+            sender,
+            request,
+            address,
+            0,
+            crc16(&[sender, request, address]),
+        ]
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        let [sender, request, address, value, crc] = fields else {
+            return false;
+        };
+        let addr = Width::W32.to_signed(*address);
+        if *sender > MAX_PEER || !(0..DATASIZE as i64).contains(&addr) {
+            return false;
+        }
+        match *request {
+            READ => *crc == crc16(&[*sender, READ, *address]),
+            WRITE => *crc == crc16(&[*sender, WRITE, *address, *value]),
+            _ => false,
+        }
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut data = vec![0u32; DATASIZE as usize];
+        let mut outcome = InjectionOutcome::default();
+        for (wire, _) in deliveries {
+            let Ok(fields) = achilles::wire_to_fields(&layout(), wire) else {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("malformed".to_string());
+                continue;
+            };
+            let (sender, request, address, value) = (fields[0], fields[1], fields[2], fields[3]);
+            let addr = Width::W32.to_signed(address);
+            // The buggy dispatch, concretely.
+            let accepted = sender <= MAX_PEER
+                && match request {
+                    READ => addr < DATASIZE as i64, // missing addr >= 0!
+                    WRITE => (0..DATASIZE as i64).contains(&addr),
+                    _ => false,
+                };
+            outcome.accepted_each.push(accepted);
+            if !accepted {
+                outcome.effects.push("rejected".to_string());
+            } else if request == READ && addr < 0 {
+                // data[addr] reads *before* the array: the privacy leak.
+                outcome.effects.push("leak:out-of-bounds-read".to_string());
+            } else if request == WRITE {
+                data[addr as usize] = value as u32;
+                outcome.effects.push("write:ack".to_string());
+            } else {
+                outcome.effects.push("read:reply".to_string());
+            }
+        }
+        outcome
+    }
+}
+
+/// The §2 protocol as a `TargetSpec` — the complete porting surface.
+struct QuickstartSpec;
+
+impl TargetSpec for QuickstartSpec {
+    fn name(&self) -> &'static str {
+        "quickstart"
+    }
+
+    fn description(&self) -> &'static str {
+        "the paper's §2 read/write server (missing negative-address check)"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        vec![Box::new(client)]
+    }
+
+    fn server(&self) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(server)
+    }
+
+    fn mask(&self) -> FieldMask {
+        // The CRC field is masked, as §5.2 recommends for checksums (the
+        // client computes a real expression over symbolic inputs; the
+        // negate operator would otherwise have to reason through it).
+        FieldMask::by_names(&layout(), &["crc"])
+    }
+
+    fn expected_trojans(&self) -> Option<usize> {
+        Some(1) // exactly the READ path carries Trojans
+    }
+
+    fn replay_target(&self) -> Box<dyn ReplayTarget> {
+        Box::new(QuickstartTarget)
+    }
+}
+
 fn main() {
-    let mut achilles = Achilles::new();
-    // The CRC field is masked, as §5.2 recommends for checksums (the client
-    // computes a real expression over symbolic inputs; the negate operator
-    // would otherwise have to reason through it).
-    let l = layout();
-    let config = AchillesConfig {
-        mask: achilles::FieldMask::by_names(&l, &["crc"]),
-        ..AchillesConfig::verified()
-    };
-    let report = achilles.run(&client, &server, &l, &config);
+    // 1. Register, then select by name — exactly how the bench bins and
+    //    the conformance suite drive the shipped protocols.
+    let mut registry = TargetRegistry::new();
+    registry.register(Arc::new(QuickstartSpec));
+    let spec = registry.get("quickstart").expect("just registered");
+
+    // 2. Discover.
+    let mut session = AchillesSession::new(&**spec);
+    let report = session.run();
 
     println!("== client predicate P_C (Figure 5) ==");
-    print!("{}", report.client.render(&achilles.pool));
+    print!("{}", report.client.render(&session.engine().pool));
 
     println!("\n== server accepting paths (Figure 6) ==");
     println!("(constraints of each accepting path, as discovered)");
@@ -156,12 +277,15 @@ fn main() {
             t.witness_fields[2],
             Width::W32.to_signed(t.witness_fields[2]),
         );
-        println!("{}", render_conjunction(&achilles.pool, &t.constraints));
+        println!(
+            "{}",
+            render_conjunction(&session.engine().pool, &t.constraints)
+        );
     }
 
     assert_eq!(
-        report.trojans.len(),
-        1,
+        Some(report.trojans.len()),
+        spec.expected_trojans(),
         "exactly the READ path carries Trojans"
     );
     let trojan = &report.trojans[0];
@@ -170,6 +294,28 @@ fn main() {
         addr < 0,
         "the Trojan reads a negative offset — the privacy leak of §2.1"
     );
+
+    // 3. Concretely confirm: the same registry entry supplies the
+    //    deployment, so validation is one generic call.
+    let mut corpus = ReplayCorpus::new();
+    let summary = validate_spec(
+        &**spec,
+        &report.trojans,
+        &mut corpus,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(summary.confirmed, report.trojans.len());
+    assert!(summary
+        .results
+        .iter()
+        .all(|r| r.verdict == ReplayVerdict::ConfirmedTrojan));
+    println!(
+        "\nreplayed {} witness(es) against the concrete server: {} confirmed, signature {}",
+        summary.replayed,
+        summary.confirmed,
+        summary.confirmed_signatures[0].to_line(),
+    );
+
     println!(
         "\nAchilles found the paper's Trojan: a READ for negative address {addr} \
          (reads outside the data array — e.g. the server's peer list)."

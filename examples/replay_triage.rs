@@ -12,9 +12,9 @@
 //! cargo run --release -p achilles-examples --example replay_triage
 //! ```
 
-use achilles_fsp::{run_analysis, FspAnalysisConfig, FspMessage};
+use achilles_fsp::{run_analysis, FspAnalysisConfig, FspMessage, FspTarget};
 use achilles_replay::{
-    minimize, replay, validate_trojans, FaultPlan, FspTarget, ReplayCorpus, ValidateConfig,
+    minimize, replay, validate_trojans, FaultPlan, ReplayCorpus, ValidateConfig,
 };
 
 fn main() {

@@ -302,6 +302,69 @@ fn prepare_client_is_worker_count_invariant() {
 }
 
 // ---------------------------------------------------------------------------
+// The a-posteriori baseline's differencing loop
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_posteriori_diff_is_worker_count_invariant() {
+    // The §6.4 baseline fans both its phases out over
+    // `ExploreConfig::workers`: the server exploration on the
+    // work-stealing pool, the differencing loop over `parallel_map_with`
+    // with a forked pool + private solver per worker. Every differencing
+    // query is over terms interned before the fan-out, so the Trojan set
+    // and witnesses must be identical for every worker count.
+    use achilles::{a_posteriori_diff, prepare_client, FieldMask, Optimizations};
+    use achilles_fsp::{extract_client_predicate, FspServer};
+    use achilles_solver::{Solver, TermPool};
+
+    let run = |workers: usize| {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let client = extract_client_predicate(
+            &mut pool,
+            &mut solver,
+            &achilles_fsp::Command::ANALYSIS_SET[..2],
+            &achilles_fsp::FspClientConfig::default(),
+            &ExploreConfig::default(),
+        );
+        let server_msg = SymMessage::fresh(&mut pool, &achilles_fsp::layout(), "msg");
+        let prepared = prepare_client(
+            &mut pool,
+            &mut solver,
+            client,
+            server_msg,
+            FieldMask::none(),
+            Optimizations::none(),
+        );
+        let server_config = achilles_fsp::FspServerConfig {
+            commands: achilles_fsp::Command::ANALYSIS_SET[..2].to_vec(),
+            ..achilles_fsp::FspServerConfig::default()
+        };
+        let result = a_posteriori_diff(
+            &mut pool,
+            &mut solver,
+            &FspServer::new(server_config),
+            &prepared,
+            &ExploreConfig {
+                workers,
+                ..ExploreConfig::default()
+            },
+        );
+        (
+            report_keys(&result.trojans),
+            result.accepting_paths,
+            result.total_paths,
+        )
+    };
+    let (seq_keys, seq_accepting, seq_total) = run(1);
+    let (par_keys, par_accepting, par_total) = run(4);
+    assert!(!seq_keys.is_empty(), "the baseline finds the Trojans");
+    assert_eq!(seq_keys, par_keys, "trojan sets + witnesses");
+    assert_eq!(seq_accepting, par_accepting, "accepting paths");
+    assert_eq!(seq_total, par_total, "total paths");
+}
+
+// ---------------------------------------------------------------------------
 // Session (multi-message) search
 // ---------------------------------------------------------------------------
 

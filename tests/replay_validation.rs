@@ -7,13 +7,14 @@
 
 use achilles_fsp::{
     is_trojan, run_analysis as run_fsp, Command, FspAnalysisConfig, FspMessage, FspServerConfig,
+    FspTarget,
 };
-use achilles_paxos::{analyze_local_state, AcceptorMode, ProposerMode};
+use achilles_paxos::{analyze_local_state, AcceptorMode, PaxosTarget, ProposerMode};
 use achilles_pbft::run_analysis as run_pbft;
-use achilles_pbft::PbftAnalysisConfig;
+use achilles_pbft::{PbftAnalysisConfig, PbftTarget};
 use achilles_replay::{
-    minimize, replay, validate_trojans, FaultPlan, FspTarget, PaxosTarget, PbftTarget,
-    ReplayCorpus, ReplayTarget, ReplayVerdict, ValidateConfig,
+    minimize, replay, validate_trojans, FaultPlan, ReplayCorpus, ReplayTarget, ReplayVerdict,
+    ValidateConfig,
 };
 
 /// Replay key for byte-level comparison: fields, wire, verdict, signature.

@@ -1,0 +1,131 @@
+//! The `TargetSpec` conformance suite: every protocol in the built-in
+//! registry must clear the same bar, with no protocol-specific code in
+//! this file.
+//!
+//! For each registered spec, the contract is:
+//!
+//! 1. **Discovery** — an [`AchillesSession`] under the spec's default
+//!    configuration discovers at least one Trojan (and exactly
+//!    [`TargetSpec::expected_trojans`] when the spec declares the count),
+//!    with every witness verified against the client predicate.
+//! 2. **Concrete confirmation** — 100% of the discovered Trojans replay to
+//!    [`ReplayVerdict::ConfirmedTrojan`] against the spec's
+//!    [`replay_target`](achilles::TargetSpec::replay_target) deployment.
+//! 3. **Corpus round-trip** — the confirmed witnesses survive
+//!    serialization: reloading the corpus text reproduces the entries and
+//!    makes re-validation fully incremental (everything skipped).
+//! 4. **Codec coherence** — every witness encodes to wire bytes and
+//!    decodes back to the same field values through the spec's codec
+//!    hooks, and spec/target metadata agree.
+//!
+//! Adding a protocol crate + one registry registration automatically puts
+//! it under this contract — that is the point of the API.
+
+use achilles::{AchillesSession, TargetSpec};
+use achilles_replay::{validate_spec, ReplayCorpus, ReplayVerdict, ValidateConfig};
+use achilles_targets::builtin_registry;
+
+#[test]
+fn registry_contains_the_shipped_protocols() {
+    let registry = builtin_registry();
+    for expected in ["fsp", "pbft", "paxos", "twopc"] {
+        assert!(
+            registry.get(expected).is_some(),
+            "{expected} missing from the built-in registry"
+        );
+    }
+}
+
+#[test]
+fn every_registered_spec_meets_the_conformance_contract() {
+    let registry = builtin_registry();
+    assert!(!registry.is_empty());
+    for spec in registry.iter() {
+        conformance(&**spec);
+    }
+}
+
+fn conformance(spec: &dyn TargetSpec) {
+    let name = spec.name();
+
+    // --- Metadata sanity. --------------------------------------------------
+    assert!(!name.is_empty());
+    assert!(!spec.local_state_modes().is_empty(), "{name}: no modes");
+    assert!(!spec.clients().is_empty(), "{name}: no client programs");
+    let target = spec.replay_target();
+    assert_eq!(target.name(), name, "{name}: spec/target name mismatch");
+    assert_eq!(
+        target.layout().fields().len(),
+        spec.layout().fields().len(),
+        "{name}: spec/target layout mismatch"
+    );
+    assert!(
+        target.client_generable(&target.benign_fields()),
+        "{name}: the benign message must be client-generable"
+    );
+
+    // --- 1. Discovery. -----------------------------------------------------
+    let report = AchillesSession::new(spec).run();
+    assert!(
+        !report.trojans.is_empty(),
+        "{name}: every registered target must host at least one Trojan"
+    );
+    if let Some(expected) = spec.expected_trojans() {
+        assert_eq!(report.trojans.len(), expected, "{name}: expected count");
+    }
+    for t in &report.trojans {
+        assert!(t.verified, "{name}: unverified witness (false positive?)");
+        assert!(!spec.classify(t).is_empty(), "{name}: unclassifiable");
+    }
+
+    // --- 4. Codec coherence (checked before replay mutates anything). ------
+    for t in &report.trojans {
+        let wire = spec
+            .encode(&t.witness_fields)
+            .unwrap_or_else(|e| panic!("{name}: witness must encode: {e:?}"));
+        let back = spec
+            .decode(&wire)
+            .unwrap_or_else(|e| panic!("{name}: wire must decode: {e:?}"));
+        assert_eq!(back, t.witness_fields, "{name}: codec round-trip");
+    }
+
+    // --- 2. Concrete confirmation. -----------------------------------------
+    let mut corpus = ReplayCorpus::new();
+    let summary = validate_spec(
+        spec,
+        &report.trojans,
+        &mut corpus,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(summary.replayed, report.trojans.len(), "{name}: all replay");
+    assert_eq!(
+        summary.confirmed,
+        report.trojans.len(),
+        "{name}: 100% of symbolic Trojans must confirm concretely"
+    );
+    assert!(summary
+        .results
+        .iter()
+        .all(|r| r.verdict == ReplayVerdict::ConfirmedTrojan));
+    assert!(corpus.distinct_signatures() >= 1, "{name}: no signatures");
+
+    // --- 3. Corpus round-trip. ---------------------------------------------
+    let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+    assert_eq!(
+        reloaded.entries(),
+        corpus.entries(),
+        "{name}: corpus text round-trip"
+    );
+    let second = validate_spec(
+        spec,
+        &report.trojans,
+        &mut reloaded,
+        &ValidateConfig::default(),
+    );
+    assert_eq!(second.replayed, 0, "{name}: reloaded corpus skips all");
+    assert_eq!(
+        second.skipped_known,
+        report.trojans.len(),
+        "{name}: incremental re-validation"
+    );
+}

@@ -18,16 +18,24 @@
 //! ```
 //!
 //! With `--corpus DIR`, each target's confirmed witnesses persist to
-//! `DIR/<name>.corpus` across runs (the CI cache wires this up keyed on
-//! the corpus format version), so cross-commit re-validation is
-//! incremental: already-known witnesses are skipped, not replayed.
+//! `DIR/<name>.corpus` (and `DIR/<name>.sessions.corpus`) across runs (the
+//! CI cache wires this up keyed on the corpus format version), so
+//! cross-commit re-validation is incremental: already-known witnesses are
+//! skipped, not replayed.
+//!
+//! With `--sessions`, every declared multi-message session is additionally
+//! discovered through [`AchillesSession::run_sessions`] and validated
+//! under the fault-free [`FaultSchedule`](achilles_replay::FaultSchedule),
+//! adding per-session rows to the report and to `BENCH_replay.json`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use achilles::AchillesSession;
 use achilles_bench::{arg_present, arg_value, arg_value_required, header, row};
-use achilles_replay::{validate_spec, ReplayCorpus, ValidateConfig};
+use achilles_replay::{
+    validate_spec, validate_spec_sessions, ReplayCorpus, SessionValidateConfig, ValidateConfig,
+};
 use achilles_targets::builtin_registry;
 
 struct SystemRun {
@@ -40,8 +48,89 @@ struct SystemRun {
     skipped_second_pass: usize,
 }
 
+struct SessionRun {
+    name: &'static str,
+    session: String,
+    discovered: usize,
+    confirmed: usize,
+    skipped_known: usize,
+    signatures: usize,
+    skipped_second_pass: usize,
+}
+
 fn corpus_path(dir: &str, name: &str) -> PathBuf {
     PathBuf::from(dir).join(format!("{name}.corpus"))
+}
+
+fn session_corpus_path(dir: &str, name: &str) -> PathBuf {
+    PathBuf::from(dir).join(format!("{name}.sessions.corpus"))
+}
+
+fn validate_sessions(spec: &dyn achilles::TargetSpec, corpus_dir: Option<&str>) -> Vec<SessionRun> {
+    let name = spec.name();
+    let mut driver = AchillesSession::new(spec);
+    let reports = driver.run_sessions();
+    let mut corpus = match corpus_dir {
+        Some(dir) => ReplayCorpus::load(&session_corpus_path(dir, name)).unwrap_or_default(),
+        None => ReplayCorpus::new(),
+    };
+    let mut runs = Vec::with_capacity(reports.len());
+    for report in &reports {
+        let config = SessionValidateConfig {
+            minimize: true,
+            ..SessionValidateConfig::default()
+        };
+        let summary = validate_spec_sessions(spec, report, &mut corpus, &config);
+        // Second pass: the corpus must short-circuit every known session.
+        let second = validate_spec_sessions(spec, report, &mut corpus, &config);
+        let run = SessionRun {
+            name,
+            session: report.session.clone(),
+            discovered: report.trojans.len(),
+            confirmed: summary.confirmed,
+            skipped_known: summary.skipped_known,
+            signatures: summary.confirmed_signatures.len(),
+            skipped_second_pass: second.skipped_known,
+        };
+        println!(
+            "{}",
+            row(
+                &format!("{name}/{}", run.session),
+                format!(
+                    "{} session Trojans, {} confirmed ({:.0}%), {} known-skipped, \
+                     {} new signatures, {} skipped on re-run",
+                    run.discovered,
+                    run.confirmed,
+                    summary.confirmation_rate() * 100.0,
+                    run.skipped_known,
+                    run.signatures,
+                    run.skipped_second_pass,
+                )
+            )
+        );
+        assert_eq!(
+            run.confirmed + run.skipped_known,
+            run.discovered,
+            "{name}/{}: every session Trojan must replay to a concrete \
+             failure (or already be a known confirmed session witness)",
+            run.session
+        );
+        assert_eq!(
+            run.skipped_second_pass, run.discovered,
+            "{name}/{}: the corpus must skip every known session witness",
+            run.session
+        );
+        runs.push(run);
+    }
+    if let Some(dir) = corpus_dir {
+        if !reports.is_empty() {
+            std::fs::create_dir_all(dir).expect("create corpus dir");
+            corpus
+                .save(&session_corpus_path(dir, name))
+                .expect("persist session corpus");
+        }
+    }
+    runs
 }
 
 fn validate_system(
@@ -148,7 +237,9 @@ fn main() {
     ));
 
     // --- Discover and validate each registered system. --------------------
+    let sessions_enabled = arg_present("--sessions");
     let mut runs = Vec::new();
+    let mut session_runs = Vec::new();
     let mut largest: Option<(&str, Vec<achilles::TrojanReport>)> = None;
     for name in &names {
         let spec = registry.get(name).expect("validated above");
@@ -162,6 +253,9 @@ fn main() {
             largest = Some((run.name, report.trojans));
         }
         runs.push(run);
+        if sessions_enabled {
+            session_runs.extend(validate_sessions(&**spec, corpus_dir.as_deref()));
+        }
     }
 
     // --- Worker sweep over the largest witness set. -----------------------
@@ -226,6 +320,22 @@ fn main() {
                 r.minimized_shrunk,
                 r.skipped_second_pass,
                 if i + 1 == runs.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ],\n  \"sessions\": [\n");
+        for (i, r) in session_runs.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"system\": \"{}\", \"session\": \"{}\", \"discovered\": {}, \
+                 \"confirmed\": {}, \"known_skipped\": {}, \"signatures\": {}, \
+                 \"skipped_on_rerun\": {}}}{}\n",
+                r.name,
+                r.session,
+                r.discovered,
+                r.confirmed,
+                r.skipped_known,
+                r.signatures,
+                r.skipped_second_pass,
+                if i + 1 == session_runs.len() { "" } else { "," },
             ));
         }
         json.push_str("  ],\n  \"sweep\": [\n");

@@ -125,6 +125,43 @@ pub fn parse_witness_record(s: &str) -> Option<Vec<u64>> {
     s.split(',').map(|p| p.trim().parse().ok()).collect()
 }
 
+/// Serializes a multi-message session witness: one [`witness_record`] per
+/// slot, slot boundaries marked with `/` (`"68,0,3/1,2"`). The session
+/// analogue of [`witness_record`], and the unit of the v2 replay corpus
+/// format.
+pub fn session_witness_record(slots: &[Vec<u64>]) -> String {
+    slots
+        .iter()
+        .map(|fields| witness_record(fields))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses a [`session_witness_record`] back into per-slot field values.
+///
+/// Returns `None` on any malformed component.
+pub fn parse_session_witness_record(s: &str) -> Option<Vec<Vec<u64>>> {
+    s.split('/').map(parse_witness_record).collect()
+}
+
+/// Splits a concatenated session witness back into per-slot field vectors
+/// — the one definition of the slot-boundary encoding, shared by session
+/// reports, the replay corpus, and witness concretization.
+///
+/// # Panics
+///
+/// Panics if `fields` does not have exactly `counts.iter().sum()` entries.
+pub fn split_fields_by_counts(fields: &[u64], counts: &[usize]) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut offset = 0usize;
+    for &count in counts {
+        out.push(fields[offset..offset + count].to_vec());
+        offset += count;
+    }
+    assert_eq!(offset, fields.len(), "witness arity matches the slot shape");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +229,25 @@ mod tests {
         assert_eq!(parse_witness_record(&record), Some(fields));
         assert_eq!(parse_witness_record(""), Some(vec![]));
         assert_eq!(parse_witness_record("1,x,3"), None);
+    }
+
+    #[test]
+    fn session_witness_records_round_trip() {
+        let slots = vec![vec![68, 0, 3], vec![1, u64::MAX]];
+        let record = session_witness_record(&slots);
+        assert_eq!(record, "68,0,3/1,18446744073709551615");
+        assert_eq!(parse_session_witness_record(&record), Some(slots));
+        // A single-slot record is indistinguishable from a flat one.
+        assert_eq!(parse_session_witness_record("1,2"), Some(vec![vec![1, 2]]));
+        assert_eq!(parse_session_witness_record("1,2/x"), None);
+    }
+
+    #[test]
+    fn split_fields_by_counts_recovers_slots() {
+        assert_eq!(
+            split_fields_by_counts(&[68, 0, 3, 1, 2], &[3, 2]),
+            vec![vec![68, 0, 3], vec![1, 2]]
+        );
+        assert_eq!(split_fields_by_counts(&[], &[]), Vec::<Vec<u64>>::new());
     }
 }

@@ -156,20 +156,41 @@
 //!    (`tests/target_spec_conformance.rs`) automatically holds it to
 //!    "≥ 1 Trojan discovered, 100% concretely confirmed, corpus
 //!    round-trip".
+//! 5. **Declare a session** (optional — for stateful findings). When the
+//!    real server only reaches the vulnerable code after earlier messages
+//!    establish local state (login → command, VOTE → DECIDE), return a
+//!    [`SessionSpec`] from [`TargetSpec::sessions`]: an ordered
+//!    [`SessionSlot`] list naming each slot's wire layout and which
+//!    [`session_clients`](TargetSpec::session_clients) can legally fill
+//!    it, plus an expected session-Trojan hint. Supply the session server
+//!    (one `recv` per slot, in slot order) via
+//!    [`session_server`](TargetSpec::session_server) and a deployment that
+//!    consumes whole sequences via
+//!    [`session_replay_target`](TargetSpec::session_replay_target)
+//!    (override the [`ReplayTarget`] `slot_*` hooks for per-slot layouts,
+//!    benign baselines, and generability). Then
+//!    [`AchillesSession::run_sessions`] discovers session Trojans —
+//!    `⋁ₛ ¬genₛ(mₛ)`, with slot attribution — over the work-stealing
+//!    pool, and `achilles_replay::validate_spec_sessions` replays them
+//!    under per-delivery `FaultSchedule`s (drop / duplicate / bit-flip /
+//!    benign interleaving at any position). The conformance suite holds
+//!    declared sessions to the same bar automatically;
+//!    `examples/quickstart.rs` walks the whole step with a hello→request
+//!    session.
 //!
 //! ## Crate map
 //!
 //! | module | paper section | contents |
 //! |---|---|---|
-//! | [`target`] | — | [`TargetSpec`], [`ReplayTarget`], wire codec |
-//! | [`session`] | — | [`AchillesSession`], [`TargetRegistry`] |
+//! | [`target`] | — | [`TargetSpec`], [`SessionSpec`], [`ReplayTarget`], wire codec |
+//! | [`session`] | — | [`AchillesSession`] (+ [`run_sessions`](AchillesSession::run_sessions)), [`TargetRegistry`] |
 //! | [`predicate`] | §3.1 | `P_C`, path predicates, masks, combination |
 //! | [`negate`] | §3.2, §4 | the under-approximate negate operator |
 //! | [`diff_matrix`] | §3.3 | the `differentFrom` pre-computation |
 //! | [`search`] | §3.2–3.3 | the incremental Trojan search observer + parallel driver |
 //! | [`pipeline`] | §3, §3.4 | the three-phase driver and local-state modes |
 //! | [`refine`] | §4.1 | CEGAR-style witness refinement (the paper's future work) |
-//! | [`sequence`] | §7 | multi-message session Trojans (beyond the paper) |
+//! | [`sequence`] | §7 | multi-message session Trojans (beyond the paper; registry-driven via [`TargetSpec::sessions`]) |
 //! | [`baseline`] | §6.2, §6.4 | classic symex and a-posteriori differencing |
 //! | [`report`] | §3.2 | symbolic + concrete Trojan reports |
 //!
@@ -205,15 +226,19 @@
 //!   structural assertion set. Results are re-interned into the base pool,
 //!   sorted into canonical depth-first order (`true` before `false`), and
 //!   renumbered — so the Trojan set, path counts, and witnesses are
-//!   identical for every worker count and every scheduling, *provided the
-//!   exploration runs to completion*. When a `max_paths`/`max_runs` budget
-//!   stops the search early, the budget itself is pool-global but the stop
-//!   is a raced signal: a capped parallel run may complete up to
-//!   `workers - 1` extra paths, and which paths made the cut depends on
-//!   scheduling. BFS-ordered explorations always run sequentially for the
-//!   same reason (the pool schedules depth-first per worker). The
-//!   `parallel_determinism` integration suite pins the uncapped guarantee
-//!   on the quickstart, FSP, PBFT, and Paxos scenarios.
+//!   identical for every worker count and every scheduling. Budgets
+//!   (`max_paths`/`max_runs`) are pool-global *and canonical*: in-flight
+//!   items finish, provably-past-the-cut subtrees are pruned against a
+//!   shared depth-first bound, and the merge truncates to exactly the set
+//!   a sequential capped run completes — so even capped runs are
+//!   bit-identical for every worker count (execution counters may exceed
+//!   a sequential capped run's; the result set never differs).
+//!   BFS-ordered explorations always run sequentially (the pool schedules
+//!   depth-first per worker), and the downgrade is surfaced through
+//!   `ExploreStats::workers_effective` rather than silently. The
+//!   `parallel_determinism` integration suite pins the guarantee — capped
+//!   and uncapped, single-message and session — on the quickstart, FSP,
+//!   PBFT, Paxos, and twopc scenarios.
 //!
 //! **Picking `workers`:** the analysis is CPU-bound; `workers = number of
 //! physical cores` is the right default for long discovery runs, and `1`
@@ -241,7 +266,10 @@ pub use baseline::{
     a_posteriori_diff, classic_symex, APosterioriResult, CandidateMessage, ClassicSymexResult,
 };
 pub use diff_matrix::DiffMatrix;
-pub use export::{parse_witness_record, report_to_markdown, trojans_to_markdown, witness_record};
+pub use export::{
+    parse_session_witness_record, parse_witness_record, report_to_markdown, session_witness_record,
+    split_fields_by_counts, trojans_to_markdown, witness_record,
+};
 pub use negate::{negate_field, negate_path, NegateStats, NegatedPath};
 pub use pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
 pub use predicate::{
@@ -253,9 +281,9 @@ pub use search::{
     prepare_client, prepare_client_workers, run_trojan_search, MatchSample, Optimizations,
     PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome, WorkerSummary,
 };
-pub use sequence::{analyze_sequence, SequenceObserver};
-pub use session::{AchillesSession, TargetRegistry};
+pub use sequence::{analyze_sequence, analyze_sequence_with, SequenceObserver};
+pub use session::{AchillesSession, SessionReport, TargetRegistry};
 pub use target::{
     fields_to_wire, layout_widths, wire_to_fields, Delivery, InjectionOutcome, LocalStateMode,
-    ReplayTarget, TargetSpec, WireError,
+    ReplayTarget, SessionSlot, SessionSpec, TargetSpec, WireError,
 };

@@ -594,10 +594,13 @@ pub fn run_trojan_search(
         samples.extend(observer.samples);
         let mut memo = HashMap::new();
         for mut report in observer.reports {
-            report.server_path_id = *outcome
-                .id_map
-                .get(&report.server_path_id)
-                .expect("every reported path id was completed and mapped");
+            // Paths past a binding budget's canonical cut are absent from
+            // the id map; their reports are discarded, exactly as a
+            // sequential capped run would never have found them.
+            let Some(&final_id) = outcome.id_map.get(&report.server_path_id) else {
+                continue;
+            };
+            report.server_path_id = final_id;
             report.constraints = report
                 .constraints
                 .iter()

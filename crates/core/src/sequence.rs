@@ -242,14 +242,34 @@ pub fn analyze_sequence(
     opts: Optimizations,
     workers: usize,
 ) -> (Vec<TrojanReport>, Vec<Vec<usize>>, usize) {
-    let recv_script = slots.iter().map(|p| p.server_msg.clone()).collect();
     let explore = ExploreConfig {
-        recv_script,
         workers: workers.max(1),
-        sym_salt: SESSION_SYM_SALT,
         ..ExploreConfig::default()
     };
-    if explore.workers <= 1 {
+    analyze_sequence_with(pool, solver, server, slots, opts, explore)
+}
+
+/// [`analyze_sequence`] with a caller-supplied exploration configuration —
+/// budgets (`max_paths`/`max_runs`), depth, and worker count all honored
+/// (capped runs truncate canonically, so the session-Trojan set stays
+/// bit-identical for every worker count even under a binding budget). The
+/// receive script is replaced with the slot messages and a zero `sym_salt`
+/// gets the session salt; BFS-ordered configurations run sequentially,
+/// like [`run_trojan_search`](crate::search::run_trojan_search).
+pub fn analyze_sequence_with(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    server: &(dyn NodeProgram + Sync),
+    slots: Vec<&PreparedClient>,
+    opts: Optimizations,
+    mut explore: ExploreConfig,
+) -> (Vec<TrojanReport>, Vec<Vec<usize>>, usize) {
+    explore.recv_script = slots.iter().map(|p| p.server_msg.clone()).collect();
+    explore.workers = explore.workers.max(1);
+    if explore.sym_salt == 0 {
+        explore.sym_salt = SESSION_SYM_SALT;
+    }
+    if explore.workers <= 1 || explore.order == achilles_symvm::ExploreOrder::Bfs {
         let mut observer = SequenceObserver::new(slots, opts);
         let result = {
             let mut exec = Executor::new(pool, solver, explore);
@@ -273,10 +293,13 @@ pub fn analyze_sequence(
         let observer = worker.observer;
         let mut memo = HashMap::new();
         for (mut report, tslots) in observer.reports.into_iter().zip(observer.trojan_slots) {
-            report.server_path_id = *outcome
-                .id_map
-                .get(&report.server_path_id)
-                .expect("every reported path id was completed and mapped");
+            // Reports on paths past a binding budget's canonical cut are
+            // discarded (their ids are absent from the map), matching the
+            // sequential capped run.
+            let Some(&final_id) = outcome.id_map.get(&report.server_path_id) else {
+                continue;
+            };
+            report.server_path_id = final_id;
             report.constraints = report
                 .constraints
                 .iter()

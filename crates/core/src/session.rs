@@ -22,11 +22,13 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use achilles_symvm::ExploreStats;
+use achilles_symvm::{ExploreStats, MessageLayout, SymMessage};
 
 use crate::pipeline::{Achilles, AchillesConfig, AchillesReport, LocalState, PhaseTimes};
 use crate::predicate::{ClientPredicate, FieldMask};
-use crate::search::Optimizations;
+use crate::report::TrojanReport;
+use crate::search::{prepare_client_workers, Optimizations};
+use crate::sequence::analyze_sequence_with;
 use crate::target::TargetSpec;
 
 // ---------------------------------------------------------------------------
@@ -305,6 +307,151 @@ impl<'s> AchillesSession<'s> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session (multi-message) runs
+// ---------------------------------------------------------------------------
+
+/// Everything the analysis of one declared [`SessionSpec`] produced.
+///
+/// Each [`TrojanReport`]'s `witness_fields` is the *whole session* —
+/// per-slot field values concatenated in slot order ([`SessionReport::split_fields`]
+/// recovers the per-slot messages) — and `trojan_slots[i]` names the slots
+/// whose message on report `i`'s path is un-generable by that slot's
+/// correct clients (the slot attribution).
+///
+/// [`SessionSpec`]: crate::target::SessionSpec
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The declared session's name.
+    pub session: String,
+    /// Slot names, in slot order.
+    pub slot_names: Vec<String>,
+    /// Per-slot wire layouts, in slot order.
+    pub layouts: Vec<Arc<MessageLayout>>,
+    /// The spec's expected session-Trojan count hint.
+    pub expected_trojans: Option<usize>,
+    /// Discovered session Trojans, in canonical server-path order.
+    pub trojans: Vec<TrojanReport>,
+    /// Per-report slot attribution: which slots host the Trojan.
+    pub trojan_slots: Vec<Vec<usize>>,
+    /// Completed session server paths.
+    pub server_paths: usize,
+}
+
+impl SessionReport {
+    /// Per-slot field counts, in slot order.
+    pub fn slot_field_counts(&self) -> Vec<usize> {
+        self.layouts.iter().map(|l| l.num_fields()).collect()
+    }
+
+    /// Splits a concatenated session witness back into per-slot field
+    /// vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` does not have exactly the session's total arity.
+    pub fn split_fields(&self, fields: &[u64]) -> Vec<Vec<u64>> {
+        crate::export::split_fields_by_counts(fields, &self.slot_field_counts())
+    }
+}
+
+impl<'s> AchillesSession<'s> {
+    /// Runs the multi-message session analyses the spec declares: for each
+    /// [`SessionSpec`](crate::target::SessionSpec), every referenced
+    /// session client is explored once, each slot's client predicates are
+    /// merged and pre-processed against a fresh symbolic slot message, and
+    /// [`analyze_sequence`](crate::sequence::analyze_sequence) runs the
+    /// session server over the work-stealing pool
+    /// (`config.server_explore.workers`, budgets included) — so session
+    /// Trojans are registry-drivable with the same worker-count
+    /// bit-identity guarantee as the single-message search.
+    ///
+    /// Returns one [`SessionReport`] per declared session, in declaration
+    /// order (empty when the spec declares none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared slot references a session-client index that is
+    /// out of range.
+    pub fn run_sessions(&mut self) -> Vec<SessionReport> {
+        let sessions = self.spec.sessions();
+        if sessions.is_empty() {
+            return Vec::new();
+        }
+        let clients = self.spec.session_clients();
+        let mut preds = Vec::with_capacity(clients.len());
+        for client in &clients {
+            let (pred, _) = self
+                .engine
+                .extract_client_predicate(&**client, &self.config.client_explore);
+            preds.push(pred);
+        }
+        let workers = self.config.server_explore.workers.max(1);
+        let mut out = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            let mut prepared = Vec::with_capacity(session.slots.len());
+            for slot in &session.slots {
+                let parts: Vec<ClientPredicate> = slot
+                    .clients
+                    .iter()
+                    .map(|&ci| {
+                        preds
+                            .get(ci)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "session {:?} slot {:?} references client {ci}, \
+                                     but the spec declares only {} session clients",
+                                    session.name,
+                                    slot.name,
+                                    preds.len()
+                                )
+                            })
+                            .clone()
+                    })
+                    .collect();
+                let merged = ClientPredicate::merge(parts);
+                let msg = SymMessage::fresh(
+                    &mut self.engine.pool,
+                    &slot.layout,
+                    &format!("{}:{}", session.name, slot.name),
+                );
+                prepared.push(prepare_client_workers(
+                    &mut self.engine.pool,
+                    &mut self.engine.solver,
+                    merged,
+                    msg,
+                    slot.mask.clone(),
+                    self.config.optimizations,
+                    workers,
+                ));
+            }
+            let server = self.spec.session_server(&session.name);
+            let (trojans, trojan_slots, server_paths) = analyze_sequence_with(
+                &mut self.engine.pool,
+                &mut self.engine.solver,
+                &*server,
+                prepared.iter().collect(),
+                self.config.optimizations,
+                self.config.server_explore.clone(),
+            );
+            out.push(SessionReport {
+                session: session.name.clone(),
+                slot_names: session.slots.iter().map(|s| s.name.clone()).collect(),
+                layouts: session
+                    .slots
+                    .iter()
+                    .map(|s| Arc::clone(&s.layout))
+                    .collect(),
+                expected_trojans: session.expected_trojans,
+                trojans,
+                trojan_slots,
+                server_paths,
+            });
+        }
+        out
+    }
+}
+
 /// Accumulation of exploration counters across the client programs of one
 /// spec: plain-sum counters via [`ExploreStats::absorb_counters`]
 /// (shared with the parallel worker merge), `workers` as max, the rest as
@@ -312,6 +459,7 @@ impl<'s> AchillesSession<'s> {
 fn accumulate_stats(into: &mut ExploreStats, part: &ExploreStats) {
     into.absorb_counters(part);
     into.workers = into.workers.max(part.workers);
+    into.workers_effective = into.workers_effective.max(part.workers_effective);
     into.steals += part.steals;
     into.shared_cache_hits += part.shared_cache_hits;
     into.wall_time += part.wall_time;

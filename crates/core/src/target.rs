@@ -92,6 +92,12 @@ pub struct InjectionOutcome {
 /// state every call and its result is a function of the delivery plan
 /// alone. That purity is what makes replay results bit-identical across
 /// worker counts, runs, and machines.
+///
+/// Session targets — deployments that consume a fixed *sequence* of
+/// messages per session (see [`TargetSpec::sessions`]) — additionally
+/// override the `slot_*` hooks so the replay harness can build per-slot
+/// benign companions and judge per-slot generability. The defaults make
+/// every single-message target a valid one-slot session target.
 pub trait ReplayTarget: Sync {
     /// Short system name used in crash signatures (`"fsp"`, `"pbft"`, …).
     fn name(&self) -> &'static str;
@@ -108,7 +114,119 @@ pub trait ReplayTarget: Sync {
     fn client_generable(&self, fields: &[u64]) -> bool;
 
     /// Boots a fresh deployment and fires the delivery plan at it.
+    ///
+    /// For session targets the plan carries one delivery per slot in
+    /// session order (plus any fault-injected copies); the deployment
+    /// consumes them statefully, exactly like real traffic.
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome;
+
+    /// Per-slot wire layouts of a session witness, in slot order.
+    ///
+    /// Single-message targets keep the default (one slot, the
+    /// [`ReplayTarget::layout`]).
+    fn slot_layouts(&self) -> Vec<Arc<MessageLayout>> {
+        vec![self.layout()]
+    }
+
+    /// Benign field values for `slot` (the per-slot ddmin baseline and the
+    /// benign interleaving companion a fault schedule inserts between
+    /// deliveries). Defaults to [`ReplayTarget::benign_fields`].
+    fn slot_benign_fields(&self, slot: usize) -> Vec<u64> {
+        let _ = slot;
+        self.benign_fields()
+    }
+
+    /// Whether a correct client can produce `fields` *in `slot`* — the
+    /// per-slot concrete oracle. Defaults to
+    /// [`ReplayTarget::client_generable`].
+    fn slot_generable(&self, slot: usize, fields: &[u64]) -> bool {
+        let _ = slot;
+        self.client_generable(fields)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session declarations
+// ---------------------------------------------------------------------------
+
+/// One receive slot of a declared session: the wire layout of the message
+/// the server consumes in this position, plus which of the spec's
+/// [`session client programs`](TargetSpec::session_clients) can legally
+/// fill it.
+#[derive(Clone, Debug)]
+pub struct SessionSlot {
+    /// Slot name used in reports and witness provenance (`"login"`,
+    /// `"command"`, …).
+    pub name: String,
+    /// The wire layout of the message received in this slot.
+    pub layout: Arc<MessageLayout>,
+    /// Indices into [`TargetSpec::session_clients`] whose predicates are
+    /// merged (in order) into this slot's client predicate `P_C`.
+    pub clients: Vec<usize>,
+    /// Field mask for this slot (checksums/digests, §5.2).
+    pub mask: FieldMask,
+}
+
+impl SessionSlot {
+    /// A slot named `name` of `layout`, fed by the given session clients,
+    /// with no field mask.
+    pub fn new(
+        name: impl Into<String>,
+        layout: Arc<MessageLayout>,
+        clients: Vec<usize>,
+    ) -> SessionSlot {
+        SessionSlot {
+            name: name.into(),
+            layout,
+            clients,
+            mask: FieldMask::none(),
+        }
+    }
+}
+
+/// A multi-message session a [`TargetSpec`] declares: an ordered slot list
+/// the server consumes in one activation (handshake → command, VOTE →
+/// DECIDE), plus an expected session-Trojan hint.
+///
+/// A session is Trojan when the server accepts it but at least one slot's
+/// message is un-generable by that slot's correct clients —
+/// `⋁ₛ ¬genₛ(mₛ)` (the stateful findings single-message analysis is blind
+/// to). Declared sessions are driven end-to-end by
+/// [`AchillesSession::run_sessions`](crate::AchillesSession::run_sessions)
+/// and validated through the spec's session replay target.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Session name, unique within the spec (`"login-command"`, …).
+    pub name: String,
+    /// The ordered receive slots (must match the session server's `recv`
+    /// order). Must be non-empty.
+    pub slots: Vec<SessionSlot>,
+    /// How many session-Trojan reports the default configuration is
+    /// expected to discover, when the bounded model makes that exact.
+    pub expected_trojans: Option<usize>,
+}
+
+impl SessionSpec {
+    /// A session named `name` over `slots` with no expected-count hint.
+    pub fn new(name: impl Into<String>, slots: Vec<SessionSlot>) -> SessionSpec {
+        SessionSpec {
+            name: name.into(),
+            slots,
+            expected_trojans: None,
+        }
+    }
+
+    /// Sets the expected session-Trojan count.
+    pub fn expecting(mut self, count: usize) -> SessionSpec {
+        self.expected_trojans = Some(count);
+        self
+    }
+
+    /// Per-slot field counts (the shape used to split a flat witness back
+    /// into slot messages).
+    pub fn slot_field_counts(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.layout.num_fields()).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -218,6 +336,45 @@ pub trait TargetSpec: Sync {
     /// Returns a [`WireError`] on truncated buffers or sub-byte layouts.
     fn decode(&self, wire: &[u8]) -> Result<Vec<u64>, WireError> {
         wire_to_fields(&self.layout(), wire)
+    }
+
+    /// The multi-message sessions this protocol declares (empty — the
+    /// default — for single-message protocols).
+    ///
+    /// Declared sessions are registry-drivable exactly like the
+    /// single-message analysis:
+    /// [`AchillesSession::run_sessions`](crate::AchillesSession::run_sessions)
+    /// runs `analyze_sequence` per session over the work-stealing pool, and
+    /// `achilles_replay::validate_spec_sessions` fires the resulting
+    /// session witnesses at [`TargetSpec::session_replay_target`].
+    fn sessions(&self) -> Vec<SessionSpec> {
+        Vec::new()
+    }
+
+    /// The client programs session slots select from (referenced by index
+    /// in [`SessionSlot::clients`]). Defaults to [`TargetSpec::clients`];
+    /// override when sessions need clients beyond the single-message set
+    /// (a login utility, a controller, …).
+    fn session_clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        self.clients()
+    }
+
+    /// The server program analyzed for session `name`: one `recv` per
+    /// declared slot, in slot order. Defaults to [`TargetSpec::server`]
+    /// (correct only for specs whose server already consumes the session's
+    /// message sequence).
+    fn session_server(&self, name: &str) -> Box<dyn NodeProgram + Sync + '_> {
+        let _ = name;
+        self.server()
+    }
+
+    /// The concrete deployment session witnesses for `name` are fired at.
+    /// Defaults to [`TargetSpec::replay_target`]; session targets override
+    /// the [`ReplayTarget`] `slot_*` hooks for per-slot layouts, benign
+    /// baselines, and generability.
+    fn session_replay_target(&self, name: &str) -> Box<dyn ReplayTarget> {
+        let _ = name;
+        self.replay_target()
     }
 }
 

@@ -32,6 +32,7 @@ pub mod oracle;
 pub mod protocol;
 pub mod runtime;
 pub mod server;
+pub mod session;
 pub mod target;
 
 pub use analysis::{
@@ -45,4 +46,8 @@ pub use oracle::{
 pub use protocol::{layout, Command, FspMessage, BUF_BASE, BYPASS_VALUE, MAX_PATH, WILDCARD};
 pub use runtime::{run_utility, FspServerRuntime, UtilityOutcome};
 pub use server::{reply_layout, FspServer, FspServerConfig, ReplyCode};
+pub use session::{
+    expected_session_trojans, login_generable, login_layout, FspLoginClient, FspSessionServer,
+    FspSessionTarget, LOGIN_CLIENT_TOKEN_CAP, LOGIN_MAX_USER, LOGIN_SERVER_TOKEN_CAP,
+};
 pub use target::{FspSpec, FspTarget};

@@ -11,7 +11,8 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, TargetSpec, TrojanReport,
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec, TargetSpec,
+    TrojanReport,
 };
 use achilles_netsim::{Addr, Network, SimFs};
 use achilles_symvm::{ExploreConfig, MessageLayout, NodeProgram};
@@ -22,6 +23,9 @@ use crate::oracle::client_can_generate;
 use crate::protocol::{layout, Command, FspMessage};
 use crate::runtime::FspServerRuntime;
 use crate::server::{FspServer, FspServerConfig};
+use crate::session::{
+    expected_session_trojans, login_layout, FspLoginClient, FspSessionServer, FspSessionTarget,
+};
 use crate::TrojanFamily;
 
 /// The FSP deployment target: a stateful server endpoint over
@@ -64,7 +68,7 @@ impl FspTarget {
         (net, server, client_addr)
     }
 
-    fn family_effect(fields: &[u64]) -> Option<String> {
+    pub(crate) fn family_effect(fields: &[u64]) -> Option<String> {
         let report = TrojanReport {
             server_path_id: 0,
             constraints: vec![],
@@ -186,6 +190,15 @@ impl FspSpec {
     pub fn wildcard() -> FspSpec {
         FspSpec::new(FspAnalysisConfig::wildcard())
     }
+
+    /// The utilities the login→command session exercises: a two-command
+    /// slice of the analysis set keeps the session exploration (login tree
+    /// × command tree) proportionate while still covering both Trojan
+    /// families.
+    pub fn session_commands(&self) -> &[Command] {
+        let n = self.analysis.commands.len().min(2);
+        &self.analysis.commands[..n]
+    }
 }
 
 impl TargetSpec for FspSpec {
@@ -254,11 +267,56 @@ impl TargetSpec for FspSpec {
             self.analysis.client.glob_expansion,
         ))
     }
+
+    fn sessions(&self) -> Vec<SessionSpec> {
+        let commands = self.session_commands();
+        // Session clients: index 0 is the login utility, 1.. are the
+        // command utilities (see `session_clients`).
+        let command_clients = (1..=commands.len()).collect();
+        vec![SessionSpec::new(
+            "login-command",
+            vec![
+                SessionSlot::new("login", login_layout(), vec![0]),
+                SessionSlot::new("command", layout(), command_clients),
+            ],
+        )
+        // Every accepting session path hosts at least the forged-login
+        // Trojan, so the count is the accepting-path census — exact for
+        // both the accuracy and the wildcard client models.
+        .expecting(expected_session_trojans(commands.len()))]
+    }
+
+    fn session_clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        let mut clients: Vec<Box<dyn NodeProgram + Sync + '_>> = vec![Box::new(FspLoginClient)];
+        clients.extend(self.session_commands().iter().map(|&cmd| {
+            Box::new(FspClient::new(cmd, self.analysis.client.clone()))
+                as Box<dyn NodeProgram + Sync>
+        }));
+        clients
+    }
+
+    fn session_server(&self, _name: &str) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(FspSessionServer::new(FspServerConfig {
+            commands: self.session_commands().to_vec(),
+            ..self.analysis.server.clone()
+        }))
+    }
+
+    fn session_replay_target(&self, _name: &str) -> Box<dyn ReplayTarget> {
+        Box::new(FspSessionTarget::new(
+            FspServerConfig {
+                commands: self.session_commands().to_vec(),
+                ..self.analysis.server.clone()
+            },
+            self.analysis.client.glob_expansion,
+        ))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{LOGIN_CLIENT_TOKEN_CAP, LOGIN_MAX_USER, LOGIN_SERVER_TOKEN_CAP};
     use achilles::AchillesSession;
 
     #[test]
@@ -284,6 +342,37 @@ mod tests {
         assert_eq!(fields(&report.trojans), fields(&direct.trojans));
         assert_eq!(report.server_paths, direct.server_paths);
         assert_eq!(spec.expected_trojans(), Some(report.trojans.len()));
+    }
+
+    #[test]
+    fn declared_session_discovers_forged_logins_and_attributes_slots() {
+        let spec = FspSpec::accuracy();
+        let mut session = AchillesSession::new(&spec);
+        let reports = session.run_sessions();
+        assert_eq!(reports.len(), 1, "one declared session");
+        let r = &reports[0];
+        assert_eq!(r.session, "login-command");
+        assert_eq!(r.slot_names, vec!["login", "command"]);
+        assert_eq!(Some(r.trojans.len()), r.expected_trojans);
+        let mut saw_command_slot = false;
+        for (t, slots) in r.trojans.iter().zip(&r.trojan_slots) {
+            assert!(
+                slots.contains(&0),
+                "every accepting session path hosts the forged login"
+            );
+            saw_command_slot |= slots.contains(&1);
+            let parts = r.split_fields(&t.witness_fields);
+            let (user, token) = (parts[0][0], parts[0][1]);
+            assert!(user < LOGIN_MAX_USER);
+            assert!(
+                (LOGIN_CLIENT_TOKEN_CAP..LOGIN_SERVER_TOKEN_CAP).contains(&token),
+                "login token {token} in the server-only window"
+            );
+        }
+        assert!(
+            saw_command_slot,
+            "NUL paths additionally host the mismatched-length command Trojan"
+        );
     }
 
     #[test]

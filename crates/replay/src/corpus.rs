@@ -3,28 +3,90 @@
 //! Re-running an analysis after a code or model change re-discovers mostly
 //! the same Trojans. The corpus remembers every confirmed witness and its
 //! [`CrashSignature`] in a line-oriented text format (witness fields
-//! serialized via [`achilles::export::witness_record`]), so a later run
-//! can (a) skip re-validating byte-identical witnesses and (b) tell
-//! genuinely *new* bug classes from fresh witnesses of known ones.
+//! serialized via [`achilles::export::witness_record`] /
+//! [`achilles::export::session_witness_record`]), so a later run can
+//! (a) skip re-validating byte-identical witnesses and (b) tell genuinely
+//! *new* bug classes from fresh witnesses of known ones.
+//!
+//! The **v2** format adds session witnesses: an entry's field record may
+//! carry several slots separated by `/` (one wire message per slot), and
+//! its signature may carry the `@s<N>` session marker. A v1 file fails the
+//! header check and loads as an empty corpus — by design, since v1 entries
+//! cannot express slot boundaries (this is also what keys the CI corpus
+//! cache: a format bump invalidates it).
 
 use std::collections::HashSet;
 
-use achilles::export::{parse_witness_record, witness_record};
+use achilles::export::{parse_session_witness_record, session_witness_record, witness_record};
 
 use crate::signature::CrashSignature;
 
 /// File-format version tag (first line of every corpus file).
-const HEADER: &str = "# achilles-replay corpus v1";
+const HEADER: &str = "# achilles-replay corpus v2";
 
 /// One persisted confirmed Trojan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CorpusEntry {
     /// The structural crash signature.
     pub signature: CrashSignature,
-    /// The witness's concrete field values.
+    /// The witness's concrete field values (session witnesses store the
+    /// slots concatenated; `slot_lens` records the boundaries).
     pub fields: Vec<u64>,
+    /// Per-slot field counts for session witnesses; empty for
+    /// single-message witnesses.
+    pub slot_lens: Vec<usize>,
     /// Essential field indices from minimization (empty = not minimized).
+    /// For session witnesses these index into the concatenated `fields`.
     pub essential: Vec<usize>,
+}
+
+impl CorpusEntry {
+    /// A single-message entry.
+    pub fn single(
+        signature: CrashSignature,
+        fields: Vec<u64>,
+        essential: Vec<usize>,
+    ) -> CorpusEntry {
+        CorpusEntry {
+            signature,
+            fields,
+            slot_lens: Vec::new(),
+            essential,
+        }
+    }
+
+    /// A session entry over per-slot field values; `essential` carries
+    /// `(slot, field)` pairs, stored as indices into the concatenation.
+    pub fn session(
+        signature: CrashSignature,
+        slot_fields: &[Vec<u64>],
+        essential: &[(usize, usize)],
+    ) -> CorpusEntry {
+        let slot_lens: Vec<usize> = slot_fields.iter().map(Vec::len).collect();
+        let offsets: Vec<usize> = slot_lens
+            .iter()
+            .scan(0usize, |acc, &len| {
+                let at = *acc;
+                *acc += len;
+                Some(at)
+            })
+            .collect();
+        CorpusEntry {
+            signature,
+            fields: slot_fields.iter().flatten().copied().collect(),
+            slot_lens,
+            essential: essential.iter().map(|&(s, f)| offsets[s] + f).collect(),
+        }
+    }
+
+    /// The per-slot field values (a single vector for single-message
+    /// entries).
+    pub fn slot_fields(&self) -> Vec<Vec<u64>> {
+        if self.slot_lens.is_empty() {
+            return vec![self.fields.clone()];
+        }
+        achilles::export::split_fields_by_counts(&self.fields, &self.slot_lens)
+    }
 }
 
 /// A deduplicated set of confirmed Trojans.
@@ -32,7 +94,9 @@ pub struct CorpusEntry {
 pub struct ReplayCorpus {
     entries: Vec<CorpusEntry>,
     signatures: HashSet<CrashSignature>,
-    witnesses: HashSet<Vec<u64>>,
+    /// Keyed on (slot boundaries, concatenated fields): a session witness
+    /// and a single-message witness with identical bytes are distinct.
+    witnesses: HashSet<(Vec<usize>, Vec<u64>)>,
 }
 
 impl ReplayCorpus {
@@ -56,9 +120,23 @@ impl ReplayCorpus {
         self.entries.is_empty()
     }
 
-    /// Whether this exact witness (by field values) is already recorded.
+    /// Whether this exact single-message witness (by field values) is
+    /// already recorded.
     pub fn knows_witness(&self, fields: &[u64]) -> bool {
-        self.witnesses.contains(fields)
+        self.witnesses.contains(&(Vec::new(), fields.to_vec()))
+    }
+
+    /// Whether this exact session witness (per-slot field values) is
+    /// already recorded.
+    pub fn knows_session_witness(&self, slot_fields: &[Vec<u64>]) -> bool {
+        let mut lens: Vec<usize> = slot_fields.iter().map(Vec::len).collect();
+        if lens.len() <= 1 {
+            // A one-slot session is indistinguishable from (and deduped
+            // with) the single-message form.
+            lens = Vec::new();
+        }
+        let fields: Vec<u64> = slot_fields.iter().flatten().copied().collect();
+        self.witnesses.contains(&(lens, fields))
     }
 
     /// Whether this crash signature is already recorded.
@@ -72,13 +150,18 @@ impl ReplayCorpus {
     }
 
     /// Inserts an entry; returns whether its *signature* was new.
-    /// Byte-identical witnesses are never stored twice.
-    pub fn insert(&mut self, entry: CorpusEntry) -> bool {
-        if self.witnesses.contains(&entry.fields) {
+    /// Byte-identical witnesses (with identical slot boundaries) are never
+    /// stored twice.
+    pub fn insert(&mut self, mut entry: CorpusEntry) -> bool {
+        if entry.slot_lens.len() <= 1 {
+            entry.slot_lens = Vec::new();
+        }
+        let key = (entry.slot_lens.clone(), entry.fields.clone());
+        if self.witnesses.contains(&key) {
             return false;
         }
         let new_signature = self.signatures.insert(entry.signature.clone());
-        self.witnesses.insert(entry.fields.clone());
+        self.witnesses.insert(key);
         self.entries.push(entry);
         new_signature
     }
@@ -103,10 +186,15 @@ impl ReplayCorpus {
                 .map(usize::to_string)
                 .collect::<Vec<_>>()
                 .join(",");
+            let record = if e.slot_lens.is_empty() {
+                witness_record(&e.fields)
+            } else {
+                session_witness_record(&e.slot_fields())
+            };
             out.push_str(&format!(
                 "{}|{}|{}\n",
                 e.signature.to_line(),
-                witness_record(&e.fields),
+                record,
                 essential
             ));
         }
@@ -135,7 +223,7 @@ impl ReplayCorpus {
             let Some(signature) = CrashSignature::from_line(sig) else {
                 continue;
             };
-            let Some(fields) = parse_witness_record(fields) else {
+            let Some(slot_fields) = parse_session_witness_record(fields) else {
                 continue;
             };
             let essential: Vec<usize> = if essential.is_empty() {
@@ -150,9 +238,15 @@ impl ReplayCorpus {
                     None => continue,
                 }
             };
+            let slot_lens: Vec<usize> = if slot_fields.len() <= 1 {
+                Vec::new()
+            } else {
+                slot_fields.iter().map(Vec::len).collect()
+            };
             corpus.insert(CorpusEntry {
                 signature,
-                fields,
+                fields: slot_fields.into_iter().flatten().collect(),
+                slot_lens,
                 essential,
             });
         }
@@ -188,15 +282,15 @@ mod tests {
     use crate::target::ReplayVerdict;
 
     fn entry(system: &str, fields: Vec<u64>, effect: &str) -> CorpusEntry {
-        CorpusEntry {
-            signature: CrashSignature::new(
+        CorpusEntry::single(
+            CrashSignature::new(
                 system,
                 ReplayVerdict::ConfirmedTrojan,
                 vec![effect.to_string()],
             ),
             fields,
-            essential: vec![0, 2],
-        }
+            vec![0, 2],
+        )
     }
 
     #[test]
@@ -240,5 +334,34 @@ mod tests {
         let corpus = ReplayCorpus::from_text(&text);
         assert_eq!(corpus.len(), 1);
         assert_eq!(ReplayCorpus::from_text("no header").len(), 0);
+        // A v1 corpus (old header) is stale by definition: empty load.
+        assert_eq!(
+            ReplayCorpus::from_text("# achilles-replay corpus v1\nfsp/confirmed/a|1,2|\n").len(),
+            0
+        );
+    }
+
+    #[test]
+    fn session_entries_round_trip_with_slot_boundaries() {
+        let sig = CrashSignature::for_session(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            2,
+            vec!["trojan-slot:0".into()],
+        );
+        let slots = vec![vec![3, 150], vec![68, 0, 1]];
+        let mut corpus = ReplayCorpus::new();
+        assert!(corpus.insert(CorpusEntry::session(sig, &slots, &[(0, 1), (1, 2)])));
+        assert!(corpus.knows_session_witness(&slots));
+        // Same bytes as a *single-message* witness: a different thing.
+        assert!(!corpus.knows_witness(&[3, 150, 68, 0, 1]));
+
+        let text = corpus.to_text();
+        assert!(text.contains("3,150/68,0,1"), "{text}");
+        let back = ReplayCorpus::from_text(&text);
+        assert_eq!(back.entries(), corpus.entries());
+        assert!(back.knows_session_witness(&slots));
+        assert_eq!(back.entries()[0].slot_fields(), slots);
+        assert_eq!(back.entries()[0].essential, vec![1, 4]);
     }
 }

@@ -28,6 +28,18 @@
 //! `achilles_pbft::PbftTarget`, `achilles_paxos::PaxosTarget`, …) and
 //! reach the harness only through the trait.
 //!
+//! **Sessions.** Every stage generalizes to multi-message sessions:
+//! [`SessionWitness`] carries one wire buffer per slot, [`FaultSchedule`]
+//! addresses drop/duplicate/bit-flip/benign-interleaving faults at any
+//! delivery position, [`replay_session`] drives the whole sequence through
+//! the same [`ReplayTarget::inject`] delivery vector, signatures become
+//! slot-aware, the minimizer runs ddmin over slots × fields, and the v2
+//! corpus format persists per-slot witnesses.
+//! [`validate_session_trojans`] / [`validate_spec_sessions`] are the
+//! drivers over an
+//! [`AchillesSession::run_sessions`](achilles::AchillesSession::run_sessions)
+//! report.
+//!
 //! ```
 //! use achilles_fsp::{Command, FspMessage, FspServerConfig, FspTarget};
 //! use achilles_replay::{replay, FaultPlan, ReplayVerdict};
@@ -59,13 +71,15 @@ pub mod validate;
 pub mod witness;
 
 pub use corpus::{CorpusEntry, ReplayCorpus};
-pub use minimize::{minimize, MinimizedWitness};
+pub use minimize::{minimize, minimize_session, MinimizedSessionWitness, MinimizedWitness};
 pub use signature::CrashSignature;
 pub use target::{
-    replay, Delivery, FaultPlan, InjectionOutcome, ReplayResult, ReplayTarget, ReplayVerdict,
+    replay, replay_session, Delivery, DeliveryFault, FaultPlan, FaultSchedule, InjectionOutcome,
+    ReplayResult, ReplayTarget, ReplayVerdict, SessionReplayResult,
 };
 pub use validate::{
-    validate_pipeline_report, validate_session, validate_spec, validate_trojans, ValidateConfig,
-    ValidationSummary,
+    validate_pipeline_report, validate_session, validate_session_trojans, validate_spec,
+    validate_spec_sessions, validate_trojans, SessionValidateConfig, SessionValidationSummary,
+    ValidateConfig, ValidationSummary,
 };
-pub use witness::{from_model, from_report, ConcreteWitness};
+pub use witness::{from_model, from_report, session_from_report, ConcreteWitness, SessionWitness};

@@ -13,8 +13,8 @@
 //! everything else resets to benign values).
 
 use crate::signature::CrashSignature;
-use crate::target::{replay, FaultPlan, ReplayTarget};
-use crate::witness::{fields_to_wire, ConcreteWitness};
+use crate::target::{replay, replay_session, FaultPlan, FaultSchedule, ReplayTarget};
+use crate::witness::{fields_to_wire, ConcreteWitness, SessionWitness};
 
 /// A minimized witness plus its provenance.
 #[derive(Clone, Debug)]
@@ -75,6 +75,45 @@ fn preserves(
     replay(target, &candidate, faults).signature == *want
 }
 
+/// The ddmin complement loop, generic over the delta element: shrinks
+/// `original` to a (locally) minimal subset for which `keep_ok` still
+/// holds, in `O(|original|²)` probes worst-case — Zeller's delta debugging
+/// with increasing granularity. Shared by the single-message minimizer
+/// (elements are field indices) and the session minimizer (elements are
+/// `(slot, field)` pairs).
+fn ddmin<T: Clone>(original: &[T], mut keep_ok: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut delta = original.to_vec();
+    let mut granularity = 2usize;
+    while delta.len() >= 2 {
+        let chunk = delta.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < delta.len() {
+            let end = (start + chunk).min(delta.len());
+            // Try the complement: drop delta[start..end], keep the rest.
+            let complement: Vec<T> = delta[..start]
+                .iter()
+                .chain(&delta[end..])
+                .cloned()
+                .collect();
+            if keep_ok(&complement) {
+                delta = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= delta.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(delta.len());
+        }
+    }
+    delta
+}
+
 /// Minimizes a witness to the smallest field set preserving `signature`.
 ///
 /// `signature` must be the signature of replaying `witness` under `faults`
@@ -98,46 +137,122 @@ pub fn minimize(
         .collect();
     let mut replays = 0usize;
 
-    let mut delta = original_delta.clone();
-    let mut granularity = 2usize;
-    while delta.len() >= 2 {
-        let chunk = delta.len().div_ceil(granularity);
-        let mut reduced = false;
-        let mut start = 0usize;
-        while start < delta.len() {
-            let end = (start + chunk).min(delta.len());
-            // Try the complement: drop delta[start..end], keep the rest.
-            let complement: Vec<usize> = delta[..start]
-                .iter()
-                .chain(&delta[end..])
-                .copied()
-                .collect();
-            if preserves(
-                target,
-                witness,
-                &baseline,
-                &complement,
-                faults,
-                signature,
-                &mut replays,
-            ) {
-                delta = complement;
-                granularity = granularity.saturating_sub(1).max(2);
-                reduced = true;
-                break;
-            }
-            start = end;
-        }
-        if !reduced {
-            if granularity >= delta.len() {
-                break;
-            }
-            granularity = (granularity * 2).min(delta.len());
-        }
-    }
+    let delta = ddmin(&original_delta, |kept| {
+        preserves(
+            target,
+            witness,
+            &baseline,
+            kept,
+            faults,
+            signature,
+            &mut replays,
+        )
+    });
 
     let minimized = project(target, witness, &baseline, &delta);
     MinimizedWitness {
+        witness: minimized,
+        essential: delta,
+        original_delta,
+        signature: signature.clone(),
+        replays,
+    }
+}
+
+/// A minimized session witness plus its provenance.
+#[derive(Clone, Debug)]
+pub struct MinimizedSessionWitness {
+    /// The reduced session (essential fields keep their witness values,
+    /// every other field is that slot's benign baseline).
+    pub witness: SessionWitness,
+    /// `(slot, field)` pairs that kept their witness value.
+    pub essential: Vec<(usize, usize)>,
+    /// `(slot, field)` pairs that differed from the baseline before
+    /// minimization.
+    pub original_delta: Vec<(usize, usize)>,
+    /// The preserved signature.
+    pub signature: CrashSignature,
+    /// Replays spent minimizing.
+    pub replays: usize,
+}
+
+impl MinimizedSessionWitness {
+    /// Whether minimization strictly shrank the difference set.
+    pub fn strictly_shrunk(&self) -> bool {
+        self.essential.len() < self.original_delta.len()
+    }
+}
+
+/// Builds the session candidate that keeps `kept` `(slot, field)` pairs at
+/// their witness values and resets everything else to the per-slot benign
+/// baselines.
+fn project_session(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    baselines: &[Vec<u64>],
+    kept: &[(usize, usize)],
+) -> SessionWitness {
+    let mut fields: Vec<Vec<u64>> = baselines.to_vec();
+    for &(slot, field) in kept {
+        fields[slot][field] = witness.fields[slot][field];
+    }
+    let layouts = target.slot_layouts();
+    let wire = fields
+        .iter()
+        .zip(&layouts)
+        .map(|(f, l)| fields_to_wire(l, f).expect("projected session witness encodes"))
+        .collect();
+    SessionWitness {
+        index: witness.index,
+        server_path_id: witness.server_path_id,
+        fields,
+        wire,
+    }
+}
+
+/// Minimizes a session witness to the smallest `(slot, field)` set
+/// preserving `signature` — ddmin over the whole session's field-difference
+/// set against the per-slot benign baselines, so the essential set names
+/// both *which message of the sequence* matters and *which fields in it*.
+///
+/// `signature` must be the signature of replaying `witness` under
+/// `schedule` (normally a
+/// [`SessionReplayResult::signature`](crate::target::SessionReplayResult)).
+pub fn minimize_session(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    schedule: &FaultSchedule,
+    signature: &CrashSignature,
+) -> MinimizedSessionWitness {
+    let baselines: Vec<Vec<u64>> = (0..witness.slots())
+        .map(|s| target.slot_benign_fields(s))
+        .collect();
+    for (slot, (b, w)) in baselines.iter().zip(&witness.fields).enumerate() {
+        assert_eq!(b.len(), w.len(), "slot {slot} baseline arity matches");
+    }
+    let original_delta: Vec<(usize, usize)> = witness
+        .fields
+        .iter()
+        .enumerate()
+        .flat_map(|(slot, fields)| {
+            let baseline = &baselines[slot];
+            fields
+                .iter()
+                .enumerate()
+                .filter(move |&(i, &v)| v != baseline[i])
+                .map(move |(i, _)| (slot, i))
+        })
+        .collect();
+    let mut replays = 0usize;
+
+    let delta = ddmin(&original_delta, |kept| {
+        replays += 1;
+        let candidate = project_session(target, witness, &baselines, kept);
+        replay_session(target, &candidate, schedule).signature == *signature
+    });
+
+    let minimized = project_session(target, witness, &baselines, &delta);
+    MinimizedSessionWitness {
         witness: minimized,
         essential: delta,
         original_delta,

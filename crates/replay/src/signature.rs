@@ -18,14 +18,19 @@ pub struct CrashSignature {
     pub system: String,
     /// The replay verdict the outcome maps to.
     pub verdict: ReplayVerdict,
+    /// Number of session slots the replayed witness carried (`1` for
+    /// single-message witnesses). Part of the identity: a session failure
+    /// and a single-message failure with the same effects are different
+    /// bugs — one needs the whole sequence to reproduce.
+    pub slots: usize,
     /// Sorted structural effect notes (reply codes, filesystem mutations,
-    /// recovery events, triage families).
+    /// recovery events, triage families, session slot attributions).
     pub effects: Vec<String>,
 }
 
 impl CrashSignature {
-    /// Builds a signature, sorting and deduplicating the effect notes so
-    /// equality is insensitive to observation order.
+    /// Builds a single-message signature, sorting and deduplicating the
+    /// effect notes so equality is insensitive to observation order.
     ///
     /// Effect notes are sanitized *here* — the corpus line format's
     /// delimiters (`|`, `;`, newline) become `_` — so the in-memory
@@ -34,6 +39,16 @@ impl CrashSignature {
     /// signature that mutates on save/load would break corpus dedup
     /// across runs.
     pub fn new(system: &str, verdict: ReplayVerdict, effects: Vec<String>) -> CrashSignature {
+        CrashSignature::for_session(system, verdict, 1, effects)
+    }
+
+    /// [`CrashSignature::new`] for a session witness of `slots` messages.
+    pub fn for_session(
+        system: &str,
+        verdict: ReplayVerdict,
+        slots: usize,
+        effects: Vec<String>,
+    ) -> CrashSignature {
         let mut effects: Vec<String> = effects
             .into_iter()
             .map(|e| e.replace(['|', '\n', ';'], "_"))
@@ -43,33 +58,43 @@ impl CrashSignature {
         CrashSignature {
             system: system.to_string(),
             verdict,
+            slots,
             effects,
         }
     }
 
-    /// Serializes to the single-line corpus form
-    /// (`system/verdict/effect;effect;…`).
+    /// Serializes to the single-line corpus form:
+    /// `system/verdict/effect;effect;…` for single-message signatures,
+    /// `system/verdict@s<N>/…` for session signatures of `N` slots.
     pub fn to_line(&self) -> String {
-        format!(
-            "{}/{}/{}",
-            self.system,
-            self.verdict.as_str(),
-            self.effects.join(";")
-        )
+        let verdict = if self.slots == 1 {
+            self.verdict.as_str().to_string()
+        } else {
+            format!("{}@s{}", self.verdict.as_str(), self.slots)
+        };
+        format!("{}/{}/{}", self.system, verdict, self.effects.join(";"))
     }
 
-    /// Parses the [`CrashSignature::to_line`] form.
+    /// Parses the [`CrashSignature::to_line`] form (a verdict without the
+    /// `@s<N>` marker is a single-message signature).
     pub fn from_line(line: &str) -> Option<CrashSignature> {
         let mut parts = line.splitn(3, '/');
         let system = parts.next()?;
-        let verdict = ReplayVerdict::parse(parts.next()?)?;
+        let verdict_part = parts.next()?;
+        let (verdict, slots) = match verdict_part.split_once("@s") {
+            Some((v, n)) => (
+                ReplayVerdict::parse(v)?,
+                n.parse().ok().filter(|&n| n >= 1)?,
+            ),
+            None => (ReplayVerdict::parse(verdict_part)?, 1),
+        };
         let effects = parts.next()?;
         let effects: Vec<String> = if effects.is_empty() {
             Vec::new()
         } else {
             effects.split(';').map(str::to_string).collect()
         };
-        Some(CrashSignature::new(system, verdict, effects))
+        Some(CrashSignature::for_session(system, verdict, slots, effects))
     }
 }
 
@@ -114,6 +139,29 @@ mod tests {
     fn malformed_lines_are_none() {
         assert_eq!(CrashSignature::from_line("fsp"), None);
         assert_eq!(CrashSignature::from_line("fsp/not-a-verdict/x"), None);
+        assert_eq!(CrashSignature::from_line("fsp/confirmed@s0/x"), None);
+        assert_eq!(CrashSignature::from_line("fsp/confirmed@sX/x"), None);
+    }
+
+    #[test]
+    fn session_signatures_round_trip_and_differ_from_single() {
+        let session = CrashSignature::for_session(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            2,
+            vec!["family:forged-login".into(), "trojan-slot:0".into()],
+        );
+        assert_eq!(
+            CrashSignature::from_line(&session.to_line()),
+            Some(session.clone())
+        );
+        assert!(session.to_line().contains("@s2"), "{}", session.to_line());
+        let single = CrashSignature::new(
+            "fsp",
+            ReplayVerdict::ConfirmedTrojan,
+            vec!["family:forged-login".into(), "trojan-slot:0".into()],
+        );
+        assert_ne!(session, single, "slot count is part of the identity");
     }
 
     #[test]

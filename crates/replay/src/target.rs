@@ -24,7 +24,7 @@ pub use achilles::{Delivery, InjectionOutcome, ReplayTarget};
 use achilles_netsim::flip_bit;
 
 use crate::signature::CrashSignature;
-use crate::witness::{fields_to_wire, wire_to_fields, ConcreteWitness};
+use crate::witness::{fields_to_wire, wire_to_fields, ConcreteWitness, SessionWitness};
 
 /// Network faults applied to a witness injection.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +45,72 @@ impl FaultPlan {
     /// The fault-free plan: deliver the witness once, verbatim.
     pub fn none() -> FaultPlan {
         FaultPlan::default()
+    }
+}
+
+/// Network faults applied to *one delivery position* of a session replay.
+///
+/// The session analogue of [`FaultPlan`]: the same four fault kinds, but
+/// addressable at any position of the message sequence through a
+/// [`FaultSchedule`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryFault {
+    /// Drop this slot's witness message (the session never completes).
+    pub drop: bool,
+    /// Deliver this slot's witness message twice.
+    pub duplicate: bool,
+    /// Deliver a benign, correct-client message for this slot *before* the
+    /// witness message (a benign interleaving between session slots).
+    pub benign_before: bool,
+    /// Flip one bit (0 = LSB of byte 0) of this slot's wire bytes before
+    /// delivery.
+    pub flip_bit: Option<usize>,
+}
+
+impl DeliveryFault {
+    /// The fault-free delivery.
+    pub fn none() -> DeliveryFault {
+        DeliveryFault::default()
+    }
+}
+
+/// A per-delivery fault schedule for a session replay: which fault (if
+/// any) hits each slot of the message sequence.
+///
+/// Positions past the end of `slots` are fault-free, so
+/// [`FaultSchedule::none`] is the fault-free schedule for *every* session
+/// length.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Per-slot faults, aligned with the session's slot order.
+    pub slots: Vec<DeliveryFault>,
+}
+
+impl FaultSchedule {
+    /// The fault-free schedule: every slot delivered once, verbatim, in
+    /// order.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// A schedule applying `fault` at `slot` (every other position
+    /// fault-free).
+    pub fn at(slot: usize, fault: DeliveryFault) -> FaultSchedule {
+        FaultSchedule::none().with(slot, fault)
+    }
+
+    /// Sets the fault at `slot`, extending the schedule as needed.
+    pub fn with(mut self, slot: usize, fault: DeliveryFault) -> FaultSchedule {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, DeliveryFault::none());
+        }
+        self.slots[slot] = fault;
+        self
+    }
+
+    /// The fault at `slot` (fault-free past the end).
+    pub fn fault_for(&self, slot: usize) -> DeliveryFault {
+        self.slots.get(slot).copied().unwrap_or_default()
     }
 }
 
@@ -93,6 +159,11 @@ pub struct ReplayResult {
     pub witness: ConcreteWitness,
     /// Raw injection outcome.
     pub outcome: InjectionOutcome,
+    /// The faults *actually applied*. Differs from the requested plan
+    /// exactly when a fault could not be applied — an out-of-range
+    /// `flip_bit` index is recorded here as `None`, so a schedule sweep
+    /// never misclassifies an unflipped run as "survives bit-flip".
+    pub applied: FaultPlan,
     /// Whether the client-side oracle can generate the *delivered* message
     /// (after any bit-flip fault; equals the witness itself when no fault
     /// rewrote it).
@@ -109,9 +180,15 @@ pub fn replay(
     witness: &ConcreteWitness,
     faults: &FaultPlan,
 ) -> ReplayResult {
+    let mut applied = *faults;
     let mut wire = witness.wire.clone();
     let mut delivered_fields = witness.fields.clone();
-    if let Some(bit) = faults.flip_bit {
+    if faults.drop {
+        // Nothing is delivered, so no fault touched a delivered message:
+        // the duplicate never happened and the flip never reached a wire.
+        applied.duplicate = false;
+        applied.flip_bit = None;
+    } else if let Some(bit) = faults.flip_bit {
         if bit < wire.len() * 8 {
             wire = flip_bit(&wire, bit);
             // The server sees the flipped message; the generability oracle
@@ -119,6 +196,10 @@ pub fn replay(
             // Trojan in flight (the paper's S3 bit-flip) is misclassified.
             delivered_fields = wire_to_fields(&target.layout(), &wire)
                 .expect("a flipped copy of an encodable message decodes");
+        } else {
+            // The index points past the wire: nothing was flipped, and the
+            // result must say so instead of posing as a survived fault.
+            applied.flip_bit = None;
         }
     }
     let mut deliveries: Vec<Delivery> = Vec::new();
@@ -156,7 +237,154 @@ pub fn replay(
     ReplayResult {
         witness: witness.clone(),
         outcome,
+        applied,
         generable,
+        verdict,
+        signature,
+    }
+}
+
+/// The full record of one session-witness replay.
+#[derive(Clone, Debug)]
+pub struct SessionReplayResult {
+    /// The injected session witness (pre-fault provenance).
+    pub witness: SessionWitness,
+    /// Raw injection outcome over the whole delivery sequence.
+    pub outcome: InjectionOutcome,
+    /// The schedule *actually applied* (out-of-range `flip_bit` entries are
+    /// recorded as `None`, like [`ReplayResult::applied`]).
+    pub applied: FaultSchedule,
+    /// Per-slot generability of the *delivered* (post-fault) message;
+    /// `None` for slots the schedule dropped.
+    pub generable_slots: Vec<Option<bool>>,
+    /// Delivered slots whose message no correct client can produce — the
+    /// concrete slot attribution.
+    pub trojan_slots: Vec<usize>,
+    /// Final classification.
+    pub verdict: ReplayVerdict,
+    /// Structural signature for dedup/triage (slot-aware).
+    pub signature: CrashSignature,
+}
+
+/// Replays one session witness against a target under a per-delivery fault
+/// schedule.
+///
+/// The delivery plan is the session's slots in order, expanded by the
+/// schedule: benign interleavings before a slot, duplicated or dropped
+/// slot messages, and single bit-flips at any position. The whole plan
+/// goes through the same [`ReplayTarget::inject`] delivery vector as
+/// single-message replay; the deployment consumes it statefully.
+///
+/// Classification: a session whose schedule dropped any witness message is
+/// [`ReplayVerdict::Dropped`]; otherwise the session must be *accepted in
+/// every slot* (each slot's witness message accepted at least once) to
+/// count as accepted, and it confirms as a Trojan when at least one
+/// delivered slot's message is un-generable by that slot's correct
+/// clients — `⋁ₛ ¬genₛ(mₛ)`.
+///
+/// # Panics
+///
+/// Panics if the witness's slot count differs from the target's
+/// [`slot_layouts`](ReplayTarget::slot_layouts).
+pub fn replay_session(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    schedule: &FaultSchedule,
+) -> SessionReplayResult {
+    let layouts = target.slot_layouts();
+    assert_eq!(
+        layouts.len(),
+        witness.slots(),
+        "session witness arity matches the target's slot layouts"
+    );
+    let mut applied = FaultSchedule {
+        slots: Vec::with_capacity(witness.slots()),
+    };
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    // Slot index of each delivery, aligned with `deliveries`.
+    let mut delivery_slot: Vec<usize> = Vec::new();
+    let mut generable_slots: Vec<Option<bool>> = Vec::with_capacity(witness.slots());
+    for (slot, ((slot_wire, slot_fields), layout)) in witness
+        .wire
+        .iter()
+        .zip(&witness.fields)
+        .zip(&layouts)
+        .enumerate()
+    {
+        let fault = schedule.fault_for(slot);
+        let mut applied_fault = fault;
+        let mut wire = slot_wire.clone();
+        let mut delivered_fields = slot_fields.clone();
+        if fault.drop {
+            // The slot's message never reaches the target: the duplicate
+            // and the bit-flip were not applied to anything delivered.
+            applied_fault.duplicate = false;
+            applied_fault.flip_bit = None;
+        } else if let Some(bit) = fault.flip_bit {
+            if bit < wire.len() * 8 {
+                wire = flip_bit(&wire, bit);
+                delivered_fields = wire_to_fields(layout, &wire)
+                    .expect("a flipped copy of an encodable message decodes");
+            } else {
+                applied_fault.flip_bit = None;
+            }
+        }
+        if fault.benign_before {
+            let benign = target.slot_benign_fields(slot);
+            let bw =
+                fields_to_wire(layout, &benign).expect("benign messages encode by construction");
+            deliveries.push((bw, false));
+            delivery_slot.push(slot);
+        }
+        if fault.drop {
+            generable_slots.push(None);
+        } else {
+            deliveries.push((wire.clone(), true));
+            delivery_slot.push(slot);
+            if fault.duplicate {
+                deliveries.push((wire, true));
+                delivery_slot.push(slot);
+            }
+            generable_slots.push(Some(target.slot_generable(slot, &delivered_fields)));
+        }
+        applied.slots.push(applied_fault);
+    }
+    let outcome = target.inject(&deliveries);
+    debug_assert_eq!(outcome.accepted_each.len(), deliveries.len());
+    let any_dropped = generable_slots.iter().any(Option::is_none);
+    // A slot is accepted when at least one of its witness copies was.
+    let session_accepted = (0..witness.slots()).all(|slot| {
+        generable_slots[slot].is_none()
+            || outcome
+                .accepted_each
+                .iter()
+                .zip(deliveries.iter().zip(&delivery_slot))
+                .any(|(&a, ((_, w), &s))| a && *w && s == slot)
+    });
+    let trojan_slots: Vec<usize> = generable_slots
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| **g == Some(false))
+        .map(|(s, _)| s)
+        .collect();
+    let verdict = if any_dropped {
+        ReplayVerdict::Dropped
+    } else if session_accepted && !trojan_slots.is_empty() {
+        ReplayVerdict::ConfirmedTrojan
+    } else if session_accepted {
+        ReplayVerdict::AcceptedGenerable
+    } else {
+        ReplayVerdict::Rejected
+    };
+    let mut effects = outcome.effects.clone();
+    effects.extend(trojan_slots.iter().map(|s| format!("trojan-slot:{s}")));
+    let signature = CrashSignature::for_session(target.name(), verdict, witness.slots(), effects);
+    SessionReplayResult {
+        witness: witness.clone(),
+        outcome,
+        applied,
+        generable_slots,
+        trojan_slots,
         verdict,
         signature,
     }
@@ -280,6 +508,56 @@ mod tests {
             .any(|e| e.starts_with("family:wildcard")));
         assert!(!result.generable, "no glob client sends a literal '*'");
         assert_eq!(result.verdict, ReplayVerdict::ConfirmedTrojan);
+    }
+
+    #[test]
+    fn out_of_range_flip_bit_is_recorded_as_not_applied() {
+        // Regression: an out-of-range `flip_bit` index used to be silently
+        // skipped while the result still looked like a faulted replay, so
+        // a schedule sweep misclassified those runs as "survives bit-flip".
+        let target = FspTarget::new(FspServerConfig::default(), false);
+        let msg = FspMessage::request(Command::DelFile, b"f1");
+        let wire_bits = msg.to_wire().len() * 8;
+        let requested = FaultPlan {
+            flip_bit: Some(wire_bits + 3),
+            ..FaultPlan::none()
+        };
+        let result = replay(&target, &fsp_witness(&msg), &requested);
+        assert_eq!(
+            result.applied.flip_bit, None,
+            "the fault never touched the wire and must be reported as such"
+        );
+        assert_eq!(result.applied, FaultPlan::none());
+        // The unflipped message is the benign original.
+        assert_eq!(result.verdict, ReplayVerdict::AcceptedGenerable);
+
+        // In-range flips still record as applied.
+        let in_range = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                flip_bit: Some(6),
+                ..FaultPlan::none()
+            },
+        );
+        assert_eq!(in_range.applied.flip_bit, Some(6));
+
+        // Drop masks the other witness faults: nothing was delivered, so
+        // neither the duplicate nor the flip counts as applied.
+        let masked = replay(
+            &target,
+            &fsp_witness(&msg),
+            &FaultPlan {
+                drop: true,
+                duplicate: true,
+                flip_bit: Some(6),
+                ..FaultPlan::none()
+            },
+        );
+        assert_eq!(masked.verdict, ReplayVerdict::Dropped);
+        assert!(masked.applied.drop);
+        assert!(!masked.applied.duplicate);
+        assert_eq!(masked.applied.flip_bit, None);
     }
 
     #[test]

@@ -12,14 +12,17 @@
 
 use std::time::{Duration, Instant};
 
-use achilles::{AchillesReport, TrojanReport};
+use achilles::{AchillesReport, SessionReport, TrojanReport};
 use achilles_symvm::parallel_map;
 
 use crate::corpus::{CorpusEntry, ReplayCorpus};
-use crate::minimize::minimize;
+use crate::minimize::{minimize, minimize_session, MinimizedSessionWitness};
 use crate::signature::CrashSignature;
-use crate::target::{replay, FaultPlan, ReplayResult, ReplayTarget, ReplayVerdict};
-use crate::witness::from_report;
+use crate::target::{
+    replay, replay_session, FaultPlan, FaultSchedule, ReplayResult, ReplayTarget, ReplayVerdict,
+    SessionReplayResult,
+};
+use crate::witness::{from_report, session_from_report};
 
 /// Configuration of one validation run.
 #[derive(Clone, Copy, Debug)]
@@ -151,11 +154,11 @@ pub fn validate_trojans(
             } else {
                 Vec::new()
             };
-            corpus.insert(CorpusEntry {
-                signature: result.signature.clone(),
-                fields: result.witness.fields.clone(),
+            corpus.insert(CorpusEntry::single(
+                result.signature.clone(),
+                result.witness.fields.clone(),
                 essential,
-            });
+            ));
         }
         summary.results.push(result);
     }
@@ -191,6 +194,150 @@ pub fn validate_spec(
 ) -> ValidationSummary {
     let target = spec.replay_target();
     validate_trojans(&*target, reports, corpus, config)
+}
+
+// ---------------------------------------------------------------------------
+// Session (multi-message) validation
+// ---------------------------------------------------------------------------
+
+/// Configuration of one session-validation run.
+#[derive(Clone, Debug, Default)]
+pub struct SessionValidateConfig {
+    /// Worker threads for the witness fan-out (0/1 = inline).
+    pub workers: usize,
+    /// Per-delivery fault schedule applied to every injection.
+    pub schedule: FaultSchedule,
+    /// ddmin-minimize (over slots × fields) each confirmed witness that is
+    /// the first of its signature.
+    pub minimize: bool,
+}
+
+impl SessionValidateConfig {
+    /// Fan the replay out over `n` threads.
+    pub fn with_workers(mut self, n: usize) -> SessionValidateConfig {
+        self.workers = n.max(1);
+        self
+    }
+}
+
+/// Everything one session-validation pass produces.
+#[derive(Debug)]
+pub struct SessionValidationSummary {
+    /// Per-witness replay results, in report order (skipped witnesses are
+    /// absent).
+    pub results: Vec<SessionReplayResult>,
+    /// Distinct confirmed crash signatures, in first-seen order.
+    pub confirmed_signatures: Vec<CrashSignature>,
+    /// Minimized witnesses (first witness of each new signature, when
+    /// minimization is on).
+    pub minimized: Vec<MinimizedSessionWitness>,
+    /// Witnesses replayed.
+    pub replayed: usize,
+    /// Witnesses skipped because the corpus already knew their exact
+    /// per-slot bytes.
+    pub skipped_known: usize,
+    /// Replays that confirmed a session Trojan.
+    pub confirmed: usize,
+    /// Wall-clock time of the whole pass.
+    pub elapsed: Duration,
+}
+
+impl SessionValidationSummary {
+    /// Fraction of replayed witnesses that confirmed, in `[0, 1]`.
+    pub fn confirmation_rate(&self) -> f64 {
+        if self.replayed == 0 {
+            return 1.0;
+        }
+        self.confirmed as f64 / self.replayed as f64
+    }
+}
+
+/// Replays a [`SessionReport`]'s Trojans against `target` under a fault
+/// schedule, updating `corpus` with newly confirmed session witnesses —
+/// the session analogue of [`validate_trojans`], with the same corpus
+/// incrementality (known per-slot byte sequences are skipped) and the same
+/// worker-count-invariant [`parallel_map`] fan-out.
+pub fn validate_session_trojans(
+    target: &dyn ReplayTarget,
+    session: &SessionReport,
+    corpus: &mut ReplayCorpus,
+    config: &SessionValidateConfig,
+) -> SessionValidationSummary {
+    let started = Instant::now();
+
+    let mut skipped_known = 0usize;
+    let witnesses: Vec<_> = session
+        .trojans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            let slot_fields = session.split_fields(&r.witness_fields);
+            if corpus.knows_session_witness(&slot_fields) {
+                skipped_known += 1;
+                return None;
+            }
+            Some(
+                session_from_report(&session.layouts, i, r)
+                    .expect("session layouts are wire-encodable"),
+            )
+        })
+        .collect();
+
+    let results: Vec<SessionReplayResult> =
+        parallel_map(config.workers.max(1), &witnesses, |_, w| {
+            replay_session(target, w, &config.schedule)
+        });
+
+    let mut summary = SessionValidationSummary {
+        results: Vec::with_capacity(results.len()),
+        confirmed_signatures: Vec::new(),
+        minimized: Vec::new(),
+        replayed: results.len(),
+        skipped_known,
+        confirmed: 0,
+        elapsed: Duration::ZERO,
+    };
+    for result in results {
+        if result.verdict == ReplayVerdict::ConfirmedTrojan {
+            summary.confirmed += 1;
+            let first_of_signature = !corpus.knows_signature(&result.signature);
+            if first_of_signature {
+                summary.confirmed_signatures.push(result.signature.clone());
+            }
+            let essential: Vec<(usize, usize)> = if config.minimize && first_of_signature {
+                let min =
+                    minimize_session(target, &result.witness, &config.schedule, &result.signature);
+                let essential = min.essential.clone();
+                summary.minimized.push(min);
+                essential
+            } else {
+                Vec::new()
+            };
+            corpus.insert(CorpusEntry::session(
+                result.signature.clone(),
+                &result.witness.fields,
+                &essential,
+            ));
+        }
+        summary.results.push(result);
+    }
+    summary.elapsed = started.elapsed();
+    summary
+}
+
+/// Replays a [`SessionReport`] against the session deployment of its
+/// [`TargetSpec`](achilles::TargetSpec) — the registry-driven form of
+/// [`validate_session_trojans`]: the spec's
+/// [`session_replay_target`](achilles::TargetSpec::session_replay_target)
+/// factory supplies the deployment, so callers never name a protocol.
+pub fn validate_spec_sessions(
+    spec: &dyn achilles::TargetSpec,
+    session: &SessionReport,
+    corpus: &mut ReplayCorpus,
+    config: &SessionValidateConfig,
+) -> SessionValidationSummary {
+    let target = spec.session_replay_target(&session.session);
+    validate_session_trojans(&*target, session, corpus, config)
 }
 
 /// [`validate_spec`] over a full pipeline report, charging the wall-clock

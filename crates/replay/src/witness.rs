@@ -48,6 +48,64 @@ pub fn from_report(
     })
 }
 
+/// A fully concretized multi-message session witness: one wire buffer per
+/// session slot, ready for in-order injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionWitness {
+    /// Index of the originating report in discovery order.
+    pub index: usize,
+    /// Id of the accepting session server path the witness was found on.
+    pub server_path_id: usize,
+    /// Per-slot concrete field values, in slot order.
+    pub fields: Vec<Vec<u64>>,
+    /// Per-slot big-endian wire encodings of `fields`.
+    pub wire: Vec<Vec<u8>>,
+}
+
+impl SessionWitness {
+    /// Number of session slots.
+    pub fn slots(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The concatenated field values (the flat form reports and the corpus
+    /// use).
+    pub fn flattened_fields(&self) -> Vec<u64> {
+        self.fields.iter().flatten().copied().collect()
+    }
+}
+
+/// Concretizes a session-Trojan report — whose `witness_fields` carry the
+/// whole session, slot fields concatenated in slot order — into per-slot
+/// injectable wire buffers.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if any slot layout cannot be wire-encoded.
+///
+/// # Panics
+///
+/// Panics if the report's arity does not match the slot layouts.
+pub fn session_from_report(
+    layouts: &[Arc<MessageLayout>],
+    index: usize,
+    report: &TrojanReport,
+) -> Result<SessionWitness, WireError> {
+    let counts: Vec<usize> = layouts.iter().map(|l| l.num_fields()).collect();
+    let fields = achilles::export::split_fields_by_counts(&report.witness_fields, &counts);
+    let wire = fields
+        .iter()
+        .zip(layouts)
+        .map(|(slot, layout)| fields_to_wire(layout, slot))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SessionWitness {
+        index,
+        server_path_id: report.server_path_id,
+        fields,
+        wire,
+    })
+}
+
 /// Concretizes a raw solver [`Model`] over a (possibly symbolic) server
 /// message — the path for callers that hold a satisfying model rather than
 /// a finished report (e.g. re-deriving a witness from a stored constraint

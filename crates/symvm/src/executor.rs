@@ -64,14 +64,19 @@ pub struct ExploreConfig {
     /// independent of scheduling (paths are reported in canonical
     /// depth-first order).
     ///
-    /// Two caveats. Scheduling-independence holds unconditionally only when
-    /// the [`ExploreConfig::max_paths`]/[`ExploreConfig::max_runs`] budgets
-    /// do not bind: the budgets are pool-global, but stopping is a signal
-    /// raced by in-flight workers, so a capped parallel run may complete up
-    /// to `workers - 1` extra paths and *which* paths made the cut depends
-    /// on scheduling. And parallel scheduling is always depth-first per
-    /// worker — [`ExploreOrder::Bfs`] explorations run sequentially (see
-    /// [`Executor::explore_multi`]).
+    /// Scheduling-independence holds for capped runs too: the budgets are
+    /// pool-global, in-flight items always finish, and the merge truncates
+    /// the completed set to the first `max_runs` scheduled items / first
+    /// `max_paths` paths in canonical depth-first order — the exact set a
+    /// sequential capped run completes, for every worker count. (Execution
+    /// *counters* other than `runs`/`completed` may still exceed a
+    /// sequential capped run's, since workers keep exploring until the
+    /// canonical bound proves the remainder lies past the cut.) One
+    /// caveat remains: parallel scheduling is always depth-first per
+    /// worker — [`ExploreOrder::Bfs`] explorations run sequentially, with
+    /// the downgrade surfaced through
+    /// [`ExploreStats::workers_effective`](crate::ExploreStats::workers_effective)
+    /// (see [`Executor::explore_multi`]).
     pub workers: usize,
     /// Salt mixed into the identity tags of [`SymEnv::sym`](crate::SymEnv::sym)
     /// inputs and auto-created `recv` messages.
@@ -191,7 +196,10 @@ impl<'a> Executor<'a> {
     /// [`ExploreOrder::Bfs`] explorations always run sequentially: the
     /// work-stealing pool schedules depth-first per worker, so it cannot
     /// reproduce BFS completion order (which matters when a budget caps the
-    /// search and the caller wants the shallowest paths).
+    /// search and the caller wants the shallowest paths). The downgrade is
+    /// *explicit* in the result — [`ExploreStats::workers`] keeps the
+    /// requested count while [`ExploreStats::workers_effective`] drops to
+    /// `1` — so callers and benches never report phantom parallelism.
     pub fn explore_multi(&mut self, program: &(dyn NodeProgram + Sync)) -> ExploreResult {
         if self.config.workers <= 1 || self.config.order == ExploreOrder::Bfs {
             return self.explore(program);
@@ -239,7 +247,12 @@ impl<'a> Executor<'a> {
         worklist.push_back(Vec::new());
         let mut result = ExploreResult::default();
         let mut stats = ExploreStats {
-            workers: 1,
+            // `workers` echoes the request; `workers_effective` records that
+            // this exploration actually ran on one thread (callers reach
+            // this path either with `workers <= 1` or through the explicit
+            // BFS downgrade in `explore_multi`).
+            workers: self.config.workers.max(1),
+            workers_effective: 1,
             ..ExploreStats::default()
         };
 

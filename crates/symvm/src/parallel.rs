@@ -22,13 +22,21 @@
 //!   output is therefore independent of scheduling; only wall-clock-derived
 //!   statistics vary between runs.
 //!
-//! Budgets (`max_runs`, `max_paths`) are enforced with pool-global atomics:
-//! raising the worker count never multiplies the budget. `max_paths` is a
-//! *stop signal* under parallelism — in-flight paths on other workers may
-//! still complete, so up to `workers - 1` extra paths can be reported.
+//! Budgets (`max_runs`, `max_paths`) are enforced pool-globally *and
+//! deterministically*: raising the worker count never multiplies the budget,
+//! and a capped run reports bit-identical results for every worker count.
+//! Instead of a raced stop signal (which let up to `workers - 1`
+//! scheduling-dependent extra paths survive), each budget keeps a
+//! [`CanonicalBound`]: a bounded max-heap of the `cap` DFS-least decision
+//! prefixes seen so far. Once the heap is full, items that sort after its
+//! maximum are pruned (everything under them sorts after the eventual cut
+//! anyway), in-flight items finish normally, and the merge truncates the
+//! completed set to the first `max_runs` scheduled items / first
+//! `max_paths` paths in canonical depth-first order — exactly the set a
+//! sequential capped run completes.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -76,14 +84,104 @@ pub struct ParallelOutcome<O> {
     pub shared_cache: Arc<SharedCache>,
 }
 
+/// A decision prefix ordered by [`dfs_cmp`] (for the budget max-heaps).
+#[derive(PartialEq, Eq)]
+struct DfsKey(Vec<bool>);
+
+impl Ord for DfsKey {
+    fn cmp(&self, other: &DfsKey) -> std::cmp::Ordering {
+        dfs_cmp(&self.0, &other.0)
+    }
+}
+
+impl PartialOrd for DfsKey {
+    fn partial_cmp(&self, other: &DfsKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The canonical budget bound: a work limiter for binding budgets.
+///
+/// The *exact* canonical cut is recomputed lock-free at merge time (from
+/// the prefixes each worker collected); this structure only exists to
+/// keep a binding budget from exploring the whole space first. It is
+/// deliberately lazy: while the recorded count is below `cap` — the
+/// common, non-binding case — `record` is a single relaxed atomic
+/// increment and `prunes` a single relaxed load, with no lock traffic and
+/// no retained prefixes. Only once the count crosses `cap` does the
+/// shared max-heap start collecting prefixes, and pruning engages once it
+/// holds `cap` of them.
+///
+/// Soundness of pruning against a late-started heap: the heap holds the
+/// `cap` DFS-least of a *subset* of the recorded prefixes, so its maximum
+/// is ≥ the `cap`-th DFS-least of the full set — which itself is ≥ the
+/// final merge cut (cuts only tighten as more prefixes arrive). Any item
+/// pruned as `> heap max` therefore sorts after the final cut, and so
+/// does its entire subtree; the merge truncation would have discarded all
+/// of it anyway.
+struct CanonicalBound {
+    cap: usize,
+    count: AtomicUsize,
+    heap: Mutex<BinaryHeap<DfsKey>>,
+}
+
+impl CanonicalBound {
+    fn new(cap: usize) -> CanonicalBound {
+        CanonicalBound {
+            cap,
+            count: AtomicUsize::new(0),
+            heap: Mutex::new(BinaryHeap::new()),
+        }
+    }
+
+    /// Whether `prefix` (and with it the whole subtree below it) provably
+    /// sorts after the final cut.
+    fn prunes(&self, prefix: &[bool]) -> bool {
+        if self.cap == 0 {
+            return true;
+        }
+        if self.count.load(Ordering::Relaxed) < self.cap {
+            return false;
+        }
+        let heap = self.heap.lock().expect("budget bound poisoned");
+        heap.len() >= self.cap
+            && heap
+                .peek()
+                .is_some_and(|max| dfs_cmp(prefix, &max.0) == std::cmp::Ordering::Greater)
+    }
+
+    /// Records a prefix: counts it, and once the budget is binding also
+    /// feeds the pruning heap (keeping only the `cap` DFS-least recorded).
+    fn record(&self, prefix: &[bool]) {
+        if self.cap == 0 {
+            return;
+        }
+        let seen = self.count.fetch_add(1, Ordering::Relaxed);
+        if seen < self.cap {
+            return; // budget not binding yet: no lock, no clone
+        }
+        let mut heap = self.heap.lock().expect("budget bound poisoned");
+        if heap.len() < self.cap {
+            heap.push(DfsKey(prefix.to_vec()));
+        } else if heap
+            .peek()
+            .is_some_and(|max| dfs_cmp(prefix, &max.0) == std::cmp::Ordering::Less)
+        {
+            heap.pop();
+            heap.push(DfsKey(prefix.to_vec()));
+        }
+    }
+}
+
 /// Pool-global coordination state.
 struct Coordinator {
     deques: Vec<Mutex<VecDeque<Vec<bool>>>>,
     /// Items queued or running; the exploration is over when this is zero.
     pending: AtomicUsize,
-    runs: AtomicUsize,
-    completed: AtomicUsize,
-    stop: AtomicBool,
+    /// Canonical bound over executed item prefixes (`max_runs`).
+    run_bound: CanonicalBound,
+    /// Canonical bound over completed path decisions (`max_paths`).
+    path_bound: CanonicalBound,
     /// Per-thief steal counters.
     steals: Vec<AtomicU64>,
     idle: Mutex<()>,
@@ -91,13 +189,12 @@ struct Coordinator {
 }
 
 impl Coordinator {
-    fn new(workers: usize) -> Coordinator {
+    fn new(workers: usize, config: &ExploreConfig) -> Coordinator {
         Coordinator {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
-            runs: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
-            stop: AtomicBool::new(false),
+            run_bound: CanonicalBound::new(config.max_runs),
+            path_bound: CanonicalBound::new(config.max_paths),
             steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             idle: Mutex::new(()),
             wake: Condvar::new(),
@@ -145,7 +242,7 @@ impl Coordinator {
     }
 
     fn done(&self) -> bool {
-        self.pending.load(Ordering::SeqCst) == 0 || self.stop.load(Ordering::SeqCst)
+        self.pending.load(Ordering::SeqCst) == 0
     }
 }
 
@@ -180,10 +277,16 @@ where
     O: PathObserver + Send,
     F: Fn(usize) -> O + Sync,
 {
+    debug_assert!(
+        config.order == crate::executor::ExploreOrder::Dfs,
+        "the work-stealing pool schedules depth-first per worker and cannot \
+         reproduce BFS completion order; BFS explorations must stay on the \
+         sequential path (see Executor::explore_multi)"
+    );
     let workers = config.workers.max(1);
     let started = Instant::now();
     let shared = Arc::new(SharedCache::new());
-    let coord = Coordinator::new(workers);
+    let coord = Coordinator::new(workers, config);
     coord.push(0, Vec::new());
 
     let worker_outcomes: Vec<WorkerOutcome<O>> = std::thread::scope(|scope| {
@@ -212,7 +315,15 @@ where
             .collect()
     });
 
-    merge(base_pool, worker_outcomes, &coord, shared, started, workers)
+    merge(
+        base_pool,
+        worker_outcomes,
+        coord,
+        shared,
+        started,
+        workers,
+        config,
+    )
 }
 
 /// Everything a worker thread accumulates.
@@ -223,6 +334,13 @@ struct WorkerOutcome<O> {
     solver_stats: SolverStats,
     /// Completed paths with provisional ids, plus local stats.
     paths: Vec<PathRecord>,
+    /// The worklist-item prefix each completed path was scheduled from,
+    /// parallel to `paths` (needed for the canonical `max_runs` cut).
+    item_prefixes: Vec<Vec<bool>>,
+    /// Every item prefix this worker executed (completed or not) — the raw
+    /// material for the exact `max_runs` cut at merge time. Collected
+    /// worker-locally so the hot path takes no shared lock.
+    executed_prefixes: Vec<Vec<bool>>,
     stats: ExploreStats,
     busy: Duration,
 }
@@ -238,6 +356,8 @@ fn run_worker<O: PathObserver>(
 ) -> WorkerOutcome<O> {
     let mut registry = Registry::new(config.recv_script.clone());
     let mut paths: Vec<PathRecord> = Vec::new();
+    let mut item_prefixes: Vec<Vec<bool>> = Vec::new();
+    let mut executed_prefixes: Vec<Vec<bool>> = Vec::new();
     let mut stats = ExploreStats::default();
     let mut busy = Duration::ZERO;
 
@@ -256,20 +376,21 @@ fn run_worker<O: PathObserver>(
             continue;
         };
 
-        if coord.stop.load(Ordering::SeqCst) {
+        // Canonical budgets: an item whose prefix sorts after a full bound
+        // can only produce runs/paths the final truncation would discard, so
+        // it is dropped (descendants included) without executing. In-flight
+        // items always finish; there is no raced stop signal.
+        if coord.run_bound.prunes(&prefix) || coord.path_bound.prunes(&prefix) {
             coord.finish();
             continue;
         }
-        // Pool-global run budget: claim a slot before executing.
-        if coord.runs.fetch_add(1, Ordering::SeqCst) >= config.max_runs {
-            coord.stop.store(true, Ordering::SeqCst);
-            coord.finish();
-            continue;
-        }
+        coord.run_bound.record(&prefix);
+        executed_prefixes.push(prefix.clone());
 
         let item_started = Instant::now();
         stats.runs += 1;
         observer.on_path_start();
+        let item_prefix = prefix.clone();
         let mut env = SymEnv::new(
             &mut pool,
             &mut solver,
@@ -318,11 +439,10 @@ fn run_worker<O: PathObserver>(
                     received: &record.received,
                 };
                 observer.on_path_end(&mut cx, &record);
+                coord.path_bound.record(&record.decisions);
                 paths.push(record);
+                item_prefixes.push(item_prefix);
                 stats.completed += 1;
-                if coord.completed.fetch_add(1, Ordering::SeqCst) + 1 >= config.max_paths {
-                    coord.stop.store(true, Ordering::SeqCst);
-                }
             }
             Err(Halt::Infeasible) => stats.infeasible += 1,
             Err(Halt::Dropped) => stats.dropped += 1,
@@ -340,6 +460,8 @@ fn run_worker<O: PathObserver>(
         observer,
         solver_stats,
         paths,
+        item_prefixes,
+        executed_prefixes,
         stats,
         busy,
     }
@@ -348,20 +470,28 @@ fn run_worker<O: PathObserver>(
 fn merge<O>(
     base_pool: &mut TermPool,
     outcomes: Vec<WorkerOutcome<O>>,
-    coord: &Coordinator,
+    coord: Coordinator,
     shared: Arc<SharedCache>,
     started: Instant,
     workers: usize,
+    config: &ExploreConfig,
 ) -> ParallelOutcome<O> {
     let mut stats = ExploreStats {
         workers,
+        workers_effective: workers,
         ..ExploreStats::default()
     };
-    stats.steals = coord.steals.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+    let steals_of: Vec<u64> = coord
+        .steals
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .collect();
+    stats.steals = steals_of.iter().sum();
 
     // Import every completed path's terms into the base pool, then sort into
     // canonical DFS order and renumber.
-    let mut merged: Vec<PathRecord> = Vec::new();
+    let mut merged: Vec<(Vec<bool>, PathRecord)> = Vec::new();
+    let mut executed: Vec<Vec<bool>> = Vec::new();
     let mut reports = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         let WorkerOutcome {
@@ -370,14 +500,17 @@ fn merge<O>(
             observer,
             solver_stats,
             paths,
+            item_prefixes,
+            executed_prefixes,
             stats: ws,
             busy,
         } = outcome;
         stats.absorb_counters(&ws);
         stats.shared_cache_hits += solver_stats.shared_hits;
+        executed.extend(executed_prefixes);
 
         let mut memo: HashMap<TermId, TermId> = HashMap::new();
-        for mut record in paths {
+        for (item_prefix, mut record) in item_prefixes.into_iter().zip(paths) {
             record.constraints = record
                 .constraints
                 .iter()
@@ -385,9 +518,9 @@ fn merge<O>(
                 .collect();
             record.sent = import_messages(base_pool, &pool, record.sent, &mut memo);
             record.received = import_messages(base_pool, &pool, record.received, &mut memo);
-            merged.push(record);
+            merged.push((item_prefix, record));
         }
-        let steals = coord.steals[worker].load(Ordering::Relaxed);
+        let steals = steals_of[worker];
         reports.push(WorkerReport {
             worker,
             observer,
@@ -398,12 +531,40 @@ fn merge<O>(
         });
     }
 
-    merged.sort_by(|a, b| dfs_cmp(&a.decisions, &b.decisions));
+    // The exact canonical `max_runs` cut: the DFS-greatest of the first
+    // `max_runs` executed item prefixes, computed from the workers' local
+    // collections (the shared pruning heap is only a work limiter and may
+    // hold a late subset). `None` when the budget never bound.
+    let run_cut: Option<Vec<bool>> = if executed.len() > config.max_runs && config.max_runs > 0 {
+        let (_, cut, _) =
+            executed.select_nth_unstable_by(config.max_runs - 1, |a, b| dfs_cmp(a, b));
+        Some(cut.clone())
+    } else if config.max_runs == 0 {
+        Some(Vec::new())
+    } else {
+        None
+    };
+
+    // Canonical truncation. A sequential capped run completes exactly the
+    // first `max_runs` scheduled items (and within them the first
+    // `max_paths` paths) in depth-first order; the parallel run completed a
+    // superset, so cutting by the run bound and then truncating the sorted
+    // path list reproduces the sequential set bit-for-bit. Paths dropped
+    // here stay out of `id_map`, so observer data keyed on their
+    // provisional ids must be discarded by callers.
+    if let Some(cut) = &run_cut {
+        merged.retain(|(prefix, _)| dfs_cmp(prefix, cut) != std::cmp::Ordering::Greater);
+    }
+    merged.sort_by(|a, b| dfs_cmp(&a.1.decisions, &b.1.decisions));
+    merged.truncate(config.max_paths);
+    let mut merged: Vec<PathRecord> = merged.into_iter().map(|(_, record)| record).collect();
     let mut id_map = HashMap::with_capacity(merged.len());
     for (final_id, record) in merged.iter_mut().enumerate() {
         id_map.insert(record.id, final_id);
         record.id = final_id;
     }
+    stats.runs = stats.runs.min(config.max_runs);
+    stats.completed = merged.len();
     stats.wall_time = started.elapsed();
 
     ParallelOutcome {
@@ -610,6 +771,41 @@ mod tests {
         assert_eq!(outcome.workers.len(), 3);
         // Every provisional id is mapped.
         assert_eq!(outcome.id_map.len(), outcome.result.paths.len());
+    }
+
+    #[test]
+    fn capped_budgets_truncate_canonically_for_every_worker_count() {
+        // A binding `max_paths` (and separately `max_runs`) must leave the
+        // exact same path set as the sequential capped run: the canonical
+        // truncation replaces the old raced stop signal.
+        let run = |workers: usize, max_paths: usize, max_runs: usize| {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let config = ExploreConfig {
+                workers,
+                max_paths,
+                max_runs,
+                ..ExploreConfig::default()
+            };
+            let mut exec = Executor::new(&mut pool, &mut solver, config);
+            let result = exec.explore_multi(&branching_program);
+            result
+                .paths
+                .iter()
+                .map(|p| (p.id, p.decisions.clone(), p.notes.clone()))
+                .collect::<Vec<_>>()
+        };
+        for (max_paths, max_runs) in [(5, usize::MAX >> 1), (16, 9), (3, 7)] {
+            let seq = run(1, max_paths, max_runs);
+            assert!(!seq.is_empty());
+            for workers in [2usize, 4] {
+                assert_eq!(
+                    seq,
+                    run(workers, max_paths, max_runs),
+                    "workers={workers} max_paths={max_paths} max_runs={max_runs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! so a vote outside `{0, 1}` — accepted because the inbound validation
 //! never checks the domain — sends the decision logic through an
 //! out-of-bounds slot and wedges the coordinator.
+//!
+//! The jump table is indexed **when the decision logic runs**, not when
+//! the vote arrives: on the vote that completes a transaction's quorum
+//! ([`Coordinator::on_vote`]) and on an explicit finalize request
+//! ([`Coordinator::on_decide`]). That timing is what makes the poison an
+//! *implicit interaction*: an out-of-domain vote is recorded without
+//! incident and detonates messages later, when a quorum completes or a
+//! `DECIDE` walks the tally — the session-level failure mode
+//! single-message analysis cannot see.
 
 use crate::protocol::{MAX_TXID, N_PARTICIPANTS, VOTE_ABORT};
 
@@ -72,11 +81,47 @@ impl Coordinator {
             return false;
         }
         self.votes[txid as usize][participant as usize] = Some(vote);
-        // The vulnerable decision handler: `decision_table[vote]`.
-        if vote >= DECISION_TABLE_LEN {
+        // The decision handler runs once the quorum is complete:
+        // `decision_table[vote]` over the tally. An out-of-domain byte —
+        // whether it arrived now or was recorded messages ago — indexes out
+        // of bounds here.
+        if self.votes[txid as usize].iter().all(Option::is_some) && self.tally_poisoned(txid) {
             self.crashed = true;
         }
         true
+    }
+
+    /// Handles an explicit finalize request for `txid` with the manager's
+    /// expected `outcome` byte; returns whether the coordinator accepted
+    /// it.
+    ///
+    /// The vulnerable build indexes `decision_table[outcome]` and walks the
+    /// recorded tally (`decision_table[vote]` per vote) without a domain
+    /// check, so an out-of-domain outcome byte — or a poisoned vote
+    /// recorded earlier in the session — crashes the decision logic here.
+    pub fn on_decide(&mut self, txid: u16, outcome: u8) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if u64::from(txid) >= MAX_TXID {
+            return false;
+        }
+        if self.config.validate_vote_domain && outcome >= DECISION_TABLE_LEN {
+            return false;
+        }
+        if outcome >= DECISION_TABLE_LEN || self.tally_poisoned(txid) {
+            self.crashed = true;
+        }
+        true
+    }
+
+    /// Whether finalizing `txid` would index the decision jump table out
+    /// of bounds (some recorded vote is outside the table).
+    pub fn tally_poisoned(&self, txid: u16) -> bool {
+        self.votes[txid as usize]
+            .iter()
+            .flatten()
+            .any(|&v| v >= DECISION_TABLE_LEN)
     }
 
     /// The phase-2 decision for `txid` (any non-abort vote counts as
@@ -126,22 +171,50 @@ mod tests {
     }
 
     #[test]
-    fn out_of_domain_vote_crashes_the_vulnerable_build() {
+    fn out_of_domain_vote_crashes_at_quorum_completion() {
         let mut c = Coordinator::new(CoordinatorConfig::default());
         assert!(c.on_vote(0, 0, 0x77), "validation misses the domain check");
-        assert!(c.crashed(), "decision jump table indexed out of bounds");
+        assert!(
+            !c.crashed(),
+            "the poison is recorded silently — no quorum yet"
+        );
+        assert!(c.tally_poisoned(0));
+        assert!(c.on_vote(0, 1, 1));
+        assert!(c.on_vote(0, 2, 1), "the completing vote is accepted");
+        assert!(c.crashed(), "the decision handler indexed out of bounds");
         // The wedge is sticky: later legitimate traffic is lost.
-        assert!(!c.on_vote(0, 1, 1));
+        assert!(!c.on_vote(1, 1, 1));
     }
 
     #[test]
-    fn patched_build_rejects_out_of_domain_votes() {
+    fn poisoned_tally_crashes_on_explicit_finalize() {
+        // The VOTE→DECIDE interaction: the poison detonates one message
+        // later, when the finalize request walks the tally.
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        assert!(c.on_vote(3, 0, 0x77));
+        assert!(!c.crashed());
+        assert!(c.on_decide(3, 1), "the finalize request is accepted");
+        assert!(c.crashed(), "…and the tally walk crashed the coordinator");
+    }
+
+    #[test]
+    fn out_of_domain_outcome_crashes_the_vulnerable_build() {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        assert!(c.on_decide(0, 0x40));
+        assert!(c.crashed(), "decision_table[outcome] indexed out of bounds");
+    }
+
+    #[test]
+    fn patched_build_rejects_out_of_domain_votes_and_outcomes() {
         let mut c = Coordinator::new(CoordinatorConfig {
             validate_vote_domain: true,
         });
         assert!(!c.on_vote(0, 0, 0x77));
+        assert!(!c.on_decide(0, 0x77));
         assert!(!c.crashed());
         assert!(c.on_vote(0, 0, 1), "legitimate votes still flow");
+        assert!(c.on_decide(0, 1), "legitimate finalizes still flow");
+        assert!(!c.crashed());
     }
 
     #[test]

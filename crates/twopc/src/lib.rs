@@ -40,8 +40,11 @@ pub mod protocol;
 pub mod target;
 
 pub use engine::{Coordinator, CoordinatorConfig, Decision, DECISION_TABLE_LEN};
-pub use programs::{CoordinatorProgram, ParticipantProgram};
-pub use protocol::{
-    layout, TwopcVote, DECISION_KIND, MAX_TXID, N_PARTICIPANTS, VOTE_ABORT, VOTE_COMMIT, VOTE_KIND,
+pub use programs::{
+    ControllerProgram, CoordinatorProgram, ParticipantProgram, SessionCoordinatorProgram,
 };
-pub use target::{TwopcSpec, TwopcTarget};
+pub use protocol::{
+    decide_layout, layout, TwopcDecide, TwopcVote, DECISION_KIND, MAX_TXID, N_PARTICIPANTS,
+    VOTE_ABORT, VOTE_COMMIT, VOTE_KIND,
+};
+pub use target::{TwopcSessionTarget, TwopcSpec, TwopcTarget};

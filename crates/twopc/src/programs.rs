@@ -15,7 +15,9 @@ use achilles_solver::Width;
 use achilles_symvm::{NodeProgram, PathResult, SymEnv, SymMessage};
 
 use crate::engine::CoordinatorConfig;
-use crate::protocol::{layout, MAX_TXID, N_PARTICIPANTS, VOTE_COMMIT, VOTE_KIND};
+use crate::protocol::{
+    decide_layout, layout, DECISION_KIND, MAX_TXID, N_PARTICIPANTS, VOTE_COMMIT, VOTE_KIND,
+};
 
 /// A correct 2PC participant sending its phase-1 vote.
 #[derive(Clone, Copy, Debug, Default)]
@@ -69,6 +71,81 @@ impl NodeProgram for CoordinatorProgram {
         // unvalidated into `tally[participant] = vote` and the
         // `decision_table[vote]` lookup.
         env.note("tally[msg.participant] = msg.vote; decision_table[msg.vote]");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+/// A correct transaction manager asking the coordinator to finalize a
+/// transaction: validated transaction id, outcome restricted to
+/// `{abort, commit}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControllerProgram;
+
+impl NodeProgram for ControllerProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let txid = env.sym_in_range("txid", Width::W16, 0, MAX_TXID - 1)?;
+        let outcome = env.sym_in_range("outcome", Width::W8, 0, VOTE_COMMIT)?;
+        let kind = env.constant(DECISION_KIND, Width::W8);
+        env.send(SymMessage::new(decide_layout(), vec![kind, txid, outcome]));
+        Ok(())
+    }
+}
+
+/// The coordinator's VOTE→DECIDE session handler: one activation consumes
+/// a participant's vote, then the manager's finalize request for the
+/// *same* transaction — the cross-message state single-message analysis
+/// cannot track.
+///
+/// Neither the vote byte (slot 0) nor the outcome byte (slot 1) is
+/// domain-checked by the vulnerable build, and both flow into the
+/// two-entry decision jump table when the finalize runs — so the session
+/// is Trojan through either slot, and the slot-0 poison only detonates at
+/// slot 1 (see [`Coordinator::on_decide`](crate::Coordinator::on_decide)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionCoordinatorProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: CoordinatorConfig,
+}
+
+impl NodeProgram for SessionCoordinatorProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Slot 0: the phase-1 vote (same validation as the single-message
+        // handler — kind, txid, participant, and in the patched build only,
+        // the vote domain).
+        let vote = env.recv(&layout())?;
+        let vote_kind = env.constant(VOTE_KIND, Width::W8);
+        if !env.if_eq(vote.field("kind"), vote_kind)? {
+            return Ok(());
+        }
+        let max_txid = env.constant(MAX_TXID, Width::W16);
+        if !env.if_ult(vote.field("txid"), max_txid)? {
+            return Ok(());
+        }
+        let n_participants = env.constant(N_PARTICIPANTS, Width::W8);
+        if !env.if_ult(vote.field("participant"), n_participants)? {
+            return Ok(());
+        }
+        let table_len = env.constant(u64::from(crate::engine::DECISION_TABLE_LEN), Width::W8);
+        if self.config.validate_vote_domain && !env.if_ult(vote.field("vote"), table_len)? {
+            return Ok(());
+        }
+
+        // Slot 1: the finalize request, tied to the slot-0 transaction.
+        let decide = env.recv(&decide_layout())?;
+        let decision_kind = env.constant(DECISION_KIND, Width::W8);
+        if !env.if_eq(decide.field("kind"), decision_kind)? {
+            return Ok(());
+        }
+        if !env.if_eq(decide.field("txid"), vote.field("txid"))? {
+            return Ok(()); // finalize for a different transaction: ignored
+        }
+        if self.config.validate_vote_domain && !env.if_ult(decide.field("outcome"), table_len)? {
+            return Ok(());
+        }
+        // Security vulnerability (unpatched build): both the recorded vote
+        // byte and the outcome byte index the decision jump table here.
+        env.note("decision_table[decide.outcome]; decision_table[tally[vote.participant]]");
         env.mark_accept();
         Ok(())
     }

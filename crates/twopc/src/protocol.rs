@@ -42,6 +42,76 @@ pub fn layout() -> Arc<MessageLayout> {
         .build()
 }
 
+/// The `DECIDE` message layout (slot 1 of the VOTE→DECIDE session): the
+/// transaction manager asks the coordinator to finalize `txid` with an
+/// expected `outcome` byte (0 = abort, 1 = commit).
+pub fn decide_layout() -> Arc<MessageLayout> {
+    MessageLayout::builder("twopc_decide")
+        .field("kind", Width::W8)
+        .field("txid", Width::W16)
+        .field("outcome", Width::W8)
+        .build()
+}
+
+/// One concrete `DECIDE` message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwopcDecide {
+    /// Message kind ([`DECISION_KIND`] for real finalize requests).
+    pub kind: u8,
+    /// Transaction id to finalize.
+    pub txid: u16,
+    /// The expected outcome byte (correct managers send only 0 or 1).
+    pub outcome: u8,
+}
+
+impl TwopcDecide {
+    /// A finalize request a correct transaction manager would send.
+    pub fn correct(txid: u16, commit: bool) -> TwopcDecide {
+        TwopcDecide {
+            kind: DECISION_KIND as u8,
+            txid,
+            outcome: if commit { VOTE_COMMIT } else { VOTE_ABORT } as u8,
+        }
+    }
+
+    /// Layout-ordered field values.
+    pub fn field_values(&self) -> Vec<u64> {
+        vec![
+            u64::from(self.kind),
+            u64::from(self.txid),
+            u64::from(self.outcome),
+        ]
+    }
+
+    /// Rebuilds a decide from layout-ordered field values (truncated to
+    /// their wire widths).
+    pub fn from_field_values(fields: &[u64]) -> TwopcDecide {
+        TwopcDecide {
+            kind: fields.first().copied().unwrap_or(0) as u8,
+            txid: fields.get(1).copied().unwrap_or(0) as u16,
+            outcome: fields.get(2).copied().unwrap_or(0) as u8,
+        }
+    }
+
+    /// Encodes to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        fields_to_wire(&decide_layout(), &self.field_values())
+            .expect("the decide layout is byte-aligned")
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated buffers.
+    pub fn from_wire(wire: &[u8]) -> Result<TwopcDecide, WireError> {
+        Ok(TwopcDecide::from_field_values(&wire_to_fields(
+            &decide_layout(),
+            wire,
+        )?))
+    }
+}
+
 /// One concrete `VOTE` message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TwopcVote {
@@ -114,6 +184,13 @@ mod tests {
         let v = TwopcVote::correct(3, 2, true);
         assert_eq!(TwopcVote::from_wire(&v.to_wire()).unwrap(), v);
         assert_eq!(v.to_wire(), vec![1, 0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn decide_wire_round_trip() {
+        let d = TwopcDecide::correct(5, true);
+        assert_eq!(TwopcDecide::from_wire(&d.to_wire()).unwrap(), d);
+        assert_eq!(d.to_wire(), vec![2, 0, 5, 1]);
     }
 
     #[test]

@@ -9,13 +9,19 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, TargetSpec, TrojanReport,
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec, TargetSpec,
+    TrojanReport,
 };
 use achilles_symvm::{MessageLayout, NodeProgram};
 
 use crate::engine::{Coordinator, CoordinatorConfig, Decision, DECISION_TABLE_LEN};
-use crate::programs::{CoordinatorProgram, ParticipantProgram};
-use crate::protocol::{layout, TwopcVote, MAX_TXID, N_PARTICIPANTS, VOTE_KIND};
+use crate::programs::{
+    ControllerProgram, CoordinatorProgram, ParticipantProgram, SessionCoordinatorProgram,
+};
+use crate::protocol::{
+    decide_layout, layout, TwopcDecide, TwopcVote, DECISION_KIND, MAX_TXID, N_PARTICIPANTS,
+    VOTE_KIND,
+};
 
 /// The 2PC deployment target: a coordinator mid-phase-1, waiting on the
 /// last participant's vote for every transaction.
@@ -31,12 +37,15 @@ impl TwopcTarget {
         TwopcTarget { config }
     }
 
-    /// Boots the scenario: all participants but the last have already
-    /// voted commit on every transaction, so the injected vote decides.
+    /// Boots the scenario: every participant has a recorded commit vote on
+    /// every transaction, so any injected vote overwrites one tally slot
+    /// and re-runs the (quorum-complete) decision handler — the injected
+    /// byte decides, and an out-of-domain byte detonates the jump table
+    /// immediately.
     fn boot(&self) -> Coordinator {
         let mut coordinator = Coordinator::new(self.config);
         for txid in 0..MAX_TXID as u16 {
-            for participant in 0..(N_PARTICIPANTS - 1) as u8 {
+            for participant in 0..N_PARTICIPANTS as u8 {
                 assert!(coordinator.on_vote(txid, participant, 1));
             }
         }
@@ -117,6 +126,144 @@ impl ReplayTarget for TwopcTarget {
     }
 }
 
+/// The 2PC session deployment: a *fresh* coordinator (no recorded votes),
+/// processing a VOTE then a DECIDE in one session — the stateful scenario
+/// where an out-of-domain vote is recorded without incident and detonates
+/// only when the finalize request walks the tally.
+///
+/// Deliveries are parsed by their kind byte (votes and finalize requests
+/// share the wire's first field).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TwopcSessionTarget {
+    /// Coordinator build (patch toggle must match the analyzed server).
+    pub config: CoordinatorConfig,
+}
+
+impl TwopcSessionTarget {
+    /// A session target over the given coordinator build.
+    pub fn new(config: CoordinatorConfig) -> TwopcSessionTarget {
+        TwopcSessionTarget { config }
+    }
+
+    fn decide_generable(fields: &[u64]) -> bool {
+        let [kind, txid, outcome] = fields else {
+            return false;
+        };
+        *kind == DECISION_KIND && *txid < MAX_TXID && *outcome < u64::from(DECISION_TABLE_LEN)
+    }
+}
+
+impl ReplayTarget for TwopcSessionTarget {
+    fn name(&self) -> &'static str {
+        "twopc"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        TwopcVote::correct(0, 0, true).field_values()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        TwopcTarget::default().client_generable(fields)
+    }
+
+    fn slot_layouts(&self) -> Vec<Arc<MessageLayout>> {
+        vec![layout(), decide_layout()]
+    }
+
+    fn slot_benign_fields(&self, slot: usize) -> Vec<u64> {
+        if slot == 0 {
+            TwopcVote::correct(0, 0, true).field_values()
+        } else {
+            TwopcDecide::correct(0, true).field_values()
+        }
+    }
+
+    fn slot_generable(&self, slot: usize, fields: &[u64]) -> bool {
+        if slot == 0 {
+            self.client_generable(fields)
+        } else {
+            TwopcSessionTarget::decide_generable(fields)
+        }
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut coordinator = Coordinator::new(self.config);
+        let mut outcome = InjectionOutcome::default();
+        let mut witness_tx: Option<u16> = None;
+        for (wire, is_witness) in deliveries {
+            let crashed_before = coordinator.crashed();
+            match wire.first().map(|&k| u64::from(k)) {
+                Some(VOTE_KIND) => {
+                    let Ok(vote) = TwopcVote::from_wire(wire) else {
+                        outcome.accepted_each.push(false);
+                        outcome.effects.push("malformed".to_string());
+                        continue;
+                    };
+                    let accepted = coordinator.on_vote(vote.txid, vote.participant, vote.vote);
+                    outcome.accepted_each.push(accepted);
+                    if !accepted {
+                        outcome.effects.push(if crashed_before {
+                            "rejected:coordinator-wedged".to_string()
+                        } else {
+                            "rejected:validation".to_string()
+                        });
+                        continue;
+                    }
+                    if *is_witness {
+                        witness_tx = Some(vote.txid);
+                    }
+                    if coordinator.crashed() && !crashed_before {
+                        outcome.effects.push("crash:decision-jump-oob".to_string());
+                    }
+                }
+                Some(DECISION_KIND) => {
+                    let Ok(decide) = TwopcDecide::from_wire(wire) else {
+                        outcome.accepted_each.push(false);
+                        outcome.effects.push("malformed".to_string());
+                        continue;
+                    };
+                    let poisoned = coordinator.tally_poisoned(decide.txid);
+                    let accepted = coordinator.on_decide(decide.txid, decide.outcome);
+                    outcome.accepted_each.push(accepted);
+                    if !accepted {
+                        outcome.effects.push(if crashed_before {
+                            "rejected:coordinator-wedged".to_string()
+                        } else {
+                            "rejected:validation".to_string()
+                        });
+                        continue;
+                    }
+                    if coordinator.crashed() && !crashed_before {
+                        outcome.effects.push("crash:decide-jump-oob".to_string());
+                        if poisoned {
+                            // The implicit interaction: the crash was armed
+                            // by a vote recorded messages earlier.
+                            outcome.effects.push("tally:poisoned".to_string());
+                        }
+                    }
+                }
+                _ => {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("ignored:unknown-kind".to_string());
+                }
+            }
+        }
+        if let Some(txid) = witness_tx {
+            let decision = match coordinator.decide(txid) {
+                Decision::Pending => "decision:pending",
+                Decision::Commit => "decision:commit",
+                Decision::Abort => "decision:abort",
+            };
+            outcome.effects.push(decision.to_string());
+        }
+        outcome
+    }
+}
+
 /// The two-phase-commit protocol as a [`TargetSpec`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TwopcSpec {
@@ -186,6 +333,37 @@ impl TargetSpec for TwopcSpec {
     fn replay_target(&self) -> Box<dyn ReplayTarget> {
         Box::new(TwopcTarget::new(self.config))
     }
+
+    fn sessions(&self) -> Vec<SessionSpec> {
+        vec![SessionSpec::new(
+            "vote-decide",
+            vec![
+                SessionSlot::new("vote", layout(), vec![0]),
+                SessionSlot::new("decide", decide_layout(), vec![1]),
+            ],
+        )
+        // One accepting session path; the patched build closes both the
+        // vote-domain and outcome-domain windows.
+        .expecting(if self.config.validate_vote_domain {
+            0
+        } else {
+            1
+        })]
+    }
+
+    fn session_clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        vec![Box::new(ParticipantProgram), Box::new(ControllerProgram)]
+    }
+
+    fn session_server(&self, _name: &str) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(SessionCoordinatorProgram {
+            config: self.config,
+        })
+    }
+
+    fn session_replay_target(&self, _name: &str) -> Box<dyn ReplayTarget> {
+        Box::new(TwopcSessionTarget::new(self.config))
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +412,64 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert_eq!(seq.server_paths, par.server_paths);
+    }
+
+    #[test]
+    fn declared_session_finds_the_vote_decide_trojan_with_slot_attribution() {
+        let spec = TwopcSpec::default();
+        let mut session = AchillesSession::new(&spec);
+        let reports = session.run_sessions();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.session, "vote-decide");
+        assert_eq!(Some(r.trojans.len()), r.expected_trojans);
+        assert_eq!(
+            r.trojan_slots[0],
+            vec![0, 1],
+            "both the vote byte and the outcome byte host Trojans"
+        );
+        let parts = r.split_fields(&r.trojans[0].witness_fields);
+        let vote = TwopcVote::from_field_values(&parts[0]);
+        let decide = TwopcDecide::from_field_values(&parts[1]);
+        assert!(vote.vote >= DECISION_TABLE_LEN, "forged vote byte");
+        assert_eq!(
+            vote.txid, decide.txid,
+            "the finalize targets the poisoned transaction"
+        );
+
+        // Patched build: both windows close.
+        let patched = TwopcSpec::patched();
+        let reports = AchillesSession::new(&patched).run_sessions();
+        assert_eq!(reports[0].trojans.len(), 0);
+    }
+
+    #[test]
+    fn session_poison_detonates_at_decide_time() {
+        // The implicit interaction, concretely: the poisoned vote is
+        // accepted without incident, and the coordinator only crashes when
+        // the finalize request walks the tally one message later.
+        let target = TwopcSessionTarget::default();
+        let vote = TwopcVote {
+            kind: VOTE_KIND as u8,
+            txid: 4,
+            participant: 1,
+            vote: 0x77,
+        };
+        let decide = TwopcDecide::correct(4, true);
+        let outcome = target.inject(&[(vote.to_wire(), true), (decide.to_wire(), true)]);
+        assert_eq!(outcome.accepted_each, vec![true, true]);
+        assert!(outcome
+            .effects
+            .contains(&"crash:decide-jump-oob".to_string()));
+        assert!(outcome.effects.contains(&"tally:poisoned".to_string()));
+        assert!(!target.slot_generable(0, &vote.field_values()));
+        assert!(target.slot_generable(1, &decide.field_values()));
+
+        // A fully benign session decides nothing unusual.
+        let benign_vote = TwopcVote::correct(4, 1, true);
+        let outcome = target.inject(&[(benign_vote.to_wire(), true), (decide.to_wire(), true)]);
+        assert_eq!(outcome.accepted_each, vec![true, true]);
+        assert!(!outcome.effects.iter().any(|e| e.starts_with("crash:")));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! 1. register the spec in a [`TargetRegistry`] and select it *by name*;
 //! 2. run discovery with an [`AchillesSession`];
 //! 3. concretely confirm every finding with
-//!    [`achilles_replay::validate_spec`].
+//!    [`achilles_replay::validate_spec`];
+//! 4. declare a multi-message *session* (`hello` → request) and drive the
+//!    stateful analysis + fault-scheduled replay through the same spec —
+//!    the "Declaring a session" guide made runnable.
 //!
 //! ```text
 //! cargo run --release -p achilles-examples --example quickstart
@@ -23,10 +26,13 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesSession, Delivery, FieldMask, InjectionOutcome, ReplayTarget, TargetRegistry,
-    TargetSpec,
+    AchillesSession, Delivery, FieldMask, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec,
+    TargetRegistry, TargetSpec,
 };
-use achilles_replay::{validate_spec, ReplayCorpus, ReplayVerdict, ValidateConfig};
+use achilles_replay::{
+    validate_spec, validate_spec_sessions, ReplayCorpus, ReplayVerdict, SessionValidateConfig,
+    ValidateConfig,
+};
 use achilles_solver::{render_conjunction, Width};
 use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
 
@@ -135,6 +141,46 @@ fn server(env: &mut SymEnv<'_>) -> PathResult<()> {
     Ok(()) // default: discard
 }
 
+// ---------------------------------------------------------------------------
+// Declaring a session: hello → request
+// ---------------------------------------------------------------------------
+
+/// Nonce window the *client* library requests from (exclusive).
+const HELLO_CLIENT_NONCE_CAP: u64 = 100;
+/// Nonce window the *server* accepts (exclusive) — the session S-bug.
+const HELLO_SERVER_NONCE_CAP: u64 = 1000;
+
+fn hello_layout() -> Arc<MessageLayout> {
+    MessageLayout::builder("hello")
+        .field("peer", Width::W16)
+        .field("nonce", Width::W16)
+        .build()
+}
+
+/// Slot-0 client: a peer announces itself with a validated nonce.
+fn hello_client(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let peer = env.sym_in_range("hello_peer", Width::W16, 0, MAX_PEER)?;
+    let nonce = env.sym_in_range("hello_nonce", Width::W16, 0, HELLO_CLIENT_NONCE_CAP - 1)?;
+    env.send(SymMessage::new(hello_layout(), vec![peer, nonce]));
+    Ok(())
+}
+
+/// The session server: a lax hello gate (nonces 10× the client window pass
+/// — the stateful S-bug), then the ordinary request handler. One
+/// activation, two `recv`s, in declared slot order.
+fn session_server(env: &mut SymEnv<'_>) -> PathResult<()> {
+    let hello = env.recv(&hello_layout())?;
+    let max_peer = env.constant(MAX_PEER, Width::W16);
+    if !env.if_ule(hello.field("peer"), max_peer)? {
+        return Ok(());
+    }
+    let cap = env.constant(HELLO_SERVER_NONCE_CAP, Width::W16); // BUG: 10× the client cap
+    if !env.if_ult(hello.field("nonce"), cap)? {
+        return Ok(());
+    }
+    server(env)
+}
+
 /// The concrete §2 server, bootable per injection: the same checks as the
 /// symbolic program, acting on a real data array.
 struct QuickstartTarget;
@@ -209,6 +255,95 @@ impl ReplayTarget for QuickstartTarget {
     }
 }
 
+/// The concrete session deployment: a hello gate in front of the §2
+/// server. Deliveries parse by wire length (hello = 4 bytes).
+struct QuickstartSessionTarget;
+
+impl ReplayTarget for QuickstartSessionTarget {
+    fn name(&self) -> &'static str {
+        "quickstart"
+    }
+
+    fn layout(&self) -> Arc<MessageLayout> {
+        layout()
+    }
+
+    fn benign_fields(&self) -> Vec<u64> {
+        QuickstartTarget.benign_fields()
+    }
+
+    fn client_generable(&self, fields: &[u64]) -> bool {
+        QuickstartTarget.client_generable(fields)
+    }
+
+    fn slot_layouts(&self) -> Vec<Arc<MessageLayout>> {
+        vec![hello_layout(), layout()]
+    }
+
+    fn slot_benign_fields(&self, slot: usize) -> Vec<u64> {
+        if slot == 0 {
+            vec![1, 7]
+        } else {
+            QuickstartTarget.benign_fields()
+        }
+    }
+
+    fn slot_generable(&self, slot: usize, fields: &[u64]) -> bool {
+        if slot == 0 {
+            let [peer, nonce] = fields else { return false };
+            *peer <= MAX_PEER && *nonce < HELLO_CLIENT_NONCE_CAP
+        } else {
+            QuickstartTarget.client_generable(fields)
+        }
+    }
+
+    fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut outcome = InjectionOutcome::default();
+        let mut greeted = false;
+        // Request state is replayed through the inner (pure) target:
+        // every new request re-injects the accumulated prefix, and only
+        // the effects past the previous call's count are new.
+        let mut requests: Vec<Delivery> = Vec::new();
+        let mut prior_effects = 0usize;
+        for (wire, is_witness) in deliveries {
+            if wire.len() == 4 {
+                let Ok(fields) = achilles::wire_to_fields(&hello_layout(), wire) else {
+                    outcome.accepted_each.push(false);
+                    continue;
+                };
+                let accepted = fields[0] <= MAX_PEER && fields[1] < HELLO_SERVER_NONCE_CAP;
+                outcome.accepted_each.push(accepted);
+                if accepted {
+                    greeted = true;
+                    outcome.effects.push("hello:ok".to_string());
+                    if fields[1] >= HELLO_CLIENT_NONCE_CAP {
+                        outcome.effects.push("family:forged-hello".to_string());
+                    }
+                } else {
+                    outcome.effects.push("hello:rejected".to_string());
+                }
+                continue;
+            }
+            if !greeted {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("rejected:no-hello".to_string());
+                continue;
+            }
+            requests.push((wire.clone(), *is_witness));
+            let request_outcome = QuickstartTarget.inject(&requests);
+            outcome
+                .accepted_each
+                .push(*request_outcome.accepted_each.last().expect("just pushed"));
+            let total_effects = request_outcome.effects.len();
+            outcome
+                .effects
+                .extend(request_outcome.effects.into_iter().skip(prior_effects));
+            prior_effects = total_effects;
+        }
+        outcome
+    }
+}
+
 /// The §2 protocol as a `TargetSpec` — the complete porting surface.
 struct QuickstartSpec;
 
@@ -246,6 +381,37 @@ impl TargetSpec for QuickstartSpec {
 
     fn replay_target(&self) -> Box<dyn ReplayTarget> {
         Box::new(QuickstartTarget)
+    }
+
+    // --- Declaring a session (step 5 of the porting guide). ---------------
+    // An ordered slot list: each slot names its wire layout and which
+    // session clients can legally fill it (indices into
+    // `session_clients`). The session server consumes one `recv` per slot;
+    // the session replay target replays whole sequences.
+
+    fn sessions(&self) -> Vec<SessionSpec> {
+        vec![SessionSpec::new(
+            "hello-request",
+            vec![
+                SessionSlot::new("hello", hello_layout(), vec![0]),
+                SessionSlot::new("request", layout(), vec![1]),
+            ],
+        )
+        // Both accepting paths (READ and WRITE) host the forged-hello
+        // Trojan; READ additionally hosts the negative-address one.
+        .expecting(2)]
+    }
+
+    fn session_clients(&self) -> Vec<Box<dyn NodeProgram + Sync + '_>> {
+        vec![Box::new(hello_client), Box::new(client)]
+    }
+
+    fn session_server(&self, _name: &str) -> Box<dyn NodeProgram + Sync + '_> {
+        Box::new(session_server)
+    }
+
+    fn session_replay_target(&self, _name: &str) -> Box<dyn ReplayTarget> {
+        Box::new(QuickstartSessionTarget)
     }
 }
 
@@ -319,5 +485,53 @@ fn main() {
     println!(
         "\nAchilles found the paper's Trojan: a READ for negative address {addr} \
          (reads outside the data array — e.g. the server's peer list)."
+    );
+
+    // 4. Sessions: the same spec declares a hello → request session whose
+    //    hello gate accepts nonces no client requests. The registry-driven
+    //    session analysis finds the stateful Trojan and attributes it to
+    //    the hello slot; session replay confirms it concretely.
+    println!("\n== session Trojans (hello → request) ==");
+    let reports = AchillesSession::new(&**spec).run_sessions();
+    let session_report = &reports[0];
+    assert_eq!(
+        Some(session_report.trojans.len()),
+        session_report.expected_trojans
+    );
+    for (t, slots) in session_report
+        .trojans
+        .iter()
+        .zip(&session_report.trojan_slots)
+    {
+        let parts = session_report.split_fields(&t.witness_fields);
+        println!(
+            "path {}: Trojan slot(s) {slots:?}; hello peer={} nonce={} then request={}",
+            t.server_path_id, parts[0][0], parts[0][1], parts[1][1],
+        );
+        assert!(slots.contains(&0), "the hello gate is the weak link");
+        assert!(
+            (HELLO_CLIENT_NONCE_CAP..HELLO_SERVER_NONCE_CAP).contains(&parts[0][1]),
+            "the forged nonce sits in the server-only window"
+        );
+    }
+    let mut session_corpus = ReplayCorpus::new();
+    let session_summary = validate_spec_sessions(
+        &**spec,
+        session_report,
+        &mut session_corpus,
+        &SessionValidateConfig::default(),
+    );
+    assert_eq!(session_summary.confirmed, session_report.trojans.len());
+    println!(
+        "replayed {} session witness(es): {} confirmed, e.g. signature {}",
+        session_summary.replayed,
+        session_summary.confirmed,
+        session_summary.confirmed_signatures[0].to_line(),
+    );
+    println!(
+        "\nThe hello slot accepts nonces in [{HELLO_CLIENT_NONCE_CAP}, \
+         {HELLO_SERVER_NONCE_CAP}) that no correct client requests — a \
+         session-level Trojan invisible to single-message analysis of the \
+         request slot alone."
     );
 }

@@ -9,6 +9,12 @@
 //! ```text
 //! cargo run --release -p achilles-examples --example session_trojans
 //! ```
+//!
+//! This example drives `analyze_sequence` by hand to show the machinery;
+//! protocols normally *declare* their sessions on the `TargetSpec`
+//! (`TargetSpec::sessions`) and get discovery + fault-scheduled replay
+//! through `AchillesSession::run_sessions` — see `examples/quickstart.rs`
+//! ("Declaring a session") and the FSP/twopc crates.
 
 use std::sync::Arc;
 

@@ -10,10 +10,11 @@
 //! per-path solver query is deterministic given its (structural) assertion
 //! set. Only wall-clock-derived statistics may differ between runs.
 //!
-//! The guarantee is scoped to explorations that run to completion: when a
-//! `max_paths`/`max_runs` budget stops a parallel search early, the stop is
-//! a raced signal and the surviving path set is scheduling-dependent (see
-//! `ExploreConfig::workers`). Every scenario below explores exhaustively.
+//! The guarantee covers capped runs too: a binding `max_paths`/`max_runs`
+//! budget truncates the completed set to the canonical depth-first prefix
+//! (in-flight items finish, the merge cuts at the sequential bound), so
+//! capped parallel runs are bit-identical to capped sequential runs — the
+//! capped-budget cases below pin exactly that.
 
 use std::sync::Arc;
 
@@ -365,8 +366,137 @@ fn a_posteriori_diff_is_worker_count_invariant() {
 }
 
 // ---------------------------------------------------------------------------
+// Capped budgets (canonical truncation)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn capped_max_paths_pipeline_is_worker_count_invariant() {
+    // A binding `max_paths` on the server exploration used to leave a
+    // scheduling-dependent Trojan set (raced stop signal); the canonical
+    // truncation makes capped runs bit-identical for every worker count.
+    let run = |workers: usize, max_paths: usize| {
+        let mut achilles = Achilles::new();
+        let config = AchillesConfig {
+            server_explore: ExploreConfig {
+                workers,
+                max_paths,
+                ..ExploreConfig::default()
+            },
+            ..AchillesConfig::verified()
+        };
+        let spec = achilles_fsp::FspSpec::accuracy();
+        use achilles::TargetSpec;
+        let client = spec.clients().remove(0);
+        let server = spec.server();
+        let report = achilles.run(&*client, &*server, &achilles_fsp::layout(), &config);
+        (report_keys(&report.trojans), report.server_paths)
+    };
+    for max_paths in [5usize, 17, 40] {
+        let (seq_keys, seq_paths) = run(1, max_paths);
+        let (par_keys, par_paths) = run(4, max_paths);
+        assert_eq!(seq_paths, par_paths, "max_paths={max_paths}: path counts");
+        assert!(seq_paths <= max_paths, "the cap binds or bounds");
+        assert_eq!(
+            seq_keys, par_keys,
+            "max_paths={max_paths}: capped Trojan sets + witnesses"
+        );
+    }
+}
+
+#[test]
+fn bfs_downgrade_is_surfaced_not_silent() {
+    // BFS-ordered explorations run sequentially regardless of the worker
+    // request; `workers_effective` must say so.
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::{Executor, ExploreOrder};
+
+    fn program(env: &mut SymEnv<'_>) -> PathResult<()> {
+        for i in 0..3 {
+            let b = env.sym(&format!("b{i}"), Width::BOOL);
+            let _ = env.branch(b)?;
+        }
+        env.mark_accept();
+        Ok(())
+    }
+
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let config = ExploreConfig {
+        workers: 4,
+        order: ExploreOrder::Bfs,
+        ..ExploreConfig::default()
+    };
+    let mut exec = Executor::new(&mut pool, &mut solver, config);
+    let result = exec.explore_multi(&program);
+    assert_eq!(result.stats.workers, 4, "the request is echoed");
+    assert_eq!(
+        result.stats.workers_effective, 1,
+        "…but the downgrade to sequential is explicit"
+    );
+
+    // The DFS parallel path reports what it actually used.
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new();
+    let config = ExploreConfig {
+        workers: 4,
+        ..ExploreConfig::default()
+    };
+    let mut exec = Executor::new(&mut pool, &mut solver, config);
+    let result = exec.explore_multi(&program);
+    assert_eq!(result.stats.workers_effective, 4);
+}
+
+// ---------------------------------------------------------------------------
 // Session (multi-message) search
 // ---------------------------------------------------------------------------
+
+#[test]
+fn registry_session_trojans_are_worker_count_invariant() {
+    // Session Trojans through the `TargetSpec` surface: every spec that
+    // declares sessions must produce the identical session report for
+    // workers 1 and 4 — including under a binding `max_paths` cap.
+    use achilles::{AchillesSession, SessionReport};
+    use achilles_targets::builtin_registry;
+
+    let registry = builtin_registry();
+    let mut specs_with_sessions = 0usize;
+    for spec in registry.iter() {
+        if spec.sessions().is_empty() {
+            continue;
+        }
+        specs_with_sessions += 1;
+        let key = |reports: &[SessionReport]| {
+            reports
+                .iter()
+                .map(|r| {
+                    (
+                        r.session.clone(),
+                        r.server_paths,
+                        report_keys(&r.trojans),
+                        r.trojan_slots.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let run = |workers: usize, max_paths: usize| {
+            let mut session = AchillesSession::new(&**spec).workers(workers);
+            session.config_mut().server_explore.max_paths = max_paths;
+            key(&session.run_sessions())
+        };
+        let name = spec.name();
+        let seq = run(1, usize::MAX >> 1);
+        assert!(!seq.is_empty(), "{name}: declared sessions analyzed");
+        assert_eq!(
+            seq,
+            run(4, usize::MAX >> 1),
+            "{name}: uncapped bit-identity"
+        );
+        // A binding cap truncates canonically for both worker counts.
+        let capped_seq = run(1, 7);
+        assert_eq!(capped_seq, run(4, 7), "{name}: capped bit-identity");
+    }
+    assert!(specs_with_sessions >= 2, "fsp and twopc declare sessions");
+}
 
 #[test]
 fn session_search_is_worker_count_invariant() {

@@ -18,11 +18,21 @@
 //!    decodes back to the same field values through the spec's codec
 //!    hooks, and spec/target metadata agree.
 //!
+//! Specs that declare [`TargetSpec::sessions`] additionally clear the
+//! session contract: ≥ 1 session Trojan discovered through
+//! [`AchillesSession::run_sessions`] (exact when the session declares a
+//! count), slot attribution present, 100% concrete confirmation under
+//! [`FaultSchedule::none`], and a session corpus round-trip with fully
+//! incremental re-validation.
+//!
 //! Adding a protocol crate + one registry registration automatically puts
 //! it under this contract — that is the point of the API.
 
 use achilles::{AchillesSession, TargetSpec};
-use achilles_replay::{validate_spec, ReplayCorpus, ReplayVerdict, ValidateConfig};
+use achilles_replay::{
+    validate_spec, validate_spec_sessions, FaultSchedule, ReplayCorpus, ReplayVerdict,
+    SessionValidateConfig, ValidateConfig,
+};
 use achilles_targets::builtin_registry;
 
 #[test]
@@ -42,6 +52,106 @@ fn every_registered_spec_meets_the_conformance_contract() {
     assert!(!registry.is_empty());
     for spec in registry.iter() {
         conformance(&**spec);
+    }
+}
+
+#[test]
+fn every_declared_session_meets_the_session_contract() {
+    let registry = builtin_registry();
+    let mut specs_with_sessions = 0usize;
+    for spec in registry.iter() {
+        if spec.sessions().is_empty() {
+            continue;
+        }
+        specs_with_sessions += 1;
+        session_conformance(&**spec);
+    }
+    assert!(
+        specs_with_sessions >= 2,
+        "fsp and twopc both declare sessions"
+    );
+}
+
+fn session_conformance(spec: &dyn TargetSpec) {
+    let name = spec.name();
+    let declared = spec.sessions();
+    let reports = AchillesSession::new(spec).run_sessions();
+    assert_eq!(reports.len(), declared.len(), "{name}: one report/session");
+    for (session, report) in declared.iter().zip(&reports) {
+        let sname = format!("{name}/{}", session.name);
+        assert_eq!(report.session, session.name, "{sname}: provenance");
+        assert!(
+            !report.trojans.is_empty(),
+            "{sname}: every declared session must host at least one Trojan"
+        );
+        if let Some(expected) = session.expected_trojans {
+            assert_eq!(report.trojans.len(), expected, "{sname}: expected count");
+        }
+        assert_eq!(
+            report.trojans.len(),
+            report.trojan_slots.len(),
+            "{sname}: slot attribution present for every report"
+        );
+        assert!(
+            report.trojan_slots.iter().all(|s| !s.is_empty()),
+            "{sname}: every report names its Trojan slots"
+        );
+
+        // --- Concrete confirmation under the fault-free schedule. ----------
+        let mut corpus = ReplayCorpus::new();
+        let summary = validate_spec_sessions(
+            spec,
+            report,
+            &mut corpus,
+            &SessionValidateConfig {
+                schedule: FaultSchedule::none(),
+                ..SessionValidateConfig::default()
+            },
+        );
+        assert_eq!(
+            summary.replayed,
+            report.trojans.len(),
+            "{sname}: all replay"
+        );
+        assert_eq!(
+            summary.confirmed,
+            report.trojans.len(),
+            "{sname}: 100% of session Trojans must confirm concretely"
+        );
+        assert!(summary
+            .results
+            .iter()
+            .all(|r| r.verdict == ReplayVerdict::ConfirmedTrojan));
+        // The concrete slot attribution overlaps the symbolic one.
+        for (result, slots) in summary.results.iter().zip(&report.trojan_slots) {
+            assert!(
+                result.trojan_slots.iter().any(|s| slots.contains(s)),
+                "{sname}: concrete and symbolic slot attribution agree on \
+                 at least one slot ({:?} vs {:?})",
+                result.trojan_slots,
+                slots
+            );
+        }
+
+        // --- Session corpus round-trip + incremental re-validation. --------
+        let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+        assert_eq!(
+            reloaded.entries(),
+            corpus.entries(),
+            "{sname}: session corpus text round-trip"
+        );
+        let second = validate_spec_sessions(
+            spec,
+            report,
+            &mut reloaded,
+            &SessionValidateConfig::default(),
+        );
+        assert_eq!(second.replayed, 0, "{sname}: reloaded corpus skips all");
+        assert_eq!(
+            second.skipped_known,
+            report.trojans.len(),
+            "{sname}: incremental session re-validation"
+        );
     }
 }
 

@@ -13,11 +13,12 @@
 
 use std::time::Instant;
 
-use achilles_bench::{arg_present, arg_value, bar, fmt_secs, header, row};
+use achilles_bench::{arg_present, arg_value, bar, fmt_secs, header, host_cores, row};
 use achilles_fsp::{run_analysis, FspAnalysisConfig};
 
 struct Sweep {
     workers: usize,
+    workers_effective: usize,
     wall_s: f64,
     server_s: f64,
     trojans: usize,
@@ -31,9 +32,7 @@ struct Sweep {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = host_cores();
     // Post-parse branching deepens every accepting parse with state-dependent
     // subtrees (the regime of the paper's real run); it also makes the sweep
     // long enough that scaling is not noise-dominated.
@@ -68,6 +67,7 @@ fn main() {
         let server_s = result.server_time.as_secs_f64();
         sweeps.push(Sweep {
             workers,
+            workers_effective: result.explore_stats.workers_effective.max(1),
             wall_s: wall.as_secs_f64(),
             server_s,
             trojans: result.trojans.len(),
@@ -124,14 +124,16 @@ fn main() {
         json.push_str(&format!(
             "  \"workload\": \"FSP accuracy, 8 utilities, post-parse depth {depth}\",\n"
         ));
-        json.push_str(&format!("  \"cores\": {cores},\n"));
+        json.push_str(&format!("  \"host_cores\": {cores},\n"));
         json.push_str("  \"sweep\": [\n");
         for (i, s) in sweeps.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"workers\": {}, \"wall_s\": {:.4}, \"server_s\": {:.4}, \
+                "    {{\"workers\": {}, \"workers_effective\": {}, \"wall_s\": {:.4}, \
+                 \"server_s\": {:.4}, \
                  \"speedup_vs_1\": {:.3}, \"trojans\": {}, \"steals\": {}, \
                  \"shared_cache_hits\": {}, \"solver_queries\": {}, \"efficiency\": {:.3}}}{}\n",
                 s.workers,
+                s.workers_effective,
                 s.wall_s,
                 s.server_s,
                 base / s.server_s.max(1e-9),

@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use achilles::AchillesSession;
-use achilles_bench::{arg_present, arg_value, arg_value_required, header, row};
+use achilles_bench::{arg_present, arg_value, arg_value_required, header, host_cores, row};
 use achilles_replay::{
     validate_spec, validate_spec_sessions, ReplayCorpus, SessionValidateConfig, ValidateConfig,
 };
@@ -62,6 +62,22 @@ fn corpus_path(dir: &str, name: &str) -> PathBuf {
     PathBuf::from(dir).join(format!("{name}.corpus"))
 }
 
+/// Loads a corpus, treating a malformed file as empty *loudly* (the
+/// strict v2 parser reports the offending line; a CI cache hit on a
+/// corrupt file should re-validate, not crash the bench).
+fn load_corpus(path: &std::path::Path) -> ReplayCorpus {
+    match ReplayCorpus::load(path) {
+        Ok(corpus) => corpus,
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring corpus {} ({e}); re-validating from scratch",
+                path.display()
+            );
+            ReplayCorpus::new()
+        }
+    }
+}
+
 fn session_corpus_path(dir: &str, name: &str) -> PathBuf {
     PathBuf::from(dir).join(format!("{name}.sessions.corpus"))
 }
@@ -71,7 +87,7 @@ fn validate_sessions(spec: &dyn achilles::TargetSpec, corpus_dir: Option<&str>) 
     let mut driver = AchillesSession::new(spec);
     let reports = driver.run_sessions();
     let mut corpus = match corpus_dir {
-        Some(dir) => ReplayCorpus::load(&session_corpus_path(dir, name)).unwrap_or_default(),
+        Some(dir) => load_corpus(&session_corpus_path(dir, name)),
         None => ReplayCorpus::new(),
     };
     let mut runs = Vec::with_capacity(reports.len());
@@ -140,7 +156,7 @@ fn validate_system(
 ) -> SystemRun {
     let name = spec.name();
     let mut corpus = match corpus_dir {
-        Some(dir) => ReplayCorpus::load(&corpus_path(dir, name)).unwrap_or_default(),
+        Some(dir) => load_corpus(&corpus_path(dir, name)),
         None => ReplayCorpus::new(),
     };
     let config = ValidateConfig {
@@ -263,7 +279,8 @@ fn main() {
     header(&format!("replay fan-out sweep ({sweep_name} witnesses)"));
     let sweep_spec = registry.get(sweep_name).expect("validated above");
     let sweep_counts = [1usize, 2, 4, 8];
-    let mut sweep = Vec::new();
+    // (workers requested, workers effective, wall seconds, witnesses/sec).
+    let mut sweep: Vec<(usize, usize, f64, f64)> = Vec::new();
     let mut reference: Option<Vec<(Vec<u64>, String)>> = None;
     for &workers in &sweep_counts {
         let mut corpus = ReplayCorpus::new();
@@ -288,14 +305,17 @@ fn main() {
             ),
         }
         let wps = summary.replayed as f64 / wall.max(1e-9);
+        // The replay fan-out claims items from a shared cursor: more
+        // workers than witnesses can never run.
+        let effective = workers.min(summary.replayed.max(1));
         println!(
             "{}",
             row(
                 &format!("workers={workers}"),
-                format!("{wall:.3}s, {wps:.0} witnesses/s")
+                format!("{wall:.3}s, {wps:.0} witnesses/s ({effective} effective)")
             )
         );
-        sweep.push((workers, wall, wps));
+        sweep.push((workers, effective, wall, wps));
     }
 
     if arg_present("--json") {
@@ -306,7 +326,9 @@ fn main() {
             path
         };
         let mut json = String::new();
-        json.push_str("{\n  \"bench\": \"replay_validation\",\n  \"systems\": [\n");
+        json.push_str("{\n  \"bench\": \"replay_validation\",\n");
+        json.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+        json.push_str("  \"systems\": [\n");
         for (i, r) in runs.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"system\": \"{}\", \"discovered\": {}, \"confirmed\": {}, \
@@ -339,9 +361,10 @@ fn main() {
             ));
         }
         json.push_str("  ],\n  \"sweep\": [\n");
-        for (i, (workers, wall, wps)) in sweep.iter().enumerate() {
+        for (i, (workers, effective, wall, wps)) in sweep.iter().enumerate() {
             json.push_str(&format!(
-                "    {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \
+                "    {{\"workers\": {workers}, \"workers_effective\": {effective}, \
+                 \"wall_s\": {wall:.4}, \
                  \"witnesses_per_sec\": {wps:.1}}}{}\n",
                 if i + 1 == sweep.len() { "" } else { "," },
             ));

@@ -1,0 +1,217 @@
+//! Fault-schedule sweep campaigns over every session-bearing target —
+//! which delivery faults arm or disarm each session Trojan.
+//!
+//! The bin is registry-driven: it iterates every registered
+//! [`TargetSpec`](achilles::TargetSpec) that declares sessions (or one
+//! selected with `--target NAME`), discovers its session Trojans, replays
+//! each witness under the planner's whole bounded schedule space, and
+//! prints the per-session sensitivity totals (Armed / Disarmed / Masked /
+//! NewSignature). There is no per-protocol code path: a new protocol
+//! crate that declares a session gets a sweep row automatically.
+//!
+//! ```text
+//! cargo run --release -p achilles-bench --bin sweep_campaign -- --json
+//! ```
+//!
+//! Every run re-sweeps the campaign at `workers ∈ {1, 4}` with fresh
+//! caches and asserts the sensitivity matrices are bit-identical — scaling
+//! must never buy speed with soundness.
+//!
+//! With `--corpus DIR`, each target's sweep cells persist to
+//! `DIR/<name>.sweep` across runs (the CI cache wires this up keyed on
+//! the corpus format version, which the sweep-cache header tracks), so
+//! cross-commit re-sweeps replay only genuinely new (witness, schedule)
+//! pairs.
+//!
+//! With `--json [PATH]`, emits `BENCH_sweep.json` including the host core
+//! count and the effective worker count of each row, so multicore
+//! measurements stay interpretable.
+
+use std::path::PathBuf;
+
+use achilles_bench::{arg_present, arg_value, arg_value_required, header, host_cores, row};
+use achilles_sweep::{
+    schedule_token, sweep_report, CampaignConfig, ScheduleClass, SessionSweep, SweepCache,
+};
+use achilles_targets::builtin_registry;
+
+fn sweep_cache_path(dir: &str, name: &str) -> PathBuf {
+    PathBuf::from(dir).join(format!("{name}.sweep"))
+}
+
+/// The scheduling-independent fingerprint of a campaign: every matrix's
+/// (schedule, class, signature) rows, in plan order.
+fn campaign_key(sweeps: &[SessionSweep]) -> Vec<Vec<(String, ScheduleClass, String)>> {
+    sweeps
+        .iter()
+        .flat_map(|s| &s.matrices)
+        .map(|m| {
+            m.cells
+                .iter()
+                .map(|c| (schedule_token(&c.schedule), c.class, c.signature.to_line()))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let registry = builtin_registry();
+    let selected = arg_value_required("--target");
+    let names: Vec<&str> = match &selected {
+        Some(name) => {
+            if registry.get(name).is_none() {
+                eprintln!(
+                    "unknown --target {name:?}; registered targets: {}",
+                    registry.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+            vec![name.as_str()]
+        }
+        None => registry.names(),
+    };
+    let corpus_dir = arg_value_required("--corpus");
+    let workers = achilles_bench::workers_from_args().max(1);
+    let cores = host_cores();
+
+    header(&format!(
+        "Fault-schedule sweep campaigns ({}; {cores} host core(s))",
+        names.join(" + ")
+    ));
+
+    let mut rows: Vec<(SessionSweep, usize)> = Vec::new();
+    for name in &names {
+        let spec = registry.get(name).expect("validated above");
+        if spec.sessions().is_empty() {
+            println!("{}", row(name, "no declared sessions — skipped"));
+            continue;
+        }
+
+        // Symbolic session discovery runs ONCE per target; the worker
+        // comparison and the recorded run sweep the same reports.
+        let mut driver = achilles::AchillesSession::new(&**spec).workers(workers);
+        let reports = driver.run_sessions();
+
+        // Worker-count bit-identity: fresh caches on both sides, so every
+        // cell is genuinely replayed and compared.
+        for report in &reports {
+            let seq = sweep_report(
+                &**spec,
+                report,
+                &CampaignConfig::default(),
+                &mut SweepCache::new(),
+            );
+            let par = sweep_report(
+                &**spec,
+                report,
+                &CampaignConfig::default().with_workers(4),
+                &mut SweepCache::new(),
+            );
+            assert_eq!(
+                campaign_key(std::slice::from_ref(&seq)),
+                campaign_key(std::slice::from_ref(&par)),
+                "{name}/{}: sensitivity matrices must be identical for every \
+                 worker count",
+                report.session
+            );
+        }
+
+        // The recorded run: cache-assisted and persistent when --corpus is
+        // given.
+        let mut cache = match corpus_dir.as_deref() {
+            Some(dir) => SweepCache::load(&sweep_cache_path(dir, name)).unwrap_or_default(),
+            None => SweepCache::new(),
+        };
+        let sweeps: Vec<SessionSweep> = reports
+            .iter()
+            .map(|report| {
+                sweep_report(
+                    &**spec,
+                    report,
+                    &CampaignConfig::default().with_workers(workers),
+                    &mut cache,
+                )
+            })
+            .collect();
+        if let Some(dir) = corpus_dir.as_deref() {
+            std::fs::create_dir_all(dir).expect("create corpus dir");
+            cache
+                .save(&sweep_cache_path(dir, name))
+                .expect("persist sweep cache");
+        }
+        for sweep in sweeps {
+            assert_eq!(
+                sweep.confirmed_fault_free, sweep.discovered,
+                "{name}/{}: every session Trojan must confirm under the \
+                 fault-free baseline before its schedule space means anything",
+                sweep.session
+            );
+            assert!(
+                sweep.discovered == 0 || (sweep.armed >= 1 && sweep.disarmed >= 1),
+                "{name}/{}: a session Trojan's sensitivity matrix must name \
+                 at least one arming and one disarming schedule",
+                sweep.session
+            );
+            println!(
+                "{}",
+                row(
+                    &format!("{name}/{}", sweep.session),
+                    format!(
+                        "{} Trojans, {} cells: {} armed, {} disarmed, {} masked, \
+                         {} new-signature; {} replayed, {} cached ({:.3}s)",
+                        sweep.discovered,
+                        sweep.cells,
+                        sweep.armed,
+                        sweep.disarmed,
+                        sweep.masked,
+                        sweep.new_signature,
+                        sweep.replayed,
+                        sweep.cache_hits,
+                        sweep.elapsed.as_secs_f64(),
+                    )
+                )
+            );
+            rows.push((sweep, workers));
+        }
+    }
+
+    if arg_present("--json") {
+        let path = arg_value("--json").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+        let path = if path.starts_with("--") {
+            "BENCH_sweep.json".to_string()
+        } else {
+            path
+        };
+        let mut json = String::new();
+        json.push_str("{\n  \"bench\": \"sweep_campaign\",\n");
+        json.push_str(&format!("  \"host_cores\": {cores},\n"));
+        json.push_str("  \"sessions\": [\n");
+        for (i, (s, requested)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"system\": \"{}\", \"session\": \"{}\", \"discovered\": {}, \
+                 \"confirmed_fault_free\": {}, \"cells\": {}, \"armed\": {}, \
+                 \"disarmed\": {}, \"masked\": {}, \"new_signature\": {}, \
+                 \"replayed\": {}, \"cache_hits\": {}, \"workers\": {}, \
+                 \"workers_effective\": {}, \"wall_s\": {:.4}}}{}\n",
+                s.target,
+                s.session,
+                s.discovered,
+                s.confirmed_fault_free,
+                s.cells,
+                s.armed,
+                s.disarmed,
+                s.masked,
+                s.new_signature,
+                s.replayed,
+                s.cache_hits,
+                requested,
+                s.workers_effective,
+                s.elapsed.as_secs_f64(),
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("\n  wrote {path}");
+    }
+}

@@ -40,6 +40,15 @@ pub fn arg_value_required(flag: &str) -> Option<String> {
     value
 }
 
+/// Host logical core count (1 when undetectable) — recorded in every
+/// bench JSON so multicore measurements are interpretable: a sweep run on
+/// a 1-core container cannot show real speedups, and the JSON now says so.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Worker-thread count from `--workers N` (default 1 = sequential).
 pub fn workers_from_args() -> usize {
     arg_value("--workers")

@@ -177,6 +177,24 @@
 //!    declared sessions to the same bar automatically;
 //!    `examples/quickstart.rs` walks the whole step with a hello→request
 //!    session.
+//! 6. **Sweep fault schedules** (optional — for schedule-sensitive
+//!    findings). A session Trojan validated under one fault plan says
+//!    nothing about *which* delivery faults arm or disarm it — the
+//!    question that decides whether an S3-style corruption survives real
+//!    network weather. `achilles_sweep::run_campaign` takes the same spec
+//!    and replays every witness under a bounded, canonically deduplicated
+//!    schedule space (drop / duplicate / benign-interleave / single
+//!    bit-flip, per slot and wire bit), classifying each outcome against
+//!    the fault-free baseline as Armed / Disarmed / Masked / NewSignature
+//!    and folding the rows into a per-witness `SensitivityMatrix` (text
+//!    export through [`export`]'s record vocabulary). The `sweep_campaign`
+//!    bench bin drives it per registry target and emits
+//!    `BENCH_sweep.json`; the conformance suite automatically holds every
+//!    declared session to "≥ 1 arming and ≥ 1 disarming schedule, and
+//!    dropping the arming slot disarms". `achilles-gossip`'s 3-slot
+//!    seed→sync→read session is the shipped reference;
+//!    `examples/quickstart.rs` runs a mini-sweep on its hello→request
+//!    session.
 //!
 //! ## Crate map
 //!

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use achilles_solver::{Solver, TermId, TermPool};
+use achilles_solver::{SharedCache, Solver, TermId, TermPool};
 use achilles_symvm::{
     Executor, ExploreConfig, ExploreStats, MessageLayout, NodeProgram, SymMessage,
 };
@@ -130,21 +130,48 @@ impl AchillesConfig {
 
 /// The Achilles analysis engine: shared pool, solver, and pipeline drivers.
 ///
+/// The engine owns one [`SharedCache`] for its whole lifetime, attached to
+/// the base solver and inherited by every worker solver a parallel phase
+/// spawns — so a query the client phase paid for is a cache hit during the
+/// server-path drop checks, and stays one across later session analyses on
+/// the same engine. Each phase is an epoch of the cache; the reuse is
+/// reported per exploration as
+/// [`ExploreStats::cross_phase_cache_hits`].
+///
 /// # Examples
 ///
 /// See the crate-level docs for the full working example of the paper's §2.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Achilles {
     /// The shared term pool (exposed for custom queries over the results).
     pub pool: TermPool,
     /// The shared caching solver.
     pub solver: Solver,
+    shared: Arc<SharedCache>,
+}
+
+impl Default for Achilles {
+    fn default() -> Achilles {
+        let shared = Arc::new(SharedCache::new());
+        Achilles {
+            pool: TermPool::new(),
+            solver: Solver::new().with_shared_cache(Arc::clone(&shared)),
+            shared,
+        }
+    }
 }
 
 impl Achilles {
     /// Creates an engine with default solver configuration.
     pub fn new() -> Achilles {
         Achilles::default()
+    }
+
+    /// The engine-lifetime shared query cache (every pipeline phase — and
+    /// every worker solver a parallel phase spawns — publishes into and
+    /// reads from this one cache).
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.shared
     }
 
     /// Phase 1: extracts the client predicate from a client program.

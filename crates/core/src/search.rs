@@ -20,6 +20,7 @@
 //!   path predicate.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use achilles_solver::{SatResult, Solver, TermId, TermPool, VarId};
@@ -143,6 +144,12 @@ fn negate_all(
                 // ad-hoc variables can never alias across subsystems.
                 let mut wpool = pool.fork(0x4E45_4700 + w as u64 + 1); // "NEG\0"
                 let mut wsolver = Solver::with_config(solver.config().clone());
+                if let Some(shared) = solver.shared_cache() {
+                    // Inherit the engine's persistent cache: negation
+                    // soundness checks publish into (and read from) the
+                    // same pool of results every other phase uses.
+                    wsolver = wsolver.with_shared_cache(Arc::clone(shared));
+                }
                 scope.spawn(move || {
                     let mut wstats = NegateStats::default();
                     let negs: Vec<(usize, NegatedPath)> = (w..n)
@@ -217,6 +224,10 @@ pub fn prepare_client_workers(
     workers: usize,
 ) -> PreparedClient {
     let started = Instant::now();
+    // Pre-processing is its own phase of the engine's persistent cache.
+    if let Some(shared) = solver.shared_cache() {
+        shared.advance_epoch();
+    }
     let mut negate_stats = NegateStats::default();
     let negations = negate_all(
         pool,
@@ -542,9 +553,17 @@ pub fn run_trojan_search(
     if explore.workers <= 1 || explore.order == achilles_symvm::ExploreOrder::Bfs {
         let queries_before = solver.stats().queries;
         let solve_before = solver.stats().solve_time;
+        let shared_before = solver.stats().shared_hits;
+        // The sequential search is its own pipeline phase of the engine's
+        // persistent cache: hits on entries an earlier phase published
+        // (client extraction, preprocessing) are cross-phase reuse.
+        let cross_before = solver.shared_cache().map(|s| {
+            s.advance_epoch();
+            s.stats().cross_epoch_hits
+        });
         let item_started = Instant::now();
         let mut observer = TrojanObserver::new(prepared, opts, verify_witnesses);
-        let result = {
+        let mut result = {
             let mut exec = Executor::new(pool, solver, explore);
             exec.explore_observed(server, &mut observer)
         };
@@ -554,11 +573,16 @@ pub fn run_trojan_search(
             stats,
             ..
         } = observer;
+        result.stats.shared_cache_hits = solver.stats().shared_hits - shared_before;
+        if let (Some(before), Some(shared)) = (cross_before, solver.shared_cache()) {
+            result.stats.cross_phase_cache_hits =
+                shared.stats().cross_epoch_hits.saturating_sub(before);
+        }
         let summary = WorkerSummary {
             worker: 0,
             solve_time: solver.stats().solve_time - solve_before,
             queries: solver.stats().queries - queries_before,
-            shared_hits: 0,
+            shared_hits: solver.stats().shared_hits - shared_before,
             steals: 0,
             busy: item_started.elapsed(),
         };

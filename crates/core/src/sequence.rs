@@ -270,6 +270,11 @@ pub fn analyze_sequence_with(
         explore.sym_salt = SESSION_SYM_SALT;
     }
     if explore.workers <= 1 || explore.order == achilles_symvm::ExploreOrder::Bfs {
+        // A new phase of the engine's persistent cache (the parallel
+        // branch advances inside the pool).
+        if let Some(shared) = solver.shared_cache() {
+            shared.advance_epoch();
+        }
         let mut observer = SequenceObserver::new(slots, opts);
         let result = {
             let mut exec = Executor::new(pool, solver, explore);

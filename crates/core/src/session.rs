@@ -194,10 +194,15 @@ impl<'s> AchillesSession<'s> {
         }
     }
 
-    /// Fans the pre-processing and server analysis out over `n`
-    /// work-stealing workers (`1` = sequential).
+    /// Fans the client exploration, pre-processing, and server analysis
+    /// out over `n` work-stealing workers (`1` = sequential). All three
+    /// phases share the engine's persistent query cache, so raising the
+    /// worker count also turns repeated queries *across* phases into
+    /// cross-phase cache hits
+    /// ([`ExploreStats::cross_phase_cache_hits`](achilles_symvm::ExploreStats)).
     pub fn workers(mut self, n: usize) -> AchillesSession<'s> {
         self.config.server_explore.workers = n.max(1);
+        self.config.client_explore.workers = n.max(1);
         self
     }
 
@@ -462,6 +467,7 @@ fn accumulate_stats(into: &mut ExploreStats, part: &ExploreStats) {
     into.workers_effective = into.workers_effective.max(part.workers_effective);
     into.steals += part.steals;
     into.shared_cache_hits += part.shared_cache_hits;
+    into.cross_phase_cache_hits += part.cross_phase_cache_hits;
     into.wall_time += part.wall_time;
 }
 
@@ -581,6 +587,32 @@ mod tests {
         assert_eq!(registry.len(), 1);
         let report = AchillesSession::new(&**registry.get("kv").unwrap()).run();
         assert_eq!(report.trojans.len(), 1);
+    }
+
+    #[test]
+    fn engine_cache_persists_across_phases_and_runs() {
+        // The engine attaches one SharedCache for its lifetime: a later
+        // phase's worker solvers re-use queries an earlier phase paid for,
+        // and the reuse is visible as cross-phase cache hits — without
+        // perturbing any result.
+        let spec = KvSpec;
+        let mut session = AchillesSession::new(&spec).workers(4);
+        let first = session.run();
+        let second = session.run();
+        assert_eq!(
+            first.trojans[0].witness_fields, second.trojans[0].witness_fields,
+            "cache reuse never changes results"
+        );
+        assert!(
+            second.client_explore.cross_phase_cache_hits > 0,
+            "re-exploring the client re-uses the first run's published \
+             queries (shared hits: {}, cross-phase: {})",
+            second.client_explore.shared_cache_hits,
+            second.client_explore.cross_phase_cache_hits,
+        );
+        let cache = session.engine().shared_cache().stats();
+        assert!(cache.cross_epoch_hits > 0);
+        assert!(cache.cross_epoch_hits <= cache.hits);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The concrete gossip node: a versioned state table with the crashable
+//! status-resolution logic the symbolic model abstracts.
+//!
+//! The node mirrors the failure shape of the 2008 S3 outage the paper
+//! opens with: a state record whose status byte is outside the legal
+//! domain is **accepted by ingest validation** (which checks the key and
+//! version but not the status), **propagated cluster-wide** by the
+//! anti-entropy machinery (which forwards records verbatim — corruption
+//! included), and only **detonates at read time**, when the status byte
+//! indexes the two-entry status table ([`GossipNode::on_read`]). That
+//! timing is the implicit interaction: the poison arrives in one message,
+//! spreads in another, and crashes on a third.
+
+use crate::protocol::{MAX_VERSION, N_KEYS, STATUS_DOWN};
+
+/// Size of the status table (one slot per legal status value).
+pub const STATUS_TABLE_LEN: u8 = 2;
+
+/// Node configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Patch for the status-domain bug: reject seeds whose status is
+    /// outside `{0, 1}` at ingest time, before they reach the store.
+    pub validate_status_domain: bool,
+}
+
+/// One stored state record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipRecord {
+    /// Record version (last-writer-wins).
+    pub version: u16,
+    /// The raw status byte, exactly as it arrived.
+    pub status: u8,
+}
+
+/// What resolving a key's status produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// No record stored for the key.
+    Miss,
+    /// The status table resolved the record (`true` = up).
+    Status(bool),
+    /// The status byte indexed past the table: the node crashed.
+    TableOverrun,
+}
+
+/// A deterministic gossip node tracking [`N_KEYS`] state records.
+#[derive(Clone, Debug)]
+pub struct GossipNode {
+    config: GossipConfig,
+    records: Vec<Option<GossipRecord>>,
+    propagated: Vec<bool>,
+    crashed: bool,
+}
+
+impl GossipNode {
+    /// A fresh node with an empty state table.
+    pub fn new(config: GossipConfig) -> GossipNode {
+        GossipNode {
+            config,
+            records: vec![None; N_KEYS as usize],
+            propagated: vec![false; N_KEYS as usize],
+            crashed: false,
+        }
+    }
+
+    /// Whether the status-resolution logic has crashed (table overrun).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The stored record for `key`, if any.
+    pub fn record(&self, key: u8) -> Option<GossipRecord> {
+        self.records.get(key as usize).copied().flatten()
+    }
+
+    /// Whether `key`'s stored record would overrun the status table.
+    pub fn record_poisoned(&self, key: u8) -> bool {
+        self.record(key)
+            .is_some_and(|r| r.status >= STATUS_TABLE_LEN)
+    }
+
+    /// Whether a `SYNC` round has propagated `key`'s record to the peers.
+    pub fn propagated(&self, key: u8) -> bool {
+        self.propagated.get(key as usize).copied().unwrap_or(false)
+    }
+
+    /// Handles one inbound `SEED`; returns whether the node accepted
+    /// (validated and stored) it. Records are last-writer-wins: a seed
+    /// whose version is below the stored one is rejected as stale.
+    ///
+    /// A crashed node accepts nothing — the wedge is sticky.
+    pub fn on_seed(&mut self, key: u8, version: u16, status: u8) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if u64::from(key) >= N_KEYS || u64::from(version) >= MAX_VERSION {
+            return false;
+        }
+        if self.config.validate_status_domain && status >= STATUS_TABLE_LEN {
+            return false;
+        }
+        // Security vulnerability (unpatched build): the status byte is
+        // stored verbatim and only indexes `status_table[status]` at read
+        // time — ingest never checks the domain.
+        if let Some(existing) = self.records[key as usize] {
+            if version < existing.version {
+                return false; // stale: the stored record wins
+            }
+        }
+        self.records[key as usize] = Some(GossipRecord { version, status });
+        true
+    }
+
+    /// Handles one inbound `SYNC`: propagates `key`'s record (if any) to
+    /// the cluster, verbatim — corruption included. Returns whether the
+    /// node accepted the request.
+    pub fn on_sync(&mut self, key: u8) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if u64::from(key) >= N_KEYS {
+            return false;
+        }
+        if self.records[key as usize].is_some() {
+            self.propagated[key as usize] = true;
+        }
+        true
+    }
+
+    /// Handles one inbound `READ`: resolves `key`'s status through the
+    /// two-entry status table. Returns whether the node accepted the
+    /// request; resolving a poisoned record crashes the node *after*
+    /// acceptance (the read was valid — the stored byte was not).
+    pub fn on_read(&mut self, key: u8) -> bool {
+        if self.crashed {
+            return false;
+        }
+        if u64::from(key) >= N_KEYS {
+            return false;
+        }
+        if self.resolve(key) == Resolution::TableOverrun {
+            self.crashed = true;
+        }
+        true
+    }
+
+    /// Resolves `key`'s status through the table without mutating state.
+    pub fn resolve(&self, key: u8) -> Resolution {
+        match self.record(key) {
+            None => Resolution::Miss,
+            Some(r) if r.status >= STATUS_TABLE_LEN => Resolution::TableOverrun,
+            Some(r) => Resolution::Status(u64::from(r.status) != STATUS_DOWN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_sync_read_round_trip_with_legal_status() {
+        let mut n = GossipNode::new(GossipConfig::default());
+        assert!(n.on_seed(1, 3, 1));
+        assert!(n.on_sync(1));
+        assert!(n.propagated(1));
+        assert!(n.on_read(1));
+        assert!(!n.crashed());
+        assert_eq!(n.resolve(1), Resolution::Status(true));
+    }
+
+    #[test]
+    fn poisoned_status_is_accepted_propagated_and_detonates_at_read() {
+        let mut n = GossipNode::new(GossipConfig::default());
+        assert!(n.on_seed(2, 1, 0x77), "ingest misses the domain check");
+        assert!(!n.crashed(), "the poison is stored silently");
+        assert!(n.record_poisoned(2));
+        assert!(n.on_sync(2), "anti-entropy forwards the record verbatim");
+        assert!(n.propagated(2), "the corruption spread cluster-wide");
+        assert!(n.on_read(2), "the read request itself is valid");
+        assert!(n.crashed(), "status_table[0x77] indexed out of bounds");
+        // The wedge is sticky: later legitimate traffic is lost.
+        assert!(!n.on_seed(0, 1, 1));
+        assert!(!n.on_read(0));
+    }
+
+    #[test]
+    fn stale_versions_lose_to_the_stored_record() {
+        let mut n = GossipNode::new(GossipConfig::default());
+        assert!(n.on_seed(0, 5, 1));
+        assert!(!n.on_seed(0, 4, 0), "stale");
+        assert!(n.on_seed(0, 5, 0), "equal versions re-accept (idempotent)");
+        assert_eq!(n.record(0).unwrap().status, 0);
+    }
+
+    #[test]
+    fn patched_build_rejects_out_of_domain_status() {
+        let mut n = GossipNode::new(GossipConfig {
+            validate_status_domain: true,
+        });
+        assert!(!n.on_seed(2, 1, 0x77));
+        assert!(n.on_seed(2, 1, 1), "legitimate seeds still flow");
+        assert!(n.on_read(2));
+        assert!(!n.crashed());
+    }
+
+    #[test]
+    fn unknown_keys_and_versions_are_rejected() {
+        let mut n = GossipNode::new(GossipConfig::default());
+        assert!(!n.on_seed(N_KEYS as u8, 0, 1));
+        assert!(!n.on_seed(0, MAX_VERSION as u16, 1));
+        assert!(!n.on_sync(N_KEYS as u8));
+        assert!(!n.on_read(N_KEYS as u8));
+        assert_eq!(n.resolve(0), Resolution::Miss);
+    }
+}

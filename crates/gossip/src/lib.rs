@@ -1,0 +1,56 @@
+//! # achilles-gossip — a gossip/anti-entropy store under Achilles
+//!
+//! A bounded gossip node with a **status-domain Trojan** in the exact
+//! shape of the 2008 S3 outage the paper opens with: peers validate the
+//! status byte of every state record they seed, but the node's ingest
+//! validation checks only the kind, key, and version. A record with
+//! `status ∉ {0, 1}` is therefore stored verbatim, **propagated
+//! cluster-wide** by the anti-entropy `SYNC` round (which forwards records
+//! corruption-included), and detonates only when a `READ` resolves it
+//! through the two-entry status table — two messages after the poison
+//! arrived (the implicit-interaction shape of arXiv:2006.06045).
+//!
+//! The crate exists for two reasons:
+//!
+//! * it is the proving ground for `achilles-sweep`'s fault-schedule
+//!   campaigns — its session Trojan is inherently *schedule-sensitive*
+//!   (dropping the seed disarms it, duplicating the seed keeps it armed,
+//!   a bit flip can re-arm it differently), which is what a sensitivity
+//!   matrix makes measurable;
+//! * its declared `seed-sync-read` session is the first **3-slot**
+//!   session in the repository, exercising the session machinery beyond
+//!   the 2-slot protocols.
+//!
+//! Like `achilles-twopc`, the protocol joins every registry-driven driver
+//! through a single `registry.register(Arc::new(GossipSpec::default()))`
+//! call, with zero changes to `achilles-core`, `achilles-replay`,
+//! `achilles-sweep`, or the bench bins.
+//!
+//! ```
+//! use achilles::AchillesSession;
+//! use achilles_gossip::{GossipSeed, GossipSpec, STATUS_TABLE_LEN};
+//!
+//! let spec = GossipSpec::default();
+//! let report = AchillesSession::new(&spec).run();
+//! assert_eq!(report.trojans.len(), 1);
+//! let seed = GossipSeed::from_field_values(&report.trojans[0].witness_fields);
+//! assert!(seed.status >= STATUS_TABLE_LEN, "an out-of-domain status byte");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod programs;
+pub mod protocol;
+pub mod target;
+
+pub use engine::{GossipConfig, GossipNode, GossipRecord, Resolution, STATUS_TABLE_LEN};
+pub use programs::{
+    IngestProgram, PeerSeedProgram, ReadClientProgram, SessionGossipProgram, SyncClientProgram,
+};
+pub use protocol::{
+    read_layout, seed_layout, sync_layout, GossipRequest, GossipSeed, MAX_VERSION, N_KEYS, N_PEERS,
+    READ_KIND, SEED_KIND, STATUS_DOWN, STATUS_UP, SYNC_KIND,
+};
+pub use target::{GossipSessionTarget, GossipSpec, GossipTarget};

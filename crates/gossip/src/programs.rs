@@ -1,0 +1,215 @@
+//! Symbolic node programs: the seeding peer, the sync/read requesters
+//! (clients), and the node's ingest and session handlers (servers).
+//!
+//! The peer library validates everything it seeds — key in range, version
+//! in range, and a status that is exactly `STATUS_DOWN` or `STATUS_UP`.
+//! The node's ingest handler validates the kind, the key, and the version,
+//! but **not the status domain**: the byte is stored verbatim and indexes
+//! the two-entry status table only when a later `READ` resolves the
+//! record. Every `SEED` with `status ∉ {0, 1}` is therefore a Trojan —
+//! accepted by the node, producible by no correct peer — and the concrete
+//! build crashes on it at resolution time
+//! ([`GossipNode::on_read`](crate::GossipNode::on_read)).
+
+use achilles_solver::Width;
+use achilles_symvm::{NodeProgram, PathResult, SymEnv, SymMessage};
+
+use crate::engine::{GossipConfig, STATUS_TABLE_LEN};
+use crate::protocol::{
+    read_layout, seed_layout, sync_layout, MAX_VERSION, N_KEYS, READ_KIND, SEED_KIND, STATUS_UP,
+    SYNC_KIND,
+};
+
+/// A correct peer pushing one observed state record.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeerSeedProgram;
+
+impl NodeProgram for PeerSeedProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Symbolic inputs, validated like the peer library validates them
+        // before anything reaches the wire.
+        let key = env.sym_in_range("key", Width::W8, 0, N_KEYS - 1)?;
+        let version = env.sym_in_range("version", Width::W16, 0, MAX_VERSION - 1)?;
+        let status = env.sym_in_range("status", Width::W8, 0, STATUS_UP)?;
+        let kind = env.constant(SEED_KIND, Width::W8);
+        env.send(SymMessage::new(
+            seed_layout(),
+            vec![kind, key, version, status],
+        ));
+        Ok(())
+    }
+}
+
+/// A correct peer requesting an anti-entropy round for one key.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncClientProgram;
+
+impl NodeProgram for SyncClientProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let key = env.sym_in_range("key", Width::W8, 0, N_KEYS - 1)?;
+        let kind = env.constant(SYNC_KIND, Width::W8);
+        env.send(SymMessage::new(sync_layout(), vec![kind, key]));
+        Ok(())
+    }
+}
+
+/// A correct peer asking the node to resolve one key's status.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadClientProgram;
+
+impl NodeProgram for ReadClientProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let key = env.sym_in_range("key", Width::W8, 0, N_KEYS - 1)?;
+        let kind = env.constant(READ_KIND, Width::W8);
+        env.send(SymMessage::new(read_layout(), vec![kind, key]));
+        Ok(())
+    }
+}
+
+/// The node's inbound `SEED` (ingest) handler as a node program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: GossipConfig,
+}
+
+impl NodeProgram for IngestProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&seed_layout())?;
+        let seed_kind = env.constant(SEED_KIND, Width::W8);
+        if !env.if_eq(msg.field("kind"), seed_kind)? {
+            return Ok(()); // not a seed: ignored
+        }
+        let n_keys = env.constant(N_KEYS, Width::W8);
+        if !env.if_ult(msg.field("key"), n_keys)? {
+            return Ok(()); // unknown key: rejected
+        }
+        let max_version = env.constant(MAX_VERSION, Width::W16);
+        if !env.if_ult(msg.field("version"), max_version)? {
+            return Ok(()); // out-of-range version: rejected
+        }
+        if self.config.validate_status_domain {
+            let table_len = env.constant(u64::from(STATUS_TABLE_LEN), Width::W8);
+            if !env.if_ult(msg.field("status"), table_len)? {
+                return Ok(()); // patched build: out-of-domain status rejected
+            }
+        }
+        // Security vulnerability (unpatched build): the status byte flows
+        // unvalidated into the store and the read-time table lookup.
+        env.note("records[msg.key] = {msg.version, msg.status}; status_table[msg.status] at read");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+/// The node's seed→sync→read session handler: one activation ingests a
+/// record, propagates it on a peer's `SYNC`, and resolves it on a peer's
+/// `READ` — the cross-message state single-message analysis cannot track,
+/// and the 3-slot shape the `SessionSpec` machinery had not exercised
+/// before this crate.
+///
+/// The status byte (slot 0) is not domain-checked by the vulnerable
+/// build; it rides through the `SYNC` propagation untouched and indexes
+/// the status table only when the `READ` resolves the record — so the
+/// session is Trojan through slot 0 alone, and the poison detonates two
+/// messages after it arrived (see
+/// [`GossipNode::on_read`](crate::GossipNode::on_read)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionGossipProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: GossipConfig,
+}
+
+impl NodeProgram for SessionGossipProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Slot 0: the seed (same validation as the single-message ingest —
+        // kind, key, version, and in the patched build only, the status
+        // domain).
+        let seed = env.recv(&seed_layout())?;
+        let seed_kind = env.constant(SEED_KIND, Width::W8);
+        if !env.if_eq(seed.field("kind"), seed_kind)? {
+            return Ok(());
+        }
+        let n_keys = env.constant(N_KEYS, Width::W8);
+        if !env.if_ult(seed.field("key"), n_keys)? {
+            return Ok(());
+        }
+        let max_version = env.constant(MAX_VERSION, Width::W16);
+        if !env.if_ult(seed.field("version"), max_version)? {
+            return Ok(());
+        }
+        if self.config.validate_status_domain {
+            let table_len = env.constant(u64::from(STATUS_TABLE_LEN), Width::W8);
+            if !env.if_ult(seed.field("status"), table_len)? {
+                return Ok(());
+            }
+        }
+
+        // Slot 1: the anti-entropy round, tied to the seeded key — the
+        // propagation step that spreads the record (corruption included)
+        // cluster-wide.
+        let sync = env.recv(&sync_layout())?;
+        let sync_kind = env.constant(SYNC_KIND, Width::W8);
+        if !env.if_eq(sync.field("kind"), sync_kind)? {
+            return Ok(());
+        }
+        if !env.if_eq(sync.field("key"), seed.field("key"))? {
+            return Ok(()); // a sync for some other key: not this session
+        }
+
+        // Slot 2: the status resolution for the same key.
+        let read = env.recv(&read_layout())?;
+        let read_kind = env.constant(READ_KIND, Width::W8);
+        if !env.if_eq(read.field("kind"), read_kind)? {
+            return Ok(());
+        }
+        if !env.if_eq(read.field("key"), seed.field("key"))? {
+            return Ok(()); // a read of some other key: not this session
+        }
+        // Security vulnerability (unpatched build): the stored status byte
+        // indexes the two-entry status table here, two messages after it
+        // was accepted.
+        env.note("status_table[records[read.key].status]");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::{Executor, ExploreConfig, Verdict};
+
+    #[test]
+    fn peer_has_one_validated_send_path() {
+        let mut pool = TermPool::new();
+        let mut solver = Solver::new();
+        let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+        let result = exec.explore(&PeerSeedProgram);
+        let senders: Vec<_> = result.paths.iter().filter(|p| !p.sent.is_empty()).collect();
+        assert_eq!(senders.len(), 1);
+    }
+
+    #[test]
+    fn ingest_has_one_accepting_path_per_build() {
+        for (patched, expect_depth) in [(false, 3), (true, 4)] {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let program = IngestProgram {
+                config: GossipConfig {
+                    validate_status_domain: patched,
+                },
+            };
+            let result = exec.explore(&program);
+            let accepting: Vec<_> = result
+                .paths
+                .iter()
+                .filter(|p| p.verdict == Verdict::Accept)
+                .collect();
+            assert_eq!(accepting.len(), 1);
+            assert_eq!(accepting[0].decisions.len(), expect_depth);
+        }
+    }
+}

@@ -14,8 +14,16 @@
 //! header check and loads as an empty corpus — by design, since v1 entries
 //! cannot express slot boundaries (this is also what keys the CI corpus
 //! cache: a format bump invalidates it).
+//!
+//! Within a well-versioned file, malformed entries are **hard errors**
+//! with a line number ([`CorpusParseError`]), not silent skips: a corpus
+//! is what lets re-validation *not* replay a witness, so a truncated
+//! session record that quietly vanished would silently re-classify its
+//! witness as unknown — or worse, a half-written file would pass for a
+//! smaller corpus.
 
 use std::collections::HashSet;
+use std::fmt;
 
 use achilles::export::{parse_session_witness_record, session_witness_record, witness_record};
 
@@ -23,6 +31,23 @@ use crate::signature::CrashSignature;
 
 /// File-format version tag (first line of every corpus file).
 const HEADER: &str = "# achilles-replay corpus v2";
+
+/// A malformed corpus entry, with the 1-based line it sits on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusParseError {
+    /// 1-based line number of the malformed entry.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for CorpusParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CorpusParseError {}
 
 /// One persisted confirmed Trojan.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -201,15 +226,32 @@ impl ReplayCorpus {
         out
     }
 
-    /// Parses the [`ReplayCorpus::to_text`] form. Malformed lines are
-    /// skipped; a missing or wrong header yields an empty corpus.
-    pub fn from_text(text: &str) -> ReplayCorpus {
+    /// Parses the [`ReplayCorpus::to_text`] form.
+    ///
+    /// A missing or wrong header yields an empty corpus — that is the
+    /// format-version gate, and a stale format is not an error. Within a
+    /// well-versioned file, a malformed entry *is* one: re-validation
+    /// trusts the corpus to decide which witnesses to skip, so a record
+    /// that silently vanished would corrupt that decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CorpusParseError`] naming the first malformed line
+    /// (1-based) — an unparsable signature, a truncated or non-numeric
+    /// `/`-separated per-slot record, an empty slot, or a malformed
+    /// essential-field list.
+    pub fn from_text(text: &str) -> Result<ReplayCorpus, CorpusParseError> {
         let mut corpus = ReplayCorpus::new();
-        let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(HEADER) {
-            return corpus;
+        let mut lines = text.lines().enumerate();
+        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
+            return Ok(corpus);
         }
-        for line in lines {
+        for (index, line) in lines {
+            let lineno = index + 1;
+            let err = |reason: &str| CorpusParseError {
+                line: lineno,
+                reason: reason.to_string(),
+            };
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -218,14 +260,23 @@ impl ReplayCorpus {
             let (Some(sig), Some(fields), Some(essential)) =
                 (parts.next(), parts.next(), parts.next())
             else {
-                continue;
+                return Err(err("expected `signature|fields|essential`"));
             };
             let Some(signature) = CrashSignature::from_line(sig) else {
-                continue;
+                return Err(err(&format!("unparsable crash signature {sig:?}")));
             };
             let Some(slot_fields) = parse_session_witness_record(fields) else {
-                continue;
+                return Err(err(&format!(
+                    "malformed witness record {fields:?} (expected decimal \
+                     fields, slots separated by `/`)"
+                )));
             };
+            if slot_fields.len() > 1 && slot_fields.iter().any(Vec::is_empty) {
+                return Err(err(&format!(
+                    "truncated session record {fields:?}: every slot must \
+                     carry at least one field"
+                )));
+            }
             let essential: Vec<usize> = if essential.is_empty() {
                 Vec::new()
             } else {
@@ -235,7 +286,11 @@ impl ReplayCorpus {
                     .collect()
                 {
                     Some(v) => v,
-                    None => continue,
+                    None => {
+                        return Err(err(&format!(
+                            "malformed essential-field list {essential:?}"
+                        )))
+                    }
                 }
             };
             let slot_lens: Vec<usize> = if slot_fields.len() <= 1 {
@@ -250,7 +305,7 @@ impl ReplayCorpus {
                 essential,
             });
         }
-        corpus
+        Ok(corpus)
     }
 
     /// Writes the corpus to a file.
@@ -266,10 +321,13 @@ impl ReplayCorpus {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors other than `NotFound`.
+    /// Propagates I/O errors other than `NotFound`; a malformed entry
+    /// surfaces as [`std::io::ErrorKind::InvalidData`] carrying the
+    /// line-numbered [`CorpusParseError`].
     pub fn load(path: &std::path::Path) -> std::io::Result<ReplayCorpus> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Ok(ReplayCorpus::from_text(&text)),
+            Ok(text) => ReplayCorpus::from_text(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(ReplayCorpus::new()),
             Err(e) => Err(e),
         }
@@ -298,7 +356,7 @@ mod tests {
         let mut corpus = ReplayCorpus::new();
         corpus.insert(entry("fsp", vec![68, 0, 3], "family:x"));
         corpus.insert(entry("pbft", vec![1, 2], "outcome:recovered"));
-        let back = ReplayCorpus::from_text(&corpus.to_text());
+        let back = ReplayCorpus::from_text(&corpus.to_text()).unwrap();
         assert_eq!(back.entries(), corpus.entries());
         assert_eq!(back.distinct_signatures(), 2);
     }
@@ -329,16 +387,58 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_skipped() {
-        let text = format!("{HEADER}\ngarbage\nfsp/confirmed/a|1,2|\n|||\n");
-        let corpus = ReplayCorpus::from_text(&text);
-        assert_eq!(corpus.len(), 1);
-        assert_eq!(ReplayCorpus::from_text("no header").len(), 0);
-        // A v1 corpus (old header) is stale by definition: empty load.
+    fn malformed_lines_are_line_numbered_errors() {
+        // Regression: malformed entries used to be skipped silently, so a
+        // half-written corpus passed for a smaller one and re-validation
+        // replayed (or worse, skipped) the wrong witnesses.
+        let text = format!("{HEADER}\n\nfsp/confirmed/a|1,2|\ngarbage\n");
+        let err = ReplayCorpus::from_text(&text).unwrap_err();
+        assert_eq!(err.line, 4, "1-based line of the malformed entry");
+        assert!(err.to_string().contains("line 4"), "{err}");
+
+        let bad_sig = format!("{HEADER}\nfsp/not-a-verdict/a|1,2|\n");
+        let err = ReplayCorpus::from_text(&bad_sig).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("signature"), "{err}");
+
+        let bad_essential = format!("{HEADER}\nfsp/confirmed/a|1,2|0,x\n");
+        let err = ReplayCorpus::from_text(&bad_essential).unwrap_err();
+        assert!(err.reason.contains("essential"), "{err}");
+
+        // Missing or stale headers stay a version gate, not an error.
+        assert_eq!(ReplayCorpus::from_text("no header").unwrap().len(), 0);
         assert_eq!(
-            ReplayCorpus::from_text("# achilles-replay corpus v1\nfsp/confirmed/a|1,2|\n").len(),
+            ReplayCorpus::from_text("# achilles-replay corpus v1\nfsp/confirmed/a|1,2|\n")
+                .unwrap()
+                .len(),
             0
         );
+    }
+
+    #[test]
+    fn truncated_session_records_are_rejected_with_their_line() {
+        // The truncated `/`-separated record regression: "3,150/" parses
+        // as a second, empty slot — a witness that cannot exist.
+        let text =
+            format!("{HEADER}\nfsp/confirmed@s2/a|3,150/68,0,1|\nfsp/confirmed@s2/b|3,150/|\n");
+        let err = ReplayCorpus::from_text(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("truncated"), "{err}");
+
+        // Non-numeric slot fields are rejected too, with the same line.
+        let text = format!("{HEADER}\nfsp/confirmed@s2/a|3,150/6x,0|\n");
+        let err = ReplayCorpus::from_text(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("witness record"), "{err}");
+
+        // And the loader surfaces the parse error as InvalidData.
+        let dir = std::env::temp_dir().join("achilles-corpus-parse-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.corpus");
+        std::fs::write(&path, format!("{HEADER}\nfsp/confirmed@s2/b|3,150/|\n")).unwrap();
+        let err = ReplayCorpus::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -358,7 +458,7 @@ mod tests {
 
         let text = corpus.to_text();
         assert!(text.contains("3,150/68,0,1"), "{text}");
-        let back = ReplayCorpus::from_text(&text);
+        let back = ReplayCorpus::from_text(&text).unwrap();
         assert_eq!(back.entries(), corpus.entries());
         assert!(back.knows_session_witness(&slots));
         assert_eq!(back.entries()[0].slot_fields(), slots);

@@ -70,7 +70,7 @@ pub mod target;
 pub mod validate;
 pub mod witness;
 
-pub use corpus::{CorpusEntry, ReplayCorpus};
+pub use corpus::{CorpusEntry, CorpusParseError, ReplayCorpus};
 pub use minimize::{minimize, minimize_session, MinimizedSessionWitness, MinimizedWitness};
 pub use signature::CrashSignature;
 pub use target::{

@@ -31,11 +31,18 @@ const SHARDS: usize = 64;
 
 /// A query result in pool-independent form.
 #[derive(Clone, Debug)]
-enum Entry {
+enum EntryKind {
     /// Satisfiable; the model as (variable fingerprint, value) pairs.
     Sat(Arc<Vec<(u128, u64)>>),
     Unsat,
     Unknown,
+}
+
+/// One cached result plus the epoch it was published in.
+#[derive(Clone, Debug)]
+struct Entry {
+    kind: EntryKind,
+    epoch: u64,
 }
 
 /// Counters of one [`SharedCache`].
@@ -43,6 +50,10 @@ enum Entry {
 pub struct SharedCacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
+    /// Hits whose entry was published in an *earlier epoch* — a result
+    /// computed by a previous pipeline phase (see
+    /// [`SharedCache::advance_epoch`]). Always ≤ `hits`.
+    pub cross_epoch_hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
     /// Results published.
@@ -78,7 +89,10 @@ pub struct SharedCacheStats {
 #[derive(Debug)]
 pub struct SharedCache {
     shards: Vec<RwLock<HashMap<Box<[u128]>, Entry>>>,
+    /// The current phase epoch (see [`SharedCache::advance_epoch`]).
+    epoch: AtomicU64,
     hits: AtomicU64,
+    cross_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
 }
@@ -94,10 +108,29 @@ impl SharedCache {
     pub fn new() -> SharedCache {
         SharedCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
         }
+    }
+
+    /// Starts a new phase epoch. Entries keep the epoch they were
+    /// published in; a later hit on an entry from an earlier epoch counts
+    /// into [`SharedCacheStats::cross_epoch_hits`] — the measure of how
+    /// much one pipeline phase reuses work a previous phase paid for
+    /// (client predicate extraction → preprocessing → server Trojan
+    /// search → session analyses). Callers that own a cache for exactly
+    /// one exploration never need to call this.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current phase epoch (0 until the first
+    /// [`advance_epoch`](SharedCache::advance_epoch)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The pool-independent key of a query: sorted, deduplicated structural
@@ -135,10 +168,11 @@ impl SharedCache {
             }
         };
         drop(shard);
-        let result = match entry {
-            Entry::Unsat => SatResult::Unsat,
-            Entry::Unknown => SatResult::Unknown,
-            Entry::Sat(pairs) => {
+        let entry_epoch = entry.epoch;
+        let result = match entry.kind {
+            EntryKind::Unsat => SatResult::Unsat,
+            EntryKind::Unknown => SatResult::Unknown,
+            EntryKind::Sat(pairs) => {
                 let mut model = Model::new();
                 for &(fp, value) in pairs.iter() {
                     match pool.var_by_fp(fp) {
@@ -156,19 +190,26 @@ impl SharedCache {
             }
         };
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if entry_epoch < self.epoch() {
+            self.cross_hits.fetch_add(1, Ordering::Relaxed);
+        }
         Some(result)
     }
 
-    /// Publishes a result under `key`.
+    /// Publishes a result under `key` (stamped with the current epoch).
     pub fn insert(&self, pool: &TermPool, key: Box<[u128]>, result: &SatResult) {
-        let entry = match result {
-            SatResult::Unsat => Entry::Unsat,
-            SatResult::Unknown => Entry::Unknown,
+        let kind = match result {
+            SatResult::Unsat => EntryKind::Unsat,
+            SatResult::Unknown => EntryKind::Unknown,
             SatResult::Sat(model) => {
                 let pairs: Vec<(u128, u64)> =
                     model.iter().map(|(v, x)| (pool.var_fp(v), x)).collect();
-                Entry::Sat(Arc::new(pairs))
+                EntryKind::Sat(Arc::new(pairs))
             }
+        };
+        let entry = Entry {
+            kind,
+            epoch: self.epoch(),
         };
         let mut shard = self.shards[Self::shard_of(&key)]
             .write()
@@ -195,6 +236,7 @@ impl SharedCache {
     pub fn stats(&self) -> SharedCacheStats {
         SharedCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            cross_epoch_hits: self.cross_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
         }
@@ -259,6 +301,37 @@ mod tests {
             cache.lookup(&pool2, &key).is_none(),
             "untranslatable model is a miss"
         );
+    }
+
+    #[test]
+    fn cross_epoch_hits_separate_phase_reuse_from_worker_reuse() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh("x", Width::W8);
+        let c = pool.constant(9, Width::W8);
+        let lt = pool.ult(x, c);
+        let key = SharedCache::key_of(&pool, &[lt]);
+
+        let cache = SharedCache::new();
+        cache.insert(&pool, key.clone(), &SatResult::Unsat);
+        // Same epoch: an ordinary hit, not a cross-epoch one.
+        assert!(cache.lookup(&pool, &key).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().cross_epoch_hits, 0);
+
+        // Next phase: the same entry now counts as cross-epoch reuse.
+        assert_eq!(cache.advance_epoch(), 1);
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.lookup(&pool, &key).is_some());
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().cross_epoch_hits, 1);
+
+        // An entry published *in* the new phase is same-epoch again.
+        let y = pool.fresh("y", Width::W8);
+        let eq = pool.eq(y, c);
+        let key2 = SharedCache::key_of(&pool, &[eq]);
+        cache.insert(&pool, key2.clone(), &SatResult::Unsat);
+        assert!(cache.lookup(&pool, &key2).is_some());
+        assert_eq!(cache.stats().cross_epoch_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! The persistent sweep cache: (witness, schedule) classifications
+//! remembered across runs.
+//!
+//! A campaign's cost is `witnesses × schedules` replays, and re-running an
+//! unchanged system re-derives exactly the same cells. The cache remembers
+//! each cell under a `witness-record@schedule-token` key, so a later run
+//! replays only genuinely new (witness, schedule) pairs — the same
+//! incrementality contract [`ReplayCorpus`](achilles_replay::ReplayCorpus)
+//! gives validation.
+//!
+//! The text format is versioned in lockstep with the replay corpus's
+//! witness-record format (**v2** — `/`-separated per-slot records): the
+//! keys embed that record form verbatim, so a corpus format bump is a
+//! sweep-cache format bump, and the CI cache keyed on the corpus version
+//! invalidates both together. A file with a missing or wrong header loads
+//! as an empty cache by design.
+
+use std::collections::HashMap;
+
+use achilles::export::session_witness_record;
+use achilles_replay::{CrashSignature, FaultSchedule, ReplayVerdict, SessionWitness};
+
+use crate::matrix::{schedule_token, ScheduleClass};
+
+/// File-format version tag (first line of every sweep-cache file). The
+/// `v2` tracks the replay corpus's witness-record format version.
+const HEADER: &str = "# achilles-sweep cache v2";
+
+/// One cached (witness, schedule) classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedCell {
+    /// Classification against the fault-free baseline.
+    pub class: ScheduleClass,
+    /// The faulted replay's verdict.
+    pub verdict: ReplayVerdict,
+    /// The faulted replay's crash signature.
+    pub signature: CrashSignature,
+}
+
+/// A persistent map from (witness, schedule) to sweep classification.
+#[derive(Clone, Debug, Default)]
+pub struct SweepCache {
+    cells: HashMap<String, CachedCell>,
+}
+
+/// The cache key of one (witness, schedule) pair within `scope` — the
+/// `target/session` namespace. The scope is part of the identity: two
+/// sessions (or targets) whose witnesses serialize to the same field
+/// record are still replayed against different deployments, so their
+/// cells must never answer for each other.
+pub fn cell_key(scope: &str, witness: &SessionWitness, schedule: &FaultSchedule) -> String {
+    format!(
+        "{scope}::{}@{}",
+        session_witness_record(&witness.fields),
+        schedule_token(schedule)
+    )
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> SweepCache {
+        SweepCache::default()
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cached cell for a (witness, schedule) pair in `scope`, if any.
+    pub fn get(
+        &self,
+        scope: &str,
+        witness: &SessionWitness,
+        schedule: &FaultSchedule,
+    ) -> Option<&CachedCell> {
+        self.cells.get(&cell_key(scope, witness, schedule))
+    }
+
+    /// Caches a cell; later inserts under the same key win (replay is a
+    /// pure function of the scoped pair, so they can only re-assert the
+    /// value).
+    pub fn insert(
+        &mut self,
+        scope: &str,
+        witness: &SessionWitness,
+        schedule: &FaultSchedule,
+        cell: CachedCell,
+    ) {
+        self.cells.insert(cell_key(scope, witness, schedule), cell);
+    }
+
+    /// Serializes to the line-oriented cache text form (keys sorted, so
+    /// the file is reproducible).
+    pub fn to_text(&self) -> String {
+        let mut keys: Vec<&String> = self.cells.keys().collect();
+        keys.sort();
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for key in keys {
+            let cell = &self.cells[key];
+            out.push_str(&format!(
+                "{key}|{}|{}|{}\n",
+                cell.class,
+                cell.verdict.as_str(),
+                cell.signature.to_line()
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`SweepCache::to_text`] form. A missing or wrong header
+    /// yields an empty cache (stale format by definition); malformed lines
+    /// are skipped — a cache is advisory, never authoritative.
+    pub fn from_text(text: &str) -> SweepCache {
+        let mut cache = SweepCache::new();
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return cache;
+        }
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '|');
+            let (Some(key), Some(class), Some(verdict), Some(sig)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let (Some(class), Some(verdict), Some(signature)) = (
+                ScheduleClass::parse(class),
+                ReplayVerdict::parse(verdict),
+                CrashSignature::from_line(sig),
+            ) else {
+                continue;
+            };
+            cache.cells.insert(
+                key.to_string(),
+                CachedCell {
+                    class,
+                    verdict,
+                    signature,
+                },
+            );
+        }
+        cache
+    }
+
+    /// Writes the cache to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Loads a cache from a file; a missing file is an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<SweepCache> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(SweepCache::from_text(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(SweepCache::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_replay::DeliveryFault;
+
+    fn witness() -> SessionWitness {
+        SessionWitness {
+            index: 0,
+            server_path_id: 0,
+            fields: vec![vec![1, 2], vec![3]],
+            wire: vec![vec![1, 2], vec![3]],
+        }
+    }
+
+    fn drop0() -> FaultSchedule {
+        FaultSchedule::at(
+            0,
+            DeliveryFault {
+                drop: true,
+                ..DeliveryFault::none()
+            },
+        )
+    }
+
+    #[test]
+    fn cells_round_trip_through_text() {
+        let mut cache = SweepCache::new();
+        cache.insert(
+            "g/seed-sync-read",
+            &witness(),
+            &drop0(),
+            CachedCell {
+                class: ScheduleClass::Disarmed,
+                verdict: ReplayVerdict::Dropped,
+                signature: CrashSignature::for_session("g", ReplayVerdict::Dropped, 2, vec![]),
+            },
+        );
+        let text = cache.to_text();
+        assert!(
+            text.contains("g/seed-sync-read::1,2/3@drop@s0|disarmed|dropped|g/dropped@s2/"),
+            "{text}"
+        );
+        let back = SweepCache::from_text(&text);
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.get("g/seed-sync-read", &witness(), &drop0()),
+            cache.get("g/seed-sync-read", &witness(), &drop0())
+        );
+        assert!(back
+            .get("g/seed-sync-read", &witness(), &FaultSchedule::none())
+            .is_none());
+        // The scope is part of the identity: another session's cells never
+        // answer for this one, even with byte-identical witness fields.
+        assert!(back.get("g/other-session", &witness(), &drop0()).is_none());
+    }
+
+    #[test]
+    fn wrong_header_or_malformed_lines_degrade_gracefully() {
+        assert!(SweepCache::from_text("no header\nx|y|z|w\n").is_empty());
+        assert!(SweepCache::from_text(
+            "# achilles-sweep cache v1\nk|armed|confirmed|g/confirmed/\n"
+        )
+        .is_empty());
+        let partial = format!("{HEADER}\ngarbage\nk@none|armed|confirmed|g/confirmed/\n");
+        assert_eq!(SweepCache::from_text(&partial).len(), 1);
+    }
+}

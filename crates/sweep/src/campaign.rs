@@ -1,0 +1,412 @@
+//! The campaign executor: every (witness, schedule) pair replayed,
+//! classified, and folded into per-witness sensitivity matrices.
+//!
+//! [`run_campaign`] is registry-drivable: it takes any
+//! [`TargetSpec`](achilles::TargetSpec), discovers the spec's declared
+//! session Trojans through
+//! [`AchillesSession::run_sessions`](achilles::AchillesSession::run_sessions),
+//! and hands each [`SessionReport`] to [`sweep_report`] — which
+//! establishes every witness's fault-free baseline and fans the schedule
+//! space out over [`achilles_symvm::parallel_map`]. Replay is a pure
+//! function of the (witness, schedule) pair, so every matrix is
+//! bit-identical for every worker count. A [`SweepCache`] makes
+//! re-campaigns incremental: known pairs — the baseline included, under
+//! the `none` schedule token — are looked up, not replayed. Callers that
+//! already hold a [`SessionReport`] (a bench comparing worker counts,
+//! say) use [`sweep_report`] directly and pay for discovery once.
+
+use std::time::{Duration, Instant};
+
+use achilles::{AchillesSession, ReplayTarget, SessionReport, TargetSpec};
+use achilles_replay::{
+    replay_session, session_from_report, FaultSchedule, ReplayVerdict, SessionWitness,
+};
+use achilles_symvm::parallel_map;
+
+use crate::cache::{CachedCell, SweepCache};
+use crate::matrix::{classify, Baseline, ScheduleClass, SensitivityCell, SensitivityMatrix};
+use crate::planner::{SchedulePlanner, SweepConfig};
+
+/// Configuration of one sweep campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignConfig {
+    /// The schedule space enumerated per witness.
+    pub sweep: SweepConfig,
+    /// Worker threads for the per-witness schedule fan-out (and the
+    /// session discovery; 0/1 = inline).
+    pub workers: usize,
+}
+
+impl CampaignConfig {
+    /// Fan the replays out over `n` threads.
+    pub fn with_workers(mut self, n: usize) -> CampaignConfig {
+        self.workers = n.max(1);
+        self
+    }
+}
+
+/// Replay accounting of one witness sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WitnessSweepStats {
+    /// Replays actually performed (schedule cells plus the fault-free
+    /// baseline when it was not cached).
+    pub replayed: usize,
+    /// Lookups answered from the [`SweepCache`] (baseline included).
+    pub cache_hits: usize,
+    /// Worker threads the replay fan-out could actually use
+    /// (`min(workers, fresh schedules)`, at least 1).
+    pub workers_effective: usize,
+}
+
+/// Sweeps one witness within `scope` (the `target/session` cache
+/// namespace): fault-free baseline, planned schedule space, one
+/// classified [`SensitivityCell`] per schedule — all cache-assisted,
+/// the baseline included.
+pub fn sweep_witness(
+    target: &dyn ReplayTarget,
+    scope: &str,
+    witness: &SessionWitness,
+    planner: &SchedulePlanner,
+    workers: usize,
+    cache: &mut SweepCache,
+) -> (SensitivityMatrix, WitnessSweepStats) {
+    let mut stats = WitnessSweepStats::default();
+
+    // The baseline is a (witness, schedule) cell like any other — cached
+    // under the `none` schedule token, with the slot attribution riding in
+    // the signature's `trojan-slot:<N>` markers.
+    let fault_free = FaultSchedule::none();
+    let baseline = match cache.get(scope, witness, &fault_free) {
+        Some(cell) => {
+            stats.cache_hits += 1;
+            Baseline::from_signature(cell.verdict, cell.signature.clone())
+        }
+        None => {
+            stats.replayed += 1;
+            let result = replay_session(target, witness, &fault_free);
+            let baseline = Baseline::of(&result);
+            cache.insert(
+                scope,
+                witness,
+                &fault_free,
+                CachedCell {
+                    // The baseline judged against itself: armed when it
+                    // confirms (the value is never consulted for
+                    // classification — the verdict and signature are).
+                    class: if result.verdict == ReplayVerdict::ConfirmedTrojan {
+                        ScheduleClass::Armed
+                    } else {
+                        ScheduleClass::Disarmed
+                    },
+                    verdict: result.verdict,
+                    signature: result.signature,
+                },
+            );
+            baseline
+        }
+    };
+
+    let schedules = planner.plan(witness);
+    let mut cached: Vec<Option<CachedCell>> = Vec::with_capacity(schedules.len());
+    let mut fresh: Vec<&FaultSchedule> = Vec::new();
+    for schedule in &schedules {
+        match cache.get(scope, witness, schedule) {
+            Some(cell) => {
+                stats.cache_hits += 1;
+                cached.push(Some(cell.clone()));
+            }
+            None => {
+                fresh.push(schedule);
+                cached.push(None);
+            }
+        }
+    }
+    stats.replayed += fresh.len();
+    stats.workers_effective = workers.max(1).min(fresh.len()).max(1);
+    let replayed = parallel_map(workers.max(1), &fresh, |_, schedule| {
+        replay_session(target, witness, schedule)
+    });
+
+    let mut replayed = replayed.into_iter();
+    let cells: Vec<SensitivityCell> = schedules
+        .iter()
+        .zip(cached)
+        .map(|(schedule, hit)| match hit {
+            Some(cell) => SensitivityCell {
+                schedule: schedule.clone(),
+                class: cell.class,
+                verdict: cell.verdict,
+                signature: cell.signature,
+            },
+            None => {
+                let result = replayed.next().expect("one replay per fresh schedule");
+                let class = classify(&baseline, &result);
+                cache.insert(
+                    scope,
+                    witness,
+                    schedule,
+                    CachedCell {
+                        class,
+                        verdict: result.verdict,
+                        signature: result.signature.clone(),
+                    },
+                );
+                SensitivityCell {
+                    schedule: schedule.clone(),
+                    class,
+                    verdict: result.verdict,
+                    signature: result.signature,
+                }
+            }
+        })
+        .collect();
+
+    (
+        SensitivityMatrix {
+            witness: witness.clone(),
+            baseline_verdict: baseline.verdict,
+            baseline_signature: baseline.signature,
+            baseline_trojan_slots: baseline.trojan_slots,
+            cells,
+        },
+        stats,
+    )
+}
+
+/// Everything one campaign produced for one declared session.
+#[derive(Debug)]
+pub struct SessionSweep {
+    /// The swept target's registry name.
+    pub target: &'static str,
+    /// The declared session's name.
+    pub session: String,
+    /// Session Trojans discovered by the symbolic analysis.
+    pub discovered: usize,
+    /// Witnesses whose fault-free baseline confirmed concretely.
+    pub confirmed_fault_free: usize,
+    /// One sensitivity matrix per witness, in report order.
+    pub matrices: Vec<SensitivityMatrix>,
+    /// Total matrix cells (witnesses × planned schedules; baselines are
+    /// accounted in `replayed`/`cache_hits`, not here).
+    pub cells: usize,
+    /// Replays actually performed (the rest were sweep-cache hits).
+    pub replayed: usize,
+    /// Lookups answered from the sweep cache (baselines included).
+    pub cache_hits: usize,
+    /// Cells classified [`ScheduleClass::Armed`].
+    pub armed: usize,
+    /// Cells classified [`ScheduleClass::Disarmed`].
+    pub disarmed: usize,
+    /// Cells classified [`ScheduleClass::Masked`].
+    pub masked: usize,
+    /// Cells classified [`ScheduleClass::NewSignature`].
+    pub new_signature: usize,
+    /// Worker threads the replay fan-out could actually use (max over the
+    /// witnesses; 1 when everything was cached).
+    pub workers_effective: usize,
+    /// Wall-clock time of the whole session sweep (discovery excluded).
+    pub elapsed: Duration,
+}
+
+impl SessionSweep {
+    /// Count of cells with `class`, summed over the matrices.
+    pub fn count(&self, class: ScheduleClass) -> usize {
+        match class {
+            ScheduleClass::Armed => self.armed,
+            ScheduleClass::Disarmed => self.disarmed,
+            ScheduleClass::Masked => self.masked,
+            ScheduleClass::NewSignature => self.new_signature,
+        }
+    }
+}
+
+/// Sweeps every witness of one discovered [`SessionReport`] — the unit a
+/// caller that already paid for discovery composes with: the report can
+/// be swept several times (different worker counts, different caches)
+/// without re-running the symbolic analysis.
+pub fn sweep_report(
+    spec: &dyn TargetSpec,
+    report: &SessionReport,
+    config: &CampaignConfig,
+    cache: &mut SweepCache,
+) -> SessionSweep {
+    let workers = config.workers.max(1);
+    let started = Instant::now();
+    let target = spec.session_replay_target(&report.session);
+    let scope = format!("{}/{}", spec.name(), report.session);
+    let planner = SchedulePlanner::new(config.sweep.clone());
+    let mut sweep = SessionSweep {
+        target: spec.name(),
+        session: report.session.clone(),
+        discovered: report.trojans.len(),
+        confirmed_fault_free: 0,
+        matrices: Vec::with_capacity(report.trojans.len()),
+        cells: 0,
+        replayed: 0,
+        cache_hits: 0,
+        armed: 0,
+        disarmed: 0,
+        masked: 0,
+        new_signature: 0,
+        workers_effective: 1,
+        elapsed: Duration::ZERO,
+    };
+    for (i, trojan) in report.trojans.iter().enumerate() {
+        let witness = session_from_report(&report.layouts, i, trojan)
+            .expect("session layouts are wire-encodable");
+        let (matrix, stats) = sweep_witness(&*target, &scope, &witness, &planner, workers, cache);
+        if matrix.baseline_verdict == ReplayVerdict::ConfirmedTrojan {
+            sweep.confirmed_fault_free += 1;
+        }
+        sweep.cells += matrix.cells.len();
+        sweep.replayed += stats.replayed;
+        sweep.cache_hits += stats.cache_hits;
+        sweep.workers_effective = sweep.workers_effective.max(stats.workers_effective);
+        sweep.armed += matrix.count(ScheduleClass::Armed);
+        sweep.disarmed += matrix.count(ScheduleClass::Disarmed);
+        sweep.masked += matrix.count(ScheduleClass::Masked);
+        sweep.new_signature += matrix.count(ScheduleClass::NewSignature);
+        sweep.matrices.push(matrix);
+    }
+    sweep.elapsed = started.elapsed();
+    sweep
+}
+
+/// Runs the campaign for every session a spec declares: discovery via
+/// [`AchillesSession::run_sessions`], then a cache-assisted
+/// [`sweep_report`] per session. Returns one [`SessionSweep`] per
+/// declared session, in declaration order (empty when the spec declares
+/// none).
+pub fn run_campaign(
+    spec: &dyn TargetSpec,
+    config: &CampaignConfig,
+    cache: &mut SweepCache,
+) -> Vec<SessionSweep> {
+    let workers = config.workers.max(1);
+    let mut driver = AchillesSession::new(spec).workers(workers);
+    let reports = driver.run_sessions();
+    reports
+        .iter()
+        .map(|report| sweep_report(spec, report, config, cache))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::schedule_token;
+    use achilles_gossip::GossipSpec;
+
+    fn matrix_key(sweep: &SessionSweep) -> Vec<Vec<(String, ScheduleClass, String)>> {
+        sweep
+            .matrices
+            .iter()
+            .map(|m| {
+                m.cells
+                    .iter()
+                    .map(|c| (schedule_token(&c.schedule), c.class, c.signature.to_line()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gossip_campaign_finds_armed_and_disarmed_schedules() {
+        let spec = GossipSpec::default();
+        let mut cache = SweepCache::new();
+        let sweeps = run_campaign(&spec, &CampaignConfig::default(), &mut cache);
+        assert_eq!(sweeps.len(), 1);
+        let sweep = &sweeps[0];
+        assert_eq!(sweep.session, "seed-sync-read");
+        assert_eq!(sweep.discovered, 1);
+        assert_eq!(
+            sweep.confirmed_fault_free, sweep.discovered,
+            "every session Trojan confirms fault-free"
+        );
+        assert!(sweep.armed >= 1, "some schedule keeps the Trojan armed");
+        assert!(sweep.disarmed >= 1, "some schedule disarms it");
+        let matrix = &sweep.matrices[0];
+        assert_eq!(matrix.baseline_trojan_slots, vec![0]);
+        // Duplicating the seed is idempotent: still armed, same signature.
+        assert!(matrix.armed().any(|s| schedule_token(s) == "dup@s0"));
+        // Dropping the arming slot disarms.
+        assert!(matrix.disarmed().any(|s| schedule_token(s) == "drop@s0"));
+        // Dropping the sync leaves the detonation evidence intact (the
+        // poison still crashes the read): a new signature, not "masked".
+        assert!(matrix
+            .schedules_of(ScheduleClass::NewSignature)
+            .any(|s| schedule_token(s) == "drop@s1"));
+        // Dropping the read removes the detonation itself: genuinely
+        // inconclusive.
+        assert!(matrix
+            .schedules_of(ScheduleClass::Masked)
+            .any(|s| schedule_token(s) == "drop@s2"));
+        // Duplicating the read hits the wedged node: a new failure mode.
+        assert!(matrix
+            .schedules_of(ScheduleClass::NewSignature)
+            .any(|s| schedule_token(s) == "dup@s2"));
+    }
+
+    #[test]
+    fn cache_makes_the_second_campaign_replay_free() {
+        let spec = GossipSpec::default();
+        let mut cache = SweepCache::new();
+        let first = run_campaign(&spec, &CampaignConfig::default(), &mut cache);
+        assert!(first[0].replayed > 0);
+        assert_eq!(first[0].cache_hits, 0);
+
+        // Round-trip the cache through its text form, like the CI cache
+        // does across commits.
+        let mut reloaded = SweepCache::from_text(&cache.to_text());
+        let second = run_campaign(&spec, &CampaignConfig::default(), &mut reloaded);
+        assert_eq!(
+            second[0].replayed, 0,
+            "every cell — the baseline included — is a cache hit"
+        );
+        assert_eq!(
+            second[0].cache_hits,
+            second[0].cells + second[0].discovered,
+            "one baseline hit per witness on top of the schedule cells"
+        );
+        assert_eq!(matrix_key(&first[0]), matrix_key(&second[0]));
+        // The reconstructed baseline carries the slot attribution.
+        assert_eq!(
+            second[0].matrices[0].baseline_trojan_slots,
+            first[0].matrices[0].baseline_trojan_slots
+        );
+    }
+
+    #[test]
+    fn campaigns_are_worker_count_invariant() {
+        let spec = GossipSpec::default();
+        let mut c1 = SweepCache::new();
+        let mut c4 = SweepCache::new();
+        let seq = run_campaign(&spec, &CampaignConfig::default(), &mut c1);
+        let par = run_campaign(&spec, &CampaignConfig::default().with_workers(4), &mut c4);
+        assert_eq!(matrix_key(&seq[0]), matrix_key(&par[0]));
+        assert_eq!(c1.to_text(), c4.to_text());
+    }
+
+    #[test]
+    fn sweep_report_reuses_one_discovery() {
+        // The bench-bin shape: discover once, sweep the same report under
+        // several configurations.
+        let spec = GossipSpec::default();
+        let reports = achilles::AchillesSession::new(&spec).run_sessions();
+        let a = sweep_report(
+            &spec,
+            &reports[0],
+            &CampaignConfig::default(),
+            &mut SweepCache::new(),
+        );
+        let b = sweep_report(
+            &spec,
+            &reports[0],
+            &CampaignConfig::default().with_workers(4),
+            &mut SweepCache::new(),
+        );
+        assert_eq!(matrix_key(&a), matrix_key(&b));
+        let via_campaign = run_campaign(&spec, &CampaignConfig::default(), &mut SweepCache::new());
+        assert_eq!(matrix_key(&a), matrix_key(&via_campaign[0]));
+    }
+}

@@ -1,0 +1,66 @@
+//! # achilles-sweep — fault-schedule campaigns with arming/disarming triage
+//!
+//! The pipeline so far validates each session Trojan under a *single*
+//! fault plan. The interesting question for a session Trojan is *which*
+//! delivery faults arm or disarm it: the 2008 S3 outage happened because
+//! one specific corruption in one specific delivery position survived
+//! every other scheduling accident, and arXiv:2006.06045's implicit
+//! interactions are exactly "a fault at one delivery position changes the
+//! exploitability of a message injected earlier". This crate makes that
+//! measurable:
+//!
+//! 1. **Plan** ([`planner`]): a [`SchedulePlanner`] enumerates a bounded
+//!    [`FaultSchedule`](achilles_replay::FaultSchedule) space per
+//!    [`SessionWitness`](achilles_replay::SessionWitness) — drop /
+//!    duplicate / benign-interleave / single bit-flip, per slot and wire
+//!    bit — with canonical deduplication of schedules the replay
+//!    semantics provably treat identically (a drop masks the same slot's
+//!    other faults, out-of-range flips touch nothing).
+//! 2. **Execute** ([`campaign`]): [`run_campaign`] replays every
+//!    (witness, schedule) pair over
+//!    [`achilles_symvm::parallel_map`] — replay is pure, so matrices are
+//!    bit-identical for every worker count — with a persistent
+//!    [`SweepCache`] that makes re-campaigns incremental.
+//! 3. **Triage** ([`matrix`]): each outcome is classified
+//!    [`Armed`](ScheduleClass::Armed) /
+//!    [`Disarmed`](ScheduleClass::Disarmed) /
+//!    [`Masked`](ScheduleClass::Masked) /
+//!    [`NewSignature`](ScheduleClass::NewSignature) by diffing its
+//!    slot-aware crash signature against the fault-free baseline, and the
+//!    per-witness [`SensitivityMatrix`] serializes through the shared
+//!    `achilles::export` record vocabulary.
+//!
+//! Like the rest of the pipeline, the crate names **no protocol**: the
+//! `sweep_campaign` bench bin drives any registered
+//! [`TargetSpec`](achilles::TargetSpec), and `achilles-gossip` (whose
+//! seed→sync→read session is inherently schedule-sensitive) is the
+//! shipped proving ground.
+//!
+//! ```
+//! use achilles_gossip::GossipSpec;
+//! use achilles_sweep::{run_campaign, CampaignConfig, SweepCache};
+//!
+//! let mut cache = SweepCache::new();
+//! let sweeps = run_campaign(&GossipSpec::default(), &CampaignConfig::default(), &mut cache);
+//! let matrix = &sweeps[0].matrices[0];
+//! assert!(matrix.armed().count() >= 1, "some fault leaves the Trojan armed");
+//! assert!(matrix.disarmed().count() >= 1, "some fault defuses it");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod campaign;
+pub mod matrix;
+pub mod planner;
+
+pub use cache::{cell_key, CachedCell, SweepCache};
+pub use campaign::{
+    run_campaign, sweep_report, sweep_witness, CampaignConfig, SessionSweep, WitnessSweepStats,
+};
+pub use matrix::{
+    classify, parse_schedule_token, schedule_token, Baseline, ScheduleClass, SensitivityCell,
+    SensitivityMatrix,
+};
+pub use planner::{canonicalize, SchedulePlanner, SweepConfig};

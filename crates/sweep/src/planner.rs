@@ -1,0 +1,341 @@
+//! Bounded enumeration of per-witness fault-schedule spaces.
+//!
+//! A [`SchedulePlanner`] turns one [`SessionWitness`] into the list of
+//! [`FaultSchedule`]s a campaign replays it under: every single fault
+//! (drop / duplicate / benign interleaving at each slot, plus a single
+//! bit-flip at every bit position of every slot's wire bytes) and,
+//! optionally, every pairwise combination of the non-flip faults.
+//!
+//! The space is **canonicalized before it is deduplicated**, so the plan
+//! never replays two schedules the harness provably treats identically:
+//!
+//! * a `drop` masks the same slot's `duplicate` and `flip_bit` (nothing is
+//!   delivered for them to act on — the same rule
+//!   [`replay_session`](achilles_replay::replay_session) applies when it
+//!   records [`SessionReplayResult::applied`]), so
+//!   `{drop, duplicate}@s0` collapses to `{drop}@s0` and is deduplicated
+//!   against the plain drop;
+//! * a `flip_bit` index at or past the slot's wire length can never touch
+//!   a delivered byte and is canonicalized away;
+//! * trailing fault-free slots are trimmed (positions past the end of a
+//!   schedule are fault-free by definition), so `{drop}@s0` padded to
+//!   three slots equals `{drop}@s0` written for one.
+//!
+//! The enumeration order is deterministic (slots ascending; within a
+//! slot: drop, duplicate, benign, then flips by bit index; pairs in
+//! lexicographic atom order), which is what lets sweep campaigns promise
+//! bit-identical sensitivity matrices for every worker count.
+//!
+//! [`SessionReplayResult::applied`]: achilles_replay::SessionReplayResult
+
+use achilles_replay::{DeliveryFault, FaultSchedule, SessionWitness};
+
+/// Which fault dimensions a [`SchedulePlanner`] enumerates, and how far.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Enumerate a drop of each slot.
+    pub drops: bool,
+    /// Enumerate a duplicate delivery of each slot.
+    pub duplicates: bool,
+    /// Enumerate a benign interleaving before each slot.
+    pub benign: bool,
+    /// Bit positions flipped per slot: `0..min(this, wire bits)` (use
+    /// `usize::MAX` — the default — for every bit of the slot's wire).
+    pub flip_bits_per_slot: usize,
+    /// Also enumerate pairwise combinations of the non-flip faults
+    /// (within one slot a pair merges into one [`DeliveryFault`], which is
+    /// where the drop-masking dedup does real work).
+    pub pairs: bool,
+    /// Hard cap on the schedules planned per witness (deterministic
+    /// truncation of the enumeration order).
+    pub max_schedules: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            drops: true,
+            duplicates: true,
+            benign: true,
+            flip_bits_per_slot: usize::MAX,
+            pairs: true,
+            max_schedules: 512,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A reduced space for interactive tours: single faults only, flips
+    /// restricted to each slot's first byte.
+    pub fn quick() -> SweepConfig {
+        SweepConfig {
+            flip_bits_per_slot: 8,
+            pairs: false,
+            max_schedules: 64,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// One atomic fault of the enumeration: `fault` applied at `slot`.
+#[derive(Clone, Copy, Debug)]
+struct Atom {
+    slot: usize,
+    fault: DeliveryFault,
+}
+
+impl Atom {
+    fn is_flip(&self) -> bool {
+        self.fault.flip_bit.is_some()
+    }
+}
+
+/// Enumerates the bounded, canonically deduplicated fault-schedule space
+/// of a session witness.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulePlanner {
+    config: SweepConfig,
+}
+
+impl SchedulePlanner {
+    /// A planner over the given configuration.
+    pub fn new(config: SweepConfig) -> SchedulePlanner {
+        SchedulePlanner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Plans the schedule space for `witness`: canonical, deduplicated,
+    /// deterministic order, capped at
+    /// [`max_schedules`](SweepConfig::max_schedules). The fault-free
+    /// schedule (the baseline) is never part of the plan.
+    pub fn plan(&self, witness: &SessionWitness) -> Vec<FaultSchedule> {
+        let atoms = self.atoms(witness);
+        let mut seen: Vec<FaultSchedule> = Vec::new();
+        let push = |schedule: FaultSchedule, seen: &mut Vec<FaultSchedule>| {
+            if seen.len() >= self.config.max_schedules {
+                return;
+            }
+            let canonical = canonicalize(&schedule, witness);
+            if !canonical.slots.is_empty() && !seen.contains(&canonical) {
+                seen.push(canonical);
+            }
+        };
+        for atom in &atoms {
+            push(FaultSchedule::at(atom.slot, atom.fault), &mut seen);
+        }
+        if self.config.pairs {
+            let coarse: Vec<&Atom> = atoms.iter().filter(|a| !a.is_flip()).collect();
+            for (i, a) in coarse.iter().enumerate() {
+                for b in &coarse[i + 1..] {
+                    push(merge_atoms(a, b), &mut seen);
+                }
+            }
+        }
+        seen
+    }
+
+    fn atoms(&self, witness: &SessionWitness) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        for slot in 0..witness.slots() {
+            if self.config.drops {
+                atoms.push(Atom {
+                    slot,
+                    fault: DeliveryFault {
+                        drop: true,
+                        ..DeliveryFault::none()
+                    },
+                });
+            }
+            if self.config.duplicates {
+                atoms.push(Atom {
+                    slot,
+                    fault: DeliveryFault {
+                        duplicate: true,
+                        ..DeliveryFault::none()
+                    },
+                });
+            }
+            if self.config.benign {
+                atoms.push(Atom {
+                    slot,
+                    fault: DeliveryFault {
+                        benign_before: true,
+                        ..DeliveryFault::none()
+                    },
+                });
+            }
+            let wire_bits = witness.wire[slot].len() * 8;
+            for bit in 0..wire_bits.min(self.config.flip_bits_per_slot) {
+                atoms.push(Atom {
+                    slot,
+                    fault: DeliveryFault {
+                        flip_bit: Some(bit),
+                        ..DeliveryFault::none()
+                    },
+                });
+            }
+        }
+        atoms
+    }
+}
+
+fn merge_atoms(a: &Atom, b: &Atom) -> FaultSchedule {
+    if a.slot != b.slot {
+        return FaultSchedule::at(a.slot, a.fault).with(b.slot, b.fault);
+    }
+    FaultSchedule::at(
+        a.slot,
+        DeliveryFault {
+            drop: a.fault.drop || b.fault.drop,
+            duplicate: a.fault.duplicate || b.fault.duplicate,
+            benign_before: a.fault.benign_before || b.fault.benign_before,
+            flip_bit: a.fault.flip_bit.or(b.fault.flip_bit),
+        },
+    )
+}
+
+/// Rewrites a schedule into the canonical representative of its
+/// equivalence class under the replay semantics (see the module docs for
+/// the three rules). Two schedules with equal canonical forms produce
+/// byte-identical delivery plans for `witness`.
+pub fn canonicalize(schedule: &FaultSchedule, witness: &SessionWitness) -> FaultSchedule {
+    let mut slots: Vec<DeliveryFault> = schedule
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(slot, fault)| {
+            let mut fault = *fault;
+            if fault.drop {
+                // Nothing is delivered for the duplicate or the flip to
+                // act on — exactly the masking `replay_session` records in
+                // `applied`.
+                fault.duplicate = false;
+                fault.flip_bit = None;
+            } else if let Some(bit) = fault.flip_bit {
+                let wire_bits = witness.wire.get(slot).map_or(0, |w| w.len() * 8);
+                if bit >= wire_bits {
+                    fault.flip_bit = None;
+                }
+            }
+            fault
+        })
+        .collect();
+    while slots.last() == Some(&DeliveryFault::none()) {
+        slots.pop();
+    }
+    FaultSchedule { slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn witness(slot_bytes: &[usize]) -> SessionWitness {
+        SessionWitness {
+            index: 0,
+            server_path_id: 0,
+            fields: slot_bytes.iter().map(|&n| vec![0; n]).collect(),
+            wire: slot_bytes.iter().map(|&n| vec![0u8; n]).collect(),
+        }
+    }
+
+    #[test]
+    fn plan_is_canonical_and_deduplicated() {
+        let w = witness(&[2, 2]);
+        let plan = SchedulePlanner::new(SweepConfig::default()).plan(&w);
+        assert!(!plan.is_empty());
+        // No duplicates survive.
+        for (i, s) in plan.iter().enumerate() {
+            assert!(!plan[i + 1..].contains(s), "duplicate schedule {s:?}");
+        }
+        // Every planned schedule is its own canonical form.
+        for s in &plan {
+            assert_eq!(&canonicalize(s, &w), s);
+        }
+        // The fault-free baseline is not part of the plan.
+        assert!(!plan.contains(&FaultSchedule::none()));
+    }
+
+    #[test]
+    fn drop_masks_same_slot_faults_into_the_plain_drop() {
+        let w = witness(&[2]);
+        let masked = FaultSchedule::at(
+            0,
+            DeliveryFault {
+                drop: true,
+                duplicate: true,
+                flip_bit: Some(3),
+                ..DeliveryFault::none()
+            },
+        );
+        let plain = FaultSchedule::at(
+            0,
+            DeliveryFault {
+                drop: true,
+                ..DeliveryFault::none()
+            },
+        );
+        assert_eq!(canonicalize(&masked, &w), canonicalize(&plain, &w));
+        // And therefore the pairwise enumeration never replays it twice.
+        let plan = SchedulePlanner::new(SweepConfig {
+            flip_bits_per_slot: 0,
+            benign: false,
+            ..SweepConfig::default()
+        })
+        .plan(&w);
+        // drop, duplicate, and their merged pair (== drop, deduped away).
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_flips_and_trailing_noops_canonicalize_away() {
+        let w = witness(&[1, 1]);
+        let oob = FaultSchedule::at(
+            1,
+            DeliveryFault {
+                flip_bit: Some(99),
+                ..DeliveryFault::none()
+            },
+        );
+        assert_eq!(canonicalize(&oob, &w), FaultSchedule::none());
+        let padded = FaultSchedule::at(
+            0,
+            DeliveryFault {
+                drop: true,
+                ..DeliveryFault::none()
+            },
+        )
+        .with(1, DeliveryFault::none());
+        assert_eq!(canonicalize(&padded, &w).slots.len(), 1);
+    }
+
+    #[test]
+    fn flip_enumeration_covers_every_wire_bit_and_respects_the_cap() {
+        let w = witness(&[2]);
+        let flips_only = SweepConfig {
+            drops: false,
+            duplicates: false,
+            benign: false,
+            pairs: false,
+            ..SweepConfig::default()
+        };
+        assert_eq!(SchedulePlanner::new(flips_only.clone()).plan(&w).len(), 16);
+        let capped = SweepConfig {
+            max_schedules: 5,
+            ..flips_only
+        };
+        assert_eq!(SchedulePlanner::new(capped).plan(&w).len(), 5);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let w = witness(&[3, 2, 2]);
+        let a = SchedulePlanner::new(SweepConfig::default()).plan(&w);
+        let b = SchedulePlanner::new(SweepConfig::default()).plan(&w);
+        assert_eq!(a, b);
+    }
+}

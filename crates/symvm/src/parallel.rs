@@ -285,7 +285,18 @@ where
     );
     let workers = config.workers.max(1);
     let started = Instant::now();
-    let shared = Arc::new(SharedCache::new());
+    // Shared-cache persistence across pipeline phases: when the base
+    // solver carries a cache (the `Achilles` engine attaches one for its
+    // whole lifetime), every exploration of that engine shares it —
+    // queries the client phase solved are hits for the server phase's
+    // workers. Each exploration is its own epoch, so hits on earlier
+    // phases' entries are measurable (`ExploreStats::cross_phase_cache_hits`).
+    let shared = base_solver
+        .shared_cache()
+        .cloned()
+        .unwrap_or_else(|| Arc::new(SharedCache::new()));
+    shared.advance_epoch();
+    let cross_before = shared.stats().cross_epoch_hits;
     let coord = Coordinator::new(workers, config);
     coord.push(0, Vec::new());
 
@@ -320,6 +331,7 @@ where
         worker_outcomes,
         coord,
         shared,
+        cross_before,
         started,
         workers,
         config,
@@ -467,11 +479,13 @@ fn run_worker<O: PathObserver>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn merge<O>(
     base_pool: &mut TermPool,
     outcomes: Vec<WorkerOutcome<O>>,
     coord: Coordinator,
     shared: Arc<SharedCache>,
+    cross_before: u64,
     started: Instant,
     workers: usize,
     config: &ExploreConfig,
@@ -565,6 +579,7 @@ fn merge<O>(
     }
     stats.runs = stats.runs.min(config.max_runs);
     stats.completed = merged.len();
+    stats.cross_phase_cache_hits = shared.stats().cross_epoch_hits.saturating_sub(cross_before);
     stats.wall_time = started.elapsed();
 
     ParallelOutcome {
@@ -805,6 +820,47 @@ mod tests {
                     "workers={workers} max_paths={max_paths} max_runs={max_runs}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn persistent_cache_yields_cross_phase_hits_on_reexploration() {
+        // The Achilles engine attaches one SharedCache for its lifetime:
+        // a later exploration (phase) re-uses queries an earlier one
+        // solved, and the reuse is surfaced as cross_phase_cache_hits.
+        let shared = Arc::new(SharedCache::new());
+        let mut pool = TermPool::new();
+        let solver = Solver::new().with_shared_cache(Arc::clone(&shared));
+        let mut solver = solver;
+        let config = ExploreConfig {
+            workers: 3,
+            ..ExploreConfig::default()
+        };
+        let first = {
+            let mut exec = Executor::new(&mut pool, &mut solver, config.clone());
+            exec.explore_multi(&branching_program)
+        };
+        assert_eq!(
+            first.stats.cross_phase_cache_hits, 0,
+            "nothing precedes the first phase"
+        );
+        let second = {
+            let mut exec = Executor::new(&mut pool, &mut solver, config);
+            exec.explore_multi(&branching_program)
+        };
+        assert!(
+            second.stats.cross_phase_cache_hits > 0,
+            "the second phase re-uses the first phase's published queries \
+             (shared hits: {}, cross-phase: {})",
+            second.stats.shared_cache_hits,
+            second.stats.cross_phase_cache_hits,
+        );
+        // Reuse never perturbs results: published models are a function of
+        // the query structure alone.
+        assert_eq!(first.paths.len(), second.paths.len());
+        for (a, b) in first.paths.iter().zip(&second.paths) {
+            assert_eq!(a.decisions, b.decisions);
+            assert_eq!(a.notes, b.notes);
         }
     }
 

@@ -77,6 +77,12 @@ pub struct ExploreStats {
     pub steals: u64,
     /// Queries answered by the cross-worker shared cache.
     pub shared_cache_hits: u64,
+    /// Shared-cache hits on entries published by an *earlier pipeline
+    /// phase* (an earlier exploration or preprocessing pass on the same
+    /// persistent cache — client predicate queries re-used by the server
+    /// analysis, say). Always ≤ `shared_cache_hits` + the base solver's
+    /// own shared hits; `0` when the exploration ran on a fresh cache.
+    pub cross_phase_cache_hits: u64,
     /// Wall-clock time of the exploration.
     pub wall_time: Duration,
 }

@@ -12,7 +12,7 @@
 //! use achilles_targets::builtin_registry;
 //!
 //! let registry = builtin_registry();
-//! assert_eq!(registry.names(), vec!["fsp", "pbft", "paxos", "twopc"]);
+//! assert_eq!(registry.names(), vec!["fsp", "pbft", "paxos", "twopc", "gossip"]);
 //! let spec = registry.get("twopc").expect("registered below");
 //! let report = AchillesSession::new(&**spec).run();
 //! assert_eq!(Some(report.trojans.len()), spec.expected_trojans());
@@ -33,6 +33,7 @@ pub fn builtin_registry() -> TargetRegistry {
     registry.register(Arc::new(achilles_pbft::PbftSpec::paper()));
     registry.register(Arc::new(achilles_paxos::PaxosSpec::default()));
     registry.register(Arc::new(achilles_twopc::TwopcSpec::default()));
+    registry.register(Arc::new(achilles_gossip::GossipSpec::default()));
     registry
 }
 
@@ -43,7 +44,10 @@ mod tests {
     #[test]
     fn registry_holds_all_shipped_protocols() {
         let registry = builtin_registry();
-        assert_eq!(registry.names(), vec!["fsp", "pbft", "paxos", "twopc"]);
+        assert_eq!(
+            registry.names(),
+            vec!["fsp", "pbft", "paxos", "twopc", "gossip"]
+        );
         for spec in registry.iter() {
             assert!(!spec.description().is_empty(), "{}", spec.name());
             assert!(!spec.local_state_modes().is_empty(), "{}", spec.name());

@@ -116,12 +116,14 @@ impl Coordinator {
     }
 
     /// Whether finalizing `txid` would index the decision jump table out
-    /// of bounds (some recorded vote is outside the table).
+    /// of bounds (some recorded vote is outside the table). An unknown
+    /// transaction has no tally and is never poisoned — callers probe this
+    /// with raw wire values (e.g. a bit-flipped finalize request) before
+    /// validation runs.
     pub fn tally_poisoned(&self, txid: u16) -> bool {
-        self.votes[txid as usize]
-            .iter()
-            .flatten()
-            .any(|&v| v >= DECISION_TABLE_LEN)
+        self.votes
+            .get(txid as usize)
+            .is_some_and(|slots| slots.iter().flatten().any(|&v| v >= DECISION_TABLE_LEN))
     }
 
     /// The phase-2 decision for `txid` (any non-abort vote counts as

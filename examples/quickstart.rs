@@ -17,7 +17,10 @@
 //!    [`achilles_replay::validate_spec`];
 //! 4. declare a multi-message *session* (`hello` → request) and drive the
 //!    stateful analysis + fault-scheduled replay through the same spec —
-//!    the "Declaring a session" guide made runnable.
+//!    the "Declaring a session" guide made runnable;
+//! 5. sweep the session witness's fault-schedule space with
+//!    `achilles_sweep` and triage which delivery faults arm or disarm the
+//!    Trojan — the "Sweeping fault schedules" guide made runnable.
 //!
 //! ```text
 //! cargo run --release -p achilles-examples --example quickstart
@@ -533,5 +536,60 @@ fn main() {
          {HELLO_SERVER_NONCE_CAP}) that no correct client requests — a \
          session-level Trojan invisible to single-message analysis of the \
          request slot alone."
+    );
+
+    // 5. Mini-sweep (step 6 of the porting guide): which delivery faults
+    //    arm or disarm the session Trojan? Plan a reduced schedule space
+    //    for the first witness, replay every schedule, and diff each
+    //    outcome's crash signature against the fault-free baseline.
+    println!("\n== fault-schedule sensitivity (mini-sweep) ==");
+    let target = spec.session_replay_target(&session_report.session);
+    let witness = achilles_replay::session_from_report(
+        &session_report.layouts,
+        0,
+        &session_report.trojans[0],
+    )
+    .expect("session layouts are wire-encodable");
+    let planner = achilles_sweep::SchedulePlanner::new(achilles_sweep::SweepConfig::quick());
+    let mut sweep_cache = achilles_sweep::SweepCache::new();
+    let (matrix, _) = achilles_sweep::sweep_witness(
+        &*target,
+        "quickstart/hello-request",
+        &witness,
+        &planner,
+        1,
+        &mut sweep_cache,
+    );
+    assert_eq!(
+        matrix.baseline_verdict,
+        ReplayVerdict::ConfirmedTrojan,
+        "the witness confirms fault-free — that is the baseline"
+    );
+    for cell in &matrix.cells {
+        println!(
+            "  {:<24} {}",
+            achilles_sweep::schedule_token(&cell.schedule),
+            cell.class
+        );
+    }
+    // Dropping the hello (the arming slot) disarms the Trojan; duplicating
+    // it re-registers the same forged nonce and leaves it armed.
+    use achilles_sweep::ScheduleClass;
+    assert!(
+        matrix
+            .disarmed()
+            .any(|s| achilles_sweep::schedule_token(s) == "drop@s0"),
+        "dropping the arming hello slot disarms"
+    );
+    assert!(matrix.count(ScheduleClass::Armed) >= 1);
+    println!(
+        "\n{} of {} schedules leave the Trojan armed; {} disarm it \
+         (e.g. dropping the forged hello), {} mask the question, {} change \
+         the failure into a new signature.",
+        matrix.count(ScheduleClass::Armed),
+        matrix.cells.len(),
+        matrix.count(ScheduleClass::Disarmed),
+        matrix.count(ScheduleClass::Masked),
+        matrix.count(ScheduleClass::NewSignature),
     );
 }

@@ -96,7 +96,7 @@ fn main() {
 
     // 6. Persist: the corpus round-trips through its text form, and a
     //    second validation pass skips every known witness.
-    let reloaded = ReplayCorpus::from_text(&corpus.to_text());
+    let reloaded = ReplayCorpus::from_text(&corpus.to_text()).expect("a saved corpus parses back");
     assert_eq!(reloaded.len(), corpus.len());
     let second = validate_trojans(&target, &result.trojans, &mut corpus, &validate_config);
     println!(

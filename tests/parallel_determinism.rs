@@ -580,3 +580,123 @@ fn session_search_is_worker_count_invariant() {
     assert_eq!(seq_slots, par_slots, "Trojan slot attribution");
     assert_eq!(seq_paths, par_paths, "completed server paths");
 }
+
+// ---------------------------------------------------------------------------
+// Fault-schedule sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sweep_classification_is_worker_count_invariant() {
+    // The sweep campaign promises a bit-identical sensitivity matrix for
+    // every worker count: replay is a pure function of the (witness,
+    // schedule) pair and the parallel_map fan-out is order-preserving.
+    // Pinned for every session-bearing spec in the built-in registry.
+    use achilles_sweep::{run_campaign, schedule_token, CampaignConfig, SessionSweep, SweepCache};
+    use achilles_targets::builtin_registry;
+
+    fn key(sweeps: &[SessionSweep]) -> Vec<Vec<Vec<(String, String, String)>>> {
+        sweeps
+            .iter()
+            .map(|s| {
+                s.matrices
+                    .iter()
+                    .map(|m| {
+                        m.cells
+                            .iter()
+                            .map(|c| {
+                                (
+                                    schedule_token(&c.schedule),
+                                    c.class.to_string(),
+                                    c.signature.to_line(),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    let registry = builtin_registry();
+    let mut swept = 0usize;
+    for spec in registry.iter() {
+        if spec.sessions().is_empty() {
+            continue;
+        }
+        swept += 1;
+        let name = spec.name();
+        let seq = run_campaign(&**spec, &CampaignConfig::default(), &mut SweepCache::new());
+        let par = run_campaign(
+            &**spec,
+            &CampaignConfig::default().with_workers(4),
+            &mut SweepCache::new(),
+        );
+        assert_eq!(
+            key(&seq),
+            key(&par),
+            "{name}: every (witness, schedule) classification is bit-identical \
+             for workers 1 and 4"
+        );
+        assert!(
+            seq.iter().all(|s| s.confirmed_fault_free == s.discovered),
+            "{name}: fault-free baselines all confirm"
+        );
+    }
+    assert!(swept >= 3, "fsp, twopc, and gossip declare sessions");
+}
+
+#[test]
+fn sweep_campaigns_are_repeatable() {
+    // Same campaign twice (fresh caches): identical cells — nothing in the
+    // sweep depends on wall clock or scheduling.
+    use achilles_gossip::GossipSpec;
+    use achilles_sweep::{run_campaign, CampaignConfig, SweepCache};
+
+    let spec = GossipSpec::default();
+    let a = run_campaign(&spec, &CampaignConfig::default(), &mut SweepCache::new());
+    let b = run_campaign(&spec, &CampaignConfig::default(), &mut SweepCache::new());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cells, y.cells);
+        assert_eq!(x.armed, y.armed);
+        assert_eq!(x.disarmed, y.disarmed);
+        assert_eq!(x.masked, y.masked);
+        assert_eq!(x.new_signature, y.new_signature);
+        for (ma, mb) in x.matrices.iter().zip(&y.matrices) {
+            assert_eq!(ma.cells, mb.cells);
+        }
+    }
+}
+
+#[test]
+fn cross_phase_cache_reuse_never_perturbs_session_results() {
+    // The engine-persistent shared cache lets run_sessions() re-use
+    // queries run() paid for (the session clients overlap the
+    // single-message clients); the reports must match a fresh engine's.
+    use achilles::AchillesSession;
+    use achilles_targets::builtin_registry;
+
+    let registry = builtin_registry();
+    let spec = registry.get("twopc").expect("registered");
+
+    // Warm engine: single-message run first, then sessions.
+    let mut warm = AchillesSession::new(&**spec).workers(4);
+    let _ = warm.run();
+    let warm_reports = warm.run_sessions();
+    let warm_cross = warm.engine().shared_cache().stats().cross_epoch_hits;
+
+    // Cold engine: sessions only.
+    let cold_reports = AchillesSession::new(&**spec).workers(4).run_sessions();
+
+    assert!(
+        warm_cross > 0,
+        "re-exploring the shared participant program hits the cache \
+         entries the single-message run published"
+    );
+    assert_eq!(warm_reports.len(), cold_reports.len());
+    for (w, c) in warm_reports.iter().zip(&cold_reports) {
+        assert_eq!(report_keys(&w.trojans), report_keys(&c.trojans));
+        assert_eq!(w.trojan_slots, c.trojan_slots);
+        assert_eq!(w.server_paths, c.server_paths);
+    }
+}

@@ -175,7 +175,8 @@ fn corpus_makes_revalidation_incremental_across_save_load() {
 
     // Round-trip the corpus through its serialized form (as a CI cache
     // would) and re-validate: nothing replays.
-    let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+    let mut reloaded =
+        ReplayCorpus::from_text(&corpus.to_text()).expect("a saved corpus parses back");
     assert_eq!(reloaded.len(), corpus.len());
     let second = validate_trojans(
         &target,

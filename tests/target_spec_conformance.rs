@@ -22,8 +22,12 @@
 //! session contract: ≥ 1 session Trojan discovered through
 //! [`AchillesSession::run_sessions`] (exact when the session declares a
 //! count), slot attribution present, 100% concrete confirmation under
-//! [`FaultSchedule::none`], and a session corpus round-trip with fully
-//! incremental re-validation.
+//! [`FaultSchedule::none`], a session corpus round-trip with fully
+//! incremental re-validation — and a **fault-schedule sensitivity
+//! contract**: sweeping the witness's schedule space must find at least
+//! one arming and one disarming schedule, and every schedule that drops
+//! an arming slot must classify as `Disarmed` (dropping the message that
+//! carries the poison defuses the Trojan, by construction).
 //!
 //! Adding a protocol crate + one registry registration automatically puts
 //! it under this contract — that is the point of the API.
@@ -38,7 +42,7 @@ use achilles_targets::builtin_registry;
 #[test]
 fn registry_contains_the_shipped_protocols() {
     let registry = builtin_registry();
-    for expected in ["fsp", "pbft", "paxos", "twopc"] {
+    for expected in ["fsp", "pbft", "paxos", "twopc", "gossip"] {
         assert!(
             registry.get(expected).is_some(),
             "{expected} missing from the built-in registry"
@@ -134,7 +138,8 @@ fn session_conformance(spec: &dyn TargetSpec) {
         }
 
         // --- Session corpus round-trip + incremental re-validation. --------
-        let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+        let mut reloaded =
+            ReplayCorpus::from_text(&corpus.to_text()).expect("a saved corpus parses back");
         assert_eq!(
             reloaded.entries(),
             corpus.entries(),
@@ -152,6 +157,50 @@ fn session_conformance(spec: &dyn TargetSpec) {
             report.trojans.len(),
             "{sname}: incremental session re-validation"
         );
+    }
+
+    // --- Fault-schedule sensitivity contract. -------------------------------
+    let sweeps = achilles_sweep::run_campaign(
+        spec,
+        &achilles_sweep::CampaignConfig::default(),
+        &mut achilles_sweep::SweepCache::new(),
+    );
+    assert_eq!(sweeps.len(), declared.len(), "{name}: one sweep/session");
+    for sweep in &sweeps {
+        let sname = format!("{name}/{}", sweep.session);
+        assert_eq!(
+            sweep.confirmed_fault_free, sweep.discovered,
+            "{sname}: every session Trojan confirms under the fault-free baseline"
+        );
+        assert!(
+            sweep.armed >= 1,
+            "{sname}: some schedule must leave the Trojan armed"
+        );
+        assert!(
+            sweep.disarmed >= 1,
+            "{sname}: some schedule must disarm the Trojan"
+        );
+        for matrix in &sweep.matrices {
+            for cell in &matrix.cells {
+                // Drop-the-arming-slot disarms: a schedule whose only
+                // faults are drops, at least one of them on a slot the
+                // baseline attributes the Trojan to, removes the poison
+                // from the wire and must classify as Disarmed.
+                let drops_arming_slot =
+                    cell.schedule.slots.iter().enumerate().any(|(slot, fault)| {
+                        fault.drop && matrix.baseline_trojan_slots.contains(&slot)
+                    });
+                if drops_arming_slot {
+                    assert_eq!(
+                        cell.class,
+                        achilles_sweep::ScheduleClass::Disarmed,
+                        "{sname}: dropping the arming slot must disarm \
+                         (schedule {:?})",
+                        achilles_sweep::schedule_token(&cell.schedule),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -220,7 +269,8 @@ fn conformance(spec: &dyn TargetSpec) {
     assert!(corpus.distinct_signatures() >= 1, "{name}: no signatures");
 
     // --- 3. Corpus round-trip. ---------------------------------------------
-    let mut reloaded = ReplayCorpus::from_text(&corpus.to_text());
+    let mut reloaded =
+        ReplayCorpus::from_text(&corpus.to_text()).expect("a saved corpus parses back");
     assert_eq!(
         reloaded.entries(),
         corpus.entries(),

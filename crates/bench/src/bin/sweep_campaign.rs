@@ -15,17 +15,27 @@
 //!
 //! Every run re-sweeps the campaign at `workers ∈ {1, 4}` with fresh
 //! caches and asserts the sensitivity matrices are bit-identical — scaling
-//! must never buy speed with soundness.
+//! must never buy speed with soundness. By default fresh cells replay
+//! through the snapshot fork-server (prefix-shared execution trees); a
+//! third cold-boot pass asserts fork classifications are bit-identical to
+//! per-cell boots and times the two for the fork-vs-cold comparison.
+//! `--no-fork` turns the fork-server off everywhere (the CI baseline
+//! variant).
 //!
 //! With `--corpus DIR`, each target's sweep cells persist to
 //! `DIR/<name>.sweep` across runs (the CI cache wires this up keyed on
-//! the corpus format version, which the sweep-cache header tracks), so
-//! cross-commit re-sweeps replay only genuinely new (witness, schedule)
-//! pairs.
+//! the sweep-cache format version), so cross-commit re-sweeps replay only
+//! genuinely new (witness, schedule) pairs. After the recorded run, a
+//! warm second iteration re-sweeps the same reports against the populated
+//! cache and must replay nothing — its hit counts are emitted as
+//! `warm_cache_hits`.
 //!
 //! With `--json [PATH]`, emits `BENCH_sweep.json` including the host core
-//! count and the effective worker count of each row, so multicore
-//! measurements stay interpretable.
+//! count, the effective worker count, fork-server savings
+//! (`boots_saved`, `snapshot_restores`, `mean_shared_prefix_depth`,
+//! `fork_wall_s` vs `cold_wall_s`), and parallel `efficiency`
+//! (speedup ÷ effective workers) of each row, so multicore measurements
+//! stay interpretable.
 
 use std::path::PathBuf;
 
@@ -54,6 +64,27 @@ fn campaign_key(sweeps: &[SessionSweep]) -> Vec<Vec<(String, ScheduleClass, Stri
         .collect()
 }
 
+/// Everything one JSON row needs: the recorded sweep plus the timing
+/// passes around it.
+struct BenchRow {
+    /// The recorded (cache-assisted) sweep.
+    sweep: SessionSweep,
+    /// Workers requested on the command line.
+    requested: usize,
+    /// Fresh-cache sweep at workers=1 (the speedup denominator's mate).
+    seq_wall_s: f64,
+    /// Fresh-cache sweep at workers=4 — fork stats and the speedup
+    /// numerator come from here.
+    par: SessionSweep,
+    /// Fresh-cache cold-boot sweep at workers=4 (only when forking).
+    cold_wall_s: Option<f64>,
+    /// Replays performed by the warm second iteration (0 when the cache
+    /// works).
+    warm_replayed: usize,
+    /// Cache hits of the warm second iteration.
+    warm_cache_hits: usize,
+}
+
 fn main() {
     let registry = builtin_registry();
     let selected = arg_value_required("--target");
@@ -72,14 +103,21 @@ fn main() {
     };
     let corpus_dir = arg_value_required("--corpus");
     let workers = achilles_bench::workers_from_args().max(1);
+    let fork_enabled = !arg_present("--no-fork");
     let cores = host_cores();
 
     header(&format!(
-        "Fault-schedule sweep campaigns ({}; {cores} host core(s))",
-        names.join(" + ")
+        "Fault-schedule sweep campaigns ({}; {cores} host core(s); fork-server {})",
+        names.join(" + "),
+        if fork_enabled { "on" } else { "off" },
     ));
 
-    let mut rows: Vec<(SessionSweep, usize)> = Vec::new();
+    let base_config = if fork_enabled {
+        CampaignConfig::default()
+    } else {
+        CampaignConfig::default().without_fork()
+    };
+    let mut rows: Vec<BenchRow> = Vec::new();
     for name in &names {
         let spec = registry.get(name).expect("validated above");
         if spec.sessions().is_empty() {
@@ -88,23 +126,21 @@ fn main() {
         }
 
         // Symbolic session discovery runs ONCE per target; the worker
-        // comparison and the recorded run sweep the same reports.
+        // comparison, the fork-vs-cold comparison, and the recorded run
+        // all sweep the same reports.
         let mut driver = achilles::AchillesSession::new(&**spec).workers(workers);
         let reports = driver.run_sessions();
 
         // Worker-count bit-identity: fresh caches on both sides, so every
-        // cell is genuinely replayed and compared.
+        // cell is genuinely replayed and compared. With the fork-server
+        // on, a third cold pass pins fork ≡ cold as well.
+        let mut timing: Vec<(SessionSweep, f64, Option<f64>)> = Vec::new();
         for report in &reports {
-            let seq = sweep_report(
-                &**spec,
-                report,
-                &CampaignConfig::default(),
-                &mut SweepCache::new(),
-            );
+            let seq = sweep_report(&**spec, report, &base_config, &mut SweepCache::new());
             let par = sweep_report(
                 &**spec,
                 report,
-                &CampaignConfig::default().with_workers(4),
+                &base_config.clone().with_workers(4),
                 &mut SweepCache::new(),
             );
             assert_eq!(
@@ -114,24 +150,42 @@ fn main() {
                  worker count",
                 report.session
             );
+            let cold_wall_s = if fork_enabled {
+                let cold = sweep_report(
+                    &**spec,
+                    report,
+                    &CampaignConfig::default().without_fork().with_workers(4),
+                    &mut SweepCache::new(),
+                );
+                assert_eq!(
+                    campaign_key(std::slice::from_ref(&par)),
+                    campaign_key(std::slice::from_ref(&cold)),
+                    "{name}/{}: fork-server classifications must be \
+                     bit-identical to cold boots",
+                    report.session
+                );
+                Some(cold.elapsed.as_secs_f64())
+            } else {
+                None
+            };
+            timing.push((par, seq.elapsed.as_secs_f64(), cold_wall_s));
         }
 
         // The recorded run: cache-assisted and persistent when --corpus is
-        // given.
+        // given — followed by a warm second iteration that must be
+        // replay-free.
         let mut cache = match corpus_dir.as_deref() {
             Some(dir) => SweepCache::load(&sweep_cache_path(dir, name)).unwrap_or_default(),
             None => SweepCache::new(),
         };
+        let recorded_config = base_config.clone().with_workers(workers);
         let sweeps: Vec<SessionSweep> = reports
             .iter()
-            .map(|report| {
-                sweep_report(
-                    &**spec,
-                    report,
-                    &CampaignConfig::default().with_workers(workers),
-                    &mut cache,
-                )
-            })
+            .map(|report| sweep_report(&**spec, report, &recorded_config, &mut cache))
+            .collect();
+        let warm: Vec<SessionSweep> = reports
+            .iter()
+            .map(|report| sweep_report(&**spec, report, &recorded_config, &mut cache))
             .collect();
         if let Some(dir) = corpus_dir.as_deref() {
             std::fs::create_dir_all(dir).expect("create corpus dir");
@@ -139,7 +193,9 @@ fn main() {
                 .save(&sweep_cache_path(dir, name))
                 .expect("persist sweep cache");
         }
-        for sweep in sweeps {
+        for ((sweep, (par, seq_wall_s, cold_wall_s)), warm_sweep) in
+            sweeps.into_iter().zip(timing).zip(warm)
+        {
             assert_eq!(
                 sweep.confirmed_fault_free, sweep.discovered,
                 "{name}/{}: every session Trojan must confirm under the \
@@ -152,13 +208,20 @@ fn main() {
                  at least one arming and one disarming schedule",
                 sweep.session
             );
+            assert_eq!(
+                warm_sweep.replayed, 0,
+                "{name}/{}: the warm second iteration must answer every \
+                 cell from the sweep cache",
+                warm_sweep.session
+            );
             println!(
                 "{}",
                 row(
                     &format!("{name}/{}", sweep.session),
                     format!(
                         "{} Trojans, {} cells: {} armed, {} disarmed, {} masked, \
-                         {} new-signature; {} replayed, {} cached ({:.3}s)",
+                         {} new-signature; {} replayed, {} cached, {} warm hits \
+                         ({:.3}s)",
                         sweep.discovered,
                         sweep.cells,
                         sweep.armed,
@@ -167,11 +230,40 @@ fn main() {
                         sweep.new_signature,
                         sweep.replayed,
                         sweep.cache_hits,
+                        warm_sweep.cache_hits,
                         sweep.elapsed.as_secs_f64(),
                     )
                 )
             );
-            rows.push((sweep, workers));
+            if fork_enabled {
+                println!(
+                    "{}",
+                    row(
+                        "  fork-server",
+                        format!(
+                            "{} boots for {} cells ({} saved), {} restores, mean \
+                             shared prefix {:.2}; fork {:.3}s vs cold {:.3}s @4 \
+                             workers",
+                            par.fork.boots,
+                            par.fork.plans,
+                            par.boots_saved(),
+                            par.fork.snapshot_restores,
+                            par.mean_shared_prefix_depth(),
+                            par.elapsed.as_secs_f64(),
+                            cold_wall_s.unwrap_or_default(),
+                        )
+                    )
+                );
+            }
+            rows.push(BenchRow {
+                sweep,
+                requested: workers,
+                seq_wall_s,
+                par,
+                cold_wall_s,
+                warm_replayed: warm_sweep.replayed,
+                warm_cache_hits: warm_sweep.cache_hits,
+            });
         }
     }
 
@@ -185,14 +277,28 @@ fn main() {
         let mut json = String::new();
         json.push_str("{\n  \"bench\": \"sweep_campaign\",\n");
         json.push_str(&format!("  \"host_cores\": {cores},\n"));
+        json.push_str(&format!("  \"fork\": {fork_enabled},\n"));
         json.push_str("  \"sessions\": [\n");
-        for (i, (s, requested)) in rows.iter().enumerate() {
+        for (i, r) in rows.iter().enumerate() {
+            let s = &r.sweep;
+            let par_wall_s = r.par.elapsed.as_secs_f64();
+            let speedup = if par_wall_s > 0.0 {
+                r.seq_wall_s / par_wall_s
+            } else {
+                1.0
+            };
+            let efficiency = speedup / r.par.workers_effective.max(1) as f64;
             json.push_str(&format!(
                 "    {{\"system\": \"{}\", \"session\": \"{}\", \"discovered\": {}, \
                  \"confirmed_fault_free\": {}, \"cells\": {}, \"armed\": {}, \
                  \"disarmed\": {}, \"masked\": {}, \"new_signature\": {}, \
-                 \"replayed\": {}, \"cache_hits\": {}, \"workers\": {}, \
-                 \"workers_effective\": {}, \"wall_s\": {:.4}}}{}\n",
+                 \"replayed\": {}, \"cache_hits\": {}, \"warm_replayed\": {}, \
+                 \"warm_cache_hits\": {}, \"workers\": {}, \
+                 \"workers_effective\": {}, \"wall_s\": {:.4}, \
+                 \"boots_saved\": {}, \"snapshot_restores\": {}, \
+                 \"mean_shared_prefix_depth\": {:.4}, \"fork_wall_s\": {:.4}, \
+                 \"cold_wall_s\": {:.4}, \"speedup\": {:.4}, \
+                 \"efficiency\": {:.4}}}{}\n",
                 s.target,
                 s.session,
                 s.discovered,
@@ -204,9 +310,22 @@ fn main() {
                 s.new_signature,
                 s.replayed,
                 s.cache_hits,
-                requested,
+                r.warm_replayed,
+                r.warm_cache_hits,
+                r.requested,
                 s.workers_effective,
                 s.elapsed.as_secs_f64(),
+                r.par.boots_saved(),
+                r.par.fork.snapshot_restores,
+                r.par.mean_shared_prefix_depth(),
+                if r.cold_wall_s.is_some() {
+                    par_wall_s
+                } else {
+                    0.0
+                },
+                r.cold_wall_s.unwrap_or(par_wall_s),
+                speedup,
+                efficiency,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }

@@ -195,6 +195,24 @@
 //!    seed→sync→read session is the shipped reference;
 //!    `examples/quickstart.rs` runs a mini-sweep on its hello→request
 //!    session.
+//! 7. **Make the target snapshottable** (optional — a pure speed lever for
+//!    sweeps). A campaign cold-boots one [`ReplayTarget::inject`] per
+//!    (witness, schedule) cell even though canonical schedules share long
+//!    delivery prefixes. Implement [`SnapshotReplayTarget`] and override
+//!    [`ReplayTarget::boot_fork`] to return it, and the sweep fork-server
+//!    executes each witness's schedules as a delivery-prefix trie instead,
+//!    restoring from the deepest shared ancestor. What to clone in
+//!    [`snapshot`](SnapshotReplayTarget::snapshot): *every* piece of state
+//!    a delivery can mutate — the protocol engine (node, cluster,
+//!    coordinator, simulated filesystem + network) *and* the injection
+//!    bookkeeping (login flags, tracked witness keys). Clones must be deep:
+//!    a snapshot that aliases a live `Arc<Mutex<…>>` corrupts every sibling
+//!    branch. The cold-boot fallback contract: `boot_fork` defaults to
+//!    `None`, every driver then falls back to booting per cell, and
+//!    snapshots may never change results — only wall time. The
+//!    `fork_server_equivalence` suite and the snapshot conformance contract
+//!    pin bit-identity per target; `examples/quickstart.rs` runs its
+//!    mini-sweep through the fork-server and prints `boots_saved`.
 //!
 //! ## Crate map
 //!
@@ -303,5 +321,6 @@ pub use sequence::{analyze_sequence, analyze_sequence_with, SequenceObserver};
 pub use session::{AchillesSession, SessionReport, TargetRegistry};
 pub use target::{
     fields_to_wire, layout_widths, wire_to_fields, Delivery, InjectionOutcome, LocalStateMode,
-    ReplayTarget, SessionSlot, SessionSpec, TargetSpec, WireError,
+    ReplayTarget, SessionSlot, SessionSpec, SnapshotReplayTarget, TargetSnapshot, TargetSpec,
+    WireError,
 };

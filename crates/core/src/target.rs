@@ -24,6 +24,8 @@
 //! See the crate-level docs ("Porting a protocol") for the step-by-step
 //! guide.
 
+use std::any::Any;
+use std::fmt;
 use std::sync::Arc;
 
 pub use achilles_netsim::bytes::WireError;
@@ -143,6 +145,118 @@ pub trait ReplayTarget: Sync {
         let _ = slot;
         self.client_generable(fields)
     }
+
+    /// Boots a fresh deployment as an incremental *fork session* — the
+    /// snapshot/restore capability behind the sweep fork-server.
+    ///
+    /// Snapshot-capable targets return `Some(session)` where delivering
+    /// every plan entry through [`SnapshotReplayTarget::deliver`] and then
+    /// calling [`SnapshotReplayTarget::finish`] produces exactly the
+    /// [`InjectionOutcome`] that [`ReplayTarget::inject`] would for the
+    /// same plan (the *equivalence law*; the fork-server equivalence suite
+    /// pins it per target). The default is `None`: drivers fall back
+    /// transparently to cold-booting one [`ReplayTarget::inject`] per
+    /// cell, so snapshots are a pure speed lever, never a semantic one.
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot fork sessions
+// ---------------------------------------------------------------------------
+
+/// An opaque, clone-able copy of a fork session's mutable engine state.
+///
+/// Produced by [`SnapshotReplayTarget::snapshot`] and consumed only by the
+/// matching target's [`SnapshotReplayTarget::restore`] — the payload type
+/// is private to the target implementation. Snapshots are deep copies:
+/// restoring one must not alias live state (no shared `Arc<Mutex<…>>`
+/// interiors), so a restored session and the session it forked from evolve
+/// independently.
+pub struct TargetSnapshot(Box<dyn AnyState>);
+
+impl TargetSnapshot {
+    /// Wraps a deep copy of a fork session's mutable state.
+    pub fn of<T: Clone + Send + 'static>(state: T) -> TargetSnapshot {
+        TargetSnapshot(Box::new(state))
+    }
+
+    /// Recovers the state payload, if this snapshot holds a `T`.
+    ///
+    /// Targets call this from [`SnapshotReplayTarget::restore`] and may
+    /// `expect` the downcast: the fork-server only ever hands a session
+    /// snapshots that same session (or a sibling of the same target)
+    /// produced.
+    pub fn get<T: Clone + Send + 'static>(&self) -> Option<&T> {
+        self.0.as_any().downcast_ref::<T>()
+    }
+}
+
+impl Clone for TargetSnapshot {
+    fn clone(&self) -> TargetSnapshot {
+        TargetSnapshot(self.0.clone_box())
+    }
+}
+
+impl fmt::Debug for TargetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TargetSnapshot(..)")
+    }
+}
+
+/// Object-safe `Clone + Any` bridge for snapshot payloads.
+trait AnyState: Send {
+    fn clone_box(&self) -> Box<dyn AnyState>;
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Clone + Send + 'static> AnyState for T {
+    fn clone_box(&self) -> Box<dyn AnyState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// One booted deployment driven incrementally, with snapshot/restore at
+/// arbitrary points — the AFL-style fork-server capability.
+///
+/// Where [`ReplayTarget::inject`] boots fresh state per call and consumes a
+/// whole delivery plan, a fork session is handed deliveries one at a time
+/// and can be rewound: the sweep fork-server walks a delivery-prefix trie,
+/// snapshotting at branch points and restoring from the deepest shared
+/// ancestor instead of cold-booting every cell.
+///
+/// # Contract
+///
+/// - [`deliver`](SnapshotReplayTarget::deliver) pushes exactly one entry
+///   onto `outcome.accepted_each` and appends any per-delivery effects, in
+///   the same order `inject` would.
+/// - [`finish`](SnapshotReplayTarget::finish) appends the end-of-plan
+///   effects `inject` computes after its delivery loop (filesystem diffs,
+///   final decisions). It may leave the engine state unspecified — the
+///   fork-server always restores a snapshot before reusing the session.
+/// - *Equivalence law*: boot → `deliver` each plan entry → `finish` must
+///   produce an [`InjectionOutcome`] equal to `inject` on the same plan,
+///   and `snapshot` → any deliveries → `restore` must put the session back
+///   bit-exactly (re-delivering yields identical outcomes).
+pub trait SnapshotReplayTarget {
+    /// Feeds one delivery to the live deployment, recording acceptance and
+    /// effects into `outcome`.
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome);
+
+    /// Deep-copies the mutable engine state.
+    fn snapshot(&self) -> TargetSnapshot;
+
+    /// Rewinds the session to a previously captured snapshot.
+    fn restore(&mut self, snapshot: &TargetSnapshot);
+
+    /// Appends the end-of-plan effects (whatever `inject` computes after
+    /// delivering everything). May consume the session state; callers
+    /// restore a snapshot before delivering again.
+    fn finish(&mut self, outcome: &mut InjectionOutcome);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,27 @@ pub struct FspServerRuntime {
     pub accepted: u64,
 }
 
+impl Clone for FspServerRuntime {
+    /// A deep copy for snapshot/restore: a fresh filesystem `Arc` (cloned
+    /// from the live one) with the server re-bound onto it, so clone and
+    /// original evolve independently. The solver is rebuilt empty — it is
+    /// a pure query cache, so an empty one is semantically identical.
+    fn clone(&self) -> FspServerRuntime {
+        let fs = Arc::new(Mutex::new(
+            self.fs.lock().expect("state lock poisoned").clone(),
+        ));
+        FspServerRuntime {
+            server: self.server.deep_clone_onto(Arc::clone(&fs)),
+            fs,
+            addr: self.addr.clone(),
+            pool: self.pool.clone(),
+            solver: Solver::new(),
+            handled: self.handled,
+            accepted: self.accepted,
+        }
+    }
+}
+
 impl FspServerRuntime {
     /// Deploys a server with the given initial filesystem.
     ///

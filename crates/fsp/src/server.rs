@@ -113,6 +113,26 @@ impl FspServer {
         &self.config
     }
 
+    /// A genuinely independent copy of this server operating on `fs`.
+    ///
+    /// The derived `Clone` aliases the filesystem and protection-table
+    /// `Arc`s (fine for sharing one live server); snapshot/restore needs
+    /// the opposite — deep copies that evolve independently. The caller
+    /// supplies the already-deep-copied filesystem handle; the protection
+    /// table is deep-copied here.
+    pub fn deep_clone_onto(&self, fs: Arc<Mutex<SimFs>>) -> FspServer {
+        let protections = self
+            .protections
+            .lock()
+            .expect("protection table lock")
+            .clone();
+        FspServer {
+            config: self.config.clone(),
+            fs: Some(fs),
+            protections: Arc::new(Mutex::new(protections)),
+        }
+    }
+
     fn handle_command(
         &self,
         env: &mut SymEnv<'_>,

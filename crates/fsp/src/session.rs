@@ -19,15 +19,14 @@
 
 use std::sync::Arc;
 
-use achilles::{wire_to_fields, Delivery, InjectionOutcome, ReplayTarget};
-use achilles_netsim::{Addr, Network};
+use achilles::{Delivery, InjectionOutcome, ReplayTarget, SnapshotReplayTarget};
 use achilles_solver::Width;
 use achilles_symvm::{MessageLayout, NodeProgram, PathResult, SymEnv, SymMessage};
 
 use crate::oracle::client_can_generate;
 use crate::protocol::{layout, FspMessage};
 use crate::server::{FspServer, FspServerConfig};
-use crate::target::FspTarget;
+use crate::target::{FspForkSession, FspTarget};
 
 /// Number of provisioned user ids (`user < LOGIN_MAX_USER`).
 pub const LOGIN_MAX_USER: u64 = 4;
@@ -172,82 +171,17 @@ impl ReplayTarget for FspSessionTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut fs = achilles_netsim::SimFs::new();
-        for (path, data) in &self.inner.initial_files {
-            fs.write(path, data).expect("initial file writes succeed");
-        }
-        let mut net = Network::new();
-        let server_addr = Addr::new("fspd");
-        let client_addr = Addr::new("replay-cli");
-        net.register(server_addr.clone());
-        net.register(client_addr.clone());
-        let mut server =
-            crate::runtime::FspServerRuntime::new(server_addr, fs, self.inner.server.clone());
-        let before = server.fs().list("/").unwrap_or_default();
-        let login_len = 3usize; // user (1 B) + token (2 B)
-        let mut logged_in = false;
+        let mut session = FspForkSession::boot(&self.inner, true);
         let mut outcome = InjectionOutcome::default();
-        for (wire, is_witness) in deliveries {
-            if wire.len() == login_len {
-                let Ok(fields) = wire_to_fields(&login_layout(), wire) else {
-                    outcome.accepted_each.push(false);
-                    outcome.effects.push("login:malformed".to_string());
-                    continue;
-                };
-                let (user, token) = (fields[0], fields[1]);
-                let accepted = user < LOGIN_MAX_USER && token < LOGIN_SERVER_TOKEN_CAP;
-                outcome.accepted_each.push(accepted);
-                if !accepted {
-                    outcome.effects.push("login:rejected".to_string());
-                    continue;
-                }
-                logged_in = true;
-                outcome.effects.push("login:ok".to_string());
-                if *is_witness && token >= LOGIN_CLIENT_TOKEN_CAP {
-                    // Triage family: a session no correct client opened.
-                    outcome.effects.push("family:forged-login".to_string());
-                }
-                continue;
-            }
-            if !logged_in {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("rejected:no-login".to_string());
-                continue;
-            }
-            let accepted_before = server.accepted;
-            net.send(client_addr.clone(), server.addr().clone(), wire.clone());
-            server.poll(&mut net);
-            outcome
-                .accepted_each
-                .push(server.accepted > accepted_before);
-            while let Some(reply) = net.recv(&client_addr) {
-                let code = if reply.payload.first() == Some(&0) {
-                    "ok"
-                } else {
-                    "err"
-                };
-                outcome.effects.push(format!("reply:{code}"));
-            }
-            if *is_witness {
-                if let Ok(msg) = FspMessage::from_wire(wire) {
-                    if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
-                        outcome.effects.push(family);
-                    }
-                }
-            }
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
-        let after = server.fs().list("/").unwrap_or_default();
-        for name in &after {
-            if !before.contains(name) {
-                outcome.effects.push(format!("fs:+{name}"));
-            }
-        }
-        for name in &before {
-            if !after.contains(name) {
-                outcome.effects.push(format!("fs:-{name}"));
-            }
-        }
+        session.finish(&mut outcome);
         outcome
+    }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(FspForkSession::boot(&self.inner, true)))
     }
 }
 

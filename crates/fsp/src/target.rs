@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec, TargetSpec,
-    TrojanReport,
+    wire_to_fields, AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot,
+    SessionSpec, SnapshotReplayTarget, TargetSnapshot, TargetSpec, TrojanReport,
 };
 use achilles_netsim::{Addr, Network, SimFs};
 use achilles_symvm::{ExploreConfig, MessageLayout, NodeProgram};
@@ -25,6 +25,7 @@ use crate::runtime::FspServerRuntime;
 use crate::server::{FspServer, FspServerConfig};
 use crate::session::{
     expected_session_trojans, login_layout, FspLoginClient, FspSessionServer, FspSessionTarget,
+    LOGIN_CLIENT_TOKEN_CAP, LOGIN_MAX_USER, LOGIN_SERVER_TOKEN_CAP,
 };
 use crate::TrojanFamily;
 
@@ -122,44 +123,135 @@ impl ReplayTarget for FspTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let (mut net, mut server, client_addr) = self.boot();
-        let before = server.fs().list("/").unwrap_or_default();
+        let mut session = FspForkSession::boot(self, false);
         let mut outcome = InjectionOutcome::default();
-        for (wire, is_witness) in deliveries {
-            let accepted_before = server.accepted;
-            net.send(client_addr.clone(), server.addr().clone(), wire.clone());
-            server.poll(&mut net);
-            outcome
-                .accepted_each
-                .push(server.accepted > accepted_before);
-            while let Some(reply) = net.recv(&client_addr) {
-                let code = if reply.payload.first() == Some(&0) {
-                    "ok"
-                } else {
-                    "err"
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
+        }
+        session.finish(&mut outcome);
+        outcome
+    }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(FspForkSession::boot(self, false)))
+    }
+}
+
+/// The incremental FSP deployment behind both FSP targets' `inject` *and*
+/// their fork sessions: one booted server endpoint fed deliveries one at a
+/// time. `inject` is a boot → deliver-each → finish loop over this very
+/// struct, so fork-server replay is equivalent to cold-boot by
+/// construction.
+pub(crate) struct FspForkSession {
+    net: Network,
+    server: FspServerRuntime,
+    client_addr: Addr,
+    /// Root listing at boot, immutable — `finish` diffs against it.
+    before: Vec<String>,
+    /// `Some(logged_in)` when the login gate is active (the session
+    /// target); `None` for the single-message target.
+    login: Option<bool>,
+}
+
+impl FspForkSession {
+    pub(crate) fn boot(target: &FspTarget, login_gate: bool) -> FspForkSession {
+        let (net, server, client_addr) = target.boot();
+        let before = server.fs().list("/").unwrap_or_default();
+        FspForkSession {
+            net,
+            server,
+            client_addr,
+            before,
+            login: login_gate.then_some(false),
+        }
+    }
+}
+
+impl SnapshotReplayTarget for FspForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let login_len = 3usize; // user (1 B) + token (2 B)
+        if let Some(logged_in) = self.login {
+            if wire.len() == login_len {
+                let Ok(fields) = wire_to_fields(&login_layout(), wire) else {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("login:malformed".to_string());
+                    return;
                 };
-                outcome.effects.push(format!("reply:{code}"));
+                let (user, token) = (fields[0], fields[1]);
+                let accepted = user < LOGIN_MAX_USER && token < LOGIN_SERVER_TOKEN_CAP;
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push("login:rejected".to_string());
+                    return;
+                }
+                self.login = Some(true);
+                outcome.effects.push("login:ok".to_string());
+                if *is_witness && token >= LOGIN_CLIENT_TOKEN_CAP {
+                    // Triage family: a session no correct client opened.
+                    outcome.effects.push("family:forged-login".to_string());
+                }
+                return;
             }
-            if *is_witness {
-                if let Ok(msg) = FspMessage::from_wire(wire) {
-                    if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
-                        outcome.effects.push(family);
-                    }
+            if !logged_in {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("rejected:no-login".to_string());
+                return;
+            }
+        }
+        let accepted_before = self.server.accepted;
+        let server_addr = self.server.addr().clone();
+        self.net
+            .send(self.client_addr.clone(), server_addr, wire.clone());
+        self.server.poll(&mut self.net);
+        outcome
+            .accepted_each
+            .push(self.server.accepted > accepted_before);
+        while let Some(reply) = self.net.recv(&self.client_addr) {
+            let code = if reply.payload.first() == Some(&0) {
+                "ok"
+            } else {
+                "err"
+            };
+            outcome.effects.push(format!("reply:{code}"));
+        }
+        if *is_witness {
+            if let Ok(msg) = FspMessage::from_wire(wire) {
+                if let Some(family) = FspTarget::family_effect(&msg.field_values()) {
+                    outcome.effects.push(family);
                 }
             }
         }
-        let after = server.fs().list("/").unwrap_or_default();
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        // `FspServerRuntime::clone` is the deep copy (fresh filesystem and
+        // protection-table `Arc`s); `before` is boot-immutable and lives in
+        // the session itself.
+        TargetSnapshot::of((self.net.clone(), self.server.clone(), self.login))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        let (net, server, login) = snapshot
+            .get::<(Network, FspServerRuntime, Option<bool>)>()
+            .expect("an FSP fork session restores FSP snapshots");
+        self.net = net.clone();
+        self.server = server.clone();
+        self.login = *login;
+    }
+
+    fn finish(&mut self, outcome: &mut InjectionOutcome) {
+        let after = self.server.fs().list("/").unwrap_or_default();
         for name in &after {
-            if !before.contains(name) {
+            if !self.before.contains(name) {
                 outcome.effects.push(format!("fs:+{name}"));
             }
         }
-        for name in &before {
+        for name in &self.before {
             if !after.contains(name) {
                 outcome.effects.push(format!("fs:-{name}"));
             }
         }
-        outcome
     }
 }
 

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec, TargetSpec,
-    TrojanReport,
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec,
+    SnapshotReplayTarget, TargetSnapshot, TargetSpec, TrojanReport,
 };
 use achilles_symvm::{MessageLayout, NodeProgram};
 
@@ -85,49 +85,93 @@ impl ReplayTarget for GossipTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut node = GossipNode::new(self.config);
+        let mut session = GossipForkSession::boot(self.config);
         let mut outcome = InjectionOutcome::default();
-        let mut witness_key: Option<u8> = None;
-        for (wire, is_witness) in deliveries {
-            let Ok(seed) = GossipSeed::from_wire(wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            if u64::from(seed.kind) != SEED_KIND {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("ignored:not-seed".to_string());
-                continue;
-            }
-            let crashed_before = node.crashed();
-            let accepted = node.on_seed(seed.key, seed.version, seed.status);
-            outcome.accepted_each.push(accepted);
-            if !accepted {
-                outcome.effects.push(if crashed_before {
-                    "rejected:node-wedged".to_string()
-                } else {
-                    "rejected:ingest".to_string()
-                });
-                continue;
-            }
-            if *is_witness {
-                witness_key = Some(seed.key);
-            }
-            seed_effects(&node, seed.key, &mut outcome);
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
-        if let Some(key) = witness_key {
+        session.finish(&mut outcome);
+        outcome
+    }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(GossipForkSession::boot(self.config)))
+    }
+}
+
+/// The incremental deployment behind [`GossipTarget`]: one live node plus
+/// the tracked witness key. `inject` is a boot → deliver-each → finish
+/// loop over this struct, so fork-server replay is equivalent to
+/// cold-boot by construction.
+struct GossipForkSession {
+    node: GossipNode,
+    witness_key: Option<u8>,
+}
+
+impl GossipForkSession {
+    fn boot(config: GossipConfig) -> GossipForkSession {
+        GossipForkSession {
+            node: GossipNode::new(config),
+            witness_key: None,
+        }
+    }
+}
+
+impl SnapshotReplayTarget for GossipForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let Ok(seed) = GossipSeed::from_wire(wire) else {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("malformed".to_string());
+            return;
+        };
+        if u64::from(seed.kind) != SEED_KIND {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("ignored:not-seed".to_string());
+            return;
+        }
+        let crashed_before = self.node.crashed();
+        let accepted = self.node.on_seed(seed.key, seed.version, seed.status);
+        outcome.accepted_each.push(accepted);
+        if !accepted {
+            outcome.effects.push(if crashed_before {
+                "rejected:node-wedged".to_string()
+            } else {
+                "rejected:ingest".to_string()
+            });
+            return;
+        }
+        if *is_witness {
+            self.witness_key = Some(seed.key);
+        }
+        seed_effects(&self.node, seed.key, outcome);
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of((self.node.clone(), self.witness_key))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        let (node, witness_key) = snapshot
+            .get::<(GossipNode, Option<u8>)>()
+            .expect("a gossip fork session restores gossip snapshots");
+        self.node = node.clone();
+        self.witness_key = *witness_key;
+    }
+
+    fn finish(&mut self, outcome: &mut InjectionOutcome) {
+        if let Some(key) = self.witness_key {
             // The read a real cluster eventually performs on every record.
-            match node.resolve(key) {
+            match self.node.resolve(key) {
                 Resolution::Miss => outcome.effects.push("resolve:miss".to_string()),
                 Resolution::Status(true) => outcome.effects.push("resolve:up".to_string()),
                 Resolution::Status(false) => outcome.effects.push("resolve:down".to_string()),
                 Resolution::TableOverrun => {
-                    node.on_read(key);
+                    self.node.on_read(key);
                     outcome.effects.push("crash:status-table-oob".to_string());
                 }
             }
         }
-        outcome
     }
 }
 
@@ -192,97 +236,138 @@ impl ReplayTarget for GossipSessionTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut node = GossipNode::new(self.config);
+        let mut session = GossipSessionForkSession::boot(self.config);
         let mut outcome = InjectionOutcome::default();
-        for (wire, _) in deliveries {
-            let crashed_before = node.crashed();
-            match wire.first().map(|&k| u64::from(k)) {
-                Some(SEED_KIND) => {
-                    let Ok(seed) = GossipSeed::from_wire(wire) else {
-                        outcome.accepted_each.push(false);
-                        outcome.effects.push("malformed".to_string());
-                        continue;
-                    };
-                    let accepted = node.on_seed(seed.key, seed.version, seed.status);
-                    outcome.accepted_each.push(accepted);
-                    if !accepted {
-                        outcome.effects.push(if crashed_before {
-                            "rejected:node-wedged".to_string()
-                        } else {
-                            "rejected:ingest".to_string()
-                        });
-                        continue;
-                    }
-                    seed_effects(&node, seed.key, &mut outcome);
-                }
-                Some(SYNC_KIND) => {
-                    let Ok(sync) = GossipRequest::from_wire(wire) else {
-                        outcome.accepted_each.push(false);
-                        outcome.effects.push("malformed".to_string());
-                        continue;
-                    };
-                    let accepted = node.on_sync(sync.key);
-                    outcome.accepted_each.push(accepted);
-                    if !accepted {
-                        outcome.effects.push(if crashed_before {
-                            "rejected:node-wedged".to_string()
-                        } else {
-                            "rejected:sync".to_string()
-                        });
-                        continue;
-                    }
-                    if node.propagated(sync.key) {
-                        // The anti-entropy round forwards the record —
-                        // corruption included — to every peer.
-                        outcome.effects.push("gossip:propagated".to_string());
-                        if node.record_poisoned(sync.key) {
-                            outcome.effects.push("gossip:poison-spread".to_string());
-                        }
-                    } else {
-                        outcome.effects.push("sync:miss".to_string());
-                    }
-                }
-                Some(READ_KIND) => {
-                    let Ok(read) = GossipRequest::from_wire(wire) else {
-                        outcome.accepted_each.push(false);
-                        outcome.effects.push("malformed".to_string());
-                        continue;
-                    };
-                    let accepted = node.on_read(read.key);
-                    outcome.accepted_each.push(accepted);
-                    if !accepted {
-                        outcome.effects.push(if crashed_before {
-                            "rejected:node-wedged".to_string()
-                        } else {
-                            "rejected:read".to_string()
-                        });
-                        continue;
-                    }
-                    if node.crashed() && !crashed_before {
-                        // The implicit interaction: the crash was armed by
-                        // a seed accepted two messages earlier.
-                        outcome.effects.push("crash:status-table-oob".to_string());
-                    } else {
-                        match node.resolve(read.key) {
-                            Resolution::Miss => outcome.effects.push("read:miss".to_string()),
-                            Resolution::Status(true) => {
-                                outcome.effects.push("read:up".to_string());
-                            }
-                            Resolution::Status(false) => {
-                                outcome.effects.push("read:down".to_string());
-                            }
-                            Resolution::TableOverrun => unreachable!("overrun crashes the node"),
-                        }
-                    }
-                }
-                _ => {
-                    outcome.accepted_each.push(false);
-                    outcome.effects.push("ignored:unknown-kind".to_string());
-                }
-            }
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
+        session.finish(&mut outcome);
         outcome
     }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(GossipSessionForkSession::boot(self.config)))
+    }
+}
+
+/// The incremental deployment behind [`GossipSessionTarget`]: one live
+/// node dispatching on the kind byte. No end-of-plan step — the session's
+/// read slot is the detonation point.
+struct GossipSessionForkSession {
+    node: GossipNode,
+}
+
+impl GossipSessionForkSession {
+    fn boot(config: GossipConfig) -> GossipSessionForkSession {
+        GossipSessionForkSession {
+            node: GossipNode::new(config),
+        }
+    }
+}
+
+impl SnapshotReplayTarget for GossipSessionForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, _) = delivery;
+        let node = &mut self.node;
+        let crashed_before = node.crashed();
+        match wire.first().map(|&k| u64::from(k)) {
+            Some(SEED_KIND) => {
+                let Ok(seed) = GossipSeed::from_wire(wire) else {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("malformed".to_string());
+                    return;
+                };
+                let accepted = node.on_seed(seed.key, seed.version, seed.status);
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push(if crashed_before {
+                        "rejected:node-wedged".to_string()
+                    } else {
+                        "rejected:ingest".to_string()
+                    });
+                    return;
+                }
+                seed_effects(node, seed.key, outcome);
+            }
+            Some(SYNC_KIND) => {
+                let Ok(sync) = GossipRequest::from_wire(wire) else {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("malformed".to_string());
+                    return;
+                };
+                let accepted = node.on_sync(sync.key);
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push(if crashed_before {
+                        "rejected:node-wedged".to_string()
+                    } else {
+                        "rejected:sync".to_string()
+                    });
+                    return;
+                }
+                if node.propagated(sync.key) {
+                    // The anti-entropy round forwards the record —
+                    // corruption included — to every peer.
+                    outcome.effects.push("gossip:propagated".to_string());
+                    if node.record_poisoned(sync.key) {
+                        outcome.effects.push("gossip:poison-spread".to_string());
+                    }
+                } else {
+                    outcome.effects.push("sync:miss".to_string());
+                }
+            }
+            Some(READ_KIND) => {
+                let Ok(read) = GossipRequest::from_wire(wire) else {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("malformed".to_string());
+                    return;
+                };
+                let accepted = node.on_read(read.key);
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push(if crashed_before {
+                        "rejected:node-wedged".to_string()
+                    } else {
+                        "rejected:read".to_string()
+                    });
+                    return;
+                }
+                if node.crashed() && !crashed_before {
+                    // The implicit interaction: the crash was armed by
+                    // a seed accepted two messages earlier.
+                    outcome.effects.push("crash:status-table-oob".to_string());
+                } else {
+                    match node.resolve(read.key) {
+                        Resolution::Miss => outcome.effects.push("read:miss".to_string()),
+                        Resolution::Status(true) => {
+                            outcome.effects.push("read:up".to_string());
+                        }
+                        Resolution::Status(false) => {
+                            outcome.effects.push("read:down".to_string());
+                        }
+                        Resolution::TableOverrun => unreachable!("overrun crashes the node"),
+                    }
+                }
+            }
+            _ => {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("ignored:unknown-kind".to_string());
+            }
+        }
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of(self.node.clone())
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        self.node = snapshot
+            .get::<GossipNode>()
+            .expect("a gossip session restores gossip snapshots")
+            .clone();
+    }
+
+    fn finish(&mut self, _outcome: &mut InjectionOutcome) {}
 }
 
 /// The gossip/anti-entropy protocol as a [`TargetSpec`].

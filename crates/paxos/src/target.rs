@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use achilles::{
     wire_to_fields, AchillesConfig, Delivery, InjectionOutcome, LocalStateMode, ReplayTarget,
-    TargetSpec,
+    SnapshotReplayTarget, TargetSnapshot, TargetSpec,
 };
 use achilles_symvm::{MessageLayout, NodeProgram};
 
@@ -68,42 +68,81 @@ impl ReplayTarget for PaxosTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut acceptor = Acceptor::new();
-        acceptor.on_prepare(self.promised);
+        let mut session = PaxosForkSession::boot(*self);
         let mut outcome = InjectionOutcome::default();
-        let layout = self.layout();
-        for (wire, is_witness) in deliveries {
-            let Ok(fields) = wire_to_fields(&layout, wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            let (kind, ballot, value) = (fields[0], fields[1], fields[2]);
-            if kind != ACCEPT_KIND {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("ignored:not-accept".to_string());
-                continue;
-            }
-            let accepted = acceptor.on_accept(ballot as Ballot, value as Value);
-            outcome.accepted_each.push(accepted);
-            if !accepted {
-                outcome.effects.push("rejected:stale-ballot".to_string());
-                continue;
-            }
-            outcome.effects.push("accepted".to_string());
-            if *is_witness {
-                if u64::from(ballot as Ballot) > u64::from(self.promised) {
-                    outcome.effects.push("ballot:hijacks-round".to_string());
-                }
-                if value > MAX_PROPOSABLE_VALUE {
-                    outcome.effects.push("value:out-of-domain".to_string());
-                } else if !self.client_generable(&fields) {
-                    outcome.effects.push("value:foreign".to_string());
-                }
-            }
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
+        session.finish(&mut outcome);
         outcome
     }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(PaxosForkSession::boot(*self)))
+    }
+}
+
+/// The incremental deployment behind [`PaxosTarget`]: one live acceptor
+/// mid-scenario. No end-of-plan step.
+struct PaxosForkSession {
+    target: PaxosTarget,
+    acceptor: Acceptor,
+}
+
+impl PaxosForkSession {
+    fn boot(target: PaxosTarget) -> PaxosForkSession {
+        let mut acceptor = Acceptor::new();
+        acceptor.on_prepare(target.promised);
+        PaxosForkSession { target, acceptor }
+    }
+}
+
+impl SnapshotReplayTarget for PaxosForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let layout = self.target.layout();
+        let Ok(fields) = wire_to_fields(&layout, wire) else {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("malformed".to_string());
+            return;
+        };
+        let (kind, ballot, value) = (fields[0], fields[1], fields[2]);
+        if kind != ACCEPT_KIND {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("ignored:not-accept".to_string());
+            return;
+        }
+        let accepted = self.acceptor.on_accept(ballot as Ballot, value as Value);
+        outcome.accepted_each.push(accepted);
+        if !accepted {
+            outcome.effects.push("rejected:stale-ballot".to_string());
+            return;
+        }
+        outcome.effects.push("accepted".to_string());
+        if *is_witness {
+            if u64::from(ballot as Ballot) > u64::from(self.target.promised) {
+                outcome.effects.push("ballot:hijacks-round".to_string());
+            }
+            if value > MAX_PROPOSABLE_VALUE {
+                outcome.effects.push("value:out-of-domain".to_string());
+            } else if !self.target.client_generable(&fields) {
+                outcome.effects.push("value:foreign".to_string());
+            }
+        }
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of(self.acceptor.clone())
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        self.acceptor = snapshot
+            .get::<Acceptor>()
+            .expect("a paxos fork session restores paxos snapshots")
+            .clone();
+    }
+
+    fn finish(&mut self, _outcome: &mut InjectionOutcome) {}
 }
 
 /// One Paxos local-state scenario as a [`TargetSpec`].

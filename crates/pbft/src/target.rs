@@ -8,7 +8,8 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, TargetSpec, TrojanReport,
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SnapshotReplayTarget, TargetSnapshot,
+    TargetSpec, TrojanReport,
 };
 use achilles_symvm::{ExploreConfig, MessageLayout, NodeProgram};
 
@@ -59,31 +60,70 @@ impl ReplayTarget for PbftTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut cluster = PbftCluster::new(self.cluster);
+        let mut session = PbftForkSession::boot(self.cluster);
         let mut outcome = InjectionOutcome::default();
-        for (wire, is_witness) in deliveries {
-            let Ok(req) = PbftRequest::from_wire(wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            let submit = cluster.submit(&req);
-            let (accepted, note) = match submit {
-                SubmitOutcome::Executed => (true, "outcome:fast-path"),
-                SubmitOutcome::RecoveredThenExecuted => (true, "outcome:recovered"),
-                SubmitOutcome::DroppedByPrimary => (false, "outcome:dropped-by-primary"),
-            };
-            outcome.accepted_each.push(accepted);
-            outcome.effects.push(note.to_string());
-            if *is_witness {
-                let bad = (0..N_REPLICAS).filter(|&r| !req.mac_valid_for(r)).count();
-                if bad > 0 {
-                    outcome.effects.push(format!("bad_macs:{bad}"));
-                }
-            }
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
+        session.finish(&mut outcome);
         outcome
     }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(PbftForkSession::boot(self.cluster)))
+    }
+}
+
+/// The incremental deployment behind [`PbftTarget`]: one live 4-replica
+/// cluster. No end-of-plan step.
+struct PbftForkSession {
+    cluster: PbftCluster,
+}
+
+impl PbftForkSession {
+    fn boot(config: ClusterConfig) -> PbftForkSession {
+        PbftForkSession {
+            cluster: PbftCluster::new(config),
+        }
+    }
+}
+
+impl SnapshotReplayTarget for PbftForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let Ok(req) = PbftRequest::from_wire(wire) else {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("malformed".to_string());
+            return;
+        };
+        let submit = self.cluster.submit(&req);
+        let (accepted, note) = match submit {
+            SubmitOutcome::Executed => (true, "outcome:fast-path"),
+            SubmitOutcome::RecoveredThenExecuted => (true, "outcome:recovered"),
+            SubmitOutcome::DroppedByPrimary => (false, "outcome:dropped-by-primary"),
+        };
+        outcome.accepted_each.push(accepted);
+        outcome.effects.push(note.to_string());
+        if *is_witness {
+            let bad = (0..N_REPLICAS).filter(|&r| !req.mac_valid_for(r)).count();
+            if bad > 0 {
+                outcome.effects.push(format!("bad_macs:{bad}"));
+            }
+        }
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of(self.cluster.clone())
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        self.cluster = snapshot
+            .get::<PbftCluster>()
+            .expect("a pbft fork session restores pbft snapshots")
+            .clone();
+    }
+
+    fn finish(&mut self, _outcome: &mut InjectionOutcome) {}
 }
 
 /// The PBFT protocol as a [`TargetSpec`].

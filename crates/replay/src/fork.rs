@@ -1,0 +1,350 @@
+//! The replay fork-server: prefix-shared execution trees across fault
+//! schedules.
+//!
+//! A sweep campaign replays one [`SessionWitness`] under hundreds of
+//! [`FaultSchedule`]s against the same target. Cold replay boots a fresh
+//! deployment per cell, yet most cells share long delivery prefixes — a
+//! bit-flip at slot 3 of a 4-slot session re-executes slots 0–2
+//! identically. [`replay_session_forked`] exploits that: it expands every
+//! schedule into its [`SessionPlan`], folds the plans into a
+//! *delivery-prefix trie* keyed on post-fault-application [`Delivery`]
+//! bytes, and walks the trie depth-first over one live
+//! [`SnapshotReplayTarget`] session *per worker*, snapshotting at branch
+//! points and restoring from the deepest shared ancestor — the boot state
+//! at minimum — instead of cold-booting (the AFL fork-server move,
+//! transplanted to deterministic replay).
+//!
+//! Classification reuses [`classify_session`] on the per-plan
+//! [`InjectionOutcome`]s, so fork-server results are bit-identical to
+//! cold-boot results by construction — the equivalence suite
+//! (`tests/fork_server_equivalence.rs`) pins this for every registered
+//! target and worker count. Targets without
+//! [`ReplayTarget::boot_fork`] support fall back to cold replay
+//! transparently.
+
+use achilles::SnapshotReplayTarget;
+use achilles_symvm::{parallel_map, parallel_map_with};
+
+use crate::target::{
+    classify_session, plan_session, replay_session, Delivery, FaultSchedule, InjectionOutcome,
+    ReplayTarget, SessionPlan, SessionReplayResult,
+};
+use crate::witness::SessionWitness;
+
+/// Instrumentation from one [`replay_session_forked`] call: how much
+/// booting the prefix trie saved.
+///
+/// `boots` is the only field that may vary with the worker count (each
+/// parallel worker keeps one live session); every other field — and every
+/// replay result — is worker-count invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Cells (schedules) executed.
+    pub plans: usize,
+    /// Deployment boots actually performed. Cold replay boots once per
+    /// cell; the fork-server boots once per worker session (plus one for
+    /// cells whose schedule drops every delivery) and resumes everything
+    /// else from snapshots.
+    pub boots: usize,
+    /// Snapshot restores performed while walking the trie (branch-point
+    /// restores and boot-state restores between subtrees alike).
+    pub snapshot_restores: usize,
+    /// Sum over cells of their shared prefix depth: the number of leading
+    /// deliveries of the cell's plan that at least one other cell's plan
+    /// shares (0 when the cell diverges at its first delivery).
+    /// `sum / plans` is the mean shared prefix depth.
+    pub shared_prefix_depth_sum: usize,
+    /// Independent subtrees the trie root fans out into — the fork-server's
+    /// effective parallelism width.
+    pub branches: usize,
+}
+
+impl ForkStats {
+    /// Stats for a cold (non-forked) run over `plans` cells: one boot per
+    /// cell, nothing shared.
+    pub fn cold(plans: usize) -> ForkStats {
+        ForkStats {
+            plans,
+            boots: plans,
+            snapshot_restores: 0,
+            shared_prefix_depth_sum: 0,
+            branches: plans,
+        }
+    }
+
+    /// Deployment boots the prefix trie avoided relative to cold replay.
+    pub fn boots_saved(&self) -> usize {
+        self.plans.saturating_sub(self.boots)
+    }
+
+    /// Mean shared prefix depth over the executed cells (0.0 when nothing
+    /// was shared or no cells ran).
+    pub fn mean_shared_prefix_depth(&self) -> f64 {
+        if self.plans == 0 {
+            0.0
+        } else {
+            self.shared_prefix_depth_sum as f64 / self.plans as f64
+        }
+    }
+
+    /// Accumulates another call's stats (campaigns sweep many witnesses).
+    pub fn absorb(&mut self, other: &ForkStats) {
+        self.plans += other.plans;
+        self.boots += other.boots;
+        self.snapshot_restores += other.snapshot_restores;
+        self.shared_prefix_depth_sum += other.shared_prefix_depth_sum;
+        self.branches += other.branches;
+    }
+}
+
+/// One node of the delivery-prefix trie. Children are kept in first-insert
+/// order so the DFS walk — and therefore every effect sequence — is
+/// deterministic regardless of schedule order hashing.
+struct Trie {
+    children: Vec<(Delivery, Trie)>,
+    /// Plan indices whose delivery sequence ends exactly at this node.
+    terminals: Vec<usize>,
+    /// Plans whose delivery path passes through (or ends at) this node —
+    /// a non-root node with `plans_through >= 2` is a genuinely shared
+    /// prefix.
+    plans_through: usize,
+}
+
+impl Trie {
+    fn new() -> Trie {
+        Trie {
+            children: Vec::new(),
+            terminals: Vec::new(),
+            plans_through: 0,
+        }
+    }
+
+    fn insert(&mut self, deliveries: &[Delivery], plan_index: usize) {
+        let mut node = self;
+        node.plans_through += 1;
+        for delivery in deliveries {
+            let pos = match node.children.iter().position(|(d, _)| d == delivery) {
+                Some(pos) => pos,
+                None => {
+                    node.children.push((delivery.clone(), Trie::new()));
+                    node.children.len() - 1
+                }
+            };
+            node = &mut node.children[pos].1;
+            node.plans_through += 1;
+        }
+        node.terminals.push(plan_index);
+    }
+}
+
+/// Walks `node`'s subtree on a live session whose state already reflects
+/// the path from the root to `node`. Appends `(plan_index, outcome)` pairs
+/// for every terminal reached. `outcome` at entry holds the accumulated
+/// prefix outcome for this path — it is extended in place and truncated
+/// back on backtrack (cheaper than cloning per edge), so only the one
+/// per-cell clone the cold path also pays remains. `shared_depth` is the
+/// depth of the deepest ancestor (this node included) whose prefix ≥ 2
+/// plans share.
+fn walk(
+    node: &Trie,
+    session: &mut dyn SnapshotReplayTarget,
+    outcome: &mut InjectionOutcome,
+    depth: usize,
+    shared_depth: usize,
+    out: &mut Vec<(usize, InjectionOutcome)>,
+    stats: &mut ForkStats,
+) {
+    // Terminals: each needs `finish` run on the state *at this node*. All
+    // but the last consumer of this state must restore afterwards; when
+    // this node is a leaf, the final terminal may finish in place.
+    let must_preserve = !node.children.is_empty();
+    if !node.terminals.is_empty() {
+        let here = (must_preserve || node.terminals.len() > 1).then(|| session.snapshot());
+        let mark = (outcome.accepted_each.len(), outcome.effects.len());
+        for (i, &plan_index) in node.terminals.iter().enumerate() {
+            let last = i + 1 == node.terminals.len();
+            session.finish(outcome);
+            out.push((plan_index, outcome.clone()));
+            outcome.accepted_each.truncate(mark.0);
+            outcome.effects.truncate(mark.1);
+            stats.shared_prefix_depth_sum += shared_depth;
+            if must_preserve || !last {
+                let snap = here
+                    .as_ref()
+                    .expect("snapshot taken when state must survive");
+                session.restore(snap);
+                stats.snapshot_restores += 1;
+            }
+        }
+    }
+    // Children: a single child extends the path in place; siblings fork
+    // from a snapshot of this node's state.
+    let child_shared = |child: &Trie| {
+        if child.plans_through >= 2 {
+            depth + 1
+        } else {
+            shared_depth
+        }
+    };
+    let here = (node.children.len() > 1).then(|| session.snapshot());
+    let mark = (outcome.accepted_each.len(), outcome.effects.len());
+    for (i, (delivery, child)) in node.children.iter().enumerate() {
+        if i > 0 {
+            let snap = here.as_ref().expect("snapshot taken for sibling subtrees");
+            session.restore(snap);
+            stats.snapshot_restores += 1;
+            outcome.accepted_each.truncate(mark.0);
+            outcome.effects.truncate(mark.1);
+        }
+        session.deliver(delivery, outcome);
+        let shared = child_shared(child);
+        walk(child, session, outcome, depth + 1, shared, out, stats);
+    }
+    if node.children.len() > 1 {
+        // Leave the outcome as the caller handed it over (the session
+        // state is the caller's responsibility — it restores around us).
+        outcome.accepted_each.truncate(mark.0);
+        outcome.effects.truncate(mark.1);
+    }
+}
+
+/// Replays one session witness under every schedule through the
+/// delivery-prefix trie, returning per-schedule results in schedule order
+/// plus the [`ForkStats`] instrumentation.
+///
+/// Results are bit-identical to calling [`replay_session`] per schedule:
+/// plan expansion and classification are the exact same code, and the trie
+/// walk executes the exact same delivery sequence per cell against state
+/// rebuilt by snapshot/restore. Targets whose
+/// [`ReplayTarget::boot_fork`] returns `None` fall back to per-cell cold
+/// replay ([`ForkStats::cold`]).
+///
+/// Work is parallelized over the trie root's subtrees with the same
+/// order-preserving pool the cold path uses; each worker thread keeps
+/// **one** live session for its whole run, restoring the boot-state
+/// snapshot between subtrees, so the boot count is `min(workers,
+/// subtrees)` rather than one per cell. The result vector — and every
+/// signature in it — is independent of `workers`.
+pub fn replay_session_forked(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    schedules: &[&FaultSchedule],
+    workers: usize,
+) -> (Vec<SessionReplayResult>, ForkStats) {
+    if schedules.is_empty() {
+        return (Vec::new(), ForkStats::default());
+    }
+    if target.boot_fork().is_none() {
+        let results = parallel_map(workers.max(1), schedules, |_, schedule| {
+            replay_session(target, witness, schedule)
+        });
+        return (results, ForkStats::cold(schedules.len()));
+    }
+    let plans: Vec<SessionPlan> = schedules
+        .iter()
+        .map(|schedule| plan_session(target, witness, schedule))
+        .collect();
+    let mut trie = Trie::new();
+    for (index, plan) in plans.iter().enumerate() {
+        trie.insert(&plan.deliveries, index);
+    }
+    let mut stats = ForkStats {
+        plans: plans.len(),
+        boots: 0,
+        snapshot_restores: 0,
+        shared_prefix_depth_sum: 0,
+        branches: trie
+            .children
+            .len()
+            .max(usize::from(!trie.terminals.is_empty())),
+    };
+    let mut executed: Vec<Option<InjectionOutcome>> = vec![None; plans.len()];
+    // Root terminals (schedules that drop every delivery) run on one boot
+    // of their own; each root child is an independent subtree for the
+    // worker pool.
+    if !trie.terminals.is_empty() {
+        let mut session = target
+            .boot_fork()
+            .expect("boot_fork probed Some above and targets are stateless factories");
+        stats.boots += 1;
+        let root = Trie {
+            children: Vec::new(),
+            terminals: trie.terminals.clone(),
+            plans_through: trie.terminals.len(),
+        };
+        let mut out = Vec::new();
+        walk(
+            &root,
+            session.as_mut(),
+            &mut InjectionOutcome::default(),
+            0,
+            0,
+            &mut out,
+            &mut stats,
+        );
+        for (index, outcome) in out {
+            executed[index] = Some(outcome);
+        }
+    }
+    if !trie.children.is_empty() {
+        // One live session per worker thread: boot, snapshot the boot
+        // state, and restore it between the subtrees the worker claims —
+        // mirroring `parallel_map_with`'s context behavior (one context
+        // inline when sequential, one per spawned worker otherwise).
+        let clamped = workers.max(1).min(trie.children.len());
+        stats.boots += if clamped <= 1 || trie.children.len() < 2 {
+            1
+        } else {
+            clamped
+        };
+        let subtree_results = parallel_map_with(
+            workers.max(1),
+            &trie.children,
+            |_| {
+                let session = target
+                    .boot_fork()
+                    .expect("boot_fork probed Some above and targets are stateless factories");
+                let boot = session.snapshot();
+                (session, boot, false)
+            },
+            |(session, boot, used), _, (delivery, child)| {
+                let mut worker_stats = ForkStats::default();
+                if *used {
+                    session.restore(boot);
+                    worker_stats.snapshot_restores += 1;
+                }
+                *used = true;
+                let mut outcome = InjectionOutcome::default();
+                session.deliver(delivery, &mut outcome);
+                let shared = if child.plans_through >= 2 { 1 } else { 0 };
+                let mut out = Vec::new();
+                walk(
+                    child,
+                    session.as_mut(),
+                    &mut outcome,
+                    1,
+                    shared,
+                    &mut out,
+                    &mut worker_stats,
+                );
+                (out, worker_stats)
+            },
+        );
+        for (out, worker_stats) in subtree_results {
+            stats.snapshot_restores += worker_stats.snapshot_restores;
+            stats.shared_prefix_depth_sum += worker_stats.shared_prefix_depth_sum;
+            for (index, outcome) in out {
+                executed[index] = Some(outcome);
+            }
+        }
+    }
+    let results = plans
+        .into_iter()
+        .zip(executed)
+        .map(|(plan, outcome)| {
+            let outcome = outcome.expect("every plan index reaches exactly one trie terminal");
+            classify_session(target, witness, plan, outcome)
+        })
+        .collect();
+    (results, stats)
+}

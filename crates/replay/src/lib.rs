@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod corpus;
+pub mod fork;
 pub mod minimize;
 pub mod signature;
 pub mod target;
@@ -71,11 +72,13 @@ pub mod validate;
 pub mod witness;
 
 pub use corpus::{CorpusEntry, CorpusParseError, ReplayCorpus};
+pub use fork::{replay_session_forked, ForkStats};
 pub use minimize::{minimize, minimize_session, MinimizedSessionWitness, MinimizedWitness};
 pub use signature::CrashSignature;
 pub use target::{
-    replay, replay_session, Delivery, DeliveryFault, FaultPlan, FaultSchedule, InjectionOutcome,
-    ReplayResult, ReplayTarget, ReplayVerdict, SessionReplayResult,
+    classify_session, plan_session, replay, replay_session, Delivery, DeliveryFault, FaultPlan,
+    FaultSchedule, InjectionOutcome, ReplayResult, ReplayTarget, ReplayVerdict, SessionPlan,
+    SessionReplayResult,
 };
 pub use validate::{
     validate_pipeline_report, validate_session, validate_session_trojans, validate_spec,

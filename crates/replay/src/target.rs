@@ -266,31 +266,43 @@ pub struct SessionReplayResult {
     pub signature: CrashSignature,
 }
 
-/// Replays one session witness against a target under a per-delivery fault
-/// schedule.
+/// The expanded delivery plan of one (witness, schedule) cell — the
+/// post-fault-application sequence the target actually consumes.
 ///
-/// The delivery plan is the session's slots in order, expanded by the
-/// schedule: benign interleavings before a slot, duplicated or dropped
-/// slot messages, and single bit-flips at any position. The whole plan
-/// goes through the same [`ReplayTarget::inject`] delivery vector as
-/// single-message replay; the deployment consumes it statefully.
-///
-/// Classification: a session whose schedule dropped any witness message is
-/// [`ReplayVerdict::Dropped`]; otherwise the session must be *accepted in
-/// every slot* (each slot's witness message accepted at least once) to
-/// count as accepted, and it confirms as a Trojan when at least one
-/// delivered slot's message is un-generable by that slot's correct
-/// clients — `⋁ₛ ¬genₛ(mₛ)`.
+/// Built by [`plan_session`], executed either by a cold
+/// [`ReplayTarget::inject`] (via [`replay_session`]) or incrementally by
+/// the fork-server ([`crate::fork`]), and folded into a
+/// [`SessionReplayResult`] by [`classify_session`]. Because the plan is
+/// computed *before* execution, two schedules that expand to the same
+/// delivery prefix share it byte-for-byte — the property the fork-server's
+/// delivery-prefix trie keys on.
+#[derive(Clone, Debug)]
+pub struct SessionPlan {
+    /// The expanded deliveries, in slot order (benign interleavings before
+    /// each slot's possibly bit-flipped witness copies; dropped slots
+    /// contribute nothing).
+    pub deliveries: Vec<Delivery>,
+    /// Slot index of each delivery, aligned with `deliveries`.
+    pub delivery_slot: Vec<usize>,
+    /// The schedule *actually applied* (out-of-range `flip_bit` entries
+    /// recorded as `None`).
+    pub applied: FaultSchedule,
+    /// Per-slot generability of the *delivered* (post-fault) message;
+    /// `None` for slots the schedule dropped.
+    pub generable_slots: Vec<Option<bool>>,
+}
+
+/// Expands a (witness, schedule) cell into its [`SessionPlan`].
 ///
 /// # Panics
 ///
 /// Panics if the witness's slot count differs from the target's
 /// [`slot_layouts`](ReplayTarget::slot_layouts).
-pub fn replay_session(
+pub fn plan_session(
     target: &dyn ReplayTarget,
     witness: &SessionWitness,
     schedule: &FaultSchedule,
-) -> SessionReplayResult {
+) -> SessionPlan {
     let layouts = target.slot_layouts();
     assert_eq!(
         layouts.len(),
@@ -349,19 +361,36 @@ pub fn replay_session(
         }
         applied.slots.push(applied_fault);
     }
-    let outcome = target.inject(&deliveries);
-    debug_assert_eq!(outcome.accepted_each.len(), deliveries.len());
-    let any_dropped = generable_slots.iter().any(Option::is_none);
+    SessionPlan {
+        deliveries,
+        delivery_slot,
+        applied,
+        generable_slots,
+    }
+}
+
+/// Folds an executed [`SessionPlan`]'s [`InjectionOutcome`] into the full
+/// [`SessionReplayResult`] — classification is a pure function of (plan,
+/// outcome), so cold-boot and fork-server execution classify identically.
+pub fn classify_session(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    plan: SessionPlan,
+    outcome: InjectionOutcome,
+) -> SessionReplayResult {
+    debug_assert_eq!(outcome.accepted_each.len(), plan.deliveries.len());
+    let any_dropped = plan.generable_slots.iter().any(Option::is_none);
     // A slot is accepted when at least one of its witness copies was.
     let session_accepted = (0..witness.slots()).all(|slot| {
-        generable_slots[slot].is_none()
+        plan.generable_slots[slot].is_none()
             || outcome
                 .accepted_each
                 .iter()
-                .zip(deliveries.iter().zip(&delivery_slot))
+                .zip(plan.deliveries.iter().zip(&plan.delivery_slot))
                 .any(|(&a, ((_, w), &s))| a && *w && s == slot)
     });
-    let trojan_slots: Vec<usize> = generable_slots
+    let trojan_slots: Vec<usize> = plan
+        .generable_slots
         .iter()
         .enumerate()
         .filter(|(_, g)| **g == Some(false))
@@ -382,12 +411,42 @@ pub fn replay_session(
     SessionReplayResult {
         witness: witness.clone(),
         outcome,
-        applied,
-        generable_slots,
+        applied: plan.applied,
+        generable_slots: plan.generable_slots,
         trojan_slots,
         verdict,
         signature,
     }
+}
+
+/// Replays one session witness against a target under a per-delivery fault
+/// schedule.
+///
+/// The delivery plan is the session's slots in order, expanded by the
+/// schedule: benign interleavings before a slot, duplicated or dropped
+/// slot messages, and single bit-flips at any position. The whole plan
+/// goes through the same [`ReplayTarget::inject`] delivery vector as
+/// single-message replay; the deployment consumes it statefully.
+///
+/// Classification: a session whose schedule dropped any witness message is
+/// [`ReplayVerdict::Dropped`]; otherwise the session must be *accepted in
+/// every slot* (each slot's witness message accepted at least once) to
+/// count as accepted, and it confirms as a Trojan when at least one
+/// delivered slot's message is un-generable by that slot's correct
+/// clients — `⋁ₛ ¬genₛ(mₛ)`.
+///
+/// # Panics
+///
+/// Panics if the witness's slot count differs from the target's
+/// [`slot_layouts`](ReplayTarget::slot_layouts).
+pub fn replay_session(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    schedule: &FaultSchedule,
+) -> SessionReplayResult {
+    let plan = plan_session(target, witness, schedule);
+    let outcome = target.inject(&plan.deliveries);
+    classify_session(target, witness, plan, outcome)
 }
 
 #[cfg(test)]

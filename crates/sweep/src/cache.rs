@@ -8,12 +8,13 @@
 //! incrementality contract [`ReplayCorpus`](achilles_replay::ReplayCorpus)
 //! gives validation.
 //!
-//! The text format is versioned in lockstep with the replay corpus's
+//! The text format is versioned at least as fast as the replay corpus's
 //! witness-record format (**v2** — `/`-separated per-slot records): the
 //! keys embed that record form verbatim, so a corpus format bump is a
-//! sweep-cache format bump, and the CI cache keyed on the corpus version
-//! invalidates both together. A file with a missing or wrong header loads
-//! as an empty cache by design.
+//! sweep-cache format bump, and the CI cache keyed on the sweep version
+//! invalidates both together. The cache may also bump alone (**v3**
+//! gated the fork-server rollout on one full re-derivation). A file with
+//! a missing or wrong header loads as an empty cache by design.
 
 use std::collections::HashMap;
 
@@ -23,8 +24,10 @@ use achilles_replay::{CrashSignature, FaultSchedule, ReplayVerdict, SessionWitne
 use crate::matrix::{schedule_token, ScheduleClass};
 
 /// File-format version tag (first line of every sweep-cache file). The
-/// `v2` tracks the replay corpus's witness-record format version.
-const HEADER: &str = "# achilles-sweep cache v2";
+/// `v3` bump invalidates caches written before the fork-server era so
+/// every cell is re-derived once through the snapshot replay path (cell
+/// semantics are unchanged — the bump is a one-time revalidation gate).
+const HEADER: &str = "# achilles-sweep cache v3";
 
 /// One cached (witness, schedule) classification.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 
 use achilles::{AchillesSession, ReplayTarget, SessionReport, TargetSpec};
 use achilles_replay::{
-    replay_session, session_from_report, FaultSchedule, ReplayVerdict, SessionWitness,
+    replay_session, replay_session_forked, session_from_report, FaultSchedule, ForkStats,
+    ReplayVerdict, SessionWitness,
 };
 use achilles_symvm::parallel_map;
 
@@ -28,19 +29,39 @@ use crate::matrix::{classify, Baseline, ScheduleClass, SensitivityCell, Sensitiv
 use crate::planner::{SchedulePlanner, SweepConfig};
 
 /// Configuration of one sweep campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CampaignConfig {
     /// The schedule space enumerated per witness.
     pub sweep: SweepConfig,
     /// Worker threads for the per-witness schedule fan-out (and the
     /// session discovery; 0/1 = inline).
     pub workers: usize,
+    /// Replay fresh cells through the snapshot fork-server when the target
+    /// supports it (default). `false` forces cold per-cell boots — the
+    /// `--no-fork` baseline; classifications are bit-identical either way.
+    pub fork: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            sweep: SweepConfig::default(),
+            workers: 0,
+            fork: true,
+        }
+    }
 }
 
 impl CampaignConfig {
     /// Fan the replays out over `n` threads.
     pub fn with_workers(mut self, n: usize) -> CampaignConfig {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Disable the fork-server: cold-boot every fresh cell.
+    pub fn without_fork(mut self) -> CampaignConfig {
+        self.fork = false;
         self
     }
 }
@@ -54,8 +75,14 @@ pub struct WitnessSweepStats {
     /// Lookups answered from the [`SweepCache`] (baseline included).
     pub cache_hits: usize,
     /// Worker threads the replay fan-out could actually use
-    /// (`min(workers, fresh schedules)`, at least 1).
+    /// (`min(workers, independent replay units)`, at least 1 — cold
+    /// replay's units are the fresh cells, the fork-server's are the
+    /// prefix trie's root subtrees).
     pub workers_effective: usize,
+    /// Fork-server accounting for the fresh-cell fan-out (cold stats —
+    /// one boot per cell, nothing shared — when the fork path was off or
+    /// unsupported).
+    pub fork: ForkStats,
 }
 
 /// Sweeps one witness within `scope` (the `target/session` cache
@@ -68,6 +95,7 @@ pub fn sweep_witness(
     witness: &SessionWitness,
     planner: &SchedulePlanner,
     workers: usize,
+    fork: bool,
     cache: &mut SweepCache,
 ) -> (SensitivityMatrix, WitnessSweepStats) {
     let mut stats = WitnessSweepStats::default();
@@ -122,10 +150,16 @@ pub fn sweep_witness(
         }
     }
     stats.replayed += fresh.len();
-    stats.workers_effective = workers.max(1).min(fresh.len()).max(1);
-    let replayed = parallel_map(workers.max(1), &fresh, |_, schedule| {
-        replay_session(target, witness, schedule)
-    });
+    let (replayed, fork_stats) = if fork {
+        replay_session_forked(target, witness, &fresh, workers)
+    } else {
+        let cold = parallel_map(workers.max(1), &fresh, |_, schedule| {
+            replay_session(target, witness, schedule)
+        });
+        (cold, ForkStats::cold(fresh.len()))
+    };
+    stats.workers_effective = workers.max(1).min(fork_stats.branches).max(1);
+    stats.fork = fork_stats;
 
     let mut replayed = replayed.into_iter();
     let cells: Vec<SensitivityCell> = schedules
@@ -204,6 +238,9 @@ pub struct SessionSweep {
     /// Worker threads the replay fan-out could actually use (max over the
     /// witnesses; 1 when everything was cached).
     pub workers_effective: usize,
+    /// Fork-server accounting summed over the witnesses (cold stats when
+    /// the fork path was off or unsupported).
+    pub fork: ForkStats,
     /// Wall-clock time of the whole session sweep (discovery excluded).
     pub elapsed: Duration,
 }
@@ -217,6 +254,16 @@ impl SessionSweep {
             ScheduleClass::Masked => self.masked,
             ScheduleClass::NewSignature => self.new_signature,
         }
+    }
+
+    /// Deployment boots the fork-server avoided relative to cold replay.
+    pub fn boots_saved(&self) -> usize {
+        self.fork.boots_saved()
+    }
+
+    /// Mean prefix-trie depth replayed cells were resumed from.
+    pub fn mean_shared_prefix_depth(&self) -> f64 {
+        self.fork.mean_shared_prefix_depth()
     }
 }
 
@@ -249,12 +296,21 @@ pub fn sweep_report(
         masked: 0,
         new_signature: 0,
         workers_effective: 1,
+        fork: ForkStats::default(),
         elapsed: Duration::ZERO,
     };
     for (i, trojan) in report.trojans.iter().enumerate() {
         let witness = session_from_report(&report.layouts, i, trojan)
             .expect("session layouts are wire-encodable");
-        let (matrix, stats) = sweep_witness(&*target, &scope, &witness, &planner, workers, cache);
+        let (matrix, stats) = sweep_witness(
+            &*target,
+            &scope,
+            &witness,
+            &planner,
+            workers,
+            config.fork,
+            cache,
+        );
         if matrix.baseline_verdict == ReplayVerdict::ConfirmedTrojan {
             sweep.confirmed_fault_free += 1;
         }
@@ -262,6 +318,7 @@ pub fn sweep_report(
         sweep.replayed += stats.replayed;
         sweep.cache_hits += stats.cache_hits;
         sweep.workers_effective = sweep.workers_effective.max(stats.workers_effective);
+        sweep.fork.absorb(&stats.fork);
         sweep.armed += matrix.count(ScheduleClass::Armed);
         sweep.disarmed += matrix.count(ScheduleClass::Disarmed);
         sweep.masked += matrix.count(ScheduleClass::Masked);

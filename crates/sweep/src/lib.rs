@@ -20,7 +20,13 @@
 //!    (witness, schedule) pair over
 //!    [`achilles_symvm::parallel_map`] — replay is pure, so matrices are
 //!    bit-identical for every worker count — with a persistent
-//!    [`SweepCache`] that makes re-campaigns incremental.
+//!    [`SweepCache`] that makes re-campaigns incremental. Fresh cells go
+//!    through the replay fork-server
+//!    ([`achilles_replay::replay_session_forked`]) when the target is
+//!    snapshottable: schedules sharing a delivery prefix resume from a
+//!    snapshot instead of cold-booting, with classifications pinned
+//!    bit-identical to cold replay (disable via
+//!    [`CampaignConfig::without_fork`]).
 //! 3. **Triage** ([`matrix`]): each outcome is classified
 //!    [`Armed`](ScheduleClass::Armed) /
 //!    [`Disarmed`](ScheduleClass::Disarmed) /

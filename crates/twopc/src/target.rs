@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec, TargetSpec,
-    TrojanReport,
+    AchillesConfig, Delivery, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec,
+    SnapshotReplayTarget, TargetSnapshot, TargetSpec, TrojanReport,
 };
 use achilles_symvm::{MessageLayout, NodeProgram};
 
@@ -77,52 +77,97 @@ impl ReplayTarget for TwopcTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut coordinator = self.boot();
+        let mut session = TwopcForkSession::boot(self.boot());
         let mut outcome = InjectionOutcome::default();
-        let mut witness_tx: Option<u16> = None;
-        for (wire, is_witness) in deliveries {
-            let Ok(vote) = TwopcVote::from_wire(wire) else {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("malformed".to_string());
-                continue;
-            };
-            if u64::from(vote.kind) != VOTE_KIND {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("ignored:not-vote".to_string());
-                continue;
-            }
-            let crashed_before = coordinator.crashed();
-            let accepted = coordinator.on_vote(vote.txid, vote.participant, vote.vote);
-            outcome.accepted_each.push(accepted);
-            if !accepted {
-                outcome.effects.push(if crashed_before {
-                    "rejected:coordinator-wedged".to_string()
-                } else {
-                    "rejected:validation".to_string()
-                });
-                continue;
-            }
-            if *is_witness {
-                witness_tx = Some(vote.txid);
-            }
-            if coordinator.crashed() && !crashed_before {
-                outcome.effects.push("crash:decision-jump-oob".to_string());
-            }
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
-        if let Some(txid) = witness_tx {
-            let decision = match coordinator.decide(txid) {
+        session.finish(&mut outcome);
+        outcome
+    }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(TwopcForkSession::boot(self.boot())))
+    }
+}
+
+/// The incremental deployment behind [`TwopcTarget`]: the quorum-complete
+/// coordinator plus the tracked witness transaction; `finish` performs the
+/// final decision read.
+struct TwopcForkSession {
+    coordinator: Coordinator,
+    witness_tx: Option<u16>,
+}
+
+impl TwopcForkSession {
+    fn boot(coordinator: Coordinator) -> TwopcForkSession {
+        TwopcForkSession {
+            coordinator,
+            witness_tx: None,
+        }
+    }
+}
+
+impl SnapshotReplayTarget for TwopcForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let Ok(vote) = TwopcVote::from_wire(wire) else {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("malformed".to_string());
+            return;
+        };
+        if u64::from(vote.kind) != VOTE_KIND {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("ignored:not-vote".to_string());
+            return;
+        }
+        let crashed_before = self.coordinator.crashed();
+        let accepted = self
+            .coordinator
+            .on_vote(vote.txid, vote.participant, vote.vote);
+        outcome.accepted_each.push(accepted);
+        if !accepted {
+            outcome.effects.push(if crashed_before {
+                "rejected:coordinator-wedged".to_string()
+            } else {
+                "rejected:validation".to_string()
+            });
+            return;
+        }
+        if *is_witness {
+            self.witness_tx = Some(vote.txid);
+        }
+        if self.coordinator.crashed() && !crashed_before {
+            outcome.effects.push("crash:decision-jump-oob".to_string());
+        }
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of((self.coordinator.clone(), self.witness_tx))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        let (coordinator, witness_tx) = snapshot
+            .get::<(Coordinator, Option<u16>)>()
+            .expect("a 2PC fork session restores 2PC snapshots");
+        self.coordinator = coordinator.clone();
+        self.witness_tx = *witness_tx;
+    }
+
+    fn finish(&mut self, outcome: &mut InjectionOutcome) {
+        if let Some(txid) = self.witness_tx {
+            let decision = match self.coordinator.decide(txid) {
                 Decision::Pending => "decision:pending",
                 Decision::Commit => "decision:commit",
                 Decision::Abort => "decision:abort",
             };
             outcome.effects.push(decision.to_string());
-            if coordinator.crashed() && coordinator.decide(txid) == Decision::Commit {
+            if self.coordinator.crashed() && self.coordinator.decide(txid) == Decision::Commit {
                 // The quorum that "committed" includes a vote no participant
                 // cast: the transaction outcome is forged.
                 outcome.effects.push("decision:forged-quorum".to_string());
             }
         }
-        outcome
     }
 }
 
@@ -191,76 +236,120 @@ impl ReplayTarget for TwopcSessionTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
-        let mut coordinator = Coordinator::new(self.config);
+        let mut session = TwopcSessionForkSession::boot(self.config);
         let mut outcome = InjectionOutcome::default();
-        let mut witness_tx: Option<u16> = None;
-        for (wire, is_witness) in deliveries {
-            let crashed_before = coordinator.crashed();
-            match wire.first().map(|&k| u64::from(k)) {
-                Some(VOTE_KIND) => {
-                    let Ok(vote) = TwopcVote::from_wire(wire) else {
-                        outcome.accepted_each.push(false);
-                        outcome.effects.push("malformed".to_string());
-                        continue;
-                    };
-                    let accepted = coordinator.on_vote(vote.txid, vote.participant, vote.vote);
-                    outcome.accepted_each.push(accepted);
-                    if !accepted {
-                        outcome.effects.push(if crashed_before {
-                            "rejected:coordinator-wedged".to_string()
-                        } else {
-                            "rejected:validation".to_string()
-                        });
-                        continue;
-                    }
-                    if *is_witness {
-                        witness_tx = Some(vote.txid);
-                    }
-                    if coordinator.crashed() && !crashed_before {
-                        outcome.effects.push("crash:decision-jump-oob".to_string());
-                    }
-                }
-                Some(DECISION_KIND) => {
-                    let Ok(decide) = TwopcDecide::from_wire(wire) else {
-                        outcome.accepted_each.push(false);
-                        outcome.effects.push("malformed".to_string());
-                        continue;
-                    };
-                    let poisoned = coordinator.tally_poisoned(decide.txid);
-                    let accepted = coordinator.on_decide(decide.txid, decide.outcome);
-                    outcome.accepted_each.push(accepted);
-                    if !accepted {
-                        outcome.effects.push(if crashed_before {
-                            "rejected:coordinator-wedged".to_string()
-                        } else {
-                            "rejected:validation".to_string()
-                        });
-                        continue;
-                    }
-                    if coordinator.crashed() && !crashed_before {
-                        outcome.effects.push("crash:decide-jump-oob".to_string());
-                        if poisoned {
-                            // The implicit interaction: the crash was armed
-                            // by a vote recorded messages earlier.
-                            outcome.effects.push("tally:poisoned".to_string());
-                        }
-                    }
-                }
-                _ => {
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
+        }
+        session.finish(&mut outcome);
+        outcome
+    }
+
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(TwopcSessionForkSession::boot(self.config)))
+    }
+}
+
+/// The incremental deployment behind [`TwopcSessionTarget`]: a fresh
+/// coordinator dispatching on the kind byte, plus the tracked witness
+/// transaction; `finish` reads the witness transaction's decision.
+struct TwopcSessionForkSession {
+    coordinator: Coordinator,
+    witness_tx: Option<u16>,
+}
+
+impl TwopcSessionForkSession {
+    fn boot(config: CoordinatorConfig) -> TwopcSessionForkSession {
+        TwopcSessionForkSession {
+            coordinator: Coordinator::new(config),
+            witness_tx: None,
+        }
+    }
+}
+
+impl SnapshotReplayTarget for TwopcSessionForkSession {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        let coordinator = &mut self.coordinator;
+        let crashed_before = coordinator.crashed();
+        match wire.first().map(|&k| u64::from(k)) {
+            Some(VOTE_KIND) => {
+                let Ok(vote) = TwopcVote::from_wire(wire) else {
                     outcome.accepted_each.push(false);
-                    outcome.effects.push("ignored:unknown-kind".to_string());
+                    outcome.effects.push("malformed".to_string());
+                    return;
+                };
+                let accepted = coordinator.on_vote(vote.txid, vote.participant, vote.vote);
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push(if crashed_before {
+                        "rejected:coordinator-wedged".to_string()
+                    } else {
+                        "rejected:validation".to_string()
+                    });
+                    return;
+                }
+                if *is_witness {
+                    self.witness_tx = Some(vote.txid);
+                }
+                if coordinator.crashed() && !crashed_before {
+                    outcome.effects.push("crash:decision-jump-oob".to_string());
                 }
             }
+            Some(DECISION_KIND) => {
+                let Ok(decide) = TwopcDecide::from_wire(wire) else {
+                    outcome.accepted_each.push(false);
+                    outcome.effects.push("malformed".to_string());
+                    return;
+                };
+                let poisoned = coordinator.tally_poisoned(decide.txid);
+                let accepted = coordinator.on_decide(decide.txid, decide.outcome);
+                outcome.accepted_each.push(accepted);
+                if !accepted {
+                    outcome.effects.push(if crashed_before {
+                        "rejected:coordinator-wedged".to_string()
+                    } else {
+                        "rejected:validation".to_string()
+                    });
+                    return;
+                }
+                if coordinator.crashed() && !crashed_before {
+                    outcome.effects.push("crash:decide-jump-oob".to_string());
+                    if poisoned {
+                        // The implicit interaction: the crash was armed
+                        // by a vote recorded messages earlier.
+                        outcome.effects.push("tally:poisoned".to_string());
+                    }
+                }
+            }
+            _ => {
+                outcome.accepted_each.push(false);
+                outcome.effects.push("ignored:unknown-kind".to_string());
+            }
         }
-        if let Some(txid) = witness_tx {
-            let decision = match coordinator.decide(txid) {
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of((self.coordinator.clone(), self.witness_tx))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        let (coordinator, witness_tx) = snapshot
+            .get::<(Coordinator, Option<u16>)>()
+            .expect("a 2PC session restores 2PC snapshots");
+        self.coordinator = coordinator.clone();
+        self.witness_tx = *witness_tx;
+    }
+
+    fn finish(&mut self, outcome: &mut InjectionOutcome) {
+        if let Some(txid) = self.witness_tx {
+            let decision = match self.coordinator.decide(txid) {
                 Decision::Pending => "decision:pending",
                 Decision::Commit => "decision:commit",
                 Decision::Abort => "decision:abort",
             };
             outcome.effects.push(decision.to_string());
         }
-        outcome
     }
 }
 

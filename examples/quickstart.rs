@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use achilles::{
     AchillesSession, Delivery, FieldMask, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec,
-    TargetRegistry, TargetSpec,
+    SnapshotReplayTarget, TargetRegistry, TargetSnapshot, TargetSpec,
 };
 use achilles_replay::{
     validate_spec, validate_spec_sessions, ReplayCorpus, ReplayVerdict, SessionValidateConfig,
@@ -301,50 +301,85 @@ impl ReplayTarget for QuickstartSessionTarget {
     }
 
     fn inject(&self, deliveries: &[Delivery]) -> InjectionOutcome {
+        let mut session = QuickstartSessionFork::default();
         let mut outcome = InjectionOutcome::default();
-        let mut greeted = false;
-        // Request state is replayed through the inner (pure) target:
-        // every new request re-injects the accumulated prefix, and only
-        // the effects past the previous call's count are new.
-        let mut requests: Vec<Delivery> = Vec::new();
-        let mut prior_effects = 0usize;
-        for (wire, is_witness) in deliveries {
-            if wire.len() == 4 {
-                let Ok(fields) = achilles::wire_to_fields(&hello_layout(), wire) else {
-                    outcome.accepted_each.push(false);
-                    continue;
-                };
-                let accepted = fields[0] <= MAX_PEER && fields[1] < HELLO_SERVER_NONCE_CAP;
-                outcome.accepted_each.push(accepted);
-                if accepted {
-                    greeted = true;
-                    outcome.effects.push("hello:ok".to_string());
-                    if fields[1] >= HELLO_CLIENT_NONCE_CAP {
-                        outcome.effects.push("family:forged-hello".to_string());
-                    }
-                } else {
-                    outcome.effects.push("hello:rejected".to_string());
-                }
-                continue;
-            }
-            if !greeted {
-                outcome.accepted_each.push(false);
-                outcome.effects.push("rejected:no-hello".to_string());
-                continue;
-            }
-            requests.push((wire.clone(), *is_witness));
-            let request_outcome = QuickstartTarget.inject(&requests);
-            outcome
-                .accepted_each
-                .push(*request_outcome.accepted_each.last().expect("just pushed"));
-            let total_effects = request_outcome.effects.len();
-            outcome
-                .effects
-                .extend(request_outcome.effects.into_iter().skip(prior_effects));
-            prior_effects = total_effects;
+        for delivery in deliveries {
+            session.deliver(delivery, &mut outcome);
         }
+        session.finish(&mut outcome);
         outcome
     }
+
+    // Step 7 of the porting guide: expose the live session as a
+    // snapshottable deployment, and the sweep's fork-server resumes
+    // prefix-sharing schedules from snapshots instead of cold-booting.
+    fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
+        Some(Box::new(QuickstartSessionFork::default()))
+    }
+}
+
+/// The live session state behind [`QuickstartSessionTarget`]: the hello
+/// gate plus the accumulated request prefix.
+#[derive(Clone, Default)]
+struct QuickstartSessionFork {
+    greeted: bool,
+    // Request state is replayed through the inner (pure) target: every
+    // new request re-injects the accumulated prefix, and only the
+    // effects past the previous call's count are new.
+    requests: Vec<Delivery>,
+    prior_effects: usize,
+}
+
+impl SnapshotReplayTarget for QuickstartSessionFork {
+    fn deliver(&mut self, delivery: &Delivery, outcome: &mut InjectionOutcome) {
+        let (wire, is_witness) = delivery;
+        if wire.len() == 4 {
+            let Ok(fields) = achilles::wire_to_fields(&hello_layout(), wire) else {
+                outcome.accepted_each.push(false);
+                return;
+            };
+            let accepted = fields[0] <= MAX_PEER && fields[1] < HELLO_SERVER_NONCE_CAP;
+            outcome.accepted_each.push(accepted);
+            if accepted {
+                self.greeted = true;
+                outcome.effects.push("hello:ok".to_string());
+                if fields[1] >= HELLO_CLIENT_NONCE_CAP {
+                    outcome.effects.push("family:forged-hello".to_string());
+                }
+            } else {
+                outcome.effects.push("hello:rejected".to_string());
+            }
+            return;
+        }
+        if !self.greeted {
+            outcome.accepted_each.push(false);
+            outcome.effects.push("rejected:no-hello".to_string());
+            return;
+        }
+        self.requests.push((wire.clone(), *is_witness));
+        let request_outcome = QuickstartTarget.inject(&self.requests);
+        outcome
+            .accepted_each
+            .push(*request_outcome.accepted_each.last().expect("just pushed"));
+        let total_effects = request_outcome.effects.len();
+        outcome
+            .effects
+            .extend(request_outcome.effects.into_iter().skip(self.prior_effects));
+        self.prior_effects = total_effects;
+    }
+
+    fn snapshot(&self) -> TargetSnapshot {
+        TargetSnapshot::of(self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) {
+        *self = snapshot
+            .get::<QuickstartSessionFork>()
+            .expect("a quickstart fork session restores quickstart snapshots")
+            .clone();
+    }
+
+    fn finish(&mut self, _outcome: &mut InjectionOutcome) {}
 }
 
 /// The §2 protocol as a `TargetSpec` — the complete porting surface.
@@ -552,12 +587,13 @@ fn main() {
     .expect("session layouts are wire-encodable");
     let planner = achilles_sweep::SchedulePlanner::new(achilles_sweep::SweepConfig::quick());
     let mut sweep_cache = achilles_sweep::SweepCache::new();
-    let (matrix, _) = achilles_sweep::sweep_witness(
+    let (matrix, sweep_stats) = achilles_sweep::sweep_witness(
         &*target,
         "quickstart/hello-request",
         &witness,
         &planner,
         1,
+        true, // through the fork-server (step 7 of the porting guide)
         &mut sweep_cache,
     );
     assert_eq!(
@@ -591,5 +627,20 @@ fn main() {
         matrix.count(ScheduleClass::Disarmed),
         matrix.count(ScheduleClass::Masked),
         matrix.count(ScheduleClass::NewSignature),
+    );
+    // The schedules share delivery prefixes, so the fork-server booted
+    // far fewer sessions than it replayed cells.
+    assert!(
+        sweep_stats.fork.boots_saved() > 0,
+        "prefix-sharing schedules must save boots"
+    );
+    println!(
+        "fork-server: {} cells on {} boots — {} boots saved, {} snapshot \
+         restores, mean shared prefix depth {:.2}.",
+        sweep_stats.fork.plans,
+        sweep_stats.fork.boots,
+        sweep_stats.fork.boots_saved(),
+        sweep_stats.fork.snapshot_restores,
+        sweep_stats.fork.mean_shared_prefix_depth(),
     );
 }

@@ -1,0 +1,140 @@
+//! The fork-server differential suite: snapshot-resumed replay must be
+//! bit-identical to cold-boot replay for every session-bearing spec in
+//! the registry, at every worker count, under full and capped schedule
+//! budgets.
+//!
+//! The sweep fork-server (`achilles_replay::replay_session_forked`)
+//! executes a delivery-prefix trie: cells sharing a delivery prefix
+//! resume from a snapshot of the deepest shared ancestor instead of
+//! cold-booting. Speed is only admissible if it buys nothing else —
+//! every cell's (schedule, class, signature) row, every matrix, and
+//! every campaign total must match the per-cell cold-boot path exactly.
+//! Symbolic discovery runs once per spec; each comparison sweeps the
+//! same reports with fresh caches so every cell is genuinely replayed.
+
+use achilles::{AchillesSession, SessionReport, TargetSpec};
+use achilles_sweep::{
+    schedule_token, sweep_report, CampaignConfig, ScheduleClass, SessionSweep, SweepCache,
+    SweepConfig,
+};
+use achilles_targets::builtin_registry;
+
+/// The scheduling-independent fingerprint of one sweep: every matrix's
+/// (schedule, class, signature) rows in plan order, plus the baseline
+/// signature rows.
+fn sweep_key(sweep: &SessionSweep) -> Vec<Vec<(String, ScheduleClass, String)>> {
+    sweep
+        .matrices
+        .iter()
+        .map(|m| {
+            let mut rows: Vec<(String, ScheduleClass, String)> = vec![(
+                "baseline".to_string(),
+                ScheduleClass::Armed,
+                m.baseline_signature.to_line(),
+            )];
+            rows.extend(
+                m.cells
+                    .iter()
+                    .map(|c| (schedule_token(&c.schedule), c.class, c.signature.to_line())),
+            );
+            rows
+        })
+        .collect()
+}
+
+/// Sweeps `report` cold and forked at workers ∈ {1, 4} under `config`,
+/// asserting all four runs produce identical matrices and that the fork
+/// runs actually saved boots.
+fn assert_fork_equivalence(
+    spec: &dyn TargetSpec,
+    report: &SessionReport,
+    sweep: SweepConfig,
+    label: &str,
+) {
+    let name = format!("{}/{} [{label}]", spec.name(), report.session);
+    let base = CampaignConfig {
+        sweep,
+        ..CampaignConfig::default()
+    };
+    let cold = sweep_report(
+        spec,
+        report,
+        &base.clone().without_fork(),
+        &mut SweepCache::new(),
+    );
+    assert_eq!(
+        cold.fork.boots_saved(),
+        0,
+        "{name}: cold replay boots every cell"
+    );
+    for workers in [1usize, 4] {
+        let forked = sweep_report(
+            spec,
+            report,
+            &base.clone().with_workers(workers),
+            &mut SweepCache::new(),
+        );
+        assert_eq!(
+            sweep_key(&cold),
+            sweep_key(&forked),
+            "{name}: fork-server matrices must be bit-identical to \
+             cold boots at workers={workers}"
+        );
+        assert_eq!(
+            (cold.armed, cold.disarmed, cold.masked, cold.new_signature),
+            (
+                forked.armed,
+                forked.disarmed,
+                forked.masked,
+                forked.new_signature
+            ),
+            "{name}: campaign totals match at workers={workers}"
+        );
+        assert_eq!(
+            cold.confirmed_fault_free, forked.confirmed_fault_free,
+            "{name}: baseline confirmations match at workers={workers}"
+        );
+        assert!(
+            forked.boots_saved() > 0,
+            "{name}: prefix-sharing schedules must save boots at \
+             workers={workers} ({} cells, {} boots)",
+            forked.fork.plans,
+            forked.fork.boots,
+        );
+        assert_eq!(
+            forked.fork.plans,
+            forked.replayed.saturating_sub(forked.discovered),
+            "{name}: every fresh non-baseline cell goes through the trie"
+        );
+    }
+}
+
+#[test]
+fn fork_server_is_bit_identical_to_cold_boot_for_every_session_spec() {
+    let registry = builtin_registry();
+    let mut session_specs = 0usize;
+    for spec in registry.iter() {
+        if spec.sessions().is_empty() {
+            continue;
+        }
+        session_specs += 1;
+        // Discovery once per spec; every comparison sweeps the same
+        // reports.
+        let reports = AchillesSession::new(&**spec).run_sessions();
+        for report in &reports {
+            // Full budget, and a deliberately tight cell budget — the
+            // truncated plan must trie-share and classify identically
+            // too.
+            assert_fork_equivalence(&**spec, report, SweepConfig::default(), "full");
+            let capped = SweepConfig {
+                max_schedules: 24,
+                ..SweepConfig::default()
+            };
+            assert_fork_equivalence(&**spec, report, capped, "capped");
+        }
+    }
+    assert!(
+        session_specs >= 2,
+        "fsp and twopc both declare sessions (found {session_specs})"
+    );
+}

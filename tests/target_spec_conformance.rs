@@ -29,13 +29,21 @@
 //! an arming slot must classify as `Disarmed` (dropping the message that
 //! carries the poison defuses the Trojan, by construction).
 //!
+//! Specs whose replay targets are **snapshottable**
+//! ([`ReplayTarget::boot_fork`](achilles::ReplayTarget::boot_fork)) also
+//! clear the snapshot contract: snapshot → mutate via one delivery →
+//! restore → re-deliver must yield the identical outcome and
+//! [`CrashSignature`] as a fresh boot — the law the sweep fork-server's
+//! correctness rests on.
+//!
 //! Adding a protocol crate + one registry registration automatically puts
 //! it under this contract — that is the point of the API.
 
-use achilles::{AchillesSession, TargetSpec};
+use achilles::{fields_to_wire, AchillesSession, InjectionOutcome, TargetSpec};
 use achilles_replay::{
-    validate_spec, validate_spec_sessions, FaultSchedule, ReplayCorpus, ReplayVerdict,
-    SessionValidateConfig, ValidateConfig,
+    replay, replay_session, validate_spec, validate_spec_sessions, ConcreteWitness, CrashSignature,
+    FaultPlan, FaultSchedule, ReplayCorpus, ReplayVerdict, SessionValidateConfig, SessionWitness,
+    ValidateConfig,
 };
 use achilles_targets::builtin_registry;
 
@@ -73,6 +81,132 @@ fn every_declared_session_meets_the_session_contract() {
     assert!(
         specs_with_sessions >= 2,
         "fsp and twopc both declare sessions"
+    );
+}
+
+#[test]
+fn every_snapshottable_target_honors_the_snapshot_contract() {
+    // Snapshot → mutate via one delivery → restore → re-deliver must be
+    // indistinguishable from a fresh boot, for outcome and signature
+    // alike. The benign message doubles as the probe witness so the
+    // contract costs no symbolic discovery.
+    let registry = builtin_registry();
+    let mut snapshottable = 0usize;
+    for spec in registry.iter() {
+        let name = spec.name();
+        let target = spec.replay_target();
+        let Some(mut session) = target.boot_fork() else {
+            continue;
+        };
+        snapshottable += 1;
+        let fields = target.benign_fields();
+        let wire = fields_to_wire(&target.layout(), &fields)
+            .unwrap_or_else(|e| panic!("{name}: benign message encodes: {e:?}"));
+        let witness = ConcreteWitness {
+            index: 0,
+            server_path_id: 0,
+            fields,
+            wire: wire.clone(),
+        };
+        let fresh = replay(&*target, &witness, &FaultPlan::none());
+
+        let snap = session.snapshot();
+        let mut scratch = InjectionOutcome::default();
+        session.deliver(&(wire.clone(), true), &mut scratch);
+        session.finish(&mut scratch);
+        session.restore(&snap);
+        let mut outcome = InjectionOutcome::default();
+        session.deliver(&(wire, true), &mut outcome);
+        session.finish(&mut outcome);
+        assert_eq!(
+            outcome, fresh.outcome,
+            "{name}: restored delivery must match a fresh boot's outcome"
+        );
+        assert_eq!(
+            CrashSignature::new(target.name(), fresh.verdict, outcome.effects.clone()),
+            fresh.signature,
+            "{name}: restored delivery must reproduce the fresh signature"
+        );
+    }
+    assert!(
+        snapshottable >= 5,
+        "all five shipped protocols expose snapshottable replay targets \
+         (found {snapshottable})"
+    );
+}
+
+#[test]
+fn every_snapshottable_session_target_honors_the_snapshot_contract() {
+    // The session form of the contract: per-slot benign messages stand in
+    // for the witness, compared against replay_session under the
+    // fault-free schedule.
+    let registry = builtin_registry();
+    let mut snapshottable = 0usize;
+    for spec in registry.iter() {
+        let name = spec.name();
+        for declared in spec.sessions() {
+            let sname = format!("{name}/{}", declared.name);
+            let target = spec.session_replay_target(&declared.name);
+            let Some(mut session) = target.boot_fork() else {
+                continue;
+            };
+            snapshottable += 1;
+            let layouts = target.slot_layouts();
+            let fields: Vec<Vec<u64>> = (0..layouts.len())
+                .map(|slot| target.slot_benign_fields(slot))
+                .collect();
+            let wire: Vec<Vec<u8>> = fields
+                .iter()
+                .zip(&layouts)
+                .map(|(f, layout)| {
+                    fields_to_wire(layout, f)
+                        .unwrap_or_else(|e| panic!("{sname}: benign slot encodes: {e:?}"))
+                })
+                .collect();
+            let witness = SessionWitness {
+                index: 0,
+                server_path_id: 0,
+                fields,
+                wire: wire.clone(),
+            };
+            let fresh = replay_session(&*target, &witness, &FaultSchedule::none());
+
+            // Mutate the booted session through the whole benign
+            // sequence, then restore to boot state and replay it for
+            // real.
+            let snap = session.snapshot();
+            let mut scratch = InjectionOutcome::default();
+            for slot_wire in &wire {
+                session.deliver(&(slot_wire.clone(), true), &mut scratch);
+            }
+            session.finish(&mut scratch);
+            session.restore(&snap);
+            let mut outcome = InjectionOutcome::default();
+            for slot_wire in &wire {
+                session.deliver(&(slot_wire.clone(), true), &mut outcome);
+            }
+            session.finish(&mut outcome);
+            assert_eq!(
+                outcome, fresh.outcome,
+                "{sname}: restored session must match a fresh boot's outcome"
+            );
+            let mut effects = outcome.effects.clone();
+            effects.extend(
+                fresh
+                    .trojan_slots
+                    .iter()
+                    .map(|s| format!("trojan-slot:{s}")),
+            );
+            assert_eq!(
+                CrashSignature::for_session(target.name(), fresh.verdict, witness.slots(), effects),
+                fresh.signature,
+                "{sname}: restored session must reproduce the fresh signature"
+            );
+        }
+    }
+    assert!(
+        snapshottable >= 2,
+        "fsp and twopc session targets are snapshottable (found {snapshottable})"
     );
 }
 

@@ -30,6 +30,12 @@
 //! cache and must replay nothing — its hit counts are emitted as
 //! `warm_cache_hits`.
 //!
+//! With `--serve-compat`, the batch campaign is followed by an assert
+//! pass: a fleetd service is seeded with the same discovered witnesses
+//! and every target's queried sensitivity matrices must be bit-identical
+//! to the batch output — the resident service and the batch pipeline are
+//! two drivers of one sweep body, and this keeps them provably so.
+//!
 //! With `--json [PATH]`, emits `BENCH_sweep.json` including the host core
 //! count, the effective worker count, fork-server savings
 //! (`boots_saved`, `snapshot_restores`, `mean_shared_prefix_depth`,
@@ -39,7 +45,10 @@
 
 use std::path::PathBuf;
 
+use achilles::export::session_witness_record;
 use achilles_bench::{arg_present, arg_value, arg_value_required, header, host_cores, row};
+use achilles_fleetd::{Fleetd, FleetdConfig};
+use achilles_replay::session_from_report;
 use achilles_sweep::{
     schedule_token, sweep_report, CampaignConfig, ScheduleClass, SessionSweep, SweepCache,
 };
@@ -118,6 +127,9 @@ fn main() {
         CampaignConfig::default().without_fork()
     };
     let mut rows: Vec<BenchRow> = Vec::new();
+    // `(target, session, record, matrix_text)` per batch-swept witness —
+    // the --serve-compat oracle.
+    let mut serve_oracle: Vec<(String, String, String, String)> = Vec::new();
     for name in &names {
         let spec = registry.get(name).expect("validated above");
         if spec.sessions().is_empty() {
@@ -175,7 +187,15 @@ fn main() {
         // given — followed by a warm second iteration that must be
         // replay-free.
         let mut cache = match corpus_dir.as_deref() {
-            Some(dir) => SweepCache::load(&sweep_cache_path(dir, name)).unwrap_or_default(),
+            Some(dir) => match SweepCache::load(&sweep_cache_path(dir, name)) {
+                Ok(cache) => cache,
+                // A malformed cache file is reported, never silently
+                // swallowed — but a bench run re-derives, it doesn't die.
+                Err(e) => {
+                    eprintln!("warning: ignoring unreadable sweep cache for {name}: {e}");
+                    SweepCache::new()
+                }
+            },
             None => SweepCache::new(),
         };
         let recorded_config = base_config.clone().with_workers(workers);
@@ -192,6 +212,20 @@ fn main() {
             cache
                 .save(&sweep_cache_path(dir, name))
                 .expect("persist sweep cache");
+        }
+        for (report, sweep) in reports.iter().zip(&sweeps) {
+            for (matrix, (i, trojan)) in
+                sweep.matrices.iter().zip(report.trojans.iter().enumerate())
+            {
+                let witness = session_from_report(&report.layouts, i, trojan)
+                    .expect("session layouts are wire-encodable");
+                serve_oracle.push((
+                    name.to_string(),
+                    report.session.clone(),
+                    session_witness_record(&witness.fields),
+                    matrix.to_text(),
+                ));
+            }
         }
         for ((sweep, (par, seq_wall_s, cold_wall_s)), warm_sweep) in
             sweeps.into_iter().zip(timing).zip(warm)
@@ -264,6 +298,54 @@ fn main() {
                 warm_replayed: warm_sweep.replayed,
                 warm_cache_hits: warm_sweep.cache_hits,
             });
+        }
+    }
+
+    if arg_present("--serve-compat") {
+        // Assert mode: seed a fleetd service from the same discovery and
+        // require its queried matrices to be bit-identical to the batch
+        // campaign just recorded — the service/batch differential, run
+        // against the real binaries' configuration.
+        header("serve-compat: fleetd vs batch bit-identity");
+        let service_config = FleetdConfig {
+            fork: fork_enabled,
+            ..FleetdConfig::default()
+        };
+        let service = Fleetd::start(builtin_registry(), service_config).expect("fleetd starts");
+        for (target, session, record, _) in &serve_oracle {
+            let reply = service.handle_line(&format!("REGISTER {target}"));
+            assert!(reply.starts_with("OK "), "{reply}");
+            let reply = service.handle_line(&format!("INGEST {target}/{session} {record}"));
+            assert!(reply.starts_with("OK "), "ingest {record}: {reply}");
+        }
+        assert_eq!(service.handle_line("DRAIN"), "OK drained");
+        for name in &names {
+            // The service stores one witness per canonical record, so the
+            // oracle dedupes to first-seen per (session, record).
+            let mut expected: Vec<String> = Vec::new();
+            let mut first = std::collections::HashSet::new();
+            for (target, session, record, text) in &serve_oracle {
+                if target == name && first.insert((session.clone(), record.clone())) {
+                    expected.extend(text.lines().map(str::to_string));
+                }
+            }
+            if expected.is_empty() {
+                continue;
+            }
+            let reply = service.handle_line(&format!("QUERY {name}"));
+            assert!(reply.starts_with("OK "), "{reply}");
+            let got: Vec<String> = reply.lines().skip(1).map(str::to_string).collect();
+            assert_eq!(
+                got, expected,
+                "{name}: fleetd matrices must be bit-identical to the batch campaign"
+            );
+            println!(
+                "{}",
+                row(
+                    name,
+                    format!("{} matrix line(s) bit-identical through fleetd", got.len())
+                )
+            );
         }
     }
 

@@ -213,6 +213,23 @@
 //!    `fork_server_equivalence` suite and the snapshot conformance contract
 //!    pin bit-identity per target; `examples/quickstart.rs` runs its
 //!    mini-sweep through the fork-server and prints `boots_saved`.
+//! 8. **Serve campaigns** (optional — for fleets that keep producing
+//!    witnesses). The batch bins run one corpus to completion and exit;
+//!    `achilles-fleetd` is the resident alternative: a campaign service
+//!    that ingests witness *records* (the same `export` session form the
+//!    corpus files use) over a line protocol, sweeps them incrementally
+//!    through sharded work queues with per-target fork-server affinity,
+//!    and answers `QUERY` with sensitivity matrices bit-identical to the
+//!    batch campaign (`sweep_campaign --serve-compat` asserts this, and
+//!    `tests/fleetd_service.rs` pins the incremental contract: a no-op
+//!    re-ingest replays nothing, a one-witness ingest replays exactly
+//!    that witness's cells). A registered spec needs *nothing* beyond
+//!    steps 1–5 — the service is registry-driven like every other driver.
+//!    Embed it in-process (`Fleetd::start` + `handle_line`) or run the
+//!    `achilles-fleetd` binary for localhost-TCP / unix-socket
+//!    transports; `--state DIR` persists the witness corpora and sweep
+//!    cells in the existing v2-corpus / sweep-cache formats, so a restart
+//!    re-derives every result without a single replay.
 //!
 //! ## Crate map
 //!

@@ -374,7 +374,11 @@ pub enum LocalStateMode {
 /// conformance suite — consume specs through a
 /// [`TargetRegistry`](crate::TargetRegistry) and never name a protocol in
 /// code.
-pub trait TargetSpec: Sync {
+///
+/// Specs are `Send + Sync`: a registry is shared across driver threads
+/// (the parallel pool, the fleetd campaign executors), so a spec must be
+/// plain configuration data, never a handle to thread-local state.
+pub trait TargetSpec: Send + Sync {
     /// Registry name of the protocol (`"fsp"`, `"pbft"`, `"paxos"`,
     /// `"twopc"`, …). Must be stable and unique within a registry.
     fn name(&self) -> &'static str;

@@ -1,0 +1,268 @@
+//! The `achilles-fleetd` binary: socket transports over the in-process
+//! service.
+//!
+//! Serves the line protocol on localhost TCP (`--listen`, default
+//! `127.0.0.1:7177`) and optionally a unix socket (`--uds PATH`).
+//! Listeners run non-blocking and poll a shutdown flag, so a `SHUTDOWN`
+//! request (from either transport) drains the queue, persists the state
+//! dir, and exits the process cleanly.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use achilles_fleetd::{Fleetd, FleetdConfig};
+use achilles_targets::builtin_registry;
+
+const USAGE: &str = "usage: achilles-fleetd [--listen ADDR] [--uds PATH] [--state DIR] \
+     [--shards N] [--workers N] [--max-cells N] [--quick] [--no-fork]";
+
+struct Options {
+    listen: String,
+    uds: Option<PathBuf>,
+    config: FleetdConfig,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        listen: "127.0.0.1:7177".to_string(),
+        uds: None,
+        config: FleetdConfig::default(),
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                options.listen = value(args, i, "--listen")?;
+                i += 2;
+            }
+            "--uds" => {
+                options.uds = Some(PathBuf::from(value(args, i, "--uds")?));
+                i += 2;
+            }
+            "--state" => {
+                options.config.state_dir = Some(PathBuf::from(value(args, i, "--state")?));
+                i += 2;
+            }
+            "--shards" => {
+                options.config.shards = value(args, i, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a number".to_string())?;
+                i += 2;
+            }
+            "--workers" => {
+                options.config.workers = value(args, i, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number".to_string())?;
+                i += 2;
+            }
+            "--max-cells" => {
+                options.config.max_queued_cells = value(args, i, "--max-cells")?
+                    .parse()
+                    .map_err(|_| "--max-cells needs a number".to_string())?;
+                i += 2;
+            }
+            "--quick" => {
+                options.config = options.config.quick();
+                i += 1;
+            }
+            "--no-fork" => {
+                options.config.fork = false;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Serves one connection: a line in, a reply out, until EOF or shutdown.
+fn serve<S: std::io::Read + Write>(service: &Fleetd, stop: &AtomicBool, stream: S) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let shutdown = line.trim().eq_ignore_ascii_case("SHUTDOWN");
+        let reply = service.handle_line(&line);
+        let stream = reader.get_mut();
+        if stream.write_all(reply.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("achilles-fleetd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let service = match Fleetd::start(builtin_registry(), options.config) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("achilles-fleetd: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut acceptors = Vec::new();
+
+    let tcp = match TcpListener::bind(&options.listen) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("achilles-fleetd: cannot listen on {}: {e}", options.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("achilles-fleetd listening on {}", options.listen);
+    acceptors.push(spawn_acceptor(tcp, &service, &stop));
+
+    if let Some(path) = &options.uds {
+        let _ = std::fs::remove_file(path);
+        match UnixListener::bind(path) {
+            Ok(listener) => {
+                println!("achilles-fleetd listening on {}", path.display());
+                acceptors.push(spawn_acceptor(listener, &service, &stop));
+            }
+            Err(e) => {
+                eprintln!("achilles-fleetd: cannot bind {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for acceptor in acceptors {
+        let _ = acceptor.join();
+    }
+    if let Some(path) = &options.uds {
+        let _ = std::fs::remove_file(path);
+    }
+    // SHUTDOWN already drained + saved; this is the idempotent backstop.
+    if let Err(e) = service.shutdown() {
+        eprintln!("achilles-fleetd: shutdown: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Accept loop for one listener: non-blocking accept polling the stop
+/// flag, one serving thread per connection.
+fn spawn_acceptor<L>(
+    listener: L,
+    service: &Arc<Fleetd>,
+    stop: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()>
+where
+    L: Acceptor + Send + 'static,
+{
+    listener.set_nonblocking();
+    let service = Arc::clone(service);
+    let stop = Arc::clone(stop);
+    std::thread::spawn(move || {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept_stream() {
+                Ok(stream) => {
+                    let service = Arc::clone(&service);
+                    let stop = Arc::clone(&stop);
+                    handlers.push(std::thread::spawn(move || {
+                        serve(&service, &stop, stream);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => break,
+            }
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    })
+}
+
+/// The two listener flavors behind one accept shape (their streams only
+/// need `Read + Write`, which `serve` is generic over).
+trait Acceptor {
+    type Stream: std::io::Read + Write + Send + 'static;
+    fn set_nonblocking(&self);
+    fn accept_stream(&self) -> std::io::Result<Self::Stream>;
+}
+
+impl Acceptor for TcpListener {
+    type Stream = std::net::TcpStream;
+    fn set_nonblocking(&self) {
+        let _ = TcpListener::set_nonblocking(self, true);
+    }
+    fn accept_stream(&self) -> std::io::Result<Self::Stream> {
+        let (stream, _) = self.accept()?;
+        let _ = stream.set_nonblocking(false);
+        Ok(stream)
+    }
+}
+
+impl Acceptor for UnixListener {
+    type Stream = std::os::unix::net::UnixStream;
+    fn set_nonblocking(&self) {
+        let _ = UnixListener::set_nonblocking(self, true);
+    }
+    fn accept_stream(&self) -> std::io::Result<Self::Stream> {
+        let (stream, _) = self.accept()?;
+        let _ = stream.set_nonblocking(false);
+        Ok(stream)
+    }
+}
+
+// `serve` needs the generic bound spelled once; a type assertion that the
+// two stream flavors satisfy it keeps the bound honest at compile time.
+#[cfg(test)]
+mod tests {
+    use super::parse_options;
+
+    #[test]
+    fn options_parse_and_reject() {
+        let options = parse_options(&[
+            "--listen".into(),
+            "127.0.0.1:0".into(),
+            "--shards".into(),
+            "4".into(),
+            "--quick".into(),
+            "--no-fork".into(),
+        ])
+        .expect("valid flags parse");
+        assert_eq!(options.listen, "127.0.0.1:0");
+        assert_eq!(options.config.shards, 4);
+        assert!(!options.config.fork);
+        assert!(parse_options(&["--bogus".into()]).is_err());
+        assert!(
+            parse_options(&["--shards".into()]).is_err(),
+            "missing value"
+        );
+    }
+}

@@ -22,7 +22,7 @@
 //! [`ReplayTarget::boot_fork`] support fall back to cold replay
 //! transparently.
 
-use achilles::SnapshotReplayTarget;
+use achilles::{SnapshotReplayTarget, TargetSnapshot};
 use achilles_symvm::{parallel_map, parallel_map_with};
 
 use crate::target::{
@@ -347,4 +347,282 @@ pub fn replay_session_forked(
         })
         .collect();
     (results, stats)
+}
+
+/// One live fork session kept warm across [`ForkServer::replay`] calls.
+struct LiveSession<'t> {
+    session: Box<dyn SnapshotReplayTarget + 't>,
+    /// Snapshot of the freshly-booted state; restored between replays
+    /// instead of cold-booting (restore-to-boot ≡ fresh boot is part of
+    /// the snapshot equivalence law the conformance suite pins).
+    boot: TargetSnapshot,
+    /// Whether the session state has diverged from `boot` since the last
+    /// restore (a clean session skips the restore entirely).
+    dirty: bool,
+}
+
+impl std::fmt::Debug for LiveSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSession")
+            .field("dirty", &self.dirty)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A reusable fork-server over one replay target: the unit of *per-target
+/// affinity* for long-running campaign services.
+///
+/// [`replay_session_forked`] amortizes boots across the schedules of one
+/// witness; a `ForkServer` amortizes them across *witnesses and campaign
+/// rounds*: in **persistent** mode ([`ForkServer::new`]) it boots the
+/// deployment once, snapshots the boot state, and serves every subsequent
+/// replay — any witness of the same target — by restoring that snapshot,
+/// so a service that sweeps a stream of ingested witnesses pays one boot
+/// per executor, not one per witness. Results are bit-identical to the
+/// batch paths: plan expansion, the trie walk, and classification are the
+/// exact same code, and restore-to-boot ≡ fresh-boot is pinned by the
+/// snapshot conformance suite.
+///
+/// **Detached** mode ([`ForkServer::detached`]) reproduces the batch
+/// executor's behavior exactly — fresh cells through
+/// [`replay_session_forked`] (or cold per-cell boots with `fork` off),
+/// baseline through [`replay_session`] — so code written against the
+/// server (`achilles_sweep`'s `sweep_witness_on`) serves both the one-shot
+/// bins and the daemon without divergence.
+///
+/// Persistent mode engages when `fork` is on, the target supports
+/// [`ReplayTarget::boot_fork`], and `workers <= 1` (one live session is
+/// inherently sequential; with more workers the server delegates to the
+/// per-witness parallel fork path, which boots per worker).
+pub struct ForkServer<'t> {
+    target: &'t dyn ReplayTarget,
+    workers: usize,
+    fork: bool,
+    persistent: bool,
+    live: Option<LiveSession<'t>>,
+    lifetime: ForkStats,
+    baselines: usize,
+}
+
+impl std::fmt::Debug for ForkServer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkServer")
+            .field("target", &self.target.name())
+            .field("workers", &self.workers)
+            .field("fork", &self.fork)
+            .field("persistent", &self.persistent)
+            .field("live", &self.live)
+            .field("lifetime", &self.lifetime)
+            .field("baselines", &self.baselines)
+            .finish()
+    }
+}
+
+impl<'t> ForkServer<'t> {
+    /// A persistent fork-server: one boot serves every replay of `target`
+    /// for the server's whole lifetime (sequential; see type docs).
+    pub fn new(target: &'t dyn ReplayTarget) -> ForkServer<'t> {
+        ForkServer {
+            target,
+            workers: 1,
+            fork: true,
+            persistent: true,
+            live: None,
+            lifetime: ForkStats::default(),
+            baselines: 0,
+        }
+    }
+
+    /// A detached (one-shot-semantics) server reproducing the batch
+    /// executor exactly: [`replay_session_forked`] per call when `fork`,
+    /// cold per-cell boots otherwise.
+    pub fn detached(target: &'t dyn ReplayTarget, workers: usize, fork: bool) -> ForkServer<'t> {
+        ForkServer {
+            target,
+            workers: workers.max(1),
+            fork,
+            persistent: false,
+            live: None,
+            lifetime: ForkStats::default(),
+            baselines: 0,
+        }
+    }
+
+    /// The replay target this server fronts.
+    pub fn target(&self) -> &'t dyn ReplayTarget {
+        self.target
+    }
+
+    /// The worker-thread fan-out the delegated batch paths use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether replays are currently served by the persistent live
+    /// session (as opposed to the delegated batch paths).
+    pub fn is_persistent(&self) -> bool {
+        self.persistent && self.fork && self.workers <= 1 && self.target.boot_fork().is_some()
+    }
+
+    /// Cumulative [`ForkStats`] over every replay this server performed —
+    /// baselines included, so a persistent server's `boots` stays at 1
+    /// however many witnesses stream through it.
+    pub fn lifetime_stats(&self) -> ForkStats {
+        self.lifetime
+    }
+
+    /// Fault-free baselines replayed (persistent mode folds their boots
+    /// into [`ForkServer::lifetime_stats`]; detached mode cold-boots them
+    /// exactly like [`replay_session`], uncounted — the batch contract).
+    pub fn baselines(&self) -> usize {
+        self.baselines
+    }
+
+    /// Replays `witness` under the fault-free schedule — the sweep
+    /// baseline. Persistent mode serves it from the live session (one
+    /// restore, no boot); detached mode is byte-for-byte
+    /// [`replay_session`].
+    pub fn replay_baseline(&mut self, witness: &SessionWitness) -> SessionReplayResult {
+        self.baselines += 1;
+        let fault_free = FaultSchedule::none();
+        if self.is_persistent() {
+            let (mut results, stats) = self.replay_persistent(witness, &[&fault_free]);
+            self.lifetime.absorb(&stats);
+            results.pop().expect("one result per schedule")
+        } else {
+            replay_session(self.target, witness, &fault_free)
+        }
+    }
+
+    /// Replays `witness` under every schedule, returning per-schedule
+    /// results in schedule order plus this call's [`ForkStats`]. Results
+    /// are bit-identical across modes and worker counts.
+    pub fn replay(
+        &mut self,
+        witness: &SessionWitness,
+        schedules: &[&FaultSchedule],
+    ) -> (Vec<SessionReplayResult>, ForkStats) {
+        if schedules.is_empty() {
+            return (Vec::new(), ForkStats::default());
+        }
+        let (results, stats) = if !self.fork {
+            let cold = parallel_map(self.workers.max(1), schedules, |_, schedule| {
+                replay_session(self.target, witness, schedule)
+            });
+            (cold, ForkStats::cold(schedules.len()))
+        } else if self.is_persistent() {
+            self.replay_persistent(witness, schedules)
+        } else {
+            replay_session_forked(self.target, witness, schedules, self.workers)
+        };
+        self.lifetime.absorb(&stats);
+        (results, stats)
+    }
+
+    /// Ensures the live session exists and sits at boot state.
+    fn at_boot(&mut self, stats: &mut ForkStats) {
+        match &mut self.live {
+            None => {
+                let session = self
+                    .target
+                    .boot_fork()
+                    .expect("persistent mode requires boot_fork support");
+                let boot = session.snapshot();
+                stats.boots += 1;
+                self.live = Some(LiveSession {
+                    session,
+                    boot,
+                    dirty: false,
+                });
+            }
+            Some(live) => {
+                if live.dirty {
+                    live.session.restore(&live.boot);
+                    stats.snapshot_restores += 1;
+                    live.dirty = false;
+                }
+            }
+        }
+    }
+
+    /// The persistent execution path: the same trie the parallel fork
+    /// path builds, walked sequentially over the one live session.
+    fn replay_persistent(
+        &mut self,
+        witness: &SessionWitness,
+        schedules: &[&FaultSchedule],
+    ) -> (Vec<SessionReplayResult>, ForkStats) {
+        let plans: Vec<SessionPlan> = schedules
+            .iter()
+            .map(|schedule| plan_session(self.target, witness, schedule))
+            .collect();
+        let mut trie = Trie::new();
+        for (index, plan) in plans.iter().enumerate() {
+            trie.insert(&plan.deliveries, index);
+        }
+        let mut stats = ForkStats {
+            plans: plans.len(),
+            boots: 0,
+            snapshot_restores: 0,
+            shared_prefix_depth_sum: 0,
+            branches: trie
+                .children
+                .len()
+                .max(usize::from(!trie.terminals.is_empty())),
+        };
+        let mut executed: Vec<Option<InjectionOutcome>> = vec![None; plans.len()];
+        if !trie.terminals.is_empty() {
+            let root = Trie {
+                children: Vec::new(),
+                terminals: trie.terminals.clone(),
+                plans_through: trie.terminals.len(),
+            };
+            self.at_boot(&mut stats);
+            let live = self.live.as_mut().expect("at_boot installs the session");
+            live.dirty = true;
+            let mut out = Vec::new();
+            walk(
+                &root,
+                live.session.as_mut(),
+                &mut InjectionOutcome::default(),
+                0,
+                0,
+                &mut out,
+                &mut stats,
+            );
+            for (index, outcome) in out {
+                executed[index] = Some(outcome);
+            }
+        }
+        for (delivery, child) in &trie.children {
+            self.at_boot(&mut stats);
+            let live = self.live.as_mut().expect("at_boot installs the session");
+            live.dirty = true;
+            let mut outcome = InjectionOutcome::default();
+            live.session.deliver(delivery, &mut outcome);
+            let shared = if child.plans_through >= 2 { 1 } else { 0 };
+            let mut out = Vec::new();
+            walk(
+                child,
+                live.session.as_mut(),
+                &mut outcome,
+                1,
+                shared,
+                &mut out,
+                &mut stats,
+            );
+            for (index, outcome) in out {
+                executed[index] = Some(outcome);
+            }
+        }
+        let results = plans
+            .into_iter()
+            .zip(executed)
+            .map(|(plan, outcome)| {
+                let outcome = outcome.expect("every plan index reaches exactly one trie terminal");
+                classify_session(self.target, witness, plan, outcome)
+            })
+            .collect();
+        (results, stats)
+    }
 }

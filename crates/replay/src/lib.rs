@@ -72,7 +72,7 @@ pub mod validate;
 pub mod witness;
 
 pub use corpus::{CorpusEntry, CorpusParseError, ReplayCorpus};
-pub use fork::{replay_session_forked, ForkStats};
+pub use fork::{replay_session_forked, ForkServer, ForkStats};
 pub use minimize::{minimize, minimize_session, MinimizedSessionWitness, MinimizedWitness};
 pub use signature::CrashSignature;
 pub use target::{

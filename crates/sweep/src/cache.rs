@@ -17,6 +17,7 @@
 //! a missing or wrong header loads as an empty cache by design.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use achilles::export::session_witness_record;
 use achilles_replay::{CrashSignature, FaultSchedule, ReplayVerdict, SessionWitness};
@@ -28,6 +29,30 @@ use crate::matrix::{schedule_token, ScheduleClass};
 /// every cell is re-derived once through the snapshot replay path (cell
 /// semantics are unchanged — the bump is a one-time revalidation gate).
 const HEADER: &str = "# achilles-sweep cache v3";
+
+/// A malformed sweep-cache cell line, with the 1-based line it sits on.
+///
+/// The same contract [`CorpusParseError`](achilles_replay::CorpusParseError)
+/// gives the replay corpus: within a well-versioned file, a cell that
+/// cannot be parsed is a **hard error**, never a silent skip — a
+/// long-running service answers queries from this store, so a truncated
+/// line that quietly vanished would silently re-classify its cell as
+/// unswept (or let a half-written file pass for a smaller one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheParseError {
+    /// 1-based line number of the malformed cell.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for CacheParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep cache line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CacheParseError {}
 
 /// One cached (witness, schedule) classification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,15 +143,29 @@ impl SweepCache {
     }
 
     /// Parses the [`SweepCache::to_text`] form. A missing or wrong header
-    /// yields an empty cache (stale format by definition); malformed lines
-    /// are skipped — a cache is advisory, never authoritative.
-    pub fn from_text(text: &str) -> SweepCache {
+    /// yields an empty cache (stale format by definition, not an error);
+    /// within a well-versioned file a malformed cell line is a
+    /// [`CacheParseError`] naming the 1-based line — a results store must
+    /// not quietly shed cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheParseError`] for the first malformed line: a
+    /// truncated `key|class|verdict|signature` record, a key without the
+    /// `::` scope or `@` schedule separators, or an unparsable class /
+    /// verdict / signature.
+    pub fn from_text(text: &str) -> Result<SweepCache, CacheParseError> {
         let mut cache = SweepCache::new();
-        let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(HEADER) {
-            return cache;
+        let mut lines = text.lines().enumerate();
+        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
+            return Ok(cache);
         }
-        for line in lines {
+        for (index, line) in lines {
+            let lineno = index + 1;
+            let err = |reason: String| CacheParseError {
+                line: lineno,
+                reason,
+            };
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -135,15 +174,21 @@ impl SweepCache {
             let (Some(key), Some(class), Some(verdict), Some(sig)) =
                 (parts.next(), parts.next(), parts.next(), parts.next())
             else {
-                continue;
+                return Err(err(format!(
+                    "truncated cell (expected key|class|verdict|signature): {line:?}"
+                )));
             };
-            let (Some(class), Some(verdict), Some(signature)) = (
-                ScheduleClass::parse(class),
-                ReplayVerdict::parse(verdict),
-                CrashSignature::from_line(sig),
-            ) else {
-                continue;
-            };
+            if !key.contains("::") || !key.contains('@') {
+                return Err(err(format!(
+                    "malformed cell key (expected scope::witness@schedule): {key:?}"
+                )));
+            }
+            let class = ScheduleClass::parse(class)
+                .ok_or_else(|| err(format!("unknown schedule class {class:?}")))?;
+            let verdict = ReplayVerdict::parse(verdict)
+                .ok_or_else(|| err(format!("unknown replay verdict {verdict:?}")))?;
+            let signature = CrashSignature::from_line(sig)
+                .ok_or_else(|| err(format!("unparsable crash signature {sig:?}")))?;
             cache.cells.insert(
                 key.to_string(),
                 CachedCell {
@@ -153,30 +198,122 @@ impl SweepCache {
                 },
             );
         }
-        cache
+        Ok(cache)
     }
 
-    /// Writes the cache to a file.
+    /// Writes the cache to a file, crash-safely: the text is written to a
+    /// sibling temp file and atomically renamed over `path`, so a crash
+    /// mid-save leaves either the old complete file or the new complete
+    /// file — never a truncated hybrid that would fail
+    /// [`SweepCache::from_text`] on the next boot.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Loads a cache from a file; a missing file is an empty cache.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors other than `NotFound`.
+    /// Propagates I/O errors other than `NotFound`; a present but
+    /// malformed file surfaces its [`CacheParseError`] as
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: &std::path::Path) -> std::io::Result<SweepCache> {
         match std::fs::read_to_string(path) {
-            Ok(text) => Ok(SweepCache::from_text(&text)),
+            Ok(text) => SweepCache::from_text(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            }),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(SweepCache::new()),
             Err(e) => Err(e),
         }
     }
+
+    /// Iterates the cached cells as `(key, cell)` pairs, in arbitrary
+    /// order (keys sort in [`SweepCache::to_text`]).
+    pub fn cells(&self) -> impl Iterator<Item = (&str, &CachedCell)> {
+        self.cells.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Absorbs every cell of `other`; later inserts win (replay is a pure
+    /// function of the scoped pair, so they can only re-assert).
+    pub fn merge(&mut self, other: &SweepCache) {
+        for (key, cell) in &other.cells {
+            self.cells.insert(key.clone(), cell.clone());
+        }
+    }
+
+    /// Drops every cell within `scope` (the `target/session` namespace),
+    /// returning how many were invalidated — the spec-epoch-bump lever: a
+    /// changed spec invalidates exactly its own scope's cells, nobody
+    /// else's.
+    pub fn invalidate_scope(&mut self, scope: &str) -> usize {
+        let prefix = format!("{scope}::");
+        let before = self.cells.len();
+        self.cells.retain(|key, _| !key.starts_with(&prefix));
+        before - self.cells.len()
+    }
+
+    /// Drops every cell of one witness within `scope` (the baseline cell
+    /// included), returning how many were invalidated — the corpus-bump
+    /// lever: re-deriving one changed witness record touches exactly that
+    /// witness's cells.
+    pub fn invalidate_witness(&mut self, scope: &str, witness: &SessionWitness) -> usize {
+        let prefix = witness_prefix(scope, witness);
+        let before = self.cells.len();
+        self.cells.retain(|key, _| !key.starts_with(&prefix));
+        before - self.cells.len()
+    }
+
+    /// Clones every cell of one witness within `scope` into a fresh
+    /// mini-cache — the unit a campaign executor carries to a worker:
+    /// sweeping against the extract replays exactly the cells missing
+    /// from it, with no lock on the shared store.
+    pub fn extract_witness(&self, scope: &str, witness: &SessionWitness) -> SweepCache {
+        let prefix = witness_prefix(scope, witness);
+        SweepCache {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(key, _)| key.starts_with(&prefix))
+                .map(|(key, cell)| (key.clone(), cell.clone()))
+                .collect(),
+        }
+    }
+
+    /// Clones every cell whose scope starts with `prefix` (e.g. a
+    /// `"target/"` prefix selects every session of one target) into a
+    /// fresh cache — how a service shards one store into per-target
+    /// durable files.
+    pub fn extract_scope_prefix(&self, prefix: &str) -> SweepCache {
+        SweepCache {
+            cells: self
+                .cells
+                .iter()
+                .filter(|(key, _)| {
+                    key.split_once("::")
+                        .is_some_and(|(scope, _)| scope.starts_with(prefix))
+                })
+                .map(|(key, cell)| (key.clone(), cell.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// The shared key prefix of every cell of one witness within `scope`
+/// (baseline and schedule cells alike) — what witness-level invalidation
+/// and extraction match on.
+fn witness_prefix(scope: &str, witness: &SessionWitness) -> String {
+    format!("{scope}::{}@", session_witness_record(&witness.fields))
 }
 
 #[cfg(test)]
@@ -221,7 +358,7 @@ mod tests {
             text.contains("g/seed-sync-read::1,2/3@drop@s0|disarmed|dropped|g/dropped@s2/"),
             "{text}"
         );
-        let back = SweepCache::from_text(&text);
+        let back = SweepCache::from_text(&text).expect("round-trip text parses");
         assert_eq!(back.len(), 1);
         assert_eq!(
             back.get("g/seed-sync-read", &witness(), &drop0()),
@@ -236,13 +373,105 @@ mod tests {
     }
 
     #[test]
-    fn wrong_header_or_malformed_lines_degrade_gracefully() {
-        assert!(SweepCache::from_text("no header\nx|y|z|w\n").is_empty());
+    fn wrong_header_loads_as_empty_cache() {
+        // A stale or foreign format is the version gate, not an error.
+        assert!(SweepCache::from_text("no header\nx|y|z|w\n")
+            .expect("wrong header is not an error")
+            .is_empty());
         assert!(SweepCache::from_text(
             "# achilles-sweep cache v1\nk|armed|confirmed|g/confirmed/\n"
         )
+        .expect("old version is not an error")
         .is_empty());
-        let partial = format!("{HEADER}\ngarbage\nk@none|armed|confirmed|g/confirmed/\n");
-        assert_eq!(SweepCache::from_text(&partial).len(), 1);
+    }
+
+    #[test]
+    fn malformed_cells_are_line_numbered_hard_errors() {
+        let truncated = format!("{HEADER}\n\ngarbage\n");
+        let err = SweepCache::from_text(&truncated).expect_err("truncated cell must error");
+        assert_eq!(err.line, 3, "blank lines still count toward numbering");
+        assert!(err.reason.contains("truncated"), "{err}");
+
+        let bad_key = format!("{HEADER}\nno-separators|armed|confirmed|g/confirmed/\n");
+        let err = SweepCache::from_text(&bad_key).expect_err("key without :: or @ must error");
+        assert_eq!(err.line, 2);
+
+        let bad_class = format!("{HEADER}\ns::w@none|bogus|confirmed|g/confirmed/\n");
+        let err = SweepCache::from_text(&bad_class).expect_err("unknown class must error");
+        assert!(err.reason.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_reports_malformed_files() {
+        let dir = std::env::temp_dir().join(format!("achilles-sweep-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sweep");
+        let mut cache = SweepCache::new();
+        cache.insert(
+            "g/s",
+            &witness(),
+            &drop0(),
+            CachedCell {
+                class: ScheduleClass::Armed,
+                verdict: ReplayVerdict::ConfirmedTrojan,
+                signature: CrashSignature::for_session(
+                    "g",
+                    ReplayVerdict::ConfirmedTrojan,
+                    2,
+                    vec![],
+                ),
+            },
+        );
+        cache.save(&path).unwrap();
+        // The temp file never survives a completed save.
+        assert!(!dir.join("t.sweep.tmp").exists());
+        assert_eq!(SweepCache::load(&path).unwrap().len(), 1);
+
+        std::fs::write(&path, format!("{HEADER}\ntruncated\n")).unwrap();
+        let err = SweepCache::load(&path).expect_err("malformed file must not load silently");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_exactly_the_bumped_keys() {
+        let cell = || CachedCell {
+            class: ScheduleClass::Armed,
+            verdict: ReplayVerdict::ConfirmedTrojan,
+            signature: CrashSignature::for_session("g", ReplayVerdict::ConfirmedTrojan, 2, vec![]),
+        };
+        let other = SessionWitness {
+            index: 1,
+            server_path_id: 0,
+            fields: vec![vec![9, 9], vec![9]],
+            wire: vec![vec![9, 9], vec![9]],
+        };
+        let mut cache = SweepCache::new();
+        cache.insert("g/a", &witness(), &drop0(), cell());
+        cache.insert("g/a", &witness(), &FaultSchedule::none(), cell());
+        cache.insert("g/a", &other, &drop0(), cell());
+        cache.insert("g/b", &witness(), &drop0(), cell());
+
+        // Witness-level: exactly that witness's cells, baseline included.
+        let extracted = cache.extract_witness("g/a", &witness());
+        assert_eq!(extracted.len(), 2);
+        let mut bumped = cache.clone();
+        assert_eq!(bumped.invalidate_witness("g/a", &witness()), 2);
+        assert!(bumped.get("g/a", &other, &drop0()).is_some());
+        assert!(bumped.get("g/b", &witness(), &drop0()).is_some());
+
+        // Scope-level: every witness of the scope, no neighbor scopes.
+        let mut bumped = cache.clone();
+        assert_eq!(bumped.invalidate_scope("g/a"), 3);
+        assert_eq!(bumped.len(), 1);
+
+        // Prefix extraction shards a store by target.
+        assert_eq!(cache.extract_scope_prefix("g/").len(), 4);
+        assert_eq!(cache.extract_scope_prefix("h/").len(), 0);
+
+        // Merge re-absorbs an extract.
+        let mut merged = bumped;
+        merged.merge(&extracted);
+        assert_eq!(merged.len(), 3);
     }
 }

@@ -19,10 +19,8 @@ use std::time::{Duration, Instant};
 
 use achilles::{AchillesSession, ReplayTarget, SessionReport, TargetSpec};
 use achilles_replay::{
-    replay_session, replay_session_forked, session_from_report, FaultSchedule, ForkStats,
-    ReplayVerdict, SessionWitness,
+    session_from_report, FaultSchedule, ForkServer, ForkStats, ReplayVerdict, SessionWitness,
 };
-use achilles_symvm::parallel_map;
 
 use crate::cache::{CachedCell, SweepCache};
 use crate::matrix::{classify, Baseline, ScheduleClass, SensitivityCell, SensitivityMatrix};
@@ -89,6 +87,12 @@ pub struct WitnessSweepStats {
 /// namespace): fault-free baseline, planned schedule space, one
 /// classified [`SensitivityCell`] per schedule — all cache-assisted,
 /// the baseline included.
+///
+/// One-shot form: builds a detached [`ForkServer`] reproducing the batch
+/// executor exactly and delegates to [`sweep_witness_on`]. Callers that
+/// sweep a *stream* of witnesses against one target (the fleetd campaign
+/// executors) hold a persistent server instead and pay one boot for the
+/// whole stream.
 pub fn sweep_witness(
     target: &dyn ReplayTarget,
     scope: &str,
@@ -98,7 +102,24 @@ pub fn sweep_witness(
     fork: bool,
     cache: &mut SweepCache,
 ) -> (SensitivityMatrix, WitnessSweepStats) {
+    let mut server = ForkServer::detached(target, workers, fork);
+    sweep_witness_on(&mut server, scope, witness, planner, cache)
+}
+
+/// Sweeps one witness through an existing [`ForkServer`] — the shared
+/// body behind [`sweep_witness`] and the fleetd campaign executors, so
+/// service answers are bit-identical to batch answers by construction:
+/// same baseline, same planner, same replay entry points, same
+/// classification.
+pub fn sweep_witness_on(
+    server: &mut ForkServer<'_>,
+    scope: &str,
+    witness: &SessionWitness,
+    planner: &SchedulePlanner,
+    cache: &mut SweepCache,
+) -> (SensitivityMatrix, WitnessSweepStats) {
     let mut stats = WitnessSweepStats::default();
+    let workers = server.workers();
 
     // The baseline is a (witness, schedule) cell like any other — cached
     // under the `none` schedule token, with the slot attribution riding in
@@ -111,7 +132,7 @@ pub fn sweep_witness(
         }
         None => {
             stats.replayed += 1;
-            let result = replay_session(target, witness, &fault_free);
+            let result = server.replay_baseline(witness);
             let baseline = Baseline::of(&result);
             cache.insert(
                 scope,
@@ -150,14 +171,7 @@ pub fn sweep_witness(
         }
     }
     stats.replayed += fresh.len();
-    let (replayed, fork_stats) = if fork {
-        replay_session_forked(target, witness, &fresh, workers)
-    } else {
-        let cold = parallel_map(workers.max(1), &fresh, |_, schedule| {
-            replay_session(target, witness, schedule)
-        });
-        (cold, ForkStats::cold(fresh.len()))
-    };
+    let (replayed, fork_stats) = server.replay(witness, &fresh);
     stats.workers_effective = workers.max(1).min(fork_stats.branches).max(1);
     stats.fork = fork_stats;
 
@@ -414,7 +428,7 @@ mod tests {
 
         // Round-trip the cache through its text form, like the CI cache
         // does across commits.
-        let mut reloaded = SweepCache::from_text(&cache.to_text());
+        let mut reloaded = SweepCache::from_text(&cache.to_text()).expect("cache text round-trips");
         let second = run_campaign(&spec, &CampaignConfig::default(), &mut reloaded);
         assert_eq!(
             second[0].replayed, 0,

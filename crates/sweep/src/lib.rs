@@ -61,9 +61,10 @@ pub mod campaign;
 pub mod matrix;
 pub mod planner;
 
-pub use cache::{cell_key, CachedCell, SweepCache};
+pub use cache::{cell_key, CacheParseError, CachedCell, SweepCache};
 pub use campaign::{
-    run_campaign, sweep_report, sweep_witness, CampaignConfig, SessionSweep, WitnessSweepStats,
+    run_campaign, sweep_report, sweep_witness, sweep_witness_on, CampaignConfig, SessionSweep,
+    WitnessSweepStats,
 };
 pub use matrix::{
     classify, parse_schedule_token, schedule_token, Baseline, ScheduleClass, SensitivityCell,

@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use achilles::TargetRegistry;
+use achilles::{TargetRegistry, TargetSpec};
 
 /// Builds the registry of every shipped protocol, each under its default
 /// (paper) configuration, in onboarding order.
@@ -35,6 +35,16 @@ pub fn builtin_registry() -> TargetRegistry {
     registry.register(Arc::new(achilles_twopc::TwopcSpec::default()));
     registry.register(Arc::new(achilles_gossip::GossipSpec::default()));
     registry
+}
+
+/// The registry's session-bearing specs, in registration order — the
+/// targets sweep campaigns and the fleetd service operate on (specs that
+/// declare no sessions have no schedule space to sweep).
+pub fn session_bearing(registry: &TargetRegistry) -> Vec<&Arc<dyn TargetSpec>> {
+    registry
+        .iter()
+        .filter(|spec| !spec.sessions().is_empty())
+        .collect()
 }
 
 #[cfg(test)]

@@ -643,4 +643,47 @@ fn main() {
         sweep_stats.fork.snapshot_restores,
         sweep_stats.fork.mean_shared_prefix_depth(),
     );
+
+    // 6. Serving campaigns (step 8 of the porting guide): the same spec,
+    //    unchanged, behind the resident fleetd service. Ingest the
+    //    witness's *record* (the export form the corpus files use) over
+    //    the line protocol, drain, and query — the served matrix must be
+    //    bit-identical to the mini-sweep's, and a re-ingest is a no-op.
+    println!("\n== serving campaigns (fleetd, in-process) ==");
+    let mut service_registry = TargetRegistry::new();
+    service_registry.register(Arc::new(QuickstartSpec));
+    let service = achilles_fleetd::Fleetd::start(
+        service_registry,
+        achilles_fleetd::FleetdConfig::default().quick(),
+    )
+    .expect("service starts");
+    assert!(service
+        .handle_line("REGISTER quickstart")
+        .starts_with("OK "));
+    let record = achilles::export::session_witness_record(&witness.fields);
+    let reply = service.handle_line(&format!("INGEST quickstart/hello-request {record}"));
+    println!("INGEST quickstart/hello-request {record}\n  -> {reply}");
+    assert!(reply.starts_with("OK "));
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    let served = service
+        .query_text("quickstart", None, None)
+        .expect("query answers");
+    assert_eq!(
+        served.lines().collect::<Vec<_>>(),
+        matrix.to_text().lines().collect::<Vec<_>>(),
+        "served matrix is bit-identical to the batch mini-sweep"
+    );
+    assert_eq!(service.stats().replays, sweep_stats.replayed);
+    let again = service.handle_line(&format!("INGEST quickstart/hello-request {record}"));
+    assert!(again.contains("dup"), "{again}");
+    assert_eq!(
+        service.stats().replays,
+        sweep_stats.replayed,
+        "re-ingesting a known witness replays nothing"
+    );
+    println!(
+        "QUERY quickstart -> {} matrix line(s), bit-identical to the \
+         mini-sweep; re-ingest -> {again} with zero new replays.",
+        served.lines().count(),
+    );
 }

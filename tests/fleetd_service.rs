@@ -1,0 +1,399 @@
+//! The fleetd service differential suite: the resident campaign service
+//! must answer exactly what the batch pipeline computes, and must replay
+//! exactly what changed — nothing on a no-op re-ingest, one witness's
+//! cells on a one-witness ingest, one target's scopes on an epoch bump.
+//!
+//! Every test drives the service through the same `handle_line` strings
+//! the socket transports feed it, so the protocol surface is exercised
+//! end to end; replay counters are asserted (not just results), because
+//! "incremental" is a claim about work performed, not answers given.
+
+use achilles::export::session_witness_record;
+use achilles::{AchillesSession, SessionReport, TargetRegistry, TargetSpec};
+use achilles_fleetd::{Fleetd, FleetdConfig, WitnessStore};
+use achilles_replay::session_from_report;
+use achilles_sweep::{sweep_report, CampaignConfig, SchedulePlanner, SweepCache, SweepConfig};
+use achilles_targets::builtin_registry;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const TARGET: &str = "gossip";
+
+fn gossip_spec() -> (TargetRegistry, Arc<dyn TargetSpec>) {
+    let registry = builtin_registry();
+    let spec = registry.get(TARGET).expect("gossip is built in").clone();
+    (registry, spec)
+}
+
+/// Discovery once, shared shape for every test: the session reports and
+/// the canonical witness records in batch order.
+fn discover(spec: &dyn TargetSpec) -> Vec<(SessionReport, Vec<String>)> {
+    AchillesSession::new(spec)
+        .run_sessions()
+        .into_iter()
+        .map(|report| {
+            let records = report
+                .trojans
+                .iter()
+                .enumerate()
+                .map(|(i, trojan)| {
+                    let witness = session_from_report(&report.layouts, i, trojan)
+                        .expect("session layouts are wire-encodable");
+                    session_witness_record(&witness.fields)
+                })
+                .collect();
+            (report, records)
+        })
+        .collect()
+}
+
+/// The batch pipeline's answer: every matrix's `to_text` lines, deduped
+/// by record in first-seen order (the service stores one witness per
+/// canonical record).
+fn batch_query_lines(
+    spec: &dyn TargetSpec,
+    discovered: &[(SessionReport, Vec<String>)],
+    sweep: SweepConfig,
+) -> Vec<String> {
+    let config = CampaignConfig {
+        sweep,
+        ..CampaignConfig::default()
+    };
+    let mut cache = SweepCache::new();
+    let mut lines = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (report, records) in discovered {
+        let sweep = sweep_report(spec, report, &config, &mut cache);
+        for (matrix, record) in sweep.matrices.iter().zip(records) {
+            if seen.insert(record.clone()) {
+                lines.extend(matrix.to_text().lines().map(str::to_string));
+            }
+        }
+    }
+    lines
+}
+
+/// Ingests every discovered record through the protocol, asserting each
+/// reply, and drains. Returns the unique record count.
+fn ingest_all(service: &Fleetd, discovered: &[(SessionReport, Vec<String>)]) -> usize {
+    assert!(service
+        .handle_line(&format!("REGISTER {TARGET}"))
+        .starts_with("OK "));
+    let mut unique = std::collections::HashSet::new();
+    for (report, records) in discovered {
+        for record in records {
+            let reply =
+                service.handle_line(&format!("INGEST {TARGET}/{} {record}", report.session));
+            assert!(reply.starts_with("OK "), "ingest {record}: {reply}");
+            if !unique.insert(record.clone()) {
+                assert!(reply.contains("dup"), "re-ingest must dedupe: {reply}");
+            }
+        }
+    }
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    unique.len()
+}
+
+fn query_lines(service: &Fleetd) -> Vec<String> {
+    let reply = service.handle_line(&format!("QUERY {TARGET}"));
+    let mut lines = reply.lines().map(str::to_string);
+    let status = lines.next().expect("status line");
+    assert!(status.starts_with("OK "), "{status}");
+    lines.collect()
+}
+
+/// Derives a *new* canonical record by nudging `base`'s fields until the
+/// session's layouts accept a value not already in `known` (field widths
+/// vary per slot, so the hunt tries small deltas everywhere).
+fn mutate_record(shard: &achilles_fleetd::SessionShard, known: &[String], base: &str) -> String {
+    let mut fields = shard
+        .witness_from_record(base)
+        .expect("stored record round-trips")
+        .1
+        .fields;
+    for slot in 0..fields.len() {
+        for field in 0..fields[slot].len() {
+            for delta in 1..=3u64 {
+                let original = fields[slot][field];
+                fields[slot][field] = original.wrapping_add(delta);
+                let record = session_witness_record(&fields);
+                if shard.witness_from_record(&record).is_ok() && !known.contains(&record) {
+                    return record;
+                }
+                fields[slot][field] = original;
+            }
+        }
+    }
+    panic!("no wire-encodable mutation found");
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("achilles-fleetd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn service_answers_bit_identical_to_the_batch_campaign() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    assert!(
+        discovered.iter().any(|(_, r)| !r.is_empty()),
+        "gossip discovery yields session trojans"
+    );
+    let expected = batch_query_lines(&*spec, &discovered, SweepConfig::quick());
+
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+    let unique = ingest_all(&service, &discovered);
+    assert_eq!(
+        query_lines(&service),
+        expected,
+        "queried matrices must be bit-identical to the batch campaign"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.ingested, unique);
+    assert_eq!(stats.results, unique);
+    assert!(stats.replays > 0);
+    assert!(
+        stats.boots_saved() > 0,
+        "batched executors share fork-server boots ({} plans, {} boots)",
+        stats.fork_plans,
+        stats.boots
+    );
+    assert_eq!(stats.stale_results, 0);
+
+    // Witness-id and class filters are restrictions of the same rows.
+    let one = service.handle_line(&format!("QUERY {TARGET} 0"));
+    assert!(one.starts_with("OK "));
+    let armed = service.handle_line(&format!("QUERY {TARGET} * armed"));
+    for line in armed.lines().skip(1) {
+        let is_header = line.starts_with("witness ") || line.starts_with("baseline ");
+        assert!(
+            is_header || line.split('|').nth(1) == Some("armed"),
+            "class filter leaked {line:?}"
+        );
+    }
+}
+
+#[test]
+fn noop_reingest_and_recampaign_replay_nothing() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+    ingest_all(&service, &discovered);
+    let replays = service.stats().replays;
+    assert!(replays > 0);
+
+    // Re-ingesting the whole corpus is a no-op: every record is a dup.
+    let mut seen = std::collections::HashSet::new();
+    for (report, records) in &discovered {
+        for record in records {
+            let reply =
+                service.handle_line(&format!("INGEST {TARGET}/{} {record}", report.session));
+            if seen.insert(record.clone()) {
+                assert!(reply.contains("dup"), "{reply}");
+            }
+        }
+    }
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    assert_eq!(
+        service.stats().replays,
+        replays,
+        "no-op re-ingest replays nothing"
+    );
+    assert_eq!(service.stats().duplicates, seen.len());
+
+    // A re-campaign over an unchanged cache completes warm, inline.
+    let reply = service.handle_line(&format!("RECAMPAIGN {TARGET}"));
+    assert!(reply.starts_with("OK "), "{reply}");
+    assert!(
+        reply.contains("enqueued=0"),
+        "warm re-campaign enqueues nothing: {reply}"
+    );
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    let stats = service.stats();
+    assert_eq!(stats.replays, replays, "warm re-campaign replays nothing");
+    assert!(stats.cache_hits > 0);
+}
+
+#[test]
+fn single_witness_ingest_replays_exactly_its_cells() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+    ingest_all(&service, &discovered);
+    let replays = service.stats().replays;
+    let results = service.stats().results;
+
+    // Derive a *new* witness by nudging a stored one's fields until the
+    // spec's layouts accept it (field widths vary per slot).
+    let (session, base) = discovered
+        .iter()
+        .find_map(|(report, records)| records.first().map(|r| (report.session.clone(), r.clone())))
+        .expect("at least one witness");
+    let mut store = WitnessStore::new();
+    store.register(&*spec);
+    let shard = store
+        .target(TARGET)
+        .and_then(|t| t.session(&session))
+        .expect("session shard");
+    let planner = SchedulePlanner::new(SweepConfig::quick());
+    let known: Vec<String> = discovered.iter().flat_map(|(_, rs)| rs.clone()).collect();
+    let mutated = mutate_record(shard, &known, &base);
+    let witness = shard
+        .witness_from_record(&mutated)
+        .expect("mutation validated")
+        .1;
+    let expected = 1 + planner.plan(&witness).len(); // baseline + every planned cell
+
+    let reply = service.handle_line(&format!("INGEST {TARGET}/{session} {mutated}"));
+    assert!(reply.starts_with("OK "), "{reply}");
+    assert!(reply.contains(&format!("cells={expected}")), "{reply}");
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    let stats = service.stats();
+    assert_eq!(
+        stats.replays,
+        replays + expected,
+        "one new witness replays exactly its own cells"
+    );
+    assert_eq!(stats.results, results + 1);
+}
+
+#[test]
+fn epoch_bump_invalidates_and_rederives_exactly_the_target() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+    let unique = ingest_all(&service, &discovered);
+    let replays = service.stats().replays;
+    let before = query_lines(&service);
+
+    let reply = service.handle_line(&format!("EPOCH {TARGET}"));
+    assert!(reply.starts_with("OK "), "{reply}");
+    assert!(
+        !reply.contains("invalidated=0"),
+        "epoch bump drops cells: {reply}"
+    );
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.replays,
+        replays * 2,
+        "re-deriving the whole target repeats exactly the original replays"
+    );
+    assert_eq!(stats.results, unique);
+    assert_eq!(
+        query_lines(&service),
+        before,
+        "replay is deterministic: re-derived matrices match"
+    );
+}
+
+#[test]
+fn backpressure_answers_busy_at_the_cell_bound() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    let (session, base) = discovered
+        .iter()
+        .find_map(|(report, records)| records.first().map(|r| (report.session.clone(), r.clone())))
+        .expect("at least one witness");
+
+    // Size the bound to exactly one witness's campaign, so the first
+    // ingest fits and the second (a synthesized sibling) must be refused
+    // until a drain.
+    let mut store = WitnessStore::new();
+    store.register(&*spec);
+    let shard = store
+        .target(TARGET)
+        .and_then(|t| t.session(&session))
+        .expect("session shard");
+    let known: Vec<String> = discovered.iter().flat_map(|(_, rs)| rs.clone()).collect();
+    let records = [base.clone(), mutate_record(shard, &known, &base)];
+    let planner = SchedulePlanner::new(SweepConfig::quick());
+    let bound = records
+        .iter()
+        .map(|r| {
+            let witness = shard.witness_from_record(r).expect("record parses").1;
+            1 + planner.plan(&witness).len()
+        })
+        .max()
+        .expect("two records");
+
+    // shards = 0: no executors — work sits queued until pump(), so the
+    // BUSY window is deterministic.
+    let config = FleetdConfig::default()
+        .quick()
+        .shards(0)
+        .max_queued_cells(bound);
+    let service = Fleetd::start(registry, config).expect("service starts");
+    assert!(service
+        .handle_line(&format!("REGISTER {TARGET}"))
+        .starts_with("OK "));
+
+    let first = service.handle_line(&format!("INGEST {TARGET}/{session} {}", records[0]));
+    assert!(first.starts_with("OK "), "{first}");
+    let second = service.handle_line(&format!("INGEST {TARGET}/{session} {}", records[1]));
+    assert!(
+        second.starts_with("BUSY "),
+        "queue at bound must refuse: {second}"
+    );
+    assert_eq!(service.stats().busy_rejections, 1);
+    assert_eq!(
+        service.stats().witnesses,
+        1,
+        "a refused ingest stores nothing"
+    );
+
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    let retry = service.handle_line(&format!("INGEST {TARGET}/{session} {}", records[1]));
+    assert!(
+        retry.starts_with("OK "),
+        "drained queue accepts the retry: {retry}"
+    );
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+    assert_eq!(service.stats().results, 2);
+}
+
+#[test]
+fn shutdown_drains_persists_and_the_restart_is_replay_free() {
+    let dir = temp_dir("restart");
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+
+    let first = Fleetd::start(
+        registry,
+        FleetdConfig::default().quick().state_dir(dir.clone()),
+    )
+    .expect("service starts");
+    let unique = ingest_all(&first, &discovered);
+    let expected = query_lines(&first);
+    let replays = first.stats().replays;
+    assert!(replays > 0);
+    assert_eq!(first.handle_line("SHUTDOWN"), "OK bye");
+    drop(first);
+
+    // The durable cache is a complete, loadable batch-format artifact.
+    let cache = SweepCache::load(&dir.join(format!("{TARGET}.sweep")))
+        .expect("persisted sweep cache loads");
+    assert!(!cache.is_empty());
+
+    // A second instance over the same state dir re-derives everything
+    // from the durable cache: results present, zero replays performed.
+    let second = Fleetd::start(
+        builtin_registry(),
+        FleetdConfig::default().quick().state_dir(dir.clone()),
+    )
+    .expect("restart loads state");
+    assert_eq!(second.handle_line("DRAIN"), "OK drained");
+    let stats = second.stats();
+    assert_eq!(stats.results, unique, "restart republishes every result");
+    assert_eq!(stats.replays, 0, "restart is warm: zero replays");
+    assert_eq!(
+        query_lines(&second),
+        expected,
+        "restart answers identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

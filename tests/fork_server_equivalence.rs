@@ -13,9 +13,10 @@
 //! same reports with fresh caches so every cell is genuinely replayed.
 
 use achilles::{AchillesSession, SessionReport, TargetSpec};
+use achilles_replay::{session_from_report, ForkServer};
 use achilles_sweep::{
-    schedule_token, sweep_report, CampaignConfig, ScheduleClass, SessionSweep, SweepCache,
-    SweepConfig,
+    schedule_token, sweep_report, sweep_witness_on, CampaignConfig, ScheduleClass, SchedulePlanner,
+    SessionSweep, SweepCache, SweepConfig,
 };
 use achilles_targets::builtin_registry;
 
@@ -136,5 +137,75 @@ fn fork_server_is_bit_identical_to_cold_boot_for_every_session_spec() {
     assert!(
         session_specs >= 2,
         "fsp and twopc both declare sessions (found {session_specs})"
+    );
+}
+
+/// A *persistent* fork-server (fleetd's executor mode) keeps one live
+/// session across witnesses, restoring the boot snapshot between them.
+/// Restore-to-boot must be indistinguishable from a fresh boot: sweeping
+/// every witness of a report through one shared server must produce the
+/// matrices detached per-witness servers produce, while booting the
+/// deployment only once.
+#[test]
+fn persistent_fork_server_reuse_across_witnesses_is_bit_identical() {
+    let registry = builtin_registry();
+    let mut reused = 0usize;
+    for spec in registry.iter() {
+        for report in AchillesSession::new(&**spec).run_sessions() {
+            if report.trojans.len() < 2 {
+                continue;
+            }
+            let target = spec.session_replay_target(&report.session);
+            if target.boot_fork().is_none() {
+                continue;
+            }
+            reused += 1;
+            let scope = format!("{}/{}", spec.name(), report.session);
+            let planner = SchedulePlanner::new(SweepConfig::quick());
+            let witnesses: Vec<_> = report
+                .trojans
+                .iter()
+                .enumerate()
+                .map(|(i, trojan)| {
+                    session_from_report(&report.layouts, i, trojan)
+                        .expect("session layouts are wire-encodable")
+                })
+                .collect();
+
+            let mut shared = ForkServer::new(&*target);
+            let mut shared_cache = SweepCache::new();
+            let mut shared_matrices = Vec::new();
+            for witness in &witnesses {
+                let (matrix, _) =
+                    sweep_witness_on(&mut shared, &scope, witness, &planner, &mut shared_cache);
+                shared_matrices.push(matrix.to_text());
+            }
+            assert_eq!(
+                shared.lifetime_stats().boots,
+                1,
+                "{scope}: one boot serves every witness"
+            );
+            assert!(shared.lifetime_stats().snapshot_restores > 0);
+
+            for (witness, shared_text) in witnesses.iter().zip(&shared_matrices) {
+                let mut detached = ForkServer::detached(&*target, 1, true);
+                let (matrix, _) = sweep_witness_on(
+                    &mut detached,
+                    &scope,
+                    witness,
+                    &planner,
+                    &mut SweepCache::new(),
+                );
+                assert_eq!(
+                    &matrix.to_text(),
+                    shared_text,
+                    "{scope}: restore-to-boot must equal fresh boot"
+                );
+            }
+        }
+    }
+    assert!(
+        reused > 0,
+        "at least one snapshot-capable session spec has multiple witnesses"
     );
 }

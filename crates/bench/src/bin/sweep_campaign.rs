@@ -5,9 +5,11 @@
 //! [`TargetSpec`](achilles::TargetSpec) that declares sessions (or one
 //! selected with `--target NAME`), discovers its session Trojans, replays
 //! each witness under the planner's whole bounded schedule space, and
-//! prints the per-session sensitivity totals (Armed / Disarmed / Masked /
-//! NewSignature). There is no per-protocol code path: a new protocol
-//! crate that declares a session gets a sweep row automatically.
+//! prints the per-session sensitivity totals (Armed / Diverged /
+//! Disarmed / Masked / NewSignature — Diverged being the armed class of
+//! multi-node targets whose detonation is a silent root split). There is
+//! no per-protocol code path: a new protocol crate that declares a
+//! session gets a sweep row automatically.
 //!
 //! ```text
 //! cargo run --release -p achilles-bench --bin sweep_campaign -- --json
@@ -237,9 +239,9 @@ fn main() {
                 sweep.session
             );
             assert!(
-                sweep.discovered == 0 || (sweep.armed >= 1 && sweep.disarmed >= 1),
+                sweep.discovered == 0 || (sweep.armed + sweep.diverged >= 1 && sweep.disarmed >= 1),
                 "{name}/{}: a session Trojan's sensitivity matrix must name \
-                 at least one arming and one disarming schedule",
+                 at least one arming (or diverging) and one disarming schedule",
                 sweep.session
             );
             assert_eq!(
@@ -253,12 +255,13 @@ fn main() {
                 row(
                     &format!("{name}/{}", sweep.session),
                     format!(
-                        "{} Trojans, {} cells: {} armed, {} disarmed, {} masked, \
-                         {} new-signature; {} replayed, {} cached, {} warm hits \
-                         ({:.3}s)",
+                        "{} Trojans, {} cells: {} armed, {} diverged, {} disarmed, \
+                         {} masked, {} new-signature; {} replayed, {} cached, \
+                         {} warm hits ({:.3}s)",
                         sweep.discovered,
                         sweep.cells,
                         sweep.armed,
+                        sweep.diverged,
                         sweep.disarmed,
                         sweep.masked,
                         sweep.new_signature,
@@ -373,7 +376,8 @@ fn main() {
             json.push_str(&format!(
                 "    {{\"system\": \"{}\", \"session\": \"{}\", \"discovered\": {}, \
                  \"confirmed_fault_free\": {}, \"cells\": {}, \"armed\": {}, \
-                 \"disarmed\": {}, \"masked\": {}, \"new_signature\": {}, \
+                 \"diverged\": {}, \"disarmed\": {}, \"masked\": {}, \
+                 \"new_signature\": {}, \
                  \"replayed\": {}, \"cache_hits\": {}, \"warm_replayed\": {}, \
                  \"warm_cache_hits\": {}, \"workers\": {}, \
                  \"workers_effective\": {}, \"wall_s\": {:.4}, \
@@ -387,6 +391,7 @@ fn main() {
                 s.confirmed_fault_free,
                 s.cells,
                 s.armed,
+                s.diverged,
                 s.disarmed,
                 s.masked,
                 s.new_signature,

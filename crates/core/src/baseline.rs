@@ -17,7 +17,7 @@ use achilles_symvm::{Executor, ExploreConfig, ExploreStats, NodeProgram, SymMess
 
 use crate::predicate::FieldMask;
 use crate::report::TrojanReport;
-use crate::search::PreparedClient;
+use crate::search::{canonical_witness_fields, PreparedClient};
 
 /// One concrete message produced by classic symbolic execution.
 #[derive(Clone, Debug)]
@@ -186,7 +186,13 @@ pub fn a_posteriori_diff(
                 let mut query = path.constraints.clone();
                 query.extend_from_slice(&negations);
                 match solver.check(pool, &query) {
-                    SatResult::Sat(model) => Some(prepared.server_msg.concretize(pool, &model)),
+                    SatResult::Sat(model) => Some(canonical_witness_fields(
+                        pool,
+                        solver,
+                        &query,
+                        prepared.server_msg.values(),
+                        &model,
+                    )),
                     SatResult::Unsat | SatResult::Unknown => None,
                 }
             })
@@ -201,9 +207,13 @@ pub fn a_posteriori_diff(
                     let mut query = path.constraints.clone();
                     query.extend_from_slice(&negations);
                     match wsolver.check(wpool, &query) {
-                        SatResult::Sat(model) => {
-                            Some(prepared.server_msg.concretize(wpool, &model))
-                        }
+                        SatResult::Sat(model) => Some(canonical_witness_fields(
+                            wpool,
+                            wsolver,
+                            &query,
+                            prepared.server_msg.values(),
+                            &model,
+                        )),
                         SatResult::Unsat | SatResult::Unknown => None,
                     }
                 },

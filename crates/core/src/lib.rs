@@ -228,8 +228,33 @@
 //!    Embed it in-process (`Fleetd::start` + `handle_line`) or run the
 //!    `achilles-fleetd` binary for localhost-TCP / unix-socket
 //!    transports; `--state DIR` persists the witness corpora and sweep
-//!    cells in the existing v2-corpus / sweep-cache formats, so a restart
-//!    re-derives every result without a single replay.
+//!    cells in the versioned corpus / sweep-cache text formats, so a
+//!    restart re-derives every result without a single replay.
+//! 9. **Expose a state root** (optional — for multi-node targets). A
+//!    crash or a wedge is a *single-process* symptom; a sharded executor
+//!    detonates as *silent state divergence* — every node keeps running
+//!    and two replicas produce different canonical state hashes. Give
+//!    each modeled node a canonical digest (build it with
+//!    [`RootHasher`](diverge::RootHasher)), embed a
+//!    [`DivergenceProbe`](diverge::DivergenceProbe) in the fork session's
+//!    snapshot payload, call
+//!    [`observe`](diverge::DivergenceProbe::observe) after every applied
+//!    delivery, and fold [`finish`](diverge::DivergenceProbe::finish)
+//!    into the outcome's effects; override
+//!    [`ReplayTarget::reports_state_roots`] and
+//!    [`SnapshotReplayTarget::state_roots`] so drivers can see the roots
+//!    directly. Divergence then flows through the ordinary signature
+//!    path: the sweep classifier reports schedules that reproduce the
+//!    baseline's split as `Diverged`, session ddmin can minimize to the
+//!    field set that still splits the roots
+//!    (`achilles_replay::minimize_session_divergence`), and the
+//!    conformance suite holds every root-reporting session target to the
+//!    divergence contract (benign traffic agrees, ≥ 1 schedule
+//!    diverges, dropping the arming slot restores agreement).
+//!    `crates/shardexec` — three shards exchanging cross-shard
+//!    state-write messages whose sender-id field is unauthenticated — is
+//!    the shipped reference; `examples/quickstart.rs` walks a two-node
+//!    inline version.
 //!
 //! ## Crate map
 //!
@@ -304,6 +329,7 @@
 
 pub mod baseline;
 pub mod diff_matrix;
+pub mod diverge;
 pub mod export;
 pub mod negate;
 pub mod pipeline;
@@ -319,6 +345,9 @@ pub use baseline::{
     a_posteriori_diff, classic_symex, APosterioriResult, CandidateMessage, ClassicSymexResult,
 };
 pub use diff_matrix::DiffMatrix;
+pub use diverge::{
+    effects_diverged, roots_agree, DivergenceProbe, DivergenceSignature, RootHasher, StateRoot,
+};
 pub use export::{
     parse_session_witness_record, parse_witness_record, report_to_markdown, session_witness_record,
     split_fields_by_counts, trojans_to_markdown, witness_record,
@@ -331,8 +360,9 @@ pub use predicate::{
 pub use refine::{refine_witness, Refinement};
 pub use report::TrojanReport;
 pub use search::{
-    prepare_client, prepare_client_workers, run_trojan_search, MatchSample, Optimizations,
-    PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome, WorkerSummary,
+    canonical_witness_fields, prepare_client, prepare_client_workers, run_trojan_search,
+    MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome,
+    WorkerSummary,
 };
 pub use sequence::{analyze_sequence, analyze_sequence_with, SequenceObserver};
 pub use session::{AchillesSession, SessionReport, TargetRegistry};

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use achilles_solver::{SatResult, Solver, TermId, TermPool, VarId};
+use achilles_solver::{Model, SatResult, Solver, TermId, TermPool, VarId};
 use achilles_symvm::{
     Executor, ExploreConfig, ExploreStats, NodeProgram, ObserverCx, PathObserver, PathRecord,
     SymMessage, Verdict,
@@ -419,7 +419,13 @@ impl<'p> TrojanObserver<'p> {
                 SatResult::Sat(m) => m,
                 SatResult::Unsat | SatResult::Unknown => return None,
             };
-            let fields = self.prepared.server_msg.concretize(cx.pool, &model);
+            let fields = canonical_witness_fields(
+                cx.pool,
+                cx.solver,
+                &query,
+                self.prepared.server_msg.values(),
+                &model,
+            );
             let verified = !self.verify_witnesses || self.verify(cx, &fields);
             if verified || !self.verify_witnesses {
                 return Some(TrojanReport {
@@ -516,6 +522,61 @@ pub struct TrojanSearchOutcome {
     pub server_paths: usize,
     /// Per-worker breakdown (one entry for sequential runs).
     pub workers: Vec<WorkerSummary>,
+}
+
+/// Canonicalizes a satisfiable witness query to its **lexicographically
+/// least** model over `exprs`, in order: each expression is driven to its
+/// minimal achievable value (binary search on `expr ≤ mid`) with every
+/// earlier expression pinned to its minimum.
+///
+/// The returned values are a pure function of the query's constraint
+/// *set*. A raw `check()` model is not: the solver's clause-split order
+/// follows term-id order, and term ids differ between the base pool and a
+/// parallel worker's fork — with several negation clauses in the query
+/// (multi-client targets like shardexec), sequential and parallel runs
+/// would concretize different-but-equally-valid witnesses. Canonicalizing
+/// here is what keeps discovery witness-identical for every worker count.
+///
+/// `model` must satisfy `query`; it seeds the upper bounds.
+pub fn canonical_witness_fields(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    query: &[TermId],
+    exprs: &[TermId],
+    model: &Model,
+) -> Vec<u64> {
+    let mut pinned = query.to_vec();
+    let mut current: Option<Arc<Model>> = None; // latest model satisfying `pinned`
+    let mut fields = Vec::with_capacity(exprs.len());
+    for &expr in exprs {
+        let bound_model = current.as_deref().unwrap_or(model);
+        let mut hi = bound_model.eval(pool, expr).unwrap_or(0);
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let w = pool.width(expr);
+            let c = pool.constant(mid, w);
+            let le = pool.ule(expr, c);
+            pinned.push(le);
+            let result = solver.check(pool, &pinned);
+            pinned.pop();
+            match result {
+                SatResult::Sat(m) => {
+                    hi = m.eval(pool, expr).unwrap_or(mid);
+                    current = Some(m);
+                }
+                // Unknown is deterministic per assertion set: treating it
+                // as "not provably achievable" keeps the result canonical.
+                SatResult::Unsat | SatResult::Unknown => lo = mid + 1,
+            }
+        }
+        let w = pool.width(expr);
+        let c = pool.constant(lo, w);
+        let eq = pool.eq(expr, c);
+        pinned.push(eq);
+        fields.push(lo);
+    }
+    fields
 }
 
 /// Tag-family salt for the server phase's symbolic inputs (see

@@ -22,7 +22,7 @@ use achilles_symvm::{
 
 use crate::predicate::combine;
 use crate::report::TrojanReport;
-use crate::search::{Optimizations, PreparedClient};
+use crate::search::{canonical_witness_fields, Optimizations, PreparedClient};
 
 /// Tag-family salt for the session server's symbolic inputs (see
 /// [`ExploreConfig::sym_salt`]); distinct from both the client default (`0`)
@@ -204,11 +204,15 @@ impl PathObserver for SequenceObserver<'_> {
             }
         }
         if let SatResult::Sat(model) = cx.solver.check(cx.pool, &query) {
-            // Concretize the whole session (all received messages).
-            let mut fields = Vec::new();
-            for msg in record.received.iter() {
-                fields.extend(msg.concretize(cx.pool, &model));
-            }
+            // Concretize the whole session (all received messages) to the
+            // canonical least witness — worker-count invariant even when
+            // several negation clauses leave the model underdetermined.
+            let exprs: Vec<_> = record
+                .received
+                .iter()
+                .flat_map(|msg| msg.values().iter().copied())
+                .collect();
+            let fields = canonical_witness_fields(cx.pool, cx.solver, &query, &exprs, &model);
             self.reports.push(TrojanReport {
                 server_path_id: record.id,
                 constraints: record.constraints.clone(),

@@ -32,6 +32,7 @@ pub use achilles_netsim::bytes::WireError;
 use achilles_netsim::bytes::{decode_fields, encode_fields};
 use achilles_symvm::{MessageLayout, NodeProgram};
 
+use crate::diverge::StateRoot;
 use crate::pipeline::AchillesConfig;
 use crate::predicate::FieldMask;
 use crate::report::TrojanReport;
@@ -160,6 +161,19 @@ pub trait ReplayTarget: Sync {
     fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
         None
     }
+
+    /// Whether this deployment observes per-node state roots and reports
+    /// divergence through its effects (see [`crate::diverge`]).
+    ///
+    /// Multi-node targets that embed a
+    /// [`DivergenceProbe`](crate::diverge::DivergenceProbe) return `true`;
+    /// the conformance suite then holds them to the divergence contract
+    /// (fault-free benign agreement, ≥ 1 diverging schedule, and
+    /// drop-the-arming-slot restores agreement). Single-node targets keep
+    /// the default.
+    fn reports_state_roots(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +271,17 @@ pub trait SnapshotReplayTarget {
     /// delivering everything). May consume the session state; callers
     /// restore a snapshot before delivering again.
     fn finish(&mut self, outcome: &mut InjectionOutcome);
+
+    /// The current per-node state roots, for deployments that observe
+    /// them (`None` — the default — for single-node targets).
+    ///
+    /// The roots must be a pure function of the deliveries applied since
+    /// boot, and snapshot/restore must rewind them with the rest of the
+    /// engine state — the probe and the digests belong in the
+    /// [`TargetSnapshot`] payload.
+    fn state_roots(&self) -> Option<Vec<StateRoot>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------

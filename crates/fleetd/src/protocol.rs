@@ -254,6 +254,14 @@ mod tests {
                 class: None,
             })
         );
+        assert_eq!(
+            parse_request("QUERY shardexec * diverged"),
+            Ok(Request::Query {
+                target: "shardexec".to_string(),
+                witness: None,
+                class: Some(ScheduleClass::Diverged),
+            })
+        );
         assert!(parse_request("").is_err());
         assert!(
             parse_request("INGEST gossip 1,2").is_err(),

@@ -8,12 +8,19 @@
 //! (a) skip re-validating byte-identical witnesses and (b) tell genuinely
 //! *new* bug classes from fresh witnesses of known ones.
 //!
-//! The **v2** format adds session witnesses: an entry's field record may
+//! The **v2** format added session witnesses: an entry's field record may
 //! carry several slots separated by `/` (one wire message per slot), and
-//! its signature may carry the `@s<N>` session marker. A v1 file fails the
-//! header check and loads as an empty corpus — by design, since v1 entries
-//! cannot express slot boundaries (this is also what keys the CI corpus
-//! cache: a format bump invalidates it).
+//! its signature may carry the `@s<N>` session marker. The **v3** bump
+//! accompanies divergence-aware triage: effect vocabularies now include
+//! the `diverge:*` / `root:agree:*` markers multi-node targets emit, so
+//! pre-divergence corpora must be re-derived rather than quietly answer
+//! for cells they never observed. A file with a stale or foreign header is
+//! **rejected** with a line-1 [`CorpusParseError`] naming the expected
+//! version — earlier releases loaded it as an empty corpus, which silently
+//! discarded the store and re-validated everything without telling anyone.
+//! Only a genuinely absent (or zero-byte) file loads empty; the CI corpus
+//! cache is keyed on the version string, so a bump misses the cache and
+//! starts from the empty-file path, never the error path.
 //!
 //! Within a well-versioned file, malformed entries are **hard errors**
 //! with a line number ([`CorpusParseError`]), not silent skips: a corpus
@@ -29,8 +36,11 @@ use achilles::export::{parse_session_witness_record, session_witness_record, wit
 
 use crate::signature::CrashSignature;
 
-/// File-format version tag (first line of every corpus file).
-const HEADER: &str = "# achilles-replay corpus v2";
+/// File-format version tag (first line of every corpus file). The `v3`
+/// bump marks the divergence-aware effect vocabulary (`diverge:*` /
+/// `root:agree:*`): older corpora predate multi-node root observation and
+/// must be re-derived, not trusted.
+const HEADER: &str = "# achilles-replay corpus v3";
 
 /// A malformed corpus entry, with the 1-based line it sits on.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -228,23 +238,37 @@ impl ReplayCorpus {
 
     /// Parses the [`ReplayCorpus::to_text`] form.
     ///
-    /// A missing or wrong header yields an empty corpus — that is the
-    /// format-version gate, and a stale format is not an error. Within a
-    /// well-versioned file, a malformed entry *is* one: re-validation
-    /// trusts the corpus to decide which witnesses to skip, so a record
-    /// that silently vanished would corrupt that decision.
+    /// Empty text is an empty corpus (a freshly-created file). Anything
+    /// else must lead with the current version header: a stale or foreign
+    /// header is a **line-1 hard error naming the expected version**, so
+    /// an operator pointing a run at a pre-bump corpus learns the store
+    /// needs re-deriving instead of watching it silently load as empty.
+    /// Within a well-versioned file, a malformed entry is equally hard:
+    /// re-validation trusts the corpus to decide which witnesses to skip,
+    /// so a record that silently vanished would corrupt that decision.
     ///
     /// # Errors
     ///
     /// Returns a [`CorpusParseError`] naming the first malformed line
-    /// (1-based) — an unparsable signature, a truncated or non-numeric
-    /// `/`-separated per-slot record, an empty slot, or a malformed
-    /// essential-field list.
+    /// (1-based) — a missing or outdated version header, an unparsable
+    /// signature, a truncated or non-numeric `/`-separated per-slot
+    /// record, an empty slot, or a malformed essential-field list.
     pub fn from_text(text: &str) -> Result<ReplayCorpus, CorpusParseError> {
         let mut corpus = ReplayCorpus::new();
         let mut lines = text.lines().enumerate();
-        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
-            return Ok(corpus);
+        match lines.next() {
+            None => return Ok(corpus),
+            Some((_, first)) if first.trim() == HEADER => {}
+            Some((_, first)) => {
+                return Err(CorpusParseError {
+                    line: 1,
+                    reason: format!(
+                        "unsupported corpus header {:?} (expected {HEADER:?}; \
+                         older formats must be re-derived)",
+                        first.trim()
+                    ),
+                });
+            }
         }
         for (index, line) in lines {
             let lineno = index + 1;
@@ -404,15 +428,67 @@ mod tests {
         let bad_essential = format!("{HEADER}\nfsp/confirmed/a|1,2|0,x\n");
         let err = ReplayCorpus::from_text(&bad_essential).unwrap_err();
         assert!(err.reason.contains("essential"), "{err}");
+    }
 
-        // Missing or stale headers stay a version gate, not an error.
-        assert_eq!(ReplayCorpus::from_text("no header").unwrap().len(), 0);
-        assert_eq!(
-            ReplayCorpus::from_text("# achilles-replay corpus v1\nfsp/confirmed/a|1,2|\n")
-                .unwrap()
-                .len(),
-            0
+    #[test]
+    fn stale_headers_are_line_one_errors_naming_the_expected_version() {
+        // Regression: pre-v3 loaders treated a stale header as "load as
+        // empty", so pointing a run at an old corpus silently discarded
+        // the whole store and re-validated everything.
+        for stale in [
+            "no header",
+            "# achilles-replay corpus v1\nfsp/confirmed/a|1,2|\n",
+            "# achilles-replay corpus v2\nfsp/confirmed/a|1,2|\n",
+        ] {
+            let err = ReplayCorpus::from_text(stale).expect_err("stale header must error");
+            assert_eq!(err.line, 1, "{stale:?}");
+            assert!(
+                err.reason.contains("v3"),
+                "names the expected version: {err}"
+            );
+        }
+        // A zero-byte file (just created, never written) is still empty —
+        // the missing-file path and the fresh-file path agree.
+        assert_eq!(ReplayCorpus::from_text("").unwrap().len(), 0);
+
+        // And the file loader surfaces the stale header as InvalidData,
+        // while a genuinely absent file stays an empty corpus.
+        let dir = std::env::temp_dir().join("achilles-corpus-header-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.corpus");
+        std::fs::write(&path, "# achilles-replay corpus v2\n").unwrap();
+        let err = ReplayCorpus::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(ReplayCorpus::load(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergence_entries_round_trip() {
+        // A v3 corpus persists the divergence effect vocabulary intact:
+        // the parsed-back signature still reports the same split.
+        let sig = CrashSignature::for_session(
+            "shardexec",
+            ReplayVerdict::ConfirmedTrojan,
+            4,
+            vec![
+                "diverge:at:0".into(),
+                "diverge:root:shard0:0000000000000011".into(),
+                "diverge:root:shard1:0000000000000022".into(),
+                "family:sender-spoof".into(),
+                "trojan-slot:0".into(),
+            ],
         );
+        let slots = vec![vec![1, 0, 1, 1], vec![2, 0, 1], vec![3, 1]];
+        let mut corpus = ReplayCorpus::new();
+        assert!(corpus.insert(CorpusEntry::session(sig.clone(), &slots, &[(0, 1)])));
+        let back = ReplayCorpus::from_text(&corpus.to_text()).unwrap();
+        assert_eq!(back.entries(), corpus.entries());
+        assert!(back.knows_signature(&sig));
+        let div = back.entries()[0].signature.divergence().unwrap();
+        assert_eq!(div.first_split, 0);
+        assert_eq!(div.split_sets(), vec![vec!["shard0"], vec!["shard1"]]);
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub mod witness;
 
 pub use corpus::{CorpusEntry, CorpusParseError, ReplayCorpus};
 pub use fork::{replay_session_forked, ForkServer, ForkStats};
-pub use minimize::{minimize, minimize_session, MinimizedSessionWitness, MinimizedWitness};
+pub use minimize::{
+    minimize, minimize_session, minimize_session_divergence, MinimizedSessionWitness,
+    MinimizedWitness,
+};
 pub use signature::CrashSignature;
 pub use target::{
     classify_session, plan_session, replay, replay_session, Delivery, DeliveryFault, FaultPlan,

@@ -11,6 +11,14 @@
 //! look at to understand the bug (for the FSP length-mismatch family,
 //! `bb_len` and the NUL position; for PBFT, the corrupted authenticator;
 //! everything else resets to benign values).
+//!
+//! Divergence Trojans get their own oracle: [`minimize_session_divergence`]
+//! preserves the *split structure* (same nodes, same delivery index, via
+//! [`DivergenceSignature::same_split`]) instead of the exact signature,
+//! because resetting an incidental field changes the concrete state and so
+//! every root digest — exact-signature ddmin could never shed anything.
+
+use achilles::DivergenceSignature;
 
 use crate::signature::CrashSignature;
 use crate::target::{replay, replay_session, FaultPlan, FaultSchedule, ReplayTarget};
@@ -257,6 +265,70 @@ pub fn minimize_session(
         essential: delta,
         original_delta,
         signature: signature.clone(),
+        replays,
+    }
+}
+
+/// Minimizes a session witness to the smallest `(slot, field)` set that
+/// still *splits the same nodes at the same delivery index* — ddmin with
+/// [`DivergenceSignature::same_split`] as the preservation oracle instead
+/// of exact signature equality.
+///
+/// Exact-signature ddmin is too strict for divergence Trojans: resetting
+/// an incidental field (say, the written value) changes the concrete state
+/// and with it every root *digest*, so no field could ever be shed even
+/// though the split structure — which replicas disagree, and when — is the
+/// bug. `divergence` must be the parsed divergence of replaying `witness`
+/// under `schedule` (normally
+/// [`CrashSignature::divergence`](crate::CrashSignature::divergence) of a
+/// [`SessionReplayResult`](crate::target::SessionReplayResult) signature);
+/// the returned witness is guaranteed to reproduce that split, and the
+/// recorded `signature` is the minimized witness's own (its digests may
+/// legitimately differ from the original's).
+pub fn minimize_session_divergence(
+    target: &dyn ReplayTarget,
+    witness: &SessionWitness,
+    schedule: &FaultSchedule,
+    divergence: &DivergenceSignature,
+) -> MinimizedSessionWitness {
+    let baselines: Vec<Vec<u64>> = (0..witness.slots())
+        .map(|s| target.slot_benign_fields(s))
+        .collect();
+    for (slot, (b, w)) in baselines.iter().zip(&witness.fields).enumerate() {
+        assert_eq!(b.len(), w.len(), "slot {slot} baseline arity matches");
+    }
+    let original_delta: Vec<(usize, usize)> = witness
+        .fields
+        .iter()
+        .enumerate()
+        .flat_map(|(slot, fields)| {
+            let baseline = &baselines[slot];
+            fields
+                .iter()
+                .enumerate()
+                .filter(move |&(i, &v)| v != baseline[i])
+                .map(move |(i, _)| (slot, i))
+        })
+        .collect();
+    let mut replays = 0usize;
+
+    let delta = ddmin(&original_delta, |kept| {
+        replays += 1;
+        let candidate = project_session(target, witness, &baselines, kept);
+        replay_session(target, &candidate, schedule)
+            .signature
+            .divergence()
+            .is_some_and(|d| d.same_split(divergence))
+    });
+
+    let minimized = project_session(target, witness, &baselines, &delta);
+    replays += 1;
+    let signature = replay_session(target, &minimized, schedule).signature;
+    MinimizedSessionWitness {
+        witness: minimized,
+        essential: delta,
+        original_delta,
+        signature,
         replays,
     }
 }

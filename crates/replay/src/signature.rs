@@ -75,6 +75,21 @@ impl CrashSignature {
         format!("{}/{}/{}", self.system, verdict, self.effects.join(";"))
     }
 
+    /// Whether the effects carry a final-state divergence marker
+    /// (`diverge:at:<idx>`) — the multi-node silent-split failure family
+    /// a [`DivergenceProbe`](achilles::DivergenceProbe) folds into the
+    /// effect stream.
+    pub fn diverged(&self) -> bool {
+        achilles::effects_diverged(self.effects.iter().map(String::as_str))
+    }
+
+    /// The parsed [`DivergenceSignature`](achilles::DivergenceSignature),
+    /// if the effects carry one — which nodes split, at which delivery
+    /// index, with which final root digests.
+    pub fn divergence(&self) -> Option<achilles::DivergenceSignature> {
+        achilles::DivergenceSignature::from_effects(self.effects.iter().map(String::as_str))
+    }
+
     /// Parses the [`CrashSignature::to_line`] form (a verdict without the
     /// `@s<N>` marker is a single-message signature).
     pub fn from_line(line: &str) -> Option<CrashSignature> {
@@ -162,6 +177,41 @@ mod tests {
             vec!["family:forged-login".into(), "trojan-slot:0".into()],
         );
         assert_ne!(session, single, "slot count is part of the identity");
+    }
+
+    #[test]
+    fn divergence_markers_are_recovered_from_effects() {
+        let sig = CrashSignature::for_session(
+            "shardexec",
+            ReplayVerdict::ConfirmedTrojan,
+            4,
+            vec![
+                "diverge:at:0".into(),
+                "diverge:root:shard0:00000000000000aa".into(),
+                "diverge:root:shard1:00000000000000aa".into(),
+                "diverge:root:shard2:00000000000000bb".into(),
+                "family:sender-spoof".into(),
+            ],
+        );
+        assert!(sig.diverged());
+        let div = sig.divergence().expect("divergence parses back out");
+        assert_eq!(div.first_split, 0);
+        assert_eq!(
+            div.split_sets(),
+            vec![vec!["shard0", "shard1"], vec!["shard2"]]
+        );
+        // The divergence survives the text round trip byte-exactly.
+        let back = CrashSignature::from_line(&sig.to_line()).unwrap();
+        assert_eq!(back.divergence(), sig.divergence());
+
+        let agreed = CrashSignature::for_session(
+            "shardexec",
+            ReplayVerdict::ConfirmedTrojan,
+            4,
+            vec!["root:agree:00000000000000aa".into()],
+        );
+        assert!(!agreed.diverged());
+        assert_eq!(agreed.divergence(), None);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The concrete sharded executor: three replicating shards whose
+//! broadcast fabric trusts the `sender` field it is handed.
+//!
+//! The cluster mirrors the Trojan shape of the cross-shard audits in
+//! SNIPPETS.md: state-write messages are applied with no sender
+//! authentication, routed on a peer-controlled kind byte. The fabric's
+//! delivery rule is echo suppression — a broadcast is applied by every
+//! shard *except* the one named in `sender`, because a shard that
+//! originated a write already applied it locally before broadcasting.
+//! For an authentic write (`sender == owner(key)`) the engine models
+//! that origination too, so all three shards converge. For a *forged*
+//! sender there was no origination: the named shard silently keeps its
+//! old value while the other two commit the write, and the cluster
+//! splits without any process crashing — the divergence-triage subsystem
+//! ([`achilles::diverge`]) exists to catch exactly this.
+
+use achilles::{RootHasher, StateRoot};
+
+use crate::protocol::{MAX_VALUE, N_KEYS, N_SHARDS};
+
+/// Cluster configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardexecConfig {
+    /// Patch for the sender-identity bug: reject writes whose `sender`
+    /// does not own the written key, before they reach the fabric.
+    pub authenticate_sender: bool,
+}
+
+/// What resolving a key across the shards produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadResolution {
+    /// Every shard holds the same value.
+    Agree(u16),
+    /// The replicas disagree — the silent split is now client-visible.
+    Split,
+}
+
+/// A deterministic three-shard cluster replicating [`N_KEYS`] values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardCluster {
+    config: ShardexecConfig,
+    /// `stores[shard][key]`; zero means "absent".
+    stores: Vec<Vec<u16>>,
+}
+
+impl ShardCluster {
+    /// A fresh cluster with every key absent on every shard.
+    pub fn new(config: ShardexecConfig) -> ShardCluster {
+        ShardCluster {
+            config,
+            stores: vec![vec![0; N_KEYS as usize]; N_SHARDS as usize],
+        }
+    }
+
+    /// The value `shard` holds for `key`.
+    pub fn value(&self, shard: u8, key: u8) -> u16 {
+        self.stores[shard as usize][key as usize]
+    }
+
+    /// Whether every shard holds the same value for `key`.
+    pub fn key_agrees(&self, key: u8) -> bool {
+        self.stores
+            .windows(2)
+            .all(|w| w[0][key as usize] == w[1][key as usize])
+    }
+
+    /// Handles one inbound `WRITE` broadcast; returns whether the fabric
+    /// accepted (validated and routed) it.
+    ///
+    /// Every shard except `sender` applies the write (echo suppression).
+    /// When the write is authentic (`sender == owner(key) == key`) the
+    /// engine also models the origination — the local apply shard
+    /// `sender` performed before broadcasting — so correct traffic keeps
+    /// the replicas converged. A forged sender has no origination to
+    /// model: the named shard is left behind, and the cluster diverges.
+    pub fn on_write(&mut self, sender: u8, key: u8, value: u16) -> bool {
+        if u64::from(sender) >= N_SHARDS
+            || u64::from(key) >= N_KEYS
+            || value == 0
+            || u64::from(value) >= MAX_VALUE
+        {
+            return false;
+        }
+        if self.config.authenticate_sender && sender != key {
+            return false;
+        }
+        // Security vulnerability (unpatched build): the sender field is
+        // trusted for echo suppression without authentication — a forged
+        // sender silently splits the replicas.
+        for shard in 0..N_SHARDS as u8 {
+            if shard != sender || sender == key {
+                self.stores[shard as usize][key as usize] = value;
+            }
+        }
+        true
+    }
+
+    /// Handles one inbound `SYNC` round: compares `key` across the
+    /// shards (effect-level observation only — the round repairs
+    /// nothing in this bounded model). Returns whether the fabric
+    /// accepted the request.
+    pub fn on_sync(&mut self, sender: u8, key: u8) -> bool {
+        u64::from(sender) < N_SHARDS && u64::from(key) < N_KEYS
+    }
+
+    /// Handles one inbound `READ`: resolves `key` across the shards.
+    pub fn on_read(&mut self, key: u8) -> bool {
+        u64::from(key) < N_KEYS
+    }
+
+    /// Resolves `key` across the shards without mutating state.
+    pub fn resolve(&self, key: u8) -> ReadResolution {
+        if self.key_agrees(key) {
+            ReadResolution::Agree(self.value(0, key))
+        } else {
+            ReadResolution::Split
+        }
+    }
+
+    /// The canonical per-shard state roots, in shard order.
+    pub fn roots(&self) -> Vec<StateRoot> {
+        self.stores
+            .iter()
+            .enumerate()
+            .map(|(shard, store)| {
+                let mut hasher = RootHasher::new();
+                for &value in store {
+                    hasher.write_u64(u64::from(value));
+                }
+                StateRoot::new(format!("shard{shard}"), hasher.finish())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles::roots_agree;
+
+    #[test]
+    fn authentic_writes_keep_every_shard_converged() {
+        let mut c = ShardCluster::new(ShardexecConfig::default());
+        assert!(c.on_write(1, 1, 42));
+        for shard in 0..N_SHARDS as u8 {
+            assert_eq!(c.value(shard, 1), 42);
+        }
+        assert!(roots_agree(&c.roots()));
+        assert_eq!(c.resolve(1), ReadResolution::Agree(42));
+    }
+
+    #[test]
+    fn forged_sender_silently_splits_the_named_shard() {
+        let mut c = ShardCluster::new(ShardexecConfig::default());
+        assert!(c.on_write(2, 0, 7), "the fabric accepts the forged write");
+        assert_eq!(c.value(0, 0), 7);
+        assert_eq!(c.value(1, 0), 7);
+        assert_eq!(c.value(2, 0), 0, "shard2 never originated the write");
+        assert!(!roots_agree(&c.roots()), "the replicas silently split");
+        assert!(!c.key_agrees(0));
+        assert_eq!(c.resolve(0), ReadResolution::Split);
+        // No crash, no wedge: later traffic still flows everywhere.
+        assert!(c.on_write(1, 1, 9));
+        assert_eq!(c.resolve(1), ReadResolution::Agree(9));
+    }
+
+    #[test]
+    fn patched_build_rejects_unauthenticated_senders() {
+        let mut c = ShardCluster::new(ShardexecConfig {
+            authenticate_sender: true,
+        });
+        assert!(!c.on_write(2, 0, 7));
+        assert!(roots_agree(&c.roots()));
+        assert!(c.on_write(0, 0, 7), "authentic writes still flow");
+        assert_eq!(c.resolve(0), ReadResolution::Agree(7));
+    }
+
+    #[test]
+    fn out_of_domain_writes_are_rejected() {
+        let mut c = ShardCluster::new(ShardexecConfig::default());
+        assert!(!c.on_write(N_SHARDS as u8, 0, 1));
+        assert!(!c.on_write(0, N_KEYS as u8, 1));
+        assert!(!c.on_write(0, 0, 0), "zero is the absent marker");
+        assert!(!c.on_write(0, 0, MAX_VALUE as u16));
+        assert!(roots_agree(&c.roots()));
+    }
+
+    #[test]
+    fn sync_and_read_validate_but_never_mutate() {
+        let mut c = ShardCluster::new(ShardexecConfig::default());
+        assert!(c.on_write(2, 1, 5));
+        let before = c.clone();
+        assert!(c.on_sync(0, 1));
+        assert!(!c.on_sync(N_SHARDS as u8, 1));
+        assert!(!c.on_sync(0, N_KEYS as u8));
+        assert!(c.on_read(1));
+        assert!(!c.on_read(N_KEYS as u8));
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn roots_are_value_sensitive() {
+        let mut a = ShardCluster::new(ShardexecConfig::default());
+        let mut b = ShardCluster::new(ShardexecConfig::default());
+        assert_eq!(a.roots(), b.roots());
+        a.on_write(0, 0, 1);
+        b.on_write(0, 0, 2);
+        assert_ne!(a.roots()[0], b.roots()[0]);
+    }
+}

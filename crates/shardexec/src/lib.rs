@@ -1,0 +1,56 @@
+//! # achilles-shardexec — a sharded executor under Achilles
+//!
+//! A three-shard replicated executor with a **sender-identity Trojan**:
+//! cross-shard state-write broadcasts carry the originating shard's id
+//! in a `sender` field, and the fabric's echo-suppression routing rule
+//! ("apply everywhere except the originator, who already applied
+//! locally") trusts that field without authentication. A forged sender
+//! is routed without incident — no crash, no rejection — but the named
+//! shard silently keeps its old value while the other two commit the
+//! write. The replicas **split**, and nothing detonates until an
+//! anti-entropy round or a client read observes the disagreement.
+//!
+//! The crate exists for two reasons:
+//!
+//! * it is the proving ground for the **divergence-triage subsystem**
+//!   (`achilles::diverge`): the Trojan here never crashes a process, so
+//!   catching it requires per-node state roots observed after every
+//!   delivery, folded into crash signatures, and surfaced as the sweep
+//!   classifier's `Diverged` class;
+//! * it is the first **multi-node** deployment in the registry — replay
+//!   targets boot a whole cluster, and the `DivergenceSignature` names
+//!   which nodes split at which delivery index.
+//!
+//! Like every other protocol, shardexec joins the registry-driven
+//! drivers through a single
+//! `registry.register(Arc::new(ShardexecSpec::default()))` call.
+//!
+//! ```
+//! use achilles::AchillesSession;
+//! use achilles_shardexec::{ShardWrite, ShardexecSpec};
+//!
+//! let spec = ShardexecSpec::default();
+//! let report = AchillesSession::new(&spec).run();
+//! assert_eq!(report.trojans.len(), 1);
+//! let write = ShardWrite::from_field_values(&report.trojans[0].witness_fields);
+//! assert_ne!(write.sender, write.key, "a forged sender identity");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod programs;
+pub mod protocol;
+pub mod target;
+
+pub use engine::{ReadResolution, ShardCluster, ShardexecConfig};
+pub use programs::{
+    IngressWriteProgram, ReadClientProgram, SessionShardProgram, ShardWriteProgram,
+    SyncRoundProgram,
+};
+pub use protocol::{
+    read_layout, sync_layout, write_layout, ShardRead, ShardSync, ShardWrite, MAX_VALUE, N_KEYS,
+    N_SHARDS, READ_KIND, SYNC_KIND, WRITE_KIND,
+};
+pub use target::{ShardexecSessionTarget, ShardexecSpec, ShardexecTarget};

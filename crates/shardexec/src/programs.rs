@@ -1,0 +1,232 @@
+//! Symbolic node programs: the per-shard write libraries, the
+//! anti-entropy and read requesters (clients), and the cluster's ingress
+//! handlers (servers).
+//!
+//! Each shard's write library broadcasts only its *own* writes: the
+//! `sender` field is the shard's constant identity and the key is the
+//! one the shard owns. The ingress validates the kind, the domains, and
+//! the value range, but **not the sender identity**: any in-range
+//! `(sender, key)` pair is routed, including pairs no shard's library
+//! can produce. Every `WRITE` with `sender != key` is therefore a Trojan
+//! — accepted by the fabric, producible by no correct shard — and the
+//! concrete cluster silently diverges on it
+//! ([`ShardCluster::on_write`](crate::ShardCluster::on_write)).
+
+use achilles_solver::Width;
+use achilles_symvm::{NodeProgram, PathResult, SymEnv, SymMessage};
+
+use crate::engine::ShardexecConfig;
+use crate::protocol::{
+    read_layout, sync_layout, write_layout, MAX_VALUE, N_KEYS, N_SHARDS, READ_KIND, SYNC_KIND,
+    WRITE_KIND,
+};
+
+/// Shard `shard`'s write library: broadcasts a committed value for the
+/// key the shard owns, under the shard's own identity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardWriteProgram {
+    /// The shard this library runs on (`sender == key == shard`).
+    pub shard: u64,
+}
+
+impl NodeProgram for ShardWriteProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // The library stamps the shard's identity and key; only the
+        // value is caller-controlled (and validated into the non-zero
+        // committed range before anything reaches the wire).
+        let kind = env.constant(WRITE_KIND, Width::W8);
+        let sender = env.constant(self.shard, Width::W8);
+        let key = env.constant(self.shard, Width::W8);
+        let value = env.sym_in_range("value", Width::W16, 1, MAX_VALUE - 1)?;
+        env.send(SymMessage::new(
+            write_layout(),
+            vec![kind, sender, key, value],
+        ));
+        Ok(())
+    }
+}
+
+/// A correct shard initiating an anti-entropy comparison round
+/// (all-to-all: any shard may probe any key).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncRoundProgram;
+
+impl NodeProgram for SyncRoundProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let kind = env.constant(SYNC_KIND, Width::W8);
+        let sender = env.sym_in_range("sender", Width::W8, 0, N_SHARDS - 1)?;
+        let key = env.sym_in_range("key", Width::W8, 0, N_KEYS - 1)?;
+        env.send(SymMessage::new(sync_layout(), vec![kind, sender, key]));
+        Ok(())
+    }
+}
+
+/// A correct client asking the cluster to resolve one key.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadClientProgram;
+
+impl NodeProgram for ReadClientProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let kind = env.constant(READ_KIND, Width::W8);
+        let key = env.sym_in_range("key", Width::W8, 0, N_KEYS - 1)?;
+        env.send(SymMessage::new(read_layout(), vec![kind, key]));
+        Ok(())
+    }
+}
+
+/// The fabric's inbound `WRITE` (ingress) handler as a node program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngressWriteProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: ShardexecConfig,
+}
+
+impl NodeProgram for IngressWriteProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        let msg = env.recv(&write_layout())?;
+        let write_kind = env.constant(WRITE_KIND, Width::W8);
+        if !env.if_eq(msg.field("kind"), write_kind)? {
+            return Ok(()); // not a write: ignored
+        }
+        let n_shards = env.constant(N_SHARDS, Width::W8);
+        if !env.if_ult(msg.field("sender"), n_shards)? {
+            return Ok(()); // unknown shard: rejected
+        }
+        let n_keys = env.constant(N_KEYS, Width::W8);
+        if !env.if_ult(msg.field("key"), n_keys)? {
+            return Ok(()); // unknown key: rejected
+        }
+        let zero = env.constant(0, Width::W16);
+        if env.if_eq(msg.field("value"), zero)? {
+            return Ok(()); // zero is the absent marker: rejected
+        }
+        let max_value = env.constant(MAX_VALUE, Width::W16);
+        if !env.if_ult(msg.field("value"), max_value)? {
+            return Ok(()); // out-of-range value: rejected
+        }
+        if self.config.authenticate_sender && !env.if_eq(msg.field("sender"), msg.field("key"))? {
+            return Ok(()); // patched build: forged sender rejected
+        }
+        // Security vulnerability (unpatched build): the sender flows
+        // unauthenticated into the echo-suppression routing — the named
+        // shard is skipped on nothing but the message's say-so.
+        env.note("apply on every shard except msg.sender (echo suppression)");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+/// The fabric's write→sync→read session handler: one activation routes a
+/// cross-shard write, runs an anti-entropy round over the written key,
+/// and resolves it for a client — the cross-message scope in which a
+/// forged sender planted at slot 0 surfaces as a split read two messages
+/// later.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionShardProgram {
+    /// Patch toggle mirrored from the concrete build.
+    pub config: ShardexecConfig,
+}
+
+impl NodeProgram for SessionShardProgram {
+    fn run(&self, env: &mut SymEnv<'_>) -> PathResult<()> {
+        // Slot 0: the write (same validation as the single-message
+        // ingress — and in the patched build only, sender
+        // authentication).
+        let write = env.recv(&write_layout())?;
+        let write_kind = env.constant(WRITE_KIND, Width::W8);
+        if !env.if_eq(write.field("kind"), write_kind)? {
+            return Ok(());
+        }
+        let n_shards = env.constant(N_SHARDS, Width::W8);
+        if !env.if_ult(write.field("sender"), n_shards)? {
+            return Ok(());
+        }
+        let n_keys = env.constant(N_KEYS, Width::W8);
+        if !env.if_ult(write.field("key"), n_keys)? {
+            return Ok(());
+        }
+        let zero = env.constant(0, Width::W16);
+        if env.if_eq(write.field("value"), zero)? {
+            return Ok(());
+        }
+        let max_value = env.constant(MAX_VALUE, Width::W16);
+        if !env.if_ult(write.field("value"), max_value)? {
+            return Ok(());
+        }
+        if self.config.authenticate_sender
+            && !env.if_eq(write.field("sender"), write.field("key"))?
+        {
+            return Ok(());
+        }
+
+        // Slot 1: the anti-entropy round, tied to the written key.
+        let sync = env.recv(&sync_layout())?;
+        let sync_kind = env.constant(SYNC_KIND, Width::W8);
+        if !env.if_eq(sync.field("kind"), sync_kind)? {
+            return Ok(());
+        }
+        if !env.if_ult(sync.field("sender"), n_shards)? {
+            return Ok(());
+        }
+        if !env.if_eq(sync.field("key"), write.field("key"))? {
+            return Ok(()); // a round for some other key: not this session
+        }
+
+        // Slot 2: the client read of the same key.
+        let read = env.recv(&read_layout())?;
+        let read_kind = env.constant(READ_KIND, Width::W8);
+        if !env.if_eq(read.field("kind"), read_kind)? {
+            return Ok(());
+        }
+        if !env.if_eq(read.field("key"), write.field("key"))? {
+            return Ok(()); // a read of some other key: not this session
+        }
+        // Security vulnerability (unpatched build): the read resolves a
+        // key whose replicas a forged sender may have silently split two
+        // messages earlier.
+        env.note("resolve(read.key) across replicas the write may have split");
+        env.mark_accept();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use achilles_solver::{Solver, TermPool};
+    use achilles_symvm::{Executor, ExploreConfig, Verdict};
+
+    #[test]
+    fn each_shard_library_has_one_validated_send_path() {
+        for shard in 0..N_SHARDS {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let result = exec.explore(&ShardWriteProgram { shard });
+            let senders: Vec<_> = result.paths.iter().filter(|p| !p.sent.is_empty()).collect();
+            assert_eq!(senders.len(), 1);
+        }
+    }
+
+    #[test]
+    fn ingress_has_one_accepting_path_per_build() {
+        for (patched, expect_depth) in [(false, 5), (true, 6)] {
+            let mut pool = TermPool::new();
+            let mut solver = Solver::new();
+            let mut exec = Executor::new(&mut pool, &mut solver, ExploreConfig::default());
+            let program = IngressWriteProgram {
+                config: ShardexecConfig {
+                    authenticate_sender: patched,
+                },
+            };
+            let result = exec.explore(&program);
+            let accepting: Vec<_> = result
+                .paths
+                .iter()
+                .filter(|p| p.verdict == Verdict::Accept)
+                .collect();
+            assert_eq!(accepting.len(), 1);
+            assert_eq!(accepting[0].decisions.len(), expect_depth);
+        }
+    }
+}

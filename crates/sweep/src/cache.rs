@@ -9,12 +9,15 @@
 //! gives validation.
 //!
 //! The text format is versioned at least as fast as the replay corpus's
-//! witness-record format (**v2** — `/`-separated per-slot records): the
-//! keys embed that record form verbatim, so a corpus format bump is a
-//! sweep-cache format bump, and the CI cache keyed on the sweep version
-//! invalidates both together. The cache may also bump alone (**v3**
-//! gated the fork-server rollout on one full re-derivation). A file with
-//! a missing or wrong header loads as an empty cache by design.
+//! witness-record format (`/`-separated per-slot records since corpus
+//! v2): the keys embed that record form verbatim, so a corpus format bump
+//! is a sweep-cache format bump, and the CI cache keyed on the sweep
+//! version invalidates both together. The cache may also bump alone
+//! (**v3** gated the fork-server rollout on one full re-derivation;
+//! **v4** rides the corpus-v3 divergence bump — cells may now carry the
+//! `diverged` class and `diverge:*` effect markers). A file with a stale
+//! or foreign header is rejected with a line-1 error naming the expected
+//! version; only an absent (or zero-byte) file loads empty.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -25,10 +28,11 @@ use achilles_replay::{CrashSignature, FaultSchedule, ReplayVerdict, SessionWitne
 use crate::matrix::{schedule_token, ScheduleClass};
 
 /// File-format version tag (first line of every sweep-cache file). The
-/// `v3` bump invalidates caches written before the fork-server era so
-/// every cell is re-derived once through the snapshot replay path (cell
-/// semantics are unchanged — the bump is a one-time revalidation gate).
-const HEADER: &str = "# achilles-sweep cache v3";
+/// `v4` bump marks divergence-aware triage: cells may carry the
+/// `diverged` class and `diverge:*` / `root:agree:*` effect markers, and
+/// pre-divergence caches classified silently-splitting baselines as
+/// plain `armed` — they must be re-derived, not reinterpreted.
+const HEADER: &str = "# achilles-sweep cache v4";
 
 /// A malformed sweep-cache cell line, with the 1-based line it sits on.
 ///
@@ -142,23 +146,38 @@ impl SweepCache {
         out
     }
 
-    /// Parses the [`SweepCache::to_text`] form. A missing or wrong header
-    /// yields an empty cache (stale format by definition, not an error);
-    /// within a well-versioned file a malformed cell line is a
-    /// [`CacheParseError`] naming the 1-based line — a results store must
-    /// not quietly shed cells.
+    /// Parses the [`SweepCache::to_text`] form. Empty text is an empty
+    /// cache (a freshly-created file); anything else must lead with the
+    /// current version header — a stale or foreign header is a line-1
+    /// [`CacheParseError`] naming the expected version, so an operator
+    /// pointing a service at a pre-bump store learns it needs re-deriving
+    /// instead of watching it silently load as empty. Within a
+    /// well-versioned file a malformed cell line is equally hard — a
+    /// results store must not quietly shed cells.
     ///
     /// # Errors
     ///
     /// Returns a [`CacheParseError`] for the first malformed line: a
-    /// truncated `key|class|verdict|signature` record, a key without the
-    /// `::` scope or `@` schedule separators, or an unparsable class /
-    /// verdict / signature.
+    /// missing or outdated version header, a truncated
+    /// `key|class|verdict|signature` record, a key without the `::` scope
+    /// or `@` schedule separators, or an unparsable class / verdict /
+    /// signature.
     pub fn from_text(text: &str) -> Result<SweepCache, CacheParseError> {
         let mut cache = SweepCache::new();
         let mut lines = text.lines().enumerate();
-        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
-            return Ok(cache);
+        match lines.next() {
+            None => return Ok(cache),
+            Some((_, first)) if first.trim() == HEADER => {}
+            Some((_, first)) => {
+                return Err(CacheParseError {
+                    line: 1,
+                    reason: format!(
+                        "unsupported cache header {:?} (expected {HEADER:?}; \
+                         older formats must be re-derived)",
+                        first.trim()
+                    ),
+                });
+            }
         }
         for (index, line) in lines {
             let lineno = index + 1;
@@ -373,16 +392,62 @@ mod tests {
     }
 
     #[test]
-    fn wrong_header_loads_as_empty_cache() {
-        // A stale or foreign format is the version gate, not an error.
-        assert!(SweepCache::from_text("no header\nx|y|z|w\n")
-            .expect("wrong header is not an error")
-            .is_empty());
-        assert!(SweepCache::from_text(
-            "# achilles-sweep cache v1\nk|armed|confirmed|g/confirmed/\n"
-        )
-        .expect("old version is not an error")
-        .is_empty());
+    fn diverged_cells_round_trip_through_text() {
+        let mut cache = SweepCache::new();
+        cache.insert(
+            "shardexec/write-sync-read",
+            &witness(),
+            &drop0(),
+            CachedCell {
+                class: ScheduleClass::Diverged,
+                verdict: ReplayVerdict::ConfirmedTrojan,
+                signature: CrashSignature::for_session(
+                    "shardexec",
+                    ReplayVerdict::ConfirmedTrojan,
+                    3,
+                    vec![
+                        "diverge:at:0".into(),
+                        "diverge:root:shard0:00000000000000aa".into(),
+                        "diverge:root:shard1:00000000000000bb".into(),
+                        "family:sender-spoof".into(),
+                    ],
+                ),
+            },
+        );
+        let text = cache.to_text();
+        assert!(text.contains("|diverged|confirmed|"), "{text}");
+        let back = SweepCache::from_text(&text).expect("diverged cells parse back");
+        let cell = back
+            .get("shardexec/write-sync-read", &witness(), &drop0())
+            .expect("cell survives the round trip");
+        assert_eq!(cell.class, ScheduleClass::Diverged);
+        assert!(cell.signature.diverged());
+        assert_eq!(
+            cell.signature.divergence().unwrap().split_sets(),
+            vec![vec!["shard0"], vec!["shard1"]]
+        );
+    }
+
+    #[test]
+    fn stale_headers_are_line_one_errors_naming_the_expected_version() {
+        // Regression: pre-v4 loaders treated a stale header as "load as
+        // empty", silently discarding the store — a long-running service
+        // would re-derive everything without telling anyone.
+        for stale in [
+            "no header\nx|y|z|w\n",
+            "# achilles-sweep cache v1\nk|armed|confirmed|g/confirmed/\n",
+            "# achilles-sweep cache v3\ns::w@none|armed|confirmed|g/confirmed/\n",
+        ] {
+            let err = SweepCache::from_text(stale).expect_err("stale header must error");
+            assert_eq!(err.line, 1, "{stale:?}");
+            assert!(
+                err.reason.contains("v4"),
+                "names the expected version: {err}"
+            );
+        }
+        // A zero-byte file stays an empty cache, matching the
+        // missing-file path of `load`.
+        assert!(SweepCache::from_text("").unwrap().is_empty());
     }
 
     #[test]

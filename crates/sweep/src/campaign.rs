@@ -139,11 +139,17 @@ pub fn sweep_witness_on(
                 witness,
                 &fault_free,
                 CachedCell {
-                    // The baseline judged against itself: armed when it
-                    // confirms (the value is never consulted for
-                    // classification — the verdict and signature are).
+                    // The baseline judged against itself: armed — or
+                    // diverged, when its own detonation is a silent
+                    // multi-node split — when it confirms (the value is
+                    // never consulted for classification — the verdict
+                    // and signature are).
                     class: if result.verdict == ReplayVerdict::ConfirmedTrojan {
-                        ScheduleClass::Armed
+                        if result.signature.diverged() {
+                            ScheduleClass::Diverged
+                        } else {
+                            ScheduleClass::Armed
+                        }
                     } else {
                         ScheduleClass::Disarmed
                     },
@@ -243,6 +249,9 @@ pub struct SessionSweep {
     pub cache_hits: usize,
     /// Cells classified [`ScheduleClass::Armed`].
     pub armed: usize,
+    /// Cells classified [`ScheduleClass::Diverged`] — armed, with the
+    /// reproduced detonation a silent multi-node root split.
+    pub diverged: usize,
     /// Cells classified [`ScheduleClass::Disarmed`].
     pub disarmed: usize,
     /// Cells classified [`ScheduleClass::Masked`].
@@ -264,6 +273,7 @@ impl SessionSweep {
     pub fn count(&self, class: ScheduleClass) -> usize {
         match class {
             ScheduleClass::Armed => self.armed,
+            ScheduleClass::Diverged => self.diverged,
             ScheduleClass::Disarmed => self.disarmed,
             ScheduleClass::Masked => self.masked,
             ScheduleClass::NewSignature => self.new_signature,
@@ -306,6 +316,7 @@ pub fn sweep_report(
         replayed: 0,
         cache_hits: 0,
         armed: 0,
+        diverged: 0,
         disarmed: 0,
         masked: 0,
         new_signature: 0,
@@ -334,6 +345,7 @@ pub fn sweep_report(
         sweep.workers_effective = sweep.workers_effective.max(stats.workers_effective);
         sweep.fork.absorb(&stats.fork);
         sweep.armed += matrix.count(ScheduleClass::Armed);
+        sweep.diverged += matrix.count(ScheduleClass::Diverged);
         sweep.disarmed += matrix.count(ScheduleClass::Disarmed);
         sweep.masked += matrix.count(ScheduleClass::Masked);
         sweep.new_signature += matrix.count(ScheduleClass::NewSignature);
@@ -416,6 +428,51 @@ mod tests {
         assert!(matrix
             .schedules_of(ScheduleClass::NewSignature)
             .any(|s| schedule_token(s) == "dup@s2"));
+    }
+
+    #[test]
+    fn shardexec_campaign_triages_the_silent_split() {
+        let spec = achilles_shardexec::ShardexecSpec::default();
+        let mut cache = SweepCache::new();
+        let sweeps = run_campaign(&spec, &CampaignConfig::default(), &mut cache);
+        assert_eq!(sweeps.len(), 1);
+        let sweep = &sweeps[0];
+        assert_eq!(sweep.session, "write-sync-read");
+        assert_eq!(sweep.discovered, 1);
+        assert_eq!(
+            sweep.confirmed_fault_free, sweep.discovered,
+            "the forged-sender session confirms fault-free"
+        );
+        assert!(
+            sweep.diverged >= 1,
+            "some schedule reproduces the silent split exactly"
+        );
+        assert!(sweep.disarmed >= 1, "some schedule defuses it");
+        let matrix = &sweep.matrices[0];
+        // The detonation itself is a divergence, not a crash: the
+        // baseline signature carries the split markers.
+        assert!(matrix.baseline_signature.diverged());
+        assert_eq!(matrix.baseline_trojan_slots, vec![0]);
+        // Duplicating the forged write is idempotent: same split, same
+        // signature — Diverged, the armed-with-silent-split class.
+        assert!(matrix.diverged().any(|s| schedule_token(s) == "dup@s0"));
+        assert!(
+            matrix.armed().count() == 0,
+            "every exact reproduction of a splitting baseline is Diverged, never plain Armed"
+        );
+        // Dropping the forged write restores agreement: disarmed, and the
+        // replay carries no divergence evidence.
+        assert!(matrix.disarmed().any(|s| schedule_token(s) == "drop@s0"));
+        let drop0 = matrix
+            .cells
+            .iter()
+            .find(|c| schedule_token(&c.schedule) == "drop@s0")
+            .expect("the drop-arming schedule is planned");
+        assert!(
+            !drop0.signature.diverged(),
+            "dropping the arming slot restores root agreement: {}",
+            drop0.signature.to_line()
+        );
     }
 
     #[test]

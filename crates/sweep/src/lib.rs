@@ -29,12 +29,18 @@
 //!    [`CampaignConfig::without_fork`]).
 //! 3. **Triage** ([`matrix`]): each outcome is classified
 //!    [`Armed`](ScheduleClass::Armed) /
+//!    [`Diverged`](ScheduleClass::Diverged) /
 //!    [`Disarmed`](ScheduleClass::Disarmed) /
 //!    [`Masked`](ScheduleClass::Masked) /
 //!    [`NewSignature`](ScheduleClass::NewSignature) by diffing its
 //!    slot-aware crash signature against the fault-free baseline, and the
 //!    per-witness [`SensitivityMatrix`] serializes through the shared
-//!    `achilles::export` record vocabulary.
+//!    `achilles::export` record vocabulary. `Diverged` is the armed
+//!    refinement for multi-node targets whose detonation is a *silent
+//!    root split* (every node keeps running; replicas disagree) rather
+//!    than a crash — keyed on the `diverge:at:` markers a
+//!    [`DivergenceProbe`](achilles::DivergenceProbe) folds into the
+//!    effect stream.
 //!
 //! Like the rest of the pipeline, the crate names **no protocol**: the
 //! `sweep_campaign` bench bin drives any registered

@@ -1,8 +1,10 @@
 //! Sensitivity classification and the per-witness [`SensitivityMatrix`].
 //!
 //! A campaign replays one witness under many schedules and asks, per
-//! schedule: did the fault leave the Trojan armed, disarm it, mask the
-//! question, or change the failure into something new? The answer comes
+//! schedule: did the fault leave the Trojan armed (or *diverged*, when
+//! the reproduced detonation is a silent multi-node root split rather
+//! than a crash), disarm it, mask the question, or change the failure
+//! into something new? The answer comes
 //! from diffing the faulted replay's slot-aware
 //! [`CrashSignature`](achilles_replay::CrashSignature) against the
 //! fault-free baseline's — trustworthy precisely because
@@ -29,6 +31,14 @@ pub enum ScheduleClass {
     /// The session still confirms as a Trojan with the baseline's exact
     /// crash signature: the fault does not defuse it.
     Armed,
+    /// [`Armed`](ScheduleClass::Armed), and the detonation is a *silent
+    /// multi-node split*: the baseline's signature carries a
+    /// `diverge:at:` marker (replicas of the same state ended the run
+    /// with different roots, nobody crashed) and the fault reproduces it
+    /// exactly. Split out from `Armed` because the operational response
+    /// differs — a crash pages someone, a divergence corrupts reads until
+    /// an anti-entropy pass happens to notice.
+    Diverged,
     /// The fault neutralized the Trojan: the session was rejected, became
     /// benign (e.g. a bit flip pulled the poison back into the legal
     /// domain), or the schedule dropped an arming slot outright.
@@ -51,6 +61,7 @@ impl ScheduleClass {
     pub fn as_str(self) -> &'static str {
         match self {
             ScheduleClass::Armed => "armed",
+            ScheduleClass::Diverged => "diverged",
             ScheduleClass::Disarmed => "disarmed",
             ScheduleClass::Masked => "masked",
             ScheduleClass::NewSignature => "new-signature",
@@ -61,6 +72,7 @@ impl ScheduleClass {
     pub fn parse(s: &str) -> Option<ScheduleClass> {
         Some(match s {
             "armed" => ScheduleClass::Armed,
+            "diverged" => ScheduleClass::Diverged,
             "disarmed" => ScheduleClass::Disarmed,
             "masked" => ScheduleClass::Masked,
             "new-signature" => ScheduleClass::NewSignature,
@@ -119,11 +131,12 @@ impl Baseline {
 
     /// The baseline's *failure markers*: the effect notes that name the
     /// concrete failure itself (`crash:` / `family:` / `leak:` prefixes —
-    /// the triage-family convention every shipped deployment follows), as
+    /// the triage-family convention every shipped deployment follows —
+    /// plus the `diverge:` markers of a silent multi-node split), as
     /// opposed to delivery bookkeeping like `seed:stored`.
     fn failure_markers(&self) -> impl Iterator<Item = &String> {
         self.signature.effects.iter().filter(|e| {
-            ["crash:", "family:", "leak:"]
+            ["crash:", "family:", "leak:", "diverge:"]
                 .iter()
                 .any(|p| e.starts_with(p))
         })
@@ -138,7 +151,14 @@ pub fn classify(baseline: &Baseline, faulted: &SessionReplayResult) -> ScheduleC
             if baseline.verdict == ReplayVerdict::ConfirmedTrojan
                 && faulted.signature == baseline.signature
             {
-                ScheduleClass::Armed
+                // An exact reproduction of a silently-splitting baseline
+                // is its own class: still armed, but the failure is a
+                // multi-node root divergence, not a crash.
+                if baseline.signature.diverged() {
+                    ScheduleClass::Diverged
+                } else {
+                    ScheduleClass::Armed
+                }
             } else {
                 ScheduleClass::NewSignature
             }
@@ -277,6 +297,12 @@ impl SensitivityMatrix {
         self.schedules_of(ScheduleClass::Armed)
     }
 
+    /// The schedules classified [`ScheduleClass::Diverged`], in plan
+    /// order.
+    pub fn diverged(&self) -> impl Iterator<Item = &FaultSchedule> {
+        self.schedules_of(ScheduleClass::Diverged)
+    }
+
     /// The schedules classified [`ScheduleClass::Disarmed`], in plan order.
     pub fn disarmed(&self) -> impl Iterator<Item = &FaultSchedule> {
         self.schedules_of(ScheduleClass::Disarmed)
@@ -386,6 +412,67 @@ mod tests {
             classify(&Baseline::of(&baseline()), &changed),
             ScheduleClass::NewSignature
         );
+    }
+
+    #[test]
+    fn diverging_baselines_classify_exact_reproductions_as_diverged() {
+        let diverging = || {
+            result(
+                ReplayVerdict::ConfirmedTrojan,
+                vec![
+                    "diverge:at:0",
+                    "diverge:root:shard0:00000000000000aa",
+                    "diverge:root:shard1:00000000000000bb",
+                    "family:sender-spoof",
+                    "trojan-slot:0",
+                ],
+                vec![0],
+                FaultSchedule::none(),
+            )
+        };
+        let baseline = Baseline::of(&diverging());
+        // Exact reproduction of the splitting signature: Diverged, the
+        // armed-with-silent-split refinement.
+        assert_eq!(classify(&baseline, &diverging()), ScheduleClass::Diverged);
+        // A different split (changed digest partition) is a new signature.
+        let resplit = result(
+            ReplayVerdict::ConfirmedTrojan,
+            vec![
+                "diverge:at:0",
+                "diverge:root:shard0:00000000000000aa",
+                "diverge:root:shard1:00000000000000aa",
+                "family:sender-spoof",
+                "trojan-slot:0",
+            ],
+            vec![0],
+            FaultSchedule::none(),
+        );
+        assert_eq!(classify(&baseline, &resplit), ScheduleClass::NewSignature);
+        // Dropping a non-arming slot while every diverge marker survives:
+        // the split still happened, evidence intact — NewSignature, not
+        // Masked (the `diverge:` prefix counts as a failure marker).
+        let mut survived = diverging();
+        survived.verdict = ReplayVerdict::Dropped;
+        survived.signature = CrashSignature::for_session(
+            "t",
+            ReplayVerdict::Dropped,
+            2,
+            diverging().signature.effects.clone(),
+        );
+        survived.applied = FaultSchedule::at(
+            1,
+            DeliveryFault {
+                drop: true,
+                ..DeliveryFault::none()
+            },
+        );
+        assert_eq!(classify(&baseline, &survived), ScheduleClass::NewSignature);
+        // The class name round-trips through its cache form.
+        assert_eq!(
+            ScheduleClass::parse(ScheduleClass::Diverged.as_str()),
+            Some(ScheduleClass::Diverged)
+        );
+        assert_eq!(ScheduleClass::Diverged.to_string(), "diverged");
     }
 
     #[test]

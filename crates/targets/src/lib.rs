@@ -12,7 +12,10 @@
 //! use achilles_targets::builtin_registry;
 //!
 //! let registry = builtin_registry();
-//! assert_eq!(registry.names(), vec!["fsp", "pbft", "paxos", "twopc", "gossip"]);
+//! assert_eq!(
+//!     registry.names(),
+//!     vec!["fsp", "pbft", "paxos", "twopc", "gossip", "shardexec"]
+//! );
 //! let spec = registry.get("twopc").expect("registered below");
 //! let report = AchillesSession::new(&**spec).run();
 //! assert_eq!(Some(report.trojans.len()), spec.expected_trojans());
@@ -34,6 +37,7 @@ pub fn builtin_registry() -> TargetRegistry {
     registry.register(Arc::new(achilles_paxos::PaxosSpec::default()));
     registry.register(Arc::new(achilles_twopc::TwopcSpec::default()));
     registry.register(Arc::new(achilles_gossip::GossipSpec::default()));
+    registry.register(Arc::new(achilles_shardexec::ShardexecSpec::default()));
     registry
 }
 
@@ -56,7 +60,7 @@ mod tests {
         let registry = builtin_registry();
         assert_eq!(
             registry.names(),
-            vec!["fsp", "pbft", "paxos", "twopc", "gossip"]
+            vec!["fsp", "pbft", "paxos", "twopc", "gossip", "shardexec"]
         );
         for spec in registry.iter() {
             assert!(!spec.description().is_empty(), "{}", spec.name());

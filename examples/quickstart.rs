@@ -20,7 +20,12 @@
 //!    the "Declaring a session" guide made runnable;
 //! 5. sweep the session witness's fault-schedule space with
 //!    `achilles_sweep` and triage which delivery faults arm or disarm the
-//!    Trojan — the "Sweeping fault schedules" guide made runnable.
+//!    Trojan — the "Sweeping fault schedules" guide made runnable. The
+//!    session deployment replicates onto a *backup* node that enforces the
+//!    correct hello check, so the forged hello leaves the two replicas
+//!    with different state roots: the sweep triages those cells as
+//!    `Diverged` — the "Exposing a state root" guide (step 9) made
+//!    runnable.
 //!
 //! ```text
 //! cargo run --release -p achilles-examples --example quickstart
@@ -29,8 +34,9 @@
 use std::sync::Arc;
 
 use achilles::{
-    AchillesSession, Delivery, FieldMask, InjectionOutcome, ReplayTarget, SessionSlot, SessionSpec,
-    SnapshotReplayTarget, TargetRegistry, TargetSnapshot, TargetSpec,
+    AchillesSession, Delivery, DivergenceProbe, FieldMask, InjectionOutcome, ReplayTarget,
+    RootHasher, SessionSlot, SessionSpec, SnapshotReplayTarget, StateRoot, TargetRegistry,
+    TargetSnapshot, TargetSpec,
 };
 use achilles_replay::{
     validate_spec, validate_spec_sessions, ReplayCorpus, ReplayVerdict, SessionValidateConfig,
@@ -316,10 +322,53 @@ impl ReplayTarget for QuickstartSessionTarget {
     fn boot_fork(&self) -> Option<Box<dyn SnapshotReplayTarget + '_>> {
         Some(Box::new(QuickstartSessionFork::default()))
     }
+
+    // Step 9 of the porting guide: the session deployment observes
+    // per-node state roots, so the sweep can triage silent replica splits
+    // as `Diverged` instead of lumping them in with armed cells.
+    fn reports_state_roots(&self) -> bool {
+        true
+    }
+}
+
+/// One replica of the session deployment: the hello registration plus the
+/// replicated data array, digestible into a [`StateRoot`].
+#[derive(Clone, Default)]
+struct QuickstartReplica {
+    greeted: bool,
+    nonce: u64,
+    data: Vec<(u64, u32)>, // written (address, value) pairs, insert order
+}
+
+impl QuickstartReplica {
+    fn write(&mut self, address: u64, value: u32) {
+        if let Some(slot) = self.data.iter_mut().find(|(a, _)| *a == address) {
+            slot.1 = value;
+        } else {
+            self.data.push((address, value));
+        }
+    }
+
+    fn root(&self, node: &str) -> StateRoot {
+        let mut hasher = RootHasher::new();
+        hasher.write_u64(u64::from(self.greeted));
+        if self.greeted {
+            hasher.write_u64(self.nonce);
+        }
+        let mut writes = self.data.clone();
+        writes.sort_unstable();
+        for (address, value) in writes {
+            hasher.write_u64(address).write_u64(u64::from(value));
+        }
+        StateRoot::new(node, hasher.finish())
+    }
 }
 
 /// The live session state behind [`QuickstartSessionTarget`]: the hello
-/// gate plus the accumulated request prefix.
+/// gate plus the accumulated request prefix on the *primary*, mirrored
+/// onto a *backup* replica that enforces the correct (client-window)
+/// hello check — so a forged hello registers on the primary only, its
+/// writes replicate nowhere, and the state roots silently split.
 #[derive(Clone, Default)]
 struct QuickstartSessionFork {
     greeted: bool,
@@ -328,6 +377,15 @@ struct QuickstartSessionFork {
     // effects past the previous call's count are new.
     requests: Vec<Delivery>,
     prior_effects: usize,
+    primary: QuickstartReplica,
+    backup: QuickstartReplica,
+    probe: DivergenceProbe,
+}
+
+impl QuickstartSessionFork {
+    fn roots(&self) -> Vec<StateRoot> {
+        vec![self.primary.root("primary"), self.backup.root("backup")]
+    }
 }
 
 impl SnapshotReplayTarget for QuickstartSessionFork {
@@ -336,12 +394,23 @@ impl SnapshotReplayTarget for QuickstartSessionFork {
         if wire.len() == 4 {
             let Ok(fields) = achilles::wire_to_fields(&hello_layout(), wire) else {
                 outcome.accepted_each.push(false);
+                self.probe.observe(&self.roots());
                 return;
             };
             let accepted = fields[0] <= MAX_PEER && fields[1] < HELLO_SERVER_NONCE_CAP;
             outcome.accepted_each.push(accepted);
             if accepted {
                 self.greeted = true;
+                self.primary.greeted = true;
+                self.primary.nonce = fields[1];
+                // The backup validates the nonce against the *client*
+                // window — the check the primary should have had. Forged
+                // hellos register on the primary alone: delivery 0 is
+                // where the replicas first disagree.
+                if fields[1] < HELLO_CLIENT_NONCE_CAP {
+                    self.backup.greeted = true;
+                    self.backup.nonce = fields[1];
+                }
                 outcome.effects.push("hello:ok".to_string());
                 if fields[1] >= HELLO_CLIENT_NONCE_CAP {
                     outcome.effects.push("family:forged-hello".to_string());
@@ -349,23 +418,40 @@ impl SnapshotReplayTarget for QuickstartSessionFork {
             } else {
                 outcome.effects.push("hello:rejected".to_string());
             }
+            self.probe.observe(&self.roots());
             return;
         }
         if !self.greeted {
             outcome.accepted_each.push(false);
             outcome.effects.push("rejected:no-hello".to_string());
+            self.probe.observe(&self.roots());
             return;
         }
         self.requests.push((wire.clone(), *is_witness));
         let request_outcome = QuickstartTarget.inject(&self.requests);
-        outcome
-            .accepted_each
-            .push(*request_outcome.accepted_each.last().expect("just pushed"));
+        let accepted = *request_outcome.accepted_each.last().expect("just pushed");
+        outcome.accepted_each.push(accepted);
         let total_effects = request_outcome.effects.len();
         outcome
             .effects
             .extend(request_outcome.effects.into_iter().skip(self.prior_effects));
         self.prior_effects = total_effects;
+        // Replicate accepted writes: the primary applies them for its
+        // registered session; the backup applies them only for sessions
+        // *it* registered.
+        if accepted {
+            if let Ok(fields) = achilles::wire_to_fields(&layout(), wire) {
+                let (address, value) = (fields[2], fields[3] as u32);
+                let addr = Width::W32.to_signed(address);
+                if fields[1] == WRITE && (0..DATASIZE as i64).contains(&addr) {
+                    self.primary.write(address, value);
+                    if self.backup.greeted {
+                        self.backup.write(address, value);
+                    }
+                }
+            }
+        }
+        self.probe.observe(&self.roots());
     }
 
     fn snapshot(&self) -> TargetSnapshot {
@@ -379,7 +465,13 @@ impl SnapshotReplayTarget for QuickstartSessionFork {
             .clone();
     }
 
-    fn finish(&mut self, _outcome: &mut InjectionOutcome) {}
+    fn finish(&mut self, outcome: &mut InjectionOutcome) {
+        outcome.effects.extend(self.probe.finish(&self.roots()));
+    }
+
+    fn state_roots(&self) -> Option<Vec<StateRoot>> {
+        Some(self.roots())
+    }
 }
 
 /// The §2 protocol as a `TargetSpec` — the complete porting surface.
@@ -608,26 +700,51 @@ fn main() {
             cell.class
         );
     }
-    // Dropping the hello (the arming slot) disarms the Trojan; duplicating
-    // it re-registers the same forged nonce and leaves it armed.
+    // The forged hello registers on the primary but not the backup, so the
+    // fault-free baseline itself leaves the replicas with different state
+    // roots — the sweep triages exact reproductions of that split as
+    // `Diverged`, the silent-split refinement of `Armed`.
     use achilles_sweep::ScheduleClass;
+    assert!(
+        matrix.baseline_signature.diverged(),
+        "the forged hello splits the replicas even fault-free"
+    );
+    assert!(
+        matrix.count(ScheduleClass::Diverged) >= 1,
+        "some schedule must reproduce the silent split"
+    );
+    // Dropping the hello (the arming slot) disarms the Trojan — and with
+    // no registration anywhere, the replicas agree again.
     assert!(
         matrix
             .disarmed()
             .any(|s| achilles_sweep::schedule_token(s) == "drop@s0"),
         "dropping the arming hello slot disarms"
     );
-    assert!(matrix.count(ScheduleClass::Armed) >= 1);
     println!(
-        "\n{} of {} schedules leave the Trojan armed; {} disarm it \
-         (e.g. dropping the forged hello), {} mask the question, {} change \
-         the failure into a new signature.",
-        matrix.count(ScheduleClass::Armed),
+        "\n{} of {} schedules leave the Trojan armed and the replicas \
+         silently split (diverged); {} more leave it armed; {} disarm it \
+         (e.g. dropping the forged hello — agreement restored), {} mask \
+         the question, {} change the failure into a new signature.",
+        matrix.count(ScheduleClass::Diverged),
         matrix.cells.len(),
+        matrix.count(ScheduleClass::Armed),
         matrix.count(ScheduleClass::Disarmed),
         matrix.count(ScheduleClass::Masked),
         matrix.count(ScheduleClass::NewSignature),
     );
+    if let Some(divergence) = matrix.baseline_signature.divergence() {
+        println!(
+            "baseline divergence: first split at delivery {}, roots {}",
+            divergence.first_split,
+            divergence
+                .roots
+                .iter()
+                .map(|r| format!("{}={:016x}", r.node, r.digest))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
     // The schedules share delivery prefixes, so the fork-server booted
     // far fewer sessions than it replayed cells.
     assert!(

@@ -1,0 +1,217 @@
+//! The divergence-triage suite: multi-node targets whose replicas can
+//! split silently must triage that split deterministically, shed
+//! incidental witness fields without losing it, and serve it through
+//! fleetd exactly as the batch campaign computes it.
+//!
+//! All three tests drive the `shardexec` family — three shard executors
+//! applying client writes, where a forged sender identity routes a write
+//! past the ownership check and leaves the shards disagreeing without any
+//! crash — but only through the registry: nothing here names a
+//! shardexec-specific type, so any future root-reporting target is
+//! covered by pointing `TARGET` elsewhere.
+
+use achilles::export::session_witness_record;
+use achilles::{AchillesSession, SessionReport, TargetRegistry, TargetSpec};
+use achilles_fleetd::{Fleetd, FleetdConfig};
+use achilles_replay::{
+    minimize_session_divergence, replay_session, session_from_report, FaultSchedule, ReplayVerdict,
+};
+use achilles_sweep::{sweep_report, CampaignConfig, ScheduleClass, SweepCache, SweepConfig};
+use achilles_targets::builtin_registry;
+use std::sync::Arc;
+
+const TARGET: &str = "shardexec";
+
+fn shardexec_spec() -> (TargetRegistry, Arc<dyn TargetSpec>) {
+    let registry = builtin_registry();
+    let spec = registry.get(TARGET).expect("shardexec is built in").clone();
+    (registry, spec)
+}
+
+fn discover(spec: &dyn TargetSpec) -> Vec<SessionReport> {
+    let reports = AchillesSession::new(spec).run_sessions();
+    assert!(
+        reports.iter().any(|r| !r.trojans.is_empty()),
+        "shardexec discovery yields session trojans"
+    );
+    reports
+}
+
+/// Diverged triage is a pure function of (witness, schedule): sweeping the
+/// same reports cold, forked, and at different worker counts must produce
+/// bit-identical matrices — including every `diverged` row — and every
+/// mode must find the silent split.
+#[test]
+fn diverged_matrices_are_bit_identical_across_execution_modes() {
+    let (_, spec) = shardexec_spec();
+    let base = CampaignConfig {
+        sweep: SweepConfig::default(),
+        ..CampaignConfig::default()
+    };
+    let mut split_seen = false;
+    for report in discover(&*spec) {
+        if report.trojans.is_empty() {
+            continue;
+        }
+        let sname = format!("{TARGET}/{}", report.session);
+        let cold = sweep_report(
+            &*spec,
+            &report,
+            &base.clone().without_fork(),
+            &mut SweepCache::new(),
+        );
+        split_seen |= cold.diverged >= 1;
+        let cold_text: Vec<String> = cold.matrices.iter().map(|m| m.to_text()).collect();
+        for workers in [1usize, 4] {
+            let forked = sweep_report(
+                &*spec,
+                &report,
+                &base.clone().with_workers(workers),
+                &mut SweepCache::new(),
+            );
+            let forked_text: Vec<String> = forked.matrices.iter().map(|m| m.to_text()).collect();
+            assert_eq!(
+                cold_text, forked_text,
+                "{sname}: diverged matrices must be bit-identical cold vs \
+                 forked at workers={workers}"
+            );
+            assert_eq!(
+                cold.diverged, forked.diverged,
+                "{sname}: diverged totals match at workers={workers}"
+            );
+        }
+    }
+    assert!(
+        split_seen,
+        "at least one shardexec sweep classifies a schedule as Diverged"
+    );
+}
+
+/// Divergence-preserving minimization: ddmin over the witness delta with
+/// the split-structure oracle must shed fields, keep a field on an
+/// attributed arming slot, and leave a witness that still confirms and
+/// still splits the replicas along the same partition.
+#[test]
+fn session_minimization_preserves_the_split() {
+    let (_, spec) = shardexec_spec();
+    let mut minimized_any = false;
+    for report in discover(&*spec) {
+        for (i, trojan) in report.trojans.iter().enumerate() {
+            let sname = format!("{TARGET}/{} witness {i}", report.session);
+            let witness = session_from_report(&report.layouts, i, trojan)
+                .expect("session layouts are wire-encodable");
+            let target = spec.session_replay_target(&report.session);
+            let schedule = FaultSchedule::none();
+            let full = replay_session(&*target, &witness, &schedule);
+            assert_eq!(full.verdict, ReplayVerdict::ConfirmedTrojan, "{sname}");
+            let divergence = full
+                .signature
+                .divergence()
+                .unwrap_or_else(|| panic!("{sname}: a confirmed shardexec trojan splits replicas"));
+
+            let minimized = minimize_session_divergence(&*target, &witness, &schedule, &divergence);
+            minimized_any = true;
+            assert!(
+                !minimized.essential.is_empty(),
+                "{sname}: something must stay essential"
+            );
+            assert!(
+                minimized.essential.len() <= minimized.original_delta.len(),
+                "{sname}: minimization never grows the delta"
+            );
+            assert!(
+                minimized
+                    .essential
+                    .iter()
+                    .any(|(slot, _)| report.trojan_slots[i].contains(slot)),
+                "{sname}: an essential field lives on an attributed arming \
+                 slot ({:?} vs slots {:?})",
+                minimized.essential,
+                report.trojan_slots[i]
+            );
+            let kept = minimized
+                .signature
+                .divergence()
+                .unwrap_or_else(|| panic!("{sname}: the minimized witness must still diverge"));
+            assert!(
+                kept.same_split(&divergence),
+                "{sname}: minimization preserves the split structure \
+                 ({kept:?} vs {divergence:?})"
+            );
+            let replayed = replay_session(&*target, &minimized.witness, &schedule);
+            assert_eq!(
+                replayed.verdict,
+                ReplayVerdict::ConfirmedTrojan,
+                "{sname}: the minimized witness still confirms"
+            );
+        }
+    }
+    assert!(minimized_any, "discovery produced at least one witness");
+}
+
+/// The resident service answers divergence queries exactly as the batch
+/// campaign computes them: a full `QUERY` is bit-identical to the batch
+/// matrices, and `QUERY <target> * diverged` returns precisely the
+/// `diverged` cell rows — at least one, and nothing else.
+#[test]
+fn fleetd_serves_diverged_rows_bit_identical_to_batch() {
+    let (registry, spec) = shardexec_spec();
+    let discovered = discover(&*spec);
+
+    // Batch side: full-config sweep, matrices in ingest order.
+    let config = CampaignConfig::default();
+    let mut cache = SweepCache::new();
+    let mut batch_lines: Vec<String> = Vec::new();
+    let mut batch_diverged: Vec<String> = Vec::new();
+    for report in &discovered {
+        let sweep = sweep_report(&*spec, report, &config, &mut cache);
+        for matrix in &sweep.matrices {
+            for line in matrix.to_text().lines() {
+                batch_lines.push(line.to_string());
+                if line.split('|').nth(1) == Some(ScheduleClass::Diverged.as_str()) {
+                    batch_diverged.push(line.to_string());
+                }
+            }
+        }
+    }
+    assert!(
+        !batch_diverged.is_empty(),
+        "the batch campaign finds diverged cells to serve"
+    );
+
+    let service = Fleetd::start(registry, FleetdConfig::default()).expect("service starts");
+    assert!(service
+        .handle_line(&format!("REGISTER {TARGET}"))
+        .starts_with("OK "));
+    for report in &discovered {
+        for (i, trojan) in report.trojans.iter().enumerate() {
+            let witness = session_from_report(&report.layouts, i, trojan)
+                .expect("session layouts are wire-encodable");
+            let record = session_witness_record(&witness.fields);
+            let reply =
+                service.handle_line(&format!("INGEST {TARGET}/{} {record}", report.session));
+            assert!(reply.starts_with("OK "), "{reply}");
+        }
+    }
+    assert_eq!(service.handle_line("DRAIN"), "OK drained");
+
+    let full = service.handle_line(&format!("QUERY {TARGET}"));
+    let mut full_lines = full.lines().map(str::to_string);
+    assert!(full_lines.next().expect("status").starts_with("OK "));
+    assert_eq!(
+        full_lines.collect::<Vec<_>>(),
+        batch_lines,
+        "full QUERY is bit-identical to the batch matrices"
+    );
+
+    let filtered = service.handle_line(&format!("QUERY {TARGET} * diverged"));
+    let mut rows = filtered.lines().map(str::to_string);
+    assert!(rows.next().expect("status").starts_with("OK "));
+    let cells: Vec<String> = rows
+        .filter(|line| !line.starts_with("witness ") && !line.starts_with("baseline "))
+        .collect();
+    assert_eq!(
+        cells, batch_diverged,
+        "the diverged filter returns exactly the batch's diverged rows"
+    );
+}

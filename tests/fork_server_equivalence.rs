@@ -82,9 +82,16 @@ fn assert_fork_equivalence(
              cold boots at workers={workers}"
         );
         assert_eq!(
-            (cold.armed, cold.disarmed, cold.masked, cold.new_signature),
+            (
+                cold.armed,
+                cold.diverged,
+                cold.disarmed,
+                cold.masked,
+                cold.new_signature
+            ),
             (
                 forked.armed,
+                forked.diverged,
                 forked.disarmed,
                 forked.masked,
                 forked.new_signature

@@ -659,6 +659,7 @@ fn sweep_campaigns_are_repeatable() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.cells, y.cells);
         assert_eq!(x.armed, y.armed);
+        assert_eq!(x.diverged, y.diverged);
         assert_eq!(x.disarmed, y.disarmed);
         assert_eq!(x.masked, y.masked);
         assert_eq!(x.new_signature, y.new_signature);

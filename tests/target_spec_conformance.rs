@@ -29,6 +29,14 @@
 //! an arming slot must classify as `Disarmed` (dropping the message that
 //! carries the poison defuses the Trojan, by construction).
 //!
+//! Session targets that **report state roots**
+//! ([`ReplayTarget::reports_state_roots`](achilles::ReplayTarget::reports_state_roots))
+//! additionally clear the divergence contract: the all-benign fault-free
+//! session leaves every node's root in agreement (`root:agree:` in the
+//! effects), sweeping a confirmed Trojan finds at least one `Diverged`
+//! schedule, and every schedule that drops an arming slot restores
+//! agreement — removing the poison removes the split.
+//!
 //! Specs whose replay targets are **snapshottable**
 //! ([`ReplayTarget::boot_fork`](achilles::ReplayTarget::boot_fork)) also
 //! clear the snapshot contract: snapshot → mutate via one delivery →
@@ -50,7 +58,7 @@ use achilles_targets::builtin_registry;
 #[test]
 fn registry_contains_the_shipped_protocols() {
     let registry = builtin_registry();
-    for expected in ["fsp", "pbft", "paxos", "twopc", "gossip"] {
+    for expected in ["fsp", "pbft", "paxos", "twopc", "gossip", "shardexec"] {
         assert!(
             registry.get(expected).is_some(),
             "{expected} missing from the built-in registry"
@@ -129,8 +137,8 @@ fn every_snapshottable_target_honors_the_snapshot_contract() {
         );
     }
     assert!(
-        snapshottable >= 5,
-        "all five shipped protocols expose snapshottable replay targets \
+        snapshottable >= 6,
+        "all six shipped protocols expose snapshottable replay targets \
          (found {snapshottable})"
     );
 }
@@ -205,8 +213,118 @@ fn every_snapshottable_session_target_honors_the_snapshot_contract() {
         }
     }
     assert!(
-        snapshottable >= 2,
-        "fsp and twopc session targets are snapshottable (found {snapshottable})"
+        snapshottable >= 3,
+        "fsp, twopc, and shardexec session targets are snapshottable \
+         (found {snapshottable})"
+    );
+}
+
+#[test]
+fn every_root_reporting_session_target_honors_the_divergence_contract() {
+    // Multi-node deployments that observe per-node state roots must
+    // (a) agree on the all-benign fault-free session, (b) split under at
+    // least one fault schedule of a confirmed Trojan sweep, and (c) return
+    // to agreement on every schedule that drops an arming slot — the
+    // poison, not the fault machinery, is what divides the replicas.
+    let registry = builtin_registry();
+    let mut root_reporting = 0usize;
+    for spec in registry.iter() {
+        let name = spec.name();
+        let reporting: Vec<String> = spec
+            .sessions()
+            .iter()
+            .filter(|d| spec.session_replay_target(&d.name).reports_state_roots())
+            .map(|d| d.name.clone())
+            .collect();
+        if reporting.is_empty() {
+            continue;
+        }
+        root_reporting += 1;
+
+        // --- (a) Fault-free benign agreement. ------------------------------
+        for session in &reporting {
+            let sname = format!("{name}/{session}");
+            let target = spec.session_replay_target(session);
+            let layouts = target.slot_layouts();
+            let fields: Vec<Vec<u64>> = (0..layouts.len())
+                .map(|slot| target.slot_benign_fields(slot))
+                .collect();
+            let wire: Vec<Vec<u8>> = fields
+                .iter()
+                .zip(&layouts)
+                .map(|(f, layout)| {
+                    fields_to_wire(layout, f)
+                        .unwrap_or_else(|e| panic!("{sname}: benign slot encodes: {e:?}"))
+                })
+                .collect();
+            let witness = SessionWitness {
+                index: 0,
+                server_path_id: 0,
+                fields,
+                wire,
+            };
+            let benign = replay_session(&*target, &witness, &FaultSchedule::none());
+            assert!(
+                !benign.signature.diverged(),
+                "{sname}: the all-benign fault-free session must not diverge"
+            );
+            assert!(
+                benign
+                    .outcome
+                    .effects
+                    .iter()
+                    .any(|e| e.starts_with("root:agree:")),
+                "{sname}: a root-reporting target must report agreement \
+                 explicitly (effects: {:?})",
+                benign.outcome.effects
+            );
+        }
+
+        // --- (b) + (c): sweep a real Trojan. -------------------------------
+        let sweeps = achilles_sweep::run_campaign(
+            &**spec,
+            &achilles_sweep::CampaignConfig::default(),
+            &mut achilles_sweep::SweepCache::new(),
+        );
+        for sweep in &sweeps {
+            if !reporting.contains(&sweep.session) {
+                continue;
+            }
+            let sname = format!("{name}/{}", sweep.session);
+            assert!(
+                sweep.diverged >= 1,
+                "{sname}: at least one schedule must leave the replicas \
+                 silently split (Diverged)"
+            );
+            assert!(
+                sweep
+                    .matrices
+                    .iter()
+                    .any(|m| m.baseline_signature.diverged()),
+                "{sname}: a confirmed Trojan's fault-free baseline records \
+                 the split it causes"
+            );
+            for matrix in &sweep.matrices {
+                for cell in &matrix.cells {
+                    let drops_arming_slot =
+                        cell.schedule.slots.iter().enumerate().any(|(slot, fault)| {
+                            fault.drop && matrix.baseline_trojan_slots.contains(&slot)
+                        });
+                    if drops_arming_slot {
+                        assert!(
+                            !cell.signature.diverged(),
+                            "{sname}: dropping the arming slot must restore \
+                             replica agreement (schedule {:?})",
+                            achilles_sweep::schedule_token(&cell.schedule),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        root_reporting >= 1,
+        "shardexec reports state roots (found {root_reporting})"
     );
 }
 
@@ -307,8 +425,9 @@ fn session_conformance(spec: &dyn TargetSpec) {
             "{sname}: every session Trojan confirms under the fault-free baseline"
         );
         assert!(
-            sweep.armed >= 1,
-            "{sname}: some schedule must leave the Trojan armed"
+            sweep.armed + sweep.diverged >= 1,
+            "{sname}: some schedule must leave the Trojan armed (or armed \
+             and diverging, for root-reporting targets)"
         );
         assert!(
             sweep.disarmed >= 1,

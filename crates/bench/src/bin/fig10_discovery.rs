@@ -12,6 +12,10 @@
 //! [`TargetSpec`](achilles::TargetSpec) (default `fsp`, the paper's
 //! figure) and the whole pipeline — discovery curve, expected-count check,
 //! optional concrete replay — runs without naming a protocol.
+//!
+//! With `--check-proofs` (or `ACHILLES_CHECK_PROOFS=1`), every unsat
+//! verdict the discovery produces is validated by the independent
+//! certificate checker; the first rejection aborts the run.
 
 use achilles::AchillesSession;
 use achilles_bench::{
@@ -31,10 +35,20 @@ fn main() {
         );
         std::process::exit(2);
     };
+    let check_proofs = if arg_present("--check-proofs") {
+        achilles_proofcheck::install_audit();
+        true
+    } else {
+        achilles_proofcheck::install_audit_from_env()
+    };
     header(&format!(
         "Figure 10 — Trojan discovery over server-analysis time ({name}, {workers} worker(s))"
     ));
-    let report = AchillesSession::new(&**spec).workers(workers).run();
+    let (audit_before, _) = achilles_solver::proof_audit_stats();
+    let mut session = AchillesSession::new(&**spec).workers(workers);
+    let report = session.run();
+    let cache_stats = session.engine().shared_cache().stats();
+    let (audit_after, audit_wall) = achilles_solver::proof_audit_stats();
 
     println!(
         "{}",
@@ -58,6 +72,34 @@ fn main() {
         )
     );
     println!("{}", row("Trojans discovered", report.trojans.len()));
+    println!(
+        "{}",
+        row(
+            "certified unsat",
+            format!(
+                "{} ({} subsumption hits)",
+                cache_stats.certified_unsat, cache_stats.core_subsumption_hits
+            )
+        )
+    );
+    if check_proofs {
+        let audited = audit_after - audit_before;
+        println!(
+            "{}",
+            row(
+                "proof audit",
+                format!(
+                    "{} certificates checked ({})",
+                    audited,
+                    fmt_secs(audit_wall)
+                )
+            )
+        );
+        assert!(
+            audited >= cache_stats.certified_unsat,
+            "the audit must cover every certificate the discovery published"
+        );
+    }
 
     let expected = spec.expected_trojans().unwrap_or(report.trojans.len()) as f64;
 

@@ -25,6 +25,11 @@ struct Sweep {
     steals: u64,
     shared_hits: u64,
     solver_queries: u64,
+    certified_unsat: u64,
+    core_subsumption_hits: u64,
+    /// Proof-audit wall time during this sweep point (0 unless the audit
+    /// is installed via `--check-proofs` / `ACHILLES_CHECK_PROOFS`).
+    proof_check_wall_s: f64,
     /// Sum of worker busy time / (server wall clock x workers) — the
     /// ROADMAP's steal-granularity tuning criterion (< 0.7 at 8 workers
     /// means batch stealing is worth a look).
@@ -43,15 +48,23 @@ fn main() {
         "Parallel Trojan search scaling (fig10 workload, depth {depth}, {cores} core(s))"
     ));
 
+    if arg_present("--check-proofs") {
+        achilles_proofcheck::install_audit();
+    } else {
+        achilles_proofcheck::install_audit_from_env();
+    }
+
     let sweep_counts = [1usize, 2, 4, 8];
     let mut sweeps: Vec<Sweep> = Vec::new();
     let mut witness_sets: Vec<Vec<Vec<u64>>> = Vec::new();
     for &workers in &sweep_counts {
         let mut config = FspAnalysisConfig::accuracy().with_workers(workers);
         config.server.post_parse_branching = depth;
+        let (_, audit_wall_before) = achilles_solver::proof_audit_stats();
         let started = Instant::now();
         let result = run_analysis(&config);
         let wall = started.elapsed();
+        let (_, audit_wall_after) = achilles_solver::proof_audit_stats();
         witness_sets.push(
             result
                 .trojans
@@ -74,6 +87,9 @@ fn main() {
             steals: result.explore_stats.steals,
             shared_hits: result.explore_stats.shared_cache_hits,
             solver_queries: result.worker_stats.iter().map(|w| w.queries).sum(),
+            certified_unsat: result.explore_stats.certified_unsat,
+            core_subsumption_hits: result.explore_stats.core_subsumption_hits,
+            proof_check_wall_s: (audit_wall_after - audit_wall_before).as_secs_f64(),
             efficiency: (busy / (server_s.max(1e-9) * workers as f64)).min(1.0),
         });
         println!(
@@ -81,12 +97,15 @@ fn main() {
             row(
                 &format!("workers={workers}"),
                 format!(
-                    "{} total / {} server, {} trojans, {} steals, {} shared hits, {:.0}% eff",
+                    "{} total / {} server, {} trojans, {} steals, {} shared hits, \
+                     {} certified unsat ({} subsumed), {:.0}% eff",
                     fmt_secs(wall),
                     format_args!("{:.3}s", result.server_time.as_secs_f64()),
                     result.trojans.len(),
                     result.explore_stats.steals,
                     result.explore_stats.shared_cache_hits,
+                    result.explore_stats.certified_unsat,
+                    result.explore_stats.core_subsumption_hits,
                     sweeps.last().expect("just pushed").efficiency * 100.0,
                 )
             )
@@ -131,7 +150,9 @@ fn main() {
                 "    {{\"workers\": {}, \"workers_effective\": {}, \"wall_s\": {:.4}, \
                  \"server_s\": {:.4}, \
                  \"speedup_vs_1\": {:.3}, \"trojans\": {}, \"steals\": {}, \
-                 \"shared_cache_hits\": {}, \"solver_queries\": {}, \"efficiency\": {:.3}}}{}\n",
+                 \"shared_cache_hits\": {}, \"solver_queries\": {}, \
+                 \"certified_unsat\": {}, \"core_subsumption_hits\": {}, \
+                 \"proof_check_wall_s\": {:.4}, \"efficiency\": {:.3}}}{}\n",
                 s.workers,
                 s.workers_effective,
                 s.wall_s,
@@ -141,6 +162,9 @@ fn main() {
                 s.steals,
                 s.shared_hits,
                 s.solver_queries,
+                s.certified_unsat,
+                s.core_subsumption_hits,
+                s.proof_check_wall_s,
                 s.efficiency,
                 if i + 1 == sweeps.len() { "" } else { "," },
             ));

@@ -44,6 +44,13 @@
 //! `fork_wall_s` vs `cold_wall_s`), and parallel `efficiency`
 //! (speedup ÷ effective workers) of each row, so multicore measurements
 //! stay interpretable.
+//!
+//! With `--check-proofs` (or `ACHILLES_CHECK_PROOFS=1`), the independent
+//! certificate checker audits every unsat verdict the discovery produces;
+//! the first rejected certificate aborts the run with a panic naming the
+//! rejection. `--no-subsumption` turns the shared cache's unsat-core
+//! subsumption index off, for bit-identity comparisons against the default
+//! configuration.
 
 use std::path::PathBuf;
 
@@ -94,6 +101,18 @@ struct BenchRow {
     warm_replayed: usize,
     /// Cache hits of the warm second iteration.
     warm_cache_hits: usize,
+    /// Unsat verdicts (each certificate-carrying) the target's discovery
+    /// published into its shared cache. Per-target totals: sessions of one
+    /// target share an engine, so every session row of the target reports
+    /// the same discovery-wide numbers.
+    certified_unsat: u64,
+    /// Discovery queries answered by the unsat-core subsumption index.
+    core_subsumption_hits: u64,
+    /// Certificates validated by the proof audit during this target's
+    /// discovery (0 unless `--check-proofs` / `ACHILLES_CHECK_PROOFS`).
+    proof_checked: u64,
+    /// Wall-clock time the proof audit spent on this target's discovery.
+    proof_check_wall_s: f64,
 }
 
 fn main() {
@@ -115,12 +134,22 @@ fn main() {
     let corpus_dir = arg_value_required("--corpus");
     let workers = achilles_bench::workers_from_args().max(1);
     let fork_enabled = !arg_present("--no-fork");
+    let subsumption = !arg_present("--no-subsumption");
+    let check_proofs = if arg_present("--check-proofs") {
+        achilles_proofcheck::install_audit();
+        true
+    } else {
+        achilles_proofcheck::install_audit_from_env()
+    };
     let cores = host_cores();
 
     header(&format!(
-        "Fault-schedule sweep campaigns ({}; {cores} host core(s); fork-server {})",
+        "Fault-schedule sweep campaigns ({}; {cores} host core(s); fork-server {}; \
+         subsumption {}; proof audit {})",
         names.join(" + "),
         if fork_enabled { "on" } else { "off" },
+        if subsumption { "on" } else { "off" },
+        if check_proofs { "on" } else { "off" },
     ));
 
     let base_config = if fork_enabled {
@@ -143,7 +172,28 @@ fn main() {
         // comparison, the fork-vs-cold comparison, and the recorded run
         // all sweep the same reports.
         let mut driver = achilles::AchillesSession::new(&**spec).workers(workers);
+        driver.engine().shared_cache().set_subsumption(subsumption);
+        let (audit_checks_before, audit_wall_before) = achilles_solver::proof_audit_stats();
         let reports = driver.run_sessions();
+        let (audit_checks_after, audit_wall_after) = achilles_solver::proof_audit_stats();
+        let cache_stats = driver.engine().shared_cache().stats();
+        let proof_checked = audit_checks_after - audit_checks_before;
+        let proof_check_wall_s = (audit_wall_after - audit_wall_before).as_secs_f64();
+        println!(
+            "{}",
+            row(
+                &format!("{name}/certificates"),
+                format!(
+                    "{} certified unsat, {} cores indexed, {} subsumption hits, \
+                     {} audited ({:.3}s)",
+                    cache_stats.certified_unsat,
+                    cache_stats.cores_indexed,
+                    cache_stats.core_subsumption_hits,
+                    proof_checked,
+                    proof_check_wall_s,
+                )
+            )
+        );
 
         // Worker-count bit-identity: fresh caches on both sides, so every
         // cell is genuinely replayed and compared. With the fork-server
@@ -300,6 +350,10 @@ fn main() {
                 cold_wall_s,
                 warm_replayed: warm_sweep.replayed,
                 warm_cache_hits: warm_sweep.cache_hits,
+                certified_unsat: cache_stats.certified_unsat,
+                core_subsumption_hits: cache_stats.core_subsumption_hits,
+                proof_checked,
+                proof_check_wall_s,
             });
         }
     }
@@ -384,7 +438,9 @@ fn main() {
                  \"boots_saved\": {}, \"snapshot_restores\": {}, \
                  \"mean_shared_prefix_depth\": {:.4}, \"fork_wall_s\": {:.4}, \
                  \"cold_wall_s\": {:.4}, \"speedup\": {:.4}, \
-                 \"efficiency\": {:.4}}}{}\n",
+                 \"efficiency\": {:.4}, \"certified_unsat\": {}, \
+                 \"core_subsumption_hits\": {}, \"proof_checked\": {}, \
+                 \"proof_check_wall_s\": {:.4}}}{}\n",
                 s.target,
                 s.session,
                 s.discovered,
@@ -413,6 +469,10 @@ fn main() {
                 r.cold_wall_s.unwrap_or(par_wall_s),
                 speedup,
                 efficiency,
+                r.certified_unsat,
+                r.core_subsumption_hits,
+                r.proof_checked,
+                r.proof_check_wall_s,
                 if i + 1 == rows.len() { "" } else { "," },
             ));
         }

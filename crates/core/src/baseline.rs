@@ -81,7 +81,7 @@ pub fn classic_symex(
         for _ in 0..models_per_path {
             let model = match solver.check(pool, &query) {
                 SatResult::Sat(m) => m,
-                SatResult::Unsat | SatResult::Unknown => break,
+                SatResult::Unsat(_) | SatResult::Unknown => break,
             };
             let fields = server_msg.concretize(pool, &model);
             out.candidates.push(CandidateMessage {
@@ -193,7 +193,7 @@ pub fn a_posteriori_diff(
                         prepared.server_msg.values(),
                         &model,
                     )),
-                    SatResult::Unsat | SatResult::Unknown => None,
+                    SatResult::Unsat(_) | SatResult::Unknown => None,
                 }
             })
             .collect(),
@@ -214,7 +214,7 @@ pub fn a_posteriori_diff(
                             prepared.server_msg.values(),
                             &model,
                         )),
-                        SatResult::Unsat | SatResult::Unknown => None,
+                        SatResult::Unsat(_) | SatResult::Unknown => None,
                     }
                 },
             )

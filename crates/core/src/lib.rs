@@ -255,6 +255,23 @@
 //!    state-write messages whose sender-id field is unauthenticated — is
 //!    the shipped reference; `examples/quickstart.rs` walks a two-node
 //!    inline version.
+//! 10. **Trust the pruning** (optional — zero code, one env var). Every
+//!     path the discovery *discards* rests on an `Unsat` verdict, and every
+//!     `Unsat` verdict carries a
+//!     [`Certificate`](achilles_solver::Certificate): a deterministic
+//!     refutation trace plus the unsat core (the assertion subset the proof
+//!     actually used, by structural fingerprint). Set
+//!     `ACHILLES_CHECK_PROOFS=1` — or pass `--check-proofs` to the
+//!     `fig10_discovery` / `sweep_campaign` bins — and the independent
+//!     checker in `achilles-proofcheck` (no shared code with the search
+//!     beyond term and width definitions) re-derives every certificate on
+//!     the spot, panicking on the first rejection. The cores also *work*:
+//!     the engine's shared cache indexes them, and any later query whose
+//!     assertion set contains a proven core is answered `Unsat` immediately
+//!     (reported as `core_subsumption_hits`; the audit validates these
+//!     subsumption-derived verdicts too, and the determinism suite pins
+//!     that the index never changes a report). No spec hook is involved —
+//!     a ported protocol gets auditable pruning for free.
 //!
 //! ## Crate map
 //!

@@ -152,6 +152,10 @@ pub struct Achilles {
 
 impl Default for Achilles {
     fn default() -> Achilles {
+        // Opt-in proof auditing: when `ACHILLES_CHECK_PROOFS` is set, every
+        // unsat verdict any engine produces is validated by the independent
+        // checker (a rejection is a solver bug and panics loudly).
+        achilles_proofcheck::install_audit_from_env();
         let shared = Arc::new(SharedCache::new());
         Achilles {
             pool: TermPool::new(),

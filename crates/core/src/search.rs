@@ -417,7 +417,7 @@ impl<'p> TrojanObserver<'p> {
             self.stats.trojan_checks += 1;
             let model = match cx.solver.check(cx.pool, &query) {
                 SatResult::Sat(m) => m,
-                SatResult::Unsat | SatResult::Unknown => return None,
+                SatResult::Unsat(_) | SatResult::Unknown => return None,
             };
             let fields = canonical_witness_fields(
                 cx.pool,
@@ -567,7 +567,7 @@ pub fn canonical_witness_fields(
                 }
                 // Unknown is deterministic per assertion set: treating it
                 // as "not provably achievable" keeps the result canonical.
-                SatResult::Unsat | SatResult::Unknown => lo = mid + 1,
+                SatResult::Unsat(_) | SatResult::Unknown => lo = mid + 1,
             }
         }
         let w = pool.width(expr);

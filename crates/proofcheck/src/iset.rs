@@ -1,0 +1,205 @@
+//! Interval sets over fixed-width unsigned domains, re-implemented from the
+//! semantics (sorted, disjoint, non-adjacent closed intervals) rather than
+//! shared with the solver — the checker must not validate the solver's
+//! interval arithmetic with the solver's interval arithmetic.
+
+use achilles_solver::Width;
+
+/// A set of `Width`-wide unsigned values as sorted, disjoint, non-adjacent
+/// closed intervals `(lo, hi)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct ISet {
+    width: Width,
+    ivs: Vec<(u64, u64)>,
+}
+
+impl ISet {
+    pub(crate) fn empty(width: Width) -> ISet {
+        ISet {
+            width,
+            ivs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn full(width: Width) -> ISet {
+        ISet {
+            width,
+            ivs: vec![(0, width.max_unsigned())],
+        }
+    }
+
+    pub(crate) fn singleton(width: Width, v: u64) -> ISet {
+        let v = width.truncate(v);
+        ISet {
+            width,
+            ivs: vec![(v, v)],
+        }
+    }
+
+    /// `[lo, hi]`, both ends truncated to the width. Empty if `lo > hi`
+    /// after truncation.
+    pub(crate) fn range(width: Width, lo: u64, hi: u64) -> ISet {
+        let lo = width.truncate(lo);
+        let hi = width.truncate(hi);
+        if lo > hi {
+            return ISet::empty(width);
+        }
+        ISet {
+            width,
+            ivs: vec![(lo, hi)],
+        }
+    }
+
+    pub(crate) fn width(&self) -> Width {
+        self.width
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.ivs
+            .iter()
+            .fold(0u64, |acc, &(lo, hi)| acc.saturating_add(hi - lo + 1))
+    }
+
+    pub(crate) fn as_singleton(&self) -> Option<u64> {
+        match self.ivs.as_slice() {
+            [(lo, hi)] if lo == hi => Some(*lo),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn intervals(&self) -> &[(u64, u64)] {
+        &self.ivs
+    }
+
+    /// Restores the invariant from an arbitrary interval list: sorts by
+    /// lower bound and merges overlapping or adjacent intervals.
+    fn normalize(&mut self) {
+        self.ivs.sort_unstable_by_key(|&(lo, _)| lo);
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(self.ivs.len());
+        for &(lo, hi) in &self.ivs {
+            match out.last_mut() {
+                Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// In-place intersection (two-pointer sweep over sorted intervals).
+    pub(crate) fn intersect(&mut self, other: &ISet) {
+        debug_assert_eq!(self.width, other.width);
+        let mut out = Vec::new();
+        let (a, b) = (&self.ivs, &other.ivs);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let lo = a[i].0.max(b[j].0);
+            let hi = a[i].1.min(b[j].1);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if a[i].1 < b[j].1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        self.ivs = out;
+    }
+
+    /// In-place union.
+    pub(crate) fn union(&mut self, other: &ISet) {
+        debug_assert_eq!(self.width, other.width);
+        self.ivs.extend_from_slice(&other.ivs);
+        self.normalize();
+    }
+
+    /// Removes one value, splitting the containing interval if needed.
+    pub(crate) fn remove_value(&mut self, v: u64) {
+        let v = self.width.truncate(v);
+        let Some(pos) = self.ivs.iter().position(|&(lo, hi)| lo <= v && v <= hi) else {
+            return;
+        };
+        let (lo, hi) = self.ivs[pos];
+        let mut repl = Vec::with_capacity(2);
+        if lo < v {
+            repl.push((lo, v - 1));
+        }
+        if v < hi {
+            repl.push((v + 1, hi));
+        }
+        self.ivs.splice(pos..=pos, repl);
+    }
+
+    /// The set `{ (x - c) mod 2^w : x in self }`, i.e. the preimage of this
+    /// set under adding `c`. Wrapping intervals split at the domain boundary.
+    pub(crate) fn sub_const(&self, c: u64) -> ISet {
+        let c = self.width.truncate(c);
+        if c == 0 {
+            return self.clone();
+        }
+        let max = self.width.max_unsigned();
+        let mut out = ISet::empty(self.width);
+        for &(lo, hi) in &self.ivs {
+            let nlo = self.width.truncate(lo.wrapping_sub(c));
+            let nhi = self.width.truncate(hi.wrapping_sub(c));
+            if nlo <= nhi {
+                out.ivs.push((nlo, nhi));
+            } else {
+                // Wrapped around: split into the two straddling pieces.
+                out.ivs.push((nlo, max));
+                out.ivs.push((0, nhi));
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// All values, ascending.
+    pub(crate) fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ivs.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_and_union_roundtrip() {
+        let mut a = ISet::range(Width::W8, 0, 100);
+        let b = ISet::range(Width::W8, 50, 200);
+        a.intersect(&b);
+        assert_eq!(a.intervals(), &[(50, 100)]);
+        a.union(&ISet::range(Width::W8, 101, 120));
+        assert_eq!(a.intervals(), &[(50, 120)]);
+    }
+
+    #[test]
+    fn remove_value_splits() {
+        let mut s = ISet::range(Width::W8, 10, 20);
+        s.remove_value(15);
+        assert_eq!(s.intervals(), &[(10, 14), (16, 20)]);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sub_const_wraps() {
+        let s = ISet::range(Width::W8, 0, 4);
+        let shifted = s.sub_const(2);
+        // {0..4} - 2 = {254, 255, 0, 1, 2}
+        assert_eq!(shifted.intervals(), &[(0, 2), (254, 255)]);
+        assert_eq!(shifted.len(), 5);
+    }
+
+    #[test]
+    fn singleton_and_values() {
+        let s = ISet::singleton(Width::W8, 300); // truncates to 44
+        assert_eq!(s.as_singleton(), Some(44));
+        let r = ISet::range(Width::W8, 3, 5);
+        assert_eq!(r.values().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests tying the solver's certificates to the checker.
+//!
+//! Three properties over randomly generated constraint sets:
+//!
+//! 1. Every `Unsat` verdict's certificate validates under the independent
+//!    checker, and its unsat core — re-solved *alone* — is itself `Unsat`.
+//! 2. Tampering with a certificate (redirecting a proof step's ref,
+//!    replacing a node with `Admitted`) makes the checker reject it.
+//! 3. Dropping any core member from the query makes the checker reject the
+//!    certificate against the reduced assertion set.
+
+use std::collections::HashMap;
+
+use achilles_solver::{
+    solve, Certificate, ProofNode, ProofStep, SatResult, SolverConfig, TermId, TermPool, Width,
+};
+use proptest::prelude::*;
+
+const W: Width = Width::W8;
+
+/// A tiny constraint AST lowered to terms (mirrors the solver's own
+/// property-test fragment; biased toward unsatisfiable combinations so the
+/// certificate path is exercised often).
+#[derive(Clone, Debug)]
+enum C {
+    EqConst(usize, u8),
+    NeConst(usize, u8),
+    LtConst(usize, u8),
+    GtConst(usize, u8),
+    EqVar(usize, usize),
+    AddEq(usize, u8, u8),
+    Or(Box<C>, Box<C>),
+    And(Box<C>, Box<C>),
+}
+
+fn lower(pool: &mut TermPool, vars: &[TermId], c: &C) -> TermId {
+    match *c {
+        C::EqConst(v, k) => {
+            let kc = pool.constant(u64::from(k), W);
+            pool.eq(vars[v], kc)
+        }
+        C::NeConst(v, k) => {
+            let kc = pool.constant(u64::from(k), W);
+            pool.ne(vars[v], kc)
+        }
+        C::LtConst(v, k) => {
+            let kc = pool.constant(u64::from(k), W);
+            pool.ult(vars[v], kc)
+        }
+        C::GtConst(v, k) => {
+            let kc = pool.constant(u64::from(k), W);
+            pool.ult(kc, vars[v])
+        }
+        C::EqVar(a, b) => pool.eq(vars[a], vars[b]),
+        C::AddEq(v, a, b) => {
+            let ac = pool.constant(u64::from(a), W);
+            let bc = pool.constant(u64::from(b), W);
+            let sum = pool.add(vars[v], ac);
+            pool.eq(sum, bc)
+        }
+        C::Or(ref l, ref r) => {
+            let lt = lower(pool, vars, l);
+            let rt = lower(pool, vars, r);
+            pool.or(lt, rt)
+        }
+        C::And(ref l, ref r) => {
+            let lt = lower(pool, vars, l);
+            let rt = lower(pool, vars, r);
+            pool.and(lt, rt)
+        }
+    }
+}
+
+fn leaf(num_vars: usize) -> impl Strategy<Value = C> {
+    let v = 0..num_vars;
+    // Small constant range makes conflicting constraints likely.
+    let k = 0u8..8;
+    prop_oneof![
+        (v.clone(), k.clone()).prop_map(|(v, k)| C::EqConst(v, k)),
+        (v.clone(), k.clone()).prop_map(|(v, k)| C::NeConst(v, k)),
+        (v.clone(), k.clone()).prop_map(|(v, k)| C::LtConst(v, k)),
+        (v.clone(), k.clone()).prop_map(|(v, k)| C::GtConst(v, k)),
+        (v.clone(), v.clone()).prop_map(|(a, b)| C::EqVar(a, b)),
+        (v, k.clone(), k).prop_map(|(v, a, b)| C::AddEq(v, a, b)),
+    ]
+}
+
+fn constraint(num_vars: usize) -> impl Strategy<Value = C> {
+    leaf(num_vars).prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| C::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| C::And(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Redirects the first ref encountered in the proof to `u32::MAX`, which no
+/// context can contain. Returns `None` if the tree holds no refs to tamper.
+fn redirect_first_ref(node: &ProofNode) -> Option<ProofNode> {
+    match node {
+        ProofNode::Derive { steps, then } => {
+            if let Some(first) = steps.first() {
+                let mut steps = steps.clone();
+                steps[0] = match first {
+                    ProofStep::Restrict { var, .. } => ProofStep::Restrict {
+                        just: u32::MAX,
+                        var: *var,
+                    },
+                    ProofStep::Merge { .. } => ProofStep::Merge { just: u32::MAX },
+                };
+                Some(ProofNode::Derive {
+                    steps,
+                    then: then.clone(),
+                })
+            } else {
+                redirect_first_ref(then).map(|t| ProofNode::Derive {
+                    steps: steps.clone(),
+                    then: Box::new(t),
+                })
+            }
+        }
+        ProofNode::SplitOr { or, cases } => redirect_first_ref(cases.first()?).map(|t| {
+            let mut cases = cases.clone();
+            cases[0] = t;
+            ProofNode::SplitOr { or: *or, cases }
+        }),
+        ProofNode::SplitVal { var, cases } => redirect_first_ref(cases.first()?).map(|t| {
+            let mut cases = cases.clone();
+            cases[0] = t;
+            ProofNode::SplitVal { var: *var, cases }
+        }),
+        ProofNode::Falsified { .. } => Some(ProofNode::Falsified { just: u32::MAX }),
+        ProofNode::EmptyRestrict { var, .. } => Some(ProofNode::EmptyRestrict {
+            just: u32::MAX,
+            var: *var,
+        }),
+        ProofNode::EmptyMerge { .. } => Some(ProofNode::EmptyMerge { just: u32::MAX }),
+        ProofNode::FalseCore { .. } => Some(ProofNode::FalseCore { core: u32::MAX }),
+        ProofNode::Admitted => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unsat_cores_revalidate_and_resolve_unsat(
+        cs in prop::collection::vec(constraint(2), 2..6),
+    ) {
+        let mut pool = TermPool::new();
+        let x = pool.fresh("x", W);
+        let y = pool.fresh("y", W);
+        let vars = [x, y];
+        let assertions: Vec<TermId> =
+            cs.iter().map(|c| lower(&mut pool, &vars, c)).collect();
+        let config = SolverConfig::default();
+        let (result, _) = solve(&mut pool, &assertions, &config);
+        let SatResult::Unsat(cert) = result else {
+            return Ok(()); // only unsat verdicts carry certificates
+        };
+
+        // Property 1a: the certificate validates against the full query.
+        achilles_proofcheck::check(&mut pool, &assertions, &cert)
+            .map_err(|e| TestCaseError::fail(format!("valid certificate rejected: {e}")))?;
+
+        // Property 1b: the core alone is already unsatisfiable, and its
+        // fresh certificate validates too.
+        let by_fp: HashMap<u128, TermId> =
+            assertions.iter().map(|&t| (pool.term_fp(t), t)).collect();
+        let core_terms: Vec<TermId> = cert
+            .core
+            .iter()
+            .map(|fp| *by_fp.get(fp).expect("core fps come from the query"))
+            .collect();
+        prop_assert!(!core_terms.is_empty(), "unsat certificate with empty core");
+        let (core_result, _) = solve(&mut pool, &core_terms, &config);
+        let SatResult::Unsat(core_cert) = core_result else {
+            return Err(TestCaseError::fail("unsat core is not unsat on its own"));
+        };
+        achilles_proofcheck::check(&mut pool, &core_terms, &core_cert)
+            .map_err(|e| TestCaseError::fail(format!("core certificate rejected: {e}")))?;
+
+        // Property 2a: replacing the proof with an admitted claim rejects.
+        let admitted = Certificate {
+            core: cert.core.clone(),
+            proof: ProofNode::Admitted,
+            steps: cert.steps,
+        };
+        prop_assert!(
+            achilles_proofcheck::check(&mut pool, &assertions, &admitted).is_err(),
+            "admitted certificate accepted"
+        );
+
+        // Property 2b: redirecting any justification ref out of the context
+        // rejects.
+        if let Some(tampered_proof) = redirect_first_ref(&cert.proof) {
+            let tampered = Certificate {
+                core: cert.core.clone(),
+                proof: tampered_proof,
+                steps: cert.steps,
+            };
+            prop_assert!(
+                achilles_proofcheck::check(&mut pool, &assertions, &tampered).is_err(),
+                "certificate with redirected ref accepted"
+            );
+        }
+
+        // Property 3: dropping any single core member from the query
+        // rejects (the core no longer resolves).
+        for drop_fp in cert.core.iter() {
+            let reduced: Vec<TermId> = assertions
+                .iter()
+                .copied()
+                .filter(|&t| pool.term_fp(t) != *drop_fp)
+                .collect();
+            prop_assert!(
+                achilles_proofcheck::check(&mut pool, &reduced, &cert).is_err(),
+                "certificate accepted without one of its core assertions"
+            );
+        }
+    }
+}

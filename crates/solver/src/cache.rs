@@ -15,13 +15,22 @@
 //! asserted terms, so the reader — which interned those terms to build the
 //! query — always knows them.
 //!
+//! Unsatisfiable entries store their [`Certificate`], and the certificate's
+//! **unsat core** feeds a second, *subsumption* tier: a query whose
+//! fingerprint set is a superset of a cached core is unsat (any superset of
+//! an unsat set is), so [`SharedCache::lookup_subsumed`] can answer it —
+//! with the cached certificate as proof — even though the exact key was
+//! never inserted. This is what turns the dominant `pathS ∧ pathC` drop
+//! checks into cache hits across witnesses that share only a path prefix.
+//!
 //! The map is sharded by key hash behind `RwLock`s, so concurrent readers
 //! never contend and writers only lock one shard.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::certificate::Certificate;
 use crate::model::Model;
 use crate::search::SatResult;
 use crate::term::{TermId, TermPool};
@@ -34,7 +43,8 @@ const SHARDS: usize = 64;
 enum EntryKind {
     /// Satisfiable; the model as (variable fingerprint, value) pairs.
     Sat(Arc<Vec<(u128, u64)>>),
-    Unsat,
+    /// Unsatisfiable, with its refutation certificate.
+    Unsat(Arc<Certificate>),
     Unknown,
 }
 
@@ -43,6 +53,14 @@ enum EntryKind {
 struct Entry {
     kind: EntryKind,
     epoch: u64,
+}
+
+/// One core-index entry: a sorted, deduplicated unsat core plus the
+/// certificate that proves it.
+#[derive(Clone, Debug)]
+struct CoreEntry {
+    core: Box<[u128]>,
+    cert: Arc<Certificate>,
 }
 
 /// Counters of one [`SharedCache`].
@@ -58,6 +76,13 @@ pub struct SharedCacheStats {
     pub misses: u64,
     /// Results published.
     pub inserts: u64,
+    /// Queries answered by the core-subsumption tier: the exact key was
+    /// absent but the key contained a cached unsat core.
+    pub core_subsumption_hits: u64,
+    /// Unsat cores added to the subsumption index.
+    pub cores_indexed: u64,
+    /// Certificate-carrying `Unsat` results published.
+    pub certified_unsat: u64,
 }
 
 /// A sharded, fingerprint-keyed query cache shared by all workers of a
@@ -89,12 +114,22 @@ pub struct SharedCacheStats {
 #[derive(Debug)]
 pub struct SharedCache {
     shards: Vec<RwLock<HashMap<Box<[u128]>, Entry>>>,
+    /// Subsumption index: minimum core fingerprint → cores starting there.
+    /// Sharded by that fingerprint so a reader probes one shard per key fp.
+    cores: Vec<RwLock<HashMap<u128, Vec<CoreEntry>>>>,
+    /// Whether [`lookup_subsumed`](SharedCache::lookup_subsumed) answers.
+    /// The index is always maintained; only lookups are gated, so the
+    /// toggle can be flipped per run for differential testing.
+    subsumption: AtomicBool,
     /// The current phase epoch (see [`SharedCache::advance_epoch`]).
     epoch: AtomicU64,
     hits: AtomicU64,
     cross_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    core_hits: AtomicU64,
+    cores_indexed: AtomicU64,
+    certified_unsat: AtomicU64,
 }
 
 impl Default for SharedCache {
@@ -104,16 +139,32 @@ impl Default for SharedCache {
 }
 
 impl SharedCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache (subsumption lookups enabled).
     pub fn new() -> SharedCache {
         SharedCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            cores: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            subsumption: AtomicBool::new(true),
             epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             cross_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            core_hits: AtomicU64::new(0),
+            cores_indexed: AtomicU64::new(0),
+            certified_unsat: AtomicU64::new(0),
         }
+    }
+
+    /// Enables or disables the core-subsumption lookup tier. The index is
+    /// still maintained while disabled, so re-enabling needs no warm-up.
+    pub fn set_subsumption(&self, enabled: bool) {
+        self.subsumption.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether subsumption lookups are enabled.
+    pub fn subsumption_enabled(&self) -> bool {
+        self.subsumption.load(Ordering::Relaxed)
     }
 
     /// Starts a new phase epoch. Entries keep the epoch they were
@@ -153,6 +204,13 @@ impl SharedCache {
         (h as usize) & (SHARDS - 1)
     }
 
+    fn shard_of_fp(fp: u128) -> usize {
+        ((fp as u64)
+            .rotate_left(23)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D) as usize)
+            & (SHARDS - 1)
+    }
+
     /// Looks up a query, translating a satisfiable entry's model into
     /// `pool`'s variable ids.
     pub fn lookup(&self, pool: &TermPool, key: &[u128]) -> Option<SatResult> {
@@ -170,7 +228,7 @@ impl SharedCache {
         drop(shard);
         let entry_epoch = entry.epoch;
         let result = match entry.kind {
-            EntryKind::Unsat => SatResult::Unsat,
+            EntryKind::Unsat(cert) => SatResult::Unsat(cert),
             EntryKind::Unknown => SatResult::Unknown,
             EntryKind::Sat(pairs) => {
                 let mut model = Model::new();
@@ -196,10 +254,48 @@ impl SharedCache {
         Some(result)
     }
 
+    /// Subsumption tier: answers with a certificate if `key` (sorted,
+    /// deduplicated) is a *superset* of a cached unsat core — any superset
+    /// of an unsat assertion set is unsat. The returned certificate's core
+    /// is by construction a subset of `key`, so it validates against the
+    /// caller's assertions as-is.
+    ///
+    /// Returns `None` when the tier is disabled
+    /// (see [`set_subsumption`](SharedCache::set_subsumption)).
+    pub fn lookup_subsumed(&self, key: &[u128]) -> Option<Arc<Certificate>> {
+        if !self.subsumption_enabled() {
+            return None;
+        }
+        // A subsumed core's minimum fingerprint is some element of `key`,
+        // so probing the index at every key fp finds all candidates.
+        for &fp in key {
+            let bucket = self.cores[Self::shard_of_fp(fp)]
+                .read()
+                .expect("core shard poisoned");
+            let Some(entries) = bucket.get(&fp) else {
+                continue;
+            };
+            for entry in entries {
+                if is_subset(&entry.core, key) {
+                    let cert = Arc::clone(&entry.cert);
+                    drop(bucket);
+                    self.core_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(cert);
+                }
+            }
+        }
+        None
+    }
+
     /// Publishes a result under `key` (stamped with the current epoch).
+    /// `Unsat` results also index their certificate's core for subsumption.
     pub fn insert(&self, pool: &TermPool, key: Box<[u128]>, result: &SatResult) {
         let kind = match result {
-            SatResult::Unsat => EntryKind::Unsat,
+            SatResult::Unsat(cert) => {
+                self.certified_unsat.fetch_add(1, Ordering::Relaxed);
+                self.index_core(cert);
+                EntryKind::Unsat(Arc::clone(cert))
+            }
             SatResult::Unknown => EntryKind::Unknown,
             SatResult::Sat(model) => {
                 let pairs: Vec<(u128, u64)> =
@@ -217,6 +313,31 @@ impl SharedCache {
         shard.entry(key).or_insert(entry);
         drop(shard);
         self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds a certificate's core to the subsumption index (deduplicated).
+    fn index_core(&self, cert: &Arc<Certificate>) {
+        if cert.core.is_empty() {
+            return;
+        }
+        let mut core: Vec<u128> = cert.core.clone();
+        core.sort_unstable();
+        core.dedup();
+        let min_fp = core[0];
+        let core: Box<[u128]> = core.into_boxed_slice();
+        let mut bucket = self.cores[Self::shard_of_fp(min_fp)]
+            .write()
+            .expect("core shard poisoned");
+        let entries = bucket.entry(min_fp).or_default();
+        if entries.iter().any(|e| e.core == core) {
+            return;
+        }
+        entries.push(CoreEntry {
+            core,
+            cert: Arc::clone(cert),
+        });
+        drop(bucket);
+        self.cores_indexed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of cached queries.
@@ -239,14 +360,45 @@ impl SharedCache {
             cross_epoch_hits: self.cross_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            core_subsumption_hits: self.core_hits.load(Ordering::Relaxed),
+            cores_indexed: self.cores_indexed.load(Ordering::Relaxed),
+            certified_unsat: self.certified_unsat.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Whether sorted slice `a` is a subset of sorted slice `b`.
+fn is_subset(a: &[u128], b: &[u128]) -> bool {
+    let mut bi = 0;
+    'outer: for &x in a {
+        while bi < b.len() {
+            match b[bi].cmp(&x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::certificate::ProofNode;
     use crate::width::Width;
+
+    fn dummy_unsat(core: Vec<u128>) -> SatResult {
+        SatResult::Unsat(Arc::new(Certificate {
+            core,
+            proof: ProofNode::Admitted,
+            steps: 1,
+        }))
+    }
 
     #[test]
     fn key_is_order_insensitive_and_deduped() {
@@ -312,7 +464,7 @@ mod tests {
         let key = SharedCache::key_of(&pool, &[lt]);
 
         let cache = SharedCache::new();
-        cache.insert(&pool, key.clone(), &SatResult::Unsat);
+        cache.insert(&pool, key.clone(), &dummy_unsat(key.to_vec()));
         // Same epoch: an ordinary hit, not a cross-epoch one.
         assert!(cache.lookup(&pool, &key).is_some());
         assert_eq!(cache.stats().hits, 1);
@@ -329,7 +481,7 @@ mod tests {
         let y = pool.fresh("y", Width::W8);
         let eq = pool.eq(y, c);
         let key2 = SharedCache::key_of(&pool, &[eq]);
-        cache.insert(&pool, key2.clone(), &SatResult::Unsat);
+        cache.insert(&pool, key2.clone(), &dummy_unsat(key2.to_vec()));
         assert!(cache.lookup(&pool, &key2).is_some());
         assert_eq!(cache.stats().cross_epoch_hits, 1);
     }
@@ -361,5 +513,51 @@ mod tests {
             .lookup(&pool2, &key2)
             .expect("equal tags make equal keys");
         assert_eq!(hit.model().unwrap().value(v2), Some(0));
+    }
+
+    #[test]
+    fn superset_key_hits_the_core_index() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh("x", Width::W8);
+        let c5 = pool.constant(5, Width::W8);
+        let a = pool.ult(x, c5);
+        let b = pool.ult(c5, x);
+        let key = SharedCache::key_of(&pool, &[a, b]);
+
+        let cache = SharedCache::new();
+        cache.insert(&pool, key.clone(), &dummy_unsat(key.to_vec()));
+        assert_eq!(cache.stats().certified_unsat, 1);
+        assert_eq!(cache.stats().cores_indexed, 1);
+
+        // A strictly larger query was never inserted, but contains the core.
+        let c9 = pool.constant(9, Width::W8);
+        let extra = pool.ult(x, c9);
+        let superset = SharedCache::key_of(&pool, &[a, b, extra]);
+        assert!(cache.lookup(&pool, &superset).is_none(), "no exact entry");
+        let cert = cache
+            .lookup_subsumed(&superset)
+            .expect("superset of a cached core");
+        assert!(is_subset(&cert.core, &superset));
+        assert_eq!(cache.stats().core_subsumption_hits, 1);
+
+        // A disjoint query does not hit.
+        let disjoint = SharedCache::key_of(&pool, &[extra]);
+        assert!(cache.lookup_subsumed(&disjoint).is_none());
+
+        // Disabling the tier silences lookups without clearing the index.
+        cache.set_subsumption(false);
+        assert!(cache.lookup_subsumed(&superset).is_none());
+        cache.set_subsumption(true);
+        assert!(cache.lookup_subsumed(&superset).is_some());
+    }
+
+    #[test]
+    fn subset_test_is_exact() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 3]));
+        assert!(!is_subset(&[0], &[1]));
     }
 }

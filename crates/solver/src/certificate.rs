@@ -1,0 +1,196 @@
+//! Unsat certificates: checkable refutation traces.
+//!
+//! Every [`SatResult::Unsat`](crate::search::SatResult) verdict carries a
+//! [`Certificate`]: the subset of input assertions the refutation actually
+//! used (the **unsat core**, identified by structural fingerprint so it is
+//! pool-independent), plus a [`ProofNode`] tree describing *how* the search
+//! refuted the conjunction — interval restrictions, variable merges, clause
+//! splits and value enumerations.
+//!
+//! The certificate never records claimed truth sets or domains: it only
+//! points at assertions (by **ref**, see below) and variables (by
+//! fingerprint). An independent checker re-derives every restriction from
+//! the terms themselves, so a propagation bug in the search cannot validate
+//! its own mistake. The checker lives in the separate `achilles-proofcheck`
+//! crate; this module only defines the data types and the process-wide
+//! audit hook the checker installs.
+//!
+//! ## The ref protocol
+//!
+//! Proof steps justify themselves by *refs* — indices into a context the
+//! checker builds deterministically. Converting an asserted term to
+//! negation normal form yields a tree of `And` / `Or` / literal nodes; the
+//! context entries are exactly the **literals and `Or` nodes** encountered
+//! while structurally walking the asserted formulas in order (`And`
+//! children are walked in place; an `Or` contributes one entry and its
+//! children are *not* walked until a [`ProofNode::SplitOr`] case assumes
+//! one of them). Splitting pushes the assumed disjunct's entries at the
+//! end of the context and truncates them when the case closes, so a ref is
+//! meaningful exactly within the subtree that assumed it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::term::{TermId, TermPool};
+
+/// One domain-refinement step of a refutation, replayed by the checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Asserting the literal at `just` restricted the domain of the class
+    /// of the variable with fingerprint `var`.
+    Restrict {
+        /// Context ref of the justifying literal.
+        just: u32,
+        /// Structural fingerprint of the restricted variable.
+        var: u128,
+    },
+    /// Asserting the (positive, affine-vs-affine) equality at `just`
+    /// merged the two variable classes it relates.
+    Merge {
+        /// Context ref of the justifying equality literal.
+        just: u32,
+    },
+}
+
+/// A refutation tree. Leaves close a branch with a conflict; inner nodes
+/// replay derivations or case-split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofNode {
+    /// Apply `steps` in order, then check `then` in the refined state.
+    Derive {
+        /// Restrictions/merges to replay, in derivation order.
+        steps: Vec<ProofStep>,
+        /// The rest of the refutation.
+        then: Box<ProofNode>,
+    },
+    /// Case-split on the `Or` entry at ref `or`: one case per disjunct,
+    /// in disjunct order. Each case assumes its disjunct (pushing its
+    /// entries onto the context) and must itself be a refutation.
+    SplitOr {
+        /// Context ref of the `Or` entry being split.
+        or: u32,
+        /// One refutation per disjunct.
+        cases: Vec<ProofNode>,
+    },
+    /// Enumerate the domain of the class of variable `var` (the checker's
+    /// *own* domain, ascending): one case per value, each checked with the
+    /// class pinned to that value.
+    SplitVal {
+        /// Structural fingerprint of the enumerated variable.
+        var: u128,
+        /// One refutation per domain value, ascending.
+        cases: Vec<ProofNode>,
+    },
+    /// The literal at `just` evaluates to the wrong polarity under the
+    /// current pinned values.
+    Falsified {
+        /// Context ref of the contradicted literal.
+        just: u32,
+    },
+    /// Re-deriving the restriction for the literal at `just` empties the
+    /// domain of the variable with fingerprint `var`.
+    EmptyRestrict {
+        /// Context ref of the justifying literal.
+        just: u32,
+        /// Structural fingerprint of the emptied variable.
+        var: u128,
+    },
+    /// Re-deriving the merge for the equality at `just` intersects two
+    /// class domains to nothing.
+    EmptyMerge {
+        /// Context ref of the justifying equality literal.
+        just: u32,
+    },
+    /// Core assertion `core` normalizes to literally `false`.
+    FalseCore {
+        /// Index into [`Certificate::core`].
+        core: u32,
+    },
+    /// An unjustified claim. The checker rejects it unconditionally; the
+    /// search never emits it (it exists so tests can tamper with proofs).
+    Admitted,
+}
+
+impl ProofNode {
+    /// Number of nodes and steps in the tree (a size measure, not a
+    /// soundness property).
+    pub fn size(&self) -> u64 {
+        match self {
+            ProofNode::Derive { steps, then } => 1 + steps.len() as u64 + then.size(),
+            ProofNode::SplitOr { cases, .. } | ProofNode::SplitVal { cases, .. } => {
+                1 + cases.iter().map(ProofNode::size).sum::<u64>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// A checkable refutation of a conjunction of assertions.
+///
+/// `core` lists the structural fingerprints ([`TermPool::term_fp`]) of the
+/// assertions the proof references, in assertion order — the unsat core,
+/// minimal by construction (an assertion no step or split points at is
+/// dropped). The proof's refs are expressed against the context built from
+/// the core assertions alone, so the certificate also validates against any
+/// *superset* of the core: that is what makes cores reusable as cache
+/// subsumption keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Fingerprints of the core assertions, in assertion order.
+    pub core: Vec<u128>,
+    /// The refutation, with refs relative to the core context.
+    pub proof: ProofNode,
+    /// Total nodes + steps (diagnostic size measure).
+    pub steps: u64,
+}
+
+/// A process-wide certificate audit callback.
+///
+/// Installed by the independent checker crate; called by
+/// [`Solver::check`](crate::solver::Solver::check) for every freshly
+/// computed or subsumption-derived `Unsat` verdict. Returning `Err`
+/// indicates a rejected certificate and makes the solver panic — a wrong
+/// pruning proof must never pass silently.
+pub type ProofAuditFn =
+    Arc<dyn Fn(&mut TermPool, &[TermId], &Certificate) -> Result<(), String> + Send + Sync>;
+
+static AUDIT: RwLock<Option<ProofAuditFn>> = RwLock::new(None);
+static AUDIT_CHECKS: AtomicU64 = AtomicU64::new(0);
+static AUDIT_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Installs (or, with `None`, removes) the process-wide proof audit hook.
+pub fn set_proof_audit(f: Option<ProofAuditFn>) {
+    *AUDIT.write().expect("proof audit lock poisoned") = f;
+}
+
+/// Whether a proof audit hook is installed.
+pub fn proof_audit_installed() -> bool {
+    AUDIT.read().expect("proof audit lock poisoned").is_some()
+}
+
+/// Runs the installed audit hook, if any, recording check count and wall
+/// time. Returns `Ok(())` when no hook is installed.
+pub fn proof_audit(
+    pool: &mut TermPool,
+    assertions: &[TermId],
+    cert: &Certificate,
+) -> Result<(), String> {
+    let hook = AUDIT.read().expect("proof audit lock poisoned").clone();
+    let Some(hook) = hook else {
+        return Ok(());
+    };
+    let started = Instant::now();
+    let result = hook(pool, assertions, cert);
+    AUDIT_CHECKS.fetch_add(1, Ordering::Relaxed);
+    AUDIT_WALL_NANOS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    result
+}
+
+/// `(certificates checked, wall time spent checking)` since process start.
+pub fn proof_audit_stats() -> (u64, Duration) {
+    (
+        AUDIT_CHECKS.load(Ordering::Relaxed),
+        Duration::from_nanos(AUDIT_WALL_NANOS.load(Ordering::Relaxed)),
+    )
+}

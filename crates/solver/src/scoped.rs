@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use crate::certificate::Certificate;
 use crate::model::Model;
 use crate::search::SatResult;
 use crate::solver::Solver;
@@ -75,8 +76,11 @@ pub struct ScopedSolver {
     /// The deepest model known to satisfy a prefix of the stack, together
     /// with the frame count it was verified against.
     last_model: Option<(usize, Arc<Model>)>,
-    /// Shallowest frame count proven unsatisfiable, if any.
-    unsat_from: Option<usize>,
+    /// Shallowest frame count proven unsatisfiable, with the certificate
+    /// that proved it. The certificate's core only references assertions in
+    /// frames `[0..from]`, so it stays valid for every deeper stack the
+    /// sticky short-circuit answers.
+    unsat_from: Option<(usize, Arc<Certificate>)>,
     stats: ScopedStats,
 }
 
@@ -131,8 +135,8 @@ impl ScopedSolver {
                 self.last_model = self.last_model.take().map(|(_, m)| (depth.min(at), m));
             }
         }
-        if let Some(from) = self.unsat_from {
-            if from > depth {
+        if let Some((from, _)) = &self.unsat_from {
+            if *from > depth {
                 self.unsat_from = None;
             }
         }
@@ -142,10 +146,10 @@ impl ScopedSolver {
     pub fn check(&mut self, pool: &mut TermPool, solver: &mut Solver) -> SatResult {
         self.stats.checks += 1;
         let depth = self.assertions.len();
-        if let Some(from) = self.unsat_from {
-            if from <= depth {
+        if let Some((from, cert)) = &self.unsat_from {
+            if *from <= depth {
                 self.stats.sticky_unsat_hits += 1;
-                return SatResult::Unsat;
+                return SatResult::Unsat(Arc::clone(cert));
             }
         }
         // Try the previous model against the conjuncts it has not yet been
@@ -167,11 +171,16 @@ impl ScopedSolver {
         let result = solver.check(pool, &self.assertions);
         match &result {
             SatResult::Sat(model) => self.last_model = Some((depth, Arc::clone(model))),
-            SatResult::Unsat => {
-                self.unsat_from = Some(match self.unsat_from {
-                    Some(prev) => prev.min(depth),
-                    None => depth,
-                });
+            SatResult::Unsat(cert) => {
+                // Keep the shallowest proof: its core references the fewest
+                // frames, so it covers the most future extensions.
+                let replace = match &self.unsat_from {
+                    Some((prev, _)) => depth < *prev,
+                    None => true,
+                };
+                if replace {
+                    self.unsat_from = Some((depth, Arc::clone(cert)));
+                }
             }
             SatResult::Unknown => {}
         }

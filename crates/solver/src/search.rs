@@ -17,8 +17,11 @@
 //!    sampled case can answer [`SatResult::Unknown`]).
 //!
 //! Every `Sat` answer carries a [`Model`] that has been *verified* by
-//! re-evaluating all input assertions, so `Sat` results are trustworthy even
-//! if a propagation rule were buggy.
+//! re-evaluating all input assertions. Every `Unsat` answer carries a
+//! [`Certificate`]: the refutation trace (restrictions, merges, splits,
+//! conflicts) plus the unsat core, checkable by the independent
+//! `achilles-proofcheck` crate — so *both* verdict kinds are trustworthy
+//! even if a propagation rule were buggy.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::atom::{affine_view_with, nnf, Formula, Literal};
+use crate::certificate::{Certificate, ProofNode, ProofStep};
 use crate::interval::IntervalSet;
 use crate::model::Model;
 use crate::term::{Op, TermId, TermPool, VarId};
@@ -58,15 +62,15 @@ impl Default for SolverConfig {
 
 /// Outcome of a satisfiability query.
 ///
-/// Models are shared (`Arc`) so that cache hits — including hits served from
-/// the cross-worker [`SharedCache`](crate::cache::SharedCache) — never deep
-/// clone an assignment.
+/// Models and certificates are shared (`Arc`) so that cache hits — including
+/// hits served from the cross-worker [`SharedCache`](crate::cache::SharedCache)
+/// — never deep clone them.
 #[derive(Clone, Debug)]
 pub enum SatResult {
     /// Satisfiable, with a verified model.
     Sat(Arc<Model>),
-    /// Proven unsatisfiable.
-    Unsat,
+    /// Proven unsatisfiable, with a checkable refutation certificate.
+    Unsat(Arc<Certificate>),
     /// The engine gave up (sampling fallback or budget exhaustion).
     Unknown,
 }
@@ -79,7 +83,7 @@ impl SatResult {
 
     /// Whether the result is `Unsat`.
     pub fn is_unsat(&self) -> bool {
-        matches!(self, SatResult::Unsat)
+        matches!(self, SatResult::Unsat(_))
     }
 
     /// The model, if satisfiable.
@@ -97,6 +101,14 @@ impl SatResult {
             _ => None,
         }
     }
+
+    /// The refutation certificate, if unsatisfiable.
+    pub fn certificate(&self) -> Option<&Arc<Certificate>> {
+        match self {
+            SatResult::Unsat(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 /// Counters describing the work performed by one `solve` call.
@@ -110,19 +122,79 @@ pub struct SearchStats {
     pub deferred_checks: u64,
     /// Number of model verifications that failed (should stay zero).
     pub verification_failures: u64,
+    /// Total certificate nodes + steps emitted for `Unsat` verdicts.
+    pub certificate_steps: u64,
+}
+
+/// An open disjunction awaiting unit propagation or a case split.
+///
+/// `parts` keeps the *original* disjuncts (the checker's `Or` context entry
+/// holds all of them); `live` indexes the ones not yet falsified.
+#[derive(Clone)]
+struct Clause {
+    /// Context ref of the `Or` entry this clause came from.
+    or_ref: u32,
+    /// All original disjuncts, in order.
+    parts: Vec<Formula>,
+    /// Indices into `parts` still undecided, ascending.
+    live: Vec<usize>,
 }
 
 #[derive(Clone)]
 struct State {
     parent: Vec<u32>,
     dom: HashMap<u32, IntervalSet>,
-    deferred: Vec<Literal>,
-    clauses: Vec<Vec<Formula>>,
+    deferred: Vec<(Literal, u32)>,
+    clauses: Vec<Clause>,
+    /// The checker's context length at this point of the search: refs of
+    /// formulas pushed in this branch start here.
+    next_ref: u32,
 }
 
 enum Step {
     Progress(bool),
     Conflict,
+}
+
+/// What an applied propagation touched — used to name the step (or the
+/// conflict) in the certificate.
+enum Applied {
+    Restrict(VarId),
+    Merge,
+}
+
+/// Chronological record of one propagation pass, folded into the proof
+/// tree when (and only when) the branch is refuted.
+enum Event {
+    /// A justified domain refinement.
+    Step(ProofStep),
+    /// Unit propagation: all disjuncts of the `Or` at `or_ref` except
+    /// `survivor` were falsified (each refuted by its synthesized node in
+    /// `dead`), and the survivor was assumed.
+    Unit {
+        or_ref: u32,
+        n_parts: usize,
+        survivor: usize,
+        dead: Vec<(usize, ProofNode)>,
+    },
+}
+
+/// Internal search outcome: `Unsat` carries the (not yet core-extracted)
+/// refutation of the current branch.
+enum SearchOut {
+    Sat(Arc<Model>),
+    Unsat(ProofNode),
+    Unknown,
+}
+
+/// Number of context entries a formula contributes when pushed: one per
+/// literal and one per (unsplit) `Or`, walked structurally through `And`s.
+fn count(f: &Formula) -> u32 {
+    match f {
+        Formula::True | Formula::False => 0,
+        Formula::Lit(_) | Formula::Or(_) => 1,
+        Formula::And(parts) => parts.iter().map(count).sum(),
+    }
 }
 
 impl State {
@@ -132,6 +204,7 @@ impl State {
             dom: HashMap::new(),
             deferred: Vec::new(),
             clauses: Vec::new(),
+            next_ref: 0,
         }
     }
 
@@ -262,107 +335,219 @@ pub fn solve(
     };
     let num_vars = engine.pool.num_vars();
     let mut state = State::new(num_vars);
-    let mut pending = Vec::with_capacity(assertions.len());
-    for &a in assertions {
-        pending.push(nnf(engine.pool, a, true));
+
+    // Normalize every assertion up front, assigning each its contiguous
+    // ref range in the checker's context.
+    let mut forms = Vec::with_capacity(assertions.len());
+    let mut ranges = Vec::with_capacity(assertions.len());
+    let mut next_ref = 0u32;
+    let mut false_core: Option<usize> = None;
+    for (k, &a) in assertions.iter().enumerate() {
+        let f = nnf(engine.pool, a, true);
+        let c = count(&f);
+        ranges.push((next_ref, next_ref + c));
+        if false_core.is_none() && matches!(f, Formula::False) {
+            false_core = Some(k);
+        }
+        forms.push(f);
+        next_ref += c;
     }
-    let result = engine.search(&mut state, pending);
+    if let Some(k) = false_core {
+        // An assertion that normalizes to `false` refutes the conjunction
+        // on its own: a one-assertion core, no search needed.
+        let cert = Certificate {
+            core: vec![engine.pool.term_fp(assertions[k])],
+            proof: ProofNode::FalseCore { core: 0 },
+            steps: 1,
+        };
+        engine.stats.certificate_steps += cert.steps;
+        return (SatResult::Unsat(Arc::new(cert)), engine.stats);
+    }
+    state.next_ref = next_ref;
+    let pending: Vec<(Formula, u32)> = forms
+        .into_iter()
+        .zip(ranges.iter().map(|&(start, _)| start))
+        .collect();
+
+    let out = engine.search(&mut state, pending);
+    let result = match out {
+        SearchOut::Sat(m) => SatResult::Sat(m),
+        SearchOut::Unknown => SatResult::Unknown,
+        SearchOut::Unsat(node) => {
+            let cert = extract_certificate(engine.pool, assertions, &ranges, next_ref, node);
+            engine.stats.certificate_steps += cert.steps;
+            SatResult::Unsat(Arc::new(cert))
+        }
+    };
     let stats = engine.stats;
     (result, stats)
 }
 
 impl Engine<'_> {
-    fn search(&mut self, state: &mut State, pending: Vec<Formula>) -> SatResult {
-        match self.propagate(state, pending) {
-            Ok(()) => {}
-            Err(()) => return SatResult::Unsat,
+    fn search(&mut self, state: &mut State, pending: Vec<(Formula, u32)>) -> SearchOut {
+        let mut trail = Vec::new();
+        if let Err(leaf) = self.propagate(state, pending, &mut trail) {
+            return SearchOut::Unsat(fold_trail(trail, leaf));
         }
 
         // Case-split an open clause first: clauses are usually the negated
         // client predicates and splitting them early prunes best.
         if let Some(ci) = self.pick_clause(state) {
             let clause = state.clauses.swap_remove(ci);
+            let split_ref = state.next_ref;
             let mut saw_unknown = false;
-            for disjunct in clause {
+            let mut cases: Vec<Option<ProofNode>> = vec![None; clause.parts.len()];
+            for (i, part) in clause.parts.iter().enumerate() {
+                if !clause.live.contains(&i) {
+                    // Falsified before the split; refuted by evaluation.
+                    if !saw_unknown {
+                        cases[i] =
+                            Some(self.synth_false(state, part, split_ref, split_ref + count(part)));
+                    }
+                    continue;
+                }
                 if self.budget == 0 {
-                    return SatResult::Unknown;
+                    return SearchOut::Unknown;
                 }
                 self.budget -= 1;
                 self.stats.decisions += 1;
                 let mut branch = state.clone();
-                match self.search(&mut branch, vec![disjunct]) {
-                    SatResult::Sat(m) => return SatResult::Sat(m),
-                    SatResult::Unsat => {}
-                    SatResult::Unknown => saw_unknown = true,
+                branch.next_ref = split_ref + count(part);
+                match self.search(&mut branch, vec![(part.clone(), split_ref)]) {
+                    SearchOut::Sat(m) => return SearchOut::Sat(m),
+                    SearchOut::Unsat(node) => cases[i] = Some(node),
+                    SearchOut::Unknown => saw_unknown = true,
                 }
             }
-            return if saw_unknown {
-                SatResult::Unknown
-            } else {
-                SatResult::Unsat
+            if saw_unknown {
+                return SearchOut::Unknown;
+            }
+            let cases: Vec<ProofNode> = cases
+                .into_iter()
+                .map(|c| c.expect("every disjunct refuted"))
+                .collect();
+            let split = ProofNode::SplitOr {
+                or: clause.or_ref,
+                cases,
             };
+            return SearchOut::Unsat(fold_trail(trail, split));
         }
 
         // Then enumerate a variable pinned by a deferred atom.
         if let Some(var) = self.pick_deferred_var(state) {
-            return self.enumerate(state, var);
+            return match self.enumerate(state, var) {
+                SearchOut::Unsat(node) => SearchOut::Unsat(fold_trail(trail, node)),
+                other => other,
+            };
         }
 
         // Only interval-consistent constraints remain: build and verify.
         self.finish(state)
     }
 
-    /// Runs propagation to fixpoint. `Err(())` signals a conflict.
-    fn propagate(&mut self, state: &mut State, mut pending: Vec<Formula>) -> Result<(), ()> {
+    /// Runs propagation to fixpoint, recording refinements into `trail`.
+    /// `Err(node)` signals a conflict, refuted by `node`.
+    fn propagate(
+        &mut self,
+        state: &mut State,
+        mut pending: Vec<(Formula, u32)>,
+        trail: &mut Vec<Event>,
+    ) -> Result<(), ProofNode> {
         loop {
             let mut changed = false;
 
-            // Drain structural formulas.
-            while let Some(f) = pending.pop() {
+            // Drain structural formulas. Each carries the ref of its first
+            // context entry; `And` children get consecutive sub-ranges.
+            while let Some((f, base)) = pending.pop() {
                 match f {
                     Formula::True => {}
-                    Formula::False => return Err(()),
-                    Formula::And(parts) => pending.extend(parts),
-                    Formula::Or(parts) => state.clauses.push(parts),
+                    Formula::False => {
+                        unreachable!("top-level False is handled in solve; NNF nests no constants")
+                    }
+                    Formula::And(parts) => {
+                        let mut p = base;
+                        for part in parts {
+                            let c = count(&part);
+                            pending.push((part, p));
+                            p += c;
+                        }
+                    }
+                    Formula::Or(parts) => state.clauses.push(Clause {
+                        or_ref: base,
+                        live: (0..parts.len()).collect(),
+                        parts,
+                    }),
                     Formula::Lit(lit) => {
-                        changed |= self.assert_literal(state, lit)?;
+                        changed |= self.assert_literal(state, lit, base, trail)?;
                     }
                 }
             }
 
             // Retry deferred literals (some may have become decidable).
             let deferred = std::mem::take(&mut state.deferred);
-            for lit in deferred {
+            for (lit, just) in deferred {
                 self.stats.deferred_checks += 1;
-                changed |= self.assert_literal(state, lit)?;
+                changed |= self.assert_literal(state, lit, just, trail)?;
             }
 
             // Unit-propagate clauses.
             let clauses = std::mem::take(&mut state.clauses);
             for clause in clauses {
-                let mut undecided = Vec::new();
+                let mut live = Vec::new();
                 let mut satisfied = false;
-                for d in &clause {
-                    match self.eval_formula(state, d) {
+                for &i in &clause.live {
+                    match self.eval_formula(state, &clause.parts[i]) {
                         Some(true) => {
                             satisfied = true;
                             break;
                         }
                         Some(false) => {}
-                        None => undecided.push(d.clone()),
+                        None => live.push(i),
                     }
                 }
                 if satisfied {
                     changed = true;
                     continue;
                 }
-                match undecided.len() {
-                    0 => return Err(()),
+                match live.len() {
+                    0 => {
+                        // Every disjunct falsified: the clause itself is the
+                        // conflict, each case refuted by evaluation.
+                        let here = state.next_ref;
+                        let cases = clause
+                            .parts
+                            .iter()
+                            .map(|p| self.synth_false(state, p, here, here + count(p)))
+                            .collect();
+                        return Err(ProofNode::SplitOr {
+                            or: clause.or_ref,
+                            cases,
+                        });
+                    }
                     1 => {
-                        pending.push(undecided.pop().expect("len checked"));
+                        let survivor = live[0];
+                        let here = state.next_ref;
+                        let mut dead = Vec::with_capacity(clause.parts.len() - 1);
+                        for (i, p) in clause.parts.iter().enumerate() {
+                            if i != survivor {
+                                dead.push((i, self.synth_false(state, p, here, here + count(p))));
+                            }
+                        }
+                        trail.push(Event::Unit {
+                            or_ref: clause.or_ref,
+                            n_parts: clause.parts.len(),
+                            survivor,
+                            dead,
+                        });
+                        state.next_ref = here + count(&clause.parts[survivor]);
+                        pending.push((clause.parts[survivor].clone(), here));
                         changed = true;
                     }
-                    _ => state.clauses.push(undecided),
+                    _ => state.clauses.push(Clause {
+                        or_ref: clause.or_ref,
+                        parts: clause.parts,
+                        live,
+                    }),
                 }
             }
 
@@ -414,14 +599,85 @@ impl Engine<'_> {
         }
     }
 
+    /// Synthesizes a refutation of a formula that currently evaluates to
+    /// `Some(false)` — pinned values alone contradict it, so the proof is a
+    /// chain of `Falsified` leaves (splitting nested `Or`s along the way).
+    ///
+    /// `pos` is the ref of the formula's first context entry; `top` is the
+    /// checker's context length at the node being synthesized (where any
+    /// nested split cases push their disjuncts).
+    fn synth_false(&self, state: &State, f: &Formula, pos: u32, top: u32) -> ProofNode {
+        match f {
+            Formula::Lit(_) => ProofNode::Falsified { just: pos },
+            Formula::And(parts) => {
+                let mut p = pos;
+                for part in parts {
+                    if self.eval_formula(state, part) == Some(false) {
+                        return self.synth_false(state, part, p, top);
+                    }
+                    p += count(part);
+                }
+                unreachable!("a false conjunction has a false conjunct")
+            }
+            Formula::Or(parts) => ProofNode::SplitOr {
+                or: pos,
+                cases: parts
+                    .iter()
+                    .map(|part| self.synth_false(state, part, top, top + count(part)))
+                    .collect(),
+            },
+            Formula::True | Formula::False => {
+                unreachable!("normalized formulas nest no boolean constants")
+            }
+        }
+    }
+
+    /// Applies a propagation step, recording it (or the conflict it
+    /// surfaces) against the justifying ref.
+    fn apply_step(
+        &mut self,
+        trail: &mut Vec<Event>,
+        just: u32,
+        step: Step,
+        applied: Applied,
+    ) -> Result<bool, ProofNode> {
+        match step {
+            Step::Conflict => Err(match applied {
+                Applied::Restrict(v) => ProofNode::EmptyRestrict {
+                    just,
+                    var: self.pool.var_fp(v),
+                },
+                Applied::Merge => ProofNode::EmptyMerge { just },
+            }),
+            Step::Progress(true) => {
+                self.stats.propagations += 1;
+                trail.push(Event::Step(match applied {
+                    Applied::Restrict(v) => ProofStep::Restrict {
+                        just,
+                        var: self.pool.var_fp(v),
+                    },
+                    Applied::Merge => ProofStep::Merge { just },
+                }));
+                Ok(true)
+            }
+            Step::Progress(false) => Ok(false),
+        }
+    }
+
     /// Asserts one literal. Returns whether any domain changed.
-    fn assert_literal(&mut self, state: &mut State, lit: Literal) -> Result<bool, ()> {
+    fn assert_literal(
+        &mut self,
+        state: &mut State,
+        lit: Literal,
+        just: u32,
+        trail: &mut Vec<Event>,
+    ) -> Result<bool, ProofNode> {
         // Fast path: fully evaluable under the current assignment.
         if let Some(v) = self.pool.eval_with(lit.term, &|v| state.value_of(v)) {
             return if (v != 0) == lit.positive {
                 Ok(false)
             } else {
-                Err(())
+                Err(ProofNode::Falsified { just })
             };
         }
 
@@ -430,34 +686,54 @@ impl Engine<'_> {
             Op::Var(v) if node.width == Width::BOOL => {
                 let want = u64::from(lit.positive);
                 let set = IntervalSet::singleton(Width::BOOL, want);
-                match state.restrict(self.pool, v, &set) {
-                    Step::Conflict => Err(()),
-                    Step::Progress(c) => {
-                        if c {
-                            self.stats.propagations += 1;
-                        }
-                        Ok(c)
-                    }
-                }
+                let step = state.restrict(self.pool, v, &set);
+                self.apply_step(trail, just, step, Applied::Restrict(v))
             }
-            Op::Eq => self.assert_cmp(state, lit, CmpKind::Eq, node.args[0], node.args[1]),
-            Op::Ult => self.assert_cmp(state, lit, CmpKind::Ult, node.args[0], node.args[1]),
-            Op::Ule => self.assert_cmp(state, lit, CmpKind::Ule, node.args[0], node.args[1]),
+            Op::Eq => self.assert_cmp(
+                state,
+                lit,
+                just,
+                trail,
+                CmpKind::Eq,
+                node.args[0],
+                node.args[1],
+            ),
+            Op::Ult => self.assert_cmp(
+                state,
+                lit,
+                just,
+                trail,
+                CmpKind::Ult,
+                node.args[0],
+                node.args[1],
+            ),
+            Op::Ule => self.assert_cmp(
+                state,
+                lit,
+                just,
+                trail,
+                CmpKind::Ule,
+                node.args[0],
+                node.args[1],
+            ),
             _ => {
-                state.deferred.push(lit);
+                state.deferred.push((lit, just));
                 Ok(false)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assert_cmp(
         &mut self,
         state: &mut State,
         lit: Literal,
+        just: u32,
+        trail: &mut Vec<Event>,
         kind: CmpKind,
         a: TermId,
         b: TermId,
-    ) -> Result<bool, ()> {
+    ) -> Result<bool, ProofNode> {
         // Partial-evaluate each side: a side whose variables are all pinned
         // behaves as a constant, and pinned variables inside sums make the
         // remaining side affine.
@@ -467,14 +743,16 @@ impl Engine<'_> {
         let vb = affine_view_with(self.pool, b, &|v| state.value_of(v));
         let width = self.pool.width(a);
 
-        let step = match (ca, cb, va, vb) {
+        let (step, applied) = match (ca, cb, va, vb) {
             // const ⋈ const was handled by the fast path in assert_literal.
-            (_, Some(c), Some(av), _) => {
-                self.restrict_affine(state, av, kind, SidePos::Left, c, width, lit.positive)
-            }
-            (Some(c), _, _, Some(bv)) => {
-                self.restrict_affine(state, bv, kind, SidePos::Right, c, width, lit.positive)
-            }
+            (_, Some(c), Some(av), _) => (
+                self.restrict_affine(state, av, kind, SidePos::Left, c, width, lit.positive),
+                Applied::Restrict(av.var),
+            ),
+            (Some(c), _, _, Some(bv)) => (
+                self.restrict_affine(state, bv, kind, SidePos::Right, c, width, lit.positive),
+                Applied::Restrict(bv.var),
+            ),
             (None, None, Some(av), Some(bv))
                 if kind == CmpKind::Eq
                     && lit.positive
@@ -483,40 +761,32 @@ impl Engine<'_> {
                     && av.var_width == av.term_width
                     && bv.var_width == bv.term_width =>
             {
-                state.merge(self.pool, av.var, bv.var)
+                (state.merge(self.pool, av.var, bv.var), Applied::Merge)
             }
             (_, Some(c), None, _) => {
                 match self.try_extract(state, a, kind, SidePos::Left, c, lit.positive) {
-                    Some(step) => step,
+                    Some((step, v)) => (step, Applied::Restrict(v)),
                     None => {
-                        state.deferred.push(lit);
+                        state.deferred.push((lit, just));
                         return Ok(false);
                     }
                 }
             }
             (Some(c), _, _, None) => {
                 match self.try_extract(state, b, kind, SidePos::Right, c, lit.positive) {
-                    Some(step) => step,
+                    Some((step, v)) => (step, Applied::Restrict(v)),
                     None => {
-                        state.deferred.push(lit);
+                        state.deferred.push((lit, just));
                         return Ok(false);
                     }
                 }
             }
             _ => {
-                state.deferred.push(lit);
+                state.deferred.push((lit, just));
                 return Ok(false);
             }
         };
-        match step {
-            Step::Conflict => Err(()),
-            Step::Progress(c) => {
-                if c {
-                    self.stats.propagations += 1;
-                }
-                Ok(c)
-            }
-        }
+        self.apply_step(trail, just, step, applied)
     }
 
     /// Propagates `extract(x, lo) ⋈ const` as a *striped* interval set over
@@ -531,7 +801,7 @@ impl Engine<'_> {
         side: SidePos,
         c: u64,
         positive: bool,
-    ) -> Option<Step> {
+    ) -> Option<(Step, VarId)> {
         let node = self.pool.node(term).clone();
         let Op::Extract { lo } = node.op else {
             return None;
@@ -551,13 +821,13 @@ impl Engine<'_> {
             }
             (CmpKind::Ult, SidePos::Left, _) => {
                 if c == 0 {
-                    return Some(Step::Conflict);
+                    return Some((Step::Conflict, var));
                 }
                 IntervalSet::range(ew, 0, c - 1)
             }
             (CmpKind::Ult, SidePos::Right, _) => {
                 if c >= ew.max_unsigned() {
-                    return Some(Step::Conflict);
+                    return Some((Step::Conflict, var));
                 }
                 IntervalSet::range(ew, c + 1, ew.max_unsigned())
             }
@@ -588,9 +858,9 @@ impl Engine<'_> {
             }
         }
         if allowed.is_empty() {
-            return Some(Step::Conflict);
+            return Some((Step::Conflict, var));
         }
-        Some(state.restrict(self.pool, var, &allowed))
+        Some((state.restrict(self.pool, var, &allowed), var))
     }
 
     /// Restricts an affine side against a constant.
@@ -645,7 +915,7 @@ impl Engine<'_> {
             .clauses
             .iter()
             .enumerate()
-            .min_by_key(|(_, c)| c.len())
+            .min_by_key(|(_, c)| c.live.len())
             .map(|(i, _)| i)
     }
 
@@ -653,7 +923,7 @@ impl Engine<'_> {
     /// deferred atoms.
     fn pick_deferred_var(&self, state: &State) -> Option<VarId> {
         let mut best: Option<(u64, VarId)> = None;
-        for lit in &state.deferred {
+        for (lit, _) in &state.deferred {
             for v in self.pool.vars_of(lit.term) {
                 if state.value_of(v).is_some() {
                     continue;
@@ -667,7 +937,7 @@ impl Engine<'_> {
         best.map(|(_, v)| v)
     }
 
-    fn enumerate(&mut self, state: &State, var: VarId) -> SatResult {
+    fn enumerate(&mut self, state: &State, var: VarId) -> SearchOut {
         let domain = state.domain_of(self.pool, var);
         let width = domain.width();
         let exhaustive = domain.len() <= self.cfg.enum_limit;
@@ -698,33 +968,43 @@ impl Engine<'_> {
         };
 
         let mut saw_unknown = false;
+        let mut incomplete = false;
+        let mut cases = Vec::with_capacity(candidates.len());
         for value in candidates {
             if self.budget == 0 {
-                return SatResult::Unknown;
+                return SearchOut::Unknown;
             }
             self.budget -= 1;
             self.stats.decisions += 1;
             let mut branch = state.clone();
             let single = IntervalSet::singleton(width, value);
             match branch.restrict(self.pool, var, &single) {
-                Step::Conflict => continue,
+                Step::Conflict => {
+                    // Unreachable for in-domain values; never claim a full
+                    // enumeration if it somehow happens.
+                    incomplete = true;
+                    continue;
+                }
                 Step::Progress(_) => {}
             }
             match self.search(&mut branch, Vec::new()) {
-                SatResult::Sat(m) => return SatResult::Sat(m),
-                SatResult::Unsat => {}
-                SatResult::Unknown => saw_unknown = true,
+                SearchOut::Sat(m) => return SearchOut::Sat(m),
+                SearchOut::Unsat(node) => cases.push(node),
+                SearchOut::Unknown => saw_unknown = true,
             }
         }
-        if exhaustive && !saw_unknown {
-            SatResult::Unsat
+        if exhaustive && !saw_unknown && !incomplete {
+            SearchOut::Unsat(ProofNode::SplitVal {
+                var: self.pool.var_fp(var),
+                cases,
+            })
         } else {
-            SatResult::Unknown
+            SearchOut::Unknown
         }
     }
 
     /// All constraints are interval-consistent: extract a model and verify it.
-    fn finish(&mut self, state: &State) -> SatResult {
+    fn finish(&mut self, state: &State) -> SearchOut {
         let mut model = Model::new();
         let mut relevant: Vec<VarId> = Vec::new();
         for &a in &self.assertions {
@@ -737,11 +1017,159 @@ impl Engine<'_> {
         for &a in &self.assertions.clone() {
             if model.eval(self.pool, a) != Some(1) {
                 self.stats.verification_failures += 1;
-                return SatResult::Unknown;
+                return SearchOut::Unknown;
             }
         }
-        SatResult::Sat(Arc::new(model))
+        SearchOut::Sat(Arc::new(model))
     }
+}
+
+/// Folds a propagation trail around a refutation: steps become `Derive`
+/// wrappers, unit propagations become `SplitOr` nodes whose survivor case
+/// is the continuation.
+fn fold_trail(trail: Vec<Event>, mut node: ProofNode) -> ProofNode {
+    fn flush(steps: &mut Vec<ProofStep>, node: ProofNode) -> ProofNode {
+        if steps.is_empty() {
+            node
+        } else {
+            steps.reverse();
+            ProofNode::Derive {
+                steps: std::mem::take(steps),
+                then: Box::new(node),
+            }
+        }
+    }
+    // Reverse walk: later events sit deeper in the tree.
+    let mut steps: Vec<ProofStep> = Vec::new();
+    for ev in trail.into_iter().rev() {
+        match ev {
+            Event::Step(s) => steps.push(s),
+            Event::Unit {
+                or_ref,
+                n_parts,
+                survivor,
+                dead,
+            } => {
+                node = flush(&mut steps, node);
+                let mut cases: Vec<Option<ProofNode>> = (0..n_parts).map(|_| None).collect();
+                for (i, n) in dead {
+                    cases[i] = Some(n);
+                }
+                cases[survivor] = Some(node);
+                node = ProofNode::SplitOr {
+                    or: or_ref,
+                    cases: cases
+                        .into_iter()
+                        .map(|c| c.expect("unit event covers every disjunct"))
+                        .collect(),
+                };
+            }
+        }
+    }
+    flush(&mut steps, node)
+}
+
+/// Finds the assertion whose ref range contains `r` (ranges are contiguous).
+fn locate(ranges: &[(u32, u32)], r: u32) -> usize {
+    ranges.partition_point(|&(start, _)| start <= r) - 1
+}
+
+/// Extracts the unsat core (assertions the proof references) and rewrites
+/// the proof's refs against the context built from the core alone.
+fn extract_certificate(
+    pool: &TermPool,
+    assertions: &[TermId],
+    ranges: &[(u32, u32)],
+    total: u32,
+    node: ProofNode,
+) -> Certificate {
+    fn visit(node: &ProofNode, f: &mut impl FnMut(u32)) {
+        match node {
+            ProofNode::Derive { steps, then } => {
+                for s in steps {
+                    match s {
+                        ProofStep::Restrict { just, .. } | ProofStep::Merge { just } => f(*just),
+                    }
+                }
+                visit(then, f);
+            }
+            ProofNode::SplitOr { or, cases } => {
+                f(*or);
+                for c in cases {
+                    visit(c, f);
+                }
+            }
+            ProofNode::SplitVal { cases, .. } => {
+                for c in cases {
+                    visit(c, f);
+                }
+            }
+            ProofNode::Falsified { just }
+            | ProofNode::EmptyRestrict { just, .. }
+            | ProofNode::EmptyMerge { just } => f(*just),
+            ProofNode::FalseCore { .. } | ProofNode::Admitted => {}
+        }
+    }
+    fn remap(node: ProofNode, f: &impl Fn(u32) -> u32) -> ProofNode {
+        match node {
+            ProofNode::Derive { steps, then } => ProofNode::Derive {
+                steps: steps
+                    .into_iter()
+                    .map(|s| match s {
+                        ProofStep::Restrict { just, var } => {
+                            ProofStep::Restrict { just: f(just), var }
+                        }
+                        ProofStep::Merge { just } => ProofStep::Merge { just: f(just) },
+                    })
+                    .collect(),
+                then: Box::new(remap(*then, f)),
+            },
+            ProofNode::SplitOr { or, cases } => ProofNode::SplitOr {
+                or: f(or),
+                cases: cases.into_iter().map(|c| remap(c, f)).collect(),
+            },
+            ProofNode::SplitVal { var, cases } => ProofNode::SplitVal {
+                var,
+                cases: cases.into_iter().map(|c| remap(c, f)).collect(),
+            },
+            ProofNode::Falsified { just } => ProofNode::Falsified { just: f(just) },
+            ProofNode::EmptyRestrict { just, var } => {
+                ProofNode::EmptyRestrict { just: f(just), var }
+            }
+            ProofNode::EmptyMerge { just } => ProofNode::EmptyMerge { just: f(just) },
+            other => other,
+        }
+    }
+
+    let mut used = vec![false; assertions.len()];
+    visit(&node, &mut |r| {
+        if r < total {
+            used[locate(ranges, r)] = true;
+        }
+    });
+    let mut core = Vec::new();
+    let mut new_start = vec![0u32; assertions.len()];
+    let mut kept_total = 0u32;
+    for (k, &u) in used.iter().enumerate() {
+        if u {
+            new_start[k] = kept_total;
+            kept_total += ranges[k].1 - ranges[k].0;
+            core.push(pool.term_fp(assertions[k]));
+        }
+    }
+    // Root refs compact onto the kept prefix; branch-local refs (≥ total)
+    // shift down by the dropped entry count.
+    let shift = total - kept_total;
+    let proof = remap(node, &|r| {
+        if r < total {
+            let k = locate(ranges, r);
+            new_start[k] + (r - ranges[k].0)
+        } else {
+            r - shift
+        }
+    });
+    let steps = proof.size();
+    Certificate { core, proof, steps }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -1046,5 +1474,60 @@ mod tests {
         let r = check(&mut p, &[ite, ctrue]);
         let m = r.model().expect("sat");
         assert_eq!(m.value(p.as_var(x).unwrap()), Some(1));
+    }
+
+    #[test]
+    fn unsat_carries_certificate_with_core() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let five = p.constant(5, Width::W8);
+        let a = p.ult(x, five);
+        let b = p.ult(five, x);
+        let r = check(&mut p, &[a, b]);
+        let cert = r.certificate().expect("unsat has a certificate");
+        assert!(!cert.core.is_empty());
+        let fps: Vec<u128> = [a, b].iter().map(|&t| p.term_fp(t)).collect();
+        assert!(
+            cert.core.iter().all(|fp| fps.contains(fp)),
+            "core fingerprints come from the input assertions"
+        );
+        assert!(cert.steps > 0);
+    }
+
+    #[test]
+    fn certificate_core_drops_unused_assertions() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let y = p.fresh("y", Width::W8);
+        let five = p.constant(5, Width::W8);
+        let a = p.ult(x, five);
+        let b = p.ult(five, x);
+        // y is never mentioned by the conflict; a deferred/no-op assertion
+        // about it must not enter the core.
+        let parity = p.register_fun("parity", Width::W8, |args| args[0] % 2);
+        let papp = p.apply(parity, vec![y]);
+        let zero = p.constant(0, Width::W8);
+        let unrelated = p.eq(papp, zero);
+        let r = check(&mut p, &[unrelated, a, b]);
+        let cert = r.certificate().expect("unsat");
+        let unrelated_fp = p.term_fp(unrelated);
+        assert!(
+            !cert.core.contains(&unrelated_fp),
+            "unused opaque assertion must be dropped from the core"
+        );
+        assert_eq!(cert.core.len(), 2);
+    }
+
+    #[test]
+    fn false_assertion_yields_false_core_certificate() {
+        let mut p = TermPool::new();
+        let x = p.fresh("x", Width::W8);
+        let ltx = p.ult(x, x); // folds to false at construction
+        let c9 = p.constant(9, Width::W8);
+        let other = p.ult(x, c9);
+        let r = check(&mut p, &[other, ltx]);
+        let cert = r.certificate().expect("unsat");
+        assert_eq!(cert.core, vec![p.term_fp(ltx)]);
+        assert!(matches!(cert.proof, ProofNode::FalseCore { core: 0 }));
     }
 }

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cache::SharedCache;
+use crate::certificate::{proof_audit, Certificate};
 use crate::model::Model;
 use crate::search::{solve, SatResult, SearchStats, SolverConfig};
 use crate::term::{TermId, TermPool};
@@ -35,6 +36,14 @@ pub struct SolverStats {
     pub unsat: u64,
     /// Unknown answers (computed, not cached).
     pub unknown: u64,
+    /// Unsat answers that carried a freshly recorded certificate (equals
+    /// `unsat`; kept separate so aggregated reports can distinguish
+    /// certificate-bearing verdicts from legacy/unknown prunes).
+    pub certified_unsat: u64,
+    /// Queries answered by the shared cache's core-subsumption tier: no
+    /// exact entry existed, but the query's fingerprint set contained a
+    /// cached unsat core.
+    pub core_subsumption_hits: u64,
     /// Total time spent in the search engine.
     pub solve_time: Duration,
     /// Sum of search-internal counters.
@@ -44,7 +53,7 @@ pub struct SolverStats {
 #[derive(Clone)]
 enum Cached {
     Sat(Arc<Model>),
-    Unsat,
+    Unsat(Arc<Certificate>),
     Unknown,
 }
 
@@ -52,7 +61,7 @@ impl Cached {
     fn to_result(&self) -> SatResult {
         match self {
             Cached::Sat(m) => SatResult::Sat(Arc::clone(m)),
-            Cached::Unsat => SatResult::Unsat,
+            Cached::Unsat(c) => SatResult::Unsat(Arc::clone(c)),
             Cached::Unknown => SatResult::Unknown,
         }
     }
@@ -167,11 +176,25 @@ impl Solver {
                 self.stats.shared_hits += 1;
                 let cached = match &result {
                     SatResult::Sat(m) => Cached::Sat(Arc::clone(m)),
-                    SatResult::Unsat => Cached::Unsat,
+                    SatResult::Unsat(c) => Cached::Unsat(Arc::clone(c)),
                     SatResult::Unknown => Cached::Unknown,
                 };
                 self.cache.insert(key, cached);
                 return result;
+            }
+            // Third tier: core subsumption. No exact entry, but if the query
+            // contains a cached unsat core it is unsat — the cached
+            // certificate proves it (its core is a subset of this query's
+            // assertions, so it validates here unchanged). Not re-published
+            // to the shared cache: the index entry already covers every
+            // superset.
+            if let Some(cert) = shared.lookup_subsumed(skey) {
+                self.stats.core_subsumption_hits += 1;
+                if let Err(e) = proof_audit(pool, &key, &cert) {
+                    panic!("subsumption-derived certificate rejected: {e}");
+                }
+                self.cache.insert(key, Cached::Unsat(Arc::clone(&cert)));
+                return SatResult::Unsat(cert);
             }
         }
         let started = Instant::now();
@@ -190,14 +213,19 @@ impl Solver {
         self.stats.search.propagations += search_stats.propagations;
         self.stats.search.deferred_checks += search_stats.deferred_checks;
         self.stats.search.verification_failures += search_stats.verification_failures;
+        self.stats.search.certificate_steps += search_stats.certificate_steps;
         let cached = match &result {
             SatResult::Sat(m) => {
                 self.stats.sat += 1;
                 Cached::Sat(Arc::clone(m))
             }
-            SatResult::Unsat => {
+            SatResult::Unsat(c) => {
                 self.stats.unsat += 1;
-                Cached::Unsat
+                self.stats.certified_unsat += 1;
+                if let Err(e) = proof_audit(pool, &ordered, c) {
+                    panic!("freshly computed certificate rejected: {e}");
+                }
+                Cached::Unsat(Arc::clone(c))
             }
             SatResult::Unknown => {
                 self.stats.unknown += 1;

@@ -139,7 +139,7 @@ proptest! {
                     prop_assert!(model.eval_bool_total(&pool, a), "model violates assertion");
                 }
             }
-            SatResult::Unsat => prop_assert!(!expected, "solver said Unsat but a model exists"),
+            SatResult::Unsat(_) => prop_assert!(!expected, "solver said Unsat but a model exists"),
             SatResult::Unknown => {
                 // Unknown is allowed (sampling fallback) but should not occur
                 // in this fully-enumerable fragment.

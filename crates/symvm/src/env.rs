@@ -279,7 +279,7 @@ impl<'a> SymEnv<'a> {
         self.branch_checks += 1;
         match self.scoped.check_with(self.pool, self.solver, cond) {
             SatResult::Sat(_) => self.push_constraint(cond),
-            SatResult::Unsat => Err(Halt::Infeasible),
+            SatResult::Unsat(_) => Err(Halt::Infeasible),
             SatResult::Unknown => {
                 // Conservative: keep exploring; Trojan reports are re-verified
                 // with concrete models, so this cannot create false claims.
@@ -314,7 +314,7 @@ impl<'a> SymEnv<'a> {
         self.branch_checks += 1;
         let false_side = self.scoped.check_with(self.pool, self.solver, not_cond);
 
-        let feasible = |r: &SatResult| !matches!(r, SatResult::Unsat);
+        let feasible = |r: &SatResult| !matches!(r, SatResult::Unsat(_));
         if matches!(true_side, SatResult::Unknown) || matches!(false_side, SatResult::Unknown) {
             self.unknown_branches += 1;
         }

@@ -242,6 +242,7 @@ impl<'a> Executor<'a> {
         observer: &mut dyn PathObserver,
     ) -> ExploreResult {
         let started = Instant::now();
+        let solver_before = *self.solver.stats();
         let mut registry = Registry::new(self.config.recv_script.clone());
         let mut worklist: VecDeque<Vec<bool>> = VecDeque::new();
         worklist.push_back(Vec::new());
@@ -323,6 +324,10 @@ impl<'a> Executor<'a> {
                 Err(Halt::DepthExhausted) => stats.depth_exhausted += 1,
             }
         }
+        let solver_after = self.solver.stats();
+        stats.certified_unsat = solver_after.certified_unsat - solver_before.certified_unsat;
+        stats.core_subsumption_hits =
+            solver_after.core_subsumption_hits - solver_before.core_subsumption_hits;
         stats.wall_time = started.elapsed();
         result.stats = stats;
         result

@@ -521,6 +521,8 @@ fn merge<O>(
         } = outcome;
         stats.absorb_counters(&ws);
         stats.shared_cache_hits += solver_stats.shared_hits;
+        stats.certified_unsat += solver_stats.certified_unsat;
+        stats.core_subsumption_hits += solver_stats.core_subsumption_hits;
         executed.extend(executed_prefixes);
 
         let mut memo: HashMap<TermId, TermId> = HashMap::new();

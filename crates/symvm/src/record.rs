@@ -83,13 +83,21 @@ pub struct ExploreStats {
     /// analysis, say). Always ≤ `shared_cache_hits` + the base solver's
     /// own shared hits; `0` when the exploration ran on a fresh cache.
     pub cross_phase_cache_hits: u64,
+    /// Unsat verdicts computed by this exploration's solvers, each carrying
+    /// a [`Certificate`](achilles_solver::Certificate) (and validated when
+    /// the proof audit is installed).
+    pub certified_unsat: u64,
+    /// Queries answered `Unsat` by the shared cache's core-subsumption
+    /// index: the query's assertion set contained a previously proven core.
+    pub core_subsumption_hits: u64,
     /// Wall-clock time of the exploration.
     pub wall_time: Duration,
 }
 
 impl ExploreStats {
     /// Adds another exploration's plain-sum counters (runs through
-    /// model-reuse hits) into `self` — the one accumulator shared by the
+    /// model-reuse hits, plus the certificate and subsumption counters)
+    /// into `self` — the one accumulator shared by the
     /// parallel worker merge and the session's per-client aggregation.
     /// `workers`, `steals`, `shared_cache_hits`, and `wall_time` aggregate
     /// with caller-specific semantics and are left untouched.
@@ -103,6 +111,8 @@ impl ExploreStats {
         self.branch_checks += other.branch_checks;
         self.unknown_branches += other.unknown_branches;
         self.model_reuse_hits += other.model_reuse_hits;
+        self.certified_unsat += other.certified_unsat;
+        self.core_subsumption_hits += other.core_subsumption_hits;
     }
 }
 

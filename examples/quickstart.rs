@@ -546,6 +546,13 @@ impl TargetSpec for QuickstartSpec {
 }
 
 fn main() {
+    // 0. Trust the pruning (porting-guide step 10): install the
+    //    independent certificate checker, so every Unsat verdict the
+    //    discovery uses to discard a path is validated on the spot. A
+    //    rejection would panic — the quiet run below *is* the audit
+    //    passing.
+    achilles_proofcheck::install_audit();
+
     // 1. Register, then select by name — exactly how the bench bins and
     //    the conformance suite drive the shipped protocols.
     let mut registry = TargetRegistry::new();
@@ -802,5 +809,20 @@ fn main() {
         "QUERY quickstart -> {} matrix line(s), bit-identical to the \
          mini-sweep; re-ingest -> {again} with zero new replays.",
         served.lines().count(),
+    );
+
+    // 7. Trusting the pruning (step 10): every Unsat verdict behind the
+    //    discoveries above carried a certificate, and the checker
+    //    installed at the top validated each one as it was produced.
+    let (checked, wall) = achilles_solver::proof_audit_stats();
+    assert!(
+        checked > 0,
+        "the discovery pruned paths, so certificates were checked"
+    );
+    println!(
+        "\n== certificates (proof audit) ==\n{checked} unsat certificate(s) \
+         independently checked in {:.3}s — every pruned path carries a \
+         validated refutation.",
+        wall.as_secs_f64(),
     );
 }

@@ -701,3 +701,54 @@ fn cross_phase_cache_reuse_never_perturbs_session_results() {
         assert_eq!(w.server_paths, c.server_paths);
     }
 }
+
+#[test]
+fn core_subsumption_never_perturbs_session_results() {
+    // The shared cache's unsat-core subsumption index answers superset
+    // queries from previously proven cores. Like every reuse tier it is a
+    // pure answer cache: for every worker count, reports with the index on
+    // must be bit-identical to reports with it off — and on a target whose
+    // sessions generate superset queries, the index must actually answer
+    // some of them.
+    use achilles::AchillesSession;
+    use achilles_targets::builtin_registry;
+
+    let registry = builtin_registry();
+    let spec = registry.get("fsp").expect("registered");
+
+    for workers in [1usize, 4] {
+        let mut on = AchillesSession::new(&**spec).workers(workers);
+        on.engine().shared_cache().set_subsumption(true);
+        let on_reports = on.run_sessions();
+        let on_stats = on.engine().shared_cache().stats();
+
+        let mut off = AchillesSession::new(&**spec).workers(workers);
+        off.engine().shared_cache().set_subsumption(false);
+        let off_reports = off.run_sessions();
+        let off_stats = off.engine().shared_cache().stats();
+
+        assert!(
+            on_stats.core_subsumption_hits > 0,
+            "fsp session discovery at {workers} worker(s) generates superset \
+             queries the core index answers"
+        );
+        assert_eq!(
+            off_stats.core_subsumption_hits, 0,
+            "a disabled index answers nothing"
+        );
+        assert!(
+            on_stats.certified_unsat > 0 && off_stats.certified_unsat > 0,
+            "both runs certify unsat verdicts"
+        );
+        assert_eq!(on_reports.len(), off_reports.len());
+        for (a, b) in on_reports.iter().zip(&off_reports) {
+            assert_eq!(
+                report_keys(&a.trojans),
+                report_keys(&b.trojans),
+                "subsumption on/off drift at {workers} worker(s)"
+            );
+            assert_eq!(a.trojan_slots, b.trojan_slots);
+            assert_eq!(a.server_paths, b.server_paths);
+        }
+    }
+}

@@ -19,12 +19,13 @@
 
 use achilles::AchillesSession;
 use achilles_bench::{
-    arg_present, arg_value_required, bar, fmt_secs, header, row, validate_spec_result,
-    workers_from_args,
+    arg_present, arg_value_required, bar, fmt_secs, header, row, trace_path_from_args,
+    validate_spec_result, workers_from_args, write_trace,
 };
 use achilles_targets::builtin_registry;
 
 fn main() {
+    let trace = trace_path_from_args();
     let workers = workers_from_args();
     let registry = builtin_registry();
     let name = arg_value_required("--target").unwrap_or_else(|| "fsp".to_string());
@@ -148,5 +149,9 @@ fn main() {
             report.trojans.len(),
             "every discovered Trojan replays to a concrete failure"
         );
+    }
+
+    if let Some(path) = &trace {
+        write_trace(path);
     }
 }

@@ -18,15 +18,23 @@
 //!    batch-stealing follow-up (on a 1-core host the number is recorded
 //!    but can't mean anything).
 //!
-//! `--json [PATH]` emits `BENCH_service.json` with the host core count.
-//! `--quick` sweeps the reduced schedule space.
+//! `--json [PATH]` emits `BENCH_service.json` with the host core count
+//! and per-verb request-latency percentiles (p50/p95/p99) from the
+//! service's own `achilles-obs` histograms. `--quick` sweeps the reduced
+//! schedule space. `--metrics PATH` writes the phase-1 service's full
+//! `METRICS` snapshot (pump-driven, single-threaded — its
+//! `# deterministic` section is bit-identical run to run, the CI
+//! determinism gate). `--trace PATH` writes a Chrome-trace of the soak.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use achilles::export::session_witness_record;
 use achilles::{AchillesSession, TargetSpec};
-use achilles_bench::{arg_present, arg_value, header, host_cores, row};
+use achilles_bench::{
+    arg_present, arg_value, arg_value_required, header, host_cores, row, trace_path_from_args,
+    write_trace,
+};
 use achilles_fleetd::{Fleetd, FleetdConfig};
 use achilles_replay::session_from_report;
 use achilles_targets::{builtin_registry, session_bearing};
@@ -76,6 +84,7 @@ fn timed_run(stream: &[(String, String, String)], shards: usize, quick: bool) ->
 }
 
 fn main() {
+    let trace = trace_path_from_args();
     let quick = arg_present("--quick");
     let cores = host_cores();
     let registry = builtin_registry();
@@ -132,6 +141,13 @@ fn main() {
             format!("{cells_per_s:.0} cells/s ({} replays)", lat_stats.replays)
         )
     );
+    if let Some(path) = arg_value_required("--metrics") {
+        // Written from the pump-driven phase-1 service: single-threaded,
+        // so the snapshot's `# deterministic` section is bit-identical
+        // run to run — what the CI determinism gate diffs.
+        std::fs::write(&path, service.metrics_text()).expect("write metrics snapshot");
+        println!("{}", row("metrics snapshot", &path));
+    }
 
     // Phase 2: one executor, whole corpus queued at once.
     let (one, wall_1) = timed_run(&stream, 1, quick);
@@ -157,6 +173,54 @@ fn main() {
             )
         )
     );
+
+    // Exercise the METRICS verb on the drained phase-2 service and
+    // surface its per-verb request-latency histograms — service-side
+    // numbers from the obs registry, not client-side wall clocks.
+    let metrics_reply = one.handle_line("METRICS");
+    assert!(
+        metrics_reply.starts_with("OK "),
+        "METRICS serves: {metrics_reply}"
+    );
+    let series = metrics_reply
+        .lines()
+        .skip(1)
+        .filter(|l| !l.starts_with('#'))
+        .count();
+    println!("{}", row("METRICS series served", series));
+    let mut latency_json = String::from("{");
+    for verb in ["REGISTER", "INGEST", "DRAIN", "METRICS"] {
+        let Some(h) = one.request_latency(verb) else {
+            continue;
+        };
+        let (p50, p95, p99) = (
+            h.quantile_ns(0.50),
+            h.quantile_ns(0.95),
+            h.quantile_ns(0.99),
+        );
+        println!(
+            "{}",
+            row(
+                &format!("request latency ({verb})"),
+                format!(
+                    "p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms over {} request(s)",
+                    p50 as f64 / 1e6,
+                    p95 as f64 / 1e6,
+                    p99 as f64 / 1e6,
+                    h.count()
+                )
+            )
+        );
+        if latency_json.len() > 1 {
+            latency_json.push_str(", ");
+        }
+        latency_json.push_str(&format!(
+            "\"{verb}\": {{\"count\": {}, \"p50_ns\": {p50}, \"p95_ns\": {p95}, \
+             \"p99_ns\": {p99}}}",
+            h.count()
+        ));
+    }
+    latency_json.push('}');
 
     // Phase 3: eight executors over the same stream.
     let (eight, wall_8) = timed_run(&stream, 8, quick);
@@ -203,6 +267,7 @@ fn main() {
              \"quick\": {quick},\n  \"targets\": {},\n  \"witnesses\": {},\n  \
              \"replays\": {},\n  \"ingest_to_result_mean_s\": {mean_latency:.6},\n  \
              \"ingest_to_result_max_s\": {p_max:.6},\n  \"cells_per_s\": {cells_per_s:.2},\n  \
+             \"request_latency_ns\": {latency_json},\n  \
              \"peak_queue_cells\": {},\n  \"boots\": {},\n  \"boots_saved\": {},\n  \
              \"snapshot_restores\": {},\n  \"wall_1shard_s\": {wall_1:.4},\n  \
              \"wall_8shard_s\": {wall_8:.4},\n  \"speedup\": {speedup:.4},\n  \
@@ -217,5 +282,14 @@ fn main() {
         );
         std::fs::write(&path, json).expect("write bench json");
         println!("\n  wrote {path}");
+    }
+
+    if let Some(path) = &trace {
+        // Dropping the services joins their executors, flushing every
+        // worker thread's span buffer into the sink before the write.
+        drop(service);
+        drop(one);
+        drop(eight);
+        write_trace(path);
     }
 }

@@ -13,7 +13,10 @@
 
 use std::time::Instant;
 
-use achilles_bench::{arg_present, arg_value, bar, fmt_secs, header, host_cores, row};
+use achilles_bench::{
+    arg_present, arg_value, bar, fmt_secs, header, host_cores, row, trace_path_from_args,
+    write_trace,
+};
 use achilles_fsp::{run_analysis, FspAnalysisConfig};
 
 struct Sweep {
@@ -37,6 +40,7 @@ struct Sweep {
 }
 
 fn main() {
+    let trace = trace_path_from_args();
     let cores = host_cores();
     // Post-parse branching deepens every accepting parse with state-dependent
     // subtrees (the regime of the paper's real run); it also makes the sweep
@@ -172,5 +176,9 @@ fn main() {
         json.push_str("  ]\n}\n");
         std::fs::write(&path, json).expect("write bench json");
         println!("\n  wrote {path}");
+    }
+
+    if let Some(path) = &trace {
+        write_trace(path);
     }
 }

@@ -55,7 +55,10 @@
 use std::path::PathBuf;
 
 use achilles::export::session_witness_record;
-use achilles_bench::{arg_present, arg_value, arg_value_required, header, host_cores, row};
+use achilles_bench::{
+    arg_present, arg_value, arg_value_required, header, host_cores, row, trace_path_from_args,
+    write_trace,
+};
 use achilles_fleetd::{Fleetd, FleetdConfig};
 use achilles_replay::session_from_report;
 use achilles_sweep::{
@@ -116,6 +119,7 @@ struct BenchRow {
 }
 
 fn main() {
+    let trace = trace_path_from_args();
     let registry = builtin_registry();
     let selected = arg_value_required("--target");
     let names: Vec<&str> = match &selected {
@@ -479,5 +483,9 @@ fn main() {
         json.push_str("  ]\n}\n");
         std::fs::write(&path, json).expect("write bench json");
         println!("\n  wrote {path}");
+    }
+
+    if let Some(path) = &trace {
+        write_trace(path);
     }
 }

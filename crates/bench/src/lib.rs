@@ -40,6 +40,25 @@ pub fn arg_value_required(flag: &str) -> Option<String> {
     value
 }
 
+/// Arms span tracing when `--trace FILE` is present and returns the
+/// output path; the bin writes the file with [`write_trace`] once its
+/// workload is done. Tracing is observation-only (see `achilles-obs`):
+/// arming it changes no bench result.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let path = arg_value_required("--trace")?;
+    achilles_obs::set_tracing(true);
+    Some(std::path::PathBuf::from(path))
+}
+
+/// Drains this thread's span buffer and writes the accumulated
+/// Chrome-trace JSON to `path` (the `--trace` argument). Load the file in
+/// `chrome://tracing` or Perfetto.
+pub fn write_trace(path: &std::path::Path) {
+    achilles_obs::drain_thread();
+    achilles_obs::write_chrome_trace(path).expect("write trace file");
+    println!("\n  wrote {}", path.display());
+}
+
 /// Host logical core count (1 when undetectable) — recorded in every
 /// bench JSON so multicore measurements are interpretable: a sweep run on
 /// a 1-core container cannot show real speedups, and the JSON now says so.

@@ -272,6 +272,23 @@
 //!     subsumption-derived verdicts too, and the determinism suite pins
 //!     that the index never changes a report). No spec hook is involved —
 //!     a ported protocol gets auditable pruning for free.
+//! 11. **Instrument the run** (optional — zero code for the built-in
+//!     spans). Discovery, sweep, replay, and service runs are already
+//!     instrumented through `achilles-obs`: pipeline phases, worker
+//!     claim/steal/merge, solver verdicts, fork-server boots/restores,
+//!     sweep cells, and fleetd requests all emit spans and counters.
+//!     Pass `--trace FILE` to `sweep_campaign` / `fig10_discovery` /
+//!     `parallel_scaling` / `fleetd_soak` and load the file in Perfetto
+//!     or `chrome://tracing`; ask a running fleetd for `METRICS` to get
+//!     the live Prometheus-style snapshot. To add target-specific spans,
+//!     drop `let _span = achilles_obs::span("yours:step", "target");`
+//!     around the interesting region — a disabled tracer costs one
+//!     relaxed atomic load, so the call is safe on hot paths — and
+//!     `achilles_obs::global().add(...)` for counters. One hard rule:
+//!     anything you count as [`Class::Deterministic`](achilles_obs::Class)
+//!     must be a pure function of the workload (no clocks, no schedule
+//!     dependence) — the determinism suites diff those series
+//!     bit-for-bit.
 //!
 //! ## Crate map
 //!
@@ -340,6 +357,35 @@
 //! (the default) is best below ~100ms of server analysis, where pool
 //! forking and merge overhead dominate. Budgets (`max_runs`, `max_paths`)
 //! are enforced pool-globally, so raising `workers` never multiplies them.
+//!
+//! ## Observability
+//!
+//! Every subsystem reports through one layer, `achilles-obs`:
+//!
+//! * **Spans** (`achilles_obs::span` / `timed`) record into thread-local
+//!   buffers — no locks on the hot path, drained at the same merge points
+//!   where worker results join — and export as Chrome-trace JSON
+//!   (`--trace FILE` on the bench bins). Tracing is off by default; when
+//!   off, a span is one relaxed atomic load.
+//! * **Metrics** accumulate in registries
+//!   ([`achilles_obs::global`] for process-wide series, a per-service
+//!   registry inside fleetd) and render as sorted Prometheus-style lines.
+//!   The existing stats structs ([`TrojanSearchStats`],
+//!   [`ExploreStats`](achilles_symvm::ExploreStats),
+//!   [`SolverStats`](achilles_solver::SolverStats), fork/sweep/service
+//!   counters) remain the canonical accumulators; each mirrors into the
+//!   registry at its natural merge point, so the stats view and the
+//!   metrics view are one measurement, never two.
+//! * **Determinism segregation.** Every series is classed
+//!   [`Deterministic`](achilles_obs::Class::Deterministic) (a pure
+//!   function of the workload: runs, cells, verdict counts) or
+//!   [`Wall`](achilles_obs::Class::Wall) (clocks, steal/boot/queue-depth
+//!   scheduling artifacts), and the renderer emits the two sections
+//!   separately — so CI can diff the deterministic section bit-for-bit
+//!   across runs while wall timings float. The `parallel_determinism`
+//!   suite additionally pins the observer-effect contract: full discovery
+//!   plus sweep with tracing on is bit-identical to tracing off at
+//!   worker counts 1 and 4.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -378,8 +424,8 @@ pub use refine::{refine_witness, Refinement};
 pub use report::TrojanReport;
 pub use search::{
     canonical_witness_fields, prepare_client, prepare_client_workers, run_trojan_search,
-    MatchSample, Optimizations, PreparedClient, SearchStats, TrojanObserver, TrojanSearchOutcome,
-    WorkerSummary,
+    MatchSample, Optimizations, PreparedClient, TrojanObserver, TrojanSearchOutcome,
+    TrojanSearchStats, WorkerSummary,
 };
 pub use sequence::{analyze_sequence, analyze_sequence_with, SequenceObserver};
 pub use session::{AchillesSession, SessionReport, TargetRegistry};

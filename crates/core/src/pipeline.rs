@@ -15,7 +15,7 @@
 //! previous analysis, or from annotated over-approximate state.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use achilles_solver::{SharedCache, Solver, TermId, TermPool};
 use achilles_symvm::{
@@ -26,7 +26,7 @@ use crate::predicate::{ClientPredicate, FieldMask};
 use crate::report::TrojanReport;
 use crate::search::{
     prepare_client_workers, run_trojan_search, MatchSample, Optimizations, PreparedClient,
-    SearchStats, TrojanSearchOutcome, WorkerSummary,
+    TrojanSearchOutcome, TrojanSearchStats, WorkerSummary,
 };
 
 /// How the analyzed server node obtains its local state (§3.4).
@@ -89,7 +89,7 @@ pub struct AchillesReport {
     /// Figure 11 samples (path length vs matching predicates).
     pub samples: Vec<MatchSample>,
     /// Search counters.
-    pub search_stats: SearchStats,
+    pub search_stats: TrojanSearchStats,
     /// Client exploration counters.
     pub client_explore: ExploreStats,
     /// Server exploration counters (includes steals and shared-cache hits
@@ -256,6 +256,13 @@ impl Achilles {
     }
 
     /// Runs the full pipeline: client → preprocessing → server.
+    ///
+    /// Phase timing comes from `achilles_obs` timed spans: each phase of
+    /// [`PhaseTimes`] is the duration of the matching span, so the §6.2
+    /// breakdown and the exported Chrome trace are views of one
+    /// measurement. The run also mirrors its deterministic counters
+    /// (Trojan-search drops/checks, proof-audit totals) into the process
+    /// metrics registry.
     pub fn run(
         &mut self,
         client: &(dyn NodeProgram + Sync),
@@ -263,10 +270,14 @@ impl Achilles {
         layout: &Arc<MessageLayout>,
         config: &AchillesConfig,
     ) -> AchillesReport {
-        let t0 = Instant::now();
+        let run_span = achilles_obs::timed("pipeline:run", "pipeline");
+
+        let phase = achilles_obs::timed("phase:client", "pipeline");
         let (client_pred, client_explore) =
             self.extract_client_predicate(client, &config.client_explore);
-        let t1 = Instant::now();
+        let client_time = phase.finish();
+
+        let phase = achilles_obs::timed("phase:preprocess", "pipeline");
         let prepared = self.prepare_with_workers(
             client_pred,
             layout,
@@ -274,18 +285,25 @@ impl Achilles {
             config.optimizations,
             config.server_explore.workers.max(1),
         );
-        let t2 = Instant::now();
+        let preprocess_time = phase.finish();
+
+        let phase = achilles_obs::timed("phase:server", "pipeline");
         let outcome = self.analyze_server(server, &prepared, config);
-        let t3 = Instant::now();
+        let server_time = phase.finish();
+
+        run_span.finish();
         let server_cpu: Duration = outcome.workers.iter().map(|w| w.busy).sum();
+        outcome.stats.record_metrics();
+        self.shared.stats().record_metrics();
+        record_proof_audit_metrics();
         AchillesReport {
             client: prepared.client.clone(),
             server_msg: prepared.server_msg.clone(),
             trojans: outcome.reports,
             phase_times: PhaseTimes {
-                client: t1 - t0,
-                preprocess: t2 - t1,
-                server: t3 - t2,
+                client: client_time,
+                preprocess: preprocess_time,
+                server: server_time,
                 server_cpu,
                 validate: Duration::ZERO,
             },
@@ -297,6 +315,27 @@ impl Achilles {
             server_workers: outcome.workers,
         }
     }
+}
+
+/// Publishes the process-lifetime proof-audit totals (certificates checked
+/// by the independent `achilles-proofcheck` auditor, and the wall time it
+/// spent) as registry gauges. The count is workload-fixed when the audit is
+/// installed; the time is wall.
+pub(crate) fn record_proof_audit_metrics() {
+    let (checked, spent) = achilles_solver::proof_audit_stats();
+    let reg = achilles_obs::global();
+    reg.set(
+        achilles_obs::Class::Deterministic,
+        "achilles_solver_proof_audit_checked_total",
+        &[],
+        checked,
+    );
+    reg.set(
+        achilles_obs::Class::Wall,
+        "achilles_solver_proof_audit_time_ns_total",
+        &[],
+        spent.as_nanos() as u64,
+    );
 }
 
 #[cfg(test)]

@@ -278,8 +278,14 @@ pub struct MatchSample {
 }
 
 /// Counters for one Trojan search.
+///
+/// Formerly named `SearchStats`, which collided with the solver's
+/// DPLL-search counters (`achilles_solver::SearchStats`); the rename keeps
+/// both exportable without aliasing. Metrics registry series are fully
+/// qualified: these export as `achilles_trojan_search_*`, the solver's as
+/// `achilles_solver_search_*`.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct SearchStats {
+pub struct TrojanSearchStats {
     /// Client predicates dropped by direct satisfiability checks.
     pub direct_drops: u64,
     /// Client predicates dropped through the `differentFrom` matrix.
@@ -290,6 +296,37 @@ pub struct SearchStats {
     pub paths_pruned: u64,
     /// Witnesses that failed verification and were re-enumerated.
     pub witness_retries: u64,
+}
+
+impl TrojanSearchStats {
+    /// Mirrors these counters into the process metrics registry
+    /// ([`achilles_obs::global`]) as `achilles_trojan_search_*` series.
+    /// Called once per pipeline run when the final report is assembled.
+    pub fn record_metrics(&self) {
+        use achilles_obs::Class::Deterministic;
+        let reg = achilles_obs::global();
+        for (name, value) in [
+            (
+                "achilles_trojan_search_direct_drops_total",
+                self.direct_drops,
+            ),
+            (
+                "achilles_trojan_search_matrix_drops_total",
+                self.matrix_drops,
+            ),
+            ("achilles_trojan_search_checks_total", self.trojan_checks),
+            (
+                "achilles_trojan_search_paths_pruned_total",
+                self.paths_pruned,
+            ),
+            (
+                "achilles_trojan_search_witness_retries_total",
+                self.witness_retries,
+            ),
+        ] {
+            reg.add(Deterministic, name, &[], value);
+        }
+    }
 }
 
 /// The [`PathObserver`] implementing Achilles' incremental search.
@@ -305,7 +342,7 @@ pub struct TrojanObserver<'p> {
     /// Figure 11 samples: (path length, matching predicates).
     pub samples: Vec<MatchSample>,
     /// Search counters.
-    pub stats: SearchStats,
+    pub stats: TrojanSearchStats,
     started: Instant,
 }
 
@@ -321,7 +358,7 @@ impl<'p> TrojanObserver<'p> {
             active_count: n,
             reports: Vec::new(),
             samples: Vec::new(),
-            stats: SearchStats::default(),
+            stats: TrojanSearchStats::default(),
             started: Instant::now(),
         }
     }
@@ -515,7 +552,7 @@ pub struct TrojanSearchOutcome {
     /// Figure 11 samples.
     pub samples: Vec<MatchSample>,
     /// Search counters, summed over workers.
-    pub stats: SearchStats,
+    pub stats: TrojanSearchStats,
     /// Exploration counters, summed over workers.
     pub explore: ExploreStats,
     /// Completed server paths.
@@ -667,7 +704,7 @@ pub fn run_trojan_search(
     let explore_stats = outcome.result.stats;
     let mut reports: Vec<TrojanReport> = Vec::new();
     let mut samples: Vec<MatchSample> = Vec::new();
-    let mut stats = SearchStats::default();
+    let mut stats = TrojanSearchStats::default();
     let mut workers = Vec::with_capacity(outcome.workers.len());
     for worker in outcome.workers {
         let observer = worker.observer;
@@ -835,7 +872,12 @@ mod tests {
 
     fn run_pipeline(
         opts: Optimizations,
-    ) -> (TermPool, PreparedClient, Vec<TrojanReport>, SearchStats) {
+    ) -> (
+        TermPool,
+        PreparedClient,
+        Vec<TrojanReport>,
+        TrojanSearchStats,
+    ) {
         let mut pool = TermPool::new();
         let mut solver = Solver::new();
         // Phase 1: client predicate.

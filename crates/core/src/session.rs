@@ -265,7 +265,9 @@ impl<'s> AchillesSession<'s> {
     pub fn run(&mut self) -> AchillesReport {
         let spec = self.spec;
         let layout = spec.layout();
+        let run_span = achilles_obs::timed("pipeline:run", "pipeline");
         let t0 = Instant::now();
+        let phase = achilles_obs::timed("phase:client", "pipeline");
         let mut parts = Vec::new();
         let mut client_explore = ExploreStats::default();
         for client in spec.clients() {
@@ -276,7 +278,9 @@ impl<'s> AchillesSession<'s> {
             parts.push(pred);
         }
         let client_pred = ClientPredicate::merge(parts);
+        phase.finish();
         let t1 = Instant::now();
+        let phase = achilles_obs::timed("phase:preprocess", "pipeline");
         let prepared = self.engine.prepare_with_workers(
             client_pred,
             &layout,
@@ -284,12 +288,19 @@ impl<'s> AchillesSession<'s> {
             self.config.optimizations,
             self.config.server_explore.workers.max(1),
         );
+        phase.finish();
         let t2 = Instant::now();
+        let phase = achilles_obs::timed("phase:server", "pipeline");
         let server = spec.server();
         let outcome = self
             .engine
             .analyze_server(&*server, &prepared, &self.config);
+        phase.finish();
+        run_span.finish();
         let t3 = Instant::now();
+        outcome.stats.record_metrics();
+        self.engine.shared_cache().stats().record_metrics();
+        crate::pipeline::record_proof_audit_metrics();
         let server_cpu: Duration = outcome.workers.iter().map(|w| w.busy).sum();
         AchillesReport {
             client: prepared.client.clone(),
@@ -379,6 +390,7 @@ impl<'s> AchillesSession<'s> {
     /// Panics if a declared slot references a session-client index that is
     /// out of range.
     pub fn run_sessions(&mut self) -> Vec<SessionReport> {
+        let _span = achilles_obs::span("session:run", "pipeline");
         let sessions = self.spec.sessions();
         if sessions.is_empty() {
             return Vec::new();
@@ -453,6 +465,11 @@ impl<'s> AchillesSession<'s> {
                 server_paths,
             });
         }
+        // Same merge-point mirror as `Pipeline::run`: session discovery
+        // publishes through the engine-persistent shared cache, so its
+        // series must reflect this path too.
+        self.engine.shared_cache().stats().record_metrics();
+        crate::pipeline::record_proof_audit_metrics();
         out
     }
 }

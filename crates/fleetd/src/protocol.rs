@@ -17,6 +17,7 @@
 //! | `INGEST <target>/<session> <record>` | validate + dedupe + enqueue a witness |
 //! | `QUERY <target> [witness-id\|*] [class]` | sensitivity-matrix rows |
 //! | `STATS` | one-line counter snapshot |
+//! | `METRICS` | framed Prometheus-style metrics snapshot (see `achilles-obs`) |
 //! | `DRAIN` | block until the work queue is empty |
 //! | `RECAMPAIGN <target>` | re-enqueue every stored witness (cache-warm) |
 //! | `EPOCH <target>` | bump the spec epoch: invalidate + re-derive its cells |
@@ -61,6 +62,9 @@ pub enum Request {
     },
     /// Counter snapshot.
     Stats,
+    /// Full metrics snapshot: every registry series, deterministic and
+    /// wall sections segregated, framed like a `QUERY` reply.
+    Metrics,
     /// Block until the queue is fully drained.
     Drain,
     /// Re-enqueue every stored witness of the target (warm cells complete
@@ -134,27 +138,56 @@ fn split_scope(s: &str) -> Option<(&str, &str)> {
     (!target.is_empty() && !session.is_empty()).then_some((target, session))
 }
 
+/// A classed parse failure. `class` is a small closed vocabulary of
+/// malformation kinds (`empty`, `unknown-verb`, `arity`, `scope`,
+/// `witness-id`, `schedule-class`) that the service counts per class in
+/// its `achilles_fleetd_errors_total{class=...}` metric; `reason` is the
+/// human-readable text sent back as the `ERR` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Malformation class (stable label for the error counter).
+    pub class: &'static str,
+    /// Human-readable description, sent back on the `ERR` line.
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(class: &'static str, reason: impl Into<String>) -> ParseError {
+        ParseError {
+            class,
+            reason: reason.into(),
+        }
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the malformation; transports
-/// send it back as an `ERR` reply.
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// Returns a [`ParseError`] carrying both the malformation class (for the
+/// per-class error counters) and a human-readable description; transports
+/// send the description back as an `ERR` reply.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     let line = line.trim();
     let mut words = line.split_whitespace();
-    let verb = words.next().ok_or("empty request")?;
+    let verb = words
+        .next()
+        .ok_or_else(|| ParseError::new("empty", "empty request"))?;
     let rest: Vec<&str> = words.collect();
-    let exactly = |n: usize| -> Result<(), String> {
+    let exactly = |n: usize| -> Result<(), ParseError> {
         if rest.len() == n {
             Ok(())
         } else {
-            Err(format!("{verb} takes {n} argument(s), got {}", rest.len()))
+            Err(ParseError::new(
+                "arity",
+                format!("{verb} takes {n} argument(s), got {}", rest.len()),
+            ))
         }
     };
     match verb {
         "HELLO" => exactly(0).map(|()| Request::Hello),
         "STATS" => exactly(0).map(|()| Request::Stats),
+        "METRICS" => exactly(0).map(|()| Request::Metrics),
         "DRAIN" => exactly(0).map(|()| Request::Drain),
         "SAVE" => exactly(0).map(|()| Request::Save),
         "SHUTDOWN" => exactly(0).map(|()| Request::Shutdown),
@@ -169,8 +202,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "INGEST" | "EVICT" => {
             exactly(2)?;
-            let (target, session) = split_scope(rest[0])
-                .ok_or_else(|| format!("{verb} scope must be target/session, got {:?}", rest[0]))?;
+            let (target, session) = split_scope(rest[0]).ok_or_else(|| {
+                ParseError::new(
+                    "scope",
+                    format!("{verb} scope must be target/session, got {:?}", rest[0]),
+                )
+            })?;
             let (target, session, record) =
                 (target.to_string(), session.to_string(), rest[1].to_string());
             Ok(if verb == "INGEST" {
@@ -189,23 +226,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "QUERY" => {
             if rest.is_empty() || rest.len() > 3 {
-                return Err("QUERY takes 1-3 arguments: target [witness-id|*] [class]".to_string());
+                return Err(ParseError::new(
+                    "arity",
+                    "QUERY takes 1-3 arguments: target [witness-id|*] [class]",
+                ));
             }
             let target = rest[0].to_string();
             let witness = match rest.get(1) {
                 None => None,
                 Some(&"*") => None,
-                Some(id) => Some(
-                    id.parse::<usize>()
-                        .map_err(|_| format!("witness id must be a number or *, got {id:?}"))?,
-                ),
+                Some(id) => Some(id.parse::<usize>().map_err(|_| {
+                    ParseError::new(
+                        "witness-id",
+                        format!("witness id must be a number or *, got {id:?}"),
+                    )
+                })?),
             };
             let class = match rest.get(2) {
                 None => None,
-                Some(word) => Some(
-                    ScheduleClass::parse(word)
-                        .ok_or_else(|| format!("unknown schedule class {word:?}"))?,
-                ),
+                Some(word) => Some(ScheduleClass::parse(word).ok_or_else(|| {
+                    ParseError::new("schedule-class", format!("unknown schedule class {word:?}"))
+                })?),
             };
             Ok(Request::Query {
                 target,
@@ -213,7 +254,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 class,
             })
         }
-        other => Err(format!("unknown request {other:?}")),
+        other => Err(ParseError::new(
+            "unknown-verb",
+            format!("unknown request {other:?}"),
+        )),
     }
 }
 
@@ -262,13 +306,26 @@ mod tests {
                 class: Some(ScheduleClass::Diverged),
             })
         );
-        assert!(parse_request("").is_err());
-        assert!(
-            parse_request("INGEST gossip 1,2").is_err(),
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("").unwrap_err().class, "empty");
+        assert_eq!(
+            parse_request("INGEST gossip 1,2").unwrap_err().class,
+            "scope",
             "scope needs a /"
         );
-        assert!(parse_request("QUERY gossip x").is_err());
-        assert!(parse_request("FROBNICATE").is_err());
+        assert_eq!(
+            parse_request("QUERY gossip x").unwrap_err().class,
+            "witness-id"
+        );
+        assert_eq!(
+            parse_request("QUERY gossip * bogus").unwrap_err().class,
+            "schedule-class"
+        );
+        assert_eq!(parse_request("HELLO now").unwrap_err().class, "arity");
+        assert_eq!(
+            parse_request("FROBNICATE").unwrap_err().class,
+            "unknown-verb"
+        );
     }
 
     #[test]

@@ -99,6 +99,24 @@ impl WorkQueue {
         self.peak_cells.load(Ordering::SeqCst)
     }
 
+    /// Cells currently *queued* per shard lane (claimed items have left
+    /// their lane and are not counted — this is the instantaneous backlog
+    /// the `METRICS` per-shard queue-depth gauges report, not the
+    /// in-flight debt [`WorkQueue::depth_cells`] tracks).
+    pub fn lane_depth_cells(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .expect("queue shard lock")
+                    .iter()
+                    .map(|item| item.cells)
+                    .sum()
+            })
+            .collect()
+    }
+
     /// Whether every enqueued item has completed.
     pub fn is_idle(&self) -> bool {
         self.in_flight.load(Ordering::SeqCst) == 0
@@ -221,6 +239,7 @@ mod tests {
         queue.enqueue(item("b/s", 1)); // lane 0
         assert_eq!(queue.depth_cells(), 6);
         assert_eq!(queue.peak_cells(), 6);
+        assert_eq!(queue.lane_depth_cells(), vec![4, 2]);
 
         // Worker 0 claims its own lane: the a/s item, then stops at b/s.
         let batch = queue.claim(0).expect("lane 0 has work");

@@ -33,6 +33,7 @@ use std::thread::JoinHandle;
 
 use achilles::export::session_witness_record;
 use achilles::{TargetRegistry, TargetSpec};
+use achilles_obs::Class;
 use achilles_replay::{FaultSchedule, ForkServer, ReplayCorpus, SessionWitness};
 use achilles_sweep::{
     sweep_witness_on, SchedulePlanner, SweepCache, SweepConfig, WitnessSweepStats,
@@ -204,6 +205,11 @@ struct Shared {
     queue: WorkQueue,
     state: Mutex<State>,
     counters: Counters,
+    /// Per-service metrics (request/error counters, latency histograms,
+    /// queue gauges). Kept off the process-global registry so multiple
+    /// `Fleetd` instances in one process (the test suites) never mix
+    /// series; `METRICS` merges this with [`achilles_obs::global`].
+    metrics: achilles_obs::MetricsRegistry,
     stopped: AtomicBool,
 }
 
@@ -238,6 +244,7 @@ impl Fleetd {
                 cache: SweepCache::new(),
             }),
             counters: Counters::default(),
+            metrics: achilles_obs::MetricsRegistry::new(),
             stopped: AtomicBool::new(false),
         });
         let service = Fleetd {
@@ -260,21 +267,65 @@ impl Fleetd {
     }
 
     /// Parses and serves one protocol line, returning the rendered reply.
+    /// Malformed lines are counted per malformation class in
+    /// `achilles_fleetd_errors_total{class=...}` before the `ERR` reply.
     pub fn handle_line(&self, line: &str) -> String {
         match parse_request(line) {
             Ok(request) => self.handle(request).render(),
-            Err(reason) => Reply::Err(reason).render(),
+            Err(error) => {
+                self.count_error(error.class);
+                Reply::Err(error.reason).render()
+            }
         }
     }
 
-    /// Serves one parsed request.
+    /// Serves one parsed request: counts it, times it into the per-verb
+    /// latency histogram, spans it for the trace, and counts handler-level
+    /// `ERR` replies (well-formed but impossible requests) under the
+    /// `rejected` error class.
     pub fn handle(&self, request: Request) -> Reply {
+        let (verb, span_name) = verb_names(&request);
+        let span = achilles_obs::timed(span_name, "fleetd");
+        let reply = self.dispatch(request);
+        let elapsed = span.finish();
+        let m = &self.shared.metrics;
+        m.add(
+            Class::Deterministic,
+            "achilles_fleetd_requests_total",
+            &[("verb", verb)],
+            1,
+        );
+        m.observe_ns(
+            "achilles_fleetd_request_latency_ns",
+            &[("verb", verb)],
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
+        if matches!(reply, Reply::Err(_)) {
+            self.count_error("rejected");
+        }
+        reply
+    }
+
+    fn count_error(&self, class: &str) {
+        self.shared.metrics.add(
+            Class::Deterministic,
+            "achilles_fleetd_errors_total",
+            &[("class", class)],
+            1,
+        );
+    }
+
+    fn dispatch(&self, request: Request) -> Reply {
         match request {
             Request::Hello => Reply::Ok(format!(
                 "achilles-fleetd specs={}",
                 self.shared.registry.names().join(",")
             )),
             Request::Stats => Reply::Ok(self.stats().render()),
+            Request::Metrics => {
+                let lines: Vec<String> = self.metrics_text().lines().map(str::to_string).collect();
+                Reply::Lines("metrics".to_string(), lines)
+            }
             Request::Register { target } => self.register(&target),
             Request::Ingest {
                 target,
@@ -328,6 +379,76 @@ impl Fleetd {
             busy_rejections: c.busy_rejections.load(Ordering::SeqCst),
             stale_results: c.stale_results.load(Ordering::SeqCst),
         }
+    }
+
+    /// The full metrics snapshot the `METRICS` verb serves: service
+    /// counters and queue gauges mirrored into the service registry, then
+    /// rendered merged with the process-global registry (solver, cache,
+    /// fork, sweep series) — `# deterministic` section first, `# wall`
+    /// second, each sorted.
+    pub fn metrics_text(&self) -> String {
+        self.record_metrics();
+        achilles_obs::render_sections(&[achilles_obs::global(), &self.shared.metrics])
+    }
+
+    /// Mirrors [`Fleetd::stats`] and the per-shard queue backlog into the
+    /// service registry. Deterministic series are those fixed by the
+    /// request sequence alone (store sizes, ingest/replay/cache-hit
+    /// totals — per-item replay sets are pinned at enqueue time by the
+    /// extracted seed cache); anything shaped by executor scheduling
+    /// (boots per batch, queue depths, busy/stale races) is wall-classed.
+    fn record_metrics(&self) {
+        let stats = self.stats();
+        let m = &self.shared.metrics;
+        let as_u64 = |n: usize| u64::try_from(n).unwrap_or(u64::MAX);
+        let det: [(&str, usize); 7] = [
+            ("achilles_fleetd_targets", stats.targets),
+            ("achilles_fleetd_witnesses", stats.witnesses),
+            ("achilles_fleetd_results", stats.results),
+            ("achilles_fleetd_ingested_total", stats.ingested),
+            ("achilles_fleetd_duplicates_total", stats.duplicates),
+            ("achilles_fleetd_replays_total", stats.replays),
+            ("achilles_fleetd_cache_hits_total", stats.cache_hits),
+        ];
+        for (name, value) in det {
+            m.set(Class::Deterministic, name, &[], as_u64(value));
+        }
+        let wall: [(&str, usize); 8] = [
+            ("achilles_fleetd_pending_cells", stats.pending_cells),
+            ("achilles_fleetd_peak_cells", stats.peak_cells),
+            ("achilles_fleetd_fork_plans_total", stats.fork_plans),
+            ("achilles_fleetd_boots_total", stats.boots),
+            ("achilles_fleetd_boots_saved_total", stats.boots_saved()),
+            (
+                "achilles_fleetd_snapshot_restores_total",
+                stats.snapshot_restores,
+            ),
+            (
+                "achilles_fleetd_busy_rejections_total",
+                stats.busy_rejections,
+            ),
+            ("achilles_fleetd_stale_results_total", stats.stale_results),
+        ];
+        for (name, value) in wall {
+            m.set(Class::Wall, name, &[], as_u64(value));
+        }
+        for (shard, cells) in self.shared.queue.lane_depth_cells().into_iter().enumerate() {
+            let label = shard.to_string();
+            m.set(
+                Class::Wall,
+                "achilles_fleetd_queue_depth_cells",
+                &[("shard", &label)],
+                as_u64(cells),
+            );
+        }
+    }
+
+    /// Snapshot of one verb's request-latency histogram (`None` before
+    /// any request of that verb was served).
+    pub fn request_latency(&self, verb: &str) -> Option<achilles_obs::HistogramSnapshot> {
+        self.shared
+            .metrics
+            .histogram("achilles_fleetd_request_latency_ns", &[("verb", verb)])
     }
 
     /// The `QUERY` payload for `target` as one newline-joined string —
@@ -721,6 +842,24 @@ impl Drop for Fleetd {
     }
 }
 
+/// The wire verb (metric label) and span name for a parsed request.
+fn verb_names(request: &Request) -> (&'static str, &'static str) {
+    match request {
+        Request::Hello => ("HELLO", "fleetd:HELLO"),
+        Request::Register { .. } => ("REGISTER", "fleetd:REGISTER"),
+        Request::Ingest { .. } => ("INGEST", "fleetd:INGEST"),
+        Request::Query { .. } => ("QUERY", "fleetd:QUERY"),
+        Request::Stats => ("STATS", "fleetd:STATS"),
+        Request::Metrics => ("METRICS", "fleetd:METRICS"),
+        Request::Drain => ("DRAIN", "fleetd:DRAIN"),
+        Request::Recampaign { .. } => ("RECAMPAIGN", "fleetd:RECAMPAIGN"),
+        Request::Epoch { .. } => ("EPOCH", "fleetd:EPOCH"),
+        Request::Evict { .. } => ("EVICT", "fleetd:EVICT"),
+        Request::Save => ("SAVE", "fleetd:SAVE"),
+        Request::Shutdown => ("SHUTDOWN", "fleetd:SHUTDOWN"),
+    }
+}
+
 /// Fresh (un-cached) cells a witness's campaign will replay: the
 /// baseline plus every planned schedule missing from `seed`.
 fn fresh_cells(
@@ -790,6 +929,7 @@ fn executor_loop(shared: &Shared, worker: usize) {
 /// when the config forks: one boot for the whole batch), publishing each
 /// result under the state lock.
 fn process_batch(shared: &Shared, batch: Vec<WorkItem>) {
+    let _span = achilles_obs::span("fleetd:batch", "fleetd");
     let Some(spec) = shared.registry.get(&batch[0].target).cloned() else {
         for item in batch {
             shared.counters.stale_results.fetch_add(1, Ordering::SeqCst);

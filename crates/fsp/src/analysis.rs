@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use achilles::{
     prepare_client_workers, run_trojan_search, ClientPredicate, FieldMask, MatchSample,
-    Optimizations, PreparedClient, SearchStats, TrojanReport, WorkerSummary,
+    Optimizations, PreparedClient, TrojanReport, TrojanSearchStats, WorkerSummary,
 };
 use achilles_solver::{Solver, TermPool};
 use achilles_symvm::{ExploreConfig, ExploreStats, SymMessage};
@@ -164,7 +164,7 @@ pub struct FspAnalysisResult {
     /// Figure 11 samples.
     pub samples: Vec<MatchSample>,
     /// Search counters.
-    pub search_stats: SearchStats,
+    pub search_stats: TrojanSearchStats,
     /// Server exploration counters.
     pub explore_stats: ExploreStats,
     /// Completed (non-pruned) server paths.

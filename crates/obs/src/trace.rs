@@ -1,0 +1,334 @@
+//! Span tracing with thread-local buffers and Chrome-trace export.
+//!
+//! Hot-path contract: when tracing is disabled (the default), [`span`] and
+//! [`instant`] cost one relaxed atomic load and allocate nothing. When
+//! enabled, events are pushed onto a thread-local `Vec` (no locks, no
+//! syscalls) and drained to the process-wide sink when the buffer fills, at
+//! explicit merge points ([`drain_thread`]), or when the thread exits.
+//! Nothing in the pipeline ever reads these buffers back, which is what
+//! makes tracing observation-only.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Flush a thread buffer to the sink once it holds this many events.
+const FLUSH_AT: usize = 8192;
+
+/// Turn tracing on or off process-wide. The trace epoch (t=0 of the
+/// exported timeline) is pinned the first time tracing is enabled.
+pub fn set_tracing(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Release);
+}
+
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    // Saturates to zero for instants captured before the epoch was pinned.
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// One recorded event. `dur_ns == 0` with `complete == false` is an instant
+/// marker; otherwise a complete (`ph: "X"`) span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub name: Cow<'static, str>,
+    pub cat: &'static str,
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+    pub tid: u32,
+    pub complete: bool,
+}
+
+struct ThreadBuf {
+    tid: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl ThreadBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut sink = SINK.lock().unwrap();
+        sink.append(&mut self.events);
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+fn push(event: impl FnOnce(u32) -> TraceEvent) {
+    // Thread-buffer access can race with thread teardown; fall back to the
+    // sink directly if the thread-local is gone.
+    let _ = BUF.try_with(|buf| {
+        let mut buf = buf.borrow_mut();
+        let tid = buf.tid;
+        buf.events.push(event(tid));
+        if buf.events.len() >= FLUSH_AT {
+            buf.flush();
+        }
+    });
+}
+
+/// A scoped span: records a complete event covering its lifetime when
+/// tracing is enabled, and is a no-op (one relaxed load, no allocation)
+/// when it is not. Spans on one thread nest LIFO by Rust drop order, so the
+/// exported trace is well-nested per tid by construction.
+pub struct Span(Option<LiveSpan>);
+
+struct LiveSpan {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start_ns: u64,
+}
+
+/// Open a span with a static name. `cat` groups spans in trace viewers
+/// (e.g. `"pipeline"`, `"symvm"`, `"fork"`, `"sweep"`, `"fleetd"`).
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span(None);
+    }
+    Span(Some(LiveSpan {
+        name: Cow::Borrowed(name),
+        cat,
+        start_ns: now_ns(),
+    }))
+}
+
+/// Open a span with a computed name. Callers should build the `String`
+/// only when [`tracing_enabled`] to keep the disabled path allocation-free.
+pub fn span_owned(name: String, cat: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span(None);
+    }
+    Span(Some(LiveSpan {
+        name: Cow::Owned(name),
+        cat,
+        start_ns: now_ns(),
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.0.take() {
+            let end = now_ns();
+            push(|tid| TraceEvent {
+                name: live.name,
+                cat: live.cat,
+                ts_ns: live.start_ns,
+                dur_ns: end.saturating_sub(live.start_ns),
+                tid,
+                complete: true,
+            });
+        }
+    }
+}
+
+/// Record a zero-duration instant marker (e.g. a work steal).
+pub fn instant(name: &'static str, cat: &'static str) {
+    if !tracing_enabled() {
+        return;
+    }
+    let ts = now_ns();
+    push(|tid| TraceEvent {
+        name: Cow::Borrowed(name),
+        cat,
+        ts_ns: ts,
+        dur_ns: 0,
+        tid,
+        complete: false,
+    });
+}
+
+/// A span that always measures wall time (two `Instant` reads) and hands
+/// the duration back on [`finish`](TimedSpan::finish), recording a trace
+/// event only when tracing is enabled. This is what coarse phase timing
+/// (`PhaseTimes`) is derived from, so the timing view and the trace view
+/// come from the same measurement.
+pub struct TimedSpan {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start: Instant,
+}
+
+/// Open a [`TimedSpan`]. Use only at coarse granularity (pipeline phases,
+/// service requests) — per-item hot paths should use [`span`].
+pub fn timed(name: &'static str, cat: &'static str) -> TimedSpan {
+    TimedSpan {
+        name: Cow::Borrowed(name),
+        cat,
+        start: Instant::now(),
+    }
+}
+
+impl TimedSpan {
+    /// Close the span and return its wall duration.
+    pub fn finish(self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if tracing_enabled() {
+            let epoch = *EPOCH.get_or_init(Instant::now);
+            let ts_ns = self.start.duration_since(epoch).as_nanos() as u64;
+            let dur_ns = elapsed.as_nanos() as u64;
+            push(|tid| TraceEvent {
+                name: self.name,
+                cat: self.cat,
+                ts_ns,
+                dur_ns,
+                tid,
+                complete: true,
+            });
+        }
+        elapsed
+    }
+}
+
+/// Drain the current thread's buffer into the process sink. Workers call
+/// this at merge points so their events survive scoped-thread teardown and
+/// the exporter sees a complete timeline.
+pub fn drain_thread() {
+    let _ = BUF.try_with(|buf| buf.borrow_mut().flush());
+}
+
+/// Discard all recorded events (current thread buffer + sink).
+pub fn clear_trace() {
+    let _ = BUF.try_with(|buf| buf.borrow_mut().events.clear());
+    SINK.lock().unwrap().clear();
+}
+
+fn escape(s: &str) -> String {
+    if !s.contains(['"', '\\']) {
+        return s.to_string();
+    }
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render everything recorded so far as Chrome-trace / Perfetto JSON
+/// (`{"traceEvents": [...]}`, timestamps in microseconds with nanosecond
+/// precision preserved in the fraction).
+pub fn chrome_trace_json() -> String {
+    drain_thread();
+    let sink = SINK.lock().unwrap();
+    let mut out = String::with_capacity(64 + sink.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in sink.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        if ev.complete {
+            let dur_us = ev.dur_ns as f64 / 1000.0;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+                 \"dur\":{dur_us:.3},\"pid\":1,\"tid\":{}}}",
+                escape(&ev.name),
+                escape(ev.cat),
+                ev.tid
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\
+                 \"pid\":1,\"tid\":{}}}",
+                escape(&ev.name),
+                escape(ev.cat),
+                ev.tid
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write the Chrome-trace JSON to `path`.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    let json = chrome_trace_json();
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn spans_record_only_when_enabled_and_nest_per_tid() {
+        clear_trace();
+        assert!(!tracing_enabled());
+        {
+            let _off = span("invisible", "test");
+            instant("also-invisible", "test");
+        }
+        drain_thread();
+        assert!(!chrome_trace_json().contains("invisible"));
+
+        set_tracing(true);
+        {
+            let _outer = span("outer", "test");
+            std::thread::sleep(Duration::from_micros(50));
+            {
+                let _inner = span_owned("inner".to_string(), "test");
+                std::thread::sleep(Duration::from_micros(50));
+                instant("steal", "test");
+            }
+        }
+        let t = timed("timed-phase", "test");
+        std::thread::sleep(Duration::from_micros(50));
+        let dur = t.finish();
+        assert!(dur >= Duration::from_micros(50));
+        set_tracing(false);
+
+        let json = chrome_trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"name\":\"outer\""));
+        assert!(json.contains("\"name\":\"inner\""));
+        assert!(json.contains("\"name\":\"timed-phase\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(!json.contains("invisible"));
+
+        // The inner span must be strictly contained in the outer one.
+        drain_thread();
+        let sink = SINK.lock().unwrap();
+        let outer = sink.iter().find(|e| e.name == "outer").unwrap();
+        let inner = sink.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(outer.tid, inner.tid);
+        assert!(inner.ts_ns >= outer.ts_ns);
+        assert!(inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns);
+        drop(sink);
+        clear_trace();
+        assert_eq!(
+            chrome_trace_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+
+        // With tracing off a Span carries no state at all.
+        let s = span("nothing", "test");
+        assert!(s.0.is_none());
+    }
+}

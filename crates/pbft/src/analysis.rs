@@ -6,7 +6,7 @@
 
 use std::time::{Duration, Instant};
 
-use achilles::{ClientPredicate, Optimizations, SearchStats, TrojanReport, WorkerSummary};
+use achilles::{ClientPredicate, Optimizations, TrojanReport, TrojanSearchStats, WorkerSummary};
 use achilles_symvm::{ExploreStats, SymMessage};
 
 use crate::protocol::{PbftRequest, MAC_PLACEHOLDER};
@@ -78,7 +78,7 @@ pub struct PbftAnalysisResult {
     /// Total analysis time (the paper: "a few seconds").
     pub total_time: Duration,
     /// Search counters.
-    pub search_stats: SearchStats,
+    pub search_stats: TrojanSearchStats,
     /// Replica exploration counters.
     pub explore_stats: ExploreStats,
     /// Per-worker breakdown (one entry when sequential).

@@ -95,6 +95,42 @@ impl ForkStats {
         self.shared_prefix_depth_sum += other.shared_prefix_depth_sum;
         self.branches += other.branches;
     }
+
+    /// Mirrors one replay call's stats into the process metrics registry
+    /// as `achilles_fork_*` series. Cell/trie-shape counters (`plans`,
+    /// `branches`, prefix depth) are fixed by the schedule set and so
+    /// [`Deterministic`](achilles_obs::Class::Deterministic); `boots` and
+    /// `snapshot_restores` vary with the worker count and claim order and
+    /// are [`Wall`](achilles_obs::Class::Wall).
+    pub fn record_metrics(&self) {
+        use achilles_obs::Class::{Deterministic, Wall};
+        let reg = achilles_obs::global();
+        reg.add(
+            Deterministic,
+            "achilles_fork_plans_total",
+            &[],
+            self.plans as u64,
+        );
+        reg.add(
+            Deterministic,
+            "achilles_fork_branches_total",
+            &[],
+            self.branches as u64,
+        );
+        reg.add(
+            Deterministic,
+            "achilles_fork_shared_prefix_depth_sum_total",
+            &[],
+            self.shared_prefix_depth_sum as u64,
+        );
+        reg.add(Wall, "achilles_fork_boots_total", &[], self.boots as u64);
+        reg.add(
+            Wall,
+            "achilles_fork_snapshot_restores_total",
+            &[],
+            self.snapshot_restores as u64,
+        );
+    }
 }
 
 /// One node of the delivery-prefix trie. Children are kept in first-insert
@@ -263,9 +299,11 @@ pub fn replay_session_forked(
     // of their own; each root child is an independent subtree for the
     // worker pool.
     if !trie.terminals.is_empty() {
+        let boot_span = achilles_obs::span("fork:boot", "fork");
         let mut session = target
             .boot_fork()
             .expect("boot_fork probed Some above and targets are stateless factories");
+        drop(boot_span);
         stats.boots += 1;
         let root = Trie {
             children: Vec::new(),
@@ -301,6 +339,7 @@ pub fn replay_session_forked(
             workers.max(1),
             &trie.children,
             |_| {
+                let _span = achilles_obs::span("fork:boot", "fork");
                 let session = target
                     .boot_fork()
                     .expect("boot_fork probed Some above and targets are stateless factories");
@@ -483,6 +522,13 @@ impl<'t> ForkServer<'t> {
     /// restore, no boot); detached mode is byte-for-byte
     /// [`replay_session`].
     pub fn replay_baseline(&mut self, witness: &SessionWitness) -> SessionReplayResult {
+        let _span = achilles_obs::span("fork:baseline", "fork");
+        achilles_obs::global().add(
+            achilles_obs::Class::Deterministic,
+            "achilles_fork_baselines_total",
+            &[],
+            1,
+        );
         self.baselines += 1;
         let fault_free = FaultSchedule::none();
         if self.is_persistent() {
@@ -505,6 +551,7 @@ impl<'t> ForkServer<'t> {
         if schedules.is_empty() {
             return (Vec::new(), ForkStats::default());
         }
+        let _span = achilles_obs::span("fork:replay", "fork");
         let (results, stats) = if !self.fork {
             let cold = parallel_map(self.workers.max(1), schedules, |_, schedule| {
                 replay_session(self.target, witness, schedule)
@@ -516,6 +563,7 @@ impl<'t> ForkServer<'t> {
             replay_session_forked(self.target, witness, schedules, self.workers)
         };
         self.lifetime.absorb(&stats);
+        stats.record_metrics();
         (results, stats)
     }
 
@@ -523,11 +571,13 @@ impl<'t> ForkServer<'t> {
     fn at_boot(&mut self, stats: &mut ForkStats) {
         match &mut self.live {
             None => {
+                let boot_span = achilles_obs::span("fork:boot", "fork");
                 let session = self
                     .target
                     .boot_fork()
                     .expect("persistent mode requires boot_fork support");
                 let boot = session.snapshot();
+                drop(boot_span);
                 stats.boots += 1;
                 self.live = Some(LiveSession {
                     session,
@@ -537,6 +587,7 @@ impl<'t> ForkServer<'t> {
             }
             Some(live) => {
                 if live.dirty {
+                    let _span = achilles_obs::span("fork:restore", "fork");
                     live.session.restore(&live.boot);
                     stats.snapshot_restores += 1;
                     live.dirty = false;

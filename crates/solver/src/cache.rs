@@ -85,6 +85,42 @@ pub struct SharedCacheStats {
     pub certified_unsat: u64,
 }
 
+impl SharedCacheStats {
+    /// Publishes this cache's lifetime counters as `achilles_shared_cache_*`
+    /// registry gauges. The shared cache is raced by every worker of a
+    /// parallel exploration, so all of its counters are
+    /// [`Wall`](achilles_obs::Class::Wall)-classed: hit/miss splits move
+    /// with thread interleaving even when the exploration's *results* are
+    /// bit-identical.
+    pub fn record_metrics(&self) {
+        use achilles_obs::Class::Wall;
+        let reg = achilles_obs::global();
+        for (name, value) in [
+            ("achilles_shared_cache_hits_total", self.hits),
+            (
+                "achilles_shared_cache_cross_epoch_hits_total",
+                self.cross_epoch_hits,
+            ),
+            ("achilles_shared_cache_misses_total", self.misses),
+            ("achilles_shared_cache_inserts_total", self.inserts),
+            (
+                "achilles_shared_cache_core_subsumption_hits_total",
+                self.core_subsumption_hits,
+            ),
+            (
+                "achilles_shared_cache_cores_indexed_total",
+                self.cores_indexed,
+            ),
+            (
+                "achilles_shared_cache_certified_unsat_total",
+                self.certified_unsat,
+            ),
+        ] {
+            reg.set(Wall, name, &[], value);
+        }
+    }
+}
+
 /// A sharded, fingerprint-keyed query cache shared by all workers of a
 /// parallel exploration.
 ///

@@ -112,6 +112,12 @@ impl SatResult {
 }
 
 /// Counters describing the work performed by one `solve` call.
+///
+/// This is the *solver's* DPLL-style search; the Trojan-search counters in
+/// the core crate are the distinct `achilles::TrojanSearchStats` type (the
+/// two used to collide on the name `SearchStats`). In the metrics registry
+/// the series are fully qualified accordingly: these export as
+/// `achilles_solver_search_*`, the Trojan search as `achilles_trojan_search_*`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Number of decision points (clause splits and enumerated values).

@@ -50,6 +50,97 @@ pub struct SolverStats {
     pub search: SearchStats,
 }
 
+impl SolverStats {
+    /// Mirrors the counter delta `self - before` into the process-wide
+    /// metrics registry ([`achilles_obs::global`]). Explorations call this
+    /// once when their final stats are assembled, so the registry stays a
+    /// pure view over the same accumulators callers already see.
+    ///
+    /// Workload-fixed counters (queries, verdict splits, certificates,
+    /// subsumption answers, DPLL search work) are
+    /// [`Deterministic`](achilles_obs::Class::Deterministic); counters that
+    /// depend on cross-worker cache races or the clock (`shared_hits`,
+    /// `solve_time`) are [`Wall`](achilles_obs::Class::Wall).
+    pub fn record_metrics_delta(&self, before: &SolverStats) {
+        use achilles_obs::Class::{Deterministic, Wall};
+        let reg = achilles_obs::global();
+        let d = |a: u64, b: u64| a.saturating_sub(b);
+        for (name, after, prev) in [
+            (
+                "achilles_solver_queries_total",
+                self.queries,
+                before.queries,
+            ),
+            (
+                "achilles_solver_cache_hits_total",
+                self.cache_hits,
+                before.cache_hits,
+            ),
+            (
+                "achilles_solver_presorted_queries_total",
+                self.presorted_queries,
+                before.presorted_queries,
+            ),
+            ("achilles_solver_sat_total", self.sat, before.sat),
+            ("achilles_solver_unsat_total", self.unsat, before.unsat),
+            (
+                "achilles_solver_unknown_total",
+                self.unknown,
+                before.unknown,
+            ),
+            (
+                "achilles_solver_certified_unsat_total",
+                self.certified_unsat,
+                before.certified_unsat,
+            ),
+            (
+                "achilles_solver_core_subsumption_hits_total",
+                self.core_subsumption_hits,
+                before.core_subsumption_hits,
+            ),
+            (
+                "achilles_solver_search_decisions_total",
+                self.search.decisions,
+                before.search.decisions,
+            ),
+            (
+                "achilles_solver_search_propagations_total",
+                self.search.propagations,
+                before.search.propagations,
+            ),
+            (
+                "achilles_solver_search_deferred_checks_total",
+                self.search.deferred_checks,
+                before.search.deferred_checks,
+            ),
+            (
+                "achilles_solver_search_verification_failures_total",
+                self.search.verification_failures,
+                before.search.verification_failures,
+            ),
+            (
+                "achilles_solver_search_certificate_steps_total",
+                self.search.certificate_steps,
+                before.search.certificate_steps,
+            ),
+        ] {
+            reg.add(Deterministic, name, &[], d(after, prev));
+        }
+        reg.add(
+            Wall,
+            "achilles_solver_shared_hits_total",
+            &[],
+            d(self.shared_hits, before.shared_hits),
+        );
+        reg.add(
+            Wall,
+            "achilles_solver_solve_time_ns_total",
+            &[],
+            self.solve_time.saturating_sub(before.solve_time).as_nanos() as u64,
+        );
+    }
+}
+
 #[derive(Clone)]
 enum Cached {
     Sat(Arc<Model>),

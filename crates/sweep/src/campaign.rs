@@ -118,6 +118,7 @@ pub fn sweep_witness_on(
     planner: &SchedulePlanner,
     cache: &mut SweepCache,
 ) -> (SensitivityMatrix, WitnessSweepStats) {
+    let _span = achilles_obs::span("sweep:witness", "sweep");
     let mut stats = WitnessSweepStats::default();
     let workers = server.workers();
 
@@ -215,6 +216,8 @@ pub fn sweep_witness_on(
         })
         .collect();
 
+    record_witness_metrics(&stats, &cells);
+
     (
         SensitivityMatrix {
             witness: witness.clone(),
@@ -225,6 +228,52 @@ pub fn sweep_witness_on(
         },
         stats,
     )
+}
+
+/// Mirrors one witness sweep's counters into the process metrics registry
+/// as `achilles_sweep_*` series. Cell totals, the replayed/cached split,
+/// and the per-class breakdown are all fixed by (witness, planner, cache
+/// state), so every series is
+/// [`Deterministic`](achilles_obs::Class::Deterministic); the fork-server's
+/// own wall-varying counters are recorded separately by
+/// [`ForkStats::record_metrics`].
+fn record_witness_metrics(stats: &WitnessSweepStats, cells: &[SensitivityCell]) {
+    use achilles_obs::Class::Deterministic;
+    let reg = achilles_obs::global();
+    reg.add(Deterministic, "achilles_sweep_witnesses_total", &[], 1);
+    reg.add(
+        Deterministic,
+        "achilles_sweep_cells_total",
+        &[],
+        cells.len() as u64,
+    );
+    reg.add(
+        Deterministic,
+        "achilles_sweep_replays_total",
+        &[],
+        stats.replayed as u64,
+    );
+    reg.add(
+        Deterministic,
+        "achilles_sweep_cache_hits_total",
+        &[],
+        stats.cache_hits as u64,
+    );
+    for (class, label) in [
+        (ScheduleClass::Armed, "armed"),
+        (ScheduleClass::Diverged, "diverged"),
+        (ScheduleClass::Disarmed, "disarmed"),
+        (ScheduleClass::Masked, "masked"),
+        (ScheduleClass::NewSignature, "new_signature"),
+    ] {
+        let count = cells.iter().filter(|c| c.class == class).count() as u64;
+        reg.add(
+            Deterministic,
+            "achilles_sweep_cells_by_class_total",
+            &[("class", label)],
+            count,
+        );
+    }
 }
 
 /// Everything one campaign produced for one declared session.

@@ -241,6 +241,7 @@ impl<'a> Executor<'a> {
         program: &dyn NodeProgram,
         observer: &mut dyn PathObserver,
     ) -> ExploreResult {
+        let _span = achilles_obs::span("explore", "symvm");
         let started = Instant::now();
         let solver_before = *self.solver.stats();
         let mut registry = Registry::new(self.config.recv_script.clone());
@@ -330,6 +331,8 @@ impl<'a> Executor<'a> {
             solver_after.core_subsumption_hits - solver_before.core_subsumption_hits;
         stats.wall_time = started.elapsed();
         result.stats = stats;
+        self.solver.stats().record_metrics_delta(&solver_before);
+        result.stats.record_metrics();
         result
     }
 

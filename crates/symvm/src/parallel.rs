@@ -235,6 +235,7 @@ impl Coordinator {
                 .pop_front()
             {
                 self.steals[worker].fetch_add(1, Ordering::Relaxed);
+                achilles_obs::instant("steal", "symvm");
                 return Some(task);
             }
         }
@@ -366,6 +367,7 @@ fn run_worker<O: PathObserver>(
     coord: &Coordinator,
     mut observer: O,
 ) -> WorkerOutcome<O> {
+    let worker_span = achilles_obs::span_owned(format!("worker-{worker}"), "symvm");
     let mut registry = Registry::new(config.recv_script.clone());
     let mut paths: Vec<PathRecord> = Vec::new();
     let mut item_prefixes: Vec<Vec<bool>> = Vec::new();
@@ -399,6 +401,7 @@ fn run_worker<O: PathObserver>(
         coord.run_bound.record(&prefix);
         executed_prefixes.push(prefix.clone());
 
+        let _item_span = achilles_obs::span("item", "symvm");
         let item_started = Instant::now();
         stats.runs += 1;
         observer.on_path_start();
@@ -465,6 +468,11 @@ fn run_worker<O: PathObserver>(
         coord.finish();
     }
 
+    // Merge point: close this worker's span and hand its trace buffer to
+    // the process sink before the scoped thread unwinds.
+    drop(worker_span);
+    achilles_obs::drain_thread();
+
     let solver_stats = *solver.stats();
     WorkerOutcome {
         worker,
@@ -490,6 +498,7 @@ fn merge<O>(
     workers: usize,
     config: &ExploreConfig,
 ) -> ParallelOutcome<O> {
+    let _span = achilles_obs::span("merge", "symvm");
     let mut stats = ExploreStats {
         workers,
         workers_effective: workers,
@@ -520,6 +529,8 @@ fn merge<O>(
             busy,
         } = outcome;
         stats.absorb_counters(&ws);
+        // Each worker ran a fresh solver, so its stats are already deltas.
+        solver_stats.record_metrics_delta(&SolverStats::default());
         stats.shared_cache_hits += solver_stats.shared_hits;
         stats.certified_unsat += solver_stats.certified_unsat;
         stats.core_subsumption_hits += solver_stats.core_subsumption_hits;
@@ -583,6 +594,7 @@ fn merge<O>(
     stats.completed = merged.len();
     stats.cross_phase_cache_hits = shared.stats().cross_epoch_hits.saturating_sub(cross_before);
     stats.wall_time = started.elapsed();
+    stats.record_metrics();
 
     ParallelOutcome {
         result: ExploreResult {

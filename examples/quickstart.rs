@@ -550,8 +550,11 @@ fn main() {
     //    independent certificate checker, so every Unsat verdict the
     //    discovery uses to discard a path is validated on the spot. A
     //    rejection would panic — the quiet run below *is* the audit
-    //    passing.
+    //    passing. And instrument the run (step 11): arm span tracing so
+    //    every phase below records into the Chrome trace written at the
+    //    end — tracing is observation-only, nothing downstream changes.
     achilles_proofcheck::install_audit();
+    achilles_obs::set_tracing(true);
 
     // 1. Register, then select by name — exactly how the bench bins and
     //    the conformance suite drive the shipped protocols.
@@ -824,5 +827,43 @@ fn main() {
          independently checked in {:.3}s — every pruned path carries a \
          validated refutation.",
         wall.as_secs_f64(),
+    );
+
+    // 8. Instrumenting the run (step 11): everything above — discovery,
+    //    mini-sweep, fork-server, service requests — recorded spans and
+    //    counters through `achilles-obs`. Print a one-screen metrics
+    //    snapshot, ask the service for its live METRICS, and write the
+    //    Chrome trace.
+    println!("\n== observability (metrics + trace) ==");
+    let snapshot = achilles_obs::global().render();
+    let one_screen = [
+        "achilles_solver_queries_total",
+        "achilles_solver_sat_total",
+        "achilles_solver_unsat_total",
+        "achilles_solver_cache_hits_total",
+        "achilles_solver_core_subsumption_hits_total",
+        "achilles_explore_runs_total",
+        "achilles_explore_completed_total",
+        "achilles_fork_",
+        "achilles_sweep_",
+    ];
+    for line in snapshot.lines() {
+        if line.starts_with('#') || one_screen.iter().any(|p| line.starts_with(p)) {
+            println!("  {line}");
+        }
+    }
+    let metrics_reply = service.handle_line("METRICS");
+    assert!(metrics_reply.starts_with("OK "), "{metrics_reply}");
+    println!(
+        "fleetd METRICS -> {} line(s) (the same counters, served live).",
+        metrics_reply.lines().count() - 1,
+    );
+    drop(service); // joins the executors, flushing their span buffers
+    achilles_obs::drain_thread();
+    let trace_path = std::env::temp_dir().join("achilles_quickstart_trace.json");
+    achilles_obs::write_chrome_trace(&trace_path).expect("write quickstart trace");
+    println!(
+        "trace: {} — load it in Perfetto or chrome://tracing.",
+        trace_path.display(),
     );
 }

@@ -397,3 +397,111 @@ fn shutdown_drains_persists_and_the_restart_is_replay_free() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn malformed_requests_are_counted_per_class() {
+    let (registry, _spec) = gossip_spec();
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+
+    // One malformed line per parse class (plus a well-formed but
+    // impossible request, counted as `rejected`), each answered ERR.
+    let cases: &[(&str, &str, u64)] = &[
+        ("FROBNICATE", "unknown-verb", 2),
+        ("FROBNICATE again", "unknown-verb", 2),
+        ("HELLO now", "arity", 1),
+        ("INGEST gossip 1,2", "scope", 1),
+        ("QUERY gossip x", "witness-id", 1),
+        ("QUERY gossip * bogus", "schedule-class", 1),
+        ("", "empty", 1),
+        ("QUERY unregistered-target", "rejected", 1),
+    ];
+    for (line, _, _) in cases {
+        let reply = service.handle_line(line);
+        assert!(reply.starts_with("ERR "), "{line:?}: {reply}");
+    }
+
+    let reply = service.handle_line("METRICS");
+    assert!(reply.starts_with("OK "), "{reply}");
+    let count = |class: &str| -> u64 {
+        let needle = format!("achilles_fleetd_errors_total{{class=\"{class}\"}} ");
+        reply
+            .lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .map(|v| v.parse().expect("counter value"))
+            .unwrap_or(0)
+    };
+    for (line, class, expected) in cases {
+        assert_eq!(count(class), *expected, "{line:?} counts under {class:?}");
+    }
+    // A well-formed, successful request counts no error class.
+    assert!(service.handle_line("HELLO").starts_with("OK "));
+}
+
+#[test]
+fn metrics_snapshot_is_framed_sectioned_and_covers_the_stack() {
+    let (registry, spec) = gossip_spec();
+    let discovered = discover(&*spec);
+    let service = Fleetd::start(registry, FleetdConfig::default().quick()).expect("service starts");
+    ingest_all(&service, &discovered);
+
+    let reply = service.handle_line("METRICS");
+    let mut lines = reply.lines();
+    let status = lines.next().expect("status line");
+    assert!(status.starts_with("OK "), "{status}");
+    let framed: usize = status
+        .split_whitespace()
+        .nth(1)
+        .expect("frame count")
+        .parse()
+        .expect("frame count is numeric");
+    let payload: Vec<&str> = lines.collect();
+    assert_eq!(framed, payload.len(), "frame count matches payload");
+
+    // Sections: `# deterministic` first, `# wall` second, each sorted.
+    let det_at = payload
+        .iter()
+        .position(|l| *l == "# deterministic")
+        .expect("deterministic section header");
+    let wall_at = payload
+        .iter()
+        .position(|l| *l == "# wall")
+        .expect("wall section header");
+    assert!(det_at < wall_at, "deterministic section renders first");
+    for section in [&payload[det_at + 1..wall_at], &payload[wall_at + 1..]] {
+        let mut sorted = section.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(section, &sorted[..], "series sort within their section");
+    }
+
+    // The snapshot is rich: solver, shared-cache, fork, sweep, queue, and
+    // latency series all present, ≥ 25 distinct series in total.
+    let series: Vec<&str> = payload
+        .iter()
+        .copied()
+        .filter(|l| !l.starts_with('#'))
+        .collect();
+    assert!(
+        series.len() >= 25,
+        "expected ≥ 25 series, got {}: {series:#?}",
+        series.len()
+    );
+    for prefix in [
+        "achilles_solver_",
+        "achilles_shared_cache_",
+        "achilles_fork_",
+        "achilles_sweep_",
+        "achilles_fleetd_queue_depth_cells{shard=\"0\"}",
+        "achilles_fleetd_request_latency_ns",
+        "achilles_fleetd_requests_total{verb=\"INGEST\"}",
+    ] {
+        assert!(
+            series.iter().any(|l| l.starts_with(prefix)),
+            "no series under {prefix:?}"
+        );
+    }
+
+    // STATS stays the bit-compatible one-line form next to METRICS.
+    let stats = service.handle_line("STATS");
+    assert!(stats.starts_with("OK targets="), "{stats}");
+    assert_eq!(stats.lines().count(), 1, "STATS is one line");
+}

@@ -752,3 +752,88 @@ fn core_subsumption_never_perturbs_session_results() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observer effect (span tracing)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tracing_never_perturbs_results() {
+    // `achilles-obs` tracing is observation-only by contract: arming it
+    // must change no discovery or sweep answer. Full fsp session
+    // discovery + fault-schedule sweep, tracing off vs on, at workers
+    // {1, 4} — reports, witness sets, slot attribution, and every
+    // (schedule, class, signature) matrix cell must be bit-identical.
+    use achilles::AchillesSession;
+    use achilles_sweep::{run_campaign, schedule_token, CampaignConfig, SweepCache};
+    use achilles_targets::builtin_registry;
+
+    let registry = builtin_registry();
+    let spec = registry.get("fsp").expect("registered");
+
+    let run = |workers: usize| {
+        let reports = AchillesSession::new(&**spec)
+            .workers(workers)
+            .run_sessions();
+        let discovery_key: Vec<_> = reports
+            .iter()
+            .map(|r| {
+                (
+                    r.session.clone(),
+                    r.server_paths,
+                    report_keys(&r.trojans),
+                    r.trojan_slots.clone(),
+                )
+            })
+            .collect();
+        let sweeps = run_campaign(
+            &**spec,
+            &CampaignConfig::default().with_workers(workers),
+            &mut SweepCache::new(),
+        );
+        let sweep_key: Vec<_> = sweeps
+            .iter()
+            .map(|s| {
+                (
+                    (s.armed, s.diverged, s.disarmed, s.masked, s.new_signature),
+                    s.matrices
+                        .iter()
+                        .map(|m| {
+                            m.cells
+                                .iter()
+                                .map(|c| {
+                                    (
+                                        schedule_token(&c.schedule),
+                                        c.class.to_string(),
+                                        c.signature.to_line(),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        (discovery_key, sweep_key)
+    };
+
+    for workers in [1usize, 4] {
+        achilles_obs::set_tracing(false);
+        let off = run(workers);
+        achilles_obs::set_tracing(true);
+        let on = run(workers);
+        achilles_obs::drain_thread();
+        let traced = achilles_obs::chrome_trace_json();
+        achilles_obs::set_tracing(false);
+        achilles_obs::clear_trace();
+        assert!(
+            traced.contains("session:run") && traced.contains("sweep:witness"),
+            "the traced run recorded discovery and sweep spans"
+        );
+        assert_eq!(
+            off, on,
+            "tracing on/off drift at {workers} worker(s): the observer \
+             changed the observation"
+        );
+    }
+}
